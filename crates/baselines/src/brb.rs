@@ -1,0 +1,169 @@
+//! MC-BRB-like solver (Chang \[8\]), simplified.
+//!
+//! MC-BRB transforms maximum clique over a sparse graph into a sequence of
+//! ego-network k-clique problems attacked by *branch-reduce-bound*: at
+//! every node of the search tree, reduction rules strip candidates that
+//! cannot join a better clique before any branching happens. This
+//! reimplementation keeps that skeleton — degree-based heuristic priming,
+//! degeneracy-ordered ego-network loop, per-node degree reduction, and a
+//! greedy coloring bound — but omits MC-BRB's vertex folding and
+//! higher-order reductions (documented in DESIGN.md §7). Sequential, like
+//! the original.
+
+use crate::shared::greedy_from;
+use lazymc_graph::{CsrGraph, VertexId};
+use lazymc_order::kcore_sequential;
+use lazymc_solver::bitset::{BitMatrix, Bitset};
+use lazymc_solver::greedy_color_count;
+
+/// Runs the MC-BRB-like solver; returns a maximum clique in original ids.
+pub fn brb_like(g: &CsrGraph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Degree-based heuristic priming (MC-BRB runs its heuristic before the
+    // degeneracy computation).
+    let mut best: Vec<VertexId> = vec![0];
+    let mut by_degree: Vec<VertexId> = (0..n as VertexId).collect();
+    by_degree.sort_unstable_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    for &v in by_degree.iter().take(8) {
+        let c = greedy_from(g, v);
+        if c.len() > best.len() {
+            best = c;
+        }
+    }
+
+    let kc = kcore_sequential(g);
+    let mut rank = vec![0 as VertexId; n];
+    for (i, &v) in kc.peel_order.iter().enumerate() {
+        rank[v as usize] = i as VertexId;
+    }
+
+    // Ego-network loop in degeneracy order, deepest cores first.
+    for &v in kc.peel_order.iter().rev() {
+        if (kc.coreness[v as usize] as usize) < best.len() {
+            continue; // cannot host anything better
+        }
+        let members: Vec<VertexId> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| rank[u as usize] > rank[v as usize])
+            .collect();
+        if members.len() < best.len() {
+            continue;
+        }
+        let mut adj = BitMatrix::new(members.len());
+        for (i, &u) in members.iter().enumerate() {
+            for (j, &w) in members.iter().enumerate().skip(i + 1) {
+                if g.has_edge(u, w) {
+                    adj.add_edge(i, j);
+                }
+            }
+        }
+        let mut current = Vec::new();
+        let mut local_best: Vec<u32> = Vec::new();
+        let lb = best.len().saturating_sub(1); // need > lb inside the ego net
+        expand(
+            &adj,
+            Bitset::full(members.len()),
+            &mut current,
+            lb,
+            &mut local_best,
+        );
+        if !local_best.is_empty() && local_best.len() > lb {
+            let mut clique: Vec<VertexId> =
+                local_best.iter().map(|&i| members[i as usize]).collect();
+            clique.push(v);
+            if clique.len() > best.len() {
+                debug_assert!(g.is_clique(&clique));
+                best = clique;
+            }
+        }
+    }
+    best
+}
+
+/// Branch-reduce-bound on the ego network.
+///
+/// `best` holds the best clique found in *this* ego network; the caller
+/// passes `lb` as the global floor. The reduce step drops any candidate
+/// whose candidate-degree cannot complete a clique beating the floor.
+fn expand(adj: &BitMatrix, mut cand: Bitset, current: &mut Vec<u32>, lb: usize, best: &mut Vec<u32>) {
+    let floor = lb.max(best.len());
+    // --- Reduce: iterated degree filtering inside the candidate set ------
+    // The best clique through candidate v is current ∪ {v} ∪ (its candidate
+    // neighbours); if even that cannot beat the floor, drop v. Removals
+    // lower other candidates' degrees, so iterate to a fixpoint.
+    loop {
+        let mut changed = false;
+        for v in cand.clone().iter() {
+            if current.len() + 1 + adj.degree_within(v, &cand) <= floor {
+                cand.remove(v);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // --- Bound: size and chromatic bounds --------------------------------
+    if current.len() + cand.len() <= floor {
+        return;
+    }
+    if current.len() + greedy_color_count(adj, &cand) <= floor {
+        return;
+    }
+    // --- Branch on a maximum-candidate-degree vertex ---------------------
+    let Some(v) = cand.iter().max_by_key(|&v| adj.degree_within(v, &cand)) else {
+        if current.len() > best.len() {
+            *best = current.clone();
+        }
+        return;
+    };
+    // Include v.
+    let mut with_v = cand.clone();
+    with_v.intersect_with_words(adj.row(v));
+    current.push(v as u32);
+    if current.len() > best.len() && current.len() > lb {
+        *best = current.clone();
+    }
+    expand(adj, with_v, current, lb, best);
+    current.pop();
+    // Exclude v.
+    cand.remove(v);
+    if !cand.is_empty() {
+        expand(adj, cand, current, lb, best);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazymc_graph::gen;
+
+    #[test]
+    fn brb_solves_known_graphs() {
+        assert_eq!(brb_like(&gen::complete(8)).len(), 8);
+        assert_eq!(brb_like(&gen::path(12)).len(), 2);
+        assert_eq!(brb_like(&gen::cycle(6)).len(), 2);
+        assert_eq!(brb_like(&gen::triangulated_grid(5, 5)).len(), 4);
+        assert_eq!(brb_like(&CsrGraph::empty(5)).len(), 1);
+        assert_eq!(brb_like(&CsrGraph::empty(0)).len(), 0);
+    }
+
+    #[test]
+    fn brb_finds_planted_clique() {
+        let g = gen::planted_clique(150, 0.04, 9, 8);
+        let c = brb_like(&g);
+        assert!(g.is_clique(&c));
+        assert_eq!(c.len(), 9);
+    }
+
+    #[test]
+    fn brb_gap_zero_caveman() {
+        let g = gen::caveman(6, 5, 0.02, 4);
+        assert_eq!(brb_like(&g).len(), 5);
+    }
+}

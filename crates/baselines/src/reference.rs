@@ -1,0 +1,80 @@
+//! The correctness oracle: textbook Bron–Kerbosch with Tomita pivoting.
+//!
+//! No coloring bounds, no orderings, no filtering, no parallelism — a code
+//! path as different from the optimized solvers as possible, so agreement
+//! between this and LazyMC is strong evidence of correctness. Exponential;
+//! intended for graphs up to a few hundred vertices.
+
+use lazymc_graph::{CsrGraph, VertexId};
+use lazymc_solver::bitset::{BitMatrix, Bitset};
+
+/// Maximum clique by Bron–Kerbosch (original vertex ids).
+pub fn max_clique_reference(g: &CsrGraph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let adj = BitMatrix::from_csr(g);
+    let mut best: Vec<u32> = Vec::new();
+    let mut current: Vec<u32> = Vec::new();
+    let p = Bitset::full(n);
+    let x = Bitset::new(n);
+    bk(&adj, p, x, &mut current, &mut best);
+    best
+}
+
+fn bk(adj: &BitMatrix, p: Bitset, mut x: Bitset, current: &mut Vec<u32>, best: &mut Vec<u32>) {
+    if p.is_empty() && x.is_empty() {
+        if current.len() > best.len() {
+            *best = current.clone();
+        }
+        return;
+    }
+    // Tomita pivot: the vertex of P ∪ X with the most neighbors in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .max_by_key(|&u| adj.degree_within(u, &p))
+        .expect("P ∪ X non-empty");
+    // Branch on P \ N(pivot).
+    let mut branch = p.clone();
+    let mut masked = branch.clone();
+    masked.intersect_with_words(adj.row(pivot));
+    branch.subtract(&masked);
+    let mut p = p;
+    for v in branch.iter() {
+        let mut p2 = p.clone();
+        p2.intersect_with_words(adj.row(v));
+        let mut x2 = x.clone();
+        x2.intersect_with_words(adj.row(v));
+        current.push(v as u32);
+        bk(adj, p2, x2, current, best);
+        current.pop();
+        p.remove(v);
+        x.insert(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazymc_graph::gen;
+
+    #[test]
+    fn known_cliques() {
+        assert_eq!(max_clique_reference(&gen::complete(6)).len(), 6);
+        assert_eq!(max_clique_reference(&gen::path(8)).len(), 2);
+        assert_eq!(max_clique_reference(&gen::cycle(5)).len(), 2);
+        assert_eq!(max_clique_reference(&gen::triangulated_grid(4, 3)).len(), 4);
+        assert_eq!(max_clique_reference(&CsrGraph::empty(4)).len(), 1);
+        assert_eq!(max_clique_reference(&CsrGraph::empty(0)).len(), 0);
+    }
+
+    #[test]
+    fn returns_actual_clique() {
+        let g = gen::planted_clique(50, 0.1, 6, 9);
+        let c = max_clique_reference(&g);
+        assert!(g.is_clique(&c));
+        assert!(c.len() >= 6);
+    }
+}

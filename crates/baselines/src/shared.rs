@@ -1,0 +1,96 @@
+//! Small shared pieces for the baseline solvers: a thread-safe incumbent
+//! (kept separate from lazymc-core's so the baselines stay independent of
+//! the system under test) and a cheap coreness-order greedy heuristic.
+
+use lazymc_graph::{CsrGraph, VertexId};
+use lazymc_intersect::intersect_sorted;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Minimal shared incumbent for the parallel baselines.
+pub(crate) struct SharedBest {
+    size: AtomicUsize,
+    clique: Mutex<Vec<VertexId>>,
+}
+
+impl SharedBest {
+    pub fn new() -> Self {
+        SharedBest {
+            size: AtomicUsize::new(0),
+            clique: Mutex::new(Vec::new()),
+        }
+    }
+
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size.load(Ordering::Relaxed)
+    }
+
+    pub fn offer(&self, candidate: &[VertexId]) {
+        let mut cur = self.size.load(Ordering::Relaxed);
+        while candidate.len() > cur {
+            match self.size.compare_exchange_weak(
+                cur,
+                candidate.len(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let mut guard = self.clique.lock();
+                    if candidate.len() > guard.len() {
+                        *guard = candidate.to_vec();
+                    }
+                    return;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn take(self) -> Vec<VertexId> {
+        self.clique.into_inner()
+    }
+}
+
+/// Greedy clique from vertex `v`: repeatedly absorb the lowest-degree-last
+/// candidate (simple, deterministic). Used by baselines as a heuristic
+/// primer; intentionally simpler than LazyMC's Algorithms 5/6.
+pub(crate) fn greedy_from(g: &CsrGraph, v: VertexId) -> Vec<VertexId> {
+    let mut clique = vec![v];
+    let mut cand: Vec<VertexId> = g.neighbors(v).to_vec();
+    let mut tmp = Vec::new();
+    while !cand.is_empty() {
+        // absorb the candidate with maximum degree (global degree as proxy)
+        let &u = cand
+            .iter()
+            .max_by_key(|&&w| g.degree(w))
+            .expect("non-empty");
+        clique.push(u);
+        intersect_sorted(&cand, g.neighbors(u), &mut tmp);
+        std::mem::swap(&mut cand, &mut tmp);
+    }
+    clique
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazymc_graph::gen;
+
+    #[test]
+    fn shared_best_monotone() {
+        let b = SharedBest::new();
+        b.offer(&[1, 2]);
+        b.offer(&[3]);
+        assert_eq!(b.size(), 2);
+        assert_eq!(b.take(), vec![1, 2]);
+    }
+
+    #[test]
+    fn greedy_returns_clique() {
+        let g = gen::planted_clique(60, 0.08, 6, 5);
+        for v in 0..10u32 {
+            assert!(g.is_clique(&greedy_from(&g, v)));
+        }
+    }
+}

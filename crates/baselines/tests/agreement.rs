@@ -1,0 +1,32 @@
+//! Property test: every baseline must agree with the Bron–Kerbosch oracle
+//! on arbitrary random graphs — the strongest correctness signal we have
+//! short of a certified solver.
+
+use lazymc_baselines::{run, Algorithm};
+use lazymc_graph::{gen, CsrGraph};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    prop_oneof![
+        (2usize..40, 0.0f64..0.5, 0u64..1000).prop_map(|(n, p, s)| gen::gnp(n, p, s)),
+        (2usize..30, 0.0f64..0.2, 2usize..8, 0u64..1000)
+            .prop_map(|(n, p, k, s)| gen::planted_clique(n.max(k), p, k.min(n), s)),
+        (1usize..6, 2usize..6, 0.0f64..0.3, 0u64..100)
+            .prop_map(|(l, k, p, s)| gen::caveman(l, k, p, s)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn baselines_agree_with_oracle(g in arb_graph()) {
+        let oracle = run(Algorithm::Reference, &g);
+        prop_assert!(g.is_clique(&oracle));
+        for alg in Algorithm::table2() {
+            let c = run(alg, &g);
+            prop_assert!(g.is_clique(&c), "{} returned a non-clique", alg.name());
+            prop_assert_eq!(c.len(), oracle.len(), "{} disagrees with oracle", alg.name());
+        }
+    }
+}

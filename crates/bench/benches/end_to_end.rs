@@ -1,0 +1,35 @@
+//! Criterion end-to-end benchmark: LazyMC vs. the baselines on test-scale
+//! suite instances (the quick-feedback companion to the table2 binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lazymc_baselines::{brb_like, domega, pmc_like, GapSchedule};
+use lazymc_core::{Config, LazyMc};
+use lazymc_graph::suite::{by_name, Scale};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for name in ["collab", "social", "bio-dense"] {
+        let g = by_name(name).expect("suite instance").build(Scale::Test);
+        group.bench_with_input(BenchmarkId::new("lazymc", name), &g, |b, g| {
+            b.iter(|| black_box(LazyMc::new(Config::default()).solve(g).size()))
+        });
+        group.bench_with_input(BenchmarkId::new("pmc", name), &g, |b, g| {
+            b.iter(|| black_box(pmc_like(g).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("domega_bs", name), &g, |b, g| {
+            b.iter(|| black_box(domega(g, GapSchedule::Binary).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("brb", name), &g, |b, g| {
+            b.iter(|| black_box(brb_like(g).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

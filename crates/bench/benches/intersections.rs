@@ -1,0 +1,80 @@
+//! Criterion micro-benchmark: early-exit intersection kernels vs. their
+//! plain counterparts (the mechanism behind the paper's Fig. 5), across
+//! hit-rates and thresholds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lazymc_hopscotch::HopscotchSet;
+use lazymc_intersect::*;
+use std::hint::black_box;
+
+fn make_sets(n: usize, overlap_percent: usize) -> (Vec<u32>, HopscotchSet) {
+    // `a` = 0..n; `b` contains `overlap_percent`% of a's elements plus
+    // disjoint filler.
+    let a: Vec<u32> = (0..n as u32).collect();
+    let keep = n * overlap_percent / 100;
+    let b: HopscotchSet = (0..keep as u32)
+        .chain((n as u32)..(n as u32 + (n - keep) as u32))
+        .collect();
+    (a, b)
+}
+
+fn bench_intersections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    for &overlap in &[10usize, 50, 90] {
+        let (a, b) = make_sets(4096, overlap);
+        let theta = 2048usize; // demands a majority overlap
+
+        group.bench_with_input(
+            BenchmarkId::new("size_gt_bool/early", overlap),
+            &overlap,
+            |bench, _| {
+                bench.iter(|| {
+                    black_box(intersect_size_gt_bool(
+                        black_box(&a),
+                        black_box(&b),
+                        theta,
+                        true,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("size_gt_bool/no_second_exit", overlap),
+            &overlap,
+            |bench, _| {
+                bench.iter(|| {
+                    black_box(intersect_size_gt_bool(
+                        black_box(&a),
+                        black_box(&b),
+                        theta,
+                        false,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("size_plain", overlap),
+            &overlap,
+            |bench, _| {
+                bench.iter(|| black_box(intersect_size_plain(black_box(&a), black_box(&b))))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("size_gt_val/early", overlap),
+            &overlap,
+            |bench, _| {
+                bench.iter(|| {
+                    black_box(intersect_size_gt_val(black_box(&a), black_box(&b), theta))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersections);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion micro-benchmark: k-core decomposition variants — sequential
+//! bucket peeling, parallel round-based peeling, and the incumbent-floored
+//! variant the paper's Alg. 1 uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lazymc_graph::gen;
+use lazymc_order::{kcore_parallel, kcore_sequential, kcore_with_floor};
+use std::hint::black_box;
+
+fn bench_kcore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kcore");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    let g = gen::rmat(14, 12, 0.57, 0.19, 0.19, 8);
+    group.bench_function("sequential_rmat14", |b| {
+        b.iter(|| black_box(kcore_sequential(black_box(&g))))
+    });
+    group.bench_function("parallel_rmat14", |b| {
+        b.iter(|| black_box(kcore_parallel(black_box(&g))))
+    });
+    // A realistic floor: what a degree heuristic would report.
+    group.bench_function("floored_rmat14", |b| {
+        b.iter(|| black_box(kcore_with_floor(black_box(&g), 10)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kcore);
+criterion_main!(benches);

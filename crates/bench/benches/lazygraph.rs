@@ -1,0 +1,73 @@
+//! Criterion micro-benchmark: lazy-graph construction policies — what
+//! Fig. 4 measures end-to-end, isolated to the representation layer.
+//! "None" costs nothing up front; "Must" builds the zone of interest;
+//! "All" pays for the whole graph (the paper's 26×/OOM failure mode).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lazymc_graph::gen;
+use lazymc_lazygraph::{LazyGraph, PrePopulate};
+use lazymc_order::{coreness_degree_order, kcore_sequential};
+use std::hint::black_box;
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+
+fn bench_prepopulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lazygraph_prepopulate");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    let g = gen::planted_clique(20_000, 0.001, 20, 7);
+    let kc = kcore_sequential(&g);
+    let ord = coreness_degree_order(&g, &kc.coreness);
+    // A realistic incumbent: what the degree heuristic would know.
+    let incumbent = 18usize;
+
+    for (label, policy) in [
+        ("none", PrePopulate::None),
+        ("must", PrePopulate::Must),
+        ("all", PrePopulate::All),
+    ] {
+        group.bench_with_input(BenchmarkId::new("policy", label), &policy, |b, &policy| {
+            b.iter(|| {
+                let inc = Arc::new(AtomicUsize::new(incumbent));
+                let lg = LazyGraph::new(&g, &ord, &kc.coreness, inc);
+                lg.prepopulate(policy, incumbent);
+                black_box(lg.built_counts())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_after_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lazygraph_query");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    let g = gen::planted_clique(20_000, 0.001, 20, 7);
+    let kc = kcore_sequential(&g);
+    let ord = coreness_degree_order(&g, &kc.coreness);
+    // Queries touch only the deepest core — the realistic access pattern.
+    let hot: Vec<u32> = (0..g.num_vertices() as u32)
+        .filter(|&v| kc.coreness[ord.to_original(v) as usize] >= 18)
+        .collect();
+
+    group.bench_function("cold_lazy_then_hot_queries", |b| {
+        b.iter(|| {
+            let inc = Arc::new(AtomicUsize::new(18));
+            let lg = LazyGraph::new(&g, &ord, &kc.coreness, inc);
+            let mut total = 0usize;
+            for &v in &hot {
+                total += lg.sorted(v).len();
+                total += lg.hashed(v).len();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prepopulate, bench_query_after_policy);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion micro-benchmark: maximal clique enumeration throughput, with
+//! the early-exit pivot selection that motivated the paper's kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lazymc_graph::gen;
+use lazymc_mce::count_maximal_cliques;
+use std::hint::black_box;
+
+fn bench_mce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mce");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    let sparse = gen::gnp(2_000, 0.01, 3);
+    let community = gen::caveman(100, 8, 0.05, 5);
+    let skewed = gen::barabasi_albert(2_000, 4, 9);
+    for (name, g) in [
+        ("gnp2000", &sparse),
+        ("caveman800", &community),
+        ("ba2000", &skewed),
+    ] {
+        group.bench_with_input(BenchmarkId::new("count", name), &g, |b, g| {
+            b.iter(|| black_box(count_maximal_cliques(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mce);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Design-choice ablations beyond the paper's figures (DESIGN.md §6):
+//!
+//! * **filter rounds** — the paper fixes two induced-degree rounds; sweep
+//!   1–4 to show the knee;
+//! * **vertex order** — (coreness, degree) counting sort vs. the exact
+//!   peeling order (free for sequential solvers, paper §IV-F);
+//! * **subgraph reduction** — the MC-BRB-style in-subgraph reduction the
+//!   paper names as an easy extension (§V-A).
+//!
+//! Run: `cargo run -p lazymc-bench --release --bin ablation_design [--test]`
+
+use lazymc_bench::cli::{ratio, CommonArgs};
+use lazymc_bench::{time_stats, Table};
+use lazymc_core::{Config, LazyMc, OrderKind};
+
+fn main() {
+    let args = CommonArgs::parse();
+
+    println!("Ablation A: induced-degree filter rounds ({:?} scale)", args.scale);
+    let mut t1 = Table::new(&["graph", "rounds=1", "rounds=2*", "rounds=3", "rounds=4", "f3-kept@2"]);
+    for inst in args.instances() {
+        let g = inst.build(args.scale);
+        let mut cells = vec![inst.name.to_string()];
+        let mut base = None;
+        let mut omega = None;
+        let mut kept = 0u64;
+        for rounds in 1..=4usize {
+            let cfg = Config {
+                filter_rounds: rounds,
+                ..Config::default()
+            };
+            let (r, mean, _) = time_stats(args.reps, || LazyMc::new(cfg.clone()).solve(&g));
+            match omega {
+                None => omega = Some(r.size()),
+                Some(o) => assert_eq!(o, r.size(), "{}: rounds changed omega", inst.name),
+            }
+            if rounds == 2 {
+                base = Some(mean.as_secs_f64());
+                kept = r.metrics.retained_f3;
+            }
+            cells.push(format!("{:.3}", mean.as_secs_f64()));
+        }
+        // normalize against the default (rounds = 2)
+        let b = base.unwrap().max(1e-9);
+        for c in cells.iter_mut().skip(1) {
+            let v: f64 = c.parse().unwrap();
+            *c = ratio(v / b);
+        }
+        cells.push(kept.to_string());
+        t1.row(cells);
+    }
+    println!("{}", t1.render());
+
+    println!("Ablation B: vertex order and subgraph reduction ({:?} scale)", args.scale);
+    let mut t2 = Table::new(&["graph", "coreness-deg*", "peeling", "with-reduction"]);
+    for inst in args.instances() {
+        let g = inst.build(args.scale);
+        let run = |cfg: Config| {
+            let (r, mean, _) = time_stats(args.reps, || LazyMc::new(cfg.clone()).solve(&g));
+            (r.size(), mean.as_secs_f64())
+        };
+        let (omega, base) = run(Config::default());
+        let (o_peel, t_peel) = run(Config {
+            order: OrderKind::Peeling,
+            ..Config::default()
+        });
+        let (o_red, t_red) = run(Config {
+            subgraph_reduction: true,
+            ..Config::default()
+        });
+        assert_eq!(omega, o_peel, "{}: order changed omega", inst.name);
+        assert_eq!(omega, o_red, "{}: reduction changed omega", inst.name);
+        t2.row(vec![
+            inst.name.to_string(),
+            "1.00".into(),
+            ratio(t_peel / base.max(1e-9)),
+            ratio(t_red / base.max(1e-9)),
+        ]);
+    }
+    println!("{}", t2.render());
+    println!("(* = default configuration; values are relative runtime)");
+}

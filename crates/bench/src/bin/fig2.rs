@@ -1,0 +1,45 @@
+//! Fig. 2 — relative time spent in the key steps of LazyMC.
+//!
+//! Per instance: the percentage of end-to-end runtime in the degree-based
+//! heuristic, k-core + reordering, must-subgraph pre-population, the
+//! coreness-based heuristic, and systematic search.
+//!
+//! Run: `cargo run -p lazymc-bench --release --bin fig2 [--test]`
+
+use lazymc_bench::cli::CommonArgs;
+use lazymc_bench::Table;
+use lazymc_core::{Config, LazyMc};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let mut table = Table::new(&[
+        "graph",
+        "degree-heur",
+        "kcore+reorder",
+        "must-subgraph",
+        "core-heur",
+        "systematic",
+        "total[s]",
+    ]);
+    for inst in args.instances() {
+        let g = inst.build(args.scale);
+        let r = LazyMc::new(Config::default()).solve(&g);
+        let p = &r.metrics.phases;
+        let total = p.total().as_secs_f64().max(1e-12);
+        let pc = |d: std::time::Duration| format!("{:.1}%", d.as_secs_f64() / total * 100.0);
+        table.row(vec![
+            inst.name.to_string(),
+            pc(p.degree_heuristic),
+            pc(p.kcore + p.reorder),
+            pc(p.prepopulate),
+            pc(p.coreness_heuristic),
+            pc(p.systematic),
+            format!("{total:.3}"),
+        ]);
+    }
+    println!(
+        "Fig. 2: relative time per phase of LazyMC ({:?} scale)",
+        args.scale
+    );
+    println!("{}", table.render());
+}

@@ -1,0 +1,60 @@
+//! Fig. 4 — laziness ablation.
+//!
+//! Slowdown (×) of pre-populating **all** neighbourhoods, or **none**,
+//! relative to the default of pre-populating exactly the *must* subgraph.
+//! The paper finds "all" catastrophic (up to 26×) and "none" a wash
+//! (geomean 0.996).
+//!
+//! Run: `cargo run -p lazymc-bench --release --bin fig4 [--test]`
+
+use lazymc_bench::cli::{ratio, CommonArgs};
+use lazymc_bench::{time_stats, Table};
+use lazymc_core::{Config, LazyMc, PrePopulate};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let mut table = Table::new(&["graph", "all", "none", "baseline[s]"]);
+    let mut geo = [0f64, 0f64];
+    let mut count = 0usize;
+    for inst in args.instances() {
+        let g = inst.build(args.scale);
+        let run = |pp: PrePopulate| {
+            let cfg = Config {
+                prepopulate: pp,
+                ..Config::default()
+            };
+            let (r, mean, _) = time_stats(args.reps, || LazyMc::new(cfg.clone()).solve(&g));
+            (r.size(), mean.as_secs_f64())
+        };
+        let (omega, base) = run(PrePopulate::Must);
+        let (o_all, t_all) = run(PrePopulate::All);
+        let (o_none, t_none) = run(PrePopulate::None);
+        assert_eq!(omega, o_all, "{}: ablation changed omega", inst.name);
+        assert_eq!(omega, o_none, "{}: ablation changed omega", inst.name);
+        let s_all = t_all / base.max(1e-9);
+        let s_none = t_none / base.max(1e-9);
+        geo[0] += s_all.ln();
+        geo[1] += s_none.ln();
+        count += 1;
+        table.row(vec![
+            inst.name.to_string(),
+            ratio(s_all),
+            ratio(s_none),
+            format!("{base:.3}"),
+        ]);
+    }
+    if count > 0 {
+        table.row(vec![
+            "geomean".into(),
+            ratio((geo[0] / count as f64).exp()),
+            ratio((geo[1] / count as f64).exp()),
+            String::new(),
+        ]);
+    }
+    println!(
+        "Fig. 4: slowdown when pre-populating all / no neighbourhoods\n\
+         (baseline = must subgraph only), {:?} scale",
+        args.scale
+    );
+    println!("{}", table.render());
+}

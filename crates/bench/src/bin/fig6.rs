@@ -1,0 +1,64 @@
+//! Fig. 6 — impact of algorithmic choice (MC vs. k-VC).
+//!
+//! (a) normalized execution time across density thresholds φ for three
+//! gap-heavy instances; (b)/(c) total systematic work split into MC and
+//! k-VC solver time at each threshold. φ = 1 disables k-VC entirely;
+//! φ = 0 sends every detailed search to k-VC.
+//!
+//! Run: `cargo run -p lazymc-bench --release --bin fig6 [--test]`
+
+use lazymc_bench::cli::{ratio, CommonArgs};
+use lazymc_bench::{time_stats, Table};
+use lazymc_core::{Config, LazyMc};
+
+const THRESHOLDS: [f64; 6] = [0.1, 0.3, 0.5, 0.7, 0.9, 1.0];
+// social shows the dramatic k-VC-vs-MC gap; wiki the balanced crossover.
+// (orkut-like also works but its high-phi points cost minutes per rep.)
+const INSTANCES: [&str; 2] = ["social", "wiki"];
+
+fn main() {
+    let args = CommonArgs::parse();
+    let names: Vec<String> = match &args.instance {
+        Some(n) => vec![n.clone()],
+        None => INSTANCES.iter().map(|s| s.to_string()).collect(),
+    };
+    for name in names {
+        let inst = lazymc_graph::suite::by_name(&name).expect("instance");
+        let g = inst.build(args.scale);
+        let mut table = Table::new(&[
+            "phi",
+            "norm-time",
+            "MC-work[ms]",
+            "kVC-work[ms]",
+            "searched-MC",
+            "searched-kVC",
+        ]);
+        let mut baseline = None;
+        let mut omega0 = None;
+        for phi in THRESHOLDS {
+            let cfg = Config::default().with_density_threshold(phi);
+            let (r, mean, _) = time_stats(args.reps, || LazyMc::new(cfg.clone()).solve(&g));
+            match omega0 {
+                None => omega0 = Some(r.size()),
+                Some(o) => assert_eq!(o, r.size(), "phi changed omega on {name}"),
+            }
+            let secs = mean.as_secs_f64();
+            let base = *baseline.get_or_insert(secs);
+            let m = &r.metrics;
+            table.row(vec![
+                format!("{phi:.1}"),
+                ratio(secs / base.max(1e-9)),
+                format!("{:.2}", m.mc_time.as_secs_f64() * 1e3),
+                format!("{:.2}", m.kvc_time.as_secs_f64() * 1e3),
+                m.searched_mc.to_string(),
+                m.searched_kvc.to_string(),
+            ]);
+        }
+        println!(
+            "Fig. 6: algorithmic choice on {name} — execution time (normalized\n\
+             to phi={}) and MC/k-VC work per density threshold, {:?} scale",
+            THRESHOLDS[0], args.scale
+        );
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,85 @@
+//! Fig. 7 — parallel scaling efficiency and the adverse impact on work.
+//!
+//! For four instances and thread counts 1, 2, 4, … up to the machine: the
+//! per-phase time breakdown, the speedup over 1 thread, and the *work
+//! ratio* — total systematic-search work (thread-seconds) relative to the
+//! single-thread run. The paper's key observation: speedup grows, but so
+//! does total work, because concurrent searches forego incumbent updates.
+//!
+//! Run: `cargo run -p lazymc-bench --release --bin fig7 [--test]`
+
+use lazymc_bench::cli::{ratio, secs, CommonArgs};
+use lazymc_bench::{time_stats, Table};
+use lazymc_core::{Config, LazyMc};
+
+const INSTANCES: [&str; 4] = ["social", "wiki", "bio-dense", "planted-hard"];
+
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut t = 1;
+    let mut out = Vec::new();
+    while t <= max {
+        out.push(t);
+        t *= 2;
+    }
+    if *out.last().unwrap() != max {
+        out.push(max);
+    }
+    out
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let names: Vec<String> = match &args.instance {
+        Some(n) => vec![n.clone()],
+        None => INSTANCES.iter().map(|s| s.to_string()).collect(),
+    };
+    for name in names {
+        let inst = lazymc_graph::suite::by_name(&name).expect("instance");
+        let g = inst.build(args.scale);
+        let mut table = Table::new(&[
+            "threads",
+            "deg-heur[s]",
+            "preproc[s]",
+            "core-heur[s]",
+            "systematic[s]",
+            "total[s]",
+            "speedup",
+            "work",
+        ]);
+        let mut base_time = None;
+        let mut base_work = None;
+        let mut omega0 = None;
+        for t in thread_counts() {
+            let cfg = Config::default().with_threads(t);
+            let (r, mean, _) = time_stats(args.reps, || LazyMc::new(cfg.clone()).solve(&g));
+            match omega0 {
+                None => omega0 = Some(r.size()),
+                Some(o) => assert_eq!(o, r.size(), "threads changed omega on {name}"),
+            }
+            let p = &r.metrics.phases;
+            let total = mean.as_secs_f64();
+            let work = r.metrics.systematic_work().as_secs_f64();
+            let bt = *base_time.get_or_insert(total);
+            let bw = *base_work.get_or_insert(work.max(1e-9));
+            table.row(vec![
+                t.to_string(),
+                secs(p.degree_heuristic),
+                secs(p.kcore + p.reorder + p.prepopulate),
+                secs(p.coreness_heuristic),
+                secs(p.systematic),
+                format!("{total:.3}"),
+                ratio(bt / total.max(1e-9)),
+                ratio(work / bw),
+            ]);
+        }
+        println!(
+            "Fig. 7: parallel scaling on {name} — phase times, speedup vs 1 thread,\n\
+             and systematic work ratio, {:?} scale",
+            args.scale
+        );
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,42 @@
+//! Runs every experiment binary in sequence and tees the output into
+//! `EXPERIMENTS-results/` — the one-command reproduction entry point.
+//!
+//! Run: `cargo run -p lazymc-bench --release --bin repro_all [--test]`
+
+use std::fs;
+use std::process::Command;
+
+const BINARIES: [&str; 11] = [
+    "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "ablation_design",
+];
+
+fn main() {
+    let pass_through: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = std::path::Path::new("EXPERIMENTS-results");
+    fs::create_dir_all(out_dir).expect("create results dir");
+
+    // The experiment binaries live next to this one.
+    let mut exe_dir = std::env::current_exe().expect("own path");
+    exe_dir.pop();
+
+    for bin in BINARIES {
+        println!("=== {bin} ===");
+        let output = Command::new(exe_dir.join(bin))
+            .args(&pass_through)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        let text = String::from_utf8_lossy(&output.stdout);
+        print!("{text}");
+        if !output.status.success() {
+            eprintln!(
+                "{bin} FAILED: {}",
+                String::from_utf8_lossy(&output.stderr)
+            );
+            std::process::exit(1);
+        }
+        fs::write(out_dir.join(format!("{bin}.txt")), text.as_bytes())
+            .expect("write result file");
+    }
+    println!("All experiment outputs written to {}", out_dir.display());
+}

@@ -1,0 +1,186 @@
+//! Table II — end-to-end comparison: LazyMC vs. PMC-like, dOmega-LS/BS and
+//! MC-BRB-like, with per-instance speedups and the median-speedup summary.
+//!
+//! Comparators run in *subprocesses* so a timeout can actually reclaim the
+//! CPU (the paper uses a 30-minute budget and reports "T.O."; the default
+//! budget here is 120 s standard / 10 s test, override with
+//! `--timeout <secs>`).
+//!
+//! Run: `cargo run -p lazymc-bench --release --bin table2 [--test]`
+//!
+//! Internal: `table2 --solo <alg> <instance> [--test]` runs one solver and
+//! prints `omega <n>` / `secs <t>` on stdout (used by the parent process).
+
+use lazymc_bench::cli::{ratio, secs, CommonArgs};
+use lazymc_bench::{median, time_stats, Table};
+use lazymc_core::{Config, LazyMc};
+use lazymc_graph::suite::Scale;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const ALGS: [&str; 4] = ["pmc", "domega-ls", "domega-bs", "brb"];
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(pos) = argv.iter().position(|a| a == "--solo") {
+        solo(&argv[pos + 1], &argv[pos + 2]);
+        return;
+    }
+    parent();
+}
+
+/// Child mode: run one comparator on one instance, print machine-readable
+/// results, exit.
+fn solo(alg: &str, instance: &str) {
+    let args = CommonArgs::parse();
+    let inst = lazymc_graph::suite::by_name(instance).expect("unknown instance");
+    let g = inst.build(args.scale);
+    let t = Instant::now();
+    let clique = match alg {
+        "pmc" => lazymc_baselines::pmc_like(&g),
+        "domega-ls" => lazymc_baselines::domega(&g, lazymc_baselines::GapSchedule::Linear),
+        "domega-bs" => lazymc_baselines::domega(&g, lazymc_baselines::GapSchedule::Binary),
+        "brb" => lazymc_baselines::brb_like(&g),
+        other => panic!("unknown algorithm {other:?}"),
+    };
+    let elapsed = t.elapsed();
+    assert!(g.is_clique(&clique), "{alg} returned a non-clique");
+    println!("omega {}", clique.len());
+    println!("secs {}", elapsed.as_secs_f64());
+}
+
+enum SoloOutcome {
+    Done { omega: usize, secs: f64 },
+    Timeout,
+}
+
+/// Runs `table2 --solo` in a subprocess with a kill-on-timeout budget.
+fn run_solo(alg: &str, instance: &str, scale: Scale, budget: Duration) -> SoloOutcome {
+    let exe = std::env::current_exe().expect("own path");
+    let mut cmd = Command::new(exe);
+    cmd.arg("--solo").arg(alg).arg(instance);
+    if scale == Scale::Test {
+        cmd.arg("--test");
+    }
+    cmd.stdout(Stdio::piped()).stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn solo");
+    let start = Instant::now();
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                if !status.success() {
+                    return SoloOutcome::Timeout; // treat crashes as failures
+                }
+                let mut out = String::new();
+                use std::io::Read;
+                child
+                    .stdout
+                    .take()
+                    .expect("stdout piped")
+                    .read_to_string(&mut out)
+                    .expect("read solo output");
+                let mut omega = 0usize;
+                let mut secs = 0f64;
+                for line in out.lines() {
+                    if let Some(v) = line.strip_prefix("omega ") {
+                        omega = v.trim().parse().unwrap_or(0);
+                    }
+                    if let Some(v) = line.strip_prefix("secs ") {
+                        secs = v.trim().parse().unwrap_or(0.0);
+                    }
+                }
+                return SoloOutcome::Done { omega, secs };
+            }
+            None => {
+                if start.elapsed() > budget {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return SoloOutcome::Timeout;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+fn parent() {
+    let args = CommonArgs::parse();
+    let argv: Vec<String> = std::env::args().collect();
+    let budget = argv
+        .iter()
+        .position(|a| a == "--timeout")
+        .and_then(|i| argv.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Duration::from_secs)
+        .unwrap_or(if args.scale == Scale::Test {
+            Duration::from_secs(10)
+        } else {
+            Duration::from_secs(120)
+        });
+
+    let mut table = Table::new(&[
+        "graph", "PMC", "sp", "dOm-LS", "sp", "dOm-BS", "sp", "MC-BRB", "sp", "LazyMC", "dev%",
+        "omega",
+    ]);
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); ALGS.len()];
+
+    for inst in args.instances() {
+        let g = inst.build(args.scale);
+        // LazyMC measured in-process with repetitions (it is the system
+        // under test; the paper reports its deviation too).
+        let (result, lazy_mean, dev) =
+            time_stats(args.reps, || LazyMc::new(Config::default()).solve(&g));
+        let omega = result.size();
+        let lazy_secs = lazy_mean.as_secs_f64();
+
+        let mut cells = vec![inst.name.to_string()];
+        for (ai, alg) in ALGS.iter().enumerate() {
+            match run_solo(alg, inst.name, args.scale, budget) {
+                SoloOutcome::Done {
+                    omega: base_omega,
+                    secs: base_secs,
+                } => {
+                    assert_eq!(
+                        base_omega, omega,
+                        "{alg} disagrees with LazyMC on {}",
+                        inst.name
+                    );
+                    let sp = base_secs / lazy_secs.max(1e-9);
+                    speedups[ai].push(sp);
+                    cells.push(format!("{base_secs:.3}"));
+                    cells.push(ratio(sp));
+                }
+                SoloOutcome::Timeout => {
+                    cells.push("T.O.".into());
+                    cells.push("x".into());
+                }
+            }
+        }
+        cells.push(secs(lazy_mean));
+        cells.push(format!("{dev:.1}"));
+        cells.push(omega.to_string());
+        table.row(cells);
+    }
+
+    // Median-speedup summary row (the paper's bottom line).
+    let mut med = vec!["median".to_string()];
+    for s in &speedups {
+        med.push(String::new());
+        med.push(if s.is_empty() {
+            "x".into()
+        } else {
+            ratio(median(s))
+        });
+    }
+    med.push(String::new());
+    med.push(String::new());
+    med.push(String::new());
+    table.row(med);
+
+    println!(
+        "Table II: end-to-end runtime (seconds) and LazyMC speedups ({:?} scale, {}s timeout)",
+        args.scale,
+        budget.as_secs()
+    );
+    println!("{}", table.render());
+}

@@ -1,0 +1,79 @@
+//! Command-line conventions shared by all experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--test` — run on [`Scale::Test`] instances (seconds, for CI);
+//! * `--instance <name>` — restrict to one suite instance;
+//! * `--reps <n>` — repetitions for timed measurements (default 3).
+
+use lazymc_graph::suite::{self, Scale, SuiteInstance};
+
+/// Parsed common options.
+pub struct CommonArgs {
+    /// Selected scale.
+    pub scale: Scale,
+    /// Instance filter, if any.
+    pub instance: Option<String>,
+    /// Timing repetitions.
+    pub reps: usize,
+}
+
+impl CommonArgs {
+    /// Parses `std::env::args`, ignoring flags it does not know.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = Scale::Standard;
+        let mut instance = None;
+        let mut reps = 3usize;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--test" => scale = Scale::Test,
+                "--instance" => {
+                    i += 1;
+                    instance = args.get(i).cloned();
+                }
+                "--reps" => {
+                    i += 1;
+                    reps = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(reps)
+                        .max(1);
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        CommonArgs {
+            scale,
+            instance,
+            reps,
+        }
+    }
+
+    /// The suite instances selected by the filter.
+    pub fn instances(&self) -> Vec<SuiteInstance> {
+        match &self.instance {
+            Some(name) => suite::by_name(name)
+                .map(|i| vec![i])
+                .unwrap_or_else(|| panic!("unknown suite instance {name:?}")),
+            None => suite::all(),
+        }
+    }
+}
+
+/// Formats a duration in seconds with 3 decimals, like the paper's tables.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formats a ratio with 2 decimals.
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(r: f64) -> String {
+    format!("{:.1}%", r * 100.0)
+}

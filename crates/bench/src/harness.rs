@@ -1,0 +1,146 @@
+//! Shared plumbing for the experiment binaries: timing helpers and a plain
+//! text table renderer matching the paper's layout.
+
+use std::time::{Duration, Instant};
+
+/// Times one execution of `f`, returning `(result, elapsed)`.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed())
+}
+
+/// Runs `f` `reps` times; returns `(last result, mean, stddev as % of mean)`
+/// — the paper's Table II reports exactly that deviation measure.
+pub fn time_stats<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration, f64) {
+    assert!(reps >= 1);
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let (r, d) = time_once(&mut f);
+        times.push(d.as_secs_f64());
+        last = Some(r);
+    }
+    let mean = times.iter().sum::<f64>() / reps as f64;
+    let var = times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / reps as f64;
+    let dev_pct = if mean > 0.0 {
+        var.sqrt() / mean * 100.0
+    } else {
+        0.0
+    };
+    (
+        last.expect("reps >= 1"),
+        Duration::from_secs_f64(mean),
+        dev_pct,
+    )
+}
+
+/// Median of a slice (NaNs not expected); returns 0 for empty input.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Minimal fixed-width text table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with per-column padding.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>w$}", c, w = width[i]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "23".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].contains("long-name"));
+    }
+
+    #[test]
+    fn time_stats_shape() {
+        let (r, mean, dev) = time_stats(3, || 42);
+        assert_eq!(r, 42);
+        assert!(mean.as_nanos() < 1_000_000);
+        assert!(dev >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_bad_arity() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+}

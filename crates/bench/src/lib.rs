@@ -1,0 +1,10 @@
+//! Experiment harness for the LazyMC reproduction.
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5) plus shared
+//! plumbing: suite loading, timing, and text-table rendering.
+
+pub mod harness;
+
+pub use harness::{median, time_once, time_stats, Table};
+
+pub mod cli;

@@ -1,0 +1,294 @@
+//! Subcommand implementations.
+
+use crate::args::Parsed;
+use lazymc_core::{Config, LazyMc, PrePopulate};
+use lazymc_graph::{connected_components, io, suite, triangle_count, CsrGraph, GraphStats};
+use lazymc_order::kcore_sequential;
+use std::time::{Duration, Instant};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+lazymc — work-avoiding maximum clique search
+
+USAGE:
+  lazymc solve <file> [--threads N] [--budget SECS] [--phi F] [--top-k K]
+               [--filter-rounds R] [--no-early-exit] [--no-second-exit]
+               [--prepopulate none|must|all] [--reduction] [--quiet]
+  lazymc stats <file>
+  lazymc mce <file> [--histogram]
+  lazymc compare <file> [--skip ALG[,ALG...]]   (algs: pmc, domega-ls, domega-bs, brb)
+  lazymc gen <instance> <out-file> [--test]     (see `lazymc gen list`)
+  lazymc help
+
+Input formats by extension: .clq/.col/.dimacs (DIMACS), .mtx (MatrixMarket),
+anything else is read as a whitespace edge list.
+";
+
+fn load(path: &str) -> Result<CsrGraph, String> {
+    io::read_path(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("error: {msg}");
+    1
+}
+
+/// `lazymc solve`
+pub fn solve(argv: &[String]) -> i32 {
+    let p = match Parsed::parse(argv) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let Some(path) = p.positional(0) else {
+        return fail("solve needs a graph file");
+    };
+    let mut cfg = Config::default();
+    macro_rules! set {
+        ($field:ident, $flag:literal) => {
+            match p.value($flag) {
+                Ok(Some(v)) => cfg.$field = v,
+                Ok(None) => {}
+                Err(e) => return fail(&e),
+            }
+        };
+    }
+    set!(threads, "--threads");
+    set!(density_threshold, "--phi");
+    set!(top_k, "--top-k");
+    set!(filter_rounds, "--filter-rounds");
+    match p.value::<f64>("--budget") {
+        Ok(Some(secs)) => cfg.time_budget = Some(Duration::from_secs_f64(secs)),
+        Ok(None) => {}
+        Err(e) => return fail(&e),
+    }
+    if p.has("--no-early-exit") {
+        cfg.early_exit = false;
+        cfg.second_exit = false;
+    }
+    if p.has("--no-second-exit") {
+        cfg.second_exit = false;
+    }
+    if p.has("--reduction") {
+        cfg.subgraph_reduction = true;
+    }
+    match p.raw("--prepopulate") {
+        Some("none") => cfg.prepopulate = PrePopulate::None,
+        Some("must") => cfg.prepopulate = PrePopulate::Must,
+        Some("all") => cfg.prepopulate = PrePopulate::All,
+        Some(other) => return fail(&format!("unknown prepopulate policy {other:?}")),
+        None => {}
+    }
+
+    let g = match load(path) {
+        Ok(g) => g,
+        Err(e) => return fail(&e),
+    };
+    let t = Instant::now();
+    let r = LazyMc::new(cfg).solve(&g);
+    let elapsed = t.elapsed();
+
+    if r.is_exact() {
+        println!("omega {}", r.size());
+    } else {
+        println!("omega >= {} (budget expired before the proof finished)", r.size());
+    }
+    let mut witness = r.vertices().to_vec();
+    witness.sort_unstable();
+    println!("clique {witness:?}");
+    if !p.has("--quiet") {
+        let m = &r.metrics;
+        println!("time   {elapsed:?}");
+        println!(
+            "phases degree-heur {:?} | kcore {:?} | reorder {:?} | prepopulate {:?} | core-heur {:?} | systematic {:?}",
+            m.phases.degree_heuristic,
+            m.phases.kcore,
+            m.phases.reorder,
+            m.phases.prepopulate,
+            m.phases.coreness_heuristic,
+            m.phases.systematic,
+        );
+        println!(
+            "search heuristics {}→{} | searched {} MC + {} k-VC of {} neighbourhoods considered",
+            m.omega_degree_heuristic,
+            m.omega_coreness_heuristic,
+            m.searched_mc,
+            m.searched_kvc,
+            m.retained_coreness,
+        );
+    }
+    0
+}
+
+/// `lazymc stats`
+pub fn stats(argv: &[String]) -> i32 {
+    let p = match Parsed::parse(argv) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let Some(path) = p.positional(0) else {
+        return fail("stats needs a graph file");
+    };
+    let g = match load(path) {
+        Ok(g) => g,
+        Err(e) => return fail(&e),
+    };
+    let s = GraphStats::of(&g);
+    let kc = kcore_sequential(&g);
+    let (components, _) = connected_components(&g);
+    println!("vertices    {}", s.n);
+    println!("edges       {}", s.m);
+    println!("max degree  {}", s.max_degree);
+    println!("avg degree  {:.2}", s.avg_degree);
+    println!("density     {:.6}", s.density);
+    println!("isolated    {}", s.isolated);
+    println!("components  {components}");
+    println!("degeneracy  {}", kc.degeneracy);
+    println!("omega <=    {}", kc.omega_upper_bound());
+    println!("triangles   {}", triangle_count(&g));
+    0
+}
+
+/// `lazymc mce`
+pub fn mce(argv: &[String]) -> i32 {
+    let p = match Parsed::parse(argv) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let Some(path) = p.positional(0) else {
+        return fail("mce needs a graph file");
+    };
+    let g = match load(path) {
+        Ok(g) => g,
+        Err(e) => return fail(&e),
+    };
+    let t = Instant::now();
+    if p.has("--histogram") {
+        let mut hist: Vec<u64> = Vec::new();
+        let stats = lazymc_mce::for_each_maximal_clique(&g, |c| {
+            if hist.len() <= c.len() {
+                hist.resize(c.len() + 1, 0);
+            }
+            hist[c.len()] += 1;
+        });
+        println!("maximal cliques {}", stats.cliques);
+        for (size, count) in hist.iter().enumerate().filter(|(_, &c)| c > 0) {
+            println!("  size {size:>3}: {count}");
+        }
+    } else {
+        println!("maximal cliques {}", lazymc_mce::count_maximal_cliques(&g));
+    }
+    println!("time {:?}", t.elapsed());
+    0
+}
+
+/// `lazymc compare`
+pub fn compare(argv: &[String]) -> i32 {
+    use lazymc_baselines as bl;
+    let p = match Parsed::parse(argv) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let Some(path) = p.positional(0) else {
+        return fail("compare needs a graph file");
+    };
+    let g = match load(path) {
+        Ok(g) => g,
+        Err(e) => return fail(&e),
+    };
+    let skip: Vec<&str> = p.raw("--skip").map(|s| s.split(',').collect()).unwrap_or_default();
+
+    let t = Instant::now();
+    let lazy = LazyMc::new(Config::default()).solve(&g);
+    let lazy_time = t.elapsed();
+    println!(
+        "{:<10} omega {:<5} time {:>12?}",
+        "lazymc",
+        lazy.size(),
+        lazy_time
+    );
+
+    let runs: Vec<(&str, Box<dyn Fn(&CsrGraph) -> Vec<u32>>)> = vec![
+        ("pmc", Box::new(bl::pmc_like)),
+        (
+            "domega-ls",
+            Box::new(|g: &CsrGraph| bl::domega(g, bl::GapSchedule::Linear)),
+        ),
+        (
+            "domega-bs",
+            Box::new(|g: &CsrGraph| bl::domega(g, bl::GapSchedule::Binary)),
+        ),
+        ("brb", Box::new(bl::brb_like)),
+    ];
+    for (name, f) in runs {
+        if skip.contains(&name) {
+            println!("{name:<10} skipped");
+            continue;
+        }
+        let t = Instant::now();
+        let c = f(&g);
+        let elapsed = t.elapsed();
+        let verdict = if c.len() == lazy.size() { "" } else { "  << DISAGREES" };
+        println!(
+            "{:<10} omega {:<5} time {:>12?}  speedup {:>6.2}x{verdict}",
+            name,
+            c.len(),
+            elapsed,
+            elapsed.as_secs_f64() / lazy_time.as_secs_f64().max(1e-9),
+        );
+        if c.len() != lazy.size() {
+            return fail("solver disagreement");
+        }
+    }
+    0
+}
+
+/// `lazymc gen`
+pub fn gen(argv: &[String]) -> i32 {
+    let p = match Parsed::parse(argv) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let Some(name) = p.positional(0) else {
+        return fail("gen needs an instance name (or `list`)");
+    };
+    if name == "list" {
+        for inst in suite::all() {
+            println!("{:<14} mirrors {}", inst.name, inst.mirrors);
+        }
+        return 0;
+    }
+    let Some(out) = p.positional(1) else {
+        return fail("gen needs an output file");
+    };
+    let Some(inst) = suite::by_name(name) else {
+        return fail(&format!(
+            "unknown instance {name:?} (try `lazymc gen list`)"
+        ));
+    };
+    let scale = if p.has("--test") {
+        suite::Scale::Test
+    } else {
+        suite::Scale::Standard
+    };
+    let g = inst.build(scale);
+    let file = match std::fs::File::create(out) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("cannot create {out}: {e}")),
+    };
+    let writer = std::io::BufWriter::new(file);
+    let result = if out.ends_with(".clq") || out.ends_with(".col") || out.ends_with(".dimacs") {
+        io::write_dimacs(&g, writer)
+    } else {
+        io::write_edge_list(&g, writer)
+    };
+    if let Err(e) = result {
+        return fail(&format!("write failed: {e}"));
+    }
+    println!(
+        "wrote {} ({} vertices, {} edges) to {out}",
+        inst.name,
+        g.num_vertices(),
+        g.num_edges()
+    );
+    0
+}

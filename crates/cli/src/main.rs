@@ -1,0 +1,117 @@
+//! `lazymc` — command-line maximum clique solver.
+//!
+//! ```text
+//! lazymc solve <file> [--threads N] [--budget SECS] [--phi F]
+//!                     [--no-early-exit] [--no-second-exit]
+//!                     [--prepopulate none|must|all] [--quiet]
+//! lazymc stats <file>
+//! lazymc mce <file> [--histogram]
+//! lazymc compare <file> [--skip ALG[,ALG…]]
+//! lazymc gen <instance> <out-file> [--test]
+//! lazymc help
+//! ```
+//!
+//! Input files may be whitespace edge lists, DIMACS `.clq`/`.col`, or
+//! MatrixMarket `.mtx` (chosen by extension).
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = run(&argv);
+    std::process::exit(code);
+}
+
+fn run(argv: &[String]) -> i32 {
+    match argv.first().map(String::as_str) {
+        Some("solve") => commands::solve(&argv[1..]),
+        Some("stats") => commands::stats(&argv[1..]),
+        Some("mce") => commands::mce(&argv[1..]),
+        Some("compare") => commands::compare(&argv[1..]),
+        Some("gen") => commands::gen(&argv[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", commands::USAGE);
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n\n{}", commands::USAGE);
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_succeeds() {
+        assert_eq!(run(&["help".into()]), 0);
+        assert_eq!(run(&[]), 0);
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert_eq!(run(&["frobnicate".into()]), 2);
+    }
+
+    #[test]
+    fn missing_file_fails_cleanly() {
+        assert_ne!(run(&["solve".into(), "/nonexistent/graph.clq".into()]), 0);
+        assert_ne!(run(&["stats".into(), "/nonexistent/graph.clq".into()]), 0);
+    }
+
+    #[test]
+    fn end_to_end_gen_stats_solve_mce_compare() {
+        let dir = std::env::temp_dir().join("lazymc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("collab.clq");
+        let path_s = path.to_str().unwrap().to_string();
+
+        assert_eq!(
+            run(&["gen".into(), "collab".into(), path_s.clone(), "--test".into()]),
+            0
+        );
+        assert_eq!(run(&["stats".into(), path_s.clone()]), 0);
+        assert_eq!(run(&["solve".into(), path_s.clone(), "--quiet".into()]), 0);
+        assert_eq!(
+            run(&[
+                "solve".into(),
+                path_s.clone(),
+                "--threads".into(),
+                "1".into(),
+                "--phi".into(),
+                "0.2".into(),
+                "--no-second-exit".into(),
+                "--prepopulate".into(),
+                "none".into(),
+            ]),
+            0
+        );
+        assert_eq!(run(&["mce".into(), path_s.clone(), "--histogram".into()]), 0);
+        assert_eq!(
+            run(&[
+                "compare".into(),
+                path_s.clone(),
+                "--skip".into(),
+                "domega-ls".into()
+            ]),
+            0
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn gen_rejects_unknown_instance() {
+        assert_ne!(run(&["gen".into(), "nope".into(), "/tmp/x.clq".into()]), 0);
+    }
+
+    #[test]
+    fn solve_rejects_bad_flag_values() {
+        assert_ne!(
+            run(&["solve".into(), "x.clq".into(), "--threads".into(), "banana".into()]),
+            0
+        );
+    }
+}

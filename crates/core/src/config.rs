@@ -1,0 +1,141 @@
+//! Solver configuration.
+//!
+//! Every knob the paper ablates is a field here, so the experiment harness
+//! can regenerate Figs. 4–7 by toggling a `Config` rather than recompiling.
+
+pub use lazymc_lazygraph::PrePopulate;
+
+/// Which vertex relabelling the solver uses (paper §IV-F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderKind {
+    /// Sort by (coreness asc, degree asc) — the paper's parallel-friendly
+    /// order (no unique peeling order exists under parallel k-core).
+    #[default]
+    CorenessDegree,
+    /// The Matula–Beck peeling order itself, which sequential solvers get
+    /// for free and which bounds every right-neighbourhood by coreness.
+    /// Forces an exact sequential k-core (the floor optimization does not
+    /// produce a peel order).
+    Peeling,
+}
+
+/// Configuration of a [`crate::LazyMc`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Worker threads; `0` uses the process-global rayon pool as-is.
+    pub threads: usize,
+    /// How many of the highest-degree vertices the degree-based heuristic
+    /// search expands (paper Alg. 5, "top-K").
+    pub top_k: usize,
+    /// Density threshold φ for algorithmic choice (paper Alg. 8 line 14):
+    /// filtered subgraphs denser than this go to the k-VC solver, the rest
+    /// to direct MC search. Paper §V-B uses 0.5; Fig. 6 sweeps it.
+    pub density_threshold: f64,
+    /// Enable the early-exit intersection kernels (Fig. 5 ablation: when
+    /// false, plain full intersections are used everywhere).
+    pub early_exit: bool,
+    /// Enable the *second* early exit of `intersect-size-gt-bool`
+    /// (Fig. 5 ablation).
+    pub second_exit: bool,
+    /// Lazy-graph pre-population policy (Fig. 4 ablation).
+    pub prepopulate: PrePopulate,
+    /// Probe one low-coreness vertex per degeneracy level before the main
+    /// high-to-low sweep (paper Alg. 7's first phase; helps gap-heavy
+    /// graphs establish a good incumbent early).
+    pub low_core_probes: bool,
+    /// Compute coreness with the incumbent-size floor (the paper's
+    /// `KCore(G, |C*|)`), skipping exact coreness for vertices that the
+    /// degree-heuristic incumbent already rules out.
+    pub kcore_floor: bool,
+    /// Rounds of induced-degree filtering in `NeighborSearch` (≥ 1). The
+    /// paper finds two sufficient ("the filtering could be repeated until
+    /// no further vertices are removed"); this knob lets the ablation
+    /// harness test 1..4.
+    pub filter_rounds: usize,
+    /// Vertex relabelling strategy.
+    pub order: OrderKind,
+    /// MC-BRB-style iterated degree reduction on the extracted subgraph
+    /// before dispatching a detailed search — the extension the paper
+    /// names in §V-A ("these rules could be easily added to LazyMC").
+    /// Off by default to stay faithful to the evaluated system.
+    pub subgraph_reduction: bool,
+    /// Optional wall-clock budget. When it expires the solver stops
+    /// starting new neighbourhood searches and returns the best clique
+    /// found so far, flagged as inexact (the paper's 30-minute timeout
+    /// discipline, usable in-process).
+    pub time_budget: Option<std::time::Duration>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            threads: 0,
+            top_k: 32,
+            density_threshold: 0.5,
+            early_exit: true,
+            second_exit: true,
+            prepopulate: PrePopulate::Must,
+            low_core_probes: true,
+            kcore_floor: true,
+            filter_rounds: 2,
+            order: OrderKind::CorenessDegree,
+            subgraph_reduction: false,
+            time_budget: None,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration with every work-avoidance feature disabled — the
+    /// "naive eager" end of the ablation spectrum.
+    pub fn no_work_avoidance() -> Self {
+        Config {
+            early_exit: false,
+            second_exit: false,
+            prepopulate: PrePopulate::All,
+            low_core_probes: false,
+            kcore_floor: false,
+            ..Config::default()
+        }
+    }
+
+    /// Sequential configuration (1 thread).
+    pub fn sequential() -> Self {
+        Config {
+            threads: 1,
+            ..Config::default()
+        }
+    }
+
+    /// Sets the thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the density threshold (builder style).
+    pub fn with_density_threshold(mut self, phi: f64) -> Self {
+        self.density_threshold = phi;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = Config::default();
+        assert!(c.early_exit && c.second_exit);
+        assert_eq!(c.density_threshold, 0.5);
+        assert_eq!(c.prepopulate, PrePopulate::Must);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = Config::sequential().with_density_threshold(0.1).with_threads(4);
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.density_threshold, 0.1);
+    }
+}

@@ -1,0 +1,123 @@
+//! The shared incumbent clique.
+//!
+//! Every phase of LazyMC reads the incumbent size on its hot path (filter
+//! thresholds, θ values, zone-of-interest tests), so the size lives in an
+//! `AtomicUsize` read with `Relaxed` loads, while the witness clique itself
+//! sits behind a mutex touched only on (rare) improvements. Updates CAS the
+//! size upward first, so losing threads never take the lock.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared incumbent: the largest clique observed so far (original ids).
+pub struct Incumbent {
+    size: Arc<AtomicUsize>,
+    clique: Mutex<Vec<u32>>,
+}
+
+impl Incumbent {
+    /// Empty incumbent.
+    pub fn new() -> Self {
+        Incumbent {
+            size: Arc::new(AtomicUsize::new(0)),
+            clique: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The shared size cell (handed to the lazy graph for filtering).
+    pub fn size_cell(&self) -> Arc<AtomicUsize> {
+        self.size.clone()
+    }
+
+    /// Current incumbent size.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size.load(Ordering::Relaxed)
+    }
+
+    /// Offers a candidate clique; returns `true` if it became the new
+    /// incumbent. Thread-safe and monotone: the recorded clique only grows.
+    pub fn offer(&self, candidate: &[u32]) -> bool {
+        let mut cur = self.size.load(Ordering::Relaxed);
+        loop {
+            if candidate.len() <= cur {
+                return false;
+            }
+            match self.size.compare_exchange_weak(
+                cur,
+                candidate.len(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let mut guard = self.clique.lock();
+                    // A larger offer may have raced past between our CAS and
+                    // the lock; never shrink the witness.
+                    if candidate.len() > guard.len() {
+                        guard.clear();
+                        guard.extend_from_slice(candidate);
+                    }
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Snapshot of the witness clique.
+    pub fn clique(&self) -> Vec<u32> {
+        self.clique.lock().clone()
+    }
+}
+
+impl Default for Incumbent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offers_are_monotone() {
+        let inc = Incumbent::new();
+        assert!(inc.offer(&[1, 2, 3]));
+        assert_eq!(inc.size(), 3);
+        assert!(!inc.offer(&[4, 5]));
+        assert_eq!(inc.size(), 3);
+        assert_eq!(inc.clique(), vec![1, 2, 3]);
+        assert!(inc.offer(&[1, 2, 3, 4]));
+        assert_eq!(inc.size(), 4);
+    }
+
+    #[test]
+    fn equal_size_does_not_replace() {
+        let inc = Incumbent::new();
+        inc.offer(&[1, 2]);
+        assert!(!inc.offer(&[3, 4]));
+        assert_eq!(inc.clique(), vec![1, 2]);
+    }
+
+    #[test]
+    fn concurrent_offers_keep_maximum() {
+        use rayon::prelude::*;
+        let inc = Incumbent::new();
+        (1usize..200).into_par_iter().for_each(|n| {
+            let cand: Vec<u32> = (0..n as u32).collect();
+            inc.offer(&cand);
+        });
+        assert_eq!(inc.size(), 199);
+        assert_eq!(inc.clique().len(), 199);
+    }
+
+    #[test]
+    fn size_cell_is_shared() {
+        let inc = Incumbent::new();
+        let cell = inc.size_cell();
+        inc.offer(&[9, 8, 7]);
+        assert_eq!(cell.load(Ordering::Relaxed), 3);
+    }
+}

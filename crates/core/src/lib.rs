@@ -1,0 +1,361 @@
+//! LazyMC — work-avoiding parallel maximum clique search.
+//!
+//! The paper's primary contribution (Algorithm 1), assembled from the
+//! workspace substrates:
+//!
+//! ```text
+//! LazyMC(G):
+//!   1. degree-based heuristic search           (heuristic::degree_heuristic)
+//!   2. coreness with incumbent floor           (lazymc_order::kcore_with_floor)
+//!   3. (coreness, degree) sort order           (lazymc_order::coreness_degree_order)
+//!   4. lazy filtered hashed relabelled graph   (lazymc_lazygraph::LazyGraph)
+//!   5. coreness-based heuristic search         (heuristic::coreness_heuristic)
+//!   6. systematic search                       (systematic::systematic_search)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use lazymc_core::{Config, LazyMc};
+//! use lazymc_graph::gen;
+//!
+//! let g = gen::planted_clique(300, 0.03, 11, 7);
+//! let result = LazyMc::new(Config::default()).solve(&g);
+//! assert_eq!(result.size(), 11);
+//! assert!(g.is_clique(result.vertices()));
+//! ```
+
+pub mod config;
+pub mod heuristic;
+pub mod incumbent;
+pub mod metrics;
+pub mod systematic;
+pub mod zone;
+
+pub use config::{Config, OrderKind, PrePopulate};
+pub use incumbent::Incumbent;
+pub use metrics::{MetricsSnapshot, PhaseTimes};
+pub use zone::{zone_analysis, ZoneStats};
+
+use lazymc_graph::{CsrGraph, VertexId};
+use lazymc_lazygraph::LazyGraph;
+use lazymc_order::relabel::level_ranges;
+use lazymc_order::{coreness_degree_order, kcore_sequential, kcore_with_floor, VertexOrder};
+use std::time::Instant;
+use systematic::Deadline;
+
+/// Result of a [`LazyMc::solve`] run.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    clique: Vec<VertexId>,
+    exact: bool,
+    /// Everything measured during the run.
+    pub metrics: MetricsSnapshot,
+}
+
+impl SolveResult {
+    /// ω(G) when [`SolveResult::is_exact`]; otherwise the best clique size
+    /// found before the time budget expired (a lower bound on ω).
+    pub fn size(&self) -> usize {
+        self.clique.len()
+    }
+
+    /// Whether the search completed (always true without a time budget).
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// The witness clique, in original vertex ids.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.clique
+    }
+
+    /// Consumes the result, yielding the witness clique.
+    pub fn into_vertices(self) -> Vec<VertexId> {
+        self.clique
+    }
+}
+
+/// The LazyMC solver.
+#[derive(Debug, Clone, Default)]
+pub struct LazyMc {
+    config: Config,
+}
+
+impl LazyMc {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: Config) -> Self {
+        LazyMc { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Finds a maximum clique of `g`. The returned witness is in original
+    /// vertex ids; its size is deterministic, its identity need not be.
+    pub fn solve(&self, g: &CsrGraph) -> SolveResult {
+        if self.config.threads > 0 {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(self.config.threads)
+                .build()
+                .expect("failed to build rayon pool");
+            pool.install(|| self.solve_inner(g))
+        } else {
+            self.solve_inner(g)
+        }
+    }
+
+    fn solve_inner(&self, g: &CsrGraph) -> SolveResult {
+        let cfg = &self.config;
+        let mut phases = PhaseTimes::default();
+        let inc = Incumbent::new();
+        let counters = metrics::Counters::default();
+
+        if g.num_vertices() == 0 {
+            return SolveResult {
+                clique: Vec::new(),
+                exact: true,
+                metrics: MetricsSnapshot::default(),
+            };
+        }
+        let deadline = Deadline::starting_now(cfg.time_budget);
+
+        // 1. Degree-based heuristic search (Alg. 1 line 3).
+        let t = Instant::now();
+        heuristic::degree_heuristic(g, cfg, &inc);
+        phases.degree_heuristic = t.elapsed();
+        let omega_degree = inc.size();
+
+        // 2. Coreness, floored at the incumbent (line 4): vertices the
+        //    heuristic already rules out never get an exact coreness.
+        //    The peeling order requires the exact sequential computation.
+        let t = Instant::now();
+        let kc = match cfg.order {
+            config::OrderKind::Peeling => kcore_sequential(g),
+            config::OrderKind::CorenessDegree if cfg.kcore_floor => {
+                kcore_with_floor(g, omega_degree as u32)
+            }
+            config::OrderKind::CorenessDegree => kcore_sequential(g),
+        };
+        phases.kcore = t.elapsed();
+
+        // 3. Vertex order (line 5): (coreness, degree) counting sort, or
+        //    the peeling order itself (paper §IV-F: sequential solvers get
+        //    it for free, and it bounds right-neighbourhoods by coreness).
+        let t = Instant::now();
+        let order = match cfg.order {
+            config::OrderKind::CorenessDegree => coreness_degree_order(g, &kc.coreness),
+            config::OrderKind::Peeling => VertexOrder::from_listing(kc.peel_order.clone()),
+        };
+        let levels = level_ranges(&order, &kc.coreness, kc.degeneracy);
+        phases.reorder = t.elapsed();
+
+        // 4. Lazy graph + pre-population of the must subgraph (line 6).
+        let t = Instant::now();
+        let lg = LazyGraph::new(g, &order, &kc.coreness, inc.size_cell());
+        lg.prepopulate(cfg.prepopulate, omega_degree);
+        phases.prepopulate = t.elapsed();
+
+        // 5. Coreness-based heuristic search (line 7).
+        let t = Instant::now();
+        heuristic::coreness_heuristic(&lg, &levels, cfg, &inc);
+        phases.coreness_heuristic = t.elapsed();
+        let omega_coreness = inc.size();
+
+        // 6. Systematic search (line 8).
+        let t = Instant::now();
+        systematic::systematic_search(&lg, &levels, kc.degeneracy, cfg, &inc, &counters, &deadline);
+        phases.systematic = t.elapsed();
+
+        let mut snapshot = metrics::snapshot_counters(&counters);
+        snapshot.phases = phases;
+        snapshot.omega_degree_heuristic = omega_degree;
+        snapshot.omega_coreness_heuristic = omega_coreness;
+        snapshot.degeneracy = kc.degeneracy;
+        snapshot.n = g.num_vertices();
+        snapshot.m = g.num_edges();
+        snapshot.lazy_built = lg.built_counts();
+
+        let clique = inc.clique();
+        debug_assert!(g.is_clique(&clique));
+        SolveResult {
+            clique,
+            exact: !deadline.truncated(),
+            metrics: snapshot,
+        }
+    }
+}
+
+/// Convenience: solve with the default configuration.
+pub fn solve(g: &CsrGraph) -> SolveResult {
+    LazyMc::default().solve(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazymc_graph::gen;
+
+    #[test]
+    fn solves_known_graphs() {
+        let cases: Vec<(CsrGraph, usize)> = vec![
+            (gen::complete(10), 10),
+            (gen::path(20), 2),
+            (gen::cycle(9), 2),
+            (gen::star(15), 2),
+            (gen::triangulated_grid(8, 6), 4),
+            (gen::caveman(6, 5, 0.0, 1), 5),
+            (CsrGraph::empty(5), 1),
+            (CsrGraph::empty(0), 0),
+        ];
+        for (g, omega) in cases {
+            let r = solve(&g);
+            assert_eq!(r.size(), omega, "graph {g:?}");
+            assert!(g.is_clique(r.vertices()));
+        }
+    }
+
+    #[test]
+    fn planted_clique_recovered() {
+        let g = gen::planted_clique(400, 0.02, 14, 99);
+        let r = solve(&g);
+        assert_eq!(r.size(), 14);
+    }
+
+    #[test]
+    fn phases_and_heuristics_recorded() {
+        let g = gen::planted_clique(200, 0.04, 10, 3);
+        let r = solve(&g);
+        assert!(r.metrics.omega_degree_heuristic >= 1);
+        assert!(r.metrics.omega_coreness_heuristic >= r.metrics.omega_degree_heuristic);
+        assert_eq!(r.metrics.n, 200);
+        assert!(r.metrics.degeneracy >= 9);
+    }
+
+    #[test]
+    fn all_ablation_configs_agree() {
+        let g = gen::planted_clique(150, 0.05, 9, 21);
+        let expected = solve(&g).size();
+        let configs = vec![
+            Config::no_work_avoidance(),
+            Config::sequential(),
+            Config {
+                early_exit: false,
+                ..Config::default()
+            },
+            Config {
+                second_exit: false,
+                ..Config::default()
+            },
+            Config {
+                prepopulate: PrePopulate::None,
+                ..Config::default()
+            },
+            Config {
+                prepopulate: PrePopulate::All,
+                ..Config::default()
+            },
+            Config::default().with_density_threshold(0.0),
+            Config::default().with_density_threshold(1.0),
+            Config {
+                low_core_probes: false,
+                ..Config::default()
+            },
+            Config {
+                kcore_floor: false,
+                ..Config::default()
+            },
+            Config {
+                top_k: 1,
+                ..Config::default()
+            },
+        ];
+        for cfg in configs {
+            let r = LazyMc::new(cfg.clone()).solve(&g);
+            assert_eq!(r.size(), expected, "config {cfg:?}");
+            assert!(g.is_clique(r.vertices()));
+        }
+    }
+
+    #[test]
+    fn extension_configs_agree() {
+        let g = gen::planted_clique(200, 0.04, 11, 31);
+        let expected = solve(&g).size();
+        let configs = vec![
+            Config {
+                filter_rounds: 1,
+                ..Config::default()
+            },
+            Config {
+                filter_rounds: 3,
+                ..Config::default()
+            },
+            Config {
+                filter_rounds: 4,
+                ..Config::default()
+            },
+            Config {
+                order: OrderKind::Peeling,
+                ..Config::default()
+            },
+            Config {
+                subgraph_reduction: true,
+                ..Config::default()
+            },
+            Config {
+                order: OrderKind::Peeling,
+                subgraph_reduction: true,
+                filter_rounds: 1,
+                ..Config::default()
+            },
+        ];
+        for cfg in configs {
+            let r = LazyMc::new(cfg.clone()).solve(&g);
+            assert_eq!(r.size(), expected, "config {cfg:?}");
+            assert!(r.is_exact());
+            assert!(g.is_clique(r.vertices()));
+        }
+    }
+
+    #[test]
+    fn zero_time_budget_yields_inexact_lower_bound() {
+        // A budget that expires immediately: the systematic phase is
+        // skipped, the heuristic incumbent is returned, flagged inexact
+        // (unless the heuristics happened to prove nothing was skipped).
+        let g = gen::dense_overlap(200, 25, 8, 16, 0.1, 7);
+        let exact = solve(&g);
+        let budgeted = LazyMc::new(Config {
+            time_budget: Some(std::time::Duration::ZERO),
+            ..Config::default()
+        })
+        .solve(&g);
+        assert!(budgeted.size() <= exact.size());
+        assert!(g.is_clique(budgeted.vertices()));
+        // the systematic phase was cut short, so the result is not exact
+        assert!(!budgeted.is_exact());
+    }
+
+    #[test]
+    fn generous_time_budget_stays_exact() {
+        let g = gen::planted_clique(150, 0.04, 9, 8);
+        let r = LazyMc::new(Config {
+            time_budget: Some(std::time::Duration::from_secs(600)),
+            ..Config::default()
+        })
+        .solve(&g);
+        assert!(r.is_exact());
+        assert_eq!(r.size(), 9);
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let g = gen::dense_overlap(150, 20, 8, 16, 0.1, 12);
+        let expected = LazyMc::new(Config::sequential()).solve(&g).size();
+        for t in [2, 4] {
+            let r = LazyMc::new(Config::default().with_threads(t)).solve(&g);
+            assert_eq!(r.size(), expected, "threads {t}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Instrumentation: phase timers, filter-retention counters, and
+//! work accounting.
+//!
+//! These counters regenerate the paper's analysis artifacts:
+//!
+//! * **Fig. 2** — relative wall time per phase ([`PhaseTimes`]);
+//! * **Fig. 3 / Fig. 6** — systematic-search *work* split into filtering,
+//!   MC-solver and k-VC-solver time, accumulated across threads;
+//! * **Table III** — right-neighbourhoods surviving each filter stage;
+//! * **Fig. 7** — speedup vs. total work under varying thread counts.
+//!
+//! Counters are relaxed atomics padded to cache lines (crossbeam's
+//! `CachePadded`) so the instrumentation does not serialize the search.
+
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Wall-clock duration of each top-level phase (paper Alg. 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Degree-based heuristic search (Alg. 1 line 3).
+    pub degree_heuristic: Duration,
+    /// k-core / coreness computation (line 4).
+    pub kcore: Duration,
+    /// Sort-order determination (line 5).
+    pub reorder: Duration,
+    /// Lazy-graph construction + pre-population (line 6).
+    pub prepopulate: Duration,
+    /// Coreness-based heuristic search (line 7).
+    pub coreness_heuristic: Duration,
+    /// Systematic search (line 8).
+    pub systematic: Duration,
+}
+
+impl PhaseTimes {
+    /// End-to-end solve time (sum of phases).
+    pub fn total(&self) -> Duration {
+        self.degree_heuristic
+            + self.kcore
+            + self.reorder
+            + self.prepopulate
+            + self.coreness_heuristic
+            + self.systematic
+    }
+}
+
+/// Live counters updated during the search.
+#[derive(Default)]
+pub struct Counters {
+    /// Vertices whose right-neighbourhood passed the coreness precondition
+    /// (a `NeighborSearch` call was made).
+    pub retained_coreness: CachePadded<AtomicU64>,
+    /// Neighbourhoods still viable after filter 1 (|N| ≥ |C*| with
+    /// low-coreness members dropped).
+    pub retained_f1: CachePadded<AtomicU64>,
+    /// Neighbourhoods still viable after the first induced-degree filter.
+    pub retained_f2: CachePadded<AtomicU64>,
+    /// Neighbourhoods still viable after the second induced-degree filter —
+    /// these reach a detailed search.
+    pub retained_f3: CachePadded<AtomicU64>,
+    /// Detailed searches dispatched to the MC solver.
+    pub searched_mc: CachePadded<AtomicU64>,
+    /// Detailed searches dispatched to the k-VC solver.
+    pub searched_kvc: CachePadded<AtomicU64>,
+    /// Nanoseconds spent filtering (across all threads).
+    pub filter_ns: CachePadded<AtomicU64>,
+    /// Nanoseconds in the MC subgraph solver (across all threads).
+    pub mc_ns: CachePadded<AtomicU64>,
+    /// Nanoseconds in the k-VC subgraph solver (across all threads).
+    pub kvc_ns: CachePadded<AtomicU64>,
+    /// Branch-and-bound nodes expanded by the MC solver.
+    pub mc_nodes: CachePadded<AtomicU64>,
+    /// Branch-and-bound nodes expanded by the k-VC solver.
+    pub vc_nodes: CachePadded<AtomicU64>,
+}
+
+impl Counters {
+    #[inline]
+    pub(crate) fn add(&self, field: &CachePadded<AtomicU64>, v: u64) {
+        field.fetch_add(v, Ordering::Relaxed);
+        let _ = self;
+    }
+}
+
+/// Immutable snapshot of everything measured during one solve.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Wall time per phase.
+    pub phases: PhaseTimes,
+    /// Incumbent size after the degree-based heuristic (ω̂_d of Table I).
+    pub omega_degree_heuristic: usize,
+    /// Incumbent size after the coreness-based heuristic (ω̂_h of Table I).
+    pub omega_coreness_heuristic: usize,
+    /// Graph degeneracy.
+    pub degeneracy: u32,
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Table III columns (counts, not yet normalized).
+    pub retained_coreness: u64,
+    /// Survivors of filter 1.
+    pub retained_f1: u64,
+    /// Survivors of filter 2.
+    pub retained_f2: u64,
+    /// Survivors of filter 3.
+    pub retained_f3: u64,
+    /// Detailed searches dispatched to the MC solver.
+    pub searched_mc: u64,
+    /// Detailed searches dispatched to the k-VC solver.
+    pub searched_kvc: u64,
+    /// Filtering work (summed across threads).
+    pub filter_time: Duration,
+    /// MC-solver work (summed across threads).
+    pub mc_time: Duration,
+    /// k-VC-solver work (summed across threads).
+    pub kvc_time: Duration,
+    /// MC solver tree nodes.
+    pub mc_nodes: u64,
+    /// k-VC solver tree nodes.
+    pub vc_nodes: u64,
+    /// Lazy-graph materialization counts (hashed, sorted).
+    pub lazy_built: (usize, usize),
+}
+
+impl MetricsSnapshot {
+    /// Total systematic-search *work* (thread-seconds): filter + MC + k-VC.
+    pub fn systematic_work(&self) -> Duration {
+        self.filter_time + self.mc_time + self.kvc_time
+    }
+
+    /// Table III row, normalized per thousand vertices.
+    pub fn retention_per_mille(&self) -> [f64; 4] {
+        let n = self.n.max(1) as f64;
+        [
+            self.retained_coreness as f64 / n * 1000.0,
+            self.retained_f1 as f64 / n * 1000.0,
+            self.retained_f2 as f64 / n * 1000.0,
+            self.retained_f3 as f64 / n * 1000.0,
+        ]
+    }
+}
+
+pub(crate) fn snapshot_counters(c: &Counters) -> MetricsSnapshot {
+    MetricsSnapshot {
+        retained_coreness: c.retained_coreness.load(Ordering::Relaxed),
+        retained_f1: c.retained_f1.load(Ordering::Relaxed),
+        retained_f2: c.retained_f2.load(Ordering::Relaxed),
+        retained_f3: c.retained_f3.load(Ordering::Relaxed),
+        searched_mc: c.searched_mc.load(Ordering::Relaxed),
+        searched_kvc: c.searched_kvc.load(Ordering::Relaxed),
+        filter_time: Duration::from_nanos(c.filter_ns.load(Ordering::Relaxed)),
+        mc_time: Duration::from_nanos(c.mc_ns.load(Ordering::Relaxed)),
+        kvc_time: Duration::from_nanos(c.kvc_ns.load(Ordering::Relaxed)),
+        mc_nodes: c.mc_nodes.load(Ordering::Relaxed),
+        vc_nodes: c.vc_nodes.load(Ordering::Relaxed),
+        ..MetricsSnapshot::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_total_sums() {
+        let p = PhaseTimes {
+            degree_heuristic: Duration::from_millis(1),
+            kcore: Duration::from_millis(2),
+            reorder: Duration::from_millis(3),
+            prepopulate: Duration::from_millis(4),
+            coreness_heuristic: Duration::from_millis(5),
+            systematic: Duration::from_millis(6),
+        };
+        assert_eq!(p.total(), Duration::from_millis(21));
+    }
+
+    #[test]
+    fn retention_normalization() {
+        let snap = MetricsSnapshot {
+            n: 2000,
+            retained_coreness: 100,
+            retained_f1: 50,
+            retained_f2: 10,
+            retained_f3: 2,
+            ..Default::default()
+        };
+        let r = snap.retention_per_mille();
+        assert_eq!(r, [50.0, 25.0, 5.0, 1.0]);
+    }
+
+    #[test]
+    fn counters_snapshot_roundtrip() {
+        let c = Counters::default();
+        c.add(&c.retained_f2, 7);
+        c.add(&c.mc_ns, 1_000_000);
+        let s = snapshot_counters(&c);
+        assert_eq!(s.retained_f2, 7);
+        assert_eq!(s.mc_time, Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,589 @@
+//! Systematic search — paper Algorithms 7 and 8.
+//!
+//! The exhaustive phase: every vertex whose coreness can still beat the
+//! incumbent gets its right-neighbourhood searched. The order is the crux
+//! of the work-avoidance story:
+//!
+//! 1. a cheap *probe* pass touches one vertex per degeneracy level (helps
+//!    gap-heavy graphs lift the incumbent early);
+//! 2. the main sweep walks coreness levels from high to low — *must*
+//!    vertices first, then *may* vertices — processing all vertices of a
+//!    level in parallel; as the incumbent grows, whole levels vanish.
+//!
+//! Each right-neighbourhood passes three advance filters before any
+//! detailed search (Alg. 8): a coreness filter, then two rounds of
+//! induced-degree filtering via `intersect-size-gt-bool`/`-val`. Only a few
+//! neighbourhoods in a thousand survive (paper Table III); survivors are
+//! solved by direct MC or by k-VC on the complement, chosen by density.
+
+use crate::config::Config;
+use crate::incumbent::Incumbent;
+use crate::metrics::Counters;
+use lazymc_graph::VertexId;
+use lazymc_hopscotch::HopscotchSet;
+use lazymc_intersect::{intersect_size_gt_bool, intersect_size_gt_val, intersect_size_plain};
+use lazymc_lazygraph::LazyGraph;
+use lazymc_solver::bitset::{BitMatrix, Bitset};
+use lazymc_solver::{max_clique_dense_within, max_clique_via_vc, McStats, VcStats};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Wall-clock budget shared across the systematic search. When it expires,
+/// no *new* neighbourhood search starts; `truncated` records whether any
+/// work was actually skipped (i.e. whether the result may be inexact).
+pub struct Deadline {
+    expires: Option<Instant>,
+    truncated: AtomicBool,
+}
+
+impl Deadline {
+    /// A deadline from an optional budget, starting now.
+    pub fn starting_now(budget: Option<std::time::Duration>) -> Self {
+        Deadline {
+            expires: budget.map(|b| Instant::now() + b),
+            truncated: AtomicBool::new(false),
+        }
+    }
+
+    /// Unlimited.
+    pub fn none() -> Self {
+        Self::starting_now(None)
+    }
+
+    #[inline]
+    fn expired(&self) -> bool {
+        match self.expires {
+            Some(t) => Instant::now() >= t,
+            None => false,
+        }
+    }
+
+    /// Checks expiry and, if expired, records that work was skipped.
+    #[inline]
+    fn should_skip(&self) -> bool {
+        if self.expired() {
+            self.truncated.store(true, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether any search was skipped because the budget ran out.
+    pub fn truncated(&self) -> bool {
+        self.truncated.load(Ordering::Relaxed)
+    }
+}
+
+/// Runs the systematic search (paper Algorithm 7).
+pub fn systematic_search(
+    lg: &LazyGraph<'_>,
+    levels: &[(u32, u32)],
+    degeneracy: u32,
+    cfg: &Config,
+    inc: &Incumbent,
+    counters: &Counters,
+    deadline: &Deadline,
+) {
+    let deg = degeneracy as usize;
+    // Phase 1: one probe per degeneracy level, from the incumbent level up.
+    // Probed vertices are remembered so the main sweep does not search the
+    // same right-neighbourhood twice.
+    let probed: Vec<AtomicBool> = if cfg.low_core_probes {
+        (0..lg.num_vertices()).map(|_| AtomicBool::new(false)).collect()
+    } else {
+        Vec::new()
+    };
+    if cfg.low_core_probes {
+        let floor = inc.size().min(deg);
+        (floor..=deg).into_par_iter().for_each(|k| {
+            let (start, end) = levels[k];
+            if start < end && !deadline.should_skip() {
+                probed[start as usize].store(true, Ordering::Relaxed);
+                neighbor_search(lg, start, cfg, inc, counters, deadline);
+            }
+        });
+    }
+    // Phase 2: high-to-low level sweep, parallel within each level. The
+    // incumbent only grows, so once a level falls below it we can stop.
+    for k in (1..=deg).rev() {
+        if k < inc.size() || deadline.should_skip() {
+            break;
+        }
+        let (start, end) = levels[k];
+        (start..end).into_par_iter().for_each(|v| {
+            if !probed.is_empty() && probed[v as usize].load(Ordering::Relaxed) {
+                return; // already searched during the probe phase
+            }
+            // Re-check against the *current* incumbent: it may have grown
+            // since the level test.
+            if (lg.coreness(v) as usize) >= inc.size() && !deadline.should_skip() {
+                neighbor_search(lg, v, cfg, inc, counters, deadline);
+            }
+        });
+    }
+}
+
+/// Searches the right-neighbourhood of relabelled vertex `v`
+/// (paper Algorithm 8).
+pub fn neighbor_search(
+    lg: &LazyGraph<'_>,
+    v: VertexId,
+    cfg: &Config,
+    inc: &Incumbent,
+    counters: &Counters,
+    deadline: &Deadline,
+) {
+    let t0 = Instant::now();
+    let cstar = inc.size();
+    counters.add(&counters.retained_coreness, 1);
+
+    // --- Filter 1: coreness of the neighbors themselves ------------------
+    let n1: Vec<VertexId> = lg
+        .right_sorted(v)
+        .iter()
+        .copied()
+        .filter(|&u| (lg.coreness(u) as usize) >= cstar)
+        .collect();
+    if n1.len() < cstar {
+        counters.add(&counters.filter_ns, t0.elapsed().as_nanos() as u64);
+        return;
+    }
+    counters.add(&counters.retained_f1, 1);
+
+    // A clique of size cstar+1 through v needs every member to see strictly
+    // more than cstar−2 *other* members inside N (u and v complete the
+    // count). For cstar < 2 the threshold is negative, i.e. vacuous: the
+    // degree filters keep everything.
+    let theta = if cstar >= 2 { Some(cstar - 2) } else { None };
+
+    // --- Induced-degree filter rounds (Alg. 8 filters 2 and 3) -----------
+    // All rounds but the last use the boolean early-exit kernel; the final
+    // round uses the counting kernel so the edge estimate m̂ comes out of
+    // it. The candidate set is the probed (B) side; a hash table is built
+    // only when it is large enough to out-cost binary search, and the
+    // kernels always scan the smaller side as A.
+    let rounds = cfg.filter_rounds.max(1);
+    let mut cand = n1;
+    let mut m_hat = 0u64;
+    for round in 0..rounds {
+        let last = round + 1 == rounds;
+        let set = CandSet::new(&cand);
+        let mut next: Vec<VertexId> = Vec::with_capacity(cand.len());
+        if !last {
+            if let Some(theta) = theta {
+                for &u in &cand {
+                    if induced_degree_gt(lg, u, &cand, &set, theta, cfg) {
+                        next.push(u);
+                    }
+                }
+            } else {
+                next.clone_from(&cand);
+            }
+        } else {
+            m_hat = 0;
+            for &u in &cand {
+                if let Some(d) = induced_degree_count(lg, u, &cand, &set, theta, cfg) {
+                    next.push(u);
+                    m_hat += d as u64;
+                }
+            }
+        }
+        drop(set);
+        cand = next;
+        if round == 0 && cand.len() >= cstar {
+            counters.add(&counters.retained_f2, 1);
+        }
+        if cand.len() < cstar {
+            counters.add(&counters.filter_ns, t0.elapsed().as_nanos() as u64);
+            return;
+        }
+    }
+    counters.add(&counters.retained_f3, 1);
+    let n3 = cand;
+
+    // --- Algorithmic choice by estimated density (Alg. 8 line 14) --------
+    // m̂ was counted against the previous round's set ⊇ N3, so the ratio
+    // can exceed 1; clamp so that φ = 1 reliably means "always direct MC".
+    let nn = n3.len();
+    let density = if nn > 1 {
+        (m_hat as f64 / (nn as f64 * (nn - 1) as f64)).min(1.0)
+    } else {
+        0.0
+    };
+
+    // Cut out the induced subgraph G[N] as a bit matrix. From here on we
+    // are in local index space 0..nn (positions within n3).
+    let adj = extract_submatrix(lg, &n3);
+
+    // Optional extension (paper §V-A): MC-BRB-style iterated reduction on
+    // the extracted subgraph before the detailed search.
+    let mut within = Bitset::full(nn);
+    if cfg.subgraph_reduction {
+        lazymc_solver::mc::reduce_candidates(&adj, &mut within, cstar.saturating_sub(1));
+        if within.len() < cstar {
+            counters.add(&counters.filter_ns, t0.elapsed().as_nanos() as u64);
+            return;
+        }
+    }
+
+    let filter_elapsed = t0.elapsed().as_nanos() as u64;
+    counters.add(&counters.filter_ns, filter_elapsed);
+    if deadline.should_skip() {
+        return;
+    }
+
+    // A clique K ⊆ N together with v gives |K|+1, so beat the incumbent iff
+    // |K| > cstar − 1.
+    let lb = cstar.saturating_sub(1);
+    let t1 = Instant::now();
+    let found = if density > cfg.density_threshold {
+        counters.add(&counters.searched_kvc, 1);
+        let mut st = VcStats::default();
+        // The k-VC engine works on whole matrices; compact when the
+        // reduction removed vertices.
+        let r = if within.len() < nn {
+            let (small, map) = compact_matrix(&adj, &within);
+            max_clique_via_vc(&small, lb, Some(&mut st))
+                .map(|c| c.into_iter().map(|i| map[i as usize]).collect::<Vec<u32>>())
+        } else {
+            max_clique_via_vc(&adj, lb, Some(&mut st))
+        };
+        counters.add(&counters.vc_nodes, st.nodes);
+        counters.add(&counters.kvc_ns, t1.elapsed().as_nanos() as u64);
+        r
+    } else {
+        counters.add(&counters.searched_mc, 1);
+        let mut st = McStats::default();
+        let r = max_clique_dense_within(&adj, &within, lb, Some(&mut st));
+        counters.add(&counters.mc_nodes, st.nodes);
+        counters.add(&counters.mc_ns, t1.elapsed().as_nanos() as u64);
+        r
+    };
+
+    if let Some(local_clique) = found {
+        let order = lg.order();
+        let mut orig: Vec<VertexId> = local_clique
+            .iter()
+            .map(|&i| order.to_original(n3[i as usize]))
+            .collect();
+        orig.push(order.to_original(v));
+        debug_assert!(lg.original_graph().is_clique(&orig));
+        inc.offer(&orig);
+    }
+}
+
+/// Compacts `adj` to the vertices of `within`; returns the smaller matrix
+/// and the local→original index map.
+fn compact_matrix(adj: &BitMatrix, within: &Bitset) -> (BitMatrix, Vec<u32>) {
+    let map: Vec<u32> = within.iter().map(|i| i as u32).collect();
+    let mut small = BitMatrix::new(map.len());
+    for (i, &oi) in map.iter().enumerate() {
+        for (j, &oj) in map.iter().enumerate().skip(i + 1) {
+            if adj.has_edge(oi as usize, oj as usize) {
+                small.add_edge(i, j);
+            }
+        }
+    }
+    (small, map)
+}
+
+/// Candidate-set membership: a real hash table when the set is large, the
+/// sorted slice itself below that (hash construction would dominate the
+/// handful of probes it serves).
+enum CandSet<'a> {
+    Small(&'a [VertexId]),
+    Large(HopscotchSet),
+}
+
+/// Above this size, probing pays for building a hopscotch table.
+const HASH_CUTOFF: usize = 64;
+
+impl<'a> CandSet<'a> {
+    fn new(sorted: &'a [VertexId]) -> Self {
+        if sorted.len() > HASH_CUTOFF {
+            CandSet::Large(sorted.iter().collect())
+        } else {
+            CandSet::Small(sorted)
+        }
+    }
+}
+
+impl lazymc_intersect::Membership for CandSet<'_> {
+    #[inline]
+    fn contains_key(&self, key: u32) -> bool {
+        match self {
+            CandSet::Small(s) => s.binary_search(&key).is_ok(),
+            CandSet::Large(h) => h.contains(key),
+        }
+    }
+    #[inline]
+    fn size(&self) -> usize {
+        match self {
+            CandSet::Small(s) => s.len(),
+            CandSet::Large(h) => h.len(),
+        }
+    }
+}
+
+/// Decides `|N(u) ∩ cand| > theta`, scanning whichever side is smaller.
+#[inline]
+fn induced_degree_gt(
+    lg: &LazyGraph<'_>,
+    u: VertexId,
+    cand: &[VertexId],
+    cand_set: &CandSet<'_>,
+    theta: usize,
+    cfg: &Config,
+) -> bool {
+    let nu = lg.sorted(u);
+    if nu.len() <= cand.len() {
+        // scan u's (smaller) neighbourhood against the candidate set
+        if cfg.early_exit {
+            intersect_size_gt_bool(nu, cand_set, theta, cfg.second_exit)
+        } else {
+            intersect_size_plain(nu, cand_set) > theta
+        }
+    } else {
+        // scan the (smaller) candidate set against u's sorted neighbourhood
+        let b = lazymc_intersect::SortedSlice(nu);
+        if cfg.early_exit {
+            intersect_size_gt_bool(cand, &b, theta, cfg.second_exit)
+        } else {
+            intersect_size_plain(cand, &b) > theta
+        }
+    }
+}
+
+/// Computes `|N(u) ∩ cand|` if it exceeds `theta` (always, when `theta` is
+/// `None`), scanning whichever side is smaller.
+#[inline]
+fn induced_degree_count(
+    lg: &LazyGraph<'_>,
+    u: VertexId,
+    cand: &[VertexId],
+    cand_set: &CandSet<'_>,
+    theta: Option<usize>,
+    cfg: &Config,
+) -> Option<usize> {
+    let nu = lg.sorted(u);
+    if nu.len() <= cand.len() {
+        match (theta, cfg.early_exit) {
+            (Some(t), true) => intersect_size_gt_val(nu, cand_set, t).filter(|&d| d > t),
+            (Some(t), false) => {
+                let d = intersect_size_plain(nu, cand_set);
+                (d > t).then_some(d)
+            }
+            (None, _) => Some(intersect_size_plain(nu, cand_set)),
+        }
+    } else {
+        let b = lazymc_intersect::SortedSlice(nu);
+        match (theta, cfg.early_exit) {
+            (Some(t), true) => intersect_size_gt_val(cand, &b, t).filter(|&d| d > t),
+            (Some(t), false) => {
+                let d = intersect_size_plain(cand, &b);
+                (d > t).then_some(d)
+            }
+            (None, _) => Some(intersect_size_plain(cand, &b)),
+        }
+    }
+}
+
+/// Builds the dense adjacency of the subgraph induced by the sorted
+/// relabelled vertex list `members`, in local (positional) index space.
+/// Each row is produced by merging the member list with the member's lazy
+/// sorted neighbourhood.
+pub(crate) fn extract_submatrix(lg: &LazyGraph<'_>, members: &[VertexId]) -> BitMatrix {
+    debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
+    let nn = members.len();
+    let mut adj = BitMatrix::new(nn);
+    for (i, &u) in members.iter().enumerate() {
+        let nbrs = lg.sorted(u);
+        if nbrs.len() > 8 * nn {
+            // strongly skewed (hub neighbourhood): probe per member instead
+            // of merging through the whole row
+            for (a, &m) in members.iter().enumerate().skip(i + 1) {
+                if nbrs.binary_search(&m).is_ok() {
+                    adj.add_edge(i, a);
+                }
+            }
+            continue;
+        }
+        // two-pointer merge over (members, nbrs), recording local positions
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < nn && b < nbrs.len() {
+            match members[a].cmp(&nbrs[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    if a > i {
+                        adj.add_edge(i, a);
+                    }
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+    }
+    adj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazymc_graph::{gen, CsrGraph};
+    use lazymc_order::{coreness_degree_order, kcore_sequential, relabel::level_ranges};
+
+    struct Fixture<'a> {
+        lg: LazyGraph<'a>,
+        levels: Vec<(u32, u32)>,
+        degeneracy: u32,
+    }
+
+    fn fixture<'a>(
+        g: &'a CsrGraph,
+        ord: &'a lazymc_order::VertexOrder,
+        core: &'a [u32],
+        degeneracy: u32,
+        inc: &Incumbent,
+    ) -> Fixture<'a> {
+        let lg = LazyGraph::new(g, ord, core, inc.size_cell());
+        let levels = level_ranges(ord, core, degeneracy);
+        Fixture {
+            lg,
+            levels,
+            degeneracy,
+        }
+    }
+
+    fn solve_systematic(g: &CsrGraph) -> usize {
+        let kc = kcore_sequential(g);
+        let ord = coreness_degree_order(g, &kc.coreness);
+        let inc = Incumbent::new();
+        // prime with any single vertex so cstar ≥ 1
+        if g.num_vertices() > 0 {
+            inc.offer(&[0]);
+        }
+        let f = fixture(g, &ord, &kc.coreness, kc.degeneracy, &inc);
+        let counters = Counters::default();
+        systematic_search(
+            &f.lg,
+            &f.levels,
+            f.degeneracy,
+            &Config::default(),
+            &inc,
+            &counters,
+            &Deadline::none(),
+        );
+        assert!(g.is_clique(&inc.clique()));
+        inc.size()
+    }
+
+    #[test]
+    fn finds_planted_clique() {
+        let g = gen::planted_clique(200, 0.03, 12, 5);
+        assert_eq!(solve_systematic(&g), 12);
+    }
+
+    #[test]
+    fn complete_graph() {
+        assert_eq!(solve_systematic(&gen::complete(15)), 15);
+    }
+
+    #[test]
+    fn triangulated_grid_is_k4() {
+        assert_eq!(solve_systematic(&gen::triangulated_grid(10, 8)), 4);
+    }
+
+    #[test]
+    fn caveman_community() {
+        assert_eq!(solve_systematic(&gen::caveman(10, 7, 0.05, 2)), 7);
+    }
+
+    #[test]
+    fn path_graph_omega_two() {
+        assert_eq!(solve_systematic(&gen::path(30)), 2);
+    }
+
+    #[test]
+    fn filters_discharge_most_neighborhoods() {
+        // On an easy gap-0 graph, after the heuristics the filters should
+        // discharge nearly everything (Table III's 0-rows).
+        let g = gen::caveman(20, 6, 0.0, 3);
+        let kc = kcore_sequential(&g);
+        let ord = coreness_degree_order(&g, &kc.coreness);
+        let inc = Incumbent::new();
+        // seed incumbent with a full community (size 6 = ω)
+        inc.offer(&[0, 1, 2, 3, 4, 5]);
+        let f = fixture(&g, &ord, &kc.coreness, kc.degeneracy, &inc);
+        let counters = Counters::default();
+        systematic_search(
+            &f.lg,
+            &f.levels,
+            f.degeneracy,
+            &Config::default(),
+            &inc,
+            &counters,
+            &Deadline::none(),
+        );
+        let snap = crate::metrics::snapshot_counters(&counters);
+        assert_eq!(inc.size(), 6, "ω must not regress");
+        assert_eq!(
+            snap.retained_f3, 0,
+            "with ω incumbent, no neighbourhood should reach detailed search"
+        );
+    }
+
+    #[test]
+    fn density_threshold_routes_to_kvc() {
+        // A dense instance with φ = 0 forces every detailed search to k-VC;
+        // φ = 1 forces MC. Results must agree.
+        let g = gen::dense_overlap(120, 15, 8, 14, 0.15, 9);
+        let mut sizes = Vec::new();
+        for phi in [0.0, 1.0] {
+            let kc = kcore_sequential(&g);
+            let ord = coreness_degree_order(&g, &kc.coreness);
+            let inc = Incumbent::new();
+            // Prime with an edge so cstar ≥ 2: every subgraph reaching a
+            // detailed search then has m̂ ≥ |N| > 0, making the φ = 0 route
+            // deterministic.
+            let (u, v) = g.edges().next().unwrap();
+            inc.offer(&[u, v]);
+            let f = fixture(&g, &ord, &kc.coreness, kc.degeneracy, &inc);
+            let counters = Counters::default();
+            let cfg = Config::default().with_density_threshold(phi);
+            systematic_search(&f.lg, &f.levels, f.degeneracy, &cfg, &inc, &counters, &Deadline::none());
+            let snap = crate::metrics::snapshot_counters(&counters);
+            if phi == 0.0 {
+                assert_eq!(snap.searched_mc, 0, "phi=0 must route everything to k-VC");
+            } else {
+                assert_eq!(snap.searched_kvc, 0, "phi=1 must route everything to MC");
+            }
+            sizes.push(inc.size());
+        }
+        assert_eq!(sizes[0], sizes[1], "algorithmic choice must not change ω");
+    }
+
+    #[test]
+    fn extract_submatrix_matches_graph() {
+        let g = gen::gnp(60, 0.15, 7);
+        let kc = kcore_sequential(&g);
+        let ord = coreness_degree_order(&g, &kc.coreness);
+        let inc = Incumbent::new();
+        let lg = LazyGraph::new(&g, &ord, &kc.coreness, inc.size_cell());
+        let members: Vec<u32> = (10..30).collect();
+        let adj = extract_submatrix(&lg, &members);
+        for i in 0..members.len() {
+            for j in 0..members.len() {
+                let oi = ord.to_original(members[i]);
+                let oj = ord.to_original(members[j]);
+                assert_eq!(
+                    adj.has_edge(i, j),
+                    i != j && g.has_edge(oi, oj),
+                    "local ({i},{j})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Must/may zone analysis — paper §III-A and Fig. 1.
+//!
+//! Post-hoc characterization of the zone of interest once ω is known:
+//!
+//! * **must** vertices have coreness > ω − 1: even after the maximum clique
+//!   is found, these must be inspected to rule out a larger one;
+//! * **may** vertices have coreness ≥ ω − 1: the superset that could have
+//!   been touched on the way to finding the maximum clique;
+//! * **attached** edges have at least one endpoint in the may set — the
+//!   neighbourhood storage an unfiltered representation would carry.
+
+use lazymc_graph::CsrGraph;
+
+/// Fractions of the graph inside each zone (all in `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ZoneStats {
+    /// Fraction of vertices with coreness > ω−1.
+    pub must_vertices: f64,
+    /// Fraction of vertices with coreness ≥ ω−1.
+    pub may_vertices: f64,
+    /// Fraction of edges with both endpoints in the must set.
+    pub must_edges: f64,
+    /// Fraction of edges with both endpoints in the may set.
+    pub may_edges: f64,
+    /// Fraction of edges with at least one endpoint in the may set.
+    pub attached_edges: f64,
+    /// The clique-core gap g = d + 1 − ω.
+    pub clique_core_gap: i64,
+}
+
+/// Computes the zone statistics for a graph with known coreness and ω.
+pub fn zone_analysis(g: &CsrGraph, coreness: &[u32], omega: usize) -> ZoneStats {
+    let n = g.num_vertices();
+    assert_eq!(coreness.len(), n);
+    if n == 0 {
+        return ZoneStats::default();
+    }
+    let omega = omega as i64;
+    let must = |v: usize| (coreness[v] as i64) > omega - 1;
+    let may = |v: usize| (coreness[v] as i64) >= omega - 1;
+
+    let must_v = (0..n).filter(|&v| must(v)).count();
+    let may_v = (0..n).filter(|&v| may(v)).count();
+
+    let mut must_e = 0usize;
+    let mut may_e = 0usize;
+    let mut attached_e = 0usize;
+    let mut total_e = 0usize;
+    for (u, v) in g.edges() {
+        total_e += 1;
+        let (u, v) = (u as usize, v as usize);
+        if must(u) && must(v) {
+            must_e += 1;
+        }
+        if may(u) && may(v) {
+            may_e += 1;
+        }
+        if may(u) || may(v) {
+            attached_e += 1;
+        }
+    }
+    let degeneracy = coreness.iter().copied().max().unwrap_or(0) as i64;
+    let te = total_e.max(1) as f64;
+    ZoneStats {
+        must_vertices: must_v as f64 / n as f64,
+        may_vertices: may_v as f64 / n as f64,
+        must_edges: must_e as f64 / te,
+        may_edges: may_e as f64 / te,
+        attached_edges: attached_e as f64 / te,
+        clique_core_gap: degeneracy + 1 - omega,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazymc_graph::gen;
+    use lazymc_order::kcore_sequential;
+
+    #[test]
+    fn zero_gap_graph_has_empty_must_set() {
+        // K6: coreness 5 everywhere, ω = 6 → must needs coreness > 5: none.
+        let g = gen::complete(6);
+        let kc = kcore_sequential(&g);
+        let z = zone_analysis(&g, &kc.coreness, 6);
+        assert_eq!(z.clique_core_gap, 0);
+        assert_eq!(z.must_vertices, 0.0);
+        assert_eq!(z.must_edges, 0.0);
+        assert_eq!(z.may_vertices, 1.0);
+        assert_eq!(z.may_edges, 1.0);
+    }
+
+    #[test]
+    fn containment_invariants() {
+        let g = gen::planted_clique(150, 0.05, 10, 4);
+        let kc = kcore_sequential(&g);
+        let z = zone_analysis(&g, &kc.coreness, 10);
+        assert!(z.must_vertices <= z.may_vertices);
+        assert!(z.must_edges <= z.may_edges);
+        assert!(z.may_edges <= z.attached_edges);
+        assert!(z.attached_edges <= 1.0);
+    }
+
+    #[test]
+    fn gap_heavy_graph_has_nonempty_must() {
+        // dense overlap graphs have degeneracy far above ω
+        let g = gen::dense_overlap(150, 20, 8, 15, 0.1, 6);
+        let kc = kcore_sequential(&g);
+        // use a deliberately small "omega" to stress the must set
+        let z = zone_analysis(&g, &kc.coreness, 5);
+        assert!(z.clique_core_gap > 0);
+        assert!(z.must_vertices > 0.0);
+    }
+
+    #[test]
+    fn empty_graph_zone() {
+        let g = lazymc_graph::CsrGraph::empty(0);
+        let z = zone_analysis(&g, &[], 0);
+        assert_eq!(z, ZoneStats::default());
+    }
+}

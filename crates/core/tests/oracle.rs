@@ -1,0 +1,90 @@
+//! The central correctness property: LazyMC under *arbitrary*
+//! configurations must agree with the Bron–Kerbosch oracle on arbitrary
+//! random graphs. Work-avoidance is only allowed to change the cost of the
+//! search, never its result.
+
+use lazymc_baselines::max_clique_reference;
+use lazymc_core::{Config, LazyMc, OrderKind, PrePopulate};
+use lazymc_graph::{gen, CsrGraph};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    prop_oneof![
+        (2usize..50, 0.0f64..0.5, 0u64..10_000).prop_map(|(n, p, s)| gen::gnp(n, p, s)),
+        (4usize..40, 0.0f64..0.25, 3usize..9, 0u64..10_000)
+            .prop_map(|(n, p, k, s)| gen::planted_clique(n.max(k), p, k.min(n), s)),
+        (1usize..5, 3usize..7, 0.0f64..0.4, 0u64..100)
+            .prop_map(|(l, k, p, s)| gen::caveman(l, k, p, s)),
+        (2usize..40, 0u64..100).prop_map(|(ins, s)| gen::apollonian(ins, s)),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = Config> {
+    (
+        0usize..3,                   // threads (0 = ambient pool)
+        0usize..40,                  // top_k
+        0.0f64..=1.0,                // density threshold
+        any::<bool>(),               // early_exit
+        any::<bool>(),               // second_exit
+        0usize..3,                   // prepopulate selector
+        any::<bool>(),               // low_core_probes
+        any::<bool>(),               // kcore_floor
+        1usize..4,                   // filter_rounds
+        any::<bool>(),               // peel order?
+        any::<bool>(),               // subgraph_reduction
+    )
+        .prop_map(
+            |(threads, top_k, phi, ee, se, pp, probes, floor, rounds, peel, red)| Config {
+                threads,
+                top_k,
+                density_threshold: phi,
+                early_exit: ee,
+                second_exit: se,
+                prepopulate: match pp {
+                    0 => PrePopulate::None,
+                    1 => PrePopulate::Must,
+                    _ => PrePopulate::All,
+                },
+                low_core_probes: probes,
+                kcore_floor: floor,
+                filter_rounds: rounds,
+                order: if peel {
+                    OrderKind::Peeling
+                } else {
+                    OrderKind::CorenessDegree
+                },
+                subgraph_reduction: red,
+                time_budget: None,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lazymc_matches_oracle_under_any_config(g in arb_graph(), cfg in arb_config()) {
+        let oracle = max_clique_reference(&g).len();
+        let r = LazyMc::new(cfg.clone()).solve(&g);
+        prop_assert!(r.is_exact());
+        prop_assert!(g.is_clique(r.vertices()), "non-clique under {cfg:?}");
+        prop_assert_eq!(r.size(), oracle, "wrong omega under {:?}", cfg);
+    }
+
+    /// A time budget may truncate the proof but never the clique property,
+    /// and the result is always a lower bound on ω.
+    #[test]
+    fn budgeted_solves_are_sound(g in arb_graph(), micros in 0u64..2_000) {
+        let oracle = max_clique_reference(&g).len();
+        let cfg = Config {
+            time_budget: Some(std::time::Duration::from_micros(micros)),
+            ..Config::default()
+        };
+        let r = LazyMc::new(cfg).solve(&g);
+        prop_assert!(g.is_clique(r.vertices()));
+        prop_assert!(r.size() <= oracle);
+        if r.is_exact() {
+            prop_assert_eq!(r.size(), oracle);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Edge-stream ingestion.
+//!
+//! Real-world edge lists are messy: duplicated edges, both orientations or
+//! only one, self-loops, gaps in the id space. [`GraphBuilder`] normalizes
+//! all of that into the invariants [`CsrGraph`] demands.
+//! Construction is parallel (rayon sort) because graph loading is part of
+//! the measured end-to-end time in the paper's Table II.
+
+use crate::{CsrGraph, VertexId};
+use rayon::prelude::*;
+
+/// Accumulates raw edges and produces a normalized [`CsrGraph`].
+#[derive(Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// New builder for a graph with at least `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// New builder with an edge-capacity hint.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Records an undirected edge. Self-loops are dropped silently; the
+    /// vertex count grows to cover the endpoints.
+    #[inline]
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        if u == v {
+            return;
+        }
+        let hi = u.max(v) as usize + 1;
+        if hi > self.n {
+            self.n = hi;
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+    }
+
+    /// Bulk variant of [`GraphBuilder::add_edge`].
+    pub fn extend_edges(&mut self, it: impl IntoIterator<Item = (VertexId, VertexId)>) {
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Raw (unnormalized) edge count so far.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sort, deduplicate, symmetrize and freeze into CSR.
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.par_sort_unstable();
+        self.edges.dedup();
+        let n = self.n;
+        let m = self.edges.len();
+
+        // Count degrees over both orientations.
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, v) in &self.edges {
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+
+        // Scatter. `cursor` tracks the next free slot per vertex.
+        let mut targets = vec![0 as VertexId; 2 * m];
+        let mut cursor = offsets.clone();
+        for &(u, v) in &self.edges {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+
+        // Edges were sorted by (u, v); scattering preserves sortedness for
+        // the `u` rows but not for the `v` back-edges, so sort each row.
+        // Rows are typically tiny (bounded by degree), so per-row sort in
+        // parallel over vertices is the right granularity.
+        let offsets_ref = &offsets;
+        // Split `targets` into per-vertex rows to sort them in parallel.
+        let mut rows: Vec<&mut [VertexId]> = Vec::with_capacity(n);
+        let mut rest: &mut [VertexId] = &mut targets;
+        for v in 0..n {
+            let len = offsets_ref[v + 1] - offsets_ref[v];
+            let (row, tail) = rest.split_at_mut(len);
+            rows.push(row);
+            rest = tail;
+        }
+        rows.par_iter_mut().for_each(|row| row.sort_unstable());
+
+        CsrGraph::from_parts(offsets, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_symmetrizes() {
+        let mut b = GraphBuilder::new(0);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0); // reverse duplicate
+        b.add_edge(0, 1); // plain duplicate
+        b.add_edge(2, 2); // self loop dropped
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn grows_vertex_count_from_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(5, 3);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(7).build();
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn extend_edges_equivalent_to_loop() {
+        let mut a = GraphBuilder::new(0);
+        a.extend_edges([(0, 1), (1, 2), (2, 3)]);
+        let mut b = GraphBuilder::new(0);
+        for e in [(0, 1), (1, 2), (2, 3)] {
+            b.add_edge(e.0, e.1);
+        }
+        assert_eq!(a.build(), b.build());
+    }
+
+    #[test]
+    fn adjacency_sorted_even_with_adversarial_insert_order() {
+        let mut b = GraphBuilder::new(0);
+        for v in (1..50u32).rev() {
+            b.add_edge(0, v);
+        }
+        let g = b.build();
+        let nbrs = g.neighbors(0);
+        assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(nbrs.len(), 49);
+    }
+}

@@ -1,0 +1,575 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper evaluates on 28 real-world graphs (SNAP, LAW, Network
+//! Repository) which are not redistributable and mostly exceed laptop
+//! memory. Each generator here targets one *régime* from the paper's
+//! Table I — the degree/coreness/clique structure that drives LazyMC's
+//! behaviour — so the evaluation harness can reproduce the *shape* of every
+//! result. All generators are deterministic in their `seed`.
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Complete graph `K_n` (ω = n, degeneracy = n-1, gap 0).
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Path graph on `n` vertices.
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as VertexId {
+        b.add_edge(v - 1, v);
+    }
+    b.build()
+}
+
+/// Cycle graph on `n` vertices (`n >= 3`).
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as VertexId {
+        b.add_edge(v, ((v as usize + 1) % n) as VertexId);
+    }
+    b.build()
+}
+
+/// Star graph: vertex 0 joined to `n-1` leaves.
+pub fn star(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as VertexId {
+        b.add_edge(0, v);
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)` via geometric edge skipping, O(m) expected time.
+pub fn gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let mut b = GraphBuilder::new(n);
+    if p <= 0.0 || n < 2 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        return complete(n);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let log_q = (1.0 - p).ln();
+    // Walk the upper triangle in row-major order, skipping a geometric
+    // number of non-edges at each step (Batagelj–Brandes).
+    let (mut u, mut v) = (0usize, 0usize);
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log_q).floor() as usize + 1;
+        v += skip;
+        while v >= n {
+            u += 1;
+            v = u + 1 + (v - n);
+            if u >= n - 1 {
+                return b.build();
+            }
+        }
+        b.add_edge(u as VertexId, v as VertexId);
+    }
+}
+
+/// `G(n, p)` plus a clique planted on `k` distinct random vertices.
+/// Guarantees ω ≥ k; for small `p` this pins ω = k exactly.
+pub fn planted_clique(n: usize, p: f64, k: usize, seed: u64) -> CsrGraph {
+    assert!(k <= n, "cannot plant a {k}-clique in {n} vertices");
+    let g = gnp(n, p, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(k);
+    let mut b = GraphBuilder::with_capacity(n, g.num_edges() + k * (k - 1) / 2);
+    b.extend_edges(g.edges());
+    for (i, &u) in ids.iter().enumerate() {
+        for &v in &ids[i + 1..] {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m_per` existing vertices chosen proportionally to degree.
+/// Produces heavy-tailed degree distributions with small degeneracy
+/// (web-crawl-like régime).
+pub fn barabasi_albert(n: usize, m_per: usize, seed: u64) -> CsrGraph {
+    assert!(m_per >= 1 && n > m_per, "need n > m_per >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * m_per);
+    // Endpoint pool: each edge contributes both endpoints, so sampling
+    // uniformly from the pool is degree-proportional sampling.
+    let mut pool: Vec<VertexId> = Vec::with_capacity(2 * n * m_per);
+    // Seed graph: clique on the first m_per+1 vertices.
+    for u in 0..=(m_per as VertexId) {
+        for v in (u + 1)..=(m_per as VertexId) {
+            b.add_edge(u, v);
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+    for v in (m_per + 1)..n {
+        let v = v as VertexId;
+        let mut chosen = Vec::with_capacity(m_per);
+        while chosen.len() < m_per {
+            let t = pool[rng.gen_range(0..pool.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(v, t);
+            pool.push(v);
+            pool.push(t);
+        }
+    }
+    b.build()
+}
+
+/// R-MAT recursive-quadrant sampler (social-network-like: skewed degrees,
+/// large clique-core gap). `scale` is log2 of the vertex count; `avg_deg`
+/// the target average degree; `(a, b, c)` the quadrant probabilities with
+/// `d = 1 - a - b - c`.
+pub fn rmat(scale: u32, avg_deg: usize, a: f64, b_: f64, c: f64, seed: u64) -> CsrGraph {
+    assert!(scale <= 26, "scale {scale} too large for a laptop run");
+    let d = 1.0 - a - b_ - c;
+    assert!(d >= 0.0 && a >= 0.0 && b_ >= 0.0 && c >= 0.0);
+    let n = 1usize << scale;
+    let m = n * avg_deg / 2;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            // Mild noise on the quadrant probabilities avoids exact
+            // self-similarity artifacts (standard R-MAT practice).
+            let noise = rng.gen_range(0.95..1.05);
+            let r: f64 = rng.gen::<f64>();
+            if r < a * noise {
+                // top-left
+            } else if r < (a + b_) * noise {
+                v |= 1;
+            } else if r < (a + b_ + c) * noise {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        builder.add_edge(u as VertexId, v as VertexId);
+    }
+    builder.build()
+}
+
+/// Relaxed caveman graph: `l` communities of size `k`, each initially a
+/// clique, with every intra-community edge rewired to a random outside
+/// vertex with probability `p_rewire`. With small `p_rewire`, ω = k and the
+/// clique-core gap is 0 (collaboration-network régime).
+pub fn caveman(l: usize, k: usize, p_rewire: f64, seed: u64) -> CsrGraph {
+    assert!(k >= 2 && l >= 1);
+    let n = l * k;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, l * k * (k - 1) / 2);
+    for c in 0..l {
+        let base = (c * k) as VertexId;
+        for i in 0..k as VertexId {
+            for j in (i + 1)..k as VertexId {
+                let (u, v) = (base + i, base + j);
+                if l > 1 && rng.gen_bool(p_rewire) {
+                    // Rewire v-endpoint to a uniformly random vertex outside
+                    // the community.
+                    let mut t = rng.gen_range(0..n as VertexId);
+                    while t >= base && t < base + k as VertexId {
+                        t = rng.gen_range(0..n as VertexId);
+                    }
+                    b.add_edge(u, t);
+                } else {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+    }
+    // Keep one community intact so ω = k deterministically.
+    b.build()
+}
+
+/// Dense overlap graph mimicking gene-correlation networks: `n` vertices,
+/// `cliques` planted cliques with sizes in `[size_lo, size_hi]` drawn on a
+/// *biased* vertex pool (so cliques overlap heavily), plus `G(n, p_bg)`
+/// background noise. Density lands in the 0.05–0.5 range with degeneracy
+/// far above ω — the large clique-core-gap régime of the `bio-*` datasets.
+pub fn dense_overlap(
+    n: usize,
+    cliques: usize,
+    size_lo: usize,
+    size_hi: usize,
+    p_bg: f64,
+    seed: u64,
+) -> CsrGraph {
+    assert!(size_lo <= size_hi && size_hi <= n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bg = gnp(n, p_bg, seed ^ 0xdead_beef);
+    let mut b = GraphBuilder::with_capacity(n, bg.num_edges());
+    b.extend_edges(bg.edges());
+    for _ in 0..cliques {
+        let size = rng.gen_range(size_lo..=size_hi);
+        // Bias member choice towards low ids: quadratic rejection keeps
+        // roughly the first third of the id space in most cliques, which is
+        // what makes the planted cliques overlap.
+        let mut members = Vec::with_capacity(size);
+        while members.len() < size {
+            let r: f64 = rng.gen();
+            let v = ((r * r) * n as f64) as usize;
+            let v = v.min(n - 1) as VertexId;
+            if !members.contains(&v) {
+                members.push(v);
+            }
+        }
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Hamming graph `H(bits, d)` in the DIMACS clique-benchmark sense:
+/// vertices are all `2^bits` binary words, adjacent iff their Hamming
+/// distance is **at least** `d`. For `d = 2` the maximum clique is known:
+/// ω = 2^(bits-1) (a binary code with minimum distance 2, e.g. all words
+/// of even parity).
+pub fn hamming(bits: u32, d: u32) -> CsrGraph {
+    assert!((1..=12).contains(&bits), "hamming graphs limited to 2^12 vertices");
+    let n = 1usize << bits;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if (u ^ v).count_ones() >= d {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Paley graph of prime order `q ≡ 1 (mod 4)`: vertices `Z_q`, adjacent
+/// iff the difference is a nonzero quadratic residue. Self-complementary,
+/// strongly regular, with small ω — classic hard instances for clique
+/// bounds.
+pub fn paley(q: u32) -> CsrGraph {
+    assert!(q % 4 == 1, "Paley graphs need q ≡ 1 (mod 4)");
+    assert!(is_prime(q), "Paley graphs need prime q");
+    let mut is_qr = vec![false; q as usize];
+    for x in 1..q as u64 {
+        is_qr[((x * x) % q as u64) as usize] = true;
+    }
+    let mut b = GraphBuilder::new(q as usize);
+    for u in 0..q {
+        for v in (u + 1)..q {
+            if is_qr[(v - u) as usize] {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+fn is_prime(n: u32) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2u32;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+/// Random Apollonian network: start from `K4` and repeatedly subdivide a
+/// random triangular face with a new vertex joined to its three corners.
+/// A planar 3-tree: ω = 4, degeneracy = 3, clique-core gap **0** — the
+/// exact régime of the paper's road networks (USAroad: d = 3, ω = 4).
+pub fn apollonian(insertions: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 4 + insertions;
+    let mut b = GraphBuilder::with_capacity(n, 6 + 3 * insertions);
+    // K4 with faces; track the face list (each face = triangle).
+    for u in 0..4u32 {
+        for v in (u + 1)..4u32 {
+            b.add_edge(u, v);
+        }
+    }
+    let mut faces: Vec<[VertexId; 3]> = vec![
+        [0, 1, 2],
+        [0, 1, 3],
+        [0, 2, 3],
+        [1, 2, 3],
+    ];
+    for i in 0..insertions {
+        let v = (4 + i) as VertexId;
+        let fi = rng.gen_range(0..faces.len());
+        let [a, bb, c] = faces[fi];
+        b.add_edge(v, a);
+        b.add_edge(v, bb);
+        b.add_edge(v, c);
+        // replace the chosen face with the three new ones
+        faces[fi] = [a, bb, v];
+        faces.push([a, c, v]);
+        faces.push([bb, c, v]);
+    }
+    b.build()
+}
+
+/// Triangulated grid: `w × h` lattice with both diagonals per cell, so each
+/// unit cell is a `K4`. Road-network régime: ω = 4, tiny max degree,
+/// clique-core gap 0.
+pub fn triangulated_grid(w: usize, h: usize) -> CsrGraph {
+    assert!(w >= 2 && h >= 2);
+    let id = |x: usize, y: usize| (y * w + x) as VertexId;
+    let mut b = GraphBuilder::with_capacity(w * h, 4 * w * h);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_edge(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < h {
+                b.add_edge(id(x, y), id(x, y + 1));
+            }
+            if x + 1 < w && y + 1 < h {
+                b.add_edge(id(x, y), id(x + 1, y + 1)); // main diagonal
+                b.add_edge(id(x + 1, y), id(x, y + 1)); // anti diagonal
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.is_clique(&[0, 1, 2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn path_cycle_star_shapes() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(star(5).num_edges(), 4);
+        assert_eq!(star(5).degree(0), 4);
+    }
+
+    #[test]
+    fn gnp_determinism_and_bounds() {
+        let a = gnp(200, 0.05, 7);
+        let b = gnp(200, 0.05, 7);
+        assert_eq!(a, b);
+        let c = gnp(200, 0.05, 8);
+        assert_ne!(a, c, "different seeds should differ");
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let n = 500;
+        let p = 0.1;
+        let g = gnp(n, p, 123);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.15 * expected,
+            "edge count {got} too far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(50, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+        assert_eq!(gnp(1, 0.5, 1).num_edges(), 0);
+        assert_eq!(gnp(0, 0.5, 1).num_vertices(), 0);
+    }
+
+    #[test]
+    fn planted_clique_is_present() {
+        let g = planted_clique(100, 0.02, 8, 99);
+        // find it: the generator is deterministic, so re-derive the ids
+        let mut rng = StdRng::seed_from_u64(99 ^ 0x9e37_79b9_7f4a_7c15);
+        let mut ids: Vec<VertexId> = (0..100).collect();
+        ids.shuffle(&mut rng);
+        ids.truncate(8);
+        assert!(g.is_clique(&ids));
+    }
+
+    #[test]
+    fn barabasi_albert_structure() {
+        let g = barabasi_albert(300, 3, 5);
+        assert_eq!(g.num_vertices(), 300);
+        assert!(g.validate().is_ok());
+        // each vertex beyond the seed contributes m_per edges (some merge)
+        assert!(g.num_edges() >= 3 * (300 - 4) / 2);
+        // heavy tail: max degree far above average
+        assert!(g.max_degree() > 3 * (2 * g.num_edges() / 300));
+    }
+
+    #[test]
+    fn rmat_basic() {
+        let g = rmat(10, 8, 0.57, 0.19, 0.19, 3);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.validate().is_ok());
+        assert!(g.num_edges() > 1024); // dedup loses some but not most
+    }
+
+    #[test]
+    fn caveman_max_clique_is_community() {
+        let g = caveman(10, 6, 0.1, 17);
+        assert_eq!(g.num_vertices(), 60);
+        assert!(g.validate().is_ok());
+        // at least one community survives intact (p_rewire keeps most edges)
+        assert!(g.max_degree() >= 5);
+    }
+
+    #[test]
+    fn caveman_zero_rewire_is_disjoint_cliques() {
+        let g = caveman(4, 5, 0.0, 1);
+        assert_eq!(g.num_edges(), 4 * 10);
+        for c in 0..4u32 {
+            let ids: Vec<VertexId> = (c * 5..(c + 1) * 5).collect();
+            assert!(g.is_clique(&ids));
+        }
+    }
+
+    #[test]
+    fn dense_overlap_is_dense() {
+        let g = dense_overlap(300, 40, 10, 25, 0.05, 11);
+        assert!(g.density() > 0.05);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn hamming_distance_two_structure() {
+        let g = hamming(4, 2);
+        assert_eq!(g.num_vertices(), 16);
+        assert!(g.validate().is_ok());
+        // complement of H(n,2) is the hypercube: degree n there, so here
+        // degree = 2^n - 1 - n
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 16 - 1 - 4);
+        }
+        // the even-parity words form a clique of size 2^(n-1)
+        let evens: Vec<u32> = (0..16u32).filter(|x| x.count_ones() % 2 == 0).collect();
+        assert_eq!(evens.len(), 8);
+        assert!(g.is_clique(&evens));
+    }
+
+    #[test]
+    fn hamming_distance_n_is_perfect_matching() {
+        // distance >= bits: only complements are adjacent
+        let g = hamming(5, 5);
+        assert_eq!(g.num_edges(), 16);
+        for v in g.vertices() {
+            assert_eq!(g.neighbors(v), &[v ^ 0b11111]);
+        }
+    }
+
+    #[test]
+    fn paley_is_self_complementary_sized() {
+        // Paley(q) has exactly q(q-1)/4 edges
+        for q in [5u32, 13, 17, 29] {
+            let g = paley(q);
+            assert!(g.validate().is_ok());
+            assert_eq!(g.num_edges(), (q as usize * (q as usize - 1)) / 4, "q={q}");
+            // strongly regular: every vertex has degree (q-1)/2
+            for v in g.vertices() {
+                assert_eq!(g.degree(v), (q as usize - 1) / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn paley_five_is_c5() {
+        let g = paley(5);
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "prime")]
+    fn paley_rejects_composite() {
+        let _ = paley(9);
+    }
+
+    #[test]
+    fn apollonian_structure() {
+        let g = apollonian(200, 3);
+        assert_eq!(g.num_vertices(), 204);
+        assert_eq!(g.num_edges(), 6 + 3 * 200);
+        assert!(g.validate().is_ok());
+        // the seed K4 is intact
+        assert!(g.is_clique(&[0, 1, 2, 3]));
+        // deterministic
+        assert_eq!(apollonian(200, 3), apollonian(200, 3));
+    }
+
+    #[test]
+    fn apollonian_every_insertion_forms_k4() {
+        let g = apollonian(50, 9);
+        // every vertex beyond the seed has exactly its 3 face corners as
+        // the initial neighbours; together they form a K4
+        for v in 4..54u32 {
+            let first3: Vec<u32> = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| u < v)
+                .collect();
+            assert_eq!(first3.len(), 3, "vertex {v}");
+            let mut quad = first3.clone();
+            quad.push(v);
+            assert!(g.is_clique(&quad), "vertex {v} quad not a clique");
+        }
+    }
+
+    #[test]
+    fn triangulated_grid_contains_k4_only() {
+        let g = triangulated_grid(6, 4);
+        assert_eq!(g.num_vertices(), 24);
+        assert!(g.validate().is_ok());
+        // each unit cell is a K4
+        assert!(g.is_clique(&[0, 1, 6, 7]));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(barabasi_albert(100, 2, 9), barabasi_albert(100, 2, 9));
+        assert_eq!(
+            rmat(8, 4, 0.45, 0.25, 0.15, 2),
+            rmat(8, 4, 0.45, 0.25, 0.15, 2)
+        );
+        assert_eq!(caveman(5, 4, 0.05, 3), caveman(5, 4, 0.05, 3));
+        assert_eq!(
+            dense_overlap(100, 10, 5, 10, 0.02, 4),
+            dense_overlap(100, 10, 5, 10, 0.02, 4)
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Cheap structural statistics used by the experiment harness
+//! (Table I columns and the density-based algorithmic choice).
+
+use crate::CsrGraph;
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of undirected edges.
+    pub m: usize,
+    /// Maximum degree Δ.
+    pub max_degree: usize,
+    /// Average degree 2m/n.
+    pub avg_degree: f64,
+    /// Edge density 2m / (n(n-1)).
+    pub density: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics in a single pass.
+    pub fn of(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let mut max_degree = 0usize;
+        let mut isolated = 0usize;
+        for v in g.vertices() {
+            let d = g.degree(v);
+            max_degree = max_degree.max(d);
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+        GraphStats {
+            n,
+            m,
+            max_degree,
+            avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            density: g.density(),
+            isolated,
+        }
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stats_of_star() {
+        let g = gen::star(10);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.n, 10);
+        assert_eq!(s.m, 9);
+        assert_eq!(s.max_degree, 9);
+        assert_eq!(s.isolated, 0);
+        assert!((s.avg_degree - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let g = CsrGraph::empty(4);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.isolated, 4);
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.density, 0.0);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = gen::gnp(100, 0.1, 3);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn histogram_of_complete_graph() {
+        let g = gen::complete(5);
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 0, 0, 0, 5]);
+    }
+}

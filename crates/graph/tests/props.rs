@@ -1,0 +1,107 @@
+//! Property tests for the graph substrate: builder normalization, CSR
+//! invariants, relabelling, complement, induced subgraphs, and IO
+//! round-trips on arbitrary edge soups.
+
+use lazymc_graph::{gen, io, CsrGraph, GraphBuilder};
+use proptest::prelude::*;
+
+fn arb_edges() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..60, 0u32..60), 0..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever mess goes in, a valid simple undirected graph comes out.
+    #[test]
+    fn builder_normalizes_arbitrary_edge_soup(edges in arb_edges()) {
+        let mut b = GraphBuilder::new(0);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        g.validate().unwrap();
+        // every non-loop input edge is present
+        for &(u, v) in &edges {
+            if u != v {
+                prop_assert!(g.has_edge(u, v));
+                prop_assert!(g.has_edge(v, u));
+            }
+        }
+        // no unexpected edges: count unique non-loop undirected pairs
+        let mut uniq: Vec<(u32, u32)> = edges
+            .iter()
+            .filter(|&&(u, v)| u != v)
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(g.num_edges(), uniq.len());
+    }
+
+    #[test]
+    fn relabel_preserves_structure(edges in arb_edges(), seed in 0u64..100) {
+        let g = CsrGraph::from_edges(0, &edges);
+        let n = g.num_vertices();
+        if n == 0 {
+            return Ok(());
+        }
+        // pseudo-random permutation from the seed
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for i in (1..n).rev() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            perm.swap(i, (x as usize) % (i + 1));
+        }
+        let r = g.relabel(&perm);
+        r.validate().unwrap();
+        prop_assert_eq!(r.num_edges(), g.num_edges());
+        for u in 0..n as u32 {
+            for &v in g.neighbors(u) {
+                prop_assert!(r.has_edge(perm[u as usize], perm[v as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn complement_degree_identity(n in 2usize..40, p in 0.0f64..1.0, seed in 0u64..100) {
+        let g = gen::gnp(n, p, seed);
+        let c = g.complement();
+        c.validate().unwrap();
+        for v in g.vertices() {
+            prop_assert_eq!(g.degree(v) + c.degree(v), n - 1);
+        }
+        prop_assert_eq!(g.num_edges() + c.num_edges(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn induced_subgraph_edges_match(edges in arb_edges(), keep_mod in 2u32..5) {
+        let g = CsrGraph::from_edges(0, &edges);
+        let verts: Vec<u32> = g.vertices().filter(|v| v % keep_mod == 0).collect();
+        let (sub, map) = g.induced_subgraph(&verts);
+        sub.validate().unwrap();
+        for i in 0..sub.num_vertices() as u32 {
+            for j in 0..sub.num_vertices() as u32 {
+                if i != j {
+                    prop_assert_eq!(
+                        sub.has_edge(i, j),
+                        g.has_edge(map[i as usize], map[j as usize])
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn io_roundtrips(edges in arb_edges()) {
+        let g = CsrGraph::from_edges(0, &edges);
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        prop_assert_eq!(io::read_edge_list(&buf[..]).unwrap(), g.clone());
+        let mut buf2 = Vec::new();
+        io::write_dimacs(&g, &mut buf2).unwrap();
+        prop_assert_eq!(io::read_dimacs(&buf2[..]).unwrap(), g);
+    }
+}

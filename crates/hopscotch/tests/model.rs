@@ -1,0 +1,59 @@
+//! Model-based property tests: `HopscotchSet` must behave exactly like
+//! `std::collections::HashSet<u32>` under arbitrary insert/contains
+//! sequences, and its structural invariants must hold at every point.
+
+use lazymc_hopscotch::HopscotchSet;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn matches_std_hashset(keys in proptest::collection::vec(0u32..100_000, 0..800)) {
+        let mut model = HashSet::new();
+        let mut sut = HopscotchSet::new();
+        for k in keys {
+            prop_assert_eq!(sut.insert(k), model.insert(k));
+            prop_assert!(sut.contains(k));
+        }
+        prop_assert_eq!(sut.len(), model.len());
+        sut.check_invariants().unwrap();
+        // membership agrees on members and a band of non-members
+        for &k in &model {
+            prop_assert!(sut.contains(k));
+        }
+        for k in 100_000u32..100_100 {
+            prop_assert!(!sut.contains(k));
+        }
+        // iteration yields the model exactly
+        let got = sut.to_sorted_vec();
+        let mut want: Vec<u32> = model.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn narrow_key_range_forces_collisions(keys in proptest::collection::vec(0u32..64, 0..200)) {
+        let mut model = HashSet::new();
+        let mut sut = HopscotchSet::with_capacity(4);
+        for k in keys {
+            prop_assert_eq!(sut.insert(k), model.insert(k));
+        }
+        sut.check_invariants().unwrap();
+        for k in 0..64u32 {
+            prop_assert_eq!(sut.contains(k), model.contains(&k));
+        }
+    }
+
+    #[test]
+    fn pathological_stride_keys(stride in 1u32..1_000_000, count in 1usize..400) {
+        // Strided keys stress the multiplicative hash's distribution.
+        let mut sut = HopscotchSet::new();
+        for i in 0..count as u32 {
+            sut.insert(i.wrapping_mul(stride));
+        }
+        sut.check_invariants().unwrap();
+        for i in 0..count as u32 {
+            prop_assert!(sut.contains(i.wrapping_mul(stride)));
+        }
+    }
+}

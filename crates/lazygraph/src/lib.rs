@@ -1,0 +1,551 @@
+//! The lazy filtered hashed relabelled graph (paper §IV-A, Algorithm 2).
+//!
+//! LazyMC spends most of its time in the *relabelled* graph, where vertex
+//! ids follow the (coreness, degree) order. Building that representation
+//! eagerly is wasteful twice over: most vertices are never searched, and
+//! vertices searched *late* have many neighbors that the incumbent clique
+//! has already ruled out. This structure therefore:
+//!
+//! * **relabels on demand** — neighbor ids are remapped from the original
+//!   graph only when a neighbourhood is first queried, and memoized;
+//! * **filters at construction** — neighbors whose coreness is below the
+//!   incumbent size *at the time the neighbourhood is built* are dropped;
+//! * **materializes per use-site** — a [`HopscotchSet`] when the set will
+//!   answer membership probes (filters, subgraph cut-out), a sorted array
+//!   when it will be scanned (top-level search), both independently;
+//! * **shares across threads** with double-checked locking: an atomic
+//!   state flag published with `Release`/`Acquire` (the lazy-initialization
+//!   pattern of *Rust Atomics and Locks* ch. 2) plus a striped mutex pool
+//!   for the slow path.
+//!
+//! The two representations of one vertex may be filtered against different
+//! incumbent sizes. The paper proves this benign: any discrepancy concerns
+//! only vertices that can no longer affect the search. The property test in
+//! `tests/laziness.rs` checks exactly that invariant.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::sync::atomic::AtomicUsize;
+//! use lazymc_graph::gen;
+//! use lazymc_lazygraph::LazyGraph;
+//! use lazymc_order::{kcore_sequential, coreness_degree_order};
+//!
+//! let g = gen::gnp(100, 0.08, 3);
+//! let kc = kcore_sequential(&g);
+//! let order = coreness_degree_order(&g, &kc.coreness);
+//! let incumbent = Arc::new(AtomicUsize::new(2)); // pretend |C*| = 2
+//! let lg = LazyGraph::new(&g, &order, &kc.coreness, incumbent);
+//!
+//! assert_eq!(lg.built_counts(), (0, 0)); // nothing materialized yet
+//! let n0 = lg.sorted(0); // built on first use, filtered by coreness >= 2
+//! assert!(n0.iter().all(|&u| lg.coreness(u) >= 2));
+//! assert_eq!(lg.built_counts(), (0, 1));
+//! ```
+
+use lazymc_graph::{CsrGraph, VertexId};
+use lazymc_hopscotch::HopscotchSet;
+use lazymc_order::VertexOrder;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How much of the graph to materialize ahead of the search
+/// (the paper's Fig. 4 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrePopulate {
+    /// Build nothing up front; everything is constructed on first use.
+    None,
+    /// Build the hashed neighbourhoods of the *must* subgraph — vertices
+    /// whose coreness is at least the incumbent size found by the
+    /// degree-based heuristic. The paper's default.
+    #[default]
+    Must,
+    /// Build every vertex's hashed neighbourhood (the paper shows this is
+    /// up to 26× slower end-to-end).
+    All,
+}
+
+/// Either materialized representation of a neighbourhood.
+pub enum NeighborRef<'a> {
+    /// Hash-set representation.
+    Hash(&'a HopscotchSet),
+    /// Sorted-array representation.
+    Sorted(&'a [VertexId]),
+}
+
+const ABSENT: u8 = 0;
+const READY: u8 = 1;
+
+/// Number of stripes in the construction lock pool.
+const LOCK_STRIPES: usize = 1024;
+
+/// Degree threshold for the "either representation" contexts: high-degree
+/// vertices get a hash set, low-degree ones a sorted array (paper §IV-A).
+pub const HASH_DEGREE_THRESHOLD: usize = 16;
+
+struct Slot<T> {
+    state: AtomicU8,
+    value: UnsafeCell<Option<T>>,
+}
+
+impl<T> Slot<T> {
+    fn new() -> Self {
+        Slot {
+            state: AtomicU8::new(ABSENT),
+            value: UnsafeCell::new(None),
+        }
+    }
+
+    /// Fast path: `Some` when the value is published.
+    #[inline]
+    fn get(&self) -> Option<&T> {
+        if self.state.load(Ordering::Acquire) == READY {
+            // SAFETY: READY is stored with Release *after* the value is
+            // written, and the value is never mutated again.
+            unsafe { (*self.value.get()).as_ref() }
+        } else {
+            None
+        }
+    }
+
+    /// Publishes `value`; must be called while holding the stripe lock and
+    /// only when the state is still ABSENT.
+    #[inline]
+    fn publish(&self, value: T) -> &T {
+        // SAFETY: the stripe lock serializes writers; state is ABSENT so no
+        // reader holds a reference yet.
+        let r = unsafe {
+            let cell = &mut *self.value.get();
+            *cell = Some(value);
+            cell.as_ref().unwrap()
+        };
+        self.state.store(READY, Ordering::Release);
+        r
+    }
+}
+
+/// The lazy filtered hashed relabelled graph. All vertex ids in its API are
+/// *relabelled* ids; use [`LazyGraph::order`] to map back.
+pub struct LazyGraph<'g> {
+    g: &'g CsrGraph,
+    order: &'g VertexOrder,
+    /// Coreness indexed by relabelled id (non-decreasing by construction).
+    coreness: Vec<u32>,
+    /// Live incumbent clique size; constructions filter against it.
+    incumbent: Arc<AtomicUsize>,
+    hash: Vec<Slot<HopscotchSet>>,
+    sorted: Vec<Slot<Box<[VertexId]>>>,
+    locks: Box<[Mutex<()>]>,
+    hash_built: AtomicUsize,
+    sorted_built: AtomicUsize,
+}
+
+// SAFETY: Slot values are written exactly once under a stripe mutex, then
+// published via Release store and only read after an Acquire load; after
+// publication they are immutable. All other fields are Sync.
+unsafe impl Sync for LazyGraph<'_> {}
+unsafe impl Send for LazyGraph<'_> {}
+
+impl<'g> LazyGraph<'g> {
+    /// Creates the lazy graph over `g`, relabelled by `order`, with
+    /// `coreness` given in *original* ids, filtering against `incumbent`.
+    pub fn new(
+        g: &'g CsrGraph,
+        order: &'g VertexOrder,
+        coreness_orig: &[u32],
+        incumbent: Arc<AtomicUsize>,
+    ) -> Self {
+        let n = g.num_vertices();
+        assert_eq!(order.len(), n);
+        assert_eq!(coreness_orig.len(), n);
+        let coreness: Vec<u32> = (0..n)
+            .map(|rel| coreness_orig[order.to_original(rel as VertexId) as usize])
+            .collect();
+        LazyGraph {
+            g,
+            order,
+            coreness,
+            incumbent,
+            hash: (0..n).map(|_| Slot::new()).collect(),
+            sorted: (0..n).map(|_| Slot::new()).collect(),
+            locks: (0..LOCK_STRIPES.min(n.max(1)))
+                .map(|_| Mutex::new(()))
+                .collect(),
+            hash_built: AtomicUsize::new(0),
+            sorted_built: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.g.num_vertices()
+    }
+
+    /// The relabelling in force.
+    pub fn order(&self) -> &VertexOrder {
+        self.order
+    }
+
+    /// The underlying original-id graph.
+    pub fn original_graph(&self) -> &CsrGraph {
+        self.g
+    }
+
+    /// Coreness of a relabelled vertex.
+    #[inline]
+    pub fn coreness(&self, v: VertexId) -> u32 {
+        self.coreness[v as usize]
+    }
+
+    /// Coreness array (relabelled ids).
+    pub fn coreness_slice(&self) -> &[u32] {
+        &self.coreness
+    }
+
+    /// Degree of a relabelled vertex in the *original* (unfiltered) graph.
+    #[inline]
+    pub fn degree_unfiltered(&self, v: VertexId) -> usize {
+        self.g.degree(self.order.to_original(v))
+    }
+
+    /// Current incumbent size used for filtering.
+    pub fn incumbent_size(&self) -> usize {
+        self.incumbent.load(Ordering::Relaxed)
+    }
+
+    /// Counts of materialized representations `(hashed, sorted)` —
+    /// laziness diagnostics for the Fig. 4 experiment.
+    pub fn built_counts(&self) -> (usize, usize) {
+        (
+            self.hash_built.load(Ordering::Relaxed),
+            self.sorted_built.load(Ordering::Relaxed),
+        )
+    }
+
+    #[inline]
+    fn stripe(&self, v: VertexId) -> &Mutex<()> {
+        &self.locks[v as usize % self.locks.len()]
+    }
+
+    /// Collects the filtered, relabelled neighbourhood of `v` (unsorted).
+    /// This is `CreateHashedNeighborhood`'s loop body in Algorithm 2:
+    /// remap each original neighbor and keep it only if its coreness is at
+    /// least the incumbent size *now*.
+    fn collect_filtered(&self, v: VertexId) -> Vec<VertexId> {
+        let cstar = self.incumbent.load(Ordering::Relaxed) as u32;
+        let vo = self.order.to_original(v);
+        let nbrs = self.g.neighbors(vo);
+        let mut out = Vec::with_capacity(nbrs.len());
+        for &uo in nbrs {
+            let u = self.order.to_relabelled(uo);
+            if self.coreness[u as usize] >= cstar {
+                out.push(u);
+            }
+        }
+        out
+    }
+
+    /// `GetHashedNeighborhood` (Algorithm 2): the hash-set representation,
+    /// built and memoized on first use.
+    pub fn hashed(&self, v: VertexId) -> &HopscotchSet {
+        if let Some(h) = self.hash[v as usize].get() {
+            return h; // fast path: already published
+        }
+        let guard = self.stripe(v).lock();
+        // Double-check under the lock: another thread may have built it
+        // between our fast-path load and acquiring the stripe.
+        if let Some(h) = self.hash[v as usize].get() {
+            return h;
+        }
+        let nbrs = self.collect_filtered(v);
+        let mut set = HopscotchSet::with_capacity(nbrs.len());
+        for u in nbrs {
+            set.insert(u);
+        }
+        self.hash_built.fetch_add(1, Ordering::Relaxed);
+        let r = self.hash[v as usize].publish(set);
+        drop(guard);
+        r
+    }
+
+    /// The sorted-array representation, built and memoized on first use.
+    pub fn sorted(&self, v: VertexId) -> &[VertexId] {
+        if let Some(s) = self.sorted[v as usize].get() {
+            return s;
+        }
+        let guard = self.stripe(v).lock();
+        if let Some(s) = self.sorted[v as usize].get() {
+            return s;
+        }
+        let mut nbrs = self.collect_filtered(v);
+        nbrs.sort_unstable();
+        self.sorted_built.fetch_add(1, Ordering::Relaxed);
+        let r = self.sorted[v as usize].publish(nbrs.into_boxed_slice());
+        drop(guard);
+        r
+    }
+
+    /// The filtered right-neighbourhood `N+(v)` (relabelled ids > `v`),
+    /// as a sub-slice of the sorted representation.
+    pub fn right_sorted(&self, v: VertexId) -> &[VertexId] {
+        let s = self.sorted(v);
+        let split = s.partition_point(|&u| u <= v);
+        &s[split..]
+    }
+
+    /// "Either representation" contexts (paper §IV-A): returns whatever is
+    /// already materialized — preferring the hash set, which intersects
+    /// faster — or builds one chosen by degree.
+    pub fn any(&self, v: VertexId) -> NeighborRef<'_> {
+        if let Some(h) = self.hash[v as usize].get() {
+            return NeighborRef::Hash(h);
+        }
+        if let Some(s) = self.sorted[v as usize].get() {
+            return NeighborRef::Sorted(s);
+        }
+        if self.degree_unfiltered(v) > HASH_DEGREE_THRESHOLD {
+            NeighborRef::Hash(self.hashed(v))
+        } else {
+            NeighborRef::Sorted(self.sorted(v))
+        }
+    }
+
+    /// Pre-populates neighbourhoods according to `policy`, in parallel.
+    /// `must_threshold` is the incumbent size the *must* subgraph is
+    /// measured against (the degree-heuristic result in Algorithm 1).
+    ///
+    /// The paper pre-populates the hashed representation; in this
+    /// implementation the systematic search's filters consume the *sorted*
+    /// representation (with the per-call candidate set as the hash side),
+    /// so that is what gets pre-built — same policy, same ablation axis,
+    /// representation matched to the consumer (see DESIGN.md §6).
+    pub fn prepopulate(&self, policy: PrePopulate, must_threshold: usize) {
+        let n = self.num_vertices() as u32;
+        match policy {
+            PrePopulate::None => {}
+            PrePopulate::Must => {
+                (0..n)
+                    .into_par_iter()
+                    .filter(|&v| self.coreness[v as usize] >= must_threshold as u32)
+                    .for_each(|v| {
+                        self.sorted(v);
+                    });
+            }
+            PrePopulate::All => {
+                (0..n).into_par_iter().for_each(|v| {
+                    self.sorted(v);
+                });
+            }
+        }
+    }
+
+    /// Test hook: checks the divergence invariant for `v` — every neighbor
+    /// present in one representation but not the other must have coreness
+    /// below the *larger* of the two construction-time incumbents, i.e. it
+    /// must be ruled out already. Returns `Ok(())` when the invariant holds
+    /// or a representation is missing.
+    pub fn check_divergence_invariant(&self, v: VertexId) -> Result<(), String> {
+        let (Some(h), Some(s)) = (self.hash[v as usize].get(), self.sorted[v as usize].get())
+        else {
+            return Ok(());
+        };
+        let cstar = self.incumbent.load(Ordering::Relaxed) as u32;
+        let hs: std::collections::BTreeSet<u32> = h.iter().collect();
+        let ss: std::collections::BTreeSet<u32> = s.iter().copied().collect();
+        for &u in hs.symmetric_difference(&ss) {
+            if self.coreness[u as usize] >= cstar {
+                return Err(format!(
+                    "vertex {u} (coreness {}) diverges between representations of {v} \
+                     but is still in the zone of interest (incumbent {cstar})",
+                    self.coreness[u as usize]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazymc_graph::gen;
+    use lazymc_order::{coreness_degree_order, kcore_sequential};
+
+    fn setup(
+        g: &CsrGraph,
+        incumbent: usize,
+    ) -> (VertexOrder, Vec<u32>, Arc<AtomicUsize>) {
+        let kc = kcore_sequential(g);
+        let ord = coreness_degree_order(g, &kc.coreness);
+        (ord, kc.coreness, Arc::new(AtomicUsize::new(incumbent)))
+    }
+
+    #[test]
+    fn hashed_and_sorted_agree_when_built_together() {
+        let g = gen::gnp(120, 0.08, 1);
+        let (ord, core, inc) = setup(&g, 0);
+        let lg = LazyGraph::new(&g, &ord, &core, inc);
+        for v in 0..120u32 {
+            let h = lg.hashed(v).to_sorted_vec();
+            let s = lg.sorted(v).to_vec();
+            assert_eq!(h, s, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn unfiltered_matches_original_neighborhood() {
+        let g = gen::gnp(80, 0.1, 2);
+        let (ord, core, inc) = setup(&g, 0);
+        let lg = LazyGraph::new(&g, &ord, &core, inc);
+        for v in 0..80u32 {
+            let got = lg.sorted(v);
+            let mut want: Vec<u32> = g
+                .neighbors(ord.to_original(v))
+                .iter()
+                .map(|&u| ord.to_relabelled(u))
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, &want[..], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn filtering_removes_low_coreness_neighbors() {
+        // star: center has coreness 1, leaves 1. incumbent 2 removes all.
+        let g = gen::star(10);
+        let (ord, core, inc) = setup(&g, 2);
+        let lg = LazyGraph::new(&g, &ord, &core, inc);
+        for v in 0..10u32 {
+            assert!(lg.sorted(v).is_empty(), "vertex {v} should filter to empty");
+            assert!(lg.hashed(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn filtering_keeps_core_of_planted_clique() {
+        let g = gen::planted_clique(60, 0.03, 8, 3);
+        let kc = kcore_sequential(&g);
+        let ord = coreness_degree_order(&g, &kc.coreness);
+        let inc = Arc::new(AtomicUsize::new(7));
+        let lg = LazyGraph::new(&g, &ord, &kc.coreness, inc);
+        // every kept neighbor has coreness >= 7
+        for v in 0..60u32 {
+            for &u in lg.sorted(v) {
+                assert!(lg.coreness(u) >= 7);
+            }
+        }
+    }
+
+    #[test]
+    fn laziness_builds_nothing_until_queried() {
+        let g = gen::gnp(50, 0.1, 4);
+        let (ord, core, inc) = setup(&g, 0);
+        let lg = LazyGraph::new(&g, &ord, &core, inc);
+        assert_eq!(lg.built_counts(), (0, 0));
+        lg.hashed(3);
+        lg.hashed(3); // memoized: no second build
+        lg.sorted(7);
+        assert_eq!(lg.built_counts(), (1, 1));
+    }
+
+    #[test]
+    fn right_sorted_strictly_greater() {
+        let g = gen::gnp(100, 0.1, 5);
+        let (ord, core, inc) = setup(&g, 0);
+        let lg = LazyGraph::new(&g, &ord, &core, inc);
+        for v in 0..100u32 {
+            for &u in lg.right_sorted(v) {
+                assert!(u > v);
+            }
+            // right + left partition the filtered neighbourhood
+            let all = lg.sorted(v).len();
+            let right = lg.right_sorted(v).len();
+            let left = lg.sorted(v).iter().filter(|&&u| u < v).count();
+            assert_eq!(left + right, all);
+        }
+    }
+
+    #[test]
+    fn any_prefers_existing_hash() {
+        let g = gen::gnp(40, 0.2, 6);
+        let (ord, core, inc) = setup(&g, 0);
+        let lg = LazyGraph::new(&g, &ord, &core, inc);
+        lg.hashed(0);
+        match lg.any(0) {
+            NeighborRef::Hash(_) => {}
+            NeighborRef::Sorted(_) => panic!("should reuse the hash representation"),
+        }
+    }
+
+    #[test]
+    fn any_chooses_by_degree_when_absent() {
+        let g = gen::star(40); // center degree 39, leaves degree 1
+        let (ord, core, inc) = setup(&g, 0);
+        let lg = LazyGraph::new(&g, &ord, &core, inc);
+        let center_rel = ord.to_relabelled(0);
+        match lg.any(center_rel) {
+            NeighborRef::Hash(_) => {}
+            NeighborRef::Sorted(_) => panic!("high degree should get a hash set"),
+        }
+        let leaf_rel = ord.to_relabelled(1);
+        match lg.any(leaf_rel) {
+            NeighborRef::Sorted(_) => {}
+            NeighborRef::Hash(_) => panic!("low degree should get a sorted array"),
+        }
+    }
+
+    #[test]
+    fn prepopulate_policies() {
+        let g = gen::planted_clique(80, 0.05, 8, 7);
+        let kc = kcore_sequential(&g);
+        let ord = coreness_degree_order(&g, &kc.coreness);
+
+        let inc = Arc::new(AtomicUsize::new(0));
+        let lg = LazyGraph::new(&g, &ord, &kc.coreness, inc.clone());
+        lg.prepopulate(PrePopulate::None, 8);
+        assert_eq!(lg.built_counts().1, 0);
+        lg.prepopulate(PrePopulate::Must, 8);
+        let must_count = lg.built_counts().1;
+        let expected = kc.coreness.iter().filter(|&&c| c >= 8).count();
+        assert_eq!(must_count, expected);
+        lg.prepopulate(PrePopulate::All, 8);
+        assert_eq!(lg.built_counts().1, 80);
+    }
+
+    #[test]
+    fn divergent_representations_only_differ_outside_zone() {
+        let g = gen::planted_clique(100, 0.05, 9, 8);
+        let kc = kcore_sequential(&g);
+        let ord = coreness_degree_order(&g, &kc.coreness);
+        let inc = Arc::new(AtomicUsize::new(2));
+        let lg = LazyGraph::new(&g, &ord, &kc.coreness, inc.clone());
+        // Build hashes early (incumbent = 2)…
+        for v in 0..100u32 {
+            lg.hashed(v);
+        }
+        // …then the incumbent grows and sorted reps see a tighter filter.
+        inc.store(8, Ordering::Relaxed);
+        for v in 0..100u32 {
+            lg.sorted(v);
+            lg.check_divergence_invariant(v).unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_construction_is_consistent() {
+        let g = gen::gnp(300, 0.05, 9);
+        let (ord, core, inc) = setup(&g, 0);
+        let lg = LazyGraph::new(&g, &ord, &core, inc);
+        // Hammer the same vertices from many threads.
+        (0..300u32).into_par_iter().for_each(|i| {
+            let v = i % 16;
+            let h = lg.hashed(v);
+            let s = lg.sorted(v);
+            assert_eq!(h.len(), s.len());
+        });
+        // Each of the 16 vertices built exactly once per representation.
+        assert_eq!(lg.built_counts(), (16, 16));
+    }
+}

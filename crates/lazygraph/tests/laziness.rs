@@ -1,0 +1,81 @@
+//! Property tests for the lazy graph: filtering correctness, memoization,
+//! and the representation-divergence invariant under an evolving incumbent.
+
+use lazymc_graph::{gen, CsrGraph};
+use lazymc_lazygraph::LazyGraph;
+use lazymc_order::{coreness_degree_order, kcore_sequential};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (5usize..80, 0.02f64..0.3, 0u64..500).prop_map(|(n, p, seed)| gen::gnp(n, p, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sorted representation must equal the relabelled original
+    /// neighbourhood restricted to coreness >= incumbent-at-construction.
+    #[test]
+    fn filtered_contents_exact(g in arb_graph(), incumbent in 0usize..6) {
+        let kc = kcore_sequential(&g);
+        let ord = coreness_degree_order(&g, &kc.coreness);
+        let inc = Arc::new(AtomicUsize::new(incumbent));
+        let lg = LazyGraph::new(&g, &ord, &kc.coreness, inc);
+        for v in 0..g.num_vertices() as u32 {
+            let mut want: Vec<u32> = g
+                .neighbors(ord.to_original(v))
+                .iter()
+                .map(|&uo| ord.to_relabelled(uo))
+                .filter(|&u| lg.coreness(u) >= incumbent as u32)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(lg.sorted(v), &want[..]);
+            prop_assert_eq!(lg.hashed(v).to_sorted_vec(), want);
+        }
+    }
+
+    /// Growing the incumbent between the two constructions may only strand
+    /// already-ruled-out vertices in the older representation.
+    #[test]
+    fn divergence_invariant(g in arb_graph(), first in 0usize..4, growth in 0usize..6) {
+        let kc = kcore_sequential(&g);
+        let ord = coreness_degree_order(&g, &kc.coreness);
+        let inc = Arc::new(AtomicUsize::new(first));
+        let lg = LazyGraph::new(&g, &ord, &kc.coreness, inc.clone());
+        let n = g.num_vertices() as u32;
+        for v in (0..n).step_by(2) {
+            lg.hashed(v);
+        }
+        inc.store(first + growth, Ordering::Relaxed);
+        for v in 0..n {
+            lg.sorted(v);
+            lg.check_divergence_invariant(v).unwrap();
+        }
+    }
+
+    /// Querying must never build more than once per representation,
+    /// regardless of access pattern.
+    #[test]
+    fn memoization_counts(g in arb_graph(), accesses in proptest::collection::vec(0usize..40, 1..60)) {
+        let kc = kcore_sequential(&g);
+        let ord = coreness_degree_order(&g, &kc.coreness);
+        let inc = Arc::new(AtomicUsize::new(0));
+        let lg = LazyGraph::new(&g, &ord, &kc.coreness, inc);
+        let n = g.num_vertices();
+        let mut hash_touched = std::collections::BTreeSet::new();
+        let mut sort_touched = std::collections::BTreeSet::new();
+        for (i, a) in accesses.iter().enumerate() {
+            let v = (a % n) as u32;
+            if i % 2 == 0 {
+                lg.hashed(v);
+                hash_touched.insert(v);
+            } else {
+                lg.sorted(v);
+                sort_touched.insert(v);
+            }
+        }
+        prop_assert_eq!(lg.built_counts(), (hash_touched.len(), sort_touched.len()));
+    }
+}

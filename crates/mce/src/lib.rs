@@ -1,0 +1,305 @@
+//! Maximal Clique Enumeration (MCE).
+//!
+//! The early-exit intersection kernels at the heart of LazyMC were first
+//! introduced for MCE (paper §IV-B cites \[4\], the author's ICS'24 MCE
+//! work), where the hot operation is *pivot selection*: at every node of
+//! the Bron–Kerbosch recursion, pick the vertex of `P ∪ X` with the most
+//! neighbors inside `P`. Like LazyMC's degree-based heuristic, that
+//! arg-max only cares about sizes above the running maximum — precisely
+//! what `intersect-size-gt-val` accelerates.
+//!
+//! This crate implements the standard state of the art:
+//!
+//! * outer loop over vertices in **degeneracy order** (Eppstein–Löffler–
+//!   Strash), bounding every recursion's candidate set by the coreness;
+//! * Bron–Kerbosch recursion with **Tomita pivoting**, pivot chosen with
+//!   the ratcheting early-exit kernel;
+//! * sets kept as sorted arrays, intersected with the workspace's merge
+//!   kernels.
+//!
+//! ```
+//! use lazymc_graph::gen;
+//! use lazymc_mce::{count_maximal_cliques, for_each_maximal_clique};
+//!
+//! // A triangle-free graph's maximal cliques are exactly its edges.
+//! let g = gen::cycle(5);
+//! assert_eq!(count_maximal_cliques(&g), 5);
+//!
+//! let mut sizes = Vec::new();
+//! for_each_maximal_clique(&gen::complete(4), |c| sizes.push(c.len()));
+//! assert_eq!(sizes, vec![4]); // K4 has a single maximal clique
+//! ```
+
+use lazymc_graph::{CsrGraph, VertexId};
+use lazymc_intersect::{intersect_size_gt_val, intersect_sorted, SortedSlice};
+use lazymc_order::kcore_sequential;
+
+/// Enumeration statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MceStats {
+    /// Maximal cliques reported.
+    pub cliques: u64,
+    /// Recursion nodes visited.
+    pub nodes: u64,
+}
+
+struct Enumerator<'g, F> {
+    g: &'g CsrGraph,
+    emit: F,
+    stats: MceStats,
+    /// Current clique under construction.
+    r: Vec<VertexId>,
+    /// Scratch buffer for intersections.
+    tmp: Vec<VertexId>,
+}
+
+impl<F: FnMut(&[VertexId])> Enumerator<'_, F> {
+    /// Bron–Kerbosch with Tomita pivoting over sorted candidate/excluded
+    /// sets. Invariant: every vertex of `p ∪ x` is adjacent to all of `r`.
+    fn expand(&mut self, p: Vec<VertexId>, mut x: Vec<VertexId>) {
+        self.stats.nodes += 1;
+        if p.is_empty() {
+            if x.is_empty() {
+                self.stats.cliques += 1;
+                (self.emit)(&self.r);
+            }
+            return;
+        }
+        // Pivot: w ∈ P ∪ X maximizing |P ∩ N(w)|, found with the
+        // ratcheting early-exit kernel — the optimization of [4].
+        let pivot = self.select_pivot(&p, &x);
+        // Branch on P \ N(pivot).
+        let pivot_nbrs = self.g.neighbors(pivot);
+        let branch: Vec<VertexId> = p
+            .iter()
+            .copied()
+            .filter(|&u| pivot_nbrs.binary_search(&u).is_err())
+            .collect();
+        let mut p = p;
+        for v in branch {
+            let nv = self.g.neighbors(v);
+            let mut p2 = Vec::new();
+            intersect_sorted(&p, nv, &mut p2);
+            // v itself is in p but not in N(v); remove it from the child P.
+            if let Ok(i) = p2.binary_search(&v) {
+                p2.remove(i);
+            }
+            let mut x2 = Vec::new();
+            intersect_sorted(&x, nv, &mut x2);
+            self.r.push(v);
+            self.expand(p2, x2);
+            self.r.pop();
+            // Move v from P to X (both stay sorted).
+            if let Ok(i) = p.binary_search(&v) {
+                p.remove(i);
+            }
+            if let Err(i) = x.binary_search(&v) {
+                x.insert(i, v);
+            }
+        }
+    }
+
+    fn select_pivot(&mut self, p: &[VertexId], x: &[VertexId]) -> VertexId {
+        let mut best = p[0];
+        let mut best_d = 0usize;
+        for &w in p.iter().chain(x) {
+            let nw = SortedSlice(self.g.neighbors(w));
+            // Early exit at the running maximum: most candidates abandon
+            // the count long before scanning all of P.
+            if let Some(d) = intersect_size_gt_val(p, &nw, best_d) {
+                if d > best_d {
+                    best_d = d;
+                    best = w;
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Calls `emit` once per maximal clique of `g` (vertices in unspecified
+/// order within the slice). Returns enumeration statistics.
+pub fn for_each_maximal_clique<F: FnMut(&[VertexId])>(g: &CsrGraph, emit: F) -> MceStats {
+    let n = g.num_vertices();
+    if n == 0 {
+        return MceStats::default();
+    }
+    let kc = kcore_sequential(g);
+    let mut rank = vec![0u32; n];
+    for (i, &v) in kc.peel_order.iter().enumerate() {
+        rank[v as usize] = i as u32;
+    }
+    let mut e = Enumerator {
+        g,
+        emit,
+        stats: MceStats::default(),
+        r: Vec::new(),
+        tmp: Vec::new(),
+    };
+    let _ = &e.tmp;
+    // Eppstein–Löffler–Strash outer loop: one recursion per vertex, with
+    // P restricted to later (peel-order) neighbors and X to earlier ones —
+    // every P is bounded by the degeneracy.
+    for &v in &kc.peel_order {
+        let nbrs = g.neighbors(v);
+        let mut p: Vec<VertexId> = nbrs
+            .iter()
+            .copied()
+            .filter(|&u| rank[u as usize] > rank[v as usize])
+            .collect();
+        let mut x: Vec<VertexId> = nbrs
+            .iter()
+            .copied()
+            .filter(|&u| rank[u as usize] < rank[v as usize])
+            .collect();
+        p.sort_unstable();
+        x.sort_unstable();
+        e.r.push(v);
+        e.expand(p, x);
+        e.r.pop();
+    }
+    // Isolated vertices: the loop above emits them ({v} with empty P/X),
+    // so nothing special is needed.
+    e.stats
+}
+
+/// Number of maximal cliques of `g`.
+pub fn count_maximal_cliques(g: &CsrGraph) -> u64 {
+    for_each_maximal_clique(g, |_| {}).cliques
+}
+
+/// Collects all maximal cliques, each sorted ascending; the collection is
+/// sorted lexicographically (tests / small graphs only — the count can be
+/// exponential).
+pub fn all_maximal_cliques(g: &CsrGraph) -> Vec<Vec<VertexId>> {
+    let mut out = Vec::new();
+    for_each_maximal_clique(g, |c| {
+        let mut c = c.to_vec();
+        c.sort_unstable();
+        out.push(c);
+    });
+    out.sort();
+    out
+}
+
+/// Reference oracle straight from the definition: a subset is a maximal
+/// clique iff it is a clique and no outside vertex extends it. O(2^n · n²);
+/// for graphs with at most ~16 vertices.
+pub fn all_maximal_cliques_naive(g: &CsrGraph) -> Vec<Vec<VertexId>> {
+    let n = g.num_vertices();
+    assert!(n <= 20, "naive oracle is exponential");
+    let mut out = Vec::new();
+    for mask in 1u32..(1 << n) {
+        let members: Vec<VertexId> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+        if !g.is_clique(&members) {
+            continue;
+        }
+        let extendable = (0..n as u32).any(|u| {
+            mask & (1 << u) == 0 && members.iter().all(|&v| g.has_edge(u, v))
+        });
+        if !extendable {
+            out.push(members);
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazymc_graph::gen;
+
+    #[test]
+    fn complete_graph_single_clique() {
+        let g = gen::complete(6);
+        let all = all_maximal_cliques(&g);
+        assert_eq!(all, vec![vec![0, 1, 2, 3, 4, 5]]);
+    }
+
+    #[test]
+    fn triangle_free_graphs_cliques_are_edges() {
+        for g in [gen::cycle(7), gen::star(6), gen::path(5)] {
+            assert_eq!(count_maximal_cliques(&g), g.num_edges() as u64);
+        }
+    }
+
+    #[test]
+    fn moon_moser_count() {
+        // Complete 3-partite graph with parts of size 3 (K_{3,3,3}):
+        // 3^3 = 27 maximal cliques, the Moon–Moser extremal family.
+        let mut edges = Vec::new();
+        let part = |v: u32| v / 3;
+        for u in 0..9u32 {
+            for v in (u + 1)..9 {
+                if part(u) != part(v) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = lazymc_graph::CsrGraph::from_edges(9, &edges);
+        assert_eq!(count_maximal_cliques(&g), 27);
+        // each maximal clique takes one vertex per part → size 3
+        for c in all_maximal_cliques(&g) {
+            assert_eq!(c.len(), 3);
+        }
+    }
+
+    #[test]
+    fn petersen_graph_fifteen_edges() {
+        let outer = [(0u32, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+        let spokes = [(0u32, 5), (1, 6), (2, 7), (3, 8), (4, 9)];
+        let inner = [(5u32, 7), (7, 9), (9, 6), (6, 8), (8, 5)];
+        let edges: Vec<(u32, u32)> =
+            outer.iter().chain(&spokes).chain(&inner).copied().collect();
+        let g = lazymc_graph::CsrGraph::from_edges(10, &edges);
+        // triangle-free: maximal cliques = the 15 edges
+        assert_eq!(count_maximal_cliques(&g), 15);
+    }
+
+    #[test]
+    fn isolated_vertices_are_maximal() {
+        let g = lazymc_graph::CsrGraph::from_edges(4, &[(0, 1)]);
+        let all = all_maximal_cliques(&g);
+        assert_eq!(all, vec![vec![0, 1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = lazymc_graph::CsrGraph::empty(0);
+        assert_eq!(count_maximal_cliques(&g), 0);
+    }
+
+    #[test]
+    fn matches_naive_on_small_random() {
+        for seed in 0..6 {
+            let g = gen::gnp(12, 0.35, seed);
+            assert_eq!(
+                all_maximal_cliques(&g),
+                all_maximal_cliques_naive(&g),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_emitted_set_is_a_maximal_clique() {
+        let g = gen::planted_clique(60, 0.1, 7, 3);
+        for_each_maximal_clique(&g, |c| {
+            assert!(g.is_clique(c));
+            // no vertex extends it
+            let extendable = g
+                .vertices()
+                .any(|u| !c.contains(&u) && c.iter().all(|&v| g.has_edge(u, v)));
+            assert!(!extendable, "clique {c:?} is extendable");
+        });
+    }
+
+    #[test]
+    fn max_clique_is_among_maximal_cliques() {
+        let g = gen::planted_clique(80, 0.08, 9, 5);
+        let mut biggest = 0usize;
+        for_each_maximal_clique(&g, |c| biggest = biggest.max(c.len()));
+        assert_eq!(biggest, 9);
+    }
+}

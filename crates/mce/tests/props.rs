@@ -1,0 +1,68 @@
+//! Property tests: the enumerator must match the from-definition oracle on
+//! arbitrary small graphs, and its global invariants must hold on larger
+//! ones where the oracle is unaffordable.
+
+use lazymc_graph::{gen, CsrGraph};
+use lazymc_mce::{all_maximal_cliques, all_maximal_cliques_naive, for_each_maximal_clique};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matches_oracle_on_small_graphs(
+        n in 1usize..14,
+        p in 0.0f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let g = gen::gnp(n, p, seed);
+        prop_assert_eq!(all_maximal_cliques(&g), all_maximal_cliques_naive(&g));
+    }
+
+    #[test]
+    fn emitted_cliques_are_distinct_and_cover_all_edges(
+        n in 2usize..60,
+        p in 0.0f64..0.3,
+        seed in 0u64..10_000,
+    ) {
+        let g = gen::gnp(n, p, seed);
+        let all = all_maximal_cliques(&g);
+        // distinct
+        for w in all.windows(2) {
+            prop_assert!(w[0] != w[1], "duplicate maximal clique");
+        }
+        // every edge lies in at least one maximal clique
+        let mut covered = std::collections::HashSet::new();
+        for c in &all {
+            for (i, &u) in c.iter().enumerate() {
+                for &v in &c[i + 1..] {
+                    covered.insert((u.min(v), u.max(v)));
+                }
+            }
+        }
+        for (u, v) in g.edges() {
+            prop_assert!(covered.contains(&(u, v)), "edge ({u},{v}) uncovered");
+        }
+        // every vertex lies in at least one maximal clique
+        let mut seen = vec![false; n];
+        for c in &all {
+            for &v in c {
+                seen[v as usize] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn clique_count_of_disjoint_union_multiplies(parts in 1usize..4, size in 2usize..5) {
+        // caveman with zero rewiring = disjoint K_size components: each is
+        // one maximal clique.
+        let g: CsrGraph = gen::caveman(parts, size, 0.0, 1);
+        let mut count = 0u64;
+        for_each_maximal_clique(&g, |c| {
+            assert_eq!(c.len(), size);
+            count += 1;
+        });
+        prop_assert_eq!(count, parts as u64);
+    }
+}

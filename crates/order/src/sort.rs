@@ -1,0 +1,175 @@
+//! Parallel stable counting sort.
+//!
+//! The paper orders vertices with SAPCo sort \[25\] (a parallel counting sort
+//! specialized for power-law degree arrays) followed by a stable counting
+//! sort on coreness. This module provides the general primitive both phases
+//! use: a parallel, *stable* counting sort of `u32` items by a small
+//! integer key (degree or coreness, both bounded by the max degree).
+//!
+//! Parallelization is the textbook scheme: chunk the input, build one
+//! histogram per chunk, exclusive-scan histograms in key-major order (so
+//! lower chunks of the same key precede higher chunks — that is what makes
+//! the sort stable), then scatter each chunk independently.
+
+use rayon::prelude::*;
+
+/// Sequential stable counting sort used for small inputs and as the test
+/// oracle for the parallel version.
+pub fn counting_sort_by_key<K>(items: &[u32], max_key: u32, key: K) -> Vec<u32>
+where
+    K: Fn(u32) -> u32,
+{
+    let mut hist = vec![0usize; max_key as usize + 2];
+    for &x in items {
+        let k = key(x);
+        debug_assert!(k <= max_key);
+        hist[k as usize + 1] += 1;
+    }
+    for i in 0..=max_key as usize {
+        hist[i + 1] += hist[i];
+    }
+    let mut out = vec![0u32; items.len()];
+    for &x in items {
+        let k = key(x) as usize;
+        out[hist[k]] = x;
+        hist[k] += 1;
+    }
+    out
+}
+
+/// Parallel stable counting sort of `items` by `key(item) <= max_key`.
+///
+/// Falls back to the sequential kernel when the input is small or the key
+/// universe is large relative to the input (histogram cost would dominate).
+pub fn par_counting_sort_by_key<K>(items: &[u32], max_key: u32, key: K) -> Vec<u32>
+where
+    K: Fn(u32) -> u32 + Sync,
+{
+    const SEQ_CUTOFF: usize = 1 << 14;
+    if items.len() < SEQ_CUTOFF {
+        return counting_sort_by_key(items, max_key, key);
+    }
+    let threads = rayon::current_num_threads().max(1);
+    let chunk_size = items.len().div_ceil(threads);
+    let chunks: Vec<&[u32]> = items.chunks(chunk_size).collect();
+    let buckets = max_key as usize + 1;
+
+    // Per-chunk histograms.
+    let hists: Vec<Vec<usize>> = chunks
+        .par_iter()
+        .map(|chunk| {
+            let mut h = vec![0usize; buckets];
+            for &x in *chunk {
+                let k = key(x);
+                debug_assert!(k <= max_key);
+                h[k as usize] += 1;
+            }
+            h
+        })
+        .collect();
+
+    // Exclusive scan in (key, chunk) order: for key k, chunk t starts at
+    // (total of all keys < k) + (count of key k in chunks < t).
+    let mut offsets = vec![vec![0usize; buckets]; chunks.len()];
+    let mut running = 0usize;
+    for k in 0..buckets {
+        for (t, h) in hists.iter().enumerate() {
+            offsets[t][k] = running;
+            running += h[k];
+        }
+    }
+
+    // Scatter each chunk independently into disjoint slots.
+    let mut out = vec![0u32; items.len()];
+    let out_ptr = SyncPtr(out.as_mut_ptr());
+    chunks
+        .par_iter()
+        .zip(offsets.into_par_iter())
+        .for_each(|(chunk, mut cursor)| {
+            for &x in *chunk {
+                let k = key(x) as usize;
+                // SAFETY: the (key, chunk) exclusive scan assigns each
+                // (chunk, key) pair a disjoint range of `out`; every write
+                // lands in this chunk's own range.
+                unsafe {
+                    *out_ptr.get().add(cursor[k]) = x;
+                }
+                cursor[k] += 1;
+            }
+        });
+    out
+}
+
+/// Tiny wrapper making a raw pointer `Sync` for the disjoint-scatter above.
+/// The accessor method (rather than direct field access) makes closures
+/// capture the whole wrapper, not the bare pointer.
+struct SyncPtr(*mut u32);
+unsafe impl Sync for SyncPtr {}
+unsafe impl Send for SyncPtr {}
+impl SyncPtr {
+    fn get(&self) -> *mut u32 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_by_key() {
+        let items = vec![5u32, 3, 9, 1, 7, 3];
+        let sorted = counting_sort_by_key(&items, 9, |x| x);
+        assert_eq!(sorted, vec![1, 3, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn stability_preserves_input_order_within_key() {
+        // Sort ids by (id % 4): equal keys must keep input order.
+        let items: Vec<u32> = vec![8, 4, 0, 9, 5, 1, 2, 6];
+        let sorted = counting_sort_by_key(&items, 3, |x| x % 4);
+        // key 0: 8,4,0 in input order; key 1: 9,5,1; key 2: 2,6.
+        assert_eq!(sorted, vec![8, 4, 0, 9, 5, 1, 2, 6]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(counting_sort_by_key(&[], 10, |x| x).is_empty());
+        assert!(par_counting_sort_by_key(&[], 10, |x| x).is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_large() {
+        // Big enough to cross the parallel cutoff.
+        let items: Vec<u32> = (0..100_000u32)
+            .map(|i| i.wrapping_mul(2_654_435_761) % 50_000)
+            .collect();
+        let key = |x: u32| x % 97;
+        let seq = counting_sort_by_key(&items, 96, key);
+        let par = par_counting_sort_by_key(&items, 96, key);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_stability_large() {
+        // Items tagged with their original index in the low bits; after
+        // sorting by high-bit key, same-key items must remain index-ordered.
+        let items: Vec<u32> = (0..60_000u32).map(|i| ((i % 7) << 20) | i).collect();
+        let key = |x: u32| x >> 20;
+        let sorted = par_counting_sort_by_key(&items, 6, key);
+        for w in sorted.windows(2) {
+            let (ka, kb) = (key(w[0]), key(w[1]));
+            assert!(ka <= kb);
+            if ka == kb {
+                assert!(w[0] & 0xFFFFF < w[1] & 0xFFFFF, "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn single_key_bucket() {
+        let items = vec![3u32, 1, 2];
+        let sorted = counting_sort_by_key(&items, 0, |_| 0);
+        assert_eq!(sorted, items); // stable → original order
+    }
+}

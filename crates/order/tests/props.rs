@@ -1,0 +1,91 @@
+//! Property tests for k-core and ordering: the decompositions must agree
+//! with the from-definition oracle, and the relabelling must be a sorted
+//! bijection, on arbitrary random graphs.
+
+use lazymc_graph::{gen, CsrGraph};
+use lazymc_order::kcore::{kcore_naive, kcore_parallel, kcore_sequential, kcore_with_floor};
+use lazymc_order::relabel::{coreness_degree_order, level_ranges};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..60, 0.0f64..0.4, 0u64..1000)
+        .prop_map(|(n, p, seed)| gen::gnp(n, p, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sequential_kcore_matches_definition(g in arb_graph()) {
+        let kc = kcore_sequential(&g);
+        prop_assert_eq!(&kc.coreness, &kcore_naive(&g));
+        prop_assert_eq!(
+            kc.degeneracy,
+            kc.coreness.iter().copied().max().unwrap_or(0)
+        );
+    }
+
+    #[test]
+    fn parallel_kcore_matches_sequential(g in arb_graph()) {
+        let seq = kcore_sequential(&g);
+        let par = kcore_parallel(&g);
+        prop_assert_eq!(&seq.coreness, &par.coreness);
+    }
+
+    #[test]
+    fn floored_kcore_contract(g in arb_graph(), floor in 0u32..8) {
+        let exact = kcore_sequential(&g);
+        let capped = kcore_with_floor(&g, floor);
+        for v in 0..g.num_vertices() {
+            let (e, c) = (exact.coreness[v], capped.coreness[v]);
+            prop_assert_eq!(e >= floor, c >= floor, "v={}", v);
+            if e >= floor {
+                prop_assert_eq!(e, c, "v={}", v);
+            }
+        }
+    }
+
+    #[test]
+    fn peel_order_is_permutation_with_bounded_right_degree(g in arb_graph()) {
+        let kc = kcore_sequential(&g);
+        let n = g.num_vertices();
+        let mut seen = vec![false; n];
+        for &v in &kc.peel_order {
+            prop_assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        let mut rank = vec![0u32; n];
+        for (i, &v) in kc.peel_order.iter().enumerate() {
+            rank[v as usize] = i as u32;
+        }
+        for v in g.vertices() {
+            let right = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| rank[u as usize] > rank[v as usize])
+                .count();
+            prop_assert!(right <= kc.coreness[v as usize] as usize);
+        }
+    }
+
+    #[test]
+    fn coreness_order_properties(g in arb_graph()) {
+        let kc = kcore_sequential(&g);
+        let ord = coreness_degree_order(&g, &kc.coreness);
+        ord.validate().unwrap();
+        let n = g.num_vertices();
+        // sortedness by (coreness, degree)
+        for i in 0..n.saturating_sub(1) {
+            let a = ord.to_original(i as u32);
+            let b = ord.to_original(i as u32 + 1);
+            let ka = (kc.coreness[a as usize], g.degree(a) as u32);
+            let kb = (kc.coreness[b as usize], g.degree(b) as u32);
+            prop_assert!(ka <= kb);
+        }
+        // level ranges partition the id space
+        let ranges = level_ranges(&ord, &kc.coreness, kc.degeneracy);
+        let total: u32 = ranges.iter().map(|&(s, e)| e - s).sum();
+        prop_assert_eq!(total as usize, n);
+    }
+}

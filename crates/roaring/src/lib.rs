@@ -1,0 +1,369 @@
+//! Roaring-style compressed bitmap for `u32` vertex ids.
+//!
+//! The paper's related work (§VI) points at GraphMineSuite \[3\], which
+//! explores *compressed bitmaps* alongside hash sets as neighbourhood-set
+//! representations for clique mining. This crate provides that alternative
+//! so the benchmark harness can compare all three membership backends
+//! (hopscotch hash, sorted array + binary search, compressed bitmap) on
+//! the same kernels.
+//!
+//! The layout is the classic two-level Roaring scheme:
+//!
+//! * keys are split into a 16-bit *chunk* (high bits) and a 16-bit *offset*;
+//! * each chunk stores its offsets either as a **sorted array** (sparse:
+//!   up to 4096 entries = the break-even point with a bitmap) or as a
+//!   **64 KiB-bit bitmap** (dense), converting automatically on insert;
+//! * chunks are kept in a sorted vector, found by binary search.
+//!
+//! ```
+//! use lazymc_roaring::RoaringSet;
+//!
+//! let mut s = RoaringSet::new();
+//! s.insert(3);
+//! s.insert(70_000); // different chunk
+//! assert!(s.contains(3) && s.contains(70_000) && !s.contains(4));
+//! assert_eq!(s.len(), 2);
+//! assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 70_000]);
+//! ```
+
+use lazymc_intersect::Membership;
+
+/// Array containers convert to bitmaps beyond this cardinality (the classic
+/// Roaring break-even: 4096 × 2 bytes = the bitmap's fixed 8 KiB).
+const ARRAY_MAX: usize = 4096;
+
+const BITMAP_WORDS: usize = 1024; // 65536 bits
+
+enum Container {
+    /// Sorted 16-bit offsets.
+    Array(Vec<u16>),
+    /// 65536-bit bitmap with an explicit cardinality.
+    Bitmap { words: Box<[u64; BITMAP_WORDS]>, len: u32 },
+}
+
+impl Container {
+    fn contains(&self, off: u16) -> bool {
+        match self {
+            Container::Array(a) => a.binary_search(&off).is_ok(),
+            Container::Bitmap { words, .. } => {
+                words[off as usize / 64] & (1u64 << (off % 64)) != 0
+            }
+        }
+    }
+
+    /// Returns true if newly inserted.
+    fn insert(&mut self, off: u16) -> bool {
+        match self {
+            Container::Array(a) => match a.binary_search(&off) {
+                Ok(_) => false,
+                Err(i) => {
+                    a.insert(i, off);
+                    if a.len() > ARRAY_MAX {
+                        *self = Self::array_to_bitmap(a);
+                    }
+                    true
+                }
+            },
+            Container::Bitmap { words, len } => {
+                let (w, b) = (off as usize / 64, off % 64);
+                if words[w] & (1u64 << b) != 0 {
+                    false
+                } else {
+                    words[w] |= 1u64 << b;
+                    *len += 1;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Returns true if removed.
+    fn remove(&mut self, off: u16) -> bool {
+        match self {
+            Container::Array(a) => match a.binary_search(&off) {
+                Ok(i) => {
+                    a.remove(i);
+                    true
+                }
+                Err(_) => false,
+            },
+            Container::Bitmap { words, len } => {
+                let (w, b) = (off as usize / 64, off % 64);
+                if words[w] & (1u64 << b) == 0 {
+                    false
+                } else {
+                    words[w] &= !(1u64 << b);
+                    *len -= 1;
+                    // Shrink back to an array when worthwhile.
+                    if (*len as usize) <= ARRAY_MAX / 2 {
+                        *self = Self::bitmap_to_array(words, *len);
+                    }
+                    true
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Container::Array(a) => a.len(),
+            Container::Bitmap { len, .. } => *len as usize,
+        }
+    }
+
+    fn array_to_bitmap(a: &[u16]) -> Container {
+        let mut words = Box::new([0u64; BITMAP_WORDS]);
+        for &off in a {
+            words[off as usize / 64] |= 1u64 << (off % 64);
+        }
+        Container::Bitmap {
+            len: a.len() as u32,
+            words,
+        }
+    }
+
+    fn bitmap_to_array(words: &[u64; BITMAP_WORDS], len: u32) -> Container {
+        let mut a = Vec::with_capacity(len as usize);
+        for (wi, &w) in words.iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                let b = w.trailing_zeros();
+                a.push((wi * 64 + b as usize) as u16);
+                w &= w - 1;
+            }
+        }
+        Container::Array(a)
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = u16> + '_> {
+        match self {
+            Container::Array(a) => Box::new(a.iter().copied()),
+            Container::Bitmap { words, .. } => Box::new(
+                words
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(wi, &w)| BitIter { w, base: wi * 64 }),
+            ),
+        }
+    }
+}
+
+struct BitIter {
+    w: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = u16;
+    fn next(&mut self) -> Option<u16> {
+        if self.w == 0 {
+            return None;
+        }
+        let b = self.w.trailing_zeros() as usize;
+        self.w &= self.w - 1;
+        Some((self.base + b) as u16)
+    }
+}
+
+/// A Roaring-style compressed set of `u32` keys.
+#[derive(Default)]
+pub struct RoaringSet {
+    /// Sorted (chunk-key, container) pairs.
+    chunks: Vec<(u16, Container)>,
+    len: usize,
+}
+
+impl RoaringSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of chunk containers (diagnostics).
+    pub fn num_containers(&self) -> usize {
+        self.chunks.len()
+    }
+
+    fn split(key: u32) -> (u16, u16) {
+        ((key >> 16) as u16, (key & 0xFFFF) as u16)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: u32) -> bool {
+        let (hi, lo) = Self::split(key);
+        match self.chunks.binary_search_by_key(&hi, |&(k, _)| k) {
+            Ok(i) => self.chunks[i].1.contains(lo),
+            Err(_) => false,
+        }
+    }
+
+    /// Inserts `key`; returns whether it was new.
+    pub fn insert(&mut self, key: u32) -> bool {
+        let (hi, lo) = Self::split(key);
+        let idx = match self.chunks.binary_search_by_key(&hi, |&(k, _)| k) {
+            Ok(i) => i,
+            Err(i) => {
+                self.chunks.insert(i, (hi, Container::Array(Vec::new())));
+                i
+            }
+        };
+        let added = self.chunks[idx].1.insert(lo);
+        if added {
+            self.len += 1;
+        }
+        added
+    }
+
+    /// Removes `key`; returns whether it was present.
+    pub fn remove(&mut self, key: u32) -> bool {
+        let (hi, lo) = Self::split(key);
+        match self.chunks.binary_search_by_key(&hi, |&(k, _)| k) {
+            Ok(i) => {
+                let removed = self.chunks[i].1.remove(lo);
+                if removed {
+                    self.len -= 1;
+                    if self.chunks[i].1.len() == 0 {
+                        self.chunks.remove(i);
+                    }
+                }
+                removed
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Iterates keys in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.chunks.iter().flat_map(|(hi, c)| {
+            let base = (*hi as u32) << 16;
+            c.iter().map(move |lo| base | lo as u32)
+        })
+    }
+
+    /// Approximate heap footprint in bytes (diagnostics: the point of the
+    /// representation is compression).
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>();
+        for (_, c) in &self.chunks {
+            total += std::mem::size_of::<(u16, Container)>();
+            total += match c {
+                Container::Array(a) => a.capacity() * 2,
+                Container::Bitmap { .. } => BITMAP_WORDS * 8,
+            };
+        }
+        total
+    }
+}
+
+impl FromIterator<u32> for RoaringSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let mut s = RoaringSet::new();
+        for k in iter {
+            s.insert(k);
+        }
+        s
+    }
+}
+
+impl<'a> FromIterator<&'a u32> for RoaringSet {
+    fn from_iter<T: IntoIterator<Item = &'a u32>>(iter: T) -> Self {
+        iter.into_iter().copied().collect()
+    }
+}
+
+impl Membership for RoaringSet {
+    #[inline]
+    fn contains_key(&self, key: u32) -> bool {
+        self.contains(key)
+    }
+    #[inline]
+    fn size(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = RoaringSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.insert(1 << 20));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(5));
+        assert!(s.contains(1 << 20));
+        assert!(!s.contains(6));
+        assert_eq!(s.num_containers(), 2);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.num_containers(), 1, "empty chunk dropped");
+    }
+
+    #[test]
+    fn array_to_bitmap_conversion_roundtrip() {
+        let mut s = RoaringSet::new();
+        // exceed ARRAY_MAX within one chunk
+        for k in 0..(ARRAY_MAX as u32 + 100) {
+            s.insert(k * 2); // spaced so they stay in chunk 0 ... 2*4196 < 65536
+        }
+        assert_eq!(s.len(), ARRAY_MAX + 100);
+        assert_eq!(s.num_containers(), 1);
+        for k in 0..(ARRAY_MAX as u32 + 100) {
+            assert!(s.contains(k * 2));
+            assert!(!s.contains(k * 2 + 1));
+        }
+        // shrink back down: removals trigger bitmap→array conversion
+        for k in (0..(ARRAY_MAX as u32 + 100)).rev().take(ARRAY_MAX) {
+            assert!(s.remove(k * 2));
+        }
+        assert_eq!(s.len(), 100);
+        for k in 0..100u32 {
+            assert!(s.contains(k * 2));
+        }
+    }
+
+    #[test]
+    fn iter_is_sorted_across_chunks() {
+        let keys = [0u32, 65_535, 65_536, 1 << 24, 42, 70_000];
+        let s: RoaringSet = keys.iter().collect();
+        let got: Vec<u32> = s.iter().collect();
+        let mut want = keys.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dense_chunk_memory_is_bounded() {
+        // a full chunk costs 8 KiB as a bitmap, not 128 KiB as an array
+        let mut s = RoaringSet::new();
+        for k in 0..65_536u32 {
+            s.insert(k);
+        }
+        assert_eq!(s.len(), 65_536);
+        assert!(s.memory_bytes() < 16 * 1024, "bitmap container expected");
+    }
+
+    #[test]
+    fn membership_trait_works_with_kernels() {
+        use lazymc_intersect::{intersect_size_gt_bool, intersect_size_gt_val};
+        let a: Vec<u32> = (0..100).collect();
+        let b: RoaringSet = (50u32..150).collect();
+        assert_eq!(intersect_size_gt_val(&a, &b, 10), Some(50));
+        assert!(intersect_size_gt_bool(&a, &b, 49, true));
+        assert!(!intersect_size_gt_bool(&a, &b, 50, true));
+    }
+}

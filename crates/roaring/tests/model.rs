@@ -1,0 +1,58 @@
+//! Model-based property tests: `RoaringSet` must behave exactly like
+//! `std::collections::BTreeSet<u32>` under arbitrary insert/remove
+//! sequences, including across the array↔bitmap container conversions.
+
+use lazymc_roaring::RoaringSet;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32),
+    Remove(u32),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..200_000).prop_map(Op::Insert),
+            (0u32..200_000).prop_map(Op::Remove),
+        ],
+        0..600,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matches_btreeset(ops in arb_ops()) {
+        let mut model = BTreeSet::new();
+        let mut sut = RoaringSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(k) => prop_assert_eq!(sut.insert(k), model.insert(k)),
+                Op::Remove(k) => prop_assert_eq!(sut.remove(k), model.remove(&k)),
+            }
+        }
+        prop_assert_eq!(sut.len(), model.len());
+        let got: Vec<u32> = sut.iter().collect();
+        let want: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Force conversions by packing many keys into one chunk.
+    #[test]
+    fn single_chunk_conversions(keys in proptest::collection::vec(0u32..65_536, 0..6000)) {
+        let mut model = BTreeSet::new();
+        let mut sut = RoaringSet::new();
+        for k in &keys {
+            sut.insert(*k);
+            model.insert(*k);
+        }
+        prop_assert_eq!(sut.len(), model.len());
+        for k in 0..65_536u32 {
+            prop_assert_eq!(sut.contains(k), model.contains(&k));
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Fixed-width bitsets and bit-matrix adjacency for dense subgraphs.
+//!
+//! The filtered neighbourhoods LazyMC hands to the subgraph solvers are
+//! small (bounded by coreness) and dense (paper §III-D: often > 90%), which
+//! makes word-parallel adjacency the right representation: candidate-set
+//! intersection becomes a few `AND`s per row (cf. the bit-parallel MC
+//! literature the paper cites \[41\], \[42\]).
+
+use lazymc_graph::CsrGraph;
+
+/// A fixed-capacity bitset over `0..nbits`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bitset {
+    words: Vec<u64>,
+    nbits: usize,
+}
+
+impl Bitset {
+    /// An empty set with capacity for `nbits` elements.
+    pub fn new(nbits: usize) -> Self {
+        Bitset {
+            words: vec![0u64; nbits.div_ceil(64)],
+            nbits,
+        }
+    }
+
+    /// The full set `{0, …, nbits-1}`.
+    pub fn full(nbits: usize) -> Self {
+        let mut s = Self::new(nbits);
+        for i in 0..nbits / 64 {
+            s.words[i] = !0u64;
+        }
+        if !nbits.is_multiple_of(64) {
+            s.words[nbits / 64] = (1u64 << (nbits % 64)) - 1;
+        }
+        s
+    }
+
+    /// Capacity in bits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Inserts `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.nbits);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.nbits);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.nbits);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of elements (popcount).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no element is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// `self &= other`.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &Bitset) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// `self &= row` where `row` is a raw word slice (a BitMatrix row).
+    #[inline]
+    pub fn intersect_with_words(&mut self, row: &[u64]) {
+        debug_assert_eq!(self.words.len(), row.len());
+        for (a, &b) in self.words.iter_mut().zip(row) {
+            *a &= b;
+        }
+    }
+
+    /// `self -= other` (set difference).
+    #[inline]
+    pub fn subtract(&mut self, other: &Bitset) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// `|self ∩ row|` without materializing.
+    #[inline]
+    pub fn intersection_count_words(&self, row: &[u64]) -> usize {
+        self.words
+            .iter()
+            .zip(row)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `out = self ∩ row`.
+    #[inline]
+    pub fn intersection_into(&self, row: &[u64], out: &mut Bitset) {
+        debug_assert_eq!(self.words.len(), out.words.len());
+        for ((o, a), &b) in out.words.iter_mut().zip(&self.words).zip(row) {
+            *o = a & b;
+        }
+    }
+
+    /// Lowest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterates elements in increasing order.
+    pub fn iter(&self) -> BitsetIter<'_> {
+        BitsetIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects into a `Vec<u32>` (ascending).
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().map(|i| i as u32).collect()
+    }
+
+    /// Raw words (read-only).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Raw words (mutable, crate-internal: used by the coloring kernels).
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+}
+
+impl std::fmt::Debug for Bitset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for Bitset {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().copied().max().map_or(0, |m| m + 1);
+        let mut s = Bitset::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+/// Iterator over set bits.
+pub struct BitsetIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitsetIter<'_> {
+    type Item = usize;
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+/// Dense adjacency matrix: one bitset row per vertex.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An edgeless matrix on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64).max(1);
+        BitMatrix {
+            n,
+            words_per_row,
+            bits: vec![0u64; n * words_per_row],
+        }
+    }
+
+    /// Builds from a small CSR graph.
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let mut m = Self::new(g.num_vertices());
+        for v in g.vertices() {
+            for &u in g.neighbors(v) {
+                m.add_edge(v as usize, u as usize);
+            }
+        }
+        m
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Words per row (for sizing compatible [`Bitset`]s: `len()` bits).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Adds the undirected edge `(u, v)`. Self-loops are ignored.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        if u == v {
+            return;
+        }
+        debug_assert!(u < self.n && v < self.n);
+        self.bits[u * self.words_per_row + v / 64] |= 1u64 << (v % 64);
+        self.bits[v * self.words_per_row + u / 64] |= 1u64 << (u % 64);
+    }
+
+    /// The adjacency row of `v` as raw words.
+    #[inline]
+    pub fn row(&self, v: usize) -> &[u64] {
+        &self.bits[v * self.words_per_row..(v + 1) * self.words_per_row]
+    }
+
+    /// Edge test.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.row(u)[v / 64] & (1u64 << (v % 64)) != 0
+    }
+
+    /// Degree of `v` restricted to `within`.
+    #[inline]
+    pub fn degree_within(&self, v: usize, within: &Bitset) -> usize {
+        within.intersection_count_words(self.row(v))
+    }
+
+    /// Total degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.row(v).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v)).sum::<usize>() / 2
+    }
+
+    /// The complement matrix (no self-loops).
+    pub fn complement(&self) -> BitMatrix {
+        let mut c = BitMatrix::new(self.n);
+        for v in 0..self.n {
+            let (row_out, row_in) = (v * c.words_per_row, v * self.words_per_row);
+            for w in 0..self.words_per_row {
+                c.bits[row_out + w] = !self.bits[row_in + w];
+            }
+            // mask out self-loop and bits beyond n
+            c.bits[row_out + v / 64] &= !(1u64 << (v % 64));
+            if !self.n.is_multiple_of(64) {
+                c.bits[row_out + self.words_per_row - 1] &= (1u64 << (self.n % 64)) - 1;
+            }
+        }
+        c
+    }
+
+    /// Whether `verts` forms a clique.
+    pub fn is_clique(&self, verts: &[u32]) -> bool {
+        for (i, &u) in verts.iter().enumerate() {
+            for &v in &verts[i + 1..] {
+                if u == v || !self.has_edge(u as usize, v as usize) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitMatrix {{ n: {}, m: {} }}", self.n, self.num_edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = Bitset::new(130);
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.to_vec(), vec![0, 64, 129]);
+        s.remove(64);
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains(64));
+    }
+
+    #[test]
+    fn bitset_full_and_clear() {
+        let mut s = Bitset::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(69));
+        s.clear();
+        assert!(s.is_empty());
+        let f = Bitset::full(64);
+        assert_eq!(f.len(), 64);
+    }
+
+    #[test]
+    fn bitset_set_ops() {
+        let a: Bitset = [1usize, 3, 5, 64, 100].into_iter().collect();
+        let mut b: Bitset = [3usize, 5, 7, 100].into_iter().collect();
+        // align capacities
+        let mut a2 = Bitset::new(101);
+        for i in a.iter() {
+            a2.insert(i);
+        }
+        b = {
+            let mut b2 = Bitset::new(101);
+            for i in b.iter() {
+                b2.insert(i);
+            }
+            b2
+        };
+        let mut c = a2.clone();
+        c.intersect_with(&b);
+        assert_eq!(c.to_vec(), vec![3, 5, 100]);
+        let mut d = a2.clone();
+        d.subtract(&b);
+        assert_eq!(d.to_vec(), vec![1, 64]);
+    }
+
+    #[test]
+    fn bitset_first_and_iter_order() {
+        let s: Bitset = [90usize, 5, 63].into_iter().collect();
+        assert_eq!(s.first(), Some(5));
+        assert_eq!(s.to_vec(), vec![5, 63, 90]);
+        let empty = Bitset::new(10);
+        assert_eq!(empty.first(), None);
+    }
+
+    #[test]
+    fn matrix_edges_and_degree() {
+        let mut m = BitMatrix::new(100);
+        m.add_edge(0, 99);
+        m.add_edge(0, 50);
+        m.add_edge(0, 0); // ignored
+        assert!(m.has_edge(99, 0));
+        assert!(!m.has_edge(0, 0));
+        assert_eq!(m.degree(0), 2);
+        assert_eq!(m.num_edges(), 2);
+    }
+
+    #[test]
+    fn matrix_from_csr_roundtrip() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let m = BitMatrix::from_csr(&g);
+        for u in 0..5 {
+            for v in 0..5 {
+                assert_eq!(
+                    m.has_edge(u, v),
+                    g.has_edge(u as u32, v as u32),
+                    "({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_complement() {
+        let mut m = BitMatrix::new(4);
+        m.add_edge(0, 1);
+        m.add_edge(2, 3);
+        let c = m.complement();
+        assert!(!c.has_edge(0, 1));
+        assert!(c.has_edge(0, 2));
+        assert!(c.has_edge(0, 3));
+        assert!(c.has_edge(1, 2));
+        assert!(!c.has_edge(1, 1));
+        assert_eq!(c.num_edges(), 4);
+    }
+
+    #[test]
+    fn degree_within_subset() {
+        let mut m = BitMatrix::new(6);
+        m.add_edge(0, 1);
+        m.add_edge(0, 2);
+        m.add_edge(0, 3);
+        let mut within = Bitset::new(6);
+        within.insert(1);
+        within.insert(3);
+        within.insert(5);
+        assert_eq!(m.degree_within(0, &within), 2);
+    }
+
+    #[test]
+    fn is_clique_checks() {
+        let mut m = BitMatrix::new(4);
+        for (u, v) in [(0, 1), (0, 2), (1, 2)] {
+            m.add_edge(u, v);
+        }
+        assert!(m.is_clique(&[0, 1, 2]));
+        assert!(!m.is_clique(&[0, 1, 3]));
+        assert!(m.is_clique(&[]));
+    }
+}

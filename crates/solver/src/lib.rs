@@ -1,0 +1,45 @@
+//! Subgraph solvers for LazyMC (paper §IV-E, "algorithmic choice").
+//!
+//! Once advance filtering has reduced a right-neighbourhood to its zone of
+//! interest, the residual problem is solved on a *small, dense* induced
+//! subgraph by one of two exact engines:
+//!
+//! * [`mc::max_clique_dense`] — Bron–Kerbosch-derived branch-and-bound with
+//!   Tomita-style color-order branching and greedy-coloring bounds;
+//! * [`vc::max_clique_via_vc`] — k-vertex-cover search on the complement
+//!   (Buss kernel, degree-0/1/2 kernelization, polynomial path/cycle tail),
+//!   with a per-neighbourhood binary search for the exact optimum.
+//!
+//! Both operate on [`bitset::BitMatrix`] adjacency, the word-parallel dense
+//! representation appropriate for subgraphs whose density routinely exceeds
+//! 50% (paper §III-D). The same engines back the dOmega-like baseline.
+//!
+//! ```
+//! use lazymc_solver::{BitMatrix, max_clique_exact, max_clique_via_vc};
+//!
+//! // A triangle with a pendant vertex.
+//! let mut adj = BitMatrix::new(4);
+//! for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3)] {
+//!     adj.add_edge(u, v);
+//! }
+//! let direct = max_clique_exact(&adj);
+//! assert_eq!(direct.len(), 3);
+//! // The k-vertex-cover engine agrees (omega = n - minVC(complement)).
+//! let via_vc = max_clique_via_vc(&adj, 0, None).unwrap();
+//! assert_eq!(via_vc.len(), 3);
+//! ```
+
+pub mod bitset;
+pub mod coloring;
+pub mod mc;
+pub mod vc;
+
+pub use bitset::{BitMatrix, Bitset};
+pub use coloring::{color_order, greedy_color_count};
+pub use mc::{
+    max_clique_dense, max_clique_dense_within, max_clique_exact, reduce_candidates, McStats,
+};
+pub use vc::{
+    max_clique_via_vc, min_vertex_cover, vertex_cover_decision, vertex_cover_decision_within,
+    VcStats,
+};

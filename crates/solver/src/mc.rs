@@ -1,0 +1,231 @@
+//! Dense maximum clique branch-and-bound.
+//!
+//! The subgraph MC solver of the paper (§IV-E): derived from Bron–Kerbosch
+//! with Tomita-style branching — candidates are greedily colored and
+//! explored in reverse color order so that `|C| + color(v) <= |C*|` prunes
+//! the whole remaining prefix — plus incumbent-size pruning. It operates on
+//! the bit-matrix adjacency of the (small, dense) filtered neighbourhood.
+
+use crate::bitset::{BitMatrix, Bitset};
+use crate::coloring::color_order;
+
+/// Search statistics, used by the work-accounting figures.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct McStats {
+    /// Branch-and-bound tree nodes expanded.
+    pub nodes: u64,
+}
+
+struct Searcher<'a> {
+    adj: &'a BitMatrix,
+    best: usize,
+    best_clique: Vec<u32>,
+    current: Vec<u32>,
+    stats: McStats,
+    /// Per-depth scratch buffers (color order, bounds, next candidate set).
+    scratch: Vec<(Vec<u32>, Vec<u32>, Bitset)>,
+}
+
+impl<'a> Searcher<'a> {
+    fn expand(&mut self, cand: &Bitset, depth: usize) {
+        self.stats.nodes += 1;
+        if self.scratch.len() <= depth {
+            let n = self.adj.len();
+            self.scratch.push((Vec::new(), Vec::new(), Bitset::new(n)));
+        }
+        // Take the depth's scratch buffers out to appease the borrow checker;
+        // they are returned before unwinding the frame.
+        let (mut order, mut bound, mut next) = std::mem::replace(
+            &mut self.scratch[depth],
+            (Vec::new(), Vec::new(), Bitset::new(0)),
+        );
+        color_order(self.adj, cand, &mut order, &mut bound);
+        let mut cand = cand.clone();
+        for i in (0..order.len()).rev() {
+            if self.current.len() + bound[i] as usize <= self.best {
+                break; // bounds ascend: everything before i prunes too
+            }
+            let v = order[i] as usize;
+            self.current.push(v as u32);
+            cand.intersection_into(self.adj.row(v), &mut next);
+            if next.is_empty() {
+                if self.current.len() > self.best {
+                    self.best = self.current.len();
+                    self.best_clique = self.current.clone();
+                }
+            } else {
+                let next_snapshot = next.clone();
+                self.expand(&next_snapshot, depth + 1);
+            }
+            self.current.pop();
+            cand.remove(v);
+        }
+        self.scratch[depth] = (order, bound, next);
+    }
+}
+
+/// Finds a maximum clique of the graph *if it is larger than `lb`*.
+///
+/// Returns `Some(clique)` with `clique.len() == ω(G) > lb`, or `None` when
+/// `ω(G) <= lb` — the caller's incumbent already covers this subgraph.
+/// `stats`, when provided, accumulates node counts.
+pub fn max_clique_dense(adj: &BitMatrix, lb: usize, stats: Option<&mut McStats>) -> Option<Vec<u32>> {
+    let n = adj.len();
+    if n == 0 || n <= lb {
+        return None;
+    }
+    max_clique_dense_within(adj, &Bitset::full(n), lb, stats)
+}
+
+/// [`max_clique_dense`] restricted to the vertices of `within` — used when
+/// a reduction pass has already discarded part of the subgraph.
+pub fn max_clique_dense_within(
+    adj: &BitMatrix,
+    within: &Bitset,
+    lb: usize,
+    stats: Option<&mut McStats>,
+) -> Option<Vec<u32>> {
+    if adj.is_empty() || within.len() <= lb {
+        return None;
+    }
+    let mut s = Searcher {
+        adj,
+        best: lb,
+        best_clique: Vec::new(),
+        current: Vec::new(),
+        stats: McStats::default(),
+        scratch: Vec::new(),
+    };
+    s.expand(within, 0);
+    if let Some(out) = stats {
+        out.nodes += s.stats.nodes;
+    }
+    if s.best_clique.is_empty() {
+        None
+    } else {
+        Some(s.best_clique)
+    }
+}
+
+/// Iterated degree reduction within a candidate set: removes every vertex
+/// whose candidate-degree cannot complete a clique of size > `lb`, to a
+/// fixpoint. This is the "MC-BRB-style filtering inside the subgraph" the
+/// paper names as an easy extension to LazyMC (§V-A); returns the number
+/// of vertices removed.
+pub fn reduce_candidates(adj: &BitMatrix, within: &mut Bitset, lb: usize) -> usize {
+    let mut removed = 0usize;
+    loop {
+        let mut changed = false;
+        for v in within.clone().iter() {
+            // a clique through v has at most deg_within(v) + 1 vertices
+            if adj.degree_within(v, within) < lb {
+                within.remove(v);
+                removed += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return removed;
+        }
+    }
+}
+
+/// Exact maximum clique (no prior bound). Empty graph → empty clique.
+pub fn max_clique_exact(adj: &BitMatrix) -> Vec<u32> {
+    max_clique_dense(adj, 0, None).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_edges(n: usize, edges: &[(usize, usize)]) -> BitMatrix {
+        let mut m = BitMatrix::new(n);
+        for &(u, v) in edges {
+            m.add_edge(u, v);
+        }
+        m
+    }
+
+    #[test]
+    fn triangle() {
+        let m = from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let c = max_clique_exact(&m);
+        assert_eq!(c.len(), 3);
+        assert!(m.is_clique(&c));
+    }
+
+    #[test]
+    fn complete_graph() {
+        let mut m = BitMatrix::new(7);
+        for u in 0..7 {
+            for v in u + 1..7 {
+                m.add_edge(u, v);
+            }
+        }
+        assert_eq!(max_clique_exact(&m).len(), 7);
+    }
+
+    #[test]
+    fn edgeless_graph_clique_is_single_vertex() {
+        let m = BitMatrix::new(5);
+        assert_eq!(max_clique_exact(&m).len(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = BitMatrix::new(0);
+        assert!(max_clique_exact(&m).is_empty());
+    }
+
+    #[test]
+    fn lower_bound_suppresses_result() {
+        let m = from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(max_clique_dense(&m, 3, None).is_none());
+        assert!(max_clique_dense(&m, 4, None).is_none());
+        assert_eq!(max_clique_dense(&m, 2, None).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn two_cliques_picks_larger() {
+        // K3 on {0,1,2} and K4 on {3,4,5,6}
+        let mut edges = vec![(0, 1), (1, 2), (2, 0)];
+        for u in 3..7 {
+            for v in u + 1..7 {
+                edges.push((u, v));
+            }
+        }
+        edges.push((2, 3)); // bridge
+        let m = from_edges(7, &edges);
+        let c = max_clique_exact(&m);
+        assert_eq!(c.len(), 4);
+        let mut c = c;
+        c.sort_unstable();
+        assert_eq!(c, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn petersen_graph_omega_two() {
+        // The Petersen graph is triangle-free: ω = 2.
+        let outer = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+        let spokes = [(0, 5), (1, 6), (2, 7), (3, 8), (4, 9)];
+        let inner = [(5, 7), (7, 9), (9, 6), (6, 8), (8, 5)];
+        let edges: Vec<(usize, usize)> = outer
+            .iter()
+            .chain(&spokes)
+            .chain(&inner)
+            .copied()
+            .collect();
+        let m = from_edges(10, &edges);
+        assert_eq!(max_clique_exact(&m).len(), 2);
+    }
+
+    #[test]
+    fn stats_count_nodes() {
+        let m = from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3), (1, 3)]);
+        let mut st = McStats::default();
+        let c = max_clique_dense(&m, 0, Some(&mut st));
+        assert_eq!(c.unwrap().len(), 3);
+        assert!(st.nodes > 0);
+    }
+}

@@ -1,0 +1,565 @@
+//! k-vertex-cover branch-and-bound — the paper's algorithmic-choice solver.
+//!
+//! Filtered neighbourhoods are often extremely dense (paper §III-D), which
+//! makes direct MC search expensive; their *complements* are sparse, and a
+//! clique of size `s` in `G[N]` is exactly an independent set of size `s` in
+//! the complement, i.e. a vertex cover of size `|N| - s`. The paper solves
+//! such subgraphs by a per-neighbourhood binary search over k-VC decisions
+//! (§IV-E), with a solver implementing:
+//!
+//! * the Buss kernel (vertices of degree > k are forced into the cover);
+//! * kernelization of degree-0/1/2 vertices — only the non-merging degree-2
+//!   case, as in the paper;
+//! * a polynomial path/cycle solver once the maximum degree drops to 2;
+//! * branching on a highest-degree vertex otherwise.
+
+use crate::bitset::{BitMatrix, Bitset};
+
+/// Search statistics for work accounting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VcStats {
+    /// Branch-and-bound tree nodes expanded.
+    pub nodes: u64,
+}
+
+/// Decides whether `adj` (restricted to `alive`) has a vertex cover of size
+/// at most `k`; on success returns the cover.
+pub fn vertex_cover_decision_within(
+    adj: &BitMatrix,
+    alive: &Bitset,
+    k: usize,
+    stats: Option<&mut VcStats>,
+) -> Option<Vec<u32>> {
+    let mut solver = VcSolver {
+        adj,
+        stats: VcStats::default(),
+    };
+    let mut cover = Vec::new();
+    let ok = solver.solve(alive.clone(), k as i64, &mut cover);
+    if let Some(out) = stats {
+        out.nodes += solver.stats.nodes;
+    }
+    ok.then_some(cover)
+}
+
+/// Decides whether the whole graph has a vertex cover of size ≤ `k`.
+pub fn vertex_cover_decision(
+    adj: &BitMatrix,
+    k: usize,
+    stats: Option<&mut VcStats>,
+) -> Option<Vec<u32>> {
+    vertex_cover_decision_within(adj, &Bitset::full(adj.len()), k, stats)
+}
+
+/// Exact minimum vertex cover via binary search over the decision problem,
+/// bracketed by a maximal-matching lower bound and a greedy upper bound.
+pub fn min_vertex_cover(adj: &BitMatrix, stats: Option<&mut VcStats>) -> Vec<u32> {
+    let n = adj.len();
+    let alive = Bitset::full(n);
+    let lb = matching_lower_bound(adj, &alive);
+    let greedy = greedy_cover(adj, &alive);
+    let mut best = greedy.clone();
+    let (mut lo, mut hi) = (lb, greedy.len());
+    let mut local = VcStats::default();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match vertex_cover_decision(adj, mid, Some(&mut local)) {
+            Some(c) => {
+                hi = c.len().min(mid);
+                best = c;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    if let Some(out) = stats {
+        out.nodes += local.nodes;
+    }
+    best
+}
+
+/// Maximum clique of `adj` via minimum vertex cover of the complement.
+///
+/// Returns `Some(clique)` with `clique.len() = ω > lb`, or `None` when
+/// `ω <= lb`. This is the paper's per-neighbourhood algorithmic choice: the
+/// initial decision call alone discharges most neighbourhoods; only when a
+/// better clique exists does the binary search refine to the exact optimum.
+pub fn max_clique_via_vc(
+    adj: &BitMatrix,
+    lb: usize,
+    stats: Option<&mut VcStats>,
+) -> Option<Vec<u32>> {
+    let n = adj.len();
+    if n == 0 || n <= lb {
+        return None;
+    }
+    let comp = adj.complement();
+    let mut local = VcStats::default();
+    // ω > lb ⟺ minVC(complement) <= n - lb - 1.
+    let k0 = n - lb - 1;
+    let first = vertex_cover_decision(&comp, k0, Some(&mut local))?;
+    // Refine: binary search down to the true minimum to maximize the clique.
+    let alive = Bitset::full(n);
+    let mut best_cover = first;
+    let (mut lo, mut hi) = (matching_lower_bound(&comp, &alive), best_cover.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match vertex_cover_decision(&comp, mid, Some(&mut local)) {
+            Some(c) => {
+                hi = c.len().min(mid);
+                best_cover = c;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    if let Some(out) = stats {
+        out.nodes += local.nodes;
+    }
+    let mut in_cover = vec![false; n];
+    for &v in &best_cover {
+        in_cover[v as usize] = true;
+    }
+    let clique: Vec<u32> = (0..n as u32).filter(|&v| !in_cover[v as usize]).collect();
+    debug_assert!(adj.is_clique(&clique));
+    Some(clique)
+}
+
+/// Lower bound: size of a greedily-built maximal matching (every cover must
+/// contain at least one endpoint of each matched edge).
+pub fn matching_lower_bound(adj: &BitMatrix, alive: &Bitset) -> usize {
+    let mut avail = alive.clone();
+    let mut matched = 0usize;
+    let mut row = Bitset::new(alive.capacity());
+    while let Some(v) = avail.first() {
+        avail.remove(v);
+        avail.intersection_into(adj.row(v), &mut row);
+        if let Some(u) = row.first() {
+            avail.remove(u);
+            matched += 1;
+        }
+    }
+    matched
+}
+
+/// Greedy 2-ish-approximation: repeatedly add a maximum-degree vertex.
+pub fn greedy_cover(adj: &BitMatrix, alive: &Bitset) -> Vec<u32> {
+    let mut alive = alive.clone();
+    let mut cover = Vec::new();
+    loop {
+        let mut best_v = usize::MAX;
+        let mut best_d = 0usize;
+        for v in alive.iter() {
+            let d = adj.degree_within(v, &alive);
+            if d > best_d {
+                best_d = d;
+                best_v = v;
+            }
+        }
+        if best_d == 0 {
+            return cover;
+        }
+        cover.push(best_v as u32);
+        alive.remove(best_v);
+    }
+}
+
+struct VcSolver<'a> {
+    adj: &'a BitMatrix,
+    stats: VcStats,
+}
+
+/// Outcome of a kernelization fixpoint.
+struct Kernelized {
+    /// Undirected edges remaining.
+    m: usize,
+    /// A maximum-degree alive vertex (valid when `m > 0`).
+    max_v: usize,
+    /// Its degree.
+    max_d: usize,
+}
+
+impl<'a> VcSolver<'a> {
+    /// Decision: cover of size ≤ k for the alive subgraph. On success the
+    /// chosen vertices are appended to `cover`; on failure `cover` is
+    /// restored to its length at entry.
+    fn solve(&mut self, mut alive: Bitset, mut k: i64, cover: &mut Vec<u32>) -> bool {
+        self.stats.nodes += 1;
+        let frame_mark = cover.len();
+        // --- Kernelization fixpoint (pushes forced picks onto cover) ----
+        let Some(kern) = self.kernelize(&mut alive, &mut k, cover) else {
+            cover.truncate(frame_mark);
+            return false;
+        };
+        if kern.m == 0 {
+            return true; // kernel picks cover everything
+        }
+        if k <= 0 {
+            cover.truncate(frame_mark);
+            return false;
+        }
+        // Buss counting bound: max degree ≤ k after kernelization, so k
+        // vertices cover at most k·max_d edges.
+        if kern.m > (k as usize) * kern.max_d {
+            cover.truncate(frame_mark);
+            return false;
+        }
+        // --- Polynomial tail: paths and cycles --------------------------
+        if kern.max_d <= 2 {
+            if self.solve_paths_cycles(&alive, k, cover) {
+                return true;
+            }
+            cover.truncate(frame_mark);
+            return false;
+        }
+        // --- Branch on a maximum-degree vertex --------------------------
+        let v = kern.max_v;
+        // Option A: v joins the cover.
+        let branch_mark = cover.len();
+        {
+            let mut alive_a = alive.clone();
+            alive_a.remove(v);
+            cover.push(v as u32);
+            if self.solve(alive_a, k - 1, cover) {
+                return true;
+            }
+            cover.truncate(branch_mark);
+        }
+        // Option B: all of v's alive neighbors join the cover.
+        {
+            let mut alive_b = alive.clone();
+            let mut taken = 0i64;
+            let mut row = Bitset::new(alive.capacity());
+            alive.intersection_into(self.adj.row(v), &mut row);
+            for u in row.iter() {
+                cover.push(u as u32);
+                alive_b.remove(u);
+                taken += 1;
+            }
+            alive_b.remove(v);
+            if self.solve(alive_b, k - taken, cover) {
+                return true;
+            }
+        }
+        cover.truncate(frame_mark);
+        false
+    }
+
+    /// Applies the degree-0/1/2 and Buss rules to a fixpoint. Returns
+    /// `None` when the budget `k` is exhausted mid-kernelization, otherwise
+    /// the residual edge count and a maximum-degree vertex.
+    fn kernelize(&self, alive: &mut Bitset, k: &mut i64, cover: &mut Vec<u32>) -> Option<Kernelized> {
+        loop {
+            if *k < 0 {
+                return None;
+            }
+            let mut changed = false;
+            let mut m2 = 0usize; // sum of degrees over the sweep
+            let mut max_v = usize::MAX;
+            let mut max_d = 0usize;
+            let verts: Vec<usize> = alive.iter().collect();
+            for v in verts {
+                if !alive.contains(v) {
+                    continue; // removed earlier in this sweep
+                }
+                let d = self.adj.degree_within(v, alive);
+                if d == 0 {
+                    alive.remove(v); // isolated: never needed in a cover
+                    changed = true;
+                } else if d as i64 > *k {
+                    // Buss rule: more than k incident edges ⇒ v is forced.
+                    cover.push(v as u32);
+                    alive.remove(v);
+                    *k -= 1;
+                    changed = true;
+                    if *k < 0 {
+                        return None;
+                    }
+                } else if d == 1 {
+                    // Take the single neighbor: always at least as good.
+                    let u = self.neighbor_within(v, alive).expect("degree 1");
+                    cover.push(u as u32);
+                    alive.remove(u);
+                    alive.remove(v);
+                    *k -= 1;
+                    changed = true;
+                } else if d == 2 {
+                    // Non-merging degree-2 rule (the paper implements only
+                    // this case): if v's two neighbors are adjacent, taking
+                    // both dominates any cover containing v.
+                    let (a, b) = self.two_neighbors_within(v, alive);
+                    if self.adj.has_edge(a, b) {
+                        cover.push(a as u32);
+                        cover.push(b as u32);
+                        alive.remove(a);
+                        alive.remove(b);
+                        alive.remove(v);
+                        *k -= 2;
+                        changed = true;
+                    } else {
+                        m2 += d;
+                        if d > max_d {
+                            max_d = d;
+                            max_v = v;
+                        }
+                    }
+                } else {
+                    m2 += d;
+                    if d > max_d {
+                        max_d = d;
+                        max_v = v;
+                    }
+                }
+            }
+            if !changed {
+                // Nothing moved this sweep, so m2/max_d describe the whole
+                // alive subgraph consistently.
+                return Some(Kernelized {
+                    m: m2 / 2,
+                    max_v,
+                    max_d,
+                });
+            }
+        }
+    }
+
+    fn neighbor_within(&self, v: usize, alive: &Bitset) -> Option<usize> {
+        let mut row = Bitset::new(alive.capacity());
+        alive.intersection_into(self.adj.row(v), &mut row);
+        row.first()
+    }
+
+    fn two_neighbors_within(&self, v: usize, alive: &Bitset) -> (usize, usize) {
+        let mut row = Bitset::new(alive.capacity());
+        alive.intersection_into(self.adj.row(v), &mut row);
+        let a = row.first().expect("degree 2");
+        row.remove(a);
+        let b = row.first().expect("degree 2");
+        (a, b)
+    }
+
+    /// All alive vertices have degree ≤ 2: disjoint paths and cycles.
+    /// Optimal covers are closed-form; returns whether they fit in `k`.
+    /// On failure the caller restores `cover`.
+    fn solve_paths_cycles(&mut self, alive: &Bitset, mut k: i64, cover: &mut Vec<u32>) -> bool {
+        let mut seen = Bitset::new(alive.capacity());
+        let verts: Vec<usize> = alive.iter().collect();
+        // Paths first: start walks from endpoints (degree ≤ 1).
+        for &v in &verts {
+            if seen.contains(v) || self.adj.degree_within(v, alive) > 1 {
+                continue;
+            }
+            // walk the path, taking every second vertex (odd positions)
+            let mut prev = usize::MAX;
+            let mut cur = v;
+            let mut idx = 0usize;
+            loop {
+                seen.insert(cur);
+                if idx % 2 == 1 {
+                    cover.push(cur as u32);
+                    k -= 1;
+                }
+                let mut row = Bitset::new(alive.capacity());
+                alive.intersection_into(self.adj.row(cur), &mut row);
+                if prev != usize::MAX {
+                    row.remove(prev);
+                }
+                // skip already-seen (handles single vertices)
+                let next = row.iter().find(|&u| !seen.contains(u));
+                match next {
+                    Some(nx) => {
+                        prev = cur;
+                        cur = nx;
+                        idx += 1;
+                    }
+                    None => break,
+                }
+            }
+            if k < 0 {
+                return false;
+            }
+        }
+        // Remaining unseen vertices with degree 2 form cycles.
+        for &v in &verts {
+            if seen.contains(v) {
+                continue;
+            }
+            let mut cycle = Vec::new();
+            let mut prev = usize::MAX;
+            let mut cur = v;
+            loop {
+                seen.insert(cur);
+                cycle.push(cur);
+                let mut row = Bitset::new(alive.capacity());
+                alive.intersection_into(self.adj.row(cur), &mut row);
+                if prev != usize::MAX {
+                    row.remove(prev);
+                }
+                let next = row.iter().find(|&u| !seen.contains(u));
+                match next {
+                    Some(nx) => {
+                        prev = cur;
+                        cur = nx;
+                    }
+                    None => break,
+                }
+            }
+            // Cycle of length L needs ceil(L/2): odd positions, plus the
+            // last vertex when L is odd.
+            let l = cycle.len();
+            for (i, &u) in cycle.iter().enumerate() {
+                if i % 2 == 1 {
+                    cover.push(u as u32);
+                    k -= 1;
+                }
+            }
+            if l % 2 == 1 && l > 1 {
+                cover.push(cycle[l - 1] as u32);
+                k -= 1;
+            }
+            if k < 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Verifies `cover` touches every edge of the alive subgraph (tests).
+pub fn is_vertex_cover(adj: &BitMatrix, alive: &Bitset, cover: &[u32]) -> bool {
+    let mut covered = vec![false; adj.len()];
+    for &v in cover {
+        covered[v as usize] = true;
+    }
+    for u in alive.iter() {
+        for w in 0..adj.len() {
+            if alive.contains(w) && adj.has_edge(u, w) && !covered[u] && !covered[w] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_edges(n: usize, edges: &[(usize, usize)]) -> BitMatrix {
+        let mut m = BitMatrix::new(n);
+        for &(u, v) in edges {
+            m.add_edge(u, v);
+        }
+        m
+    }
+
+    #[test]
+    fn single_edge_needs_one() {
+        let m = from_edges(2, &[(0, 1)]);
+        assert!(vertex_cover_decision(&m, 1, None).is_some());
+        assert!(vertex_cover_decision(&m, 0, None).is_none());
+    }
+
+    #[test]
+    fn triangle_needs_two() {
+        let m = from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(vertex_cover_decision(&m, 1, None).is_none());
+        let c = vertex_cover_decision(&m, 2, None).unwrap();
+        assert!(is_vertex_cover(&m, &Bitset::full(3), &c));
+        assert!(c.len() <= 2);
+    }
+
+    #[test]
+    fn star_needs_one() {
+        let m = from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let c = vertex_cover_decision(&m, 1, None).unwrap();
+        assert_eq!(c, vec![0]);
+    }
+
+    #[test]
+    fn path_cover_sizes() {
+        // P_n needs floor(n/2)
+        for n in 2..10usize {
+            let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+            let m = from_edges(n, &edges);
+            let mvc = min_vertex_cover(&m, None);
+            assert_eq!(mvc.len(), n / 2, "path n={n}");
+            assert!(is_vertex_cover(&m, &Bitset::full(n), &mvc));
+        }
+    }
+
+    #[test]
+    fn cycle_cover_sizes() {
+        // C_n needs ceil(n/2)
+        for n in 3..10usize {
+            let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+            edges.push((n - 1, 0));
+            let m = from_edges(n, &edges);
+            let mvc = min_vertex_cover(&m, None);
+            assert_eq!(mvc.len(), n.div_ceil(2), "cycle n={n}");
+            assert!(is_vertex_cover(&m, &Bitset::full(n), &mvc));
+        }
+    }
+
+    #[test]
+    fn complete_graph_cover_is_n_minus_one() {
+        for n in 2..8usize {
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in u + 1..n {
+                    edges.push((u, v));
+                }
+            }
+            let m = from_edges(n, &edges);
+            assert_eq!(min_vertex_cover(&m, None).len(), n - 1, "K{n}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_cover_is_empty() {
+        let m = BitMatrix::new(5);
+        assert!(min_vertex_cover(&m, None).is_empty());
+        assert!(vertex_cover_decision(&m, 0, None).is_some());
+    }
+
+    #[test]
+    fn clique_via_vc_matches_direct() {
+        use crate::mc::max_clique_exact;
+        // assorted small graphs
+        let graphs = vec![
+            from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]),
+            from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (3, 4)]),
+            from_edges(4, &[]),
+        ];
+        for m in graphs {
+            let direct = max_clique_exact(&m);
+            let via = max_clique_via_vc(&m, 0, None).unwrap_or_default();
+            // edgeless graphs: ω = 1 > lb = 0, both should find a vertex
+            assert_eq!(direct.len(), via.len().max(direct.len().min(via.len())));
+            assert_eq!(direct.len(), via.len());
+            assert!(m.is_clique(&via));
+        }
+    }
+
+    #[test]
+    fn clique_via_vc_respects_lower_bound() {
+        let m = from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(max_clique_via_vc(&m, 3, None).is_none());
+        assert_eq!(max_clique_via_vc(&m, 2, None).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn matching_bound_is_a_lower_bound() {
+        let m = from_edges(6, &[(0, 1), (2, 3), (4, 5), (1, 2), (3, 4)]);
+        let alive = Bitset::full(6);
+        let lb = matching_lower_bound(&m, &alive);
+        let mvc = min_vertex_cover(&m, None).len();
+        assert!(lb <= mvc);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let m = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let mut st = VcStats::default();
+        let _ = min_vertex_cover(&m, Some(&mut st));
+        assert!(st.nodes > 0);
+    }
+}

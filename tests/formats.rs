@@ -1,0 +1,46 @@
+//! End-to-end file-format test: graphs survive a write/read round-trip in
+//! every supported format and solve to the same ω afterwards.
+
+use lazymc::core::{Config, LazyMc};
+use lazymc::graph::{gen, io};
+
+#[test]
+fn solve_after_dimacs_roundtrip() {
+    let g = gen::planted_clique(120, 0.05, 9, 3);
+    let omega = LazyMc::new(Config::default()).solve(&g).size();
+
+    let mut buf = Vec::new();
+    io::write_dimacs(&g, &mut buf).unwrap();
+    let h = io::read_dimacs(&buf[..]).unwrap();
+    assert_eq!(g, h);
+    assert_eq!(LazyMc::new(Config::default()).solve(&h).size(), omega);
+}
+
+#[test]
+fn solve_after_edge_list_roundtrip() {
+    let g = gen::caveman(12, 6, 0.08, 5);
+    let omega = LazyMc::new(Config::default()).solve(&g).size();
+
+    let mut buf = Vec::new();
+    io::write_edge_list(&g, &mut buf).unwrap();
+    let h = io::read_edge_list(&buf[..]).unwrap();
+    assert_eq!(g, h);
+    assert_eq!(LazyMc::new(Config::default()).solve(&h).size(), omega);
+}
+
+#[test]
+fn read_path_dispatches_by_extension() {
+    let g = gen::gnp(60, 0.1, 8);
+    let dir = std::env::temp_dir();
+
+    let clq = dir.join("lazymc_test_roundtrip.clq");
+    io::write_dimacs(&g, std::fs::File::create(&clq).unwrap()).unwrap();
+    assert_eq!(io::read_path(&clq).unwrap(), g);
+
+    let txt = dir.join("lazymc_test_roundtrip.txt");
+    io::write_edge_list(&g, std::fs::File::create(&txt).unwrap()).unwrap();
+    assert_eq!(io::read_path(&txt).unwrap(), g);
+
+    let _ = std::fs::remove_file(clq);
+    let _ = std::fs::remove_file(txt);
+}

@@ -1,0 +1,149 @@
+//! Workspace-level integration tests: LazyMC against every baseline and
+//! the oracle, across the whole benchmark suite and assorted adversarial
+//! graphs. This is the test the paper's Table II implicitly relies on —
+//! "all algorithms compute the exact maximum clique".
+
+use lazymc::baselines::{run, Algorithm};
+use lazymc::core::{Config, LazyMc};
+use lazymc::graph::suite::{all, Scale};
+use lazymc::graph::{gen, CsrGraph};
+
+#[test]
+fn lazymc_agrees_with_all_baselines_on_the_suite() {
+    for inst in all() {
+        let g = inst.build(Scale::Test);
+        let lazy = LazyMc::new(Config::default()).solve(&g);
+        assert!(
+            g.is_clique(lazy.vertices()),
+            "{}: LazyMC returned a non-clique",
+            inst.name
+        );
+        for alg in Algorithm::table2() {
+            let c = run(alg, &g);
+            assert!(g.is_clique(&c), "{}: {} non-clique", inst.name, alg.name());
+            assert_eq!(
+                c.len(),
+                lazy.size(),
+                "{}: {} disagrees with LazyMC",
+                inst.name,
+                alg.name()
+            );
+        }
+        if let Some(expected) = inst.expected_omega {
+            assert_eq!(lazy.size(), expected, "{}: wrong omega", inst.name);
+        }
+    }
+}
+
+#[test]
+fn oracle_agreement_on_dense_random_graphs() {
+    for seed in 0..8 {
+        let g = gen::gnp(45, 0.4, seed);
+        let oracle = run(Algorithm::Reference, &g).len();
+        let lazy = LazyMc::new(Config::default()).solve(&g);
+        assert_eq!(lazy.size(), oracle, "seed {seed}");
+    }
+}
+
+#[test]
+fn planted_cliques_of_every_size_are_recovered() {
+    for k in [3usize, 5, 8, 13, 21] {
+        let g = gen::planted_clique(500, 0.015, k, k as u64);
+        let r = LazyMc::new(Config::default()).solve(&g);
+        assert_eq!(r.size(), k, "planted k={k}");
+    }
+}
+
+#[test]
+fn adversarial_structures() {
+    // Two same-size maximum cliques — solver must return one of them.
+    let mut edges = Vec::new();
+    for base in [0u32, 10] {
+        for i in 0..5 {
+            for j in i + 1..5 {
+                edges.push((base + i, base + j));
+            }
+        }
+    }
+    edges.push((4, 10)); // bridge
+    let g = CsrGraph::from_edges(15, &edges);
+    let r = LazyMc::new(Config::default()).solve(&g);
+    assert_eq!(r.size(), 5);
+    assert!(g.is_clique(r.vertices()));
+
+    // A clique hidden at the very end of the id space.
+    let mut edges2: Vec<(u32, u32)> = (0..100u32).map(|i| (i, i + 1)).collect();
+    for i in 101..107u32 {
+        for j in i + 1..107 {
+            edges2.push((i, j));
+        }
+    }
+    let g2 = CsrGraph::from_edges(107, &edges2);
+    assert_eq!(LazyMc::new(Config::default()).solve(&g2).size(), 6);
+
+    // Isolated vertices plus one edge.
+    let g3 = CsrGraph::from_edges(50, &[(7, 33)]);
+    assert_eq!(LazyMc::new(Config::default()).solve(&g3).size(), 2);
+}
+
+#[test]
+fn turan_like_graph() {
+    // Complete 4-partite graph with parts of size 4: ω = 4 (one vertex per
+    // part), dense and highly symmetric — a classic stress for bounds.
+    let mut edges = Vec::new();
+    let part = |v: u32| v / 4;
+    for u in 0..16u32 {
+        for v in u + 1..16 {
+            if part(u) != part(v) {
+                edges.push((u, v));
+            }
+        }
+    }
+    let g = CsrGraph::from_edges(16, &edges);
+    let oracle = run(Algorithm::Reference, &g).len();
+    assert_eq!(oracle, 4);
+    assert_eq!(LazyMc::new(Config::default()).solve(&g).size(), 4);
+}
+
+#[test]
+fn hamming_graphs_known_omega() {
+    // H(n, 2): ω = 2^(n-1) — the even-parity code. Matches the published
+    // DIMACS values (hamming6-2: ω = 32).
+    for bits in [4u32, 5, 6] {
+        let g = gen::hamming(bits, 2);
+        let r = LazyMc::new(Config::default()).solve(&g);
+        assert_eq!(r.size(), 1 << (bits - 1), "H({bits},2)");
+    }
+    // hamming6-4: ω = 4 (published DIMACS value).
+    let g = gen::hamming(6, 4);
+    assert_eq!(LazyMc::new(Config::default()).solve(&g).size(), 4);
+}
+
+#[test]
+fn paley_graphs_match_oracle() {
+    // Strongly regular, quasi-random — hard for bounds; oracle-checked.
+    for q in [13u32, 17, 29, 37] {
+        let g = gen::paley(q);
+        let oracle = run(Algorithm::Reference, &g).len();
+        let r = LazyMc::new(Config::default()).solve(&g);
+        assert_eq!(r.size(), oracle, "Paley({q})");
+    }
+    // Published values as an extra anchor.
+    assert_eq!(
+        LazyMc::new(Config::default()).solve(&gen::paley(13)).size(),
+        3
+    );
+    assert_eq!(
+        LazyMc::new(Config::default()).solve(&gen::paley(17)).size(),
+        3
+    );
+}
+
+#[test]
+fn repeated_solves_are_stable() {
+    let g = gen::rmat(10, 10, 0.57, 0.19, 0.19, 3);
+    let first = LazyMc::new(Config::default()).solve(&g).size();
+    for _ in 0..5 {
+        assert_eq!(LazyMc::new(Config::default()).solve(&g).size(), first);
+    }
+}
