@@ -90,7 +90,13 @@ pub fn brb_like(g: &CsrGraph) -> Vec<VertexId> {
 /// `best` holds the best clique found in *this* ego network; the caller
 /// passes `lb` as the global floor. The reduce step drops any candidate
 /// whose candidate-degree cannot complete a clique beating the floor.
-fn expand(adj: &BitMatrix, mut cand: Bitset, current: &mut Vec<u32>, lb: usize, best: &mut Vec<u32>) {
+fn expand(
+    adj: &BitMatrix,
+    mut cand: Bitset,
+    current: &mut Vec<u32>,
+    lb: usize,
+    best: &mut Vec<u32>,
+) {
     let floor = lb.max(best.len());
     // --- Reduce: iterated degree filtering inside the candidate set ------
     // The best clique through candidate v is current ∪ {v} ∪ (its candidate

@@ -36,7 +36,11 @@ pub fn pmc_like(g: &CsrGraph) -> Vec<VertexId> {
         rank[v as usize] = i as VertexId;
     }
     let rg = g.relabel(&rank);
-    let core_rel: Vec<u32> = kc.peel_order.iter().map(|&v| kc.coreness[v as usize]).collect();
+    let core_rel: Vec<u32> = kc
+        .peel_order
+        .iter()
+        .map(|&v| kc.coreness[v as usize])
+        .collect();
 
     let best = SharedBest::new();
 

@@ -15,7 +15,9 @@ fn bench_contains(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(200));
 
     for &n in &[256usize, 4096, 65536] {
-        let keys: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        let keys: Vec<u32> = (0..n as u32)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect();
         let probes: Vec<u32> = (0..1024u32)
             .map(|i| {
                 if i % 2 == 0 {
@@ -77,7 +79,9 @@ fn bench_build(c: &mut Criterion) {
     group.sample_size(20);
     group.measurement_time(std::time::Duration::from_millis(800));
     group.warm_up_time(std::time::Duration::from_millis(200));
-    let keys: Vec<u32> = (0..4096u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let keys: Vec<u32> = (0..4096u32)
+        .map(|i| i.wrapping_mul(2_654_435_761))
+        .collect();
     group.bench_function("hopscotch_4096", |b| {
         b.iter(|| {
             let s: HopscotchSet = black_box(&keys).iter().collect();

@@ -59,17 +59,13 @@ fn bench_intersections(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("size_plain", overlap),
             &overlap,
-            |bench, _| {
-                bench.iter(|| black_box(intersect_size_plain(black_box(&a), black_box(&b))))
-            },
+            |bench, _| bench.iter(|| black_box(intersect_size_plain(black_box(&a), black_box(&b)))),
         );
         group.bench_with_input(
             BenchmarkId::new("size_gt_val/early", overlap),
             &overlap,
             |bench, _| {
-                bench.iter(|| {
-                    black_box(intersect_size_gt_val(black_box(&a), black_box(&b), theta))
-                })
+                bench.iter(|| black_box(intersect_size_gt_val(black_box(&a), black_box(&b), theta)))
             },
         );
     }

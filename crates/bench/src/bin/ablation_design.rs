@@ -16,8 +16,18 @@ use lazymc_core::{Config, LazyMc, OrderKind};
 fn main() {
     let args = CommonArgs::parse();
 
-    println!("Ablation A: induced-degree filter rounds ({:?} scale)", args.scale);
-    let mut t1 = Table::new(&["graph", "rounds=1", "rounds=2*", "rounds=3", "rounds=4", "f3-kept@2"]);
+    println!(
+        "Ablation A: induced-degree filter rounds ({:?} scale)",
+        args.scale
+    );
+    let mut t1 = Table::new(&[
+        "graph",
+        "rounds=1",
+        "rounds=2*",
+        "rounds=3",
+        "rounds=4",
+        "f3-kept@2",
+    ]);
     for inst in args.instances() {
         let g = inst.build(args.scale);
         let mut cells = vec![inst.name.to_string()];
@@ -51,7 +61,10 @@ fn main() {
     }
     println!("{}", t1.render());
 
-    println!("Ablation B: vertex order and subgraph reduction ({:?} scale)", args.scale);
+    println!(
+        "Ablation B: vertex order and subgraph reduction ({:?} scale)",
+        args.scale
+    );
     let mut t2 = Table::new(&["graph", "coreness-deg*", "peeling", "with-reduction"]);
     for inst in args.instances() {
         let g = inst.build(args.scale);

@@ -23,7 +23,10 @@ fn main() {
         let z = zone_analysis(&g, &kc.coreness, omega);
         rows.push((inst.name.to_string(), z));
     }
-    for (title, gap_zero) in [("(a) clique-core gap zero", true), ("(b) gap non-zero", false)] {
+    for (title, gap_zero) in [
+        ("(a) clique-core gap zero", true),
+        ("(b) gap non-zero", false),
+    ] {
         let mut table = Table::new(&[
             "graph",
             "must-V",
@@ -33,7 +36,10 @@ fn main() {
             "attached-E",
             "gap",
         ]);
-        for (name, z) in rows.iter().filter(|(_, z)| (z.clique_core_gap == 0) == gap_zero) {
+        for (name, z) in rows
+            .iter()
+            .filter(|(_, z)| (z.clique_core_gap == 0) == gap_zero)
+        {
             table.row(vec![
                 name.clone(),
                 pct(z.must_vertices),

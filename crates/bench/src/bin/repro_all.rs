@@ -7,7 +7,16 @@ use std::fs;
 use std::process::Command;
 
 const BINARIES: [&str; 11] = [
-    "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
     "ablation_design",
 ];
 
@@ -29,14 +38,10 @@ fn main() {
         let text = String::from_utf8_lossy(&output.stdout);
         print!("{text}");
         if !output.status.success() {
-            eprintln!(
-                "{bin} FAILED: {}",
-                String::from_utf8_lossy(&output.stderr)
-            );
+            eprintln!("{bin} FAILED: {}", String::from_utf8_lossy(&output.stderr));
             std::process::exit(1);
         }
-        fs::write(out_dir.join(format!("{bin}.txt")), text.as_bytes())
-            .expect("write result file");
+        fs::write(out_dir.join(format!("{bin}.txt")), text.as_bytes()).expect("write result file");
     }
     println!("All experiment outputs written to {}", out_dir.display());
 }

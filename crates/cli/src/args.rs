@@ -19,6 +19,9 @@ const VALUED: &[&str] = &[
     "--skip",
     "--top-k",
     "--filter-rounds",
+    "--workers",
+    "--max-graphs",
+    "--queue-cap",
 ];
 
 impl Parsed {

@@ -18,10 +18,19 @@ USAGE:
   lazymc mce <file> [--histogram]
   lazymc compare <file> [--skip ALG[,ALG...]]   (algs: pmc, domega-ls, domega-bs, brb)
   lazymc gen <instance> <out-file> [--test]     (see `lazymc gen list`)
+  lazymc serve [<addr>] [--workers N] [--max-graphs M] [--queue-cap Q]
+               [--check]                        (default addr 127.0.0.1:7171)
   lazymc help
 
 Input formats by extension: .clq/.col/.dimacs (DIMACS), .mtx (MatrixMarket),
 anything else is read as a whitespace edge list.
+
+The serve daemon keeps uploaded graphs resident (fingerprinted, coreness
+precomputed, LRU-bounded by --max-graphs) and answers clique queries over
+HTTP/1.1: POST /graphs, POST /solve, GET /graphs, GET /stats/<name>,
+GET /healthz, GET /metrics, DELETE /graphs/<name>. Repeated identical
+queries are served from a result cache; a full job queue (--queue-cap)
+answers 429. --check binds, prints the address, and exits immediately.
 ";
 
 fn load(path: &str) -> Result<CsrGraph, String> {
@@ -90,7 +99,10 @@ pub fn solve(argv: &[String]) -> i32 {
     if r.is_exact() {
         println!("omega {}", r.size());
     } else {
-        println!("omega >= {} (budget expired before the proof finished)", r.size());
+        println!(
+            "omega >= {} (budget expired before the proof finished)",
+            r.size()
+        );
     }
     let mut witness = r.vertices().to_vec();
     witness.sort_unstable();
@@ -195,7 +207,10 @@ pub fn compare(argv: &[String]) -> i32 {
         Ok(g) => g,
         Err(e) => return fail(&e),
     };
-    let skip: Vec<&str> = p.raw("--skip").map(|s| s.split(',').collect()).unwrap_or_default();
+    let skip: Vec<&str> = p
+        .raw("--skip")
+        .map(|s| s.split(',').collect())
+        .unwrap_or_default();
 
     let t = Instant::now();
     let lazy = LazyMc::new(Config::default()).solve(&g);
@@ -207,7 +222,8 @@ pub fn compare(argv: &[String]) -> i32 {
         lazy_time
     );
 
-    let runs: Vec<(&str, Box<dyn Fn(&CsrGraph) -> Vec<u32>>)> = vec![
+    type Baseline = Box<dyn Fn(&CsrGraph) -> Vec<u32>>;
+    let runs: Vec<(&str, Baseline)> = vec![
         ("pmc", Box::new(bl::pmc_like)),
         (
             "domega-ls",
@@ -227,7 +243,11 @@ pub fn compare(argv: &[String]) -> i32 {
         let t = Instant::now();
         let c = f(&g);
         let elapsed = t.elapsed();
-        let verdict = if c.len() == lazy.size() { "" } else { "  << DISAGREES" };
+        let verdict = if c.len() == lazy.size() {
+            ""
+        } else {
+            "  << DISAGREES"
+        };
         println!(
             "{:<10} omega {:<5} time {:>12?}  speedup {:>6.2}x{verdict}",
             name,
@@ -240,6 +260,47 @@ pub fn compare(argv: &[String]) -> i32 {
         }
     }
     0
+}
+
+/// `lazymc serve`
+pub fn serve(argv: &[String]) -> i32 {
+    let p = match Parsed::parse(argv) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let mut cfg = lazymc_service::ServiceConfig {
+        addr: p.positional(0).unwrap_or("127.0.0.1:7171").to_string(),
+        ..lazymc_service::ServiceConfig::default()
+    };
+    macro_rules! set {
+        ($field:ident, $flag:literal) => {
+            match p.value($flag) {
+                Ok(Some(v)) => cfg.$field = v,
+                Ok(None) => {}
+                Err(e) => return fail(&e),
+            }
+        };
+    }
+    set!(workers, "--workers");
+    set!(max_graphs, "--max-graphs");
+    set!(queue_capacity, "--queue-cap");
+
+    let handle = match lazymc_service::serve(cfg) {
+        Ok(h) => h,
+        Err(e) => return fail(&format!("cannot bind: {e}")),
+    };
+    let addr = handle.addr();
+    println!("lazymc-service listening on http://{addr}");
+    println!("  POST /graphs    upload a graph   (name, format, content)");
+    println!("  POST /solve     query a clique   (graph, budget_ms, priority, ...)");
+    println!("  GET  /stats/<name> | /graphs | /healthz | /metrics");
+    if p.has("--check") {
+        handle.stop();
+        return 0;
+    }
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
 }
 
 /// `lazymc gen`

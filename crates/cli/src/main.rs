@@ -8,6 +8,7 @@
 //! lazymc mce <file> [--histogram]
 //! lazymc compare <file> [--skip ALG[,ALG…]]
 //! lazymc gen <instance> <out-file> [--test]
+//! lazymc serve [<addr>] [--workers N] [--max-graphs M] [--queue-cap Q]
 //! lazymc help
 //! ```
 //!
@@ -30,6 +31,7 @@ fn run(argv: &[String]) -> i32 {
         Some("mce") => commands::mce(&argv[1..]),
         Some("compare") => commands::compare(&argv[1..]),
         Some("gen") => commands::gen(&argv[1..]),
+        Some("serve") => commands::serve(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             0
@@ -70,7 +72,12 @@ mod tests {
         let path_s = path.to_str().unwrap().to_string();
 
         assert_eq!(
-            run(&["gen".into(), "collab".into(), path_s.clone(), "--test".into()]),
+            run(&[
+                "gen".into(),
+                "collab".into(),
+                path_s.clone(),
+                "--test".into()
+            ]),
             0
         );
         assert_eq!(run(&["stats".into(), path_s.clone()]), 0);
@@ -89,7 +96,10 @@ mod tests {
             ]),
             0
         );
-        assert_eq!(run(&["mce".into(), path_s.clone(), "--histogram".into()]), 0);
+        assert_eq!(
+            run(&["mce".into(), path_s.clone(), "--histogram".into()]),
+            0
+        );
         assert_eq!(
             run(&[
                 "compare".into(),
@@ -103,6 +113,31 @@ mod tests {
     }
 
     #[test]
+    fn serve_check_binds_and_exits() {
+        assert_eq!(
+            run(&["serve".into(), "127.0.0.1:0".into(), "--check".into()]),
+            0
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_inputs() {
+        assert_ne!(
+            run(&["serve".into(), "not-an-address".into(), "--check".into()]),
+            0
+        );
+        assert_ne!(
+            run(&[
+                "serve".into(),
+                "127.0.0.1:0".into(),
+                "--workers".into(),
+                "x".into()
+            ]),
+            0
+        );
+    }
+
+    #[test]
     fn gen_rejects_unknown_instance() {
         assert_ne!(run(&["gen".into(), "nope".into(), "/tmp/x.clq".into()]), 0);
     }
@@ -110,7 +145,12 @@ mod tests {
     #[test]
     fn solve_rejects_bad_flag_values() {
         assert_ne!(
-            run(&["solve".into(), "x.clq".into(), "--threads".into(), "banana".into()]),
+            run(&[
+                "solve".into(),
+                "x.clq".into(),
+                "--threads".into(),
+                "banana".into()
+            ]),
             0
         );
     }

@@ -118,6 +118,38 @@ impl Config {
         self.density_threshold = phi;
         self
     }
+
+    /// Canonical text encoding of every semantic field, stable across runs
+    /// and platforms. Two configs with the same key request the same
+    /// search; the service layer keys its result cache on
+    /// `(graph fingerprint, canonical_key)`. `threads` is *excluded*: the
+    /// thread count changes cost, never the answer.
+    pub fn canonical_key(&self) -> String {
+        format!(
+            "v1;top_k={};phi={};ee={};se={};pp={};probes={};floor={};rounds={};order={};red={};budget={}",
+            self.top_k,
+            self.density_threshold,
+            u8::from(self.early_exit),
+            u8::from(self.second_exit),
+            match self.prepopulate {
+                PrePopulate::None => "none",
+                PrePopulate::Must => "must",
+                PrePopulate::All => "all",
+            },
+            u8::from(self.low_core_probes),
+            u8::from(self.kcore_floor),
+            self.filter_rounds,
+            match self.order {
+                OrderKind::CorenessDegree => "cd",
+                OrderKind::Peeling => "peel",
+            },
+            u8::from(self.subgraph_reduction),
+            match self.time_budget {
+                None => "none".to_string(),
+                Some(d) => format!("{}ns", d.as_nanos()),
+            },
+        )
+    }
 }
 
 #[cfg(test)]
@@ -134,8 +166,68 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = Config::sequential().with_density_threshold(0.1).with_threads(4);
+        let c = Config::sequential()
+            .with_density_threshold(0.1)
+            .with_threads(4);
         assert_eq!(c.threads, 4);
         assert_eq!(c.density_threshold, 0.1);
+    }
+
+    #[test]
+    fn canonical_key_is_stable_and_discriminating() {
+        let a = Config::default();
+        assert_eq!(a.canonical_key(), Config::default().canonical_key());
+        // Thread count never changes the answer, so it is not in the key.
+        assert_eq!(a.canonical_key(), Config::sequential().canonical_key());
+        // Every semantic field is.
+        let variants = vec![
+            Config {
+                top_k: 1,
+                ..a.clone()
+            },
+            a.clone().with_density_threshold(0.25),
+            Config {
+                early_exit: false,
+                ..a.clone()
+            },
+            Config {
+                second_exit: false,
+                ..a.clone()
+            },
+            Config {
+                prepopulate: PrePopulate::All,
+                ..a.clone()
+            },
+            Config {
+                low_core_probes: false,
+                ..a.clone()
+            },
+            Config {
+                kcore_floor: false,
+                ..a.clone()
+            },
+            Config {
+                filter_rounds: 3,
+                ..a.clone()
+            },
+            Config {
+                order: OrderKind::Peeling,
+                ..a.clone()
+            },
+            Config {
+                subgraph_reduction: true,
+                ..a.clone()
+            },
+            Config {
+                time_budget: Some(std::time::Duration::from_millis(5)),
+                ..a.clone()
+            },
+        ];
+        let mut keys: Vec<String> = variants.iter().map(Config::canonical_key).collect();
+        keys.push(a.canonical_key());
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "canonical keys must be distinct");
     }
 }

@@ -40,9 +40,9 @@ pub use zone::{zone_analysis, ZoneStats};
 use lazymc_graph::{CsrGraph, VertexId};
 use lazymc_lazygraph::LazyGraph;
 use lazymc_order::relabel::level_ranges;
-use lazymc_order::{coreness_degree_order, kcore_sequential, kcore_with_floor, VertexOrder};
+use lazymc_order::{coreness_degree_order, kcore_sequential, kcore_with_floor, KCore, VertexOrder};
 use std::time::Instant;
-use systematic::Deadline;
+pub use systematic::Deadline;
 
 /// Result of a [`LazyMc::solve`] run.
 #[derive(Debug, Clone)]
@@ -96,18 +96,38 @@ impl LazyMc {
     /// Finds a maximum clique of `g`. The returned witness is in original
     /// vertex ids; its size is deterministic, its identity need not be.
     pub fn solve(&self, g: &CsrGraph) -> SolveResult {
+        let deadline = Deadline::starting_now(self.config.time_budget);
+        self.solve_prepared(g, None, &deadline)
+    }
+
+    /// [`LazyMc::solve`] for long-running callers that amortize work across
+    /// queries: an exact precomputed k-core decomposition of `g` (e.g.
+    /// shared by a graph registry) skips the per-solve coreness phase, and
+    /// the externally owned [`Deadline`] lets a job budget start ticking at
+    /// *enqueue* time rather than solve time. Pass a fresh `Deadline` per
+    /// call — `truncated` is sticky.
+    ///
+    /// `kcore` must come from [`lazymc_order::kcore_sequential`] on this
+    /// exact graph; a decomposition without a peel order is recomputed when
+    /// the configured order requires one.
+    pub fn solve_prepared(
+        &self,
+        g: &CsrGraph,
+        kcore: Option<&KCore>,
+        deadline: &Deadline,
+    ) -> SolveResult {
         if self.config.threads > 0 {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(self.config.threads)
                 .build()
                 .expect("failed to build rayon pool");
-            pool.install(|| self.solve_inner(g))
+            pool.install(|| self.solve_inner(g, kcore, deadline))
         } else {
-            self.solve_inner(g)
+            self.solve_inner(g, kcore, deadline)
         }
     }
 
-    fn solve_inner(&self, g: &CsrGraph) -> SolveResult {
+    fn solve_inner(&self, g: &CsrGraph, pre: Option<&KCore>, deadline: &Deadline) -> SolveResult {
         let cfg = &self.config;
         let mut phases = PhaseTimes::default();
         let inc = Incumbent::new();
@@ -120,7 +140,6 @@ impl LazyMc {
                 metrics: MetricsSnapshot::default(),
             };
         }
-        let deadline = Deadline::starting_now(cfg.time_budget);
 
         // 1. Degree-based heuristic search (Alg. 1 line 3).
         let t = Instant::now();
@@ -131,13 +150,24 @@ impl LazyMc {
         // 2. Coreness, floored at the incumbent (line 4): vertices the
         //    heuristic already rules out never get an exact coreness.
         //    The peeling order requires the exact sequential computation.
+        //    A caller-provided exact decomposition (registry amortization)
+        //    replaces the whole phase; the floor optimization only avoids
+        //    work while *computing* coreness, so exact values are always a
+        //    valid substitute.
         let t = Instant::now();
-        let kc = match cfg.order {
-            config::OrderKind::Peeling => kcore_sequential(g),
-            config::OrderKind::CorenessDegree if cfg.kcore_floor => {
-                kcore_with_floor(g, omega_degree as u32)
+        let kc_owned;
+        let kc: &KCore = match pre {
+            Some(kc) if cfg.order != config::OrderKind::Peeling || !kc.peel_order.is_empty() => kc,
+            _ => {
+                kc_owned = match cfg.order {
+                    config::OrderKind::Peeling => kcore_sequential(g),
+                    config::OrderKind::CorenessDegree if cfg.kcore_floor => {
+                        kcore_with_floor(g, omega_degree as u32)
+                    }
+                    config::OrderKind::CorenessDegree => kcore_sequential(g),
+                };
+                &kc_owned
             }
-            config::OrderKind::CorenessDegree => kcore_sequential(g),
         };
         phases.kcore = t.elapsed();
 
@@ -166,7 +196,7 @@ impl LazyMc {
 
         // 6. Systematic search (line 8).
         let t = Instant::now();
-        systematic::systematic_search(&lg, &levels, kc.degeneracy, cfg, &inc, &counters, &deadline);
+        systematic::systematic_search(&lg, &levels, kc.degeneracy, cfg, &inc, &counters, deadline);
         phases.systematic = t.elapsed();
 
         let mut snapshot = metrics::snapshot_counters(&counters);
@@ -347,6 +377,42 @@ mod tests {
         .solve(&g);
         assert!(r.is_exact());
         assert_eq!(r.size(), 9);
+    }
+
+    #[test]
+    fn prepared_solve_matches_plain_solve() {
+        let g = gen::dense_overlap(200, 25, 8, 16, 0.1, 5);
+        let expected = solve(&g);
+        let kc = kcore_sequential(&g);
+        for cfg in [
+            Config::default(),
+            Config {
+                order: OrderKind::Peeling,
+                ..Config::default()
+            },
+        ] {
+            let solver = LazyMc::new(cfg.clone());
+            let deadline = Deadline::none();
+            let r = solver.solve_prepared(&g, Some(&kc), &deadline);
+            assert_eq!(r.size(), expected.size(), "config {cfg:?}");
+            assert!(r.is_exact());
+            assert!(g.is_clique(r.vertices()));
+            // The shared decomposition makes the per-solve phase ~free.
+            assert_eq!(r.metrics.degeneracy, kc.degeneracy);
+        }
+    }
+
+    #[test]
+    fn prepared_solve_honours_external_deadline() {
+        let g = gen::dense_overlap(200, 25, 8, 16, 0.1, 7);
+        let kc = kcore_sequential(&g);
+        // A deadline that expired before the solve even started (job sat in
+        // a queue past its budget): the result is a sound lower bound
+        // flagged inexact.
+        let deadline = Deadline::starting_now(Some(std::time::Duration::ZERO));
+        let r = LazyMc::default().solve_prepared(&g, Some(&kc), &deadline);
+        assert!(!r.is_exact());
+        assert!(g.is_clique(r.vertices()));
     }
 
     #[test]

@@ -130,6 +130,40 @@ impl MetricsSnapshot {
         self.filter_time + self.mc_time + self.kvc_time
     }
 
+    /// Accumulates another solve's measurements into `self` (element-wise
+    /// sums). Long-running callers — the query daemon's `/metrics`
+    /// endpoint — fold every completed solve into one running total.
+    /// Scalar graph properties (`n`, `m`, `degeneracy`, heuristic sizes,
+    /// `lazy_built`) are summed too: totals, not last-seen values.
+    pub fn accumulate(&mut self, other: &MetricsSnapshot) {
+        let p = &mut self.phases;
+        let q = &other.phases;
+        p.degree_heuristic += q.degree_heuristic;
+        p.kcore += q.kcore;
+        p.reorder += q.reorder;
+        p.prepopulate += q.prepopulate;
+        p.coreness_heuristic += q.coreness_heuristic;
+        p.systematic += q.systematic;
+        self.omega_degree_heuristic += other.omega_degree_heuristic;
+        self.omega_coreness_heuristic += other.omega_coreness_heuristic;
+        self.degeneracy += other.degeneracy;
+        self.n += other.n;
+        self.m += other.m;
+        self.retained_coreness += other.retained_coreness;
+        self.retained_f1 += other.retained_f1;
+        self.retained_f2 += other.retained_f2;
+        self.retained_f3 += other.retained_f3;
+        self.searched_mc += other.searched_mc;
+        self.searched_kvc += other.searched_kvc;
+        self.filter_time += other.filter_time;
+        self.mc_time += other.mc_time;
+        self.kvc_time += other.kvc_time;
+        self.mc_nodes += other.mc_nodes;
+        self.vc_nodes += other.vc_nodes;
+        self.lazy_built.0 += other.lazy_built.0;
+        self.lazy_built.1 += other.lazy_built.1;
+    }
+
     /// Table III row, normalized per thousand vertices.
     pub fn retention_per_mille(&self) -> [f64; 4] {
         let n = self.n.max(1) as f64;
@@ -188,6 +222,34 @@ mod tests {
         };
         let r = snap.retention_per_mille();
         assert_eq!(r, [50.0, 25.0, 5.0, 1.0]);
+    }
+
+    #[test]
+    fn accumulate_sums_everything() {
+        let mut total = MetricsSnapshot::default();
+        let one = MetricsSnapshot {
+            n: 10,
+            m: 20,
+            retained_f1: 3,
+            searched_mc: 2,
+            mc_nodes: 100,
+            filter_time: Duration::from_millis(4),
+            phases: PhaseTimes {
+                systematic: Duration::from_millis(6),
+                ..PhaseTimes::default()
+            },
+            lazy_built: (5, 7),
+            ..Default::default()
+        };
+        total.accumulate(&one);
+        total.accumulate(&one);
+        assert_eq!(total.n, 20);
+        assert_eq!(total.retained_f1, 6);
+        assert_eq!(total.searched_mc, 4);
+        assert_eq!(total.mc_nodes, 200);
+        assert_eq!(total.filter_time, Duration::from_millis(8));
+        assert_eq!(total.phases.systematic, Duration::from_millis(12));
+        assert_eq!(total.lazy_built, (10, 14));
     }
 
     #[test]

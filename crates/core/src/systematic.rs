@@ -91,7 +91,9 @@ pub fn systematic_search(
     // Probed vertices are remembered so the main sweep does not search the
     // same right-neighbourhood twice.
     let probed: Vec<AtomicBool> = if cfg.low_core_probes {
-        (0..lg.num_vertices()).map(|_| AtomicBool::new(false)).collect()
+        (0..lg.num_vertices())
+            .map(|_| AtomicBool::new(false))
+            .collect()
     } else {
         Vec::new()
     };
@@ -553,7 +555,15 @@ mod tests {
             let f = fixture(&g, &ord, &kc.coreness, kc.degeneracy, &inc);
             let counters = Counters::default();
             let cfg = Config::default().with_density_threshold(phi);
-            systematic_search(&f.lg, &f.levels, f.degeneracy, &cfg, &inc, &counters, &Deadline::none());
+            systematic_search(
+                &f.lg,
+                &f.levels,
+                f.degeneracy,
+                &cfg,
+                &inc,
+                &counters,
+                &Deadline::none(),
+            );
             let snap = crate::metrics::snapshot_counters(&counters);
             if phi == 0.0 {
                 assert_eq!(snap.searched_mc, 0, "phi=0 must route everything to k-VC");

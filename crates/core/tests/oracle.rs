@@ -21,17 +21,17 @@ fn arb_graph() -> impl Strategy<Value = CsrGraph> {
 
 fn arb_config() -> impl Strategy<Value = Config> {
     (
-        0usize..3,                   // threads (0 = ambient pool)
-        0usize..40,                  // top_k
-        0.0f64..=1.0,                // density threshold
-        any::<bool>(),               // early_exit
-        any::<bool>(),               // second_exit
-        0usize..3,                   // prepopulate selector
-        any::<bool>(),               // low_core_probes
-        any::<bool>(),               // kcore_floor
-        1usize..4,                   // filter_rounds
-        any::<bool>(),               // peel order?
-        any::<bool>(),               // subgraph_reduction
+        0usize..3,     // threads (0 = ambient pool)
+        0usize..40,    // top_k
+        0.0f64..=1.0,  // density threshold
+        any::<bool>(), // early_exit
+        any::<bool>(), // second_exit
+        0usize..3,     // prepopulate selector
+        any::<bool>(), // low_core_probes
+        any::<bool>(), // kcore_floor
+        1usize..4,     // filter_rounds
+        any::<bool>(), // peel order?
+        any::<bool>(), // subgraph_reduction
     )
         .prop_map(
             |(threads, top_k, phi, ee, se, pp, probes, floor, rounds, peel, red)| Config {

@@ -99,7 +99,10 @@ pub fn largest_component(g: &CsrGraph) -> (CsrGraph, Vec<VertexId>) {
         sizes[l as usize] += 1;
     }
     let best = (0..count).max_by_key(|&c| sizes[c]).unwrap() as u32;
-    let members: Vec<VertexId> = g.vertices().filter(|&v| labels[v as usize] == best).collect();
+    let members: Vec<VertexId> = g
+        .vertices()
+        .filter(|&v| labels[v as usize] == best)
+        .collect();
     g.induced_subgraph(&members)
 }
 

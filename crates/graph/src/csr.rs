@@ -252,6 +252,33 @@ impl CsrGraph {
         Ok(())
     }
 
+    /// Content fingerprint of the graph structure: equal graphs (same CSR
+    /// arrays, i.e. same vertex set and adjacency) fingerprint equally on
+    /// every platform and run. FNV-1a over `n` and the CSR arrays — cheap
+    /// enough to compute at load time, stable enough to key caches across
+    /// re-uploads of the same dataset.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.num_vertices() as u64);
+        // Offsets are determined by the degree sequence; hashing the degree
+        // gaps keeps the loop branch-free and position-dependent.
+        for w in self.offsets.windows(2) {
+            mix((w[1] - w[0]) as u64);
+        }
+        for &t in &self.targets {
+            mix(t as u64);
+        }
+        h
+    }
+
     /// Whether `clique` (ids of `self`) forms a clique.
     pub fn is_clique(&self, clique: &[VertexId]) -> bool {
         for (i, &u) in clique.iter().enumerate() {
@@ -391,5 +418,23 @@ mod tests {
     fn density_of_complete_graph_is_one() {
         let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         assert!((g.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure() {
+        let g = triangle_plus_pendant();
+        // Same content → same fingerprint, independent of construction path.
+        let h = CsrGraph::from_edges(4, &[(0, 3), (2, 0), (1, 2), (0, 1)]);
+        assert_eq!(g.fingerprint(), h.fingerprint());
+        // One edge of difference → different fingerprint.
+        let k = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (1, 3)]);
+        assert_ne!(g.fingerprint(), k.fingerprint());
+        // Isolated vertices count: same edges, more vertices.
+        let wider = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+        assert_ne!(g.fingerprint(), wider.fingerprint());
+        assert_ne!(
+            CsrGraph::empty(0).fingerprint(),
+            CsrGraph::empty(1).fingerprint()
+        );
     }
 }

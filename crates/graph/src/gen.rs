@@ -252,7 +252,10 @@ pub fn dense_overlap(
 /// ω = 2^(bits-1) (a binary code with minimum distance 2, e.g. all words
 /// of even parity).
 pub fn hamming(bits: u32, d: u32) -> CsrGraph {
-    assert!((1..=12).contains(&bits), "hamming graphs limited to 2^12 vertices");
+    assert!(
+        (1..=12).contains(&bits),
+        "hamming graphs limited to 2^12 vertices"
+    );
     let n = 1usize << bits;
     let mut b = GraphBuilder::new(n);
     for u in 0..n as u32 {
@@ -315,12 +318,7 @@ pub fn apollonian(insertions: usize, seed: u64) -> CsrGraph {
             b.add_edge(u, v);
         }
     }
-    let mut faces: Vec<[VertexId; 3]> = vec![
-        [0, 1, 2],
-        [0, 1, 3],
-        [0, 2, 3],
-        [1, 2, 3],
-    ];
+    let mut faces: Vec<[VertexId; 3]> = vec![[0, 1, 2], [0, 1, 3], [0, 2, 3], [1, 2, 3]];
     for i in 0..insertions {
         let v = (4 + i) as VertexId;
         let fi = rng.gen_range(0..faces.len());
@@ -537,12 +535,7 @@ mod tests {
         // every vertex beyond the seed has exactly its 3 face corners as
         // the initial neighbours; together they form a K4
         for v in 4..54u32 {
-            let first3: Vec<u32> = g
-                .neighbors(v)
-                .iter()
-                .copied()
-                .filter(|&u| u < v)
-                .collect();
+            let first3: Vec<u32> = g.neighbors(v).iter().copied().filter(|&u| u < v).collect();
             assert_eq!(first3.len(), 3, "vertex {v}");
             let mut quad = first3.clone();
             quad.push(v);

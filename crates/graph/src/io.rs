@@ -55,7 +55,14 @@ pub fn read_edge_list<R: Read>(r: R) -> Result<CsrGraph, IoError> {
     for (idx, line) in BufReader::new(r).lines().enumerate() {
         let line = line?;
         let t = line.trim();
-        if t.is_empty() || t.starts_with('#') || t.starts_with('%') || t.starts_with("c ") {
+        // A lone `c` (or `#`/`%`) with nothing after it is a legal comment
+        // line in DIMACS-flavoured edge lists, not a parse error.
+        if t.is_empty()
+            || t.starts_with('#')
+            || t.starts_with('%')
+            || t == "c"
+            || t.starts_with("c ")
+        {
             continue;
         }
         let mut it = t.split_whitespace();
@@ -119,8 +126,7 @@ pub fn read_dimacs<R: Read>(r: R) -> Result<CsrGraph, IoError> {
             return Err(parse_err(idx + 1, format!("unrecognized line {t:?}")));
         }
     }
-    Ok(b
-        .ok_or_else(|| parse_err(0, "missing problem line"))?
+    Ok(b.ok_or_else(|| parse_err(0, "missing problem line"))?
         .build())
 }
 
@@ -180,8 +186,7 @@ pub fn read_matrix_market<R: Read>(r: R) -> Result<CsrGraph, IoError> {
     if !saw_banner {
         return Err(parse_err(0, "empty file"));
     }
-    Ok(b
-        .ok_or_else(|| parse_err(0, "missing dimension line"))?
+    Ok(b.ok_or_else(|| parse_err(0, "missing dimension line"))?
         .build())
 }
 
@@ -199,7 +204,12 @@ pub fn read_path(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
 
 /// Writes `g` as an edge list (each undirected edge once).
 pub fn write_edge_list<W: Write>(g: &CsrGraph, mut w: W) -> std::io::Result<()> {
-    writeln!(w, "# {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u} {v}")?;
     }
@@ -243,6 +253,14 @@ mod tests {
         let g = read_edge_list(text.as_bytes()).unwrap();
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_accepts_bare_comment_tokens() {
+        // A comment marker alone on its line (no trailing space) is legal.
+        let text = "c\n#\n%\n  c  \n0 1\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
     }
 
     #[test]

@@ -38,7 +38,11 @@ impl GraphStats {
             n,
             m,
             max_degree,
-            avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * m as f64 / n as f64
+            },
             density: g.density(),
             isolated,
         }

@@ -373,10 +373,7 @@ mod tests {
     use lazymc_graph::gen;
     use lazymc_order::{coreness_degree_order, kcore_sequential};
 
-    fn setup(
-        g: &CsrGraph,
-        incumbent: usize,
-    ) -> (VertexOrder, Vec<u32>, Arc<AtomicUsize>) {
+    fn setup(g: &CsrGraph, incumbent: usize) -> (VertexOrder, Vec<u32>, Arc<AtomicUsize>) {
         let kc = kcore_sequential(g);
         let ord = coreness_degree_order(g, &kc.coreness);
         (ord, kc.coreness, Arc::new(AtomicUsize::new(incumbent)))

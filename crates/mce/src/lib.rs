@@ -194,9 +194,8 @@ pub fn all_maximal_cliques_naive(g: &CsrGraph) -> Vec<Vec<VertexId>> {
         if !g.is_clique(&members) {
             continue;
         }
-        let extendable = (0..n as u32).any(|u| {
-            mask & (1 << u) == 0 && members.iter().all(|&v| g.has_edge(u, v))
-        });
+        let extendable = (0..n as u32)
+            .any(|u| mask & (1 << u) == 0 && members.iter().all(|&v| g.has_edge(u, v)));
         if !extendable {
             out.push(members);
         }
@@ -250,8 +249,7 @@ mod tests {
         let outer = [(0u32, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
         let spokes = [(0u32, 5), (1, 6), (2, 7), (3, 8), (4, 9)];
         let inner = [(5u32, 7), (7, 9), (9, 6), (6, 8), (8, 5)];
-        let edges: Vec<(u32, u32)> =
-            outer.iter().chain(&spokes).chain(&inner).copied().collect();
+        let edges: Vec<(u32, u32)> = outer.iter().chain(&spokes).chain(&inner).copied().collect();
         let g = lazymc_graph::CsrGraph::from_edges(10, &edges);
         // triangle-free: maximal cliques = the 15 edges
         assert_eq!(count_maximal_cliques(&g), 15);

@@ -436,6 +436,9 @@ mod tests {
     #[test]
     fn floored_kcore_floor_zero_is_exact() {
         let g = gen::gnp(80, 0.1, 9);
-        assert_eq!(kcore_with_floor(&g, 0).coreness, kcore_sequential(&g).coreness);
+        assert_eq!(
+            kcore_with_floor(&g, 0).coreness,
+            kcore_sequential(&g).coreness
+        );
     }
 }

@@ -8,8 +8,7 @@ use lazymc_order::relabel::{coreness_degree_order, level_ranges};
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = CsrGraph> {
-    (2usize..60, 0.0f64..0.4, 0u64..1000)
-        .prop_map(|(n, p, seed)| gen::gnp(n, p, seed))
+    (2usize..60, 0.0f64..0.4, 0u64..1000).prop_map(|(n, p, seed)| gen::gnp(n, p, seed))
 }
 
 proptest! {

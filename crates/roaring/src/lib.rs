@@ -38,16 +38,17 @@ enum Container {
     /// Sorted 16-bit offsets.
     Array(Vec<u16>),
     /// 65536-bit bitmap with an explicit cardinality.
-    Bitmap { words: Box<[u64; BITMAP_WORDS]>, len: u32 },
+    Bitmap {
+        words: Box<[u64; BITMAP_WORDS]>,
+        len: u32,
+    },
 }
 
 impl Container {
     fn contains(&self, off: u16) -> bool {
         match self {
             Container::Array(a) => a.binary_search(&off).is_ok(),
-            Container::Bitmap { words, .. } => {
-                words[off as usize / 64] & (1u64 << (off % 64)) != 0
-            }
+            Container::Bitmap { words, .. } => words[off as usize / 64] & (1u64 << (off % 64)) != 0,
         }
     }
 

@@ -1,0 +1,60 @@
+//! lazymc-service — a concurrent clique-query daemon.
+//!
+//! The paper's work-avoidance machinery (filter cascades, incumbent-driven
+//! pruning, wall-clock [`lazymc_core::Deadline`]s) makes a LazyMC query
+//! cheap enough to sit behind a long-running service. What stays expensive
+//! is everything *around* a query: parsing the graph, building CSR,
+//! computing coreness. This crate keeps graphs resident and pays those
+//! costs once:
+//!
+//! * [`registry`] — named graph store: load-once CSR graphs with content
+//!   fingerprints, precomputed exact k-core decompositions shared by every
+//!   query (via [`lazymc_core::LazyMc::solve_prepared`]), LRU-bounded;
+//!   plus the result cache keyed by `(fingerprint, canonical config)`.
+//! * [`queue`] — bounded priority job queue with cancellation; a full
+//!   queue surfaces as HTTP 429 backpressure, and each job's budget is a
+//!   `Deadline` that starts ticking at enqueue.
+//! * [`protocol`] — request/response types over a minimal hand-rolled
+//!   JSON (no serde; the workspace allows no third-party dependencies
+//!   beyond its vendored shims).
+//! * [`server`] — `std::net::TcpListener` accept loop, HTTP/1.1 with
+//!   keep-alive, worker thread pools, and a Prometheus `/metrics`
+//!   endpoint exposing `lazymc_core::metrics` counters plus cache
+//!   hit/miss rates.
+//!
+//! # Quick start
+//!
+//! ```
+//! use lazymc_service::{serve, ServiceConfig};
+//! use std::io::{Read, Write};
+//!
+//! let handle = serve(ServiceConfig {
+//!     addr: "127.0.0.1:0".into(), // free port
+//!     ..ServiceConfig::default()
+//! })
+//! .unwrap();
+//!
+//! let mut conn = std::net::TcpStream::connect(handle.addr()).unwrap();
+//! let body = r#"{"name":"tri","format":"edgelist","content":"0 1\n1 2\n2 0\n"}"#;
+//! write!(
+//!     conn,
+//!     "POST /graphs HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+//!     body.len(),
+//!     body
+//! )
+//! .unwrap();
+//! let mut response = String::new();
+//! conn.read_to_string(&mut response).unwrap();
+//! assert!(response.starts_with("HTTP/1.1 201"));
+//! handle.stop();
+//! ```
+
+pub mod protocol;
+pub mod queue;
+pub mod registry;
+pub mod server;
+
+pub use protocol::{Json, LoadRequest, SolveRequest};
+pub use queue::{JobQueue, JobTicket, QueueFull};
+pub use registry::{CachedSolve, GraphEntry, Registry, ResultCache};
+pub use server::{serve, ServiceConfig, ServiceHandle, ServiceMetrics, ServiceState};

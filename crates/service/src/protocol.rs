@@ -1,0 +1,610 @@
+//! Wire protocol: a minimal hand-rolled JSON value type (no serde — the
+//! workspace promises no third-party crates beyond the vendored shims) and
+//! the typed request bodies the daemon accepts.
+//!
+//! The JSON subset is complete for this protocol's needs: objects, arrays,
+//! strings with escapes (including `\uXXXX` and surrogate pairs), numbers,
+//! booleans, null. The parser is recursive descent with a depth limit.
+
+use lazymc_core::{Config, OrderKind};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Maximum nesting depth the parser accepts.
+const MAX_DEPTH: usize = 64;
+
+/// A JSON value. Object keys keep insertion order (encode is deterministic).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Serializes to a compact JSON string.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.fract() == 0.0 && x.abs() < 9.0e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x < 1.9e19 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor for object literals.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    pub fn num(x: impl Into<f64>) -> Json {
+        Json::Num(x.into())
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep".into());
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require a \uXXXX *low*
+                                // half; anything else is invalid JSON, not
+                                // something to silently decode wrong.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        let combined =
+                                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                        char::from_u32(combined)
+                                    } else {
+                                        None
+                                    }
+                                } else {
+                                    None
+                                }
+                            } else {
+                                // Lone low surrogates fail char::from_u32.
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| "bad \\u escape".to_string())?);
+                            continue; // hex4 advanced pos already
+                        }
+                        other => return Err(format!("bad escape {:?}", other.map(|c| c as char))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy a run of plain UTF-8 bytes verbatim.
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| format!("invalid UTF-8 in string: {e}"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Body of `POST /graphs`.
+#[derive(Debug)]
+pub struct LoadRequest {
+    pub name: String,
+    /// `edgelist`, `dimacs`, `mtx`, or `suite` (content names a suite
+    /// instance; `scale` selects `test`/`standard`).
+    pub format: String,
+    pub content: String,
+    pub scale: Option<String>,
+}
+
+impl LoadRequest {
+    pub fn from_json(v: &Json) -> Result<LoadRequest, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("missing string field \"name\"")?;
+        if name.is_empty() || name.len() > 128 || !name.chars().all(valid_name_char) {
+            return Err("graph names must be 1-128 chars of [A-Za-z0-9._-]".into());
+        }
+        let format = v.get("format").and_then(Json::as_str).unwrap_or("edgelist");
+        if !matches!(format, "edgelist" | "dimacs" | "mtx" | "suite") {
+            return Err(format!("unknown format {format:?}"));
+        }
+        let content = v
+            .get("content")
+            .and_then(Json::as_str)
+            .ok_or("missing string field \"content\"")?;
+        Ok(LoadRequest {
+            name: name.to_string(),
+            format: format.to_string(),
+            content: content.to_string(),
+            scale: v.get("scale").and_then(Json::as_str).map(str::to_string),
+        })
+    }
+}
+
+fn valid_name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')
+}
+
+/// Body of `POST /solve`.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    pub graph: String,
+    /// 0 (lowest) ..= 9 (highest); ties FIFO.
+    pub priority: u8,
+    /// Wall-clock budget, measured from *enqueue* (queue wait included).
+    pub budget_ms: Option<u64>,
+    pub threads: Option<usize>,
+    pub top_k: Option<usize>,
+    pub phi: Option<f64>,
+    pub filter_rounds: Option<usize>,
+    pub order: Option<String>,
+    /// Skip the result cache for this query (both lookup and fill).
+    pub no_cache: bool,
+}
+
+impl SolveRequest {
+    pub fn from_json(v: &Json) -> Result<SolveRequest, String> {
+        let graph = v
+            .get("graph")
+            .and_then(Json::as_str)
+            .ok_or("missing string field \"graph\"")?;
+        let priority = match v.get("priority").map(|p| p.as_u64()) {
+            None => 1,
+            Some(Some(p)) if p <= 9 => p as u8,
+            _ => return Err("\"priority\" must be an integer in 0..=9".into()),
+        };
+        let order = v.get("order").and_then(Json::as_str).map(str::to_string);
+        if let Some(o) = &order {
+            if o != "cd" && o != "peel" {
+                return Err(format!("unknown order {o:?} (use \"cd\" or \"peel\")"));
+            }
+        }
+        Ok(SolveRequest {
+            graph: graph.to_string(),
+            priority,
+            budget_ms: v.get("budget_ms").and_then(Json::as_u64),
+            threads: v.get("threads").and_then(Json::as_u64).map(|x| x as usize),
+            top_k: v.get("top_k").and_then(Json::as_u64).map(|x| x as usize),
+            phi: v.get("phi").and_then(Json::as_f64),
+            filter_rounds: v
+                .get("filter_rounds")
+                .and_then(Json::as_u64)
+                .map(|x| (x as usize).max(1)),
+            order,
+            no_cache: v.get("no_cache").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+
+    /// The solver configuration this request asks for.
+    pub fn config(&self) -> Config {
+        let mut cfg = Config::default();
+        if let Some(t) = self.threads {
+            // Cap client-requested thread counts: beyond ~2× the machine
+            // there is no speedup, only a thread-spawn DoS (and a panic
+            // once the rayon shim is swapped for the real pool builder).
+            let cap = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                * 2;
+            cfg.threads = t.min(cap);
+        }
+        if let Some(k) = self.top_k {
+            cfg.top_k = k;
+        }
+        if let Some(phi) = self.phi {
+            cfg.density_threshold = phi;
+        }
+        if let Some(r) = self.filter_rounds {
+            cfg.filter_rounds = r;
+        }
+        if self.order.as_deref() == Some("peel") {
+            cfg.order = OrderKind::Peeling;
+        }
+        cfg.time_budget = self.budget_ms.map(Duration::from_millis);
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_encode_roundtrip() {
+        let text = r#"{"a":[1,2.5,-3],"b":"x\ny\"z","c":{"d":true,"e":null},"f":false}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(Json::parse(&v.encode()).unwrap(), v);
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-3.0)])
+        );
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("x\ny\"z"));
+        assert_eq!(
+            v.get("c").unwrap().get("d").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = Json::parse(r#""\u0041\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé😀"));
+        // Round-trip of raw (unescaped) unicode.
+        let w = Json::Str("héllo 😀".into());
+        assert_eq!(Json::parse(&w.encode()).unwrap(), w);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "1 2",
+            "\"\\q\"",
+            "{\"a\":}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_surrogates() {
+        // High surrogate followed by a non-surrogate escape, a bare high
+        // surrogate, a bare low surrogate, and a high+high pair are all
+        // invalid JSON, not silently-miscoded characters.
+        for bad in [
+            r#""\ud800\u0041""#,
+            r#""\ud800""#,
+            r#""\udc00""#,
+            r#""\ud800\ud800""#,
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn requested_thread_counts_are_capped() {
+        let v = Json::parse(r#"{"graph":"g","threads":4000000000}"#).unwrap();
+        let cfg = SolveRequest::from_json(&v).unwrap().config();
+        let machine = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert!(cfg.threads <= machine * 2);
+        // Small explicit values survive untouched (0 = ambient pool).
+        let v = Json::parse(r#"{"graph":"g","threads":1}"#).unwrap();
+        assert_eq!(SolveRequest::from_json(&v).unwrap().config().threads, 1);
+        let v = Json::parse(r#"{"graph":"g","threads":0}"#).unwrap();
+        assert_eq!(SolveRequest::from_json(&v).unwrap().config().threads, 0);
+    }
+
+    #[test]
+    fn rejects_deep_nesting() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn integers_encode_without_fraction() {
+        assert_eq!(Json::Num(3.0).encode(), "3");
+        assert_eq!(Json::Num(3.5).encode(), "3.5");
+        assert_eq!(Json::Num(-0.25).encode(), "-0.25");
+    }
+
+    #[test]
+    fn solve_request_parses_and_builds_config() {
+        let v = Json::parse(
+            r#"{"graph":"g1","priority":7,"budget_ms":250,"threads":2,"phi":0.3,"order":"peel"}"#,
+        )
+        .unwrap();
+        let r = SolveRequest::from_json(&v).unwrap();
+        assert_eq!(r.graph, "g1");
+        assert_eq!(r.priority, 7);
+        let cfg = r.config();
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.density_threshold, 0.3);
+        assert_eq!(cfg.order, OrderKind::Peeling);
+        assert_eq!(cfg.time_budget, Some(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn solve_request_rejects_bad_fields() {
+        let bad_priority = Json::parse(r#"{"graph":"g","priority":12}"#).unwrap();
+        assert!(SolveRequest::from_json(&bad_priority).is_err());
+        let bad_order = Json::parse(r#"{"graph":"g","order":"zigzag"}"#).unwrap();
+        assert!(SolveRequest::from_json(&bad_order).is_err());
+        let no_graph = Json::parse(r#"{"priority":1}"#).unwrap();
+        assert!(SolveRequest::from_json(&no_graph).is_err());
+    }
+
+    #[test]
+    fn load_request_validates_names() {
+        let ok = Json::parse(r#"{"name":"my-graph.v2","content":"0 1"}"#).unwrap();
+        assert!(LoadRequest::from_json(&ok).is_ok());
+        let bad = Json::parse(r#"{"name":"../etc/passwd","content":"0 1"}"#).unwrap();
+        assert!(LoadRequest::from_json(&bad).is_err());
+        let bad2 = Json::parse(r#"{"name":"a b","content":"0 1"}"#).unwrap();
+        assert!(LoadRequest::from_json(&bad2).is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! Bounded priority job queue feeding the solver worker pool.
+//!
+//! * **Bounded** — `push` never blocks; a full queue is reported to the
+//!   caller, which the HTTP layer turns into `429 Too Many Requests`
+//!   (backpressure instead of unbounded memory growth).
+//! * **Priority** — higher `priority` pops first; within a priority, FIFO
+//!   by admission sequence.
+//! * **Cancellation** — [`JobTicket::cancel`] (or [`JobQueue::cancel`] by
+//!   id) marks a job; cancelled jobs still in the queue are discarded at
+//!   pop time, and jobs already running can poll their ticket.
+//! * Per-job time budgets are *not* this module's concern: the server
+//!   creates a [`lazymc_core::Deadline`] at push time and carries it in
+//!   the payload, so queue wait counts against the budget.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Push rejected: the queue is at capacity.
+#[derive(Debug, PartialEq, Eq)]
+pub struct QueueFull {
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job queue full (capacity {})", self.capacity)
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// Handle to a submitted job.
+#[derive(Debug, Clone)]
+pub struct JobTicket {
+    pub id: u64,
+    cancelled: Arc<AtomicBool>,
+}
+
+impl JobTicket {
+    /// Marks the job cancelled. Queued jobs are dropped before running;
+    /// running jobs observe [`JobTicket::is_cancelled`] if they poll.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+struct Queued<T> {
+    priority: u8,
+    seq: u64,
+    id: u64,
+    cancelled: Arc<AtomicBool>,
+    payload: T,
+}
+
+impl<T> PartialEq for Queued<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for Queued<T> {}
+impl<T> PartialOrd for Queued<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Queued<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then *lower* sequence (FIFO).
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct State<T> {
+    heap: BinaryHeap<Queued<T>>,
+    closed: bool,
+}
+
+/// The queue. `T` is the job payload.
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+    next_id: AtomicU64,
+    next_seq: AtomicU64,
+    pub submitted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub cancelled: AtomicU64,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `capacity` pending jobs (≥ 1).
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            state: Mutex::new(State {
+                heap: BinaryHeap::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            next_id: AtomicU64::new(1),
+            next_seq: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+        }
+    }
+
+    /// Admits a job, or reports backpressure. Never blocks.
+    pub fn push(&self, priority: u8, payload: T) -> Result<JobTicket, QueueFull> {
+        let mut state = self.state.lock().unwrap();
+        if state.heap.len() >= self.capacity {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let ticket = JobTicket {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            cancelled: Arc::new(AtomicBool::new(false)),
+        };
+        state.heap.push(Queued {
+            priority,
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            id: ticket.id,
+            cancelled: ticket.cancelled.clone(),
+            payload,
+        });
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        self.available.notify_one();
+        Ok(ticket)
+    }
+
+    /// Blocks for the next runnable job; `None` once the queue is closed
+    /// and drained. Cancelled jobs are discarded here, not returned.
+    pub fn pop(&self) -> Option<(JobTicket, T)> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            while let Some(job) = state.heap.pop() {
+                if job.cancelled.load(Ordering::Relaxed) {
+                    self.cancelled.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                return Some((
+                    JobTicket {
+                        id: job.id,
+                        cancelled: job.cancelled,
+                    },
+                    job.payload,
+                ));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).unwrap();
+        }
+    }
+
+    /// Cancels a *pending* job by id. Returns whether a pending job was
+    /// found (a job already handed to a worker reports `false`; such jobs
+    /// are cancelled through their [`JobTicket`] instead).
+    pub fn cancel(&self, id: u64) -> bool {
+        let state = self.state.lock().unwrap();
+        for job in state.heap.iter() {
+            if job.id == id {
+                job.cancelled.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Jobs currently pending (cancelled-but-unreaped jobs included).
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().heap.len()
+    }
+
+    /// Closes the queue: poppers drain what is left, then see `None`.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn priority_then_fifo_order() {
+        let q = JobQueue::new(10);
+        q.push(1, "low-1").unwrap();
+        q.push(5, "high-1").unwrap();
+        q.push(1, "low-2").unwrap();
+        q.push(5, "high-2").unwrap();
+        let order: Vec<&str> = (0..4).map(|_| q.pop().unwrap().1).collect();
+        assert_eq!(order, vec!["high-1", "high-2", "low-1", "low-2"]);
+    }
+
+    #[test]
+    fn backpressure_when_full() {
+        let q = JobQueue::new(2);
+        q.push(0, 1).unwrap();
+        q.push(0, 2).unwrap();
+        let err = q.push(0, 3).unwrap_err();
+        assert_eq!(err.capacity, 2);
+        assert_eq!(q.rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(q.depth(), 2);
+        // Draining one readmits.
+        q.pop().unwrap();
+        assert!(q.push(0, 3).is_ok());
+    }
+
+    #[test]
+    fn cancelled_jobs_are_skipped() {
+        let q = JobQueue::new(10);
+        let t1 = q.push(3, "a").unwrap();
+        q.push(2, "b").unwrap();
+        t1.cancel();
+        assert!(t1.is_cancelled());
+        let (_, payload) = q.pop().unwrap();
+        assert_eq!(payload, "b", "cancelled job must not run");
+        assert_eq!(q.cancelled.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cancel_by_id_only_hits_pending() {
+        let q = JobQueue::new(10);
+        let t = q.push(0, ()).unwrap();
+        assert!(q.cancel(t.id));
+        assert!(!q.cancel(9999));
+        // The cancelled job is reaped rather than returned.
+        q.close();
+        assert!(q.pop().is_none());
+        assert_eq!(q.cancelled.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn close_unblocks_waiting_workers() {
+        let q = Arc::new(JobQueue::<u32>::new(4));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.close();
+        assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_jobs() {
+        let q = Arc::new(JobQueue::<u64>::new(1_000));
+        let consumed = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for p in 0..4u64 {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    while q.push((p % 3) as u8, p * 1000 + i).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = q.clone();
+            let consumed = consumed.clone();
+            consumers.push(std::thread::spawn(move || {
+                while q.pop().is_some() {
+                    consumed.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        for h in consumers {
+            h.join().unwrap();
+        }
+        assert_eq!(consumed.load(Ordering::Relaxed), 400);
+    }
+}

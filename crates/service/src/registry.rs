@@ -1,0 +1,303 @@
+//! Named graph store and result cache.
+//!
+//! The registry is where the daemon amortizes work across queries: a graph
+//! is parsed, fingerprinted and k-core-decomposed **once** at upload, then
+//! every solve shares the `Arc`'d CSR arrays and exact coreness (handed to
+//! [`lazymc_core::LazyMc::solve_prepared`], which skips its per-solve
+//! k-core phase). Resident graphs are bounded with LRU eviction.
+//!
+//! The result cache keys completed solves by
+//! `(graph name, content fingerprint, Config::canonical_key())`: the
+//! fingerprint invalidates entries when a name is re-uploaded with
+//! different content, and keeps them when identical content is re-uploaded.
+//! Only exact results are cached — a truncated answer depends on budget
+//! and machine load, not just the query.
+
+use lazymc_graph::CsrGraph;
+use lazymc_order::{kcore_sequential, KCore};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A resident graph with everything precomputed at load time.
+pub struct GraphEntry {
+    pub name: String,
+    pub graph: Arc<CsrGraph>,
+    /// Exact decomposition (with peel order) shared by every query.
+    pub kcore: Arc<KCore>,
+    pub fingerprint: u64,
+    pub loaded_at: Instant,
+    /// Milliseconds spent parsing + fingerprinting + decomposing at load.
+    pub prep_ms: u64,
+    queries: AtomicU64,
+    last_used: AtomicU64,
+}
+
+impl GraphEntry {
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+}
+
+/// Bounded, thread-safe store of named graphs.
+pub struct Registry {
+    graphs: Mutex<HashMap<String, Arc<GraphEntry>>>,
+    capacity: usize,
+    clock: AtomicU64,
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub evictions: AtomicU64,
+}
+
+impl Registry {
+    /// A registry holding at most `capacity` graphs (≥ 1).
+    pub fn new(capacity: usize) -> Registry {
+        Registry {
+            graphs: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Registers `graph` under `name`, computing fingerprint and k-core
+    /// once. Replaces any same-named graph; evicts the least-recently-used
+    /// entry when over capacity. Returns the shared entry.
+    pub fn insert(&self, name: &str, graph: CsrGraph) -> Arc<GraphEntry> {
+        let t = Instant::now();
+        let fingerprint = graph.fingerprint();
+        let kcore = kcore_sequential(&graph);
+        let entry = Arc::new(GraphEntry {
+            name: name.to_string(),
+            graph: Arc::new(graph),
+            kcore: Arc::new(kcore),
+            fingerprint,
+            loaded_at: Instant::now(),
+            prep_ms: t.elapsed().as_millis() as u64,
+            queries: AtomicU64::new(0),
+            last_used: AtomicU64::new(self.tick()),
+        });
+        let mut map = self.graphs.lock().unwrap();
+        map.insert(name.to_string(), entry.clone());
+        while map.len() > self.capacity {
+            // Evict the stalest entry that is not the one just inserted.
+            let victim = map
+                .iter()
+                .filter(|(k, _)| k.as_str() != name)
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        entry
+    }
+
+    /// Looks up a graph, bumping its LRU stamp and query count.
+    pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
+        let map = self.graphs.lock().unwrap();
+        match map.get(name) {
+            Some(e) => {
+                e.last_used.store(self.tick(), Ordering::Relaxed);
+                e.queries.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Drops a graph by name.
+    pub fn remove(&self, name: &str) -> bool {
+        self.graphs.lock().unwrap().remove(name).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.graphs.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of resident entries, stalest first.
+    pub fn entries(&self) -> Vec<Arc<GraphEntry>> {
+        let map = self.graphs.lock().unwrap();
+        let mut v: Vec<Arc<GraphEntry>> = map.values().cloned().collect();
+        v.sort_by_key(|e| e.last_used.load(Ordering::Relaxed));
+        v
+    }
+}
+
+/// A cached exact solve.
+#[derive(Debug, Clone)]
+pub struct CachedSolve {
+    pub omega: usize,
+    pub clique: Vec<u32>,
+    /// Milliseconds the original (uncached) solve took.
+    pub solve_ms: u64,
+}
+
+/// LRU cache of exact solve results keyed by
+/// `(graph name, content fingerprint, canonical config)`.
+///
+/// The fingerprint makes re-uploading identical content under the same
+/// name keep its cache entries while changed content invalidates them.
+/// The *name* is in the key because the fingerprint alone is a 64-bit
+/// non-cryptographic hash: an adversarial upload could collide it and a
+/// hit would then return another graph's clique. With the name included,
+/// a collision requires replacing that very graph, which already hands
+/// the uploader control of its answers.
+pub struct ResultCache {
+    #[allow(clippy::type_complexity)]
+    map: Mutex<HashMap<(String, u64, String), (u64, CachedSolve)>>,
+    capacity: usize,
+    clock: AtomicU64,
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+}
+
+impl ResultCache {
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            map: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub fn get(&self, name: &str, fingerprint: u64, canonical: &str) -> Option<CachedSolve> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut map = self.map.lock().unwrap();
+        match map.get_mut(&(name.to_string(), fingerprint, canonical.to_string())) {
+            Some((used, hit)) => {
+                *used = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(hit.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    pub fn put(&self, name: &str, fingerprint: u64, canonical: String, result: CachedSolve) {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut map = self.map.lock().unwrap();
+        map.insert((name.to_string(), fingerprint, canonical), (stamp, result));
+        while map.len() > self.capacity {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    map.remove(&k);
+                }
+                None => break,
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazymc_graph::gen;
+
+    #[test]
+    fn insert_precomputes_and_get_bumps_counters() {
+        let reg = Registry::new(4);
+        let g = gen::planted_clique(100, 0.05, 8, 3);
+        let fp = g.fingerprint();
+        let e = reg.insert("g1", g);
+        assert_eq!(e.fingerprint, fp);
+        assert!(e.kcore.degeneracy >= 7);
+        assert!(!e.kcore.peel_order.is_empty(), "exact peel order expected");
+
+        assert!(reg.get("nope").is_none());
+        let e2 = reg.get("g1").unwrap();
+        assert_eq!(e2.fingerprint, fp);
+        assert_eq!(e2.queries(), 1);
+        assert_eq!(reg.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(reg.misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used() {
+        let reg = Registry::new(2);
+        reg.insert("a", gen::complete(5));
+        reg.insert("b", gen::complete(6));
+        reg.get("a"); // a is now fresher than b
+        reg.insert("c", gen::complete(7));
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get("a").is_some());
+        assert!(reg.get("b").is_none(), "stalest entry should be evicted");
+        assert!(reg.get("c").is_some());
+        assert_eq!(reg.evictions.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn replacing_same_name_does_not_evict_others() {
+        let reg = Registry::new(2);
+        reg.insert("a", gen::complete(5));
+        reg.insert("b", gen::complete(6));
+        reg.insert("a", gen::complete(9));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get("a").unwrap().graph.num_vertices(), 9);
+        assert!(reg.get("b").is_some());
+    }
+
+    #[test]
+    fn result_cache_hits_and_evicts() {
+        let cache = ResultCache::new(2);
+        let r = CachedSolve {
+            omega: 4,
+            clique: vec![1, 2, 3, 4],
+            solve_ms: 12,
+        };
+        assert!(cache.get("g", 7, "k1").is_none());
+        cache.put("g", 7, "k1".into(), r.clone());
+        let hit = cache.get("g", 7, "k1").unwrap();
+        assert_eq!(hit.omega, 4);
+        assert_eq!(hit.clique, vec![1, 2, 3, 4]);
+        // Same config on different content misses; so does a fingerprint
+        // collision under a different name.
+        assert!(cache.get("g", 8, "k1").is_none());
+        assert!(cache.get("other", 7, "k1").is_none());
+        cache.put("g", 8, "k1".into(), r.clone());
+        cache.get("g", 7, "k1"); // freshen (g, 7, k1)
+        cache.put("g", 9, "k1".into(), r);
+        assert_eq!(cache.len(), 2);
+        assert!(
+            cache.get("g", 7, "k1").is_some(),
+            "freshened entry survives"
+        );
+        assert!(cache.get("g", 8, "k1").is_none(), "stalest entry evicted");
+    }
+}

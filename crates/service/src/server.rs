@@ -1,0 +1,897 @@
+//! The daemon: accept loop, HTTP/1.1 parsing, routing, worker pools.
+//!
+//! Two pools share one [`ServiceState`]:
+//!
+//! * **HTTP workers** own connections (keep-alive) and do request parsing,
+//!   routing, and cache lookups — everything cheap.
+//! * **Solver workers** pop [`SolveJob`]s from the bounded priority queue
+//!   and run the actual search, replying through a per-job channel.
+//!
+//! A solve request therefore costs: parse → registry lookup → result-cache
+//! probe → (miss) enqueue with a [`Deadline`] that started ticking at
+//! enqueue → solver pops, runs `solve_prepared` against the shared CSR +
+//! coreness → reply. A full queue never blocks the HTTP worker: the client
+//! gets `429` with `Retry-After` and decides for itself.
+//!
+//! Endpoints: `POST /graphs`, `POST /solve`, `GET /graphs`,
+//! `GET /stats/<name>`, `DELETE /graphs/<name>`, `GET /healthz`,
+//! `GET /metrics` (Prometheus text format).
+
+use crate::protocol::{Json, LoadRequest, SolveRequest};
+use crate::queue::JobQueue;
+use crate::registry::{CachedSolve, GraphEntry, Registry, ResultCache};
+use lazymc_core::{Deadline, LazyMc, MetricsSnapshot};
+use lazymc_graph::{io as graph_io, suite, CsrGraph};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables of one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Listen address, e.g. `127.0.0.1:7171` (port 0 picks a free port).
+    pub addr: String,
+    /// Size of the HTTP worker pool (connection handlers). 0 means the
+    /// machine's available parallelism, capped at 8.
+    pub workers: usize,
+    /// Size of the solver pool. 0 means "same as `workers`". Fewer solver
+    /// threads than HTTP workers turns the job queue into a real
+    /// backpressure point (useful under heavy load and in tests).
+    pub solver_workers: usize,
+    /// Resident-graph capacity of the registry (LRU beyond that).
+    pub max_graphs: usize,
+    /// Pending-job capacity; beyond it, `POST /solve` gets 429.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries.
+    pub result_cache_capacity: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Keep-alive read timeout per connection.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:7171".into(),
+            workers: 0,
+            solver_workers: 0,
+            max_graphs: 8,
+            queue_capacity: 64,
+            result_cache_capacity: 256,
+            max_body_bytes: 64 << 20,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ServiceConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .clamp(2, 8)
+        }
+    }
+}
+
+/// One queued solve.
+struct SolveJob {
+    entry: Arc<GraphEntry>,
+    config: lazymc_core::Config,
+    /// Started ticking at enqueue: queue wait spends the budget too.
+    deadline: Deadline,
+    /// `Some(canonical_key)` when the result may be cached afterwards.
+    cache_key: Option<String>,
+    enqueued: Instant,
+    reply: mpsc::Sender<SolveReply>,
+}
+
+struct SolveReply {
+    omega: usize,
+    clique: Vec<u32>,
+    exact: bool,
+    /// The solver panicked on this input; the fields above are meaningless.
+    failed: bool,
+    wait_ms: u64,
+    solve_ms: u64,
+}
+
+/// Counters the daemon exports beyond the solver's own.
+#[derive(Default)]
+pub struct ServiceMetrics {
+    pub solves_total: AtomicU64,
+    pub solves_truncated_total: AtomicU64,
+    pub solver_panics_total: AtomicU64,
+    pub requests_total: AtomicU64,
+    pub bad_requests_total: AtomicU64,
+}
+
+/// Everything the worker pools share.
+pub struct ServiceState {
+    pub registry: Registry,
+    pub results: ResultCache,
+    queue: JobQueue<SolveJob>,
+    pub metrics: ServiceMetrics,
+    core_totals: Mutex<MetricsSnapshot>,
+    started: Instant,
+    conns: ConnTracker,
+}
+
+impl ServiceState {
+    fn new(cfg: &ServiceConfig) -> ServiceState {
+        ServiceState {
+            registry: Registry::new(cfg.max_graphs),
+            results: ResultCache::new(cfg.result_cache_capacity),
+            queue: JobQueue::new(cfg.queue_capacity),
+            metrics: ServiceMetrics::default(),
+            core_totals: Mutex::new(MetricsSnapshot::default()),
+            started: Instant::now(),
+            conns: ConnTracker::default(),
+        }
+    }
+}
+
+/// Live-connection registry, so shutdown can sever keep-alive connections
+/// that would otherwise pin HTTP workers until their read timeout.
+#[derive(Default)]
+struct ConnTracker {
+    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    next: AtomicU64,
+}
+
+impl ConnTracker {
+    fn register(&self, stream: &TcpStream) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.conns.lock().unwrap().insert(id, clone);
+        }
+        id
+    }
+
+    fn unregister(&self, id: u64) {
+        self.conns.lock().unwrap().remove(&id);
+    }
+
+    fn shutdown_all(&self) {
+        for stream in self.conns.lock().unwrap().values() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle leaves it running; call
+/// [`ServiceHandle::stop`] for an orderly shutdown.
+pub struct ServiceHandle {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state, exposed for tests and embedders.
+    pub fn state(&self) -> &ServiceState {
+        &self.state
+    }
+
+    /// Stops accepting, severs open connections, drains the queue, joins
+    /// every worker.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue.close();
+        self.state.conns.shutdown_all();
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `cfg.addr` and spawns the daemon's threads. Returns immediately.
+pub fn serve(cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServiceState::new(&cfg));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let workers = cfg.effective_workers();
+    let solver_workers = if cfg.solver_workers > 0 {
+        cfg.solver_workers
+    } else {
+        workers
+    };
+    let mut threads = Vec::new();
+
+    // Solver pool.
+    for i in 0..solver_workers {
+        let state = state.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("lazymc-solver-{i}"))
+                .spawn(move || solver_loop(&state))?,
+        );
+    }
+
+    // Connection hand-off channel and HTTP pool.
+    let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    for i in 0..workers {
+        let state = state.clone();
+        let conn_rx = conn_rx.clone();
+        let cfg = cfg.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("lazymc-http-{i}"))
+                .spawn(move || loop {
+                    let next = { conn_rx.lock().unwrap().recv() };
+                    match next {
+                        Ok(stream) => handle_connection(&state, &cfg, stream),
+                        Err(_) => break,
+                    }
+                })?,
+        );
+    }
+
+    // Acceptor.
+    {
+        let shutdown = shutdown.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("lazymc-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if let Ok(stream) = stream {
+                            // Channel send only fails after shutdown.
+                            if conn_tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                })?,
+        );
+    }
+
+    Ok(ServiceHandle {
+        addr,
+        state,
+        shutdown,
+        threads,
+    })
+}
+
+fn solver_loop(state: &ServiceState) {
+    while let Some((ticket, job)) = state.queue.pop() {
+        let wait_ms = job.enqueued.elapsed().as_millis() as u64;
+        if ticket.is_cancelled() {
+            continue;
+        }
+        let t = Instant::now();
+        // A panicking solve must not take the worker thread (and with it,
+        // eventually, the whole solver pool) down: catch, count, report.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            LazyMc::new(job.config.clone()).solve_prepared(
+                &job.entry.graph,
+                Some(&job.entry.kcore),
+                &job.deadline,
+            )
+        }));
+        let solve_ms = t.elapsed().as_millis() as u64;
+        let result = match outcome {
+            Ok(result) => result,
+            Err(_) => {
+                state
+                    .metrics
+                    .solver_panics_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(SolveReply {
+                    omega: 0,
+                    clique: Vec::new(),
+                    exact: false,
+                    failed: true,
+                    wait_ms,
+                    solve_ms,
+                });
+                continue;
+            }
+        };
+
+        state.metrics.solves_total.fetch_add(1, Ordering::Relaxed);
+        if !result.is_exact() {
+            state
+                .metrics
+                .solves_truncated_total
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        state
+            .core_totals
+            .lock()
+            .unwrap()
+            .accumulate(&result.metrics);
+
+        let mut clique = result.vertices().to_vec();
+        clique.sort_unstable();
+        if result.is_exact() {
+            if let Some(canonical) = &job.cache_key {
+                state.results.put(
+                    &job.entry.name,
+                    job.entry.fingerprint,
+                    canonical.clone(),
+                    CachedSolve {
+                        omega: clique.len(),
+                        clique: clique.clone(),
+                        solve_ms,
+                    },
+                );
+            }
+        }
+        // The client may have hung up; a dead channel is not an error.
+        let _ = job.reply.send(SolveReply {
+            omega: clique.len(),
+            clique,
+            exact: result.is_exact(),
+            failed: false,
+            wait_ms,
+            solve_ms,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP layer
+// ---------------------------------------------------------------------------
+
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    retry_after: Option<u64>,
+}
+
+impl Response {
+    fn json(status: u16, value: Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: value.encode(),
+            retry_after: None,
+        }
+    }
+
+    fn error(status: u16, message: impl Into<String>) -> Response {
+        Response::json(
+            status,
+            Json::obj(vec![("error", Json::str(message.into()))]),
+        )
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    }
+}
+
+fn handle_connection(state: &ServiceState, cfg: &ServiceConfig, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let conn_id = state.conns.register(&stream);
+    // Sever-on-drop so a panicking handler still unregisters.
+    struct Unregister<'a>(&'a ConnTracker, u64);
+    impl Drop for Unregister<'_> {
+        fn drop(&mut self) {
+            self.0.unregister(self.1);
+        }
+    }
+    let _unregister = Unregister(&state.conns, conn_id);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    loop {
+        let (request, keep_alive) = match read_request(&mut reader, cfg.max_body_bytes) {
+            Ok(Some(r)) => r,
+            Ok(None) => return, // clean EOF between requests
+            Err(status) => {
+                state
+                    .metrics
+                    .bad_requests_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let resp = Response::error(status, "malformed request");
+                let _ = write_response(&mut stream, &resp, false);
+                return;
+            }
+        };
+        state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        let response = route(state, &request);
+        if response.status >= 400 {
+            state
+                .metrics
+                .bad_requests_total
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if write_response(&mut stream, &response, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Longest accepted request line or header line. `max_body_bytes` guards
+/// the body; without this, an endless no-newline byte stream would grow a
+/// `read_line` buffer without bound.
+const MAX_HEADER_LINE: usize = 16 * 1024;
+/// Most header lines accepted per request.
+const MAX_HEADERS: usize = 100;
+
+/// Reads one `\n`-terminated line of at most `cap` bytes. `Ok(None)` on
+/// EOF before any byte; `Err(status)` on an oversized line.
+fn read_line_capped(reader: &mut BufReader<TcpStream>, cap: usize) -> Result<Option<String>, u16> {
+    let mut line = String::new();
+    match reader.by_ref().take(cap as u64 + 1).read_line(&mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(_) => return Ok(None), // timeout or reset
+    }
+    if line.len() > cap {
+        return Err(400);
+    }
+    Ok(Some(line))
+}
+
+/// Reads one request. `Ok(None)` on EOF before a request line;
+/// `Err(status)` on malformed/oversized input.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Option<(Request, bool)>, u16> {
+    let line = match read_line_capped(reader, MAX_HEADER_LINE)? {
+        Some(line) => line,
+        None => return Ok(None),
+    };
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => {
+            (m.to_string(), p.to_string(), v.to_string())
+        }
+        _ => return Err(400),
+    };
+    let mut content_length = 0usize;
+    let mut keep_alive = version == "HTTP/1.1";
+    for n_headers in 0.. {
+        if n_headers >= MAX_HEADERS {
+            return Err(400);
+        }
+        let header = match read_line_capped(reader, MAX_HEADER_LINE)? {
+            Some(header) => header,
+            None => return Err(400), // EOF mid-headers
+        };
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = value.parse().map_err(|_| 400u16)?;
+                }
+                "connection" => {
+                    keep_alive = !value.eq_ignore_ascii_case("close");
+                }
+                _ => {}
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(413);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|_| 400u16)?;
+    let body = String::from_utf8(body).map_err(|_| 400u16)?;
+    Ok(Some((Request { method, path, body }, keep_alive)))
+}
+
+fn write_response(stream: &mut TcpStream, r: &Response, keep_alive: bool) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        r.status,
+        status_text(r.status),
+        r.content_type,
+        r.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    if let Some(secs) = r.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(r.body.as_bytes())?;
+    stream.flush()
+}
+
+fn route(state: &ServiceState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/graphs") => load_graph(state, &req.body),
+        ("POST", "/solve") => solve(state, &req.body),
+        ("GET", "/graphs") => list_graphs(state),
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => metrics(state),
+        ("GET", path) => match path.strip_prefix("/stats/") {
+            Some(name) => stats(state, name),
+            None => Response::error(404, format!("no route {path}")),
+        },
+        ("DELETE", path) => match path.strip_prefix("/graphs/") {
+            Some(name) if state.registry.remove(name) => {
+                Response::json(200, Json::obj(vec![("removed", Json::str(name))]))
+            }
+            Some(name) => Response::error(404, format!("unknown graph {name:?}")),
+            None => Response::error(404, format!("no route {path}")),
+        },
+        (method, path) => Response::error(405, format!("{method} {path} not supported")),
+    }
+}
+
+fn fingerprint_hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+fn load_graph(state: &ServiceState, body: &str) -> Response {
+    let parsed = match Json::parse(body).and_then(|v| LoadRequest::from_json(&v)) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, e),
+    };
+    let graph: CsrGraph = match parsed.format.as_str() {
+        "edgelist" => match graph_io::read_edge_list(parsed.content.as_bytes()) {
+            Ok(g) => g,
+            Err(e) => return Response::error(400, format!("edge list: {e}")),
+        },
+        "dimacs" => match graph_io::read_dimacs(parsed.content.as_bytes()) {
+            Ok(g) => g,
+            Err(e) => return Response::error(400, format!("dimacs: {e}")),
+        },
+        "mtx" => match graph_io::read_matrix_market(parsed.content.as_bytes()) {
+            Ok(g) => g,
+            Err(e) => return Response::error(400, format!("matrix market: {e}")),
+        },
+        "suite" => {
+            let Some(instance) = suite::by_name(parsed.content.trim()) else {
+                return Response::error(
+                    400,
+                    format!("unknown suite instance {:?}", parsed.content),
+                );
+            };
+            let scale = match parsed.scale.as_deref() {
+                None | Some("test") => suite::Scale::Test,
+                Some("standard") => suite::Scale::Standard,
+                Some(other) => return Response::error(400, format!("unknown scale {other:?}")),
+            };
+            instance.build(scale)
+        }
+        _ => unreachable!("validated by LoadRequest::from_json"),
+    };
+    let entry = state.registry.insert(&parsed.name, graph);
+    Response::json(
+        201,
+        Json::obj(vec![
+            ("name", Json::str(&*entry.name)),
+            ("fingerprint", Json::str(fingerprint_hex(entry.fingerprint))),
+            ("vertices", Json::num(entry.graph.num_vertices() as f64)),
+            ("edges", Json::num(entry.graph.num_edges() as f64)),
+            ("degeneracy", Json::num(entry.kcore.degeneracy as f64)),
+            (
+                "omega_upper_bound",
+                Json::num(entry.kcore.omega_upper_bound() as f64),
+            ),
+            ("prep_ms", Json::num(entry.prep_ms as f64)),
+        ]),
+    )
+}
+
+fn solve(state: &ServiceState, body: &str) -> Response {
+    let request = match Json::parse(body).and_then(|v| SolveRequest::from_json(&v)) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, e),
+    };
+    let Some(entry) = state.registry.get(&request.graph) else {
+        return Response::error(404, format!("unknown graph {:?}", request.graph));
+    };
+    let config = request.config();
+    let canonical = config.canonical_key();
+
+    if !request.no_cache {
+        if let Some(hit) = state
+            .results
+            .get(&entry.name, entry.fingerprint, &canonical)
+        {
+            return Response::json(
+                200,
+                Json::obj(vec![
+                    ("graph", Json::str(&*entry.name)),
+                    ("omega", Json::num(hit.omega as f64)),
+                    (
+                        "clique",
+                        Json::Arr(hit.clique.iter().map(|&v| Json::num(v as f64)).collect()),
+                    ),
+                    ("exact", Json::Bool(true)),
+                    ("truncated", Json::Bool(false)),
+                    ("cached", Json::Bool(true)),
+                    ("solve_ms", Json::num(hit.solve_ms as f64)),
+                ]),
+            );
+        }
+    }
+
+    let deadline = Deadline::starting_now(config.time_budget);
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = SolveJob {
+        entry: entry.clone(),
+        config,
+        deadline,
+        cache_key: (!request.no_cache).then(|| canonical.clone()),
+        enqueued: Instant::now(),
+        reply: reply_tx,
+    };
+    let ticket = match state.queue.push(request.priority, job) {
+        Ok(t) => t,
+        Err(full) => {
+            let mut r = Response::error(
+                429,
+                format!("{} pending jobs; try again shortly", full.capacity),
+            );
+            r.retry_after = Some(1);
+            return r;
+        }
+    };
+    match reply_rx.recv() {
+        Ok(reply) if reply.failed => {
+            Response::error(500, "solver panicked on this input; see /metrics")
+        }
+        Ok(reply) => Response::json(
+            200,
+            Json::obj(vec![
+                ("graph", Json::str(&*entry.name)),
+                ("job_id", Json::num(ticket.id as f64)),
+                ("omega", Json::num(reply.omega as f64)),
+                (
+                    "clique",
+                    Json::Arr(reply.clique.iter().map(|&v| Json::num(v as f64)).collect()),
+                ),
+                ("exact", Json::Bool(reply.exact)),
+                ("truncated", Json::Bool(!reply.exact)),
+                ("cached", Json::Bool(false)),
+                ("wait_ms", Json::num(reply.wait_ms as f64)),
+                ("solve_ms", Json::num(reply.solve_ms as f64)),
+            ]),
+        ),
+        Err(_) => Response::error(500, "solver worker unavailable"),
+    }
+}
+
+fn stats(state: &ServiceState, name: &str) -> Response {
+    let Some(entry) = state.registry.get(name) else {
+        return Response::error(404, format!("unknown graph {name:?}"));
+    };
+    let g = &entry.graph;
+    Response::json(
+        200,
+        Json::obj(vec![
+            ("name", Json::str(&*entry.name)),
+            ("fingerprint", Json::str(fingerprint_hex(entry.fingerprint))),
+            ("vertices", Json::num(g.num_vertices() as f64)),
+            ("edges", Json::num(g.num_edges() as f64)),
+            ("max_degree", Json::num(g.max_degree() as f64)),
+            ("density", Json::num(g.density())),
+            ("degeneracy", Json::num(entry.kcore.degeneracy as f64)),
+            (
+                "omega_upper_bound",
+                Json::num(entry.kcore.omega_upper_bound() as f64),
+            ),
+            ("queries", Json::num(entry.queries() as f64)),
+            (
+                "resident_ms",
+                Json::num(entry.loaded_at.elapsed().as_millis() as f64),
+            ),
+        ]),
+    )
+}
+
+fn list_graphs(state: &ServiceState) -> Response {
+    let entries = state
+        .registry
+        .entries()
+        .into_iter()
+        .map(|e| {
+            Json::obj(vec![
+                ("name", Json::str(&*e.name)),
+                ("fingerprint", Json::str(fingerprint_hex(e.fingerprint))),
+                ("vertices", Json::num(e.graph.num_vertices() as f64)),
+                ("edges", Json::num(e.graph.num_edges() as f64)),
+                ("queries", Json::num(e.queries() as f64)),
+            ])
+        })
+        .collect();
+    Response::json(200, Json::obj(vec![("graphs", Json::Arr(entries))]))
+}
+
+fn healthz(state: &ServiceState) -> Response {
+    Response::json(
+        200,
+        Json::obj(vec![
+            ("status", Json::str("ok")),
+            (
+                "uptime_ms",
+                Json::num(state.started.elapsed().as_millis() as f64),
+            ),
+            ("graphs", Json::num(state.registry.len() as f64)),
+            ("queue_depth", Json::num(state.queue.depth() as f64)),
+        ]),
+    )
+}
+
+fn metrics(state: &ServiceState) -> Response {
+    let m = &state.metrics;
+    let totals = state.core_totals.lock().unwrap().clone();
+    let mut out = String::new();
+    let mut counter = |name: &str, help: &str, value: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+        ));
+    };
+    counter(
+        "lazymc_requests_total",
+        "HTTP requests handled",
+        m.requests_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_bad_requests_total",
+        "Requests answered with a 4xx/5xx status",
+        m.bad_requests_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_solves_total",
+        "Solve jobs executed (cache hits excluded)",
+        m.solves_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_solves_truncated_total",
+        "Solves cut short by their budget",
+        m.solves_truncated_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_solver_panics_total",
+        "Solve jobs that panicked in the solver",
+        m.solver_panics_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_result_cache_hits_total",
+        "Solve requests answered from the result cache",
+        state.results.hits.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_result_cache_misses_total",
+        "Solve requests that missed the result cache",
+        state.results.misses.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_graph_lookup_hits_total",
+        "Registry lookups that found the graph",
+        state.registry.hits.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_graph_lookup_misses_total",
+        "Registry lookups for unknown graphs",
+        state.registry.misses.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_graphs_evicted_total",
+        "Graphs evicted by the registry LRU",
+        state.registry.evictions.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_jobs_rejected_total",
+        "Solve jobs rejected with 429 (queue full)",
+        state.queue.rejected.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_jobs_cancelled_total",
+        "Queued jobs reaped after cancellation",
+        state.queue.cancelled.load(Ordering::Relaxed),
+    );
+    // Aggregated lazymc_core counters across all completed solves.
+    counter(
+        "lazymc_core_retained_coreness_total",
+        "Neighbourhoods passing the coreness precondition",
+        totals.retained_coreness,
+    );
+    counter(
+        "lazymc_core_retained_f1_total",
+        "Neighbourhoods surviving filter 1",
+        totals.retained_f1,
+    );
+    counter(
+        "lazymc_core_retained_f2_total",
+        "Neighbourhoods surviving filter 2",
+        totals.retained_f2,
+    );
+    counter(
+        "lazymc_core_retained_f3_total",
+        "Neighbourhoods surviving filter 3",
+        totals.retained_f3,
+    );
+    counter(
+        "lazymc_core_searched_mc_total",
+        "Detailed searches dispatched to the MC solver",
+        totals.searched_mc,
+    );
+    counter(
+        "lazymc_core_searched_kvc_total",
+        "Detailed searches dispatched to the k-VC solver",
+        totals.searched_kvc,
+    );
+    counter(
+        "lazymc_core_mc_nodes_total",
+        "Branch-and-bound nodes expanded by the MC solver",
+        totals.mc_nodes,
+    );
+    counter(
+        "lazymc_core_vc_nodes_total",
+        "Branch-and-bound nodes expanded by the k-VC solver",
+        totals.vc_nodes,
+    );
+    counter(
+        "lazymc_core_filter_micros_total",
+        "Thread-time spent filtering, microseconds",
+        totals.filter_time.as_micros() as u64,
+    );
+    counter(
+        "lazymc_core_mc_micros_total",
+        "Thread-time in the MC subgraph solver, microseconds",
+        totals.mc_time.as_micros() as u64,
+    );
+    counter(
+        "lazymc_core_kvc_micros_total",
+        "Thread-time in the k-VC subgraph solver, microseconds",
+        totals.kvc_time.as_micros() as u64,
+    );
+    out.push_str(&format!(
+        "# HELP lazymc_queue_depth Pending solve jobs\n# TYPE lazymc_queue_depth gauge\nlazymc_queue_depth {}\n",
+        state.queue.depth()
+    ));
+    out.push_str(&format!(
+        "# HELP lazymc_graphs_resident Graphs currently resident\n# TYPE lazymc_graphs_resident gauge\nlazymc_graphs_resident {}\n",
+        state.registry.len()
+    ));
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4",
+        body: out,
+        retry_after: None,
+    }
+}

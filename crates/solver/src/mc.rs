@@ -69,7 +69,11 @@ impl<'a> Searcher<'a> {
 /// Returns `Some(clique)` with `clique.len() == ω(G) > lb`, or `None` when
 /// `ω(G) <= lb` — the caller's incumbent already covers this subgraph.
 /// `stats`, when provided, accumulates node counts.
-pub fn max_clique_dense(adj: &BitMatrix, lb: usize, stats: Option<&mut McStats>) -> Option<Vec<u32>> {
+pub fn max_clique_dense(
+    adj: &BitMatrix,
+    lb: usize,
+    stats: Option<&mut McStats>,
+) -> Option<Vec<u32>> {
     let n = adj.len();
     if n == 0 || n <= lb {
         return None;
@@ -210,12 +214,8 @@ mod tests {
         let outer = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
         let spokes = [(0, 5), (1, 6), (2, 7), (3, 8), (4, 9)];
         let inner = [(5, 7), (7, 9), (9, 6), (6, 8), (8, 5)];
-        let edges: Vec<(usize, usize)> = outer
-            .iter()
-            .chain(&spokes)
-            .chain(&inner)
-            .copied()
-            .collect();
+        let edges: Vec<(usize, usize)> =
+            outer.iter().chain(&spokes).chain(&inner).copied().collect();
         let m = from_edges(10, &edges);
         assert_eq!(max_clique_exact(&m).len(), 2);
     }

@@ -246,7 +246,12 @@ impl<'a> VcSolver<'a> {
     /// Applies the degree-0/1/2 and Buss rules to a fixpoint. Returns
     /// `None` when the budget `k` is exhausted mid-kernelization, otherwise
     /// the residual edge count and a maximum-degree vertex.
-    fn kernelize(&self, alive: &mut Bitset, k: &mut i64, cover: &mut Vec<u32>) -> Option<Kernelized> {
+    fn kernelize(
+        &self,
+        alive: &mut Bitset,
+        k: &mut i64,
+        cover: &mut Vec<u32>,
+    ) -> Option<Kernelized> {
         loop {
             if *k < 0 {
                 return None;

@@ -9,8 +9,8 @@
 use lazymc_graph::gen;
 use lazymc_solver::bitset::{BitMatrix, Bitset};
 use lazymc_solver::{
-    greedy_color_count, max_clique_exact, max_clique_via_vc, min_vertex_cover,
-    vertex_cover_decision, vc::is_vertex_cover,
+    greedy_color_count, max_clique_exact, max_clique_via_vc, min_vertex_cover, vc::is_vertex_cover,
+    vertex_cover_decision,
 };
 use proptest::prelude::*;
 

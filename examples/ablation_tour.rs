@@ -8,7 +8,12 @@ use lazymc::core::{Config, LazyMc, PrePopulate};
 use lazymc::graph::gen;
 use std::time::Instant;
 
-fn run(label: &str, cfg: Config, g: &lazymc::graph::CsrGraph, baseline: Option<f64>) -> (usize, f64) {
+fn run(
+    label: &str,
+    cfg: Config,
+    g: &lazymc::graph::CsrGraph,
+    baseline: Option<f64>,
+) -> (usize, f64) {
     let t = Instant::now();
     let r = LazyMc::new(cfg).solve(g);
     let secs = t.elapsed().as_secs_f64();
@@ -64,8 +69,14 @@ fn main() {
                 ..Config::default()
             },
         ),
-        ("k-VC always (phi=0)", Config::default().with_density_threshold(0.0)),
-        ("MC always (phi=1)", Config::default().with_density_threshold(1.0)),
+        (
+            "k-VC always (phi=0)",
+            Config::default().with_density_threshold(0.0),
+        ),
+        (
+            "MC always (phi=1)",
+            Config::default().with_density_threshold(1.0),
+        ),
         ("single thread", Config::sequential()),
         ("everything off", Config::no_work_avoidance()),
     ];

@@ -23,7 +23,10 @@ fn main() {
 
     let mut omega = None;
     println!("\nφ sweep (φ = density threshold routing subgraphs to k-VC):");
-    println!("{:>5} {:>10} {:>12} {:>12} {:>10} {:>10}", "phi", "time", "MC-work", "kVC-work", "n(MC)", "n(kVC)");
+    println!(
+        "{:>5} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "phi", "time", "MC-work", "kVC-work", "n(MC)", "n(kVC)"
+    );
     for phi in [0.0, 0.3, 0.5, 0.7, 1.0] {
         let cfg = Config::default().with_density_threshold(phi);
         let t = Instant::now();

@@ -9,7 +9,16 @@ fn main() {
     // Graphs can be built from explicit edge lists…
     let tiny = CsrGraph::from_edges(
         6,
-        &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5), (2, 4)],
+        &[
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (3, 5),
+            (2, 4),
+        ],
     );
     let clique = lazymc::maximum_clique(&tiny);
     println!("tiny graph: ω = {} (witness {:?})", clique.len(), clique);

@@ -1,0 +1,212 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! A minimal wall-clock benchmark harness: no statistics, no plotting, no
+//! CLI. Each benchmark warms up briefly, then runs `sample_size`
+//! iterations (bounded by `measurement_time`) and prints min/median
+//! timings. Good enough to compare orders of magnitude offline; use real
+//! criterion when the network is back if you need confidence intervals.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, &mut f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        self.run(&id.to_string(), &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            deadline: Instant::now() + self.warm_up_time + self.measurement_time,
+            budget_samples: self.sample_size,
+        };
+        // One warm-up invocation, then timed samples.
+        f(&mut b);
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        match b.summary() {
+            Some((min, median)) => {
+                println!("bench {label:<40} min {min:>12?}  median {median:>12?}")
+            }
+            None => println!("bench {label:<40} (no samples)"),
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    deadline: Instant,
+    budget_samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up call, not recorded.
+        black_box(routine());
+        for _ in 0..self.budget_samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    fn summary(&mut self) -> Option<(Duration, Duration)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.samples.sort_unstable();
+        Some((self.samples[0], self.samples[self.samples.len() / 2]))
+    }
+}
+
+/// Identifier for a parameterized benchmark (`function/parameter`).
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            f.write_str(&self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        let mut runs = 0u32;
+        g.bench_with_input(BenchmarkId::new("f", 1), &5u32, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        g.finish();
+        assert!(runs >= 4); // warm-up + samples
+    }
+}

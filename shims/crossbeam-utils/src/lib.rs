@@ -1,0 +1,64 @@
+//! Offline stand-in for the subset of `crossbeam-utils` this workspace
+//! uses: [`CachePadded`], which aligns its contents to a cache-line
+//! boundary so adjacent atomic counters do not false-share.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to (at least) one cache line. 128 bytes covers
+/// the adjacent-line prefetcher on modern x86 and the 128-byte lines of
+/// recent AArch64 parts — the same constant crossbeam uses there.
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.value.fmt(f)
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_access() {
+        let c = CachePadded::new(7u64);
+        assert_eq!(*c, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+        let mut c = c;
+        *c += 1;
+        assert_eq!(c.into_inner(), 8);
+    }
+}

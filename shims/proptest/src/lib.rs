@@ -1,0 +1,240 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! A miniature property-testing framework: deterministic generation (each
+//! test gets its own RNG seeded from the test name), `proptest!` with
+//! `#![proptest_config(...)]`, `x in strategy` bindings, `prop_assert*`,
+//! `prop_oneof!`, `prop_map`, tuple/range/collection strategies and
+//! `any::<bool>()`. **No shrinking**: a failing case reports its inputs
+//! (every bound value is `Debug`-printed into the panic message) but is
+//! not minimized. That trades debugging convenience for zero
+//! dependencies, which is what an offline build needs.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, 0..n)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.is_empty() {
+                0
+            } else {
+                self.size.start + (rng.next_u64() as usize) % (self.size.end - self.size.start)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration (subset: case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The test-defining macro. Accepts an optional leading
+/// `#![proptest_config(expr)]`, then any number of test functions whose
+/// parameters are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    let mut inputs = ::std::string::String::new();
+                    $(
+                        let value = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                        inputs.push_str(&::std::format!(
+                            "  {} = {:?}\n",
+                            stringify!($pat),
+                            &value
+                        ));
+                        let $pat = value;
+                    )*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        ::std::panic!(
+                            "proptest case {}/{} failed: {}\ninputs:\n{}",
+                            case + 1,
+                            config.cases,
+                            e,
+                            inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args…)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left), stringify!($right), l, r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  {}",
+                            stringify!($left), stringify!($right), l, r,
+                            ::std::format!($($fmt)+)
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// `prop_assert_ne!(left, right)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{} != {}`\n  both: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            l
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// `prop_oneof![s1, s2, …]` — uniform choice among same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.or($strat))+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_values_honour_strategies(
+            x in 5u32..10,
+            v in crate::collection::vec(0u32..3, 0..8),
+            (a, b) in (0usize..4, 0.0f64..1.0),
+            flag in any::<bool>(),
+            op in prop_oneof![
+                (0u32..5).prop_map(|n| n * 2),
+                (0u32..5).prop_map(|n| n * 2 + 1),
+            ],
+        ) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(v.len() < 8);
+            for e in &v {
+                prop_assert!(*e < 3, "element {} out of range", e);
+            }
+            prop_assert!(a < 4 && (0.0..1.0).contains(&b));
+            prop_assert!(usize::from(flag) <= 1);
+            prop_assert!(op < 10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic(expected = "proptest case")]
+        fn failing_property_panics_with_inputs(x in 0u32..100) {
+            prop_assert!(x < 2, "x was {}", x);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Offline stand-in for the subset of `rand` this workspace uses:
+//! `StdRng::seed_from_u64`, `gen`, `gen_range`, `gen_bool` and slice
+//! `shuffle`. The generator is xoshiro256**, seeded through splitmix64 —
+//! deterministic in the seed, which is the only property the synthetic
+//! graph generators rely on (they promise determinism, not any particular
+//! stream, and re-derive their structure through the same shim).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding trait (subset: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling from a range type, used by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Types generable by [`Rng::gen`] from the "standard" distribution.
+pub trait Standard: Sized {
+    fn standard(rng: &mut dyn RngCore) -> Self;
+}
+
+/// Core entropy source: 64 uniformly random bits per call.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing methods, blanket-implemented over [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of range");
+        f64::standard(self) < p
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits → uniform in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Standard for f64 {
+    fn standard(rng: &mut dyn RngCore) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn standard(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Lemire-style bounded sampling without modulo bias for the integer
+/// widths the generators use.
+fn bounded(rng: &mut dyn RngCore, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Rejection sampling on the top bits: zone is the largest multiple of
+    // `bound` not exceeding 2^64.
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end - self.start) as u64;
+                self.start + bounded(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + bounded(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "empty gen_range");
+        let v = self.start + unit_f64(rng.next_u64()) * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+/// Shuffling for slices (subset of rand's `SliceRandom`).
+pub trait SliceRandom {
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        // Fisher–Yates.
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** seeded via splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, RngCore, SampleRange, SeedableRng, SliceRandom};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u32 = rng.gen_range(0..=5);
+            assert!(y <= 5);
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&heads));
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0)); // unit_f64 < 1.0 always, so p=1.0 is sure
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "astronomically unlikely identity shuffle");
+    }
+}

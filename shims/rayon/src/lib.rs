@@ -1,0 +1,343 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors the exact API surface it needs. Semantics match
+//! rayon where it matters:
+//!
+//! * [`Par::for_each`] — the solver's hot path — really is parallel: the
+//!   items are split into one chunk per available thread and processed
+//!   under [`std::thread::scope`]. Closure bounds (`Fn + Send + Sync`,
+//!   `Item: Send`) mirror rayon's, so call sites are source-compatible.
+//! * The remaining adaptors (`map`, `filter`, `zip`, `rev`, `copied`,
+//!   `flat_map_iter`) and the other consumers (`collect`, `any`, `max`)
+//!   run sequentially. They are off the hot path here; correctness is
+//!   identical because rayon never promises an evaluation order.
+//! * [`ThreadPoolBuilder::num_threads`] + [`ThreadPool::install`] scope a
+//!   thread-count override that [`current_num_threads`] and `for_each`
+//!   honour, so `Config { threads, .. }` keeps its meaning (notably
+//!   `threads: 1` forces a fully sequential solve).
+
+use std::cell::Cell;
+use std::ops::{Range, RangeInclusive};
+
+thread_local! {
+    /// 0 means "no override": fall back to the machine parallelism.
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of threads parallel operations currently fan out to.
+pub fn current_num_threads() -> usize {
+    let t = POOL_THREADS.with(|c| c.get());
+    if t == 0 {
+        default_threads()
+    } else {
+        t
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` (thread count only).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; building never fails here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                default_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A scoped thread-count override, not an actual pool of threads: workers
+/// are spawned per `for_each` call under `std::thread::scope`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count as the ambient parallelism.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        let _restore = Restore(prev);
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// A "parallel" iterator: a thin wrapper over a std iterator whose
+/// consuming `for_each` fans out across threads.
+pub struct Par<I>(I);
+
+impl<I: Iterator> Par<I> {
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> Par<std::iter::Filter<I, P>> {
+        Par(self.0.filter(p))
+    }
+
+    pub fn rev(self) -> Par<std::iter::Rev<I>>
+    where
+        I: DoubleEndedIterator,
+    {
+        Par(self.0.rev())
+    }
+
+    pub fn copied<'a, T>(self) -> Par<std::iter::Copied<I>>
+    where
+        T: 'a + Copy,
+        I: Iterator<Item = &'a T>,
+    {
+        Par(self.0.copied())
+    }
+
+    pub fn flat_map_iter<U, F>(self, f: F) -> Par<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        Par(self.0.flat_map(f))
+    }
+
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> Par<std::iter::Zip<I, J::IntoIter>> {
+        Par(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// Parallel consumer: one chunk per thread under `std::thread::scope`.
+    /// The calling thread works on the first chunk itself; a panic in any
+    /// worker propagates when the scope exits, as with rayon.
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Send + Sync,
+    {
+        let mut items: Vec<I::Item> = self.0.collect();
+        let threads = current_num_threads().clamp(1, items.len().max(1));
+        if threads <= 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        let chunk = items.len().div_ceil(threads);
+        let mut chunks: Vec<Vec<I::Item>> = Vec::with_capacity(threads);
+        while items.len() > chunk {
+            let tail = items.split_off(items.len() - chunk);
+            chunks.push(tail);
+        }
+        let mine = items;
+        let inherited = current_num_threads();
+        std::thread::scope(|s| {
+            let f = &f;
+            for ch in chunks {
+                s.spawn(move || {
+                    POOL_THREADS.with(|c| c.set(inherited));
+                    for item in ch {
+                        f(item);
+                    }
+                });
+            }
+            for item in mine {
+                f(item);
+            }
+        });
+    }
+
+    pub fn any<P: FnMut(I::Item) -> bool>(self, mut p: P) -> bool {
+        let mut it = self.0;
+        it.any(&mut p)
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+}
+
+/// Conversion into a [`Par`] iterator (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    type Item;
+    type IntoIter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Par<Self::IntoIter>;
+}
+
+impl<I: Iterator> IntoParallelIterator for Par<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+    fn into_par_iter(self) -> Par<I> {
+        self
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Par<Self::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+impl<T> IntoParallelIterator for Range<T>
+where
+    Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type IntoIter = Range<T>;
+    fn into_par_iter(self) -> Par<Self::IntoIter> {
+        Par(self)
+    }
+}
+
+impl<T> IntoParallelIterator for RangeInclusive<T>
+where
+    RangeInclusive<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type IntoIter = RangeInclusive<T>;
+    fn into_par_iter(self) -> Par<Self::IntoIter> {
+        Par(self)
+    }
+}
+
+/// `.par_iter()` on slices (and, via deref, `Vec`).
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+}
+
+/// `.par_iter_mut()` / `.par_sort_unstable()` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+        Par(self.iter_mut())
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, Par, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_visits_everything() {
+        let hits: Vec<AtomicUsize> = (0..10_000).map(|_| AtomicUsize::new(0)).collect();
+        (0..10_000usize).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn adaptors_match_sequential() {
+        let v: Vec<u32> = (0..100).collect();
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled[99], 198);
+        assert_eq!(v.par_iter().copied().max(), Some(99));
+        assert!((0..100u32).into_par_iter().any(|x| x == 57));
+        let evens: Vec<u32> = (0..10u32).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        pool.install(|| assert_eq!(crate::current_num_threads(), 3));
+        assert_ne!(crate::current_num_threads(), 0);
+    }
+
+    #[test]
+    fn zip_and_rev() {
+        let a = [1u32, 2, 3];
+        let b = vec![10u32, 20, 30];
+        let sums: Vec<u32> = a
+            .par_iter()
+            .zip(b.into_par_iter())
+            .map(|(x, y)| x + y)
+            .collect();
+        assert_eq!(sums, vec![11, 22, 33]);
+        let r: Vec<u32> = (0..3u32).into_par_iter().rev().collect();
+        assert_eq!(r, vec![2, 1, 0]);
+    }
+}

@@ -101,7 +101,11 @@ fn every_ablation_agrees_on_every_suite_instance() {
                 "instance {} under config {label}",
                 inst.name
             );
-            assert!(g.is_clique(r.vertices()), "{}/{label}: non-clique", inst.name);
+            assert!(
+                g.is_clique(r.vertices()),
+                "{}/{label}: non-clique",
+                inst.name
+            );
         }
     }
 }

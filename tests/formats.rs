@@ -29,6 +29,19 @@ fn solve_after_edge_list_roundtrip() {
 }
 
 #[test]
+fn bare_comment_token_lines_are_skipped() {
+    // Regression: a lone `c` line (legal in DIMACS-flavoured files, common
+    // when a comment block ends with an empty comment) used to be parsed
+    // as an edge and rejected. Bare `#` and `%` markers get the same
+    // treatment.
+    let text = "c\nc regular comment\n#\n%\n0 1\n1 2\nc\n2 0\n";
+    let g = io::read_edge_list(text.as_bytes()).unwrap();
+    assert_eq!(g.num_vertices(), 3);
+    assert_eq!(g.num_edges(), 3);
+    assert_eq!(LazyMc::new(Config::default()).solve(&g).size(), 3);
+}
+
+#[test]
 fn read_path_dispatches_by_extension() {
     let g = gen::gnp(60, 0.1, 8);
     let dir = std::env::temp_dir();

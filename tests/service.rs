@@ -1,0 +1,386 @@
+//! End-to-end tests of the clique-query daemon over a live socket:
+//! concurrent clients, result-cache behaviour, budget truncation, queue
+//! backpressure, LRU eviction, and the error surface.
+
+use lazymc::core::{Config, LazyMc};
+use lazymc::graph::{gen, io};
+use lazymc::service::{serve, Json, ServiceConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Minimal HTTP/1.1 client speaking keep-alive to one connection.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { stream, reader }
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> (u16, Vec<(String, String)>, String) {
+        let body = body.unwrap_or("");
+        write!(
+            self.stream,
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write request");
+        self.stream.flush().unwrap();
+
+        let mut status_line = String::new();
+        self.reader
+            .read_line(&mut status_line)
+            .expect("status line");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header line");
+            let line = line.trim_end().to_string();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                let (k, v) = (k.trim().to_ascii_lowercase(), v.trim().to_string());
+                if k == "content-length" {
+                    content_length = v.parse().expect("content-length");
+                }
+                headers.push((k, v));
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        (status, headers, String::from_utf8(body).expect("utf8 body"))
+    }
+
+    fn post_json(&mut self, path: &str, body: &str) -> (u16, Json) {
+        let (status, _, body) = self.request("POST", path, Some(body));
+        (status, Json::parse(&body).expect("json body"))
+    }
+
+    fn get_json(&mut self, path: &str) -> (u16, Json) {
+        let (status, _, body) = self.request("GET", path, None);
+        (status, Json::parse(&body).expect("json body"))
+    }
+}
+
+fn start_service(cfg: ServiceConfig) -> lazymc::service::ServiceHandle {
+    serve(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        ..cfg
+    })
+    .expect("bind service")
+}
+
+fn upload_edge_list(client: &mut Client, name: &str, g: &lazymc::graph::CsrGraph) -> Json {
+    let mut text = Vec::new();
+    io::write_edge_list(g, &mut text).unwrap();
+    let body = Json::obj(vec![
+        ("name", Json::str(name)),
+        ("format", Json::str("edgelist")),
+        ("content", Json::str(String::from_utf8(text).unwrap())),
+    ])
+    .encode();
+    let (status, response) = client.post_json("/graphs", &body);
+    assert_eq!(status, 201, "upload failed: {response:?}");
+    response
+}
+
+fn u64_field(v: &Json, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing numeric {key:?} in {v:?}"))
+}
+
+fn bool_field(v: &Json, key: &str) -> bool {
+    v.get(key)
+        .and_then(Json::as_bool)
+        .unwrap_or_else(|| panic!("missing bool {key:?} in {v:?}"))
+}
+
+/// Scrapes one counter out of the Prometheus text format.
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} not found"))
+}
+
+#[test]
+fn concurrent_clients_agree_and_cache_serves_repeats() {
+    let handle = start_service(ServiceConfig {
+        workers: 6,
+        ..ServiceConfig::default()
+    });
+    let addr = handle.addr();
+
+    let g = gen::planted_clique(300, 0.03, 11, 7);
+    let expected = LazyMc::new(Config::default()).solve(&g).size();
+
+    let mut setup = Client::connect(addr);
+    let info = upload_edge_list(&mut setup, "pc", &g);
+    assert_eq!(u64_field(&info, "vertices"), 300);
+
+    // ≥4 clients, each its own keep-alive connection, racing the same
+    // query plus a per-client no_cache variant.
+    let mut clients = Vec::new();
+    for c in 0..5usize {
+        clients.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr);
+            for round in 0..3 {
+                let no_cache = round == 0 && c % 2 == 0;
+                let body = format!(
+                    r#"{{"graph":"pc","priority":{},"no_cache":{}}}"#,
+                    c % 10,
+                    no_cache
+                );
+                let (status, response) = client.post_json("/solve", &body);
+                assert_eq!(status, 200, "solve failed: {response:?}");
+                assert_eq!(
+                    u64_field(&response, "omega") as usize,
+                    expected,
+                    "daemon disagrees with LazyMc::solve: {response:?}"
+                );
+                assert!(bool_field(&response, "exact"));
+            }
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // A repeat of the identical query must now be served from the cache.
+    let (status, response) = setup.post_json("/solve", r#"{"graph":"pc"}"#);
+    assert_eq!(status, 200);
+    assert_eq!(u64_field(&response, "omega") as usize, expected);
+    assert!(
+        bool_field(&response, "cached"),
+        "expected a result-cache hit"
+    );
+    let clique = match response.get("clique") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|v| v.as_u64().unwrap() as u32)
+            .collect::<Vec<_>>(),
+        other => panic!("bad clique field {other:?}"),
+    };
+    assert_eq!(clique.len(), expected);
+    assert!(g.is_clique(&clique), "cached witness must be a real clique");
+
+    // The cache hit is visible in /metrics.
+    let (status, _, text) = setup.request("GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(metric(&text, "lazymc_result_cache_hits_total") >= 1);
+    assert!(metric(&text, "lazymc_solves_total") >= 1);
+    assert_eq!(metric(&text, "lazymc_jobs_rejected_total"), 0);
+
+    handle.stop();
+}
+
+#[test]
+fn tiny_budget_reports_truncated_not_blocked() {
+    let handle = start_service(ServiceConfig::default());
+    let addr = handle.addr();
+    let mut client = Client::connect(addr);
+
+    // Dense graph with a real systematic phase, so a zero budget provably
+    // skips work.
+    let g = gen::dense_overlap(220, 30, 8, 18, 0.1, 9);
+    let exact = LazyMc::new(Config::default()).solve(&g).size();
+    upload_edge_list(&mut client, "dense", &g);
+
+    let (status, response) = client.post_json("/solve", r#"{"graph":"dense","budget_ms":0}"#);
+    assert_eq!(status, 200, "a blown budget is an answer, not an error");
+    assert!(bool_field(&response, "truncated"));
+    assert!(!bool_field(&response, "exact"));
+    assert!(u64_field(&response, "omega") as usize <= exact);
+
+    // Truncated results are never cached: the same query re-runs.
+    let (_, again) = client.post_json("/solve", r#"{"graph":"dense","budget_ms":0}"#);
+    assert!(!bool_field(&again, "cached"));
+
+    // An unbudgeted query on the same graph is exact and correct.
+    let (_, full) = client.post_json("/solve", r#"{"graph":"dense"}"#);
+    assert_eq!(u64_field(&full, "omega") as usize, exact);
+    assert!(bool_field(&full, "exact"));
+
+    let (_, _, text) = client.request("GET", "/metrics", None);
+    assert!(metric(&text, "lazymc_solves_truncated_total") >= 2);
+
+    handle.stop();
+}
+
+#[test]
+fn full_queue_answers_429_with_retry_after() {
+    // One solver thread, one queue slot, many HTTP workers: concurrent
+    // burst must overflow into 429s rather than block or queue unboundedly.
+    let handle = start_service(ServiceConfig {
+        workers: 8,
+        solver_workers: 1,
+        queue_capacity: 1,
+        ..ServiceConfig::default()
+    });
+    let addr = handle.addr();
+
+    let mut setup = Client::connect(addr);
+    let body = Json::obj(vec![
+        ("name", Json::str("busy")),
+        ("format", Json::str("suite")),
+        ("content", Json::str("gene-hard")),
+        ("scale", Json::str("test")),
+    ])
+    .encode();
+    let (status, info) = setup.post_json("/graphs", &body);
+    assert_eq!(status, 201, "suite upload failed: {info:?}");
+
+    let mut clients = Vec::new();
+    for _ in 0..8 {
+        clients.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr);
+            // no_cache so every request is real solver work.
+            let (status, headers, body) = client.request(
+                "POST",
+                "/solve",
+                Some(r#"{"graph":"busy","no_cache":true}"#),
+            );
+            let retry_after = headers.iter().any(|(k, _)| k == "retry-after");
+            (status, retry_after, body)
+        }));
+    }
+    let results: Vec<(u16, bool, String)> =
+        clients.into_iter().map(|c| c.join().unwrap()).collect();
+    let ok = results.iter().filter(|(s, _, _)| *s == 200).count();
+    let rejected = results.iter().filter(|(s, _, _)| *s == 429).count();
+    assert_eq!(ok + rejected, 8, "unexpected statuses: {results:?}");
+    assert!(ok >= 1, "at least the first job must run");
+    assert!(rejected >= 1, "queue cap 1 must shed an 8-request burst");
+    assert!(
+        results.iter().all(|(s, retry, _)| *s != 429 || *retry),
+        "429s must carry Retry-After"
+    );
+
+    // Shed load is visible in /metrics, and the service still answers.
+    let (_, _, text) = setup.request("GET", "/metrics", None);
+    assert!(metric(&text, "lazymc_jobs_rejected_total") >= 1);
+    let (status, _) = setup.get_json("/healthz");
+    assert_eq!(status, 200);
+
+    handle.stop();
+}
+
+#[test]
+fn registry_lru_evicts_over_http() {
+    let handle = start_service(ServiceConfig {
+        max_graphs: 2,
+        ..ServiceConfig::default()
+    });
+    let addr = handle.addr();
+    let mut client = Client::connect(addr);
+
+    upload_edge_list(&mut client, "a", &gen::complete(5));
+    upload_edge_list(&mut client, "b", &gen::complete(6));
+    // Touch "a" so "b" is the LRU victim.
+    let (status, _) = client.get_json("/stats/a");
+    assert_eq!(status, 200);
+    upload_edge_list(&mut client, "c", &gen::complete(7));
+
+    let (status, _) = client.get_json("/stats/b");
+    assert_eq!(status, 404, "LRU victim should be gone");
+    let (status, _) = client.get_json("/stats/a");
+    assert_eq!(status, 200);
+    let (_, listing) = client.get_json("/graphs");
+    let names: Vec<&str> = match listing.get("graphs") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|g| g.get("name").and_then(Json::as_str).unwrap())
+            .collect(),
+        other => panic!("bad listing {other:?}"),
+    };
+    assert_eq!(names.len(), 2);
+    assert!(names.contains(&"a") && names.contains(&"c"));
+
+    let (_, _, text) = client.request("GET", "/metrics", None);
+    assert!(metric(&text, "lazymc_graphs_evicted_total") >= 1);
+
+    handle.stop();
+}
+
+#[test]
+fn error_surface_and_introspection() {
+    let handle = start_service(ServiceConfig::default());
+    let addr = handle.addr();
+    let mut client = Client::connect(addr);
+
+    // Solve for a graph that was never uploaded.
+    let (status, response) = client.post_json("/solve", r#"{"graph":"ghost"}"#);
+    assert_eq!(status, 404);
+    assert!(response.get("error").is_some());
+
+    // Malformed JSON, bad fields, bad routes, bad methods.
+    let (status, _) = client.post_json("/solve", "{not json");
+    assert_eq!(status, 400);
+    let (status, _) = client.post_json("/solve", r#"{"graph":"g","priority":99}"#);
+    assert_eq!(status, 400);
+    let (status, _) = client.post_json("/graphs", r#"{"name":"x y","content":"0 1"}"#);
+    assert_eq!(status, 400);
+    let (status, _, _) = client.request("GET", "/nope", None);
+    assert_eq!(status, 404);
+    let (status, _, _) = client.request("PUT", "/solve", Some("{}"));
+    assert_eq!(status, 405);
+
+    // DIMACS upload + stats fields, then DELETE.
+    let g = gen::planted_clique(80, 0.05, 7, 1);
+    let mut text = Vec::new();
+    io::write_dimacs(&g, &mut text).unwrap();
+    let body = Json::obj(vec![
+        ("name", Json::str("dim")),
+        ("format", Json::str("dimacs")),
+        ("content", Json::str(String::from_utf8(text).unwrap())),
+    ])
+    .encode();
+    let (status, info) = client.post_json("/graphs", &body);
+    assert_eq!(status, 201);
+    let fingerprint = info
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert_eq!(fingerprint.len(), 16, "fingerprint is 16 hex chars");
+
+    let (status, stats) = client.get_json("/stats/dim");
+    assert_eq!(status, 200);
+    assert_eq!(u64_field(&stats, "vertices"), 80);
+    assert_eq!(
+        stats.get("fingerprint").and_then(Json::as_str),
+        Some(fingerprint.as_str())
+    );
+    assert!(u64_field(&stats, "omega_upper_bound") >= 7);
+
+    let (status, _, _) = client.request("DELETE", "/graphs/dim", None);
+    assert_eq!(status, 200);
+    let (status, _) = client.get_json("/stats/dim");
+    assert_eq!(status, 404);
+
+    // healthz still fine after the abuse above.
+    let (status, health) = client.get_json("/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+
+    handle.stop();
+}
