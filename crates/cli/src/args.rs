@@ -22,6 +22,7 @@ const VALUED: &[&str] = &[
     "--workers",
     "--max-graphs",
     "--queue-cap",
+    "--data-dir",
 ];
 
 impl Parsed {

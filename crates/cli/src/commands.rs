@@ -19,7 +19,9 @@ USAGE:
   lazymc compare <file> [--skip ALG[,ALG...]]   (algs: pmc, domega-ls, domega-bs, brb)
   lazymc gen <instance> <out-file> [--test]     (see `lazymc gen list`)
   lazymc serve [<addr>] [--workers N] [--max-graphs M] [--queue-cap Q]
-               [--check]                        (default addr 127.0.0.1:7171)
+               [--data-dir DIR] [--check]       (default addr 127.0.0.1:7171)
+  lazymc snapshot <graph-file> <out.lmcs>
+  lazymc restore <file.lmcs> [<out-graph-file>]
   lazymc help
 
 Input formats by extension: .clq/.col/.dimacs (DIMACS), .mtx (MatrixMarket),
@@ -31,6 +33,13 @@ HTTP/1.1: POST /graphs, POST /solve, GET /graphs, GET /stats/<name>,
 GET /healthz, GET /metrics, DELETE /graphs/<name>. Repeated identical
 queries are served from a result cache; a full job queue (--queue-cap)
 answers 429. --check binds, prints the address, and exits immediately.
+
+With --data-dir, every upload is also written as a checksummed .lmcs
+snapshot (CSR + coreness, atomic rename); after a restart graphs reload
+lazily on first use — no re-upload, no k-core recomputation. `snapshot`
+precomputes such a file offline from any graph file; `restore` verifies
+one and prints (or re-exports) its contents. Drop .lmcs files into the
+data dir before boot to pre-seed a daemon.
 ";
 
 fn load(path: &str) -> Result<CsrGraph, String> {
@@ -284,16 +293,22 @@ pub fn serve(argv: &[String]) -> i32 {
     set!(workers, "--workers");
     set!(max_graphs, "--max-graphs");
     set!(queue_capacity, "--queue-cap");
+    cfg.data_dir = p.raw("--data-dir").map(str::to_string);
 
+    let data_dir = cfg.data_dir.clone();
     let handle = match lazymc_service::serve(cfg) {
         Ok(h) => h,
-        Err(e) => return fail(&format!("cannot bind: {e}")),
+        Err(e) => return fail(&format!("cannot start daemon: {e}")),
     };
     let addr = handle.addr();
     println!("lazymc-service listening on http://{addr}");
     println!("  POST /graphs    upload a graph   (name, format, content)");
     println!("  POST /solve     query a clique   (graph, budget_ms, priority, ...)");
     println!("  GET  /stats/<name> | /graphs | /healthz | /metrics");
+    if let Some(dir) = data_dir {
+        let snapshots = handle.state().registry.store().map_or(0, |s| s.len());
+        println!("  durable: {snapshots} snapshot(s) indexed in {dir}");
+    }
     if p.has("--check") {
         handle.stop();
         return 0;
@@ -301,6 +316,101 @@ pub fn serve(argv: &[String]) -> i32 {
     loop {
         std::thread::sleep(Duration::from_secs(3600));
     }
+}
+
+/// `lazymc snapshot` — precompute a durable `.lmcs` snapshot (CSR +
+/// fingerprint + exact coreness) from any readable graph file, written
+/// atomically. The output can pre-seed a daemon's `--data-dir`.
+pub fn snapshot(argv: &[String]) -> i32 {
+    let p = match Parsed::parse(argv) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let (Some(path), Some(out)) = (p.positional(0), p.positional(1)) else {
+        return fail("snapshot needs a graph file and an output .lmcs path");
+    };
+    let g = match load(path) {
+        Ok(g) => g,
+        Err(e) => return fail(&e),
+    };
+    let t = Instant::now();
+    let kc = kcore_sequential(&g);
+    let mut snap = lazymc_graph::snapshot::Snapshot::from_graph(&g);
+    lazymc_order::embed_kcore(&mut snap, &kc);
+    let bytes = snap.encode();
+    if let Err(e) = lazymc_graph::snapshot::write_file_atomic(std::path::Path::new(out), &bytes) {
+        return fail(&format!("cannot write {out}: {e}"));
+    }
+    println!(
+        "wrote {out}: {} vertices, {} edges, degeneracy {}, fingerprint {:016x}, {} bytes in {:?}",
+        g.num_vertices(),
+        g.num_edges(),
+        kc.degeneracy,
+        snap.fingerprint,
+        bytes.len(),
+        t.elapsed()
+    );
+    0
+}
+
+/// `lazymc restore` — verify an `.lmcs` snapshot (checksum, structure,
+/// fingerprint, coreness shape) and print its summary; with a second
+/// positional, re-export the graph to an ordinary graph file.
+pub fn restore(argv: &[String]) -> i32 {
+    let p = match Parsed::parse(argv) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let Some(path) = p.positional(0) else {
+        return fail("restore needs an .lmcs file");
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let snap = match lazymc_graph::snapshot::Snapshot::decode(&bytes) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("corrupt snapshot {path}: {e}")),
+    };
+    let g = match snap.graph() {
+        Ok(g) => g,
+        Err(e) => return fail(&format!("corrupt snapshot {path}: {e}")),
+    };
+    let kc = match lazymc_order::extract_kcore(&snap) {
+        Ok(kc) => kc,
+        Err(e) => return fail(&format!("corrupt snapshot {path}: {e}")),
+    };
+    println!("snapshot    {path} ({} bytes, checksum ok)", bytes.len());
+    println!("vertices    {}", g.num_vertices());
+    println!("edges       {}", g.num_edges());
+    println!("fingerprint {:016x}", snap.fingerprint);
+    println!("degeneracy  {}", kc.degeneracy);
+    println!("omega <=    {}", kc.omega_upper_bound());
+    println!(
+        "peel order  {}",
+        if kc.peel_order.is_empty() {
+            "absent"
+        } else {
+            "present"
+        }
+    );
+    if let Some(out) = p.positional(1) {
+        let file = match std::fs::File::create(out) {
+            Ok(f) => f,
+            Err(e) => return fail(&format!("cannot create {out}: {e}")),
+        };
+        let writer = std::io::BufWriter::new(file);
+        let result = if out.ends_with(".clq") || out.ends_with(".col") || out.ends_with(".dimacs") {
+            io::write_dimacs(&g, writer)
+        } else {
+            io::write_edge_list(&g, writer)
+        };
+        if let Err(e) = result {
+            return fail(&format!("write failed: {e}"));
+        }
+        println!("restored    {out}");
+    }
+    0
 }
 
 /// `lazymc gen`

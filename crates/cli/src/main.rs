@@ -9,6 +9,9 @@
 //! lazymc compare <file> [--skip ALG[,ALG…]]
 //! lazymc gen <instance> <out-file> [--test]
 //! lazymc serve [<addr>] [--workers N] [--max-graphs M] [--queue-cap Q]
+//!              [--data-dir DIR]
+//! lazymc snapshot <graph-file> <out.lmcs>
+//! lazymc restore <file.lmcs> [<out-graph-file>]
 //! lazymc help
 //! ```
 //!
@@ -32,6 +35,8 @@ fn run(argv: &[String]) -> i32 {
         Some("compare") => commands::compare(&argv[1..]),
         Some("gen") => commands::gen(&argv[1..]),
         Some("serve") => commands::serve(&argv[1..]),
+        Some("snapshot") => commands::snapshot(&argv[1..]),
+        Some("restore") => commands::restore(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             0
@@ -110,6 +115,66 @@ mod tests {
             0
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("lazymc_cli_snap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph = dir.join("g.clq");
+        let snap = dir.join("g.lmcs");
+        let back = dir.join("back.clq");
+        let (graph_s, snap_s, back_s) = (
+            graph.to_str().unwrap().to_string(),
+            snap.to_str().unwrap().to_string(),
+            back.to_str().unwrap().to_string(),
+        );
+        assert_eq!(
+            run(&[
+                "gen".into(),
+                "collab".into(),
+                graph_s.clone(),
+                "--test".into()
+            ]),
+            0
+        );
+        assert_eq!(
+            run(&["snapshot".into(), graph_s.clone(), snap_s.clone()]),
+            0
+        );
+        assert_eq!(run(&["restore".into(), snap_s.clone(), back_s.clone()]), 0);
+        // Re-exported graph has identical content (same fingerprint class).
+        let original = lazymc_graph::io::read_path(&graph).unwrap();
+        let restored = lazymc_graph::io::read_path(&back).unwrap();
+        assert_eq!(original.fingerprint(), restored.fingerprint());
+        // A corrupted snapshot is rejected loudly, not mis-restored.
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&snap, &bytes).unwrap();
+        assert_ne!(run(&["restore".into(), snap_s.clone()]), 0);
+        // Missing args / missing files fail cleanly.
+        assert_ne!(run(&["snapshot".into(), graph_s.clone()]), 0);
+        assert_ne!(run(&["restore".into(), "/nonexistent.lmcs".into()]), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_check_with_data_dir_creates_and_scans() {
+        let dir = std::env::temp_dir().join(format!("lazymc_cli_dd_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(
+            run(&[
+                "serve".into(),
+                "127.0.0.1:0".into(),
+                "--data-dir".into(),
+                dir.to_str().unwrap().into(),
+                "--check".into(),
+            ]),
+            0
+        );
+        assert!(dir.is_dir(), "--data-dir must be created at boot");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

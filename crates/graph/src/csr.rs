@@ -279,6 +279,13 @@ impl CsrGraph {
         h
     }
 
+    /// The raw CSR arrays `(offsets, targets)`, in the exact form
+    /// [`CsrGraph::from_parts`] accepts. This is the serialization surface:
+    /// [`crate::snapshot`] writes these arrays verbatim.
+    pub fn raw_parts(&self) -> (&[usize], &[VertexId]) {
+        (&self.offsets, &self.targets)
+    }
+
     /// Whether `clique` (ids of `self`) forms a clique.
     pub fn is_clique(&self, clique: &[VertexId]) -> bool {
         for (i, &u) in clique.iter().enumerate() {

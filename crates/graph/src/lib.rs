@@ -10,7 +10,10 @@
 //!   MatrixMarket files;
 //! * [`gen`] — deterministic synthetic generators used as stand-ins for the
 //!   paper's 28 proprietary/web-scale datasets (see DESIGN.md §4);
-//! * [`suite`] — the named benchmark suite used by every experiment binary.
+//! * [`suite`] — the named benchmark suite used by every experiment binary;
+//! * [`snapshot`] — the `.lmcs` durable snapshot container: versioned,
+//!   checksummed, mmap-friendly serialization of CSR arrays plus
+//!   caller-defined sections (coreness lives in `lazymc-order`).
 //!
 //! All vertex identifiers are [`VertexId`] (`u32`), matching the 4-byte ids
 //! the paper assumes (16 per cache line, which motivates the hopscotch hash
@@ -21,6 +24,7 @@ pub mod components;
 pub mod csr;
 pub mod gen;
 pub mod io;
+pub mod snapshot;
 pub mod stats;
 pub mod suite;
 

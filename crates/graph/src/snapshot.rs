@@ -1,0 +1,622 @@
+//! `.lmcs` — the durable snapshot container.
+//!
+//! A snapshot freezes the artifacts that are expensive to recompute — the
+//! CSR adjacency arrays and (via sections written by `lazymc-order`) the
+//! exact k-core decomposition — into one versioned, checksummed,
+//! little-endian file. The layout is mmap-friendly by construction:
+//!
+//! * a fixed 64-byte header holding the magic, version, total length,
+//!   content fingerprint and checksum;
+//! * a section table of fixed-size records (id, element width, absolute
+//!   byte offset, element count);
+//! * the section payloads themselves, each starting on an 8-byte boundary
+//!   and zero-padded to one.
+//!
+//! Today the decoder copies sections into owned `Vec`s; because every
+//! offset in the table is absolute and 8-byte aligned, a future zero-copy
+//! loader can `mmap` the file and point slices straight into it without a
+//! format change.
+//!
+//! Corruption detection is layered: the header carries the exact file
+//! length (truncation), an FNV-1a checksum over the whole file (bit flips
+//! anywhere, header included), and [`Snapshot::graph`] re-fingerprints the
+//! decoded CSR against the recorded content fingerprint. Every decode path
+//! returns `Err` rather than panicking on hostile bytes.
+
+use crate::CsrGraph;
+use std::io::Write as _;
+use std::path::Path;
+
+/// File magic: the first four bytes of every `.lmcs` file.
+pub const MAGIC: [u8; 4] = *b"LMCS";
+/// Current format version. Decoders reject other versions.
+pub const VERSION: u32 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 64;
+/// Size of one section-table record in bytes.
+pub const SECTION_RECORD_LEN: usize = 24;
+
+/// Section ids. The graph crate owns the CSR sections; other crates claim
+/// ids for their own artifacts (coreness and peel order live in
+/// `lazymc-order`).
+pub const SEC_OFFSETS: u32 = 1;
+/// CSR adjacency targets (`u32`).
+pub const SEC_TARGETS: u32 = 2;
+/// Exact per-vertex coreness (`u32`), written by `lazymc-order`.
+pub const SEC_CORENESS: u32 = 3;
+/// Sequential peel order (`u32`), written by `lazymc-order`.
+pub const SEC_PEEL_ORDER: u32 = 4;
+
+/// Payload of one section: a flat array of 4- or 8-byte little-endian
+/// elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SectionData {
+    U32(Vec<u32>),
+    U64(Vec<u64>),
+}
+
+impl SectionData {
+    fn elem_width(&self) -> u32 {
+        match self {
+            SectionData::U32(_) => 4,
+            SectionData::U64(_) => 8,
+        }
+    }
+
+    fn elem_count(&self) -> u64 {
+        match self {
+            SectionData::U32(v) => v.len() as u64,
+            SectionData::U64(v) => v.len() as u64,
+        }
+    }
+
+    fn byte_len(&self) -> usize {
+        (self.elem_width() as usize) * (self.elem_count() as usize)
+    }
+}
+
+/// Header fields readable without touching the payload — what a startup
+/// index scan needs to know about a file before deciding to load it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    pub version: u32,
+    /// Total file length the header promises (truncation check).
+    pub file_len: u64,
+    /// Content fingerprint of the stored graph ([`CsrGraph::fingerprint`]).
+    pub fingerprint: u64,
+    /// Vertex count.
+    pub n: u64,
+    /// Length of the targets array (twice the undirected edge count).
+    pub m2: u64,
+}
+
+/// An in-memory snapshot: fingerprint + typed sections.
+///
+/// Build one with [`Snapshot::from_graph`], attach extra sections (e.g.
+/// coreness) with [`Snapshot::push_section`], then [`Snapshot::encode`].
+/// The reverse path is [`Snapshot::decode`] → [`Snapshot::graph`] /
+/// [`Snapshot::u32_section`].
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub fingerprint: u64,
+    pub n: u64,
+    pub m2: u64,
+    sections: Vec<(u32, SectionData)>,
+}
+
+impl Snapshot {
+    /// A snapshot of `g`'s CSR arrays, fingerprinted.
+    pub fn from_graph(g: &CsrGraph) -> Snapshot {
+        let (offsets, targets) = g.raw_parts();
+        Snapshot {
+            fingerprint: g.fingerprint(),
+            n: g.num_vertices() as u64,
+            m2: targets.len() as u64,
+            sections: vec![
+                (
+                    SEC_OFFSETS,
+                    SectionData::U64(offsets.iter().map(|&o| o as u64).collect()),
+                ),
+                (SEC_TARGETS, SectionData::U32(targets.to_vec())),
+            ],
+        }
+    }
+
+    /// Adds (or replaces) a section by id.
+    pub fn push_section(&mut self, id: u32, data: SectionData) {
+        self.sections.retain(|(existing, _)| *existing != id);
+        self.sections.push((id, data));
+    }
+
+    /// The section with this id, if present.
+    pub fn section(&self, id: u32) -> Option<&SectionData> {
+        self.sections
+            .iter()
+            .find(|(existing, _)| *existing == id)
+            .map(|(_, d)| d)
+    }
+
+    /// A `u32` section's payload, if present with that element width.
+    pub fn u32_section(&self, id: u32) -> Option<&[u32]> {
+        match self.section(id) {
+            Some(SectionData::U32(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A `u64` section's payload, if present with that element width.
+    pub fn u64_section(&self, id: u32) -> Option<&[u64]> {
+        match self.section(id) {
+            Some(SectionData::U64(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Reconstructs the CSR graph, validating structure (monotone offsets,
+    /// in-range targets) and re-fingerprinting against the header value, so
+    /// corruption that slipped past the checksum still cannot produce a
+    /// silently wrong graph.
+    pub fn graph(&self) -> Result<CsrGraph, String> {
+        let offsets_raw = self
+            .u64_section(SEC_OFFSETS)
+            .ok_or("snapshot has no offsets section")?;
+        let targets = self
+            .u32_section(SEC_TARGETS)
+            .ok_or("snapshot has no targets section")?;
+        if offsets_raw.len() as u64 != self.n + 1 {
+            return Err(format!(
+                "offsets section has {} entries, expected n+1 = {}",
+                offsets_raw.len(),
+                self.n + 1
+            ));
+        }
+        if targets.len() as u64 != self.m2 {
+            return Err(format!(
+                "targets section has {} entries, header says {}",
+                targets.len(),
+                self.m2
+            ));
+        }
+        let mut offsets = Vec::with_capacity(offsets_raw.len());
+        for &o in offsets_raw {
+            if o > targets.len() as u64 {
+                return Err(format!("offset {o} exceeds targets length"));
+            }
+            offsets.push(o as usize);
+        }
+        if offsets.first() != Some(&0) || offsets.last() != Some(&targets.len()) {
+            return Err("offsets do not span the targets array".into());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets are not monotone".into());
+        }
+        let n = offsets.len() - 1;
+        if targets.iter().any(|&t| (t as usize) >= n) && n > 0 {
+            return Err("target vertex out of range".into());
+        }
+        if n == 0 && !targets.is_empty() {
+            return Err("targets present in an empty graph".into());
+        }
+        let g = CsrGraph::from_parts(offsets, targets.to_vec());
+        let fp = g.fingerprint();
+        if fp != self.fingerprint {
+            return Err(format!(
+                "content fingerprint mismatch: stored {:016x}, decoded {fp:016x}",
+                self.fingerprint
+            ));
+        }
+        Ok(g)
+    }
+
+    /// Serializes to the `.lmcs` byte layout (header, section table,
+    /// 8-byte-aligned payloads, checksum patched into the header).
+    pub fn encode(&self) -> Vec<u8> {
+        let table_len = self.sections.len() * SECTION_RECORD_LEN;
+        let mut payload_offset = align8(HEADER_LEN + table_len);
+        let mut records = Vec::with_capacity(self.sections.len());
+        for (id, data) in &self.sections {
+            records.push((
+                *id,
+                data.elem_width(),
+                payload_offset as u64,
+                data.elem_count(),
+            ));
+            payload_offset = align8(payload_offset + data.byte_len());
+        }
+        let file_len = payload_offset;
+
+        let mut out = vec![0u8; file_len];
+        out[0..4].copy_from_slice(&MAGIC);
+        out[4..8].copy_from_slice(&VERSION.to_le_bytes());
+        out[8..16].copy_from_slice(&(file_len as u64).to_le_bytes());
+        out[16..24].copy_from_slice(&self.fingerprint.to_le_bytes());
+        out[24..32].copy_from_slice(&self.n.to_le_bytes());
+        out[32..40].copy_from_slice(&self.m2.to_le_bytes());
+        out[40..44].copy_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        // out[44..48] reserved, zero. out[48..56] is the checksum slot,
+        // zero while hashing. out[56..64] reserved, zero.
+        for (i, (id, width, offset, count)) in records.iter().enumerate() {
+            let at = HEADER_LEN + i * SECTION_RECORD_LEN;
+            out[at..at + 4].copy_from_slice(&id.to_le_bytes());
+            out[at + 4..at + 8].copy_from_slice(&width.to_le_bytes());
+            out[at + 8..at + 16].copy_from_slice(&offset.to_le_bytes());
+            out[at + 16..at + 24].copy_from_slice(&count.to_le_bytes());
+        }
+        for ((_, data), (_, _, offset, _)) in self.sections.iter().zip(&records) {
+            let mut at = *offset as usize;
+            match data {
+                SectionData::U32(v) => {
+                    for x in v {
+                        out[at..at + 4].copy_from_slice(&x.to_le_bytes());
+                        at += 4;
+                    }
+                }
+                SectionData::U64(v) => {
+                    for x in v {
+                        out[at..at + 8].copy_from_slice(&x.to_le_bytes());
+                        at += 8;
+                    }
+                }
+            }
+        }
+        let checksum = fnv1a(&out);
+        out[48..56].copy_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Reads just the fixed header: magic, version, promised length,
+    /// fingerprint, counts. Cheap enough to run over a whole directory at
+    /// boot. Does **not** verify the checksum — that happens on full
+    /// [`Snapshot::decode`].
+    pub fn peek(bytes: &[u8]) -> Result<SnapshotInfo, String> {
+        if bytes.len() < HEADER_LEN {
+            return Err(format!(
+                "file too short for a snapshot header ({} bytes)",
+                bytes.len()
+            ));
+        }
+        if bytes[0..4] != MAGIC {
+            return Err("bad magic (not an .lmcs file)".into());
+        }
+        let version = u32_at(bytes, 4);
+        if version != VERSION {
+            return Err(format!("unsupported snapshot version {version}"));
+        }
+        Ok(SnapshotInfo {
+            version,
+            file_len: u64_at(bytes, 8),
+            fingerprint: u64_at(bytes, 16),
+            n: u64_at(bytes, 24),
+            m2: u64_at(bytes, 32),
+        })
+    }
+
+    /// Full decode with corruption detection: exact-length check,
+    /// whole-file checksum, bounds- and alignment-checked section table.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, String> {
+        let info = Snapshot::peek(bytes)?;
+        if info.file_len != bytes.len() as u64 {
+            return Err(format!(
+                "truncated or padded snapshot: header promises {} bytes, file has {}",
+                info.file_len,
+                bytes.len()
+            ));
+        }
+        let stored_checksum = u64_at(bytes, 48);
+        // Hash the file with the checksum field as zeroes, without copying
+        // the (possibly multi-GB) buffer: three spans, eight literal zeros.
+        let computed = fnv1a_update(fnv1a_update(fnv1a(&bytes[..48]), &[0u8; 8]), &bytes[56..]);
+        if computed != stored_checksum {
+            return Err(format!(
+                "checksum mismatch: stored {stored_checksum:016x}, computed {computed:016x}"
+            ));
+        }
+        let section_count = u32_at(bytes, 40) as usize;
+        let table_end = HEADER_LEN
+            .checked_add(
+                section_count
+                    .checked_mul(SECTION_RECORD_LEN)
+                    .ok_or("section table overflow")?,
+            )
+            .ok_or("section table overflow")?;
+        if table_end > bytes.len() {
+            return Err("section table extends past end of file".into());
+        }
+        let mut sections = Vec::with_capacity(section_count);
+        for i in 0..section_count {
+            let at = HEADER_LEN + i * SECTION_RECORD_LEN;
+            let id = u32_at(bytes, at);
+            let width = u32_at(bytes, at + 4);
+            let offset = u64_at(bytes, at + 8) as usize;
+            let count = u64_at(bytes, at + 16) as usize;
+            if width != 4 && width != 8 {
+                return Err(format!("section {id}: unsupported element width {width}"));
+            }
+            if !offset.is_multiple_of(8) {
+                return Err(format!("section {id}: payload not 8-byte aligned"));
+            }
+            let byte_len = count
+                .checked_mul(width as usize)
+                .ok_or_else(|| format!("section {id}: length overflow"))?;
+            let end = offset
+                .checked_add(byte_len)
+                .ok_or_else(|| format!("section {id}: extent overflow"))?;
+            if offset < table_end || end > bytes.len() {
+                return Err(format!("section {id}: payload out of bounds"));
+            }
+            let data = if width == 4 {
+                SectionData::U32((0..count).map(|j| u32_at(bytes, offset + j * 4)).collect())
+            } else {
+                SectionData::U64((0..count).map(|j| u64_at(bytes, offset + j * 8)).collect())
+            };
+            if sections.iter().any(|(existing, _)| *existing == id) {
+                return Err(format!("duplicate section id {id}"));
+            }
+            sections.push((id, data));
+        }
+        Ok(Snapshot {
+            fingerprint: info.fingerprint,
+            n: info.n,
+            m2: info.m2,
+            sections,
+        })
+    }
+}
+
+fn align8(x: usize) -> usize {
+    (x + 7) & !7
+}
+
+fn u32_at(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+fn u64_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+/// FNV-1a over a byte stream — the same family as
+/// [`CsrGraph::fingerprint`], applied bytewise.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_update(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continues an FNV-1a hash over another span (for hashing a file in
+/// pieces, e.g. skipping the checksum field without copying the buffer).
+fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Durably writes `bytes` to `path`: write to a sibling temp file, fsync
+/// it, rename over the target, then fsync the parent directory so the
+/// rename itself survives a crash. The temp name embeds the pid *and* a
+/// process-wide counter, so neither another process sharing the data dir
+/// nor a concurrent thread writing the same target can clobber a
+/// half-written file.
+pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+    })?;
+    let mut tmp = path.to_path_buf();
+    tmp.set_file_name(format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Some(dir) = dir {
+        // Directory fsync can fail on exotic filesystems; the data itself
+        // is already durable, so don't fail the write over it.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn round_trip_preserves_graph_and_fingerprint() {
+        for g in [
+            gen::complete(6),
+            gen::planted_clique(120, 0.05, 9, 3),
+            CsrGraph::empty(0),
+            CsrGraph::empty(5),
+            gen::path(2),
+        ] {
+            let snap = Snapshot::from_graph(&g);
+            let bytes = snap.encode();
+            let back = Snapshot::decode(&bytes).expect("decode");
+            assert_eq!(back.fingerprint, g.fingerprint());
+            let h = back.graph().expect("graph");
+            assert_eq!(h, g);
+        }
+    }
+
+    #[test]
+    fn extra_sections_survive_round_trip() {
+        let g = gen::cycle(10);
+        let mut snap = Snapshot::from_graph(&g);
+        snap.push_section(SEC_CORENESS, SectionData::U32(vec![2; 10]));
+        snap.push_section(99, SectionData::U64(vec![7, 8, 9]));
+        let back = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(back.u32_section(SEC_CORENESS), Some(&[2u32; 10][..]));
+        assert_eq!(back.u64_section(99), Some(&[7u64, 8, 9][..]));
+        assert!(back.u32_section(99).is_none(), "width-typed accessors");
+    }
+
+    #[test]
+    fn push_section_replaces_same_id() {
+        let g = gen::path(4);
+        let mut snap = Snapshot::from_graph(&g);
+        snap.push_section(SEC_CORENESS, SectionData::U32(vec![1; 4]));
+        snap.push_section(SEC_CORENESS, SectionData::U32(vec![2; 4]));
+        assert_eq!(snap.u32_section(SEC_CORENESS), Some(&[2u32; 4][..]));
+    }
+
+    #[test]
+    fn sections_are_aligned_and_header_is_fixed() {
+        let g = gen::planted_clique(33, 0.1, 5, 1); // odd sizes → padding
+        let mut snap = Snapshot::from_graph(&g);
+        snap.push_section(SEC_CORENESS, SectionData::U32(vec![0; 33]));
+        let bytes = snap.encode();
+        assert_eq!(&bytes[0..4], b"LMCS");
+        assert_eq!(bytes.len() % 8, 0);
+        let count = u32_at(&bytes, 40) as usize;
+        for i in 0..count {
+            let at = HEADER_LEN + i * SECTION_RECORD_LEN;
+            assert_eq!(u64_at(&bytes, at + 8) % 8, 0, "section {i} misaligned");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = Snapshot::from_graph(&gen::complete(8)).encode();
+        for cut in [
+            0,
+            10,
+            HEADER_LEN - 1,
+            HEADER_LEN,
+            bytes.len() - 8,
+            bytes.len() - 1,
+        ] {
+            assert!(
+                Snapshot::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        // Padding (extra bytes) is also rejected.
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(&[0; 8]);
+        assert!(Snapshot::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = Snapshot::from_graph(&gen::planted_clique(40, 0.1, 5, 2)).encode();
+        // Exhaustive over the whole file: header, table, payload, padding.
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x01;
+            assert!(
+                Snapshot::decode(&corrupt).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn peek_reads_header_only() {
+        let g = gen::planted_clique(50, 0.1, 6, 4);
+        let bytes = Snapshot::from_graph(&g).encode();
+        let info = Snapshot::peek(&bytes[..HEADER_LEN]).unwrap();
+        assert_eq!(info.version, VERSION);
+        assert_eq!(info.fingerprint, g.fingerprint());
+        assert_eq!(info.n, 50);
+        assert_eq!(info.m2, 2 * g.num_edges() as u64);
+        assert_eq!(info.file_len, bytes.len() as u64);
+        assert!(Snapshot::peek(b"nope").is_err());
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 99;
+        assert!(Snapshot::peek(&wrong_version).is_err());
+    }
+
+    #[test]
+    fn hostile_section_tables_do_not_panic() {
+        let g = gen::path(6);
+        let base = Snapshot::from_graph(&g).encode();
+        // Corrupt the table in targeted ways, re-patching the checksum so
+        // only the structural validation can catch it.
+        let rewrite = |f: &mut dyn FnMut(&mut Vec<u8>)| {
+            let mut b = base.clone();
+            f(&mut b);
+            b[48..56].fill(0);
+            let c = fnv1a(&b);
+            b[48..56].copy_from_slice(&c.to_le_bytes());
+            Snapshot::decode(&b)
+        };
+        // Section offset pointing past the end.
+        assert!(rewrite(&mut |b| {
+            let at = HEADER_LEN + 8;
+            b[at..at + 8].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        })
+        .is_err());
+        // Element count overflowing the extent.
+        assert!(rewrite(&mut |b| {
+            let at = HEADER_LEN + 16;
+            b[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        })
+        .is_err());
+        // Bogus element width.
+        assert!(rewrite(&mut |b| {
+            let at = HEADER_LEN + 4;
+            b[at..at + 4].copy_from_slice(&3u32.to_le_bytes());
+        })
+        .is_err());
+        // Misaligned payload offset.
+        assert!(rewrite(&mut |b| {
+            let at = HEADER_LEN + 8;
+            let off = u64_at(b, at) + 4;
+            b[at..at + 8].copy_from_slice(&off.to_le_bytes());
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn graph_rejects_structurally_bad_sections() {
+        let g = gen::path(4);
+        // Offsets not spanning targets.
+        let mut snap = Snapshot::from_graph(&g);
+        snap.push_section(SEC_OFFSETS, SectionData::U64(vec![0, 1, 2, 3, 4]));
+        assert!(snap.graph().is_err());
+        // Out-of-range target.
+        let mut snap = Snapshot::from_graph(&g);
+        let mut targets = snap.u32_section(SEC_TARGETS).unwrap().to_vec();
+        targets[0] = 1000;
+        snap.push_section(SEC_TARGETS, SectionData::U32(targets));
+        assert!(snap.graph().is_err());
+        // Fingerprint mismatch.
+        let mut snap = Snapshot::from_graph(&g);
+        snap.fingerprint ^= 1;
+        assert!(snap.graph().is_err());
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("lmcs_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.lmcs");
+        write_file_atomic(&path, b"first").unwrap();
+        write_file_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -17,7 +17,9 @@
 //! * [`sort::par_counting_sort_by_key`] — a parallel stable counting sort
 //!   standing in for SAPCo sort \[25\] (see DESIGN.md §7);
 //! * [`relabel::VertexOrder`] — the (coreness asc, degree asc) relabelling
-//!   used throughout LazyMC.
+//!   used throughout LazyMC;
+//! * [`snapshot`] — [`KCore`] serialization into `.lmcs` snapshot sections,
+//!   so a persisted graph reloads its decomposition instead of re-peeling.
 //!
 //! ```
 //! use lazymc_graph::gen;
@@ -35,8 +37,10 @@
 
 pub mod kcore;
 pub mod relabel;
+pub mod snapshot;
 pub mod sort;
 
 pub use kcore::{kcore_parallel, kcore_sequential, kcore_with_floor, KCore};
 pub use relabel::{coreness_degree_order, VertexOrder};
+pub use snapshot::{embed_kcore, extract_kcore};
 pub use sort::par_counting_sort_by_key;

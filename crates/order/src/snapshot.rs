@@ -1,0 +1,139 @@
+//! Serialization of [`KCore`] into `.lmcs` snapshot sections.
+//!
+//! The coreness array and the sequential peel order are the artifacts the
+//! service's registry precomputes once per graph; embedding them in the
+//! graph's snapshot means a daemon restart reloads them instead of paying
+//! the O(n + m) peeling again. The degeneracy is not stored — it is the
+//! maximum of the coreness array and is recomputed in O(n) on extract,
+//! which doubles as a consistency check surface.
+
+use crate::kcore::KCore;
+use lazymc_graph::snapshot::{SectionData, Snapshot, SEC_CORENESS, SEC_PEEL_ORDER};
+use lazymc_graph::VertexId;
+
+/// Writes `kc` into `snap` as coreness + peel-order sections. The peel
+/// order section is omitted when the decomposition has none (parallel
+/// variants produce an empty order).
+pub fn embed_kcore(snap: &mut Snapshot, kc: &KCore) {
+    snap.push_section(SEC_CORENESS, SectionData::U32(kc.coreness.clone()));
+    if !kc.peel_order.is_empty() {
+        snap.push_section(SEC_PEEL_ORDER, SectionData::U32(kc.peel_order.clone()));
+    }
+}
+
+/// Reconstructs a [`KCore`] from snapshot sections, validating shape: the
+/// coreness length must match the vertex count, and a present peel order
+/// must be a permutation of the vertices. Returns `Err` on any mismatch
+/// rather than handing the solver a decomposition it cannot trust.
+pub fn extract_kcore(snap: &Snapshot) -> Result<KCore, String> {
+    let n = snap.n as usize;
+    let coreness = snap
+        .u32_section(SEC_CORENESS)
+        .ok_or("snapshot has no coreness section")?
+        .to_vec();
+    if coreness.len() != n {
+        return Err(format!(
+            "coreness section has {} entries for {} vertices",
+            coreness.len(),
+            n
+        ));
+    }
+    let peel_order: Vec<VertexId> = match snap.u32_section(SEC_PEEL_ORDER) {
+        None => Vec::new(),
+        Some(order) => {
+            if order.len() != n {
+                return Err(format!(
+                    "peel order has {} entries for {} vertices",
+                    order.len(),
+                    n
+                ));
+            }
+            let mut seen = vec![false; n];
+            for &v in order {
+                let Some(slot) = seen.get_mut(v as usize) else {
+                    return Err(format!("peel order names out-of-range vertex {v}"));
+                };
+                if std::mem::replace(slot, true) {
+                    return Err(format!("peel order repeats vertex {v}"));
+                }
+            }
+            order.to_vec()
+        }
+    };
+    let degeneracy = coreness.iter().copied().max().unwrap_or(0);
+    Ok(KCore {
+        coreness,
+        degeneracy,
+        peel_order,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kcore::{kcore_parallel, kcore_sequential};
+    use lazymc_graph::gen;
+
+    #[test]
+    fn kcore_round_trips_through_snapshot_bytes() {
+        for seed in 0..3 {
+            let g = gen::planted_clique(120, 0.06, 8, seed);
+            let kc = kcore_sequential(&g);
+            let mut snap = Snapshot::from_graph(&g);
+            embed_kcore(&mut snap, &kc);
+            let back = Snapshot::decode(&snap.encode()).unwrap();
+            assert_eq!(back.graph().unwrap(), g);
+            let kc2 = extract_kcore(&back).unwrap();
+            assert_eq!(kc2, kc, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_kcore_without_peel_order_round_trips() {
+        let g = gen::gnp(100, 0.08, 5);
+        let kc = kcore_parallel(&g);
+        assert!(kc.peel_order.is_empty());
+        let mut snap = Snapshot::from_graph(&g);
+        embed_kcore(&mut snap, &kc);
+        let back = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(extract_kcore(&back).unwrap(), kc);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = lazymc_graph::CsrGraph::empty(0);
+        let kc = kcore_sequential(&g);
+        let mut snap = Snapshot::from_graph(&g);
+        embed_kcore(&mut snap, &kc);
+        let kc2 = extract_kcore(&Snapshot::decode(&snap.encode()).unwrap()).unwrap();
+        assert_eq!(kc2, kc);
+    }
+
+    #[test]
+    fn extract_rejects_malformed_sections() {
+        let g = gen::complete(5);
+        let kc = kcore_sequential(&g);
+        // Missing coreness.
+        let snap = Snapshot::from_graph(&g);
+        assert!(extract_kcore(&snap).is_err());
+        // Wrong coreness length.
+        let mut snap = Snapshot::from_graph(&g);
+        snap.push_section(SEC_CORENESS, SectionData::U32(vec![1, 2]));
+        assert!(extract_kcore(&snap).is_err());
+        // Peel order with a repeated vertex.
+        let mut snap = Snapshot::from_graph(&g);
+        embed_kcore(&mut snap, &kc);
+        snap.push_section(SEC_PEEL_ORDER, SectionData::U32(vec![0, 0, 1, 2, 3]));
+        assert!(extract_kcore(&snap).is_err());
+        // Peel order with an out-of-range vertex.
+        let mut snap = Snapshot::from_graph(&g);
+        embed_kcore(&mut snap, &kc);
+        snap.push_section(SEC_PEEL_ORDER, SectionData::U32(vec![0, 1, 2, 3, 99]));
+        assert!(extract_kcore(&snap).is_err());
+        // Degeneracy is recomputed, not trusted.
+        let mut snap = Snapshot::from_graph(&g);
+        embed_kcore(&mut snap, &kc);
+        let kc2 = extract_kcore(&snap).unwrap();
+        assert_eq!(kc2.degeneracy, 4);
+    }
+}

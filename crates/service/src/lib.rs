@@ -11,6 +11,12 @@
 //!   fingerprints, precomputed exact k-core decompositions shared by every
 //!   query (via [`lazymc_core::LazyMc::solve_prepared`]), LRU-bounded;
 //!   plus the result cache keyed by `(fingerprint, canonical config)`.
+//! * [`persist`] — optional `--data-dir` durability: every upload is
+//!   written as a checksummed `.lmcs` snapshot (atomic temp+fsync+rename),
+//!   the directory is index-scanned (headers only) at boot, and a graph
+//!   missing from memory is lazily reloaded — CSR *and* coreness — on its
+//!   first use after a restart or eviction. Corrupt files are quarantined
+//!   with a warning, never crash the daemon.
 //! * [`queue`] — bounded priority job queue with cancellation; a full
 //!   queue surfaces as HTTP 429 backpressure, and each job's budget is a
 //!   `Deadline` that starts ticking at enqueue.
@@ -49,11 +55,13 @@
 //! handle.stop();
 //! ```
 
+pub mod persist;
 pub mod protocol;
 pub mod queue;
 pub mod registry;
 pub mod server;
 
+pub use persist::SnapshotStore;
 pub use protocol::{Json, LoadRequest, SolveRequest};
 pub use queue::{JobQueue, JobTicket, QueueFull};
 pub use registry::{CachedSolve, GraphEntry, Registry, ResultCache};

@@ -107,9 +107,18 @@ impl Json {
         }
     }
 
+    /// The value as an exactly-representable unsigned integer.
+    ///
+    /// Accepts only integers in `[0, 2^53)`: an f64 holds every integer in
+    /// that range exactly, while above it consecutive integers collide
+    /// (`2^53 + 1` parses to the same f64 as `2^53`), so a huge
+    /// `budget_ms` or `top_k` would silently round. Out-of-range values
+    /// are rejected, not clamped — the caller typed something this
+    /// protocol cannot faithfully carry.
     pub fn as_u64(&self) -> Option<u64> {
+        const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
         match self {
-            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x < 1.9e19 => Some(*x as u64),
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x < MAX_EXACT => Some(*x as u64),
             _ => None,
         }
     }
@@ -438,17 +447,26 @@ impl SolveRequest {
                 return Err(format!("unknown order {o:?} (use \"cd\" or \"peel\")"));
             }
         }
+        // Optional integer fields must be exactly-representable or absent:
+        // a `budget_ms` beyond 2^53 must not silently round (or worse,
+        // vanish into "no budget at all") — it is a 400.
+        let opt_u64 = |key: &str| -> Result<Option<u64>, String> {
+            match v.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(x) => x
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("\"{key}\" must be an integer in [0, 2^53)")),
+            }
+        };
         Ok(SolveRequest {
             graph: graph.to_string(),
             priority,
-            budget_ms: v.get("budget_ms").and_then(Json::as_u64),
-            threads: v.get("threads").and_then(Json::as_u64).map(|x| x as usize),
-            top_k: v.get("top_k").and_then(Json::as_u64).map(|x| x as usize),
+            budget_ms: opt_u64("budget_ms")?,
+            threads: opt_u64("threads")?.map(|x| x as usize),
+            top_k: opt_u64("top_k")?.map(|x| x as usize),
             phi: v.get("phi").and_then(Json::as_f64),
-            filter_rounds: v
-                .get("filter_rounds")
-                .and_then(Json::as_u64)
-                .map(|x| (x as usize).max(1)),
+            filter_rounds: opt_u64("filter_rounds")?.map(|x| (x as usize).max(1)),
             order,
             no_cache: v.get("no_cache").and_then(Json::as_bool).unwrap_or(false),
         })
@@ -557,6 +575,64 @@ mod tests {
         assert_eq!(SolveRequest::from_json(&v).unwrap().config().threads, 1);
         let v = Json::parse(r#"{"graph":"g","threads":0}"#).unwrap();
         assert_eq!(SolveRequest::from_json(&v).unwrap().config().threads, 0);
+    }
+
+    #[test]
+    fn as_u64_is_exact_or_nothing() {
+        let cases: &[(&str, Option<u64>)] = &[
+            ("0", Some(0)),
+            ("1", Some(1)),
+            // Largest exactly-representable integer below 2^53.
+            ("9007199254740991", Some(9_007_199_254_740_991)),
+            // 2^53 itself: representable, but 2^53+1 parses to the same
+            // f64, so accepting it would silently alias two inputs.
+            ("9007199254740992", None),
+            ("9007199254740993", None),
+            // u64::MAX and beyond: far outside exact range.
+            ("18446744073709551615", None),
+            ("1e300", None),
+            // Non-integers and negatives.
+            ("1.5", None),
+            ("-1", None),
+            ("-0.0", Some(0)),
+        ];
+        for (text, expected) in cases {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.as_u64(), *expected, "as_u64({text})");
+        }
+        assert_eq!(Json::Str("7".into()).as_u64(), None);
+        assert_eq!(Json::Bool(true).as_u64(), None);
+    }
+
+    #[test]
+    fn oversized_budget_and_top_k_are_rejected_not_rounded() {
+        // 2^60: would previously pass the 1.9e19 guard and round silently —
+        // and a silent None here would mean "no budget at all".
+        let v = Json::parse(r#"{"graph":"g","budget_ms":1152921504606846976}"#).unwrap();
+        let err = SolveRequest::from_json(&v).unwrap_err();
+        assert!(err.contains("budget_ms"), "error names the field: {err}");
+        let v = Json::parse(r#"{"graph":"g","top_k":9007199254740993}"#).unwrap();
+        assert!(SolveRequest::from_json(&v).is_err());
+        let v = Json::parse(r#"{"graph":"g","threads":-1}"#).unwrap();
+        assert!(SolveRequest::from_json(&v).is_err());
+        let v = Json::parse(r#"{"graph":"g","filter_rounds":2.5}"#).unwrap();
+        assert!(SolveRequest::from_json(&v).is_err());
+        // Boundary: the largest exact integer is accepted, 2^53 is not.
+        let v = Json::parse(r#"{"graph":"g","budget_ms":9007199254740991}"#).unwrap();
+        assert_eq!(
+            SolveRequest::from_json(&v).unwrap().budget_ms,
+            Some(9_007_199_254_740_991)
+        );
+        let v = Json::parse(r#"{"graph":"g","budget_ms":9007199254740992}"#).unwrap();
+        assert!(SolveRequest::from_json(&v).is_err());
+        // A sane large budget still works, and null means absent.
+        let v = Json::parse(r#"{"graph":"g","budget_ms":86400000}"#).unwrap();
+        assert_eq!(
+            SolveRequest::from_json(&v).unwrap().budget_ms,
+            Some(86_400_000)
+        );
+        let v = Json::parse(r#"{"graph":"g","budget_ms":null}"#).unwrap();
+        assert_eq!(SolveRequest::from_json(&v).unwrap().budget_ms, None);
     }
 
     #[test]

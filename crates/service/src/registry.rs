@@ -13,11 +13,12 @@
 //! Only exact results are cached — a truncated answer depends on budget
 //! and machine load, not just the query.
 
+use crate::persist::SnapshotStore;
 use lazymc_graph::CsrGraph;
 use lazymc_order::{kcore_sequential, KCore};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// A resident graph with everything precomputed at load time.
@@ -28,8 +29,11 @@ pub struct GraphEntry {
     pub kcore: Arc<KCore>,
     pub fingerprint: u64,
     pub loaded_at: Instant,
-    /// Milliseconds spent parsing + fingerprinting + decomposing at load.
+    /// Milliseconds spent parsing + fingerprinting + decomposing at load
+    /// (or decoding the snapshot, for lazy reloads).
     pub prep_ms: u64,
+    /// Whether this entry came from a disk snapshot rather than an upload.
+    pub lazy_loaded: bool,
     queries: AtomicU64,
     last_used: AtomicU64,
 }
@@ -40,27 +44,56 @@ impl GraphEntry {
     }
 }
 
-/// Bounded, thread-safe store of named graphs.
+/// Bounded, thread-safe store of named graphs, optionally backed by a
+/// [`SnapshotStore`]: uploads persist durably, LRU eviction only frees
+/// memory (the snapshot stays), and a post-eviction or post-restart lookup
+/// reloads the graph *and its precomputed coreness* from disk instead of
+/// answering 404 — no re-upload, no re-core.
 pub struct Registry {
     graphs: Mutex<HashMap<String, Arc<GraphEntry>>>,
+    /// Names with a mutation in flight (lazy reload, upload, or removal);
+    /// paired with `loading_done`. Concurrent misses on one name decode
+    /// the snapshot once (single-flight), and reload/insert/remove never
+    /// interleave on the same name (see [`Registry::acquire_name_slot`]).
+    loading: Mutex<HashSet<String>>,
+    loading_done: Condvar,
+    store: Option<Arc<SnapshotStore>>,
     capacity: usize,
     clock: AtomicU64,
     pub hits: AtomicU64,
     pub misses: AtomicU64,
     pub evictions: AtomicU64,
+    /// k-core decompositions computed in-process (uploads). Lazy reloads
+    /// deserialize instead, so this staying flat across a restart is the
+    /// observable proof of work-avoidance.
+    pub core_computes: AtomicU64,
 }
 
 impl Registry {
-    /// A registry holding at most `capacity` graphs (≥ 1).
+    /// A memory-only registry holding at most `capacity` graphs (≥ 1).
     pub fn new(capacity: usize) -> Registry {
+        Registry::with_store(capacity, None)
+    }
+
+    /// A registry persisting every upload into `store` (when given).
+    pub fn with_store(capacity: usize, store: Option<Arc<SnapshotStore>>) -> Registry {
         Registry {
             graphs: Mutex::new(HashMap::new()),
+            loading: Mutex::new(HashSet::new()),
+            loading_done: Condvar::new(),
+            store,
             capacity: capacity.max(1),
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            core_computes: AtomicU64::new(0),
         }
+    }
+
+    /// The backing snapshot store, if any.
+    pub fn store(&self) -> Option<&Arc<SnapshotStore>> {
+        self.store.as_ref()
     }
 
     fn tick(&self) -> u64 {
@@ -68,19 +101,60 @@ impl Registry {
     }
 
     /// Registers `graph` under `name`, computing fingerprint and k-core
-    /// once. Replaces any same-named graph; evicts the least-recently-used
-    /// entry when over capacity. Returns the shared entry.
+    /// once and (with a store) persisting the snapshot before it becomes
+    /// visible. Replaces any same-named graph; evicts the
+    /// least-recently-used entry when over capacity — eviction frees
+    /// memory only, never the snapshot. Returns the shared entry.
     pub fn insert(&self, name: &str, graph: CsrGraph) -> Arc<GraphEntry> {
         let t = Instant::now();
         let fingerprint = graph.fingerprint();
         let kcore = kcore_sequential(&graph);
+        self.core_computes.fetch_add(1, Ordering::Relaxed);
+        // Claim the name's mutation slot only after the expensive
+        // preprocessing: from here, save + install must not interleave
+        // with a lazy reload of the same name (a loader that read the old
+        // snapshot could otherwise install stale data over this upload).
+        self.acquire_name_slot(name);
+        if let Some(store) = &self.store {
+            if let Err(e) = store.save(name, &graph, &kcore) {
+                store.write_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "lazymc-service: snapshot write for {name:?} failed ({e}); \
+                     graph is resident but not durable"
+                );
+            }
+        }
+        let entry = self.install(
+            name,
+            graph,
+            kcore,
+            fingerprint,
+            t.elapsed().as_millis() as u64,
+            false,
+        );
+        self.release_name_slot(name);
+        entry
+    }
+
+    /// Builds the entry and installs it under the map lock, applying LRU
+    /// eviction. Shared by uploads and lazy reloads.
+    fn install(
+        &self,
+        name: &str,
+        graph: CsrGraph,
+        kcore: KCore,
+        fingerprint: u64,
+        prep_ms: u64,
+        lazy_loaded: bool,
+    ) -> Arc<GraphEntry> {
         let entry = Arc::new(GraphEntry {
             name: name.to_string(),
             graph: Arc::new(graph),
             kcore: Arc::new(kcore),
             fingerprint,
             loaded_at: Instant::now(),
-            prep_ms: t.elapsed().as_millis() as u64,
+            prep_ms,
+            lazy_loaded,
             queries: AtomicU64::new(0),
             last_used: AtomicU64::new(self.tick()),
         });
@@ -88,6 +162,8 @@ impl Registry {
         map.insert(name.to_string(), entry.clone());
         while map.len() > self.capacity {
             // Evict the stalest entry that is not the one just inserted.
+            // In-flight solves keep their `Arc<GraphEntry>` alive; with a
+            // store, the victim's snapshot remains on disk for lazy reload.
             let victim = map
                 .iter()
                 .filter(|(k, _)| k.as_str() != name)
@@ -104,26 +180,110 @@ impl Registry {
         entry
     }
 
-    /// Looks up a graph, bumping its LRU stamp and query count.
-    pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
+    /// Resident-map probe, bumping LRU stamp and query count on a hit.
+    fn lookup_resident(&self, name: &str) -> Option<Arc<GraphEntry>> {
         let map = self.graphs.lock().unwrap();
-        match map.get(name) {
-            Some(e) => {
-                e.last_used.store(self.tick(), Ordering::Relaxed);
-                e.queries.fetch_add(1, Ordering::Relaxed);
+        map.get(name).map(|e| {
+            e.last_used.store(self.tick(), Ordering::Relaxed);
+            e.queries.fetch_add(1, Ordering::Relaxed);
+            e.clone()
+        })
+    }
+
+    /// Looks up a graph. A memory miss falls through to the snapshot store
+    /// (when configured): the first lookup after a restart or eviction
+    /// decodes the snapshot — graph *and* coreness, no recomputation — and
+    /// re-installs it. Concurrent misses on one name are single-flighted.
+    pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
+        if let Some(e) = self.lookup_resident(name) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(e);
+        }
+        let reloadable = self
+            .store
+            .as_ref()
+            .is_some_and(|store| store.contains(name));
+        if !reloadable {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        // Win or wait for the per-name slot (shared with insert/remove).
+        {
+            let mut loading = self.loading.lock().unwrap();
+            while loading.contains(name) {
+                loading = self.loading_done.wait(loading).unwrap();
+                // The prior holder finished; its entry (if any) is resident.
+                drop(loading);
+                if let Some(e) = self.lookup_resident(name) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(e);
+                }
+                loading = self.loading.lock().unwrap();
+            }
+            loading.insert(name.to_string());
+        }
+        // We hold the slot. Re-check residency first: a load may have
+        // completed between our miss and winning the slot — reloading again
+        // would double-insert and reset the entry's counters.
+        if let Some(e) = self.lookup_resident(name) {
+            self.release_name_slot(name);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(e);
+        }
+        let t = Instant::now();
+        let loaded = self.store.as_ref().and_then(|store| store.load(name));
+        let result = match loaded {
+            Some((graph, kcore, fingerprint)) => {
+                let entry = self.install(
+                    name,
+                    graph,
+                    kcore,
+                    fingerprint,
+                    t.elapsed().as_millis() as u64,
+                    true,
+                );
+                entry.queries.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(e.clone())
+                Some(entry)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
-        }
+        };
+        self.release_name_slot(name);
+        result
     }
 
-    /// Drops a graph by name.
+    /// Blocks until `name`'s mutation slot is free, then claims it. The
+    /// slot serializes the three per-name mutators — lazy reload (in
+    /// [`Registry::get`]), [`Registry::insert`], [`Registry::remove`] — so
+    /// a DELETE cannot interleave with an in-flight disk reload (which
+    /// would resurrect the deleted graph) and a re-upload cannot be
+    /// overwritten by a loader that read the previous snapshot.
+    fn acquire_name_slot(&self, name: &str) {
+        let mut loading = self.loading.lock().unwrap();
+        while loading.contains(name) {
+            loading = self.loading_done.wait(loading).unwrap();
+        }
+        loading.insert(name.to_string());
+    }
+
+    fn release_name_slot(&self, name: &str) {
+        self.loading.lock().unwrap().remove(name);
+        self.loading_done.notify_all();
+    }
+
+    /// Drops a graph by name — from memory *and* from the snapshot store
+    /// (DELETE means forget durably, unlike eviction). Returns `true` if
+    /// the graph existed in either place. Solves already holding the entry
+    /// keep their `Arc`'d arrays; only the name and the file go away.
     pub fn remove(&self, name: &str) -> bool {
-        self.graphs.lock().unwrap().remove(name).is_some()
+        self.acquire_name_slot(name);
+        let in_memory = self.graphs.lock().unwrap().remove(name).is_some();
+        let on_disk = self.store.as_ref().is_some_and(|store| store.remove(name));
+        self.release_name_slot(name);
+        in_memory || on_disk
     }
 
     pub fn len(&self) -> usize {
@@ -271,6 +431,179 @@ mod tests {
         assert_eq!(reg.len(), 2);
         assert_eq!(reg.get("a").unwrap().graph.num_vertices(), 9);
         assert!(reg.get("b").is_some());
+    }
+
+    fn tmp_store(tag: &str) -> (std::path::PathBuf, Arc<SnapshotStore>) {
+        let dir = std::env::temp_dir().join(format!(
+            "lazymc_reg_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(SnapshotStore::open(&dir).unwrap());
+        (dir, store)
+    }
+
+    #[test]
+    fn persistent_registry_reloads_after_restart_without_recore() {
+        let (dir, store) = tmp_store("restart");
+        let g = gen::planted_clique(100, 0.05, 8, 3);
+        let fp = g.fingerprint();
+        let kcore_snapshot;
+        {
+            let reg = Registry::with_store(4, Some(store.clone()));
+            let e = reg.insert("g1", g.clone());
+            kcore_snapshot = e.kcore.clone();
+            assert_eq!(reg.core_computes.load(Ordering::Relaxed), 1);
+            assert_eq!(store.writes.load(Ordering::Relaxed), 1);
+        }
+        // "Restart": fresh store over the same dir, fresh registry.
+        let store2 = Arc::new(SnapshotStore::open(&dir).unwrap());
+        let reg2 = Registry::with_store(4, Some(store2.clone()));
+        assert_eq!(reg2.len(), 0, "nothing resident before first touch");
+        let e = reg2.get("g1").expect("lazy reload");
+        assert!(e.lazy_loaded);
+        assert_eq!(e.fingerprint, fp);
+        assert_eq!(e.graph.as_ref(), &g);
+        assert_eq!(
+            e.kcore.as_ref(),
+            kcore_snapshot.as_ref(),
+            "identical decomposition"
+        );
+        assert_eq!(reg2.core_computes.load(Ordering::Relaxed), 0, "no re-core");
+        assert_eq!(store2.lazy_loads.load(Ordering::Relaxed), 1);
+        assert_eq!(reg2.hits.load(Ordering::Relaxed), 1);
+        // Second lookup is a plain memory hit — no further disk work.
+        reg2.get("g1").unwrap();
+        assert_eq!(store2.lazy_loads.load(Ordering::Relaxed), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_keeps_snapshot_and_inflight_entry_usable() {
+        let (dir, store) = tmp_store("evict");
+        let reg = Registry::with_store(2, Some(store.clone()));
+        let g = gen::planted_clique(80, 0.06, 7, 5);
+        reg.insert("a", g.clone());
+        // Simulate a solve that grabbed the entry and is mid-flight.
+        let held = reg.get("a").unwrap();
+        // Two more inserts evict "a" from memory.
+        reg.insert("b", gen::complete(5));
+        reg.insert("c", gen::complete(6));
+        assert_eq!(reg.evictions.load(Ordering::Relaxed), 1);
+        assert_eq!(reg.len(), 2);
+        // The in-flight solve still works against the evicted entry's
+        // arrays, and the snapshot file was NOT unlinked by the eviction.
+        let expected = lazymc_core::LazyMc::new(lazymc_core::Config::default())
+            .solve(&g)
+            .size();
+        let deadline = lazymc_core::Deadline::starting_now(None);
+        let r = lazymc_core::LazyMc::new(lazymc_core::Config::default()).solve_prepared(
+            &held.graph,
+            Some(&held.kcore),
+            &deadline,
+        );
+        assert!(r.is_exact());
+        assert_eq!(r.size(), expected, "solve against evicted entry must agree");
+        assert!(store.contains("a"), "eviction must not unlink the snapshot");
+        // A later lookup lazily reloads the evicted graph from disk.
+        let reloaded = reg.get("a").expect("reload after eviction");
+        assert!(reloaded.lazy_loaded);
+        assert_eq!(reloaded.fingerprint, held.fingerprint);
+        assert_eq!(reloaded.graph.as_ref(), held.graph.as_ref());
+        assert_eq!(
+            reg.core_computes.load(Ordering::Relaxed),
+            3,
+            "3 inserts, 0 reloads"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_misses_single_flight_one_load() {
+        let (dir, store) = tmp_store("flight");
+        {
+            let reg = Registry::with_store(2, Some(store.clone()));
+            reg.insert("hot", gen::planted_clique(150, 0.05, 8, 9));
+            // Evict "hot" so every thread below starts from a memory miss.
+            reg.insert("x", gen::complete(4));
+            reg.insert("y", gen::complete(4));
+            assert!(reg.get("hot").is_some());
+        }
+        let store2 = Arc::new(SnapshotStore::open(&dir).unwrap());
+        let reg = Arc::new(Registry::with_store(4, Some(store2.clone())));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || reg.get("hot").expect("reload").fingerprint)
+            })
+            .collect();
+        let fps: Vec<u64> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        assert!(fps.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(
+            store2.lazy_loads.load(Ordering::Relaxed),
+            1,
+            "8 racing misses must decode the snapshot exactly once"
+        );
+        assert_eq!(reg.core_computes.load(Ordering::Relaxed), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_is_final_under_concurrent_lazy_reloads() {
+        let (dir, store) = tmp_store("race");
+        {
+            let reg = Registry::with_store(2, Some(store.clone()));
+            reg.insert("hot", gen::planted_clique(120, 0.05, 7, 1));
+            reg.insert("x", gen::complete(4));
+            reg.insert("y", gen::complete(4)); // "hot" now disk-only
+        }
+        let store2 = Arc::new(SnapshotStore::open(&dir).unwrap());
+        let reg = Arc::new(Registry::with_store(4, Some(store2.clone())));
+        // Hammer get() from many threads while remove() lands mid-storm:
+        // whatever interleaving occurs, once remove() has returned the
+        // graph must be gone for good — no lazy resurrection.
+        let getters: Vec<_> = (0..6)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let _ = reg.get("hot");
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        reg.remove("hot");
+        for t in getters {
+            t.join().unwrap();
+        }
+        assert!(reg.get("hot").is_none(), "removed graph must stay removed");
+        assert!(!store2.contains("hot"));
+        assert!(!dir.join("hot.lmcs").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_unlinks_snapshot_but_eviction_does_not() {
+        let (dir, store) = tmp_store("remove");
+        let reg = Registry::with_store(4, Some(store.clone()));
+        reg.insert("gone", gen::complete(5));
+        assert!(store.contains("gone"));
+        assert!(reg.remove("gone"));
+        assert!(!store.contains("gone"), "DELETE must unlink the snapshot");
+        assert!(
+            reg.get("gone").is_none(),
+            "no lazy resurrection after DELETE"
+        );
+        // Removing a graph that is only on disk (evicted) also works.
+        let reg2 = Registry::with_store(1, Some(store.clone()));
+        reg2.insert("d1", gen::complete(4));
+        reg2.insert("d2", gen::complete(4)); // evicts d1 from memory
+        assert!(store.contains("d1"));
+        assert!(reg2.remove("d1"), "disk-only graph is still deletable");
+        assert!(!store.contains("d1"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -50,6 +50,9 @@ pub struct ServiceConfig {
     pub max_body_bytes: usize,
     /// Keep-alive read timeout per connection.
     pub read_timeout: Duration,
+    /// Directory for durable graph snapshots (`.lmcs`). `None` keeps the
+    /// registry memory-only (uploads die with the process).
+    pub data_dir: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +66,7 @@ impl Default for ServiceConfig {
             result_cache_capacity: 256,
             max_body_bytes: 64 << 20,
             read_timeout: Duration::from_secs(30),
+            data_dir: None,
         }
     }
 }
@@ -124,16 +128,20 @@ pub struct ServiceState {
 }
 
 impl ServiceState {
-    fn new(cfg: &ServiceConfig) -> ServiceState {
-        ServiceState {
-            registry: Registry::new(cfg.max_graphs),
+    fn new(cfg: &ServiceConfig) -> std::io::Result<ServiceState> {
+        let store = match &cfg.data_dir {
+            Some(dir) => Some(Arc::new(crate::persist::SnapshotStore::open(dir)?)),
+            None => None,
+        };
+        Ok(ServiceState {
+            registry: Registry::with_store(cfg.max_graphs, store),
             results: ResultCache::new(cfg.result_cache_capacity),
             queue: JobQueue::new(cfg.queue_capacity),
             metrics: ServiceMetrics::default(),
             core_totals: Mutex::new(MetricsSnapshot::default()),
             started: Instant::now(),
             conns: ConnTracker::default(),
-        }
+        })
     }
 }
 
@@ -203,7 +211,7 @@ impl ServiceHandle {
 pub fn serve(cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
-    let state = Arc::new(ServiceState::new(&cfg));
+    let state = Arc::new(ServiceState::new(&cfg)?);
     let shutdown = Arc::new(AtomicBool::new(false));
     let workers = cfg.effective_workers();
     let solver_workers = if cfg.solver_workers > 0 {
@@ -388,6 +396,7 @@ fn status_text(code: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
+        501 => "Not Implemented",
         _ => "Internal Server Error",
     }
 }
@@ -418,7 +427,11 @@ fn handle_connection(state: &ServiceState, cfg: &ServiceConfig, stream: TcpStrea
                     .metrics
                     .bad_requests_total
                     .fetch_add(1, Ordering::Relaxed);
-                let resp = Response::error(status, "malformed request");
+                let message = match status {
+                    501 => "Transfer-Encoding is not supported; send a Content-Length body",
+                    _ => "malformed request",
+                };
+                let resp = Response::error(status, message);
                 let _ = write_response(&mut stream, &resp, false);
                 return;
             }
@@ -482,7 +495,7 @@ fn read_request(
         }
         _ => return Err(400),
     };
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut keep_alive = version == "HTTP/1.1";
     for n_headers in 0.. {
         if n_headers >= MAX_HEADERS {
@@ -500,7 +513,22 @@ fn read_request(
             let value = value.trim();
             match name.to_ascii_lowercase().as_str() {
                 "content-length" => {
-                    content_length = value.parse().map_err(|_| 400u16)?;
+                    // Request-smuggling hygiene: two Content-Length headers
+                    // (even agreeing ones) mean some other party in the
+                    // chain may frame this request differently — reject
+                    // rather than pick one. A comma-joined list inside one
+                    // header fails the integer parse below for the same
+                    // reason.
+                    if content_length.is_some() {
+                        return Err(400);
+                    }
+                    content_length = Some(value.parse().map_err(|_| 400u16)?);
+                }
+                "transfer-encoding" => {
+                    // We never decode chunked bodies. Answering 501 (and
+                    // closing the connection) beats misreading the chunked
+                    // stream as a fixed-length body.
+                    return Err(501);
                 }
                 "connection" => {
                     keep_alive = !value.eq_ignore_ascii_case("close");
@@ -509,6 +537,7 @@ fn read_request(
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > max_body {
         return Err(413);
     }
@@ -718,15 +747,27 @@ fn stats(state: &ServiceState, name: &str) -> Response {
                 "resident_ms",
                 Json::num(entry.loaded_at.elapsed().as_millis() as f64),
             ),
+            ("lazy_loaded", Json::Bool(entry.lazy_loaded)),
+            (
+                "snapshot_bytes",
+                Json::num(
+                    state
+                        .registry
+                        .store()
+                        .and_then(|s| s.bytes_of(name))
+                        .unwrap_or(0) as f64,
+                ),
+            ),
         ]),
     )
 }
 
 fn list_graphs(state: &ServiceState) -> Response {
-    let entries = state
-        .registry
-        .entries()
-        .into_iter()
+    // One registry snapshot for both views, so a graph evicted or loaded
+    // mid-request cannot show up in both lists (or neither).
+    let resident_entries = state.registry.entries();
+    let entries = resident_entries
+        .iter()
         .map(|e| {
             Json::obj(vec![
                 ("name", Json::str(&*e.name)),
@@ -737,7 +778,29 @@ fn list_graphs(state: &ServiceState) -> Response {
             ])
         })
         .collect();
-    Response::json(200, Json::obj(vec![("graphs", Json::Arr(entries))]))
+    // Snapshots present on disk but not resident (post-restart, or LRU
+    // victims): solvable on first touch, so the listing must name them.
+    let resident: std::collections::HashSet<&str> =
+        resident_entries.iter().map(|e| e.name.as_str()).collect();
+    let mut on_disk: Vec<String> = state
+        .registry
+        .store()
+        .map(|s| s.names())
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|n| !resident.contains(n.as_str()))
+        .collect();
+    on_disk.sort_unstable();
+    Response::json(
+        200,
+        Json::obj(vec![
+            ("graphs", Json::Arr(entries)),
+            (
+                "on_disk",
+                Json::Arr(on_disk.into_iter().map(Json::str).collect()),
+            ),
+        ]),
+    )
 }
 
 fn healthz(state: &ServiceState) -> Response {
@@ -751,6 +814,15 @@ fn healthz(state: &ServiceState) -> Response {
             ),
             ("graphs", Json::num(state.registry.len() as f64)),
             ("queue_depth", Json::num(state.queue.depth() as f64)),
+            ("durable", Json::Bool(state.registry.store().is_some())),
+            (
+                "snapshots",
+                Json::num(state.registry.store().map_or(0, |s| s.len()) as f64),
+            ),
+            (
+                "snapshot_disk_bytes",
+                Json::num(state.registry.store().map_or(0, |s| s.total_bytes()) as f64),
+            ),
         ]),
     )
 }
@@ -824,6 +896,35 @@ fn metrics(state: &ServiceState) -> Response {
         "Queued jobs reaped after cancellation",
         state.queue.cancelled.load(Ordering::Relaxed),
     );
+    // Persistence: the restart-survival story in four counters. A reload
+    // after reboot shows up as a lazy load with core_computes flat — the
+    // observable proof that preprocessing was reused, not redone.
+    counter(
+        "lazymc_core_computes_total",
+        "k-core decompositions computed in-process (uploads; lazy reloads deserialize instead)",
+        state.registry.core_computes.load(Ordering::Relaxed),
+    );
+    let store = state.registry.store();
+    counter(
+        "lazymc_snapshot_lazy_loads_total",
+        "Graphs reloaded from disk snapshots on first use",
+        store.map_or(0, |s| s.lazy_loads.load(Ordering::Relaxed)),
+    );
+    counter(
+        "lazymc_snapshot_writes_total",
+        "Snapshots durably written (uploads and replacements)",
+        store.map_or(0, |s| s.writes.load(Ordering::Relaxed)),
+    );
+    counter(
+        "lazymc_snapshot_write_errors_total",
+        "Snapshot writes that failed (graph resident but not durable)",
+        store.map_or(0, |s| s.write_errors.load(Ordering::Relaxed)),
+    );
+    counter(
+        "lazymc_snapshots_quarantined_total",
+        "Snapshot files renamed aside after failing validation",
+        store.map_or(0, |s| s.quarantined.load(Ordering::Relaxed)),
+    );
     // Aggregated lazymc_core counters across all completed solves.
     counter(
         "lazymc_core_retained_coreness_total",
@@ -887,6 +988,14 @@ fn metrics(state: &ServiceState) -> Response {
     out.push_str(&format!(
         "# HELP lazymc_graphs_resident Graphs currently resident\n# TYPE lazymc_graphs_resident gauge\nlazymc_graphs_resident {}\n",
         state.registry.len()
+    ));
+    out.push_str(&format!(
+        "# HELP lazymc_snapshots_on_disk Snapshot files indexed in the data dir\n# TYPE lazymc_snapshots_on_disk gauge\nlazymc_snapshots_on_disk {}\n",
+        store.map_or(0, |s| s.len())
+    ));
+    out.push_str(&format!(
+        "# HELP lazymc_snapshot_disk_bytes Total bytes of indexed snapshots\n# TYPE lazymc_snapshot_disk_bytes gauge\nlazymc_snapshot_disk_bytes {}\n",
+        store.map_or(0, |s| s.total_bytes())
     ));
     Response {
         status: 200,
