@@ -3,7 +3,9 @@
 //! One binary per table/figure of the paper (see DESIGN.md §5) plus shared
 //! plumbing: suite loading, timing, and text-table rendering.
 
+pub mod alloc;
 pub mod harness;
+pub mod perf;
 
 pub use harness::{median, time_once, time_stats, Table};
 

@@ -1,0 +1,335 @@
+//! The reproducible perf harness behind `lazymc bench`.
+//!
+//! Three synthetic suites mirror the régimes of the paper's corpus:
+//!
+//! * **quick** — seconds-scale smoke inputs for CI; exercises every code
+//!   path (dense MC, k-VC, filters, reduction) without meaning as a
+//!   benchmark.
+//! * **dense** — quasi-random and overlapping-clique instances whose
+//!   filtered neighbourhoods survive to detailed search by the hundreds;
+//!   wall time is dominated by the subgraph solvers and the coloring
+//!   kernels, so this is the suite that detects solver-kernel regressions.
+//! * **sparse** — large power-law / planted instances where ordering,
+//!   k-core and the filters dominate; detects preprocessing and
+//!   parallel-substrate regressions.
+//!
+//! Each case is solved `reps` times; the median wall time goes into the
+//! report, and the allocation counters (when the binary installed
+//! [`crate::alloc::CountingAlloc`]) are read around the *last* repetition
+//! — the steady-state one, after the scratch arenas warmed up. Results
+//! serialize to the JSON schema documented in `docs/perf.md`
+//! (`"schema": "lazymc-bench/v1"`), committed as `BENCH_<tag>.json` so the
+//! repo carries a perf trajectory across PRs.
+
+use crate::alloc::{snapshot, tracking_enabled, AllocSnapshot};
+use lazymc_core::{Config, LazyMc};
+use lazymc_graph::{gen, CsrGraph};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One benchmark case: a graph plus the solver configuration to run on it.
+pub struct BenchCase {
+    /// Stable case name (used as the JSON key and the graph-export stem).
+    pub name: &'static str,
+    /// The input graph.
+    pub graph: CsrGraph,
+    /// Solver configuration.
+    pub config: Config,
+}
+
+/// Measured outcome of one case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    pub name: &'static str,
+    pub n: usize,
+    pub m: usize,
+    pub omega: usize,
+    pub reps: usize,
+    /// Median wall time across repetitions, milliseconds.
+    pub wall_ms_median: f64,
+    /// Fastest repetition, milliseconds.
+    pub wall_ms_min: f64,
+    pub mc_nodes: u64,
+    pub vc_nodes: u64,
+    pub searched_mc: u64,
+    pub searched_kvc: u64,
+    pub reduced_vertices: u64,
+    pub vc_reductions: u64,
+    /// Heap allocations during the last (steady-state) repetition.
+    pub alloc_count: u64,
+    /// Bytes allocated during the last repetition.
+    pub alloc_bytes: u64,
+    /// Process-wide live-byte high-water mark after the last repetition.
+    pub peak_bytes: u64,
+}
+
+/// A full suite run.
+pub struct SuiteResult {
+    pub suite: &'static str,
+    pub threads: usize,
+    pub reps: usize,
+    /// Whether allocation counters were live in this process.
+    pub alloc_tracked: bool,
+    pub cases: Vec<CaseResult>,
+}
+
+impl SuiteResult {
+    /// Sum of median wall times, milliseconds.
+    pub fn total_wall_ms(&self) -> f64 {
+        self.cases.iter().map(|c| c.wall_ms_median).sum()
+    }
+}
+
+/// The suite names `lazymc bench --suite` accepts.
+pub const SUITES: &[&str] = &["quick", "dense", "sparse"];
+
+/// Builds the named suite's cases, or `None` for an unknown name.
+pub fn suite(name: &str) -> Option<Vec<BenchCase>> {
+    let dense_cfg = Config::default();
+    let reduction_cfg = Config {
+        subgraph_reduction: true,
+        ..Config::default()
+    };
+    match name {
+        "quick" => Some(vec![
+            case("paley-101", gen::paley(101), Config::default()),
+            case("gnp-150-040", gen::gnp(150, 0.40, 7), Config::default()),
+            case(
+                "overlap-150",
+                gen::dense_overlap(150, 20, 8, 14, 0.10, 9),
+                Config::default(),
+            ),
+            case(
+                "planted-400",
+                gen::planted_clique(400, 0.02, 14, 99),
+                Config::default(),
+            ),
+            case("caveman-160", gen::caveman(20, 8, 0.05, 3), reduction_cfg),
+        ]),
+        "dense" => Some(vec![
+            // Quasi-random, self-complementary: the classic hard dense
+            // instances; nearly every neighbourhood survives filtering.
+            case("paley-401", gen::paley(401), dense_cfg.clone()),
+            case("paley-577", gen::paley(577), dense_cfg.clone()),
+            // Uniform dense G(n,p): large clique-core gap, many detailed
+            // MC searches with deep coloring.
+            case("gnp-300-055", gen::gnp(300, 0.55, 11), dense_cfg.clone()),
+            case("gnp-400-045", gen::gnp(400, 0.45, 5), dense_cfg.clone()),
+            // Hamming distance-≥2 graph: huge dense neighbourhoods.
+            case("hamming-8-2", gen::hamming(8, 2), dense_cfg.clone()),
+            // Overlapping planted cliques over a dense background, with
+            // the MC-BRB reduction extension enabled.
+            case(
+                "overlap-400-red",
+                gen::dense_overlap(400, 40, 14, 22, 0.12, 21),
+                reduction_cfg,
+            ),
+            // φ = 0 forces every detailed search through the k-VC engine.
+            case(
+                "gnp-250-060-kvc",
+                gen::gnp(250, 0.60, 17),
+                Config::default().with_density_threshold(0.0),
+            ),
+        ]),
+        "sparse" => Some(vec![
+            case(
+                "ba-50k-8",
+                gen::barabasi_albert(50_000, 8, 13),
+                Config::default(),
+            ),
+            case(
+                "planted-20k",
+                gen::planted_clique(20_000, 0.0008, 24, 42),
+                Config::default(),
+            ),
+            case(
+                "rmat-16-16",
+                gen::rmat(16, 16, 0.57, 0.19, 0.19, 3),
+                Config::default(),
+            ),
+            case(
+                "caveman-4k",
+                gen::caveman(400, 10, 0.02, 8),
+                Config::default(),
+            ),
+            case(
+                "apollonian-30k",
+                gen::apollonian(30_000, 5),
+                Config::default(),
+            ),
+        ]),
+        _ => None,
+    }
+}
+
+fn case(name: &'static str, graph: CsrGraph, config: Config) -> BenchCase {
+    BenchCase {
+        name,
+        graph,
+        config,
+    }
+}
+
+/// Runs every case `reps` times, reporting progress through `progress`.
+pub fn run_suite(
+    suite_name: &'static str,
+    cases: &[BenchCase],
+    reps: usize,
+    mut progress: impl FnMut(&CaseResult),
+) -> SuiteResult {
+    let reps = reps.max(1);
+    let alloc_tracked = tracking_enabled();
+    let mut results = Vec::with_capacity(cases.len());
+    for c in cases {
+        let solver = LazyMc::new(c.config.clone());
+        let mut walls = Vec::with_capacity(reps);
+        let mut last = None;
+        let mut alloc_delta = AllocSnapshot::default();
+        for rep in 0..reps {
+            let measured = rep + 1 == reps;
+            if measured {
+                // Scope the high-water mark to this case's steady-state
+                // repetition; without the reset it would be the running
+                // maximum across every prior case and suite construction.
+                crate::alloc::reset_peak();
+            }
+            let before = snapshot();
+            let t = Instant::now();
+            let r = solver.solve(&c.graph);
+            walls.push(t.elapsed().as_secs_f64() * 1e3);
+            if measured {
+                alloc_delta = snapshot().delta(&before);
+            }
+            last = Some(r);
+        }
+        let r = last.expect("reps >= 1");
+        walls.sort_by(|a, b| a.total_cmp(b));
+        let result = CaseResult {
+            name: c.name,
+            n: c.graph.num_vertices(),
+            m: c.graph.num_edges(),
+            omega: r.size(),
+            reps,
+            wall_ms_median: walls[walls.len() / 2],
+            wall_ms_min: walls[0],
+            mc_nodes: r.metrics.mc_nodes,
+            vc_nodes: r.metrics.vc_nodes,
+            searched_mc: r.metrics.searched_mc,
+            searched_kvc: r.metrics.searched_kvc,
+            reduced_vertices: r.metrics.reduced_vertices,
+            vc_reductions: r.metrics.vc_reductions,
+            alloc_count: alloc_delta.allocs,
+            alloc_bytes: alloc_delta.allocated_bytes,
+            peak_bytes: alloc_delta.peak_bytes,
+        };
+        progress(&result);
+        results.push(result);
+    }
+    SuiteResult {
+        suite: suite_name,
+        threads: rayon::current_num_threads(),
+        reps,
+        alloc_tracked,
+        cases: results,
+    }
+}
+
+/// Serializes a suite run to the `lazymc-bench/v1` JSON schema
+/// (documented in `docs/perf.md`). Field order is fixed; numbers are
+/// plain decimals, so the output is byte-stable for identical inputs.
+pub fn to_json(r: &SuiteResult) -> String {
+    let mut out = String::new();
+    out.push('{');
+    let _ = write!(
+        out,
+        "\"schema\":\"lazymc-bench/v1\",\"suite\":\"{}\",\"threads\":{},\"reps\":{},\"alloc_tracked\":{},\"cases\":[",
+        r.suite, r.threads, r.reps, r.alloc_tracked
+    );
+    for (i, c) in r.cases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"n\":{},\"m\":{},\"omega\":{},\"reps\":{},\
+             \"wall_ms_median\":{:.3},\"wall_ms_min\":{:.3},\
+             \"mc_nodes\":{},\"vc_nodes\":{},\"searched_mc\":{},\"searched_kvc\":{},\
+             \"reduced_vertices\":{},\"vc_reductions\":{},\
+             \"alloc_count\":{},\"alloc_bytes\":{},\"peak_bytes\":{}}}",
+            c.name,
+            c.n,
+            c.m,
+            c.omega,
+            c.reps,
+            c.wall_ms_median,
+            c.wall_ms_min,
+            c.mc_nodes,
+            c.vc_nodes,
+            c.searched_mc,
+            c.searched_kvc,
+            c.reduced_vertices,
+            c.vc_reductions,
+            c.alloc_count,
+            c.alloc_bytes,
+            c.peak_bytes,
+        );
+    }
+    let _ = write!(out, "],\"total_wall_ms\":{:.3}}}", r.total_wall_ms());
+    out
+}
+
+/// The per-case integer fields every `lazymc-bench/v1` case must carry
+/// (shared by the emitter above and the `--check` validator in the CLI).
+pub const CASE_INT_FIELDS: &[&str] = &[
+    "n",
+    "m",
+    "omega",
+    "reps",
+    "mc_nodes",
+    "vc_nodes",
+    "searched_mc",
+    "searched_kvc",
+    "reduced_vertices",
+    "vc_reductions",
+    "alloc_count",
+    "alloc_bytes",
+    "peak_bytes",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_suites_build() {
+        for name in SUITES {
+            let cases = suite(name).unwrap();
+            assert!(!cases.is_empty(), "{name}");
+            for c in &cases {
+                assert!(c.graph.num_vertices() > 0, "{}", c.name);
+            }
+        }
+        assert!(suite("nope").is_none());
+    }
+
+    #[test]
+    fn quick_suite_runs_and_serializes() {
+        let cases: Vec<BenchCase> = suite("quick")
+            .unwrap()
+            .into_iter()
+            .filter(|c| c.graph.num_vertices() <= 160)
+            .collect();
+        let r = run_suite("quick", &cases, 1, |_| {});
+        assert_eq!(r.cases.len(), cases.len());
+        for c in &r.cases {
+            assert!(c.omega >= 1);
+            assert!(c.wall_ms_median >= c.wall_ms_min);
+        }
+        let json = to_json(&r);
+        assert!(json.starts_with("{\"schema\":\"lazymc-bench/v1\""));
+        assert!(json.contains("\"total_wall_ms\""));
+        for field in CASE_INT_FIELDS {
+            assert!(json.contains(&format!("\"{field}\":")), "{field}");
+        }
+    }
+}

@@ -23,6 +23,12 @@ const VALUED: &[&str] = &[
     "--max-graphs",
     "--queue-cap",
     "--data-dir",
+    "--max-budget-ms",
+    "--suite",
+    "--out",
+    "--reps",
+    "--write-graphs",
+    "--check-json",
 ];
 
 impl Parsed {

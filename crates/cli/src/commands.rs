@@ -14,12 +14,16 @@ USAGE:
   lazymc solve <file> [--threads N] [--budget SECS] [--phi F] [--top-k K]
                [--filter-rounds R] [--no-early-exit] [--no-second-exit]
                [--prepopulate none|must|all] [--reduction] [--quiet]
+  lazymc bench --suite quick|dense|sparse [--out FILE] [--reps N]
+               [--write-graphs DIR]
+  lazymc bench --check-json FILE               (validate a bench report)
   lazymc stats <file>
   lazymc mce <file> [--histogram]
   lazymc compare <file> [--skip ALG[,ALG...]]   (algs: pmc, domega-ls, domega-bs, brb)
   lazymc gen <instance> <out-file> [--test]     (see `lazymc gen list`)
   lazymc serve [<addr>] [--workers N] [--max-graphs M] [--queue-cap Q]
-               [--data-dir DIR] [--check]       (default addr 127.0.0.1:7171)
+               [--data-dir DIR] [--max-budget-ms MS] [--check]
+               (default addr 127.0.0.1:7171)
   lazymc snapshot <graph-file> <out.lmcs>
   lazymc restore <file.lmcs> [<out-graph-file>]
   lazymc help
@@ -138,6 +142,159 @@ pub fn solve(argv: &[String]) -> i32 {
         );
     }
     0
+}
+
+/// `lazymc bench` — the reproducible perf harness (see docs/perf.md).
+///
+/// Runs a synthetic suite, prints a per-case table, and (with `--out`)
+/// writes the `lazymc-bench/v1` JSON report. `--write-graphs DIR` also
+/// exports every case's graph as DIMACS so *other* binaries (e.g. a
+/// pre-change build) can be timed on byte-identical inputs.
+/// `--check-json FILE` validates a previously written report against the
+/// schema and exits.
+pub fn bench(argv: &[String]) -> i32 {
+    let p = match Parsed::parse(argv) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    if let Some(path) = p.raw("--check-json") {
+        return bench_check_json(path);
+    }
+    let Some(suite_name) = p.raw("--suite") else {
+        return fail("bench needs --suite quick|dense|sparse (or --check-json FILE)");
+    };
+    let Some(cases) = lazymc_bench::perf::suite(suite_name) else {
+        return fail(&format!(
+            "unknown suite {suite_name:?} (use quick, dense or sparse)"
+        ));
+    };
+    // The &'static suite name is needed by the report struct.
+    let suite_name = lazymc_bench::perf::SUITES
+        .iter()
+        .find(|s| **s == suite_name)
+        .expect("suite() accepted it");
+    let reps = match p.value::<usize>("--reps") {
+        Ok(r) => r.unwrap_or(3).max(1),
+        Err(e) => return fail(&e),
+    };
+    if let Some(dir) = p.raw("--write-graphs") {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            return fail(&format!("cannot create {dir}: {e}"));
+        }
+        for c in &cases {
+            let path = format!("{dir}/{}.clq", c.name);
+            let file = match std::fs::File::create(&path) {
+                Ok(f) => f,
+                Err(e) => return fail(&format!("cannot create {path}: {e}")),
+            };
+            if let Err(e) = io::write_dimacs(&c.graph, std::io::BufWriter::new(file)) {
+                return fail(&format!("write failed: {e}"));
+            }
+        }
+        println!("wrote {} graphs to {dir}", cases.len());
+    }
+    println!(
+        "{:<18} {:>7} {:>9} {:>6} {:>11} {:>11} {:>10} {:>12}",
+        "case", "n", "m", "omega", "wall-ms", "mc-nodes", "vc-nodes", "allocs"
+    );
+    let result = lazymc_bench::perf::run_suite(suite_name, &cases, reps, |c| {
+        println!(
+            "{:<18} {:>7} {:>9} {:>6} {:>11.3} {:>11} {:>10} {:>12}",
+            c.name, c.n, c.m, c.omega, c.wall_ms_median, c.mc_nodes, c.vc_nodes, c.alloc_count
+        );
+    });
+    println!(
+        "total {:.3} ms over {} cases ({} reps, alloc tracking {})",
+        result.total_wall_ms(),
+        result.cases.len(),
+        reps,
+        if result.alloc_tracked { "on" } else { "off" },
+    );
+    if let Some(out) = p.raw("--out") {
+        let json = lazymc_bench::perf::to_json(&result);
+        if let Err(e) = std::fs::write(out, &json) {
+            return fail(&format!("cannot write {out}: {e}"));
+        }
+        println!("report written to {out}");
+    }
+    0
+}
+
+/// Validates a bench report against the `lazymc-bench/v1` schema.
+fn bench_check_json(path: &str) -> i32 {
+    use lazymc_service::Json;
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let v = match Json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("{path}: invalid JSON: {e}")),
+    };
+    let mut problems: Vec<String> = Vec::new();
+    let mut expect = |ok: bool, what: &str| {
+        if !ok {
+            problems.push(what.to_string());
+        }
+    };
+    expect(
+        v.get("schema").and_then(Json::as_str) == Some("lazymc-bench/v1"),
+        "schema must be \"lazymc-bench/v1\"",
+    );
+    expect(
+        matches!(
+            v.get("suite").and_then(Json::as_str),
+            Some("quick") | Some("dense") | Some("sparse")
+        ),
+        "suite must be quick|dense|sparse",
+    );
+    expect(
+        v.get("threads")
+            .and_then(Json::as_u64)
+            .is_some_and(|x| x >= 1),
+        "threads must be an integer >= 1",
+    );
+    expect(
+        v.get("reps").and_then(Json::as_u64).is_some_and(|x| x >= 1),
+        "reps must be an integer >= 1",
+    );
+    expect(
+        v.get("alloc_tracked").and_then(Json::as_bool).is_some(),
+        "alloc_tracked must be a boolean",
+    );
+    expect(
+        v.get("total_wall_ms").and_then(Json::as_f64).is_some(),
+        "total_wall_ms must be a number",
+    );
+    match v.get("cases") {
+        Some(Json::Arr(cases)) if !cases.is_empty() => {
+            for (i, c) in cases.iter().enumerate() {
+                if c.get("name").and_then(Json::as_str).is_none() {
+                    problems.push(format!("cases[{i}].name must be a string"));
+                }
+                for field in ["wall_ms_median", "wall_ms_min"] {
+                    if c.get(field).and_then(Json::as_f64).is_none() {
+                        problems.push(format!("cases[{i}].{field} must be a number"));
+                    }
+                }
+                for field in lazymc_bench::perf::CASE_INT_FIELDS {
+                    if c.get(field).and_then(|x| x.as_u64()).is_none() {
+                        problems.push(format!("cases[{i}].{field} must be an integer"));
+                    }
+                }
+            }
+        }
+        _ => problems.push("cases must be a non-empty array".into()),
+    }
+    if problems.is_empty() {
+        println!("{path}: valid lazymc-bench/v1 report");
+        0
+    } else {
+        for p in &problems {
+            eprintln!("error: {p}");
+        }
+        1
+    }
 }
 
 /// `lazymc stats`
@@ -294,6 +451,11 @@ pub fn serve(argv: &[String]) -> i32 {
     set!(max_graphs, "--max-graphs");
     set!(queue_capacity, "--queue-cap");
     cfg.data_dir = p.raw("--data-dir").map(str::to_string);
+    match p.value::<u64>("--max-budget-ms") {
+        Ok(Some(ms)) => cfg.max_budget_ms = Some(ms),
+        Ok(None) => {}
+        Err(e) => return fail(&e),
+    }
 
     let data_dir = cfg.data_dir.clone();
     let handle = match lazymc_service::serve(cfg) {

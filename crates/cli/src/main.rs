@@ -21,6 +21,12 @@
 mod args;
 mod commands;
 
+/// Route every allocation through the counting allocator so
+/// `lazymc bench` can report per-case allocation stats (two relaxed
+/// atomic adds per allocation — noise for every command here).
+#[global_allocator]
+static ALLOC: lazymc_bench::alloc::CountingAlloc = lazymc_bench::alloc::CountingAlloc;
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = run(&argv);
@@ -30,6 +36,7 @@ fn main() {
 fn run(argv: &[String]) -> i32 {
     match argv.first().map(String::as_str) {
         Some("solve") => commands::solve(&argv[1..]),
+        Some("bench") => commands::bench(&argv[1..]),
         Some("stats") => commands::stats(&argv[1..]),
         Some("mce") => commands::mce(&argv[1..]),
         Some("compare") => commands::compare(&argv[1..]),
@@ -200,6 +207,72 @@ mod tests {
             ]),
             0
         );
+    }
+
+    #[test]
+    fn bench_rejects_bad_inputs() {
+        assert_ne!(run(&["bench".into()]), 0);
+        assert_ne!(run(&["bench".into(), "--suite".into(), "nope".into()]), 0);
+        assert_ne!(
+            run(&[
+                "bench".into(),
+                "--check-json".into(),
+                "/nonexistent.json".into()
+            ]),
+            0
+        );
+    }
+
+    #[test]
+    fn bench_check_json_accepts_valid_rejects_invalid() {
+        let dir = std::env::temp_dir().join(format!("lazymc_bench_chk_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        std::fs::write(
+            &good,
+            r#"{"schema":"lazymc-bench/v1","suite":"quick","threads":1,"reps":1,
+                "alloc_tracked":false,"cases":[{"name":"x","n":1,"m":0,"omega":1,
+                "reps":1,"wall_ms_median":0.1,"wall_ms_min":0.1,"mc_nodes":0,
+                "vc_nodes":0,"searched_mc":0,"searched_kvc":0,"reduced_vertices":0,
+                "vc_reductions":0,"alloc_count":0,"alloc_bytes":0,"peak_bytes":0}],
+                "total_wall_ms":0.1}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            run(&[
+                "bench".into(),
+                "--check-json".into(),
+                good.to_str().unwrap().into()
+            ]),
+            0
+        );
+        // Missing case fields / wrong schema tag must be rejected.
+        let bad = dir.join("bad.json");
+        std::fs::write(
+            &bad,
+            r#"{"schema":"lazymc-bench/v1","suite":"quick","threads":1,"reps":1,
+                "alloc_tracked":false,"cases":[{"name":"x"}],"total_wall_ms":0.1}"#,
+        )
+        .unwrap();
+        assert_ne!(
+            run(&[
+                "bench".into(),
+                "--check-json".into(),
+                bad.to_str().unwrap().into()
+            ]),
+            0
+        );
+        let wrong = dir.join("wrong.json");
+        std::fs::write(&wrong, r#"{"schema":"other/v2"}"#).unwrap();
+        assert_ne!(
+            run(&[
+                "bench".into(),
+                "--check-json".into(),
+                wrong.to_str().unwrap().into()
+            ]),
+            0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

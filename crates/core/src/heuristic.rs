@@ -16,7 +16,21 @@ use lazymc_intersect::{
     SortedSlice,
 };
 use lazymc_lazygraph::LazyGraph;
+use lazymc_solver::Pool;
 use rayon::prelude::*;
+
+/// Per-descent reusable buffers for the greedy heuristic searches: the
+/// candidate set, the clique under construction, and the intersection
+/// output. Pooled so the thousands of parallel descents reuse a handful
+/// of warmed allocations instead of allocating three vectors each.
+#[derive(Default)]
+struct HeurScratch {
+    cand: Vec<VertexId>,
+    clique: Vec<VertexId>,
+    tmp: Vec<VertexId>,
+}
+
+static HEUR_SCRATCH: Pool<HeurScratch> = Pool::new();
 
 /// Degree-based heuristic search (paper Algorithm 5).
 ///
@@ -37,23 +51,27 @@ pub fn degree_heuristic(g: &CsrGraph, cfg: &Config, inc: &Incumbent) {
         ids.truncate(k);
     }
     ids.par_iter().for_each(|&v| {
-        let cstar = inc.size();
-        let mut cand: Vec<VertexId> = g
-            .neighbors(v)
-            .iter()
-            .copied()
-            .filter(|&u| g.degree(u) >= cstar)
-            .collect();
-        let mut clique = vec![v];
-        let mut tmp = Vec::new();
-        while !cand.is_empty() {
-            let u = select_max_degree_candidate(g, &cand, cfg.early_exit);
-            clique.push(u);
-            // cand ∩ N(u): both sides sorted, merge.
-            intersect_sorted(&cand, g.neighbors(u), &mut tmp);
-            std::mem::swap(&mut cand, &mut tmp);
-        }
-        inc.offer(&clique);
+        HEUR_SCRATCH.with(|s| {
+            let cstar = inc.size();
+            let HeurScratch { cand, clique, tmp } = s;
+            cand.clear();
+            cand.extend(
+                g.neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&u| g.degree(u) >= cstar),
+            );
+            clique.clear();
+            clique.push(v);
+            while !cand.is_empty() {
+                let u = select_max_degree_candidate(g, cand, cfg.early_exit);
+                clique.push(u);
+                // cand ∩ N(u): both sides sorted, merge.
+                intersect_sorted(cand, g.neighbors(u), tmp);
+                std::mem::swap(cand, tmp);
+            }
+            inc.offer(clique);
+        });
     });
 }
 
@@ -97,36 +115,40 @@ pub fn coreness_heuristic(
         if start == end {
             return; // empty level
         }
-        let v = start; // lowest-numbered vertex of this coreness level
-        let mut cand: Vec<VertexId> = lg.right_sorted(v).to_vec();
-        let mut clique_rel = vec![v];
-        let mut tmp = Vec::new();
-        while !cand.is_empty() {
-            let u = *cand.last().unwrap(); // highest-numbered candidate
-            clique_rel.push(u);
-            let theta = inc.size().saturating_sub(clique_rel.len());
-            let res = if cfg.early_exit {
-                intersect_gt(&cand, lg.hashed(u), &mut tmp, theta)
-            } else {
-                Some(intersect_plain(&cand, lg.hashed(u), &mut tmp))
-            };
-            match res {
-                Some(_) => std::mem::swap(&mut cand, &mut tmp),
-                // Early exit: the descent cannot beat the incumbent any
-                // more (remaining intersection ≤ |C*| − |C|). The prefix
-                // gathered so far is still a valid clique, so fall through
-                // to the offer — which rejects non-improving candidates.
-                None => break,
+        HEUR_SCRATCH.with(|s| {
+            let v = start; // lowest-numbered vertex of this coreness level
+            let HeurScratch { cand, clique, tmp } = s;
+            cand.clear();
+            cand.extend_from_slice(lg.right_sorted(v));
+            let clique_rel = clique;
+            clique_rel.clear();
+            clique_rel.push(v);
+            while !cand.is_empty() {
+                let u = *cand.last().unwrap(); // highest-numbered candidate
+                clique_rel.push(u);
+                let theta = inc.size().saturating_sub(clique_rel.len());
+                let res = if cfg.early_exit {
+                    intersect_gt(cand, lg.hashed(u), tmp, theta)
+                } else {
+                    Some(intersect_plain(cand, lg.hashed(u), tmp))
+                };
+                match res {
+                    Some(_) => std::mem::swap(cand, tmp),
+                    // Early exit: the descent cannot beat the incumbent any
+                    // more (remaining intersection ≤ |C*| − |C|). The prefix
+                    // gathered so far is still a valid clique, so fall through
+                    // to the offer — which rejects non-improving candidates.
+                    None => break,
+                }
             }
-        }
-        // Every prefix of the greedy descent is a clique: each absorbed
-        // vertex came from the common neighbourhood of all before it.
-        let orig: Vec<VertexId> = clique_rel
-            .iter()
-            .map(|&r| lg.order().to_original(r))
-            .collect();
-        debug_assert!(lg.original_graph().is_clique(&orig));
-        inc.offer(&orig);
+            // Every prefix of the greedy descent is a clique: each absorbed
+            // vertex came from the common neighbourhood of all before it.
+            // Map to original ids in place (tmp is free again here).
+            tmp.clear();
+            tmp.extend(clique_rel.iter().map(|&r| lg.order().to_original(r)));
+            debug_assert!(lg.original_graph().is_clique(tmp));
+            inc.offer(tmp);
+        });
     });
 }
 

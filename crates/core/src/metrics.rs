@@ -73,6 +73,12 @@ pub struct Counters {
     pub mc_nodes: CachePadded<AtomicU64>,
     /// Branch-and-bound nodes expanded by the k-VC solver.
     pub vc_nodes: CachePadded<AtomicU64>,
+    /// Vertices removed by the MC-BRB-style subgraph reduction
+    /// (`Config::subgraph_reduction`) before detailed searches.
+    pub reduced_vertices: CachePadded<AtomicU64>,
+    /// Vertices removed or forced by the k-VC kernelization rules (Buss,
+    /// degree-0/1/2).
+    pub vc_reductions: CachePadded<AtomicU64>,
 }
 
 impl Counters {
@@ -120,6 +126,10 @@ pub struct MetricsSnapshot {
     pub mc_nodes: u64,
     /// k-VC solver tree nodes.
     pub vc_nodes: u64,
+    /// Vertices removed by the subgraph reduction pass.
+    pub reduced_vertices: u64,
+    /// Vertices removed or forced by the k-VC kernelization rules.
+    pub vc_reductions: u64,
     /// Lazy-graph materialization counts (hashed, sorted).
     pub lazy_built: (usize, usize),
 }
@@ -160,6 +170,8 @@ impl MetricsSnapshot {
         self.kvc_time += other.kvc_time;
         self.mc_nodes += other.mc_nodes;
         self.vc_nodes += other.vc_nodes;
+        self.reduced_vertices += other.reduced_vertices;
+        self.vc_reductions += other.vc_reductions;
         self.lazy_built.0 += other.lazy_built.0;
         self.lazy_built.1 += other.lazy_built.1;
     }
@@ -189,6 +201,8 @@ pub(crate) fn snapshot_counters(c: &Counters) -> MetricsSnapshot {
         kvc_time: Duration::from_nanos(c.kvc_ns.load(Ordering::Relaxed)),
         mc_nodes: c.mc_nodes.load(Ordering::Relaxed),
         vc_nodes: c.vc_nodes.load(Ordering::Relaxed),
+        reduced_vertices: c.reduced_vertices.load(Ordering::Relaxed),
+        vc_reductions: c.vc_reductions.load(Ordering::Relaxed),
         ..MetricsSnapshot::default()
     }
 }

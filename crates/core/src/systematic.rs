@@ -24,10 +24,51 @@ use lazymc_hopscotch::HopscotchSet;
 use lazymc_intersect::{intersect_size_gt_bool, intersect_size_gt_val, intersect_size_plain};
 use lazymc_lazygraph::LazyGraph;
 use lazymc_solver::bitset::{BitMatrix, Bitset};
-use lazymc_solver::{max_clique_dense_within, max_clique_via_vc, McStats, VcStats};
+use lazymc_solver::scratch::{Pool, SolverScratch};
+use lazymc_solver::{max_clique_dense_scratch, max_clique_via_vc_scratch, McStats, VcStats};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// Per-worker reusable buffers for one neighbourhood search: the filter
+/// candidate lists, the extracted (and compacted) submatrices, and both
+/// subgraph-solver arenas. Checked out of [`NEIGHBOR_SCRATCH`] per call,
+/// so the whole systematic sweep reaches zero steady-state allocation —
+/// buffers warmed by early neighbourhoods serve every later one.
+#[derive(Default)]
+struct NeighborScratch {
+    solver: SolverScratch,
+    n1: Vec<VertexId>,
+    next: Vec<VertexId>,
+    adj: BitMatrix,
+    small: BitMatrix,
+    map: Vec<u32>,
+    within: Bitset,
+    orig: Vec<VertexId>,
+}
+
+impl NeighborScratch {
+    fn heap_bytes(&self) -> usize {
+        self.solver.heap_bytes()
+            + (self.n1.capacity()
+                + self.next.capacity()
+                + self.map.capacity()
+                + self.orig.capacity())
+                * 4
+            + self.adj.heap_bytes()
+            + self.small.heap_bytes()
+            + self.within.heap_bytes()
+    }
+}
+
+/// Arenas grown past this by an outlier neighbourhood (a huge `nn` means
+/// O(nn²/8)-byte matrices) are dropped on return instead of pinned in the
+/// static pool for the process lifetime — long-lived daemons must not pay
+/// one pathological graph's high-water mark forever.
+const MAX_RETAINED_ARENA_BYTES: usize = 8 << 20;
+
+static NEIGHBOR_SCRATCH: Pool<NeighborScratch> =
+    Pool::with_retain(|s| s.heap_bytes() <= MAX_RETAINED_ARENA_BYTES);
 
 /// Wall-clock budget shared across the systematic search. When it expires,
 /// no *new* neighbourhood search starts; `truncated` records whether any
@@ -137,18 +178,31 @@ pub fn neighbor_search(
     counters: &Counters,
     deadline: &Deadline,
 ) {
+    NEIGHBOR_SCRATCH.with(|scr| neighbor_search_scratch(lg, v, cfg, inc, counters, deadline, scr));
+}
+
+fn neighbor_search_scratch(
+    lg: &LazyGraph<'_>,
+    v: VertexId,
+    cfg: &Config,
+    inc: &Incumbent,
+    counters: &Counters,
+    deadline: &Deadline,
+    scr: &mut NeighborScratch,
+) {
     let t0 = Instant::now();
     let cstar = inc.size();
     counters.add(&counters.retained_coreness, 1);
 
     // --- Filter 1: coreness of the neighbors themselves ------------------
-    let n1: Vec<VertexId> = lg
-        .right_sorted(v)
-        .iter()
-        .copied()
-        .filter(|&u| (lg.coreness(u) as usize) >= cstar)
-        .collect();
-    if n1.len() < cstar {
+    scr.n1.clear();
+    scr.n1.extend(
+        lg.right_sorted(v)
+            .iter()
+            .copied()
+            .filter(|&u| (lg.coreness(u) as usize) >= cstar),
+    );
+    if scr.n1.len() < cstar {
         counters.add(&counters.filter_ns, t0.elapsed().as_nanos() as u64);
         return;
     }
@@ -165,45 +219,47 @@ pub fn neighbor_search(
     // round uses the counting kernel so the edge estimate m̂ comes out of
     // it. The candidate set is the probed (B) side; a hash table is built
     // only when it is large enough to out-cost binary search, and the
-    // kernels always scan the smaller side as A.
+    // kernels always scan the smaller side as A. The survivor lists
+    // ping-pong between two pooled buffers.
     let rounds = cfg.filter_rounds.max(1);
-    let mut cand = n1;
     let mut m_hat = 0u64;
     for round in 0..rounds {
         let last = round + 1 == rounds;
-        let set = CandSet::new(&cand);
-        let mut next: Vec<VertexId> = Vec::with_capacity(cand.len());
-        if !last {
-            if let Some(theta) = theta {
-                for &u in &cand {
-                    if induced_degree_gt(lg, u, &cand, &set, theta, cfg) {
-                        next.push(u);
+        {
+            let NeighborScratch { n1: cand, next, .. } = scr;
+            let set = CandSet::new(cand);
+            next.clear();
+            if !last {
+                if let Some(theta) = theta {
+                    for &u in cand.iter() {
+                        if induced_degree_gt(lg, u, cand, &set, theta, cfg) {
+                            next.push(u);
+                        }
                     }
+                } else {
+                    next.extend_from_slice(cand);
                 }
             } else {
-                next.clone_from(&cand);
-            }
-        } else {
-            m_hat = 0;
-            for &u in &cand {
-                if let Some(d) = induced_degree_count(lg, u, &cand, &set, theta, cfg) {
-                    next.push(u);
-                    m_hat += d as u64;
+                m_hat = 0;
+                for &u in cand.iter() {
+                    if let Some(d) = induced_degree_count(lg, u, cand, &set, theta, cfg) {
+                        next.push(u);
+                        m_hat += d as u64;
+                    }
                 }
             }
         }
-        drop(set);
-        cand = next;
-        if round == 0 && cand.len() >= cstar {
+        std::mem::swap(&mut scr.n1, &mut scr.next);
+        if round == 0 && scr.n1.len() >= cstar {
             counters.add(&counters.retained_f2, 1);
         }
-        if cand.len() < cstar {
+        if scr.n1.len() < cstar {
             counters.add(&counters.filter_ns, t0.elapsed().as_nanos() as u64);
             return;
         }
     }
     counters.add(&counters.retained_f3, 1);
-    let n3 = cand;
+    let n3 = &scr.n1;
 
     // --- Algorithmic choice by estimated density (Alg. 8 line 14) --------
     // m̂ was counted against the previous round's set ⊇ N3, so the ratio
@@ -217,14 +273,17 @@ pub fn neighbor_search(
 
     // Cut out the induced subgraph G[N] as a bit matrix. From here on we
     // are in local index space 0..nn (positions within n3).
-    let adj = extract_submatrix(lg, &n3);
+    extract_submatrix_into(lg, n3, &mut scr.adj);
+    let adj = &scr.adj;
 
     // Optional extension (paper §V-A): MC-BRB-style iterated reduction on
     // the extracted subgraph before the detailed search.
-    let mut within = Bitset::full(nn);
+    scr.within.reset_full(nn);
     if cfg.subgraph_reduction {
-        lazymc_solver::mc::reduce_candidates(&adj, &mut within, cstar.saturating_sub(1));
-        if within.len() < cstar {
+        let removed =
+            lazymc_solver::mc::reduce_candidates(adj, &mut scr.within, cstar.saturating_sub(1));
+        counters.add(&counters.reduced_vertices, removed as u64);
+        if scr.within.len() < cstar {
             counters.add(&counters.filter_ns, t0.elapsed().as_nanos() as u64);
             return;
         }
@@ -240,47 +299,73 @@ pub fn neighbor_search(
     // |K| > cstar − 1.
     let lb = cstar.saturating_sub(1);
     let t1 = Instant::now();
+    let clique = &mut scr.solver.clique;
     let found = if density > cfg.density_threshold {
         counters.add(&counters.searched_kvc, 1);
         let mut st = VcStats::default();
         // The k-VC engine works on whole matrices; compact when the
         // reduction removed vertices.
-        let r = if within.len() < nn {
-            let (small, map) = compact_matrix(&adj, &within);
-            max_clique_via_vc(&small, lb, Some(&mut st))
-                .map(|c| c.into_iter().map(|i| map[i as usize]).collect::<Vec<u32>>())
+        let r = if scr.within.len() < nn {
+            compact_matrix_into(adj, &scr.within, &mut scr.small, &mut scr.map);
+            let found = max_clique_via_vc_scratch(
+                &scr.small,
+                lb,
+                Some(&mut st),
+                &mut scr.solver.vc,
+                clique,
+            );
+            if found {
+                // translate compacted indices back to positions in n3
+                for i in clique.iter_mut() {
+                    *i = scr.map[*i as usize];
+                }
+            }
+            found
         } else {
-            max_clique_via_vc(&adj, lb, Some(&mut st))
+            max_clique_via_vc_scratch(adj, lb, Some(&mut st), &mut scr.solver.vc, clique)
         };
         counters.add(&counters.vc_nodes, st.nodes);
+        counters.add(&counters.vc_reductions, st.reductions);
         counters.add(&counters.kvc_ns, t1.elapsed().as_nanos() as u64);
         r
     } else {
         counters.add(&counters.searched_mc, 1);
         let mut st = McStats::default();
-        let r = max_clique_dense_within(&adj, &within, lb, Some(&mut st));
+        let r = max_clique_dense_scratch(
+            adj,
+            &scr.within,
+            lb,
+            Some(&mut st),
+            &mut scr.solver.mc,
+            clique,
+        );
         counters.add(&counters.mc_nodes, st.nodes);
         counters.add(&counters.mc_ns, t1.elapsed().as_nanos() as u64);
         r
     };
 
-    if let Some(local_clique) = found {
+    if found {
         let order = lg.order();
-        let mut orig: Vec<VertexId> = local_clique
-            .iter()
-            .map(|&i| order.to_original(n3[i as usize]))
-            .collect();
-        orig.push(order.to_original(v));
-        debug_assert!(lg.original_graph().is_clique(&orig));
-        inc.offer(&orig);
+        scr.orig.clear();
+        scr.orig
+            .extend(clique.iter().map(|&i| order.to_original(n3[i as usize])));
+        scr.orig.push(order.to_original(v));
+        debug_assert!(lg.original_graph().is_clique(&scr.orig));
+        inc.offer(&scr.orig);
     }
 }
 
-/// Compacts `adj` to the vertices of `within`; returns the smaller matrix
-/// and the local→original index map.
-fn compact_matrix(adj: &BitMatrix, within: &Bitset) -> (BitMatrix, Vec<u32>) {
-    let map: Vec<u32> = within.iter().map(|i| i as u32).collect();
-    let mut small = BitMatrix::new(map.len());
+/// Compacts `adj` to the vertices of `within`, writing the smaller matrix
+/// into `small` and the local→original index map into `map` (both reused).
+fn compact_matrix_into(
+    adj: &BitMatrix,
+    within: &Bitset,
+    small: &mut BitMatrix,
+    map: &mut Vec<u32>,
+) {
+    map.clear();
+    map.extend(within.iter().map(|i| i as u32));
+    small.reset(map.len());
     for (i, &oi) in map.iter().enumerate() {
         for (j, &oj) in map.iter().enumerate().skip(i + 1) {
             if adj.has_edge(oi as usize, oj as usize) {
@@ -288,7 +373,6 @@ fn compact_matrix(adj: &BitMatrix, within: &Bitset) -> (BitMatrix, Vec<u32>) {
             }
         }
     }
-    (small, map)
 }
 
 /// Candidate-set membership: a real hash table when the set is large, the
@@ -393,13 +477,17 @@ fn induced_degree_count(
 }
 
 /// Builds the dense adjacency of the subgraph induced by the sorted
-/// relabelled vertex list `members`, in local (positional) index space.
-/// Each row is produced by merging the member list with the member's lazy
-/// sorted neighbourhood.
-pub(crate) fn extract_submatrix(lg: &LazyGraph<'_>, members: &[VertexId]) -> BitMatrix {
+/// relabelled vertex list `members`, in local (positional) index space,
+/// into the reused `adj`. Each row is produced by merging the member list
+/// with the member's lazy sorted neighbourhood.
+pub(crate) fn extract_submatrix_into(
+    lg: &LazyGraph<'_>,
+    members: &[VertexId],
+    adj: &mut BitMatrix,
+) {
     debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
     let nn = members.len();
-    let mut adj = BitMatrix::new(nn);
+    adj.reset(nn);
     for (i, &u) in members.iter().enumerate() {
         let nbrs = lg.sorted(u);
         if nbrs.len() > 8 * nn {
@@ -428,7 +516,6 @@ pub(crate) fn extract_submatrix(lg: &LazyGraph<'_>, members: &[VertexId]) -> Bit
             }
         }
     }
-    adj
 }
 
 #[cfg(test)]
@@ -583,7 +670,8 @@ mod tests {
         let inc = Incumbent::new();
         let lg = LazyGraph::new(&g, &ord, &kc.coreness, inc.size_cell());
         let members: Vec<u32> = (10..30).collect();
-        let adj = extract_submatrix(&lg, &members);
+        let mut adj = BitMatrix::new(7); // wrong-size scratch gets reshaped
+        extract_submatrix_into(&lg, &members, &mut adj);
         for i in 0..members.len() {
             for j in 0..members.len() {
                 let oi = ord.to_original(members[i]);

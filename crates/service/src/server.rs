@@ -53,6 +53,12 @@ pub struct ServiceConfig {
     /// Directory for durable graph snapshots (`.lmcs`). `None` keeps the
     /// registry memory-only (uploads die with the process).
     pub data_dir: Option<String>,
+    /// Server-side budget cap, milliseconds. Requested budgets are clamped
+    /// to it and *unbudgeted* requests default to it, so a single client
+    /// can no longer pin every solver (and with it every HTTP worker) with
+    /// open-ended solves — the ROADMAP's stopgap until the async rewrite.
+    /// `None` preserves the old behaviour (no cap, no default).
+    pub max_budget_ms: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -67,6 +73,7 @@ impl Default for ServiceConfig {
             max_body_bytes: 64 << 20,
             read_timeout: Duration::from_secs(30),
             data_dir: None,
+            max_budget_ms: None,
         }
     }
 }
@@ -437,7 +444,7 @@ fn handle_connection(state: &ServiceState, cfg: &ServiceConfig, stream: TcpStrea
             }
         };
         state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-        let response = route(state, &request);
+        let response = route(state, cfg, &request);
         if response.status >= 400 {
             state
                 .metrics
@@ -565,15 +572,15 @@ fn write_response(stream: &mut TcpStream, r: &Response, keep_alive: bool) -> std
     stream.flush()
 }
 
-fn route(state: &ServiceState, req: &Request) -> Response {
+fn route(state: &ServiceState, cfg: &ServiceConfig, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/graphs") => load_graph(state, &req.body),
-        ("POST", "/solve") => solve(state, &req.body),
+        ("POST", "/solve") => solve(state, cfg, &req.body),
         ("GET", "/graphs") => list_graphs(state),
-        ("GET", "/healthz") => healthz(state),
+        ("GET", "/healthz") => healthz(state, cfg),
         ("GET", "/metrics") => metrics(state),
         ("GET", path) => match path.strip_prefix("/stats/") {
-            Some(name) => stats(state, name),
+            Some(name) => stats(state, cfg, name),
             None => Response::error(404, format!("no route {path}")),
         },
         ("DELETE", path) => match path.strip_prefix("/graphs/") {
@@ -643,7 +650,7 @@ fn load_graph(state: &ServiceState, body: &str) -> Response {
     )
 }
 
-fn solve(state: &ServiceState, body: &str) -> Response {
+fn solve(state: &ServiceState, cfg: &ServiceConfig, body: &str) -> Response {
     let request = match Json::parse(body).and_then(|v| SolveRequest::from_json(&v)) {
         Ok(r) => r,
         Err(e) => return Response::error(400, e),
@@ -651,7 +658,25 @@ fn solve(state: &ServiceState, body: &str) -> Response {
     let Some(entry) = state.registry.get(&request.graph) else {
         return Response::error(404, format!("unknown graph {:?}", request.graph));
     };
-    let config = request.config();
+    let mut config = request.config();
+    // Server-side budget cap: clamp requested budgets, default unbudgeted
+    // requests. Applied *before* the canonical key is computed so the
+    // result cache keys on the budget that actually ran.
+    let mut budget_clamped = false;
+    if let Some(cap_ms) = cfg.max_budget_ms {
+        let cap = Duration::from_millis(cap_ms);
+        match config.time_budget {
+            Some(b) if b > cap => {
+                config.time_budget = Some(cap);
+                budget_clamped = true;
+            }
+            None => {
+                config.time_budget = Some(cap);
+                budget_clamped = true;
+            }
+            _ => {}
+        }
+    }
     let canonical = config.canonical_key();
 
     if !request.no_cache {
@@ -671,6 +696,7 @@ fn solve(state: &ServiceState, body: &str) -> Response {
                     ("exact", Json::Bool(true)),
                     ("truncated", Json::Bool(false)),
                     ("cached", Json::Bool(true)),
+                    ("budget_clamped", Json::Bool(budget_clamped)),
                     ("solve_ms", Json::num(hit.solve_ms as f64)),
                 ]),
             );
@@ -715,6 +741,7 @@ fn solve(state: &ServiceState, body: &str) -> Response {
                 ("exact", Json::Bool(reply.exact)),
                 ("truncated", Json::Bool(!reply.exact)),
                 ("cached", Json::Bool(false)),
+                ("budget_clamped", Json::Bool(budget_clamped)),
                 ("wait_ms", Json::num(reply.wait_ms as f64)),
                 ("solve_ms", Json::num(reply.solve_ms as f64)),
             ]),
@@ -723,7 +750,7 @@ fn solve(state: &ServiceState, body: &str) -> Response {
     }
 }
 
-fn stats(state: &ServiceState, name: &str) -> Response {
+fn stats(state: &ServiceState, cfg: &ServiceConfig, name: &str) -> Response {
     let Some(entry) = state.registry.get(name) else {
         return Response::error(404, format!("unknown graph {name:?}"));
     };
@@ -748,6 +775,13 @@ fn stats(state: &ServiceState, name: &str) -> Response {
                 Json::num(entry.loaded_at.elapsed().as_millis() as f64),
             ),
             ("lazy_loaded", Json::Bool(entry.lazy_loaded)),
+            (
+                "max_budget_ms",
+                match cfg.max_budget_ms {
+                    Some(ms) => Json::num(ms as f64),
+                    None => Json::Null,
+                },
+            ),
             (
                 "snapshot_bytes",
                 Json::num(
@@ -803,11 +837,18 @@ fn list_graphs(state: &ServiceState) -> Response {
     )
 }
 
-fn healthz(state: &ServiceState) -> Response {
+fn healthz(state: &ServiceState, cfg: &ServiceConfig) -> Response {
     Response::json(
         200,
         Json::obj(vec![
             ("status", Json::str("ok")),
+            (
+                "max_budget_ms",
+                match cfg.max_budget_ms {
+                    Some(ms) => Json::num(ms as f64),
+                    None => Json::Null,
+                },
+            ),
             (
                 "uptime_ms",
                 Json::num(state.started.elapsed().as_millis() as f64),
@@ -965,6 +1006,16 @@ fn metrics(state: &ServiceState) -> Response {
         "lazymc_core_vc_nodes_total",
         "Branch-and-bound nodes expanded by the k-VC solver",
         totals.vc_nodes,
+    );
+    counter(
+        "lazymc_core_reduced_vertices_total",
+        "Vertices removed by the subgraph reduction pass before detailed searches",
+        totals.reduced_vertices,
+    );
+    counter(
+        "lazymc_core_vc_reductions_total",
+        "Vertices removed or forced by the k-VC kernelization rules",
+        totals.vc_reductions,
     );
     counter(
         "lazymc_core_filter_micros_total",

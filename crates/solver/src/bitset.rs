@@ -9,7 +9,7 @@
 use lazymc_graph::CsrGraph;
 
 /// A fixed-capacity bitset over `0..nbits`.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct Bitset {
     words: Vec<u64>,
     nbits: usize,
@@ -78,6 +78,46 @@ impl Bitset {
     /// Removes all elements.
     pub fn clear(&mut self) {
         self.words.fill(0);
+    }
+
+    /// Reshapes this set to an *empty* set of capacity `nbits`, reusing
+    /// the existing allocation whenever it suffices. The workhorse of the
+    /// scratch-arena search paths: after a warm-up solve at a given size,
+    /// `reset` never touches the heap again.
+    pub fn reset(&mut self, nbits: usize) {
+        self.nbits = nbits;
+        self.words.clear();
+        self.words.resize(nbits.div_ceil(64), 0);
+    }
+
+    /// Reshapes this set to the *full* set `{0, …, nbits-1}`, reusing the
+    /// allocation like [`Bitset::reset`].
+    pub fn reset_full(&mut self, nbits: usize) {
+        self.nbits = nbits;
+        let nwords = nbits.div_ceil(64);
+        self.words.clear();
+        self.words.resize(nwords, !0u64);
+        if !nbits.is_multiple_of(64) {
+            self.words[nwords - 1] = (1u64 << (nbits % 64)) - 1;
+        }
+    }
+
+    /// Reshapes to capacity `nbits` *without* clearing retained words —
+    /// only for callers that immediately overwrite every word (e.g. as an
+    /// [`Bitset::intersection_into`] destination). Skips the redundant
+    /// zeroing pass `reset` would pay on every branch-and-bound node.
+    #[inline]
+    pub(crate) fn reset_for_overwrite(&mut self, nbits: usize) {
+        self.nbits = nbits;
+        self.words.resize(nbits.div_ceil(64), 0);
+    }
+
+    /// Makes this set a copy of `other` (capacity included), reusing the
+    /// allocation when possible.
+    pub fn copy_from(&mut self, other: &Bitset) {
+        self.nbits = other.nbits;
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
     }
 
     /// `self &= other`.
@@ -154,6 +194,12 @@ impl Bitset {
         &self.words
     }
 
+    /// Heap bytes backing this set (capacity, not live words) — used by
+    /// scratch pools to bound what they retain.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+
     /// Raw words (mutable, crate-internal: used by the coloring kernels).
     pub(crate) fn words_mut(&mut self) -> &mut [u64] {
         &mut self.words
@@ -205,7 +251,7 @@ impl Iterator for BitsetIter<'_> {
 }
 
 /// Dense adjacency matrix: one bitset row per vertex.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct BitMatrix {
     n: usize,
     words_per_row: usize,
@@ -250,6 +296,12 @@ impl BitMatrix {
         self.words_per_row
     }
 
+    /// Heap bytes backing this matrix (capacity, not live words) — used
+    /// by scratch pools to bound what they retain.
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.capacity() * 8
+    }
+
     /// Adds the undirected edge `(u, v)`. Self-loops are ignored.
     pub fn add_edge(&mut self, u: usize, v: usize) {
         if u == v {
@@ -288,21 +340,38 @@ impl BitMatrix {
         (0..self.n).map(|v| self.degree(v)).sum::<usize>() / 2
     }
 
+    /// Reshapes to an edgeless matrix on `n` vertices, reusing the bit
+    /// storage whenever it suffices (scratch-arena counterpart of
+    /// [`BitMatrix::new`]).
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.words_per_row = n.div_ceil(64).max(1);
+        self.bits.clear();
+        self.bits.resize(n * self.words_per_row, 0);
+    }
+
     /// The complement matrix (no self-loops).
     pub fn complement(&self) -> BitMatrix {
-        let mut c = BitMatrix::new(self.n);
+        let mut c = BitMatrix::new(0);
+        self.complement_into(&mut c);
+        c
+    }
+
+    /// Writes the complement matrix (no self-loops) into `out`, reusing
+    /// `out`'s storage.
+    pub fn complement_into(&self, out: &mut BitMatrix) {
+        out.reset(self.n);
         for v in 0..self.n {
-            let (row_out, row_in) = (v * c.words_per_row, v * self.words_per_row);
+            let (row_out, row_in) = (v * out.words_per_row, v * self.words_per_row);
             for w in 0..self.words_per_row {
-                c.bits[row_out + w] = !self.bits[row_in + w];
+                out.bits[row_out + w] = !self.bits[row_in + w];
             }
             // mask out self-loop and bits beyond n
-            c.bits[row_out + v / 64] &= !(1u64 << (v % 64));
+            out.bits[row_out + v / 64] &= !(1u64 << (v % 64));
             if !self.n.is_multiple_of(64) {
-                c.bits[row_out + self.words_per_row - 1] &= (1u64 << (self.n % 64)) - 1;
+                out.bits[row_out + self.words_per_row - 1] &= (1u64 << (self.n % 64)) - 1;
             }
         }
-        c
     }
 
     /// Whether `verts` forms a clique.
@@ -439,6 +508,42 @@ mod tests {
         within.insert(3);
         within.insert(5);
         assert_eq!(m.degree_within(0, &within), 2);
+    }
+
+    #[test]
+    fn reset_reuses_and_reshapes() {
+        let mut s = Bitset::full(100);
+        s.reset(70);
+        assert_eq!(s.capacity(), 70);
+        assert!(s.is_empty());
+        s.reset_full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(69));
+        // shrinking then growing must not leak stale bits
+        s.reset_full(130);
+        assert_eq!(s.len(), 130);
+        s.reset(10);
+        s.reset_full(64);
+        assert_eq!(s.len(), 64);
+        let other: Bitset = [3usize, 80].into_iter().collect();
+        s.copy_from(&other);
+        assert_eq!(s.capacity(), other.capacity());
+        assert_eq!(s.to_vec(), vec![3, 80]);
+    }
+
+    #[test]
+    fn matrix_reset_and_complement_into() {
+        let mut m = BitMatrix::new(4);
+        m.add_edge(0, 1);
+        let mut c = BitMatrix::new(77); // wrong-size scratch gets reshaped
+        m.complement_into(&mut c);
+        assert_eq!(c.len(), 4);
+        assert!(!c.has_edge(0, 1));
+        assert!(c.has_edge(0, 2));
+        assert_eq!(c.num_edges(), 5);
+        m.reset(3);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.num_edges(), 0);
     }
 
     #[test]

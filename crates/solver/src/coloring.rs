@@ -6,40 +6,104 @@
 //! Tomita-style *color order*: candidates are emitted grouped by color
 //! class, and the color index of a candidate is an upper bound for the best
 //! clique extendable from it and everything emitted before it.
+//!
+//! The kernels here are the innermost loops of the dense MC search — they
+//! run once per branch-and-bound node, millions of times per solve — so
+//! they are written as allocation-free word loops over a caller-provided
+//! [`ColorScratch`]. Building a color class costs one word-level copy of
+//! the uncolored set plus one AND-NOT per picked vertex, and the AND-NOT
+//! only touches words at or after the pick (picks move strictly
+//! rightward, so earlier words are spent). Nothing is cloned, per class
+//! or otherwise.
 
 use crate::bitset::{BitMatrix, Bitset};
 
-/// Greedy sequential coloring of the subgraph induced by `cand`.
-/// Returns the number of colors used — an upper bound on ω(G\[cand\]).
-pub fn greedy_color_count(adj: &BitMatrix, cand: &Bitset) -> usize {
-    let mut uncolored = cand.clone();
-    let mut colors = 0usize;
-    let mut class = Bitset::new(cand.capacity());
-    while !uncolored.is_empty() {
-        colors += 1;
-        class.clear();
-        let mut avail = uncolored.clone();
-        while let Some(v) = avail.first() {
-            class.insert(v);
+/// Reusable buffers for the coloring kernels. One per worker; after the
+/// first call at a given subgraph size, no method here allocates.
+#[derive(Default)]
+pub struct ColorScratch {
+    uncolored: Bitset,
+    avail: Bitset,
+}
+
+impl ColorScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Heap bytes retained by the scratch buffers.
+    pub fn heap_bytes(&self) -> usize {
+        self.uncolored.heap_bytes() + self.avail.heap_bytes()
+    }
+}
+
+/// Lowest set bit at or after word `from_word`, if any.
+#[inline]
+fn next_set_bit(words: &[u64], from_word: usize) -> Option<usize> {
+    words[from_word..].iter().position(|&w| w != 0).map(|off| {
+        let wi = from_word + off;
+        wi * 64 + words[wi].trailing_zeros() as usize
+    })
+}
+
+/// Core kernel: peels one greedy color class per outer iteration, invoking
+/// `emit(v, color)` for every vertex in pick order. Returns the number of
+/// colors used.
+#[inline]
+fn color_classes(
+    adj: &BitMatrix,
+    cand: &Bitset,
+    scratch: &mut ColorScratch,
+    mut emit: impl FnMut(usize, u32),
+) -> u32 {
+    scratch.uncolored.copy_from(cand);
+    let ColorScratch { uncolored, avail } = scratch;
+    let mut color = 0u32;
+    while let Some(seed) = uncolored.first() {
+        color += 1;
+        avail.copy_from(uncolored);
+        let mut v = seed;
+        loop {
             uncolored.remove(v);
             avail.remove(v);
-            // Remove v's neighbors from this class's availability.
-            for (a, &b) in avail_words_mut(&mut avail).iter_mut().zip(adj.row(v)) {
-                *a &= !b;
+            emit(v, color);
+            // Drop v's neighbors from this class's availability. Picks
+            // move strictly rightward (v was the lowest available bit),
+            // so only words from v's onward can still hold candidates.
+            let w0 = v / 64;
+            let row = adj.row(v);
+            let words = avail.words_mut();
+            for wi in w0..words.len() {
+                words[wi] &= !row[wi];
+            }
+            match next_set_bit(avail.words(), w0) {
+                Some(u) => v = u,
+                None => break,
             }
         }
     }
-    colors
+    color
 }
 
-// Private accessor: Bitset doesn't expose mutable words publicly; keep the
-// word-level AND-NOT local to this module.
-fn avail_words_mut(b: &mut Bitset) -> &mut [u64] {
-    // SAFETY-free: implemented via a crate-internal method.
-    b.words_mut()
+/// Greedy sequential coloring of the subgraph induced by `cand`, using
+/// caller-owned scratch. Returns the number of colors used — an upper
+/// bound on ω(G\[cand\]).
+pub fn greedy_color_count_scratch(
+    adj: &BitMatrix,
+    cand: &Bitset,
+    scratch: &mut ColorScratch,
+) -> usize {
+    color_classes(adj, cand, scratch, |_, _| {}) as usize
 }
 
-/// Tomita-style color order.
+/// [`greedy_color_count_scratch`] with throwaway scratch (convenience for
+/// one-shot callers; hot paths should hold a [`ColorScratch`]).
+pub fn greedy_color_count(adj: &BitMatrix, cand: &Bitset) -> usize {
+    greedy_color_count_scratch(adj, cand, &mut ColorScratch::default())
+}
+
+/// Tomita-style color order, using caller-owned scratch.
 ///
 /// Emits the candidates of `cand` as `(order, bound)` where `order` lists
 /// vertices grouped by ascending color class and `bound[i]` is the color
@@ -47,24 +111,24 @@ fn avail_words_mut(b: &mut Bitset) -> &mut [u64] {
 /// using only `order[0..=i]` has size at most `bound[i]`, so branching from
 /// the *end* of the array lets the solver prune the entire remainder as
 /// soon as `|C| + bound[i] <= incumbent`.
-pub fn color_order(adj: &BitMatrix, cand: &Bitset, order: &mut Vec<u32>, bound: &mut Vec<u32>) {
+pub fn color_order_scratch(
+    adj: &BitMatrix,
+    cand: &Bitset,
+    order: &mut Vec<u32>,
+    bound: &mut Vec<u32>,
+    scratch: &mut ColorScratch,
+) {
     order.clear();
     bound.clear();
-    let mut uncolored = cand.clone();
-    let mut color = 0u32;
-    while !uncolored.is_empty() {
-        color += 1;
-        let mut avail = uncolored.clone();
-        while let Some(v) = avail.first() {
-            uncolored.remove(v);
-            avail.remove(v);
-            for (a, &b) in avail_words_mut(&mut avail).iter_mut().zip(adj.row(v)) {
-                *a &= !b;
-            }
-            order.push(v as u32);
-            bound.push(color);
-        }
-    }
+    color_classes(adj, cand, scratch, |v, color| {
+        order.push(v as u32);
+        bound.push(color);
+    });
+}
+
+/// [`color_order_scratch`] with throwaway scratch.
+pub fn color_order(adj: &BitMatrix, cand: &Bitset, order: &mut Vec<u32>, bound: &mut Vec<u32>) {
+    color_order_scratch(adj, cand, order, bound, &mut ColorScratch::default());
 }
 
 #[cfg(test)]
@@ -153,5 +217,50 @@ mod tests {
             m.add_edge(u, v);
         }
         assert!(greedy_color_count(&m, &Bitset::full(10)) >= 3);
+    }
+
+    #[test]
+    fn scratch_reuse_across_sizes_matches_fresh() {
+        // The same scratch, fed candidate sets of different capacities,
+        // must behave exactly like a fresh one (reset must not leak
+        // stale words across sizes).
+        let mut scratch = ColorScratch::new();
+        let sizes = [130usize, 5, 64, 100, 3, 129];
+        for &n in &sizes {
+            let m = k(n);
+            let cand = Bitset::full(n);
+            assert_eq!(greedy_color_count_scratch(&m, &cand, &mut scratch), n);
+            let mut order = Vec::new();
+            let mut bound = Vec::new();
+            color_order_scratch(&m, &cand, &mut order, &mut bound, &mut scratch);
+            assert_eq!(order.len(), n);
+            assert_eq!(bound.last().copied().unwrap_or(0) as usize, n);
+        }
+    }
+
+    #[test]
+    fn color_order_multiword_graph() {
+        // A graph spanning multiple words: two cliques of 40 joined by a
+        // perfect matching. Coloring must still bound ω = 40.
+        let n = 80;
+        let mut m = BitMatrix::new(n);
+        for u in 0..40 {
+            for v in u + 1..40 {
+                m.add_edge(u, v);
+                m.add_edge(40 + u, 40 + v);
+            }
+        }
+        for u in 0..40 {
+            m.add_edge(u, 40 + u);
+        }
+        let colors = greedy_color_count(&m, &Bitset::full(n));
+        assert!(colors >= 40);
+        let mut order = Vec::new();
+        let mut bound = Vec::new();
+        color_order(&m, &Bitset::full(n), &mut order, &mut bound);
+        assert_eq!(order.len(), n);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
     }
 }

@@ -32,14 +32,18 @@
 pub mod bitset;
 pub mod coloring;
 pub mod mc;
+pub mod scratch;
 pub mod vc;
 
 pub use bitset::{BitMatrix, Bitset};
-pub use coloring::{color_order, greedy_color_count};
+pub use coloring::{color_order, color_order_scratch, greedy_color_count, ColorScratch};
 pub use mc::{
-    max_clique_dense, max_clique_dense_within, max_clique_exact, reduce_candidates, McStats,
+    max_clique_dense, max_clique_dense_scratch, max_clique_dense_within, max_clique_exact,
+    reduce_candidates, McScratch, McStats,
 };
+pub use scratch::Pool;
 pub use vc::{
-    max_clique_via_vc, min_vertex_cover, vertex_cover_decision, vertex_cover_decision_within,
+    max_clique_via_vc, max_clique_via_vc_scratch, min_vertex_cover, vertex_cover_decision,
+    vertex_cover_decision_scratch, vertex_cover_decision_within, VcScratch, VcSolveScratch,
     VcStats,
 };

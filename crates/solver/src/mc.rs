@@ -5,9 +5,17 @@
 //! explored in reverse color order so that `|C| + color(v) <= |C*|` prunes
 //! the whole remaining prefix — plus incumbent-size pruning. It operates on
 //! the bit-matrix adjacency of the (small, dense) filtered neighbourhood.
+//!
+//! All per-node state — the candidate set, color order and bounds of every
+//! depth, the current and best cliques, the coloring buffers — lives in a
+//! reusable [`McScratch`] arena. A node expansion performs **zero heap
+//! allocations** once the arena is warm (verified by the counting-allocator
+//! test in `tests/zero_alloc.rs`); the paper's work-avoidance thesis cuts
+//! both ways, and per-node `memcpy`+`malloc` of bitsets was the largest
+//! avoidable work left in the innermost loop.
 
 use crate::bitset::{BitMatrix, Bitset};
-use crate::coloring::color_order;
+use crate::coloring::{color_order_scratch, ColorScratch};
 
 /// Search statistics, used by the work-accounting figures.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -16,52 +24,141 @@ pub struct McStats {
     pub nodes: u64,
 }
 
+/// Per-depth reusable buffers: the color order, its bounds, and the
+/// candidate set owned by that depth.
+#[derive(Default)]
+struct DepthScratch {
+    order: Vec<u32>,
+    bound: Vec<u32>,
+    cand: Bitset,
+}
+
+/// Reusable arena for the dense MC search: all per-depth state plus the
+/// coloring buffers and the clique vectors. Hold one per worker and thread
+/// it through [`max_clique_dense_scratch`] to make every node expansion
+/// allocation-free after warm-up; buffers grow monotonically and are
+/// reshaped (never reallocated, once large enough) between solves.
+#[derive(Default)]
+pub struct McScratch {
+    depths: Vec<DepthScratch>,
+    color: ColorScratch,
+    current: Vec<u32>,
+    best_clique: Vec<u32>,
+}
+
+impl McScratch {
+    /// An empty arena (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Heap bytes retained by the arena (pool retention bound).
+    pub fn heap_bytes(&self) -> usize {
+        self.color.heap_bytes()
+            + (self.current.capacity() + self.best_clique.capacity()) * 4
+            + self
+                .depths
+                .iter()
+                .map(|d| d.cand.heap_bytes() + (d.order.capacity() + d.bound.capacity()) * 4)
+                .sum::<usize>()
+    }
+}
+
 struct Searcher<'a> {
     adj: &'a BitMatrix,
     best: usize,
-    best_clique: Vec<u32>,
-    current: Vec<u32>,
+    found: bool,
     stats: McStats,
-    /// Per-depth scratch buffers (color order, bounds, next candidate set).
-    scratch: Vec<(Vec<u32>, Vec<u32>, Bitset)>,
+    scratch: &'a mut McScratch,
 }
 
-impl<'a> Searcher<'a> {
-    fn expand(&mut self, cand: &Bitset, depth: usize) {
+impl Searcher<'_> {
+    /// Expands the node whose candidate set the caller placed in
+    /// `scratch.depths[depth].cand`.
+    fn expand(&mut self, depth: usize) {
         self.stats.nodes += 1;
-        if self.scratch.len() <= depth {
-            let n = self.adj.len();
-            self.scratch.push((Vec::new(), Vec::new(), Bitset::new(n)));
-        }
-        // Take the depth's scratch buffers out to appease the borrow checker;
-        // they are returned before unwinding the frame.
-        let (mut order, mut bound, mut next) = std::mem::replace(
-            &mut self.scratch[depth],
-            (Vec::new(), Vec::new(), Bitset::new(0)),
+        // Take this depth's buffers out of the arena for the duration of
+        // the frame (empty vectors and a zero-capacity bitset go in; no
+        // allocation either way).
+        let mut d = std::mem::take(&mut self.scratch.depths[depth]);
+        color_order_scratch(
+            self.adj,
+            &d.cand,
+            &mut d.order,
+            &mut d.bound,
+            &mut self.scratch.color,
         );
-        color_order(self.adj, cand, &mut order, &mut bound);
-        let mut cand = cand.clone();
-        for i in (0..order.len()).rev() {
-            if self.current.len() + bound[i] as usize <= self.best {
+        for i in (0..d.order.len()).rev() {
+            if self.scratch.current.len() + d.bound[i] as usize <= self.best {
                 break; // bounds ascend: everything before i prunes too
             }
-            let v = order[i] as usize;
-            self.current.push(v as u32);
-            cand.intersection_into(self.adj.row(v), &mut next);
-            if next.is_empty() {
-                if self.current.len() > self.best {
-                    self.best = self.current.len();
-                    self.best_clique = self.current.clone();
+            let v = d.order[i] as usize;
+            self.scratch.current.push(v as u32);
+            if self.scratch.depths.len() <= depth + 1 {
+                // First visit to this depth (warm-up): grow the arena.
+                self.scratch.depths.push(DepthScratch::default());
+            }
+            let child = &mut self.scratch.depths[depth + 1];
+            // Sized without zeroing: the intersection overwrites every word.
+            child.cand.reset_for_overwrite(d.cand.capacity());
+            d.cand.intersection_into(self.adj.row(v), &mut child.cand);
+            if child.cand.is_empty() {
+                if self.scratch.current.len() > self.best {
+                    self.best = self.scratch.current.len();
+                    self.found = true;
+                    self.scratch.best_clique.clear();
+                    let current = &self.scratch.current;
+                    self.scratch.best_clique.extend_from_slice(current);
                 }
             } else {
-                let next_snapshot = next.clone();
-                self.expand(&next_snapshot, depth + 1);
+                self.expand(depth + 1);
             }
-            self.current.pop();
-            cand.remove(v);
+            self.scratch.current.pop();
+            d.cand.remove(v);
         }
-        self.scratch[depth] = (order, bound, next);
+        self.scratch.depths[depth] = d;
     }
+}
+
+/// The scratch-arena entry point: finds a maximum clique of the subgraph
+/// induced by `within` *if it is larger than `lb`*, writing the witness
+/// into `out` and returning whether one was found. `out` is cleared either
+/// way. With a warm `scratch` (and `out` at capacity), the search performs
+/// no heap allocation at all.
+pub fn max_clique_dense_scratch(
+    adj: &BitMatrix,
+    within: &Bitset,
+    lb: usize,
+    stats: Option<&mut McStats>,
+    scratch: &mut McScratch,
+    out: &mut Vec<u32>,
+) -> bool {
+    out.clear();
+    if adj.is_empty() || within.len() <= lb {
+        return false;
+    }
+    if scratch.depths.is_empty() {
+        scratch.depths.push(DepthScratch::default());
+    }
+    scratch.depths[0].cand.copy_from(within);
+    scratch.current.clear();
+    scratch.best_clique.clear();
+    let mut s = Searcher {
+        adj,
+        best: lb,
+        found: false,
+        stats: McStats::default(),
+        scratch,
+    };
+    s.expand(0);
+    let (found, nodes) = (s.found, s.stats.nodes);
+    if let Some(o) = stats {
+        o.nodes += nodes;
+    }
+    if found {
+        out.extend_from_slice(&scratch.best_clique);
+    }
+    found
 }
 
 /// Finds a maximum clique of the graph *if it is larger than `lb`*.
@@ -82,50 +179,40 @@ pub fn max_clique_dense(
 }
 
 /// [`max_clique_dense`] restricted to the vertices of `within` — used when
-/// a reduction pass has already discarded part of the subgraph.
+/// a reduction pass has already discarded part of the subgraph. One-shot
+/// convenience over [`max_clique_dense_scratch`].
 pub fn max_clique_dense_within(
     adj: &BitMatrix,
     within: &Bitset,
     lb: usize,
     stats: Option<&mut McStats>,
 ) -> Option<Vec<u32>> {
-    if adj.is_empty() || within.len() <= lb {
-        return None;
-    }
-    let mut s = Searcher {
-        adj,
-        best: lb,
-        best_clique: Vec::new(),
-        current: Vec::new(),
-        stats: McStats::default(),
-        scratch: Vec::new(),
-    };
-    s.expand(within, 0);
-    if let Some(out) = stats {
-        out.nodes += s.stats.nodes;
-    }
-    if s.best_clique.is_empty() {
-        None
-    } else {
-        Some(s.best_clique)
-    }
+    let mut scratch = McScratch::default();
+    let mut out = Vec::new();
+    max_clique_dense_scratch(adj, within, lb, stats, &mut scratch, &mut out).then_some(out)
 }
 
 /// Iterated degree reduction within a candidate set: removes every vertex
 /// whose candidate-degree cannot complete a clique of size > `lb`, to a
 /// fixpoint. This is the "MC-BRB-style filtering inside the subgraph" the
 /// paper names as an easy extension to LazyMC (§V-A); returns the number
-/// of vertices removed.
+/// of vertices removed. Allocation-free: iterates word snapshots instead
+/// of cloning the set per round.
 pub fn reduce_candidates(adj: &BitMatrix, within: &mut Bitset, lb: usize) -> usize {
     let mut removed = 0usize;
     loop {
         let mut changed = false;
-        for v in within.clone().iter() {
-            // a clique through v has at most deg_within(v) + 1 vertices
-            if adj.degree_within(v, within) < lb {
-                within.remove(v);
-                removed += 1;
-                changed = true;
+        for wi in 0..within.words().len() {
+            let mut w = within.words()[wi];
+            while w != 0 {
+                let v = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                // a clique through v has at most deg_within(v) + 1 vertices
+                if adj.degree_within(v, within) < lb {
+                    within.remove(v);
+                    removed += 1;
+                    changed = true;
+                }
             }
         }
         if !changed {
@@ -227,5 +314,59 @@ mod tests {
         let c = max_clique_dense(&m, 0, Some(&mut st));
         assert_eq!(c.unwrap().len(), 3);
         assert!(st.nodes > 0);
+    }
+
+    #[test]
+    fn scratch_reuse_across_solves_and_sizes() {
+        // One arena, many subgraphs of different sizes: results must match
+        // fresh-scratch runs exactly (stale per-depth state must not leak).
+        let mut scratch = McScratch::new();
+        let mut out = Vec::new();
+        let graphs: Vec<(BitMatrix, usize)> = vec![
+            (from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]), 3),
+            (from_edges(100, &[(0, 99), (99, 50), (50, 0)]), 3),
+            (BitMatrix::new(5), 1),
+            (from_edges(3, &[(0, 1), (1, 2), (2, 0)]), 3),
+        ];
+        for (m, omega) in &graphs {
+            let found = max_clique_dense_scratch(
+                m,
+                &Bitset::full(m.len()),
+                0,
+                None,
+                &mut scratch,
+                &mut out,
+            );
+            assert!(found);
+            assert_eq!(out.len(), *omega);
+            assert!(m.is_clique(&out));
+        }
+        // lb suppression leaves out empty
+        let (m, _) = &graphs[0];
+        assert!(!max_clique_dense_scratch(
+            m,
+            &Bitset::full(m.len()),
+            4,
+            None,
+            &mut scratch,
+            &mut out
+        ));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reduce_candidates_removes_low_degree() {
+        // Triangle + pendant: lb 2 strips the pendant (degree 1 < 2).
+        let m = from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let mut within = Bitset::full(4);
+        let removed = reduce_candidates(&m, &mut within, 2);
+        assert_eq!(removed, 1);
+        assert!(!within.contains(3));
+        assert_eq!(within.len(), 3);
+        // Fixpoint cascades: a path collapses entirely under lb 2.
+        let p = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut within = Bitset::full(4);
+        assert_eq!(reduce_candidates(&p, &mut within, 2), 4);
+        assert!(within.is_empty());
     }
 }

@@ -12,6 +12,12 @@
 //!   case, as in the paper;
 //! * a polynomial path/cycle solver once the maximum degree drops to 2;
 //! * branching on a highest-degree vertex otherwise.
+//!
+//! Like the MC engine, the search keeps all per-depth state (the alive set
+//! of every branch level, the row/seen scratch of the kernelization and
+//! path/cycle solvers) in a reusable [`VcScratch`] arena, and the whole
+//! clique-via-VC pipeline (complement matrix included) in a
+//! [`VcSolveScratch`] — zero steady-state heap allocation per node.
 
 use crate::bitset::{BitMatrix, Bitset};
 
@@ -20,26 +26,123 @@ use crate::bitset::{BitMatrix, Bitset};
 pub struct VcStats {
     /// Branch-and-bound tree nodes expanded.
     pub nodes: u64,
+    /// Vertices removed (or forced into the cover) by the kernelization
+    /// rules — Buss, degree-0/1 and the non-merging degree-2 case.
+    pub reductions: u64,
+}
+
+/// Per-depth reusable buffer: the alive set owned by that branch level.
+#[derive(Default)]
+struct VcDepth {
+    alive: Bitset,
+}
+
+/// Reusable arena for the k-VC decision search. Hold one per worker; after
+/// warm-up no node expansion allocates.
+#[derive(Default)]
+pub struct VcScratch {
+    depths: Vec<VcDepth>,
+    row: Bitset,
+    seen: Bitset,
+    cycle: Vec<u32>,
+}
+
+impl VcScratch {
+    /// An empty arena (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Heap bytes retained by the arena (pool retention bound).
+    pub fn heap_bytes(&self) -> usize {
+        self.row.heap_bytes()
+            + self.seen.heap_bytes()
+            + self.cycle.capacity() * 4
+            + self
+                .depths
+                .iter()
+                .map(|d| d.alive.heap_bytes())
+                .sum::<usize>()
+    }
+}
+
+/// Reusable buffers for the full clique-via-VC pipeline: the complement
+/// matrix, the decision search arena, and the binary-search bookkeeping.
+#[derive(Default)]
+pub struct VcSolveScratch {
+    comp: BitMatrix,
+    search: VcScratch,
+    cover: Vec<u32>,
+    best_cover: Vec<u32>,
+    full: Bitset,
+    avail: Bitset,
+    row: Bitset,
+    in_cover: Vec<bool>,
+}
+
+impl VcSolveScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Heap bytes retained by the whole pipeline scratch.
+    pub fn heap_bytes(&self) -> usize {
+        self.comp.heap_bytes()
+            + self.search.heap_bytes()
+            + (self.cover.capacity() + self.best_cover.capacity()) * 4
+            + self.full.heap_bytes()
+            + self.avail.heap_bytes()
+            + self.row.heap_bytes()
+            + self.in_cover.capacity()
+    }
+}
+
+/// Scratch-arena decision: cover of size ≤ `k` for `adj` restricted to
+/// `alive`. On success the cover is written to `out` (cleared either way)
+/// and `true` is returned.
+pub fn vertex_cover_decision_scratch(
+    adj: &BitMatrix,
+    alive: &Bitset,
+    k: usize,
+    stats: Option<&mut VcStats>,
+    scratch: &mut VcScratch,
+    out: &mut Vec<u32>,
+) -> bool {
+    out.clear();
+    if scratch.depths.is_empty() {
+        scratch.depths.push(VcDepth::default());
+    }
+    scratch.depths[0].alive.copy_from(alive);
+    let mut solver = VcSolver {
+        adj,
+        stats: VcStats::default(),
+        scratch,
+    };
+    let ok = solver.solve(0, k as i64, out);
+    let local = solver.stats;
+    if let Some(s) = stats {
+        s.nodes += local.nodes;
+        s.reductions += local.reductions;
+    }
+    if !ok {
+        out.clear();
+    }
+    ok
 }
 
 /// Decides whether `adj` (restricted to `alive`) has a vertex cover of size
-/// at most `k`; on success returns the cover.
+/// at most `k`; on success returns the cover. One-shot convenience over
+/// [`vertex_cover_decision_scratch`].
 pub fn vertex_cover_decision_within(
     adj: &BitMatrix,
     alive: &Bitset,
     k: usize,
     stats: Option<&mut VcStats>,
 ) -> Option<Vec<u32>> {
-    let mut solver = VcSolver {
-        adj,
-        stats: VcStats::default(),
-    };
+    let mut scratch = VcScratch::default();
     let mut cover = Vec::new();
-    let ok = solver.solve(alive.clone(), k as i64, &mut cover);
-    if let Some(out) = stats {
-        out.nodes += solver.stats.nodes;
-    }
-    ok.then_some(cover)
+    vertex_cover_decision_scratch(adj, alive, k, stats, &mut scratch, &mut cover).then_some(cover)
 }
 
 /// Decides whether the whole graph has a vertex cover of size ≤ `k`.
@@ -61,20 +164,103 @@ pub fn min_vertex_cover(adj: &BitMatrix, stats: Option<&mut VcStats>) -> Vec<u32
     let mut best = greedy.clone();
     let (mut lo, mut hi) = (lb, greedy.len());
     let mut local = VcStats::default();
+    let mut scratch = VcScratch::default();
+    let mut cover = Vec::new();
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        match vertex_cover_decision(adj, mid, Some(&mut local)) {
-            Some(c) => {
-                hi = c.len().min(mid);
-                best = c;
-            }
-            None => lo = mid + 1,
+        if vertex_cover_decision_scratch(
+            adj,
+            &alive,
+            mid,
+            Some(&mut local),
+            &mut scratch,
+            &mut cover,
+        ) {
+            hi = cover.len().min(mid);
+            std::mem::swap(&mut best, &mut cover);
+        } else {
+            lo = mid + 1;
         }
     }
     if let Some(out) = stats {
         out.nodes += local.nodes;
+        out.reductions += local.reductions;
     }
     best
+}
+
+/// Scratch-arena maximum clique of `adj` via minimum vertex cover of the
+/// complement. Writes the witness into `out` and returns whether a clique
+/// larger than `lb` exists. With a warm `scratch`, the entire pipeline —
+/// complement matrix included — performs no heap allocation.
+pub fn max_clique_via_vc_scratch(
+    adj: &BitMatrix,
+    lb: usize,
+    stats: Option<&mut VcStats>,
+    scratch: &mut VcSolveScratch,
+    out: &mut Vec<u32>,
+) -> bool {
+    out.clear();
+    let n = adj.len();
+    if n == 0 || n <= lb {
+        return false;
+    }
+    adj.complement_into(&mut scratch.comp);
+    scratch.full.reset_full(n);
+    let mut local = VcStats::default();
+    // ω > lb ⟺ minVC(complement) <= n - lb - 1.
+    let k0 = n - lb - 1;
+    if !vertex_cover_decision_scratch(
+        &scratch.comp,
+        &scratch.full,
+        k0,
+        Some(&mut local),
+        &mut scratch.search,
+        &mut scratch.cover,
+    ) {
+        if let Some(s) = stats {
+            s.nodes += local.nodes;
+            s.reductions += local.reductions;
+        }
+        return false;
+    }
+    std::mem::swap(&mut scratch.best_cover, &mut scratch.cover);
+    // Refine: binary search down to the true minimum to maximize the clique.
+    let mut lo = matching_lower_bound_scratch(
+        &scratch.comp,
+        &scratch.full,
+        &mut scratch.avail,
+        &mut scratch.row,
+    );
+    let mut hi = scratch.best_cover.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if vertex_cover_decision_scratch(
+            &scratch.comp,
+            &scratch.full,
+            mid,
+            Some(&mut local),
+            &mut scratch.search,
+            &mut scratch.cover,
+        ) {
+            hi = scratch.cover.len().min(mid);
+            std::mem::swap(&mut scratch.best_cover, &mut scratch.cover);
+        } else {
+            lo = mid + 1;
+        }
+    }
+    if let Some(s) = stats {
+        s.nodes += local.nodes;
+        s.reductions += local.reductions;
+    }
+    scratch.in_cover.clear();
+    scratch.in_cover.resize(n, false);
+    for &v in &scratch.best_cover {
+        scratch.in_cover[v as usize] = true;
+    }
+    out.extend((0..n as u32).filter(|&v| !scratch.in_cover[v as usize]));
+    debug_assert!(adj.is_clique(out));
+    true
 }
 
 /// Maximum clique of `adj` via minimum vertex cover of the complement.
@@ -83,55 +269,37 @@ pub fn min_vertex_cover(adj: &BitMatrix, stats: Option<&mut VcStats>) -> Vec<u32
 /// `ω <= lb`. This is the paper's per-neighbourhood algorithmic choice: the
 /// initial decision call alone discharges most neighbourhoods; only when a
 /// better clique exists does the binary search refine to the exact optimum.
+/// One-shot convenience over [`max_clique_via_vc_scratch`].
 pub fn max_clique_via_vc(
     adj: &BitMatrix,
     lb: usize,
     stats: Option<&mut VcStats>,
 ) -> Option<Vec<u32>> {
-    let n = adj.len();
-    if n == 0 || n <= lb {
-        return None;
-    }
-    let comp = adj.complement();
-    let mut local = VcStats::default();
-    // ω > lb ⟺ minVC(complement) <= n - lb - 1.
-    let k0 = n - lb - 1;
-    let first = vertex_cover_decision(&comp, k0, Some(&mut local))?;
-    // Refine: binary search down to the true minimum to maximize the clique.
-    let alive = Bitset::full(n);
-    let mut best_cover = first;
-    let (mut lo, mut hi) = (matching_lower_bound(&comp, &alive), best_cover.len());
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        match vertex_cover_decision(&comp, mid, Some(&mut local)) {
-            Some(c) => {
-                hi = c.len().min(mid);
-                best_cover = c;
-            }
-            None => lo = mid + 1,
-        }
-    }
-    if let Some(out) = stats {
-        out.nodes += local.nodes;
-    }
-    let mut in_cover = vec![false; n];
-    for &v in &best_cover {
-        in_cover[v as usize] = true;
-    }
-    let clique: Vec<u32> = (0..n as u32).filter(|&v| !in_cover[v as usize]).collect();
-    debug_assert!(adj.is_clique(&clique));
-    Some(clique)
+    let mut scratch = VcSolveScratch::default();
+    let mut out = Vec::new();
+    max_clique_via_vc_scratch(adj, lb, stats, &mut scratch, &mut out).then_some(out)
 }
 
 /// Lower bound: size of a greedily-built maximal matching (every cover must
 /// contain at least one endpoint of each matched edge).
 pub fn matching_lower_bound(adj: &BitMatrix, alive: &Bitset) -> usize {
-    let mut avail = alive.clone();
+    let mut avail = Bitset::new(0);
+    let mut row = Bitset::new(0);
+    matching_lower_bound_scratch(adj, alive, &mut avail, &mut row)
+}
+
+fn matching_lower_bound_scratch(
+    adj: &BitMatrix,
+    alive: &Bitset,
+    avail: &mut Bitset,
+    row: &mut Bitset,
+) -> usize {
+    avail.copy_from(alive);
+    row.reset_for_overwrite(alive.capacity());
     let mut matched = 0usize;
-    let mut row = Bitset::new(alive.capacity());
     while let Some(v) = avail.first() {
         avail.remove(v);
-        avail.intersection_into(adj.row(v), &mut row);
+        avail.intersection_into(adj.row(v), row);
         if let Some(u) = row.first() {
             avail.remove(u);
             matched += 1;
@@ -165,6 +333,7 @@ pub fn greedy_cover(adj: &BitMatrix, alive: &Bitset) -> Vec<u32> {
 struct VcSolver<'a> {
     adj: &'a BitMatrix,
     stats: VcStats,
+    scratch: &'a mut VcScratch,
 }
 
 /// Outcome of a kernelization fixpoint.
@@ -177,15 +346,33 @@ struct Kernelized {
     max_d: usize,
 }
 
-impl<'a> VcSolver<'a> {
-    /// Decision: cover of size ≤ k for the alive subgraph. On success the
-    /// chosen vertices are appended to `cover`; on failure `cover` is
-    /// restored to its length at entry.
-    fn solve(&mut self, mut alive: Bitset, mut k: i64, cover: &mut Vec<u32>) -> bool {
+impl VcSolver<'_> {
+    /// Decision: cover of size ≤ k for the alive set the caller placed in
+    /// `scratch.depths[depth].alive`. On success the chosen vertices are
+    /// appended to `cover`; on failure `cover` is restored to its length
+    /// at entry.
+    fn solve(&mut self, depth: usize, k: i64, cover: &mut Vec<u32>) -> bool {
         self.stats.nodes += 1;
+        while self.scratch.depths.len() <= depth + 1 {
+            // First visit to this depth (warm-up): grow the arena.
+            self.scratch.depths.push(VcDepth::default());
+        }
+        let mut d = std::mem::take(&mut self.scratch.depths[depth]);
+        let ok = self.solve_with(depth, &mut d.alive, k, cover);
+        self.scratch.depths[depth] = d;
+        ok
+    }
+
+    fn solve_with(
+        &mut self,
+        depth: usize,
+        alive: &mut Bitset,
+        mut k: i64,
+        cover: &mut Vec<u32>,
+    ) -> bool {
         let frame_mark = cover.len();
         // --- Kernelization fixpoint (pushes forced picks onto cover) ----
-        let Some(kern) = self.kernelize(&mut alive, &mut k, cover) else {
+        let Some(kern) = self.kernelize(alive, &mut k, cover) else {
             cover.truncate(frame_mark);
             return false;
         };
@@ -204,7 +391,7 @@ impl<'a> VcSolver<'a> {
         }
         // --- Polynomial tail: paths and cycles --------------------------
         if kern.max_d <= 2 {
-            if self.solve_paths_cycles(&alive, k, cover) {
+            if self.solve_paths_cycles(alive, k, cover) {
                 return true;
             }
             cover.truncate(frame_mark);
@@ -215,29 +402,33 @@ impl<'a> VcSolver<'a> {
         // Option A: v joins the cover.
         let branch_mark = cover.len();
         {
-            let mut alive_a = alive.clone();
-            alive_a.remove(v);
+            let child = &mut self.scratch.depths[depth + 1].alive;
+            child.copy_from(alive);
+            child.remove(v);
             cover.push(v as u32);
-            if self.solve(alive_a, k - 1, cover) {
+            if self.solve(depth + 1, k - 1, cover) {
                 return true;
             }
             cover.truncate(branch_mark);
         }
         // Option B: all of v's alive neighbors join the cover.
-        {
-            let mut alive_b = alive.clone();
+        let taken = {
+            let VcScratch { depths, row, .. } = &mut *self.scratch;
+            row.reset_for_overwrite(alive.capacity());
+            alive.intersection_into(self.adj.row(v), row);
+            let child = &mut depths[depth + 1].alive;
+            child.copy_from(alive);
             let mut taken = 0i64;
-            let mut row = Bitset::new(alive.capacity());
-            alive.intersection_into(self.adj.row(v), &mut row);
             for u in row.iter() {
                 cover.push(u as u32);
-                alive_b.remove(u);
+                child.remove(u);
                 taken += 1;
             }
-            alive_b.remove(v);
-            if self.solve(alive_b, k - taken, cover) {
-                return true;
-            }
+            child.remove(v);
+            taken
+        };
+        if self.solve(depth + 1, k - taken, cover) {
+            return true;
         }
         cover.truncate(frame_mark);
         false
@@ -245,9 +436,10 @@ impl<'a> VcSolver<'a> {
 
     /// Applies the degree-0/1/2 and Buss rules to a fixpoint. Returns
     /// `None` when the budget `k` is exhausted mid-kernelization, otherwise
-    /// the residual edge count and a maximum-degree vertex.
+    /// the residual edge count and a maximum-degree vertex. Iterates word
+    /// snapshots of the alive set — no per-sweep vertex list is built.
     fn kernelize(
-        &self,
+        &mut self,
         alive: &mut Bitset,
         k: &mut i64,
         cover: &mut Vec<u32>,
@@ -260,57 +452,65 @@ impl<'a> VcSolver<'a> {
             let mut m2 = 0usize; // sum of degrees over the sweep
             let mut max_v = usize::MAX;
             let mut max_d = 0usize;
-            let verts: Vec<usize> = alive.iter().collect();
-            for v in verts {
-                if !alive.contains(v) {
-                    continue; // removed earlier in this sweep
-                }
-                let d = self.adj.degree_within(v, alive);
-                if d == 0 {
-                    alive.remove(v); // isolated: never needed in a cover
-                    changed = true;
-                } else if d as i64 > *k {
-                    // Buss rule: more than k incident edges ⇒ v is forced.
-                    cover.push(v as u32);
-                    alive.remove(v);
-                    *k -= 1;
-                    changed = true;
-                    if *k < 0 {
-                        return None;
+            for wi in 0..alive.words().len() {
+                let mut w = alive.words()[wi];
+                while w != 0 {
+                    let v = wi * 64 + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    if !alive.contains(v) {
+                        continue; // removed earlier in this sweep
                     }
-                } else if d == 1 {
-                    // Take the single neighbor: always at least as good.
-                    let u = self.neighbor_within(v, alive).expect("degree 1");
-                    cover.push(u as u32);
-                    alive.remove(u);
-                    alive.remove(v);
-                    *k -= 1;
-                    changed = true;
-                } else if d == 2 {
-                    // Non-merging degree-2 rule (the paper implements only
-                    // this case): if v's two neighbors are adjacent, taking
-                    // both dominates any cover containing v.
-                    let (a, b) = self.two_neighbors_within(v, alive);
-                    if self.adj.has_edge(a, b) {
-                        cover.push(a as u32);
-                        cover.push(b as u32);
-                        alive.remove(a);
-                        alive.remove(b);
-                        alive.remove(v);
-                        *k -= 2;
+                    let d = self.adj.degree_within(v, alive);
+                    if d == 0 {
+                        alive.remove(v); // isolated: never needed in a cover
+                        self.stats.reductions += 1;
                         changed = true;
+                    } else if d as i64 > *k {
+                        // Buss rule: more than k incident edges ⇒ v is forced.
+                        cover.push(v as u32);
+                        alive.remove(v);
+                        self.stats.reductions += 1;
+                        *k -= 1;
+                        changed = true;
+                        if *k < 0 {
+                            return None;
+                        }
+                    } else if d == 1 {
+                        // Take the single neighbor: always at least as good.
+                        let u = self.neighbor_within(v, alive).expect("degree 1");
+                        cover.push(u as u32);
+                        alive.remove(u);
+                        alive.remove(v);
+                        self.stats.reductions += 2;
+                        *k -= 1;
+                        changed = true;
+                    } else if d == 2 {
+                        // Non-merging degree-2 rule (the paper implements only
+                        // this case): if v's two neighbors are adjacent, taking
+                        // both dominates any cover containing v.
+                        let (a, b) = self.two_neighbors_within(v, alive);
+                        if self.adj.has_edge(a, b) {
+                            cover.push(a as u32);
+                            cover.push(b as u32);
+                            alive.remove(a);
+                            alive.remove(b);
+                            alive.remove(v);
+                            self.stats.reductions += 3;
+                            *k -= 2;
+                            changed = true;
+                        } else {
+                            m2 += d;
+                            if d > max_d {
+                                max_d = d;
+                                max_v = v;
+                            }
+                        }
                     } else {
                         m2 += d;
                         if d > max_d {
                             max_d = d;
                             max_v = v;
                         }
-                    }
-                } else {
-                    m2 += d;
-                    if d > max_d {
-                        max_d = d;
-                        max_v = v;
                     }
                 }
             }
@@ -326,18 +526,21 @@ impl<'a> VcSolver<'a> {
         }
     }
 
-    fn neighbor_within(&self, v: usize, alive: &Bitset) -> Option<usize> {
-        let mut row = Bitset::new(alive.capacity());
-        alive.intersection_into(self.adj.row(v), &mut row);
-        row.first()
+    fn alive_row(&mut self, v: usize, alive: &Bitset) -> &Bitset {
+        let row = &mut self.scratch.row;
+        row.reset_for_overwrite(alive.capacity());
+        alive.intersection_into(self.adj.row(v), row);
+        row
     }
 
-    fn two_neighbors_within(&self, v: usize, alive: &Bitset) -> (usize, usize) {
-        let mut row = Bitset::new(alive.capacity());
-        alive.intersection_into(self.adj.row(v), &mut row);
+    fn neighbor_within(&mut self, v: usize, alive: &Bitset) -> Option<usize> {
+        self.alive_row(v, alive).first()
+    }
+
+    fn two_neighbors_within(&mut self, v: usize, alive: &Bitset) -> (usize, usize) {
+        let row = self.alive_row(v, alive);
         let a = row.first().expect("degree 2");
-        row.remove(a);
-        let b = row.first().expect("degree 2");
+        let b = row.iter().find(|&u| u != a).expect("degree 2");
         (a, b)
     }
 
@@ -345,11 +548,14 @@ impl<'a> VcSolver<'a> {
     /// Optimal covers are closed-form; returns whether they fit in `k`.
     /// On failure the caller restores `cover`.
     fn solve_paths_cycles(&mut self, alive: &Bitset, mut k: i64, cover: &mut Vec<u32>) -> bool {
-        let mut seen = Bitset::new(alive.capacity());
-        let verts: Vec<usize> = alive.iter().collect();
+        let adj = self.adj;
+        let VcScratch {
+            row, seen, cycle, ..
+        } = &mut *self.scratch;
+        seen.reset(alive.capacity());
         // Paths first: start walks from endpoints (degree ≤ 1).
-        for &v in &verts {
-            if seen.contains(v) || self.adj.degree_within(v, alive) > 1 {
+        for v in alive.iter() {
+            if seen.contains(v) || adj.degree_within(v, alive) > 1 {
                 continue;
             }
             // walk the path, taking every second vertex (odd positions)
@@ -362,8 +568,8 @@ impl<'a> VcSolver<'a> {
                     cover.push(cur as u32);
                     k -= 1;
                 }
-                let mut row = Bitset::new(alive.capacity());
-                alive.intersection_into(self.adj.row(cur), &mut row);
+                row.reset_for_overwrite(alive.capacity());
+                alive.intersection_into(adj.row(cur), row);
                 if prev != usize::MAX {
                     row.remove(prev);
                 }
@@ -383,18 +589,18 @@ impl<'a> VcSolver<'a> {
             }
         }
         // Remaining unseen vertices with degree 2 form cycles.
-        for &v in &verts {
+        for v in alive.iter() {
             if seen.contains(v) {
                 continue;
             }
-            let mut cycle = Vec::new();
+            cycle.clear();
             let mut prev = usize::MAX;
             let mut cur = v;
             loop {
                 seen.insert(cur);
-                cycle.push(cur);
-                let mut row = Bitset::new(alive.capacity());
-                alive.intersection_into(self.adj.row(cur), &mut row);
+                cycle.push(cur as u32);
+                row.reset_for_overwrite(alive.capacity());
+                alive.intersection_into(adj.row(cur), row);
                 if prev != usize::MAX {
                     row.remove(prev);
                 }
@@ -412,12 +618,12 @@ impl<'a> VcSolver<'a> {
             let l = cycle.len();
             for (i, &u) in cycle.iter().enumerate() {
                 if i % 2 == 1 {
-                    cover.push(u as u32);
+                    cover.push(u);
                     k -= 1;
                 }
             }
             if l % 2 == 1 && l > 1 {
-                cover.push(cycle[l - 1] as u32);
+                cover.push(cycle[l - 1]);
                 k -= 1;
             }
             if k < 0 {
@@ -566,5 +772,50 @@ mod tests {
         let mut st = VcStats::default();
         let _ = min_vertex_cover(&m, Some(&mut st));
         assert!(st.nodes > 0);
+    }
+
+    #[test]
+    fn kernelization_reductions_counted() {
+        // A star kernelizes entirely (degree-1 rule): reductions > 0.
+        let m = from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let mut st = VcStats::default();
+        let c = vertex_cover_decision(&m, 1, Some(&mut st)).unwrap();
+        assert_eq!(c, vec![0]);
+        assert!(st.reductions > 0);
+    }
+
+    #[test]
+    fn scratch_reuse_across_solves_and_sizes() {
+        // One scratch through subgraphs of different sizes must match the
+        // fresh-scratch answers exactly.
+        let mut scratch = VcSolveScratch::new();
+        let mut out = Vec::new();
+        let graphs = vec![
+            from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]),
+            from_edges(70, &[(0, 69), (69, 35), (35, 0), (1, 2)]),
+            from_edges(3, &[(0, 1), (1, 2), (2, 0)]),
+            from_edges(4, &[]),
+        ];
+        for m in &graphs {
+            let expect = max_clique_via_vc(m, 0, None).unwrap();
+            assert!(max_clique_via_vc_scratch(
+                m,
+                0,
+                None,
+                &mut scratch,
+                &mut out
+            ));
+            assert_eq!(out.len(), expect.len(), "graph {m:?}");
+            assert!(m.is_clique(&out));
+        }
+        // lb suppression
+        assert!(!max_clique_via_vc_scratch(
+            &graphs[2],
+            3,
+            None,
+            &mut scratch,
+            &mut out
+        ));
+        assert!(out.is_empty());
     }
 }

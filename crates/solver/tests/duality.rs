@@ -9,8 +9,9 @@
 use lazymc_graph::gen;
 use lazymc_solver::bitset::{BitMatrix, Bitset};
 use lazymc_solver::{
-    greedy_color_count, max_clique_exact, max_clique_via_vc, min_vertex_cover, vc::is_vertex_cover,
-    vertex_cover_decision,
+    greedy_color_count, max_clique_dense_scratch, max_clique_exact, max_clique_via_vc,
+    max_clique_via_vc_scratch, min_vertex_cover, vc::is_vertex_cover, vertex_cover_decision,
+    McScratch, VcSolveScratch,
 };
 use proptest::prelude::*;
 
@@ -46,6 +47,43 @@ proptest! {
             let again = max_clique_via_vc(&m, direct.len() - 1, None).unwrap();
             prop_assert_eq!(again.len(), direct.len());
         }
+    }
+
+    #[test]
+    fn scratch_paths_agree_with_one_shot_engines(m in arb_matrix()) {
+        // The PR-3 refactor guard: the one-shot engines and the reused
+        // scratch-arena paths must report the same omega on random G(n,p)
+        // across densities — including when the *same* arena is fed a
+        // second, different-size problem right after (stale-state check).
+        let omega = max_clique_exact(&m).len();
+        let within = Bitset::full(m.len());
+        let mut mc_scratch = McScratch::new();
+        let mut vc_scratch = VcSolveScratch::new();
+        let mut out = Vec::new();
+
+        prop_assert!(max_clique_dense_scratch(&m, &within, 0, None, &mut mc_scratch, &mut out));
+        prop_assert_eq!(out.len(), omega);
+        prop_assert!(m.is_clique(&out));
+
+        prop_assert!(max_clique_via_vc_scratch(&m, 0, None, &mut vc_scratch, &mut out));
+        prop_assert_eq!(out.len(), omega);
+        prop_assert!(m.is_clique(&out));
+
+        // Re-solve a shifted instance through the now-warm arenas.
+        let m2 = {
+            let g = gen::gnp(m.len() + 5, 0.4, 1234);
+            BitMatrix::from_csr(&g)
+        };
+        let omega2 = max_clique_exact(&m2).len();
+        let within2 = Bitset::full(m2.len());
+        prop_assert!(max_clique_dense_scratch(&m2, &within2, 0, None, &mut mc_scratch, &mut out));
+        prop_assert_eq!(out.len(), omega2);
+        prop_assert!(max_clique_via_vc_scratch(&m2, 0, None, &mut vc_scratch, &mut out));
+        prop_assert_eq!(out.len(), omega2);
+
+        // lb handling: both scratch engines stay silent at lb = omega.
+        prop_assert!(!max_clique_dense_scratch(&m, &within, omega, None, &mut mc_scratch, &mut out));
+        prop_assert!(!max_clique_via_vc_scratch(&m, omega, None, &mut vc_scratch, &mut out));
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Proof that the solver hot paths are allocation-free after warm-up.
+//!
+//! A counting `GlobalAlloc` (installed only in this test binary) tallies
+//! allocations per thread; the tests warm a scratch arena on a fixed dense
+//! subgraph, then re-run the identical search and assert the steady-state
+//! run performed **zero** heap allocations — the contract the `McScratch` /
+//! `VcSolveScratch` arenas and the `ColorScratch` word loops exist to keep.
+//!
+//! Counters are thread-local so concurrently running tests cannot pollute
+//! each other's tallies.
+
+use lazymc_solver::{
+    max_clique_dense_scratch, max_clique_via_vc_scratch, reduce_candidates, BitMatrix, Bitset,
+    ColorScratch, McScratch, VcSolveScratch,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct ThreadCountingAlloc;
+
+// SAFETY: delegates to `System`; bookkeeping is a const-initialized
+// thread-local `Cell` (no allocation on access), read via `try_with` so
+// accesses during TLS teardown degrade to "not counted" instead of
+// aborting.
+unsafe impl GlobalAlloc for ThreadCountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: ThreadCountingAlloc = ThreadCountingAlloc;
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
+/// A fixed dense pseudo-random graph (LCG, no external RNG): n vertices,
+/// edge probability ~p.
+fn dense_graph(n: usize, p_permille: u64, seed: u64) -> BitMatrix {
+    let mut m = BitMatrix::new(n);
+    let mut state = seed | 1;
+    for u in 0..n {
+        for v in u + 1..n {
+            // xorshift64*
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state.wrapping_mul(0x2545_F491_4F6C_DD1D) % 1000 < p_permille {
+                m.add_edge(u, v);
+            }
+        }
+    }
+    m
+}
+
+#[test]
+fn dense_mc_search_is_allocation_free_after_warmup() {
+    let adj = dense_graph(120, 550, 42);
+    let within = Bitset::full(adj.len());
+    let mut scratch = McScratch::new();
+    let mut out = Vec::new();
+
+    // Warm-up: grows every per-depth buffer to this instance's size.
+    let found_warm = max_clique_dense_scratch(&adj, &within, 0, None, &mut scratch, &mut out);
+    assert!(found_warm);
+    let omega = out.len();
+    assert!(omega >= 3, "graph must be non-trivial, got omega {omega}");
+
+    // Steady state: the identical search must not touch the heap.
+    let before = thread_allocs();
+    let found = max_clique_dense_scratch(&adj, &within, 0, None, &mut scratch, &mut out);
+    let allocs = thread_allocs() - before;
+    assert!(found);
+    assert_eq!(out.len(), omega);
+    assert_eq!(
+        allocs, 0,
+        "dense MC search allocated {allocs} times after warm-up"
+    );
+}
+
+#[test]
+fn color_order_is_allocation_free_after_warmup() {
+    let adj = dense_graph(130, 600, 7);
+    let cand = Bitset::full(adj.len());
+    let mut scratch = ColorScratch::new();
+    let (mut order, mut bound) = (Vec::new(), Vec::new());
+
+    lazymc_solver::color_order_scratch(&adj, &cand, &mut order, &mut bound, &mut scratch);
+    let colors_warm = *bound.last().unwrap();
+
+    let before = thread_allocs();
+    lazymc_solver::color_order_scratch(&adj, &cand, &mut order, &mut bound, &mut scratch);
+    let allocs = thread_allocs() - before;
+    assert_eq!(*bound.last().unwrap(), colors_warm);
+    assert_eq!(
+        allocs, 0,
+        "color_order allocated {allocs} times after warm-up"
+    );
+}
+
+#[test]
+fn clique_via_vc_pipeline_is_allocation_free_after_warmup() {
+    // Dense enough that the complement (where the VC search runs) is
+    // sparse — the pipeline the systematic search uses for dense
+    // neighbourhoods, complement construction included.
+    let adj = dense_graph(100, 820, 99);
+    let mut scratch = VcSolveScratch::new();
+    let mut out = Vec::new();
+
+    assert!(max_clique_via_vc_scratch(
+        &adj,
+        0,
+        None,
+        &mut scratch,
+        &mut out
+    ));
+    let omega = out.len();
+
+    let before = thread_allocs();
+    assert!(max_clique_via_vc_scratch(
+        &adj,
+        0,
+        None,
+        &mut scratch,
+        &mut out
+    ));
+    let allocs = thread_allocs() - before;
+    assert_eq!(out.len(), omega);
+    assert_eq!(
+        allocs, 0,
+        "clique-via-VC pipeline allocated {allocs} times after warm-up"
+    );
+}
+
+#[test]
+fn reduce_candidates_is_allocation_free() {
+    let adj = dense_graph(110, 300, 17);
+    let mut within = Bitset::full(adj.len());
+    let before = thread_allocs();
+    let removed = reduce_candidates(&adj, &mut within, 34);
+    let allocs = thread_allocs() - before;
+    assert!(removed > 0, "lb 34 must strip something from a p=0.3 graph");
+    assert_eq!(
+        allocs, 0,
+        "reduce_candidates allocated {allocs} times (it never should)"
+    );
+}

@@ -1,24 +1,37 @@
 //! Offline stand-in for the subset of `rayon` this workspace uses.
 //!
 //! The build container has no network access to crates.io, so the
-//! workspace vendors the exact API surface it needs. Semantics match
-//! rayon where it matters:
+//! workspace vendors the exact API surface it needs. Unlike the first
+//! iteration of this shim (which only parallelized `for_each`), every
+//! element-wise *stage* now genuinely fans out across threads:
 //!
-//! * [`Par::for_each`] — the solver's hot path — really is parallel: the
-//!   items are split into one chunk per available thread and processed
-//!   under [`std::thread::scope`]. Closure bounds (`Fn + Send + Sync`,
-//!   `Item: Send`) mirror rayon's, so call sites are source-compatible.
-//! * The remaining adaptors (`map`, `filter`, `zip`, `rev`, `copied`,
-//!   `flat_map_iter`) and the other consumers (`collect`, `any`, `max`)
-//!   run sequentially. They are off the hot path here; correctness is
-//!   identical because rayon never promises an evaluation order.
-//! * [`ThreadPoolBuilder::num_threads`] + [`ThreadPool::install`] scope a
-//!   thread-count override that [`current_num_threads`] and `for_each`
-//!   honour, so `Config { threads, .. }` keeps its meaning (notably
-//!   `threads: 1` forces a fully sequential solve).
+//! * adaptors (`map`, `filter`, `flat_map_iter`) materialize their input,
+//!   split it into one contiguous chunk per available thread, and apply
+//!   the stage closure under [`std::thread::scope`], concatenating the
+//!   per-chunk outputs in order — so `collect` preserves sequential
+//!   ordering (and therefore the stability of the parallel counting
+//!   sort built on top of it);
+//! * consumers `for_each`, `any` (with a shared early-exit flag),
+//!   `reduce` and `sum` (chunked partial folds) run in parallel;
+//!   `max`, `count` and `collect` consume the already-parallel
+//!   materialized stage output;
+//! * [`ParallelSliceMut::par_sort_unstable`] is a parallel chunk sort
+//!   followed by an iterative out-of-place run merge.
+//!
+//! Closure bounds follow rayon (`Fn + Sync`, `Item: Send`), so call
+//! sites stay source-compatible with the real crate. Small inputs (and
+//! `threads == 1`, e.g. under `Config::sequential`) take the sequential
+//! path — fan-out costs a thread spawn per chunk here, so it is reserved
+//! for inputs where the stage work dominates.
+//!
+//! [`ThreadPoolBuilder::num_threads`] + [`ThreadPool::install`] scope a
+//! thread-count override that [`current_num_threads`] and every parallel
+//! operation honour, so `Config { threads, .. }` keeps its meaning
+//! (notably `threads: 1` forces a fully sequential solve).
 
 use std::cell::Cell;
 use std::ops::{Range, RangeInclusive};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 thread_local! {
     /// 0 means "no override": fall back to the machine parallelism.
@@ -81,7 +94,7 @@ impl ThreadPoolBuilder {
 }
 
 /// A scoped thread-count override, not an actual pool of threads: workers
-/// are spawned per `for_each` call under `std::thread::scope`.
+/// are spawned per parallel stage under `std::thread::scope`.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
@@ -106,130 +119,387 @@ impl ThreadPool {
     }
 }
 
-/// A "parallel" iterator: a thin wrapper over a std iterator whose
-/// consuming `for_each` fans out across threads.
-pub struct Par<I>(I);
+// ---------------------------------------------------------------------------
+// Parallel engine
+// ---------------------------------------------------------------------------
 
-impl<I: Iterator> Par<I> {
-    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
-        Par(self.0.map(f))
+/// Below this many items an element-wise stage stays sequential: the
+/// per-chunk thread spawn would cost more than the stage saves.
+const PAR_THRESHOLD: usize = 512;
+
+/// Whether a stage over `len` items should fan out across `threads`.
+///
+/// Two régimes parallelize: many items (fine-grained work amortizes the
+/// spawns), and *few* items relative to the thread count — the
+/// caller-pre-chunked pattern (e.g. the counting sort mapping one heavy
+/// histogram closure per chunk), where each item is coarse by
+/// construction and leaving them sequential would serialize the heavy
+/// half of the algorithm. The in-between band (tens to hundreds of
+/// cheap items) stays sequential.
+#[inline]
+fn should_fan_out(len: usize, threads: usize) -> bool {
+    threads > 1 && len > 1 && (len >= PAR_THRESHOLD || len <= threads.saturating_mul(2))
+}
+
+/// Splits `items` into at most `parts` contiguous runs, preserving order.
+fn split_chunks<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let chunk = items.len().div_ceil(parts.max(1));
+    let mut out = Vec::with_capacity(parts);
+    while items.len() > chunk {
+        out.push(items.split_off(items.len() - chunk));
     }
+    out.push(items);
+    out.reverse(); // tails were split off back-to-front
+    out
+}
 
-    pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> Par<std::iter::Filter<I, P>> {
-        Par(self.0.filter(p))
-    }
-
-    pub fn rev(self) -> Par<std::iter::Rev<I>>
-    where
-        I: DoubleEndedIterator,
-    {
-        Par(self.0.rev())
-    }
-
-    pub fn copied<'a, T>(self) -> Par<std::iter::Copied<I>>
-    where
-        T: 'a + Copy,
-        I: Iterator<Item = &'a T>,
-    {
-        Par(self.0.copied())
-    }
-
-    pub fn flat_map_iter<U, F>(self, f: F) -> Par<std::iter::FlatMap<I, U, F>>
-    where
-        U: IntoIterator,
-        F: FnMut(I::Item) -> U,
-    {
-        Par(self.0.flat_map(f))
-    }
-
-    pub fn zip<J: IntoParallelIterator>(self, other: J) -> Par<std::iter::Zip<I, J::IntoIter>> {
-        Par(self.0.zip(other.into_par_iter().0))
-    }
-
-    /// Parallel consumer: one chunk per thread under `std::thread::scope`.
-    /// The calling thread works on the first chunk itself; a panic in any
-    /// worker propagates when the scope exits, as with rayon.
-    pub fn for_each<F>(self, f: F)
-    where
-        I::Item: Send,
-        F: Fn(I::Item) + Send + Sync,
-    {
-        let mut items: Vec<I::Item> = self.0.collect();
-        let threads = current_num_threads().clamp(1, items.len().max(1));
-        if threads <= 1 {
-            for item in items {
-                f(item);
-            }
-            return;
-        }
-        let chunk = items.len().div_ceil(threads);
-        let mut chunks: Vec<Vec<I::Item>> = Vec::with_capacity(threads);
-        while items.len() > chunk {
-            let tail = items.split_off(items.len() - chunk);
-            chunks.push(tail);
-        }
-        let mine = items;
-        let inherited = current_num_threads();
-        std::thread::scope(|s| {
-            let f = &f;
-            for ch in chunks {
+/// Runs `work` over each chunk on its own scoped thread (first chunk on
+/// the calling thread), returning per-chunk results in order. Worker
+/// threads inherit the ambient thread-count override so nested parallel
+/// stages see the same `current_num_threads`.
+fn fan_out<T: Send, R: Send>(chunks: Vec<Vec<T>>, work: impl Fn(Vec<T>) -> R + Sync) -> Vec<R> {
+    let inherited = current_num_threads();
+    let mut chunks = chunks.into_iter();
+    let first = chunks.next();
+    let mut results: Vec<R> = Vec::new();
+    std::thread::scope(|s| {
+        let work = &work;
+        let handles: Vec<_> = chunks
+            .map(|ch| {
                 s.spawn(move || {
                     POOL_THREADS.with(|c| c.set(inherited));
-                    for item in ch {
-                        f(item);
-                    }
-                });
+                    work(ch)
+                })
+            })
+            .collect();
+        let mine = first.map(work);
+        results.reserve(handles.len() + 1);
+        results.extend(mine);
+        // A worker panic propagates here, as with rayon.
+        results.extend(handles.into_iter().map(|h| h.join().unwrap()));
+    });
+    results
+}
+
+fn par_map_vec<T: Send, O: Send>(items: Vec<T>, f: impl Fn(T) -> O + Sync) -> Vec<O> {
+    let threads = current_num_threads().clamp(1, items.len().max(1));
+    if !should_fan_out(items.len(), threads) {
+        return items.into_iter().map(f).collect();
+    }
+    let per_chunk = fan_out(split_chunks(items, threads), |ch| {
+        ch.into_iter().map(&f).collect::<Vec<O>>()
+    });
+    concat(per_chunk)
+}
+
+fn par_flat_map_vec<T: Send, O: Send, U: IntoIterator<Item = O>>(
+    items: Vec<T>,
+    f: impl Fn(T) -> U + Sync,
+) -> Vec<O> {
+    let threads = current_num_threads().clamp(1, items.len().max(1));
+    if !should_fan_out(items.len(), threads) {
+        return items.into_iter().flat_map(f).collect();
+    }
+    let per_chunk = fan_out(split_chunks(items, threads), |ch| {
+        ch.into_iter().flat_map(&f).collect::<Vec<O>>()
+    });
+    concat(per_chunk)
+}
+
+fn concat<O>(per_chunk: Vec<Vec<O>>) -> Vec<O> {
+    let mut out = Vec::with_capacity(per_chunk.iter().map(Vec::len).sum());
+    for r in per_chunk {
+        out.extend(r);
+    }
+    out
+}
+
+fn par_for_each_vec<T: Send>(items: Vec<T>, f: impl Fn(T) + Sync) {
+    let threads = current_num_threads().clamp(1, items.len().max(1));
+    if threads <= 1 {
+        items.into_iter().for_each(f);
+        return;
+    }
+    fan_out(split_chunks(items, threads), |ch| {
+        ch.into_iter().for_each(&f)
+    });
+}
+
+fn par_any_vec<T: Send>(items: Vec<T>, f: impl Fn(T) -> bool + Sync) -> bool {
+    let threads = current_num_threads().clamp(1, items.len().max(1));
+    if !should_fan_out(items.len(), threads) {
+        return items.into_iter().any(f);
+    }
+    let found = AtomicBool::new(false);
+    fan_out(split_chunks(items, threads), |ch| {
+        for item in ch {
+            if found.load(Ordering::Relaxed) {
+                return;
             }
-            for item in mine {
-                f(item);
+            if f(item) {
+                found.store(true, Ordering::Relaxed);
+                return;
             }
-        });
+        }
+    });
+    found.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// The iterator trait and its adaptors
+// ---------------------------------------------------------------------------
+
+/// The shim's `rayon::iter::ParallelIterator`.
+///
+/// [`ParallelIterator::materialize`] is the shim-internal driver: it
+/// produces every item, in order, running this stage's element-wise work
+/// across threads. All adaptors and consumers are built on it.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Produces all items in sequential order, fanning the stage's work
+    /// out across threads (shim-internal; rayon has no such method).
+    fn materialize(self) -> Vec<Self::Item>;
+
+    fn map<O: Send, F: Fn(Self::Item) -> O + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
     }
 
-    pub fn any<P: FnMut(I::Item) -> bool>(self, mut p: P) -> bool {
-        let mut it = self.0;
-        it.any(&mut p)
+    fn filter<F: Fn(&Self::Item) -> bool + Sync>(self, f: F) -> Filter<Self, F> {
+        Filter { base: self, f }
     }
 
-    pub fn max(self) -> Option<I::Item>
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
     where
-        I::Item: Ord,
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Sync,
     {
-        self.0.max()
+        FlatMapIter { base: self, f }
     }
 
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+    fn rev(self) -> Rev<Self> {
+        Rev { base: self }
+    }
+
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        T: 'a + Copy + Send,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        Copied { base: self }
+    }
+
+    fn zip<J: IntoParallelIterator>(self, other: J) -> Zip<Self, J::Iter> {
+        Zip {
+            a: self,
+            b: other.into_par_iter(),
+        }
+    }
+
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        par_for_each_vec(self.materialize(), f);
+    }
+
+    fn any<F: Fn(Self::Item) -> bool + Sync>(self, f: F) -> bool {
+        par_any_vec(self.materialize(), f)
+    }
+
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.materialize().into_iter().collect()
+    }
+
+    fn count(self) -> usize {
+        self.materialize().len()
+    }
+
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.reduce_opt(|a, b| if b > a { b } else { a })
+    }
+
+    /// Parallel reduction with an associative `op` (rayon's `reduce`):
+    /// chunked partial folds, then a fold of the partials.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let items = self.materialize();
+        let threads = current_num_threads().clamp(1, items.len().max(1));
+        if !should_fan_out(items.len(), threads) {
+            return items.into_iter().fold(identity(), &op);
+        }
+        let partials = fan_out(split_chunks(items, threads), |ch| {
+            ch.into_iter().fold(identity(), &op)
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// `reduce` without an identity; `None` on an empty iterator.
+    fn reduce_opt<OP>(self, op: OP) -> Option<Self::Item>
+    where
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let items = self.materialize();
+        let threads = current_num_threads().clamp(1, items.len().max(1));
+        if !should_fan_out(items.len(), threads) {
+            return items.into_iter().reduce(&op);
+        }
+        let partials = fan_out(split_chunks(items, threads), |ch| {
+            ch.into_iter().reduce(&op)
+        });
+        partials.into_iter().flatten().reduce(&op)
+    }
+
+    /// Parallel sum: chunked partial sums, then a sum of the partials
+    /// (rayon's bound: the accumulator sums both items and partials).
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let items = self.materialize();
+        let threads = current_num_threads().clamp(1, items.len().max(1));
+        if !should_fan_out(items.len(), threads) {
+            return items.into_iter().sum();
+        }
+        fan_out(split_chunks(items, threads), |ch| ch.into_iter().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Base parallel iterator: a thin wrapper over a cheap std iterator
+/// (range, slice iter, `vec::IntoIter`); producing the base items is
+/// sequential, every stage stacked on top fans out.
+pub struct Par<I>(I);
+
+impl<I: Iterator> ParallelIterator for Par<I>
+where
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn materialize(self) -> Vec<I::Item> {
         self.0.collect()
     }
+}
 
-    pub fn count(self) -> usize {
-        self.0.count()
-    }
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
 
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
+impl<P: ParallelIterator, O: Send, F: Fn(P::Item) -> O + Sync> ParallelIterator for Map<P, F> {
+    type Item = O;
+    fn materialize(self) -> Vec<O> {
+        par_map_vec(self.base.materialize(), self.f)
     }
 }
 
-/// Conversion into a [`Par`] iterator (rayon's `IntoParallelIterator`).
+pub struct Filter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P: ParallelIterator, F: Fn(&P::Item) -> bool + Sync> ParallelIterator for Filter<P, F> {
+    type Item = P::Item;
+    fn materialize(self) -> Vec<P::Item> {
+        let f = self.f;
+        par_flat_map_vec(self.base.materialize(), |x| f(&x).then_some(x))
+    }
+}
+
+pub struct FlatMapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(P::Item) -> U + Sync,
+{
+    type Item = U::Item;
+    fn materialize(self) -> Vec<U::Item> {
+        par_flat_map_vec(self.base.materialize(), self.f)
+    }
+}
+
+pub struct Rev<P> {
+    base: P,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Rev<P> {
+    type Item = P::Item;
+    fn materialize(self) -> Vec<P::Item> {
+        let mut items = self.base.materialize();
+        items.reverse();
+        items
+    }
+}
+
+pub struct Copied<P> {
+    base: P,
+}
+
+impl<'a, T, P> ParallelIterator for Copied<P>
+where
+    T: 'a + Copy + Send,
+    P: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+    fn materialize(self) -> Vec<T> {
+        // A copy per item is cheaper than a thread spawn; stay sequential.
+        self.base.materialize().into_iter().copied().collect()
+    }
+}
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn materialize(self) -> Vec<(A::Item, B::Item)> {
+        self.a
+            .materialize()
+            .into_iter()
+            .zip(self.b.materialize())
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversions
+// ---------------------------------------------------------------------------
+
+/// Conversion into a [`ParallelIterator`] (rayon's `IntoParallelIterator`).
 pub trait IntoParallelIterator {
-    type Item;
-    type IntoIter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> Par<Self::IntoIter>;
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
 }
 
-impl<I: Iterator> IntoParallelIterator for Par<I> {
+impl<I: Iterator> IntoParallelIterator for Par<I>
+where
+    I::Item: Send,
+{
     type Item = I::Item;
-    type IntoIter = I;
+    type Iter = Par<I>;
     fn into_par_iter(self) -> Par<I> {
         self
     }
 }
 
-impl<T> IntoParallelIterator for Vec<T> {
+impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
-    type IntoIter = std::vec::IntoIter<T>;
-    fn into_par_iter(self) -> Par<Self::IntoIter> {
+    type Iter = Par<std::vec::IntoIter<T>>;
+    fn into_par_iter(self) -> Self::Iter {
         Par(self.into_iter())
     }
 }
@@ -237,10 +507,11 @@ impl<T> IntoParallelIterator for Vec<T> {
 impl<T> IntoParallelIterator for Range<T>
 where
     Range<T>: Iterator<Item = T>,
+    T: Send,
 {
     type Item = T;
-    type IntoIter = Range<T>;
-    fn into_par_iter(self) -> Par<Self::IntoIter> {
+    type Iter = Par<Range<T>>;
+    fn into_par_iter(self) -> Self::Iter {
         Par(self)
     }
 }
@@ -248,34 +519,35 @@ where
 impl<T> IntoParallelIterator for RangeInclusive<T>
 where
     RangeInclusive<T>: Iterator<Item = T>,
+    T: Send,
 {
     type Item = T;
-    type IntoIter = RangeInclusive<T>;
-    fn into_par_iter(self) -> Par<Self::IntoIter> {
+    type Iter = Par<RangeInclusive<T>>;
+    fn into_par_iter(self) -> Self::Iter {
         Par(self)
     }
 }
 
 /// `.par_iter()` on slices (and, via deref, `Vec`).
-pub trait ParallelSlice<T> {
+pub trait ParallelSlice<T: Sync> {
     fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
 }
 
-impl<T> ParallelSlice<T> for [T] {
+impl<T: Sync> ParallelSlice<T> for [T] {
     fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
         Par(self.iter())
     }
 }
 
 /// `.par_iter_mut()` / `.par_sort_unstable()` on mutable slices.
-pub trait ParallelSliceMut<T> {
+pub trait ParallelSliceMut<T: Send> {
     fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
     fn par_sort_unstable(&mut self)
     where
         T: Ord;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
+impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
         Par(self.iter_mut())
     }
@@ -284,18 +556,104 @@ impl<T> ParallelSliceMut<T> for [T] {
     where
         T: Ord,
     {
-        self.sort_unstable();
+        par_merge_sort(self);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel unstable sort: chunk sort + iterative run merge
+// ---------------------------------------------------------------------------
+
+fn par_merge_sort<T: Ord + Send>(v: &mut [T]) {
+    let threads = current_num_threads();
+    if threads <= 1 || v.len() < 2 * PAR_THRESHOLD {
+        v.sort_unstable();
+        return;
+    }
+    let parts = threads.min(v.len());
+    let chunk_len = v.len().div_ceil(parts);
+    let inherited = current_num_threads();
+    std::thread::scope(|s| {
+        let mut rest: &mut [T] = v;
+        let mut first: Option<&mut [T]> = None;
+        while !rest.is_empty() {
+            let take = chunk_len.min(rest.len());
+            let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(take);
+            rest = tail;
+            if first.is_none() {
+                first = Some(chunk);
+            } else {
+                s.spawn(move || {
+                    POOL_THREADS.with(|c| c.set(inherited));
+                    chunk.sort_unstable();
+                });
+            }
+        }
+        if let Some(chunk) = first {
+            chunk.sort_unstable();
+        }
+    });
+    // Merge sorted runs of doubling width through a scratch buffer.
+    let mut buf: Vec<T> = Vec::with_capacity(v.len());
+    let mut width = chunk_len;
+    while width < v.len() {
+        let mut start = 0;
+        while start + width < v.len() {
+            let end = (start + 2 * width).min(v.len());
+            merge_runs(&mut v[start..end], width, &mut buf);
+            start = end;
+        }
+        width *= 2;
+    }
+}
+
+/// Merges the two sorted runs `v[..mid]` and `v[mid..]` through `buf`.
+/// `buf` is used as raw storage: elements are bitwise-moved out and back,
+/// its `len` stays 0, so no element is ever dropped (or double-dropped)
+/// by the buffer — even if a comparison panics mid-merge, `v` still owns
+/// every original.
+fn merge_runs<T: Ord>(v: &mut [T], mid: usize, buf: &mut Vec<T>) {
+    buf.clear();
+    buf.reserve(v.len());
+    let len = v.len();
+    unsafe {
+        let src = v.as_ptr();
+        let dst = buf.as_mut_ptr();
+        let (mut i, mut j, mut k) = (0usize, mid, 0usize);
+        while i < mid && j < len {
+            let take_j = *src.add(j) < *src.add(i);
+            let from = if take_j { j } else { i };
+            std::ptr::copy_nonoverlapping(src.add(from), dst.add(k), 1);
+            if take_j {
+                j += 1;
+            } else {
+                i += 1;
+            }
+            k += 1;
+        }
+        if i < mid {
+            std::ptr::copy_nonoverlapping(src.add(i), dst.add(k), mid - i);
+            k += mid - i;
+        }
+        if j < len {
+            std::ptr::copy_nonoverlapping(src.add(j), dst.add(k), len - j);
+            k += len - j;
+        }
+        debug_assert_eq!(k, len);
+        std::ptr::copy_nonoverlapping(dst, v.as_mut_ptr(), len);
     }
 }
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, Par, ParallelSlice, ParallelSliceMut};
+    pub use crate::{IntoParallelIterator, Par, ParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn for_each_visits_everything() {
@@ -339,5 +697,125 @@ mod tests {
         assert_eq!(sums, vec![11, 22, 33]);
         let r: Vec<u32> = (0..3u32).into_par_iter().rev().collect();
         assert_eq!(r, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn map_collect_preserves_order_large() {
+        // Above the parallel threshold, across several chunks.
+        let n = 100_000u64;
+        let squares: Vec<u64> = (0..n).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares.len(), n as usize);
+        for (i, &s) in squares.iter().enumerate() {
+            assert_eq!(s, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn map_stage_runs_on_multiple_threads() {
+        // Even on a single-core machine, an explicit pool override fans
+        // the stage out to scoped worker threads.
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let out: Vec<u32> = pool.install(|| {
+            (0..20_000u32)
+                .into_par_iter()
+                .map(|x| {
+                    if x % 1000 == 0 {
+                        seen.lock().unwrap().insert(std::thread::current().id());
+                    }
+                    x + 1
+                })
+                .collect()
+        });
+        assert_eq!(out[19_999], 20_000);
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "map stage must fan out across threads"
+        );
+    }
+
+    #[test]
+    fn filter_and_flat_map_parallel_match_sequential() {
+        let keep: Vec<u32> = (0..50_000u32)
+            .into_par_iter()
+            .filter(|x| x % 7 == 0)
+            .collect();
+        let expect: Vec<u32> = (0..50_000u32).filter(|x| x % 7 == 0).collect();
+        assert_eq!(keep, expect);
+        let expanded: Vec<u32> = (0..20_000u32)
+            .into_par_iter()
+            .flat_map_iter(|x| (0..x % 3).map(move |i| x + i))
+            .collect();
+        let expect: Vec<u32> = (0..20_000u32)
+            .flat_map(|x| (0..x % 3).map(move |i| x + i))
+            .collect();
+        assert_eq!(expanded, expect);
+    }
+
+    #[test]
+    fn reduce_and_sum_parallel() {
+        let n = 100_001u64;
+        let total: u64 = (0..n).into_par_iter().sum();
+        assert_eq!(total, n * (n - 1) / 2);
+        let m = (0..n).into_par_iter().reduce(|| 0, u64::max);
+        assert_eq!(m, n - 1);
+        let empty: u64 = (0..0u64).into_par_iter().sum();
+        assert_eq!(empty, 0);
+        assert_eq!((0..0u64).into_par_iter().max(), None);
+    }
+
+    #[test]
+    fn any_early_exits_and_finds() {
+        assert!((0..100_000u32).into_par_iter().any(|x| x == 99_999));
+        assert!(!(0..100_000u32).into_par_iter().any(|x| x > 100_000));
+    }
+
+    #[test]
+    fn par_sort_matches_std_sort() {
+        // Deterministic pseudo-random u32s, above the parallel cutoff.
+        let mut v: Vec<u32> = (0..100_000u32)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        pool.install(|| v.par_sort_unstable());
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_sort_non_copy_types() {
+        // Strings exercise the move-based merge (no Copy, has Drop).
+        let mut v: Vec<String> = (0..5_000u32)
+            .map(|i| format!("{:05}", i.wrapping_mul(48_271) % 10_000))
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        pool.install(|| v.par_sort_unstable());
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sequential_override_stays_on_calling_thread() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let caller = std::thread::current().id();
+        pool.install(|| {
+            (0..10_000u32).into_par_iter().for_each(|_| {
+                assert_eq!(std::thread::current().id(), caller);
+            });
+        });
     }
 }

@@ -227,6 +227,53 @@ fn tiny_budget_reports_truncated_not_blocked() {
 }
 
 #[test]
+fn server_budget_cap_clamps_and_defaults() {
+    // A 0 ms server-side cap: every solve — budgeted over the cap or not
+    // budgeted at all — is forced under it, so no request can pin a solver
+    // indefinitely. The clamp must be visible in the response and the cap
+    // in the introspection endpoints.
+    let handle = start_service(ServiceConfig {
+        max_budget_ms: Some(0),
+        ..ServiceConfig::default()
+    });
+    let addr = handle.addr();
+    let mut client = Client::connect(addr);
+
+    let g = gen::dense_overlap(220, 30, 8, 18, 0.1, 9);
+    upload_edge_list(&mut client, "dense", &g);
+
+    // Unbudgeted request: defaults to the cap, runs truncated.
+    let (status, response) = client.post_json("/solve", r#"{"graph":"dense"}"#);
+    assert_eq!(status, 200);
+    assert!(bool_field(&response, "budget_clamped"));
+    assert!(bool_field(&response, "truncated"));
+
+    // Over-cap request: clamped down.
+    let (_, over) = client.post_json("/solve", r#"{"graph":"dense","budget_ms":3600000}"#);
+    assert!(bool_field(&over, "budget_clamped"));
+    assert!(bool_field(&over, "truncated"));
+
+    // The cap is visible in /healthz and /stats.
+    let (_, health) = client.get_json("/healthz");
+    assert_eq!(u64_field(&health, "max_budget_ms"), 0);
+    let (_, stats) = client.get_json("/stats/dense");
+    assert_eq!(u64_field(&stats, "max_budget_ms"), 0);
+
+    handle.stop();
+
+    // Without a cap, an unbudgeted solve stays exact and unclamped.
+    let handle = start_service(ServiceConfig::default());
+    let mut client = Client::connect(handle.addr());
+    upload_edge_list(&mut client, "dense", &g);
+    let (_, free) = client.post_json("/solve", r#"{"graph":"dense"}"#);
+    assert!(!bool_field(&free, "budget_clamped"));
+    assert!(bool_field(&free, "exact"));
+    let (_, health) = client.get_json("/healthz");
+    assert_eq!(health.get("max_budget_ms"), Some(&Json::Null));
+    handle.stop();
+}
+
+#[test]
 fn full_queue_answers_429_with_retry_after() {
     // One solver thread, one queue slot, many HTTP workers: concurrent
     // burst must overflow into 429s rather than block or queue unboundedly.
