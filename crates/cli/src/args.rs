@@ -29,6 +29,7 @@ const VALUED: &[&str] = &[
     "--reps",
     "--write-graphs",
     "--check-json",
+    "--compare",
 ];
 
 impl Parsed {

@@ -4,6 +4,7 @@ use crate::args::Parsed;
 use lazymc_core::{Config, LazyMc, PrePopulate};
 use lazymc_graph::{connected_components, io, suite, triangle_count, CsrGraph, GraphStats};
 use lazymc_order::kcore_sequential;
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 /// Top-level usage text.
@@ -15,8 +16,10 @@ USAGE:
                [--filter-rounds R] [--no-early-exit] [--no-second-exit]
                [--prepopulate none|must|all] [--reduction] [--quiet]
   lazymc bench --suite quick|dense|sparse [--out FILE] [--reps N]
-               [--write-graphs DIR]
+               [--threads N] [--write-graphs DIR]
   lazymc bench --check-json FILE               (validate a bench report)
+  lazymc bench --compare OLD.json NEW.json     (speedup table; exits 1 on
+               >10% median wall-time regression)
   lazymc stats <file>
   lazymc mce <file> [--histogram]
   lazymc compare <file> [--skip ALG[,ALG...]]   (algs: pmc, domega-ls, domega-bs, brb)
@@ -78,6 +81,8 @@ pub fn solve(argv: &[String]) -> i32 {
     set!(density_threshold, "--phi");
     set!(top_k, "--top-k");
     set!(filter_rounds, "--filter-rounds");
+    // One clamp for the whole system (see Config::thread_cap).
+    cfg.threads = Config::clamp_threads(cfg.threads);
     match p.value::<f64>("--budget") {
         Ok(Some(secs)) => cfg.time_budget = Some(Duration::from_secs_f64(secs)),
         Ok(None) => {}
@@ -160,8 +165,14 @@ pub fn bench(argv: &[String]) -> i32 {
     if let Some(path) = p.raw("--check-json") {
         return bench_check_json(path);
     }
+    if let Some(old_path) = p.raw("--compare") {
+        let Some(new_path) = p.positional(0) else {
+            return fail("--compare needs two reports: --compare OLD.json NEW.json");
+        };
+        return bench_compare(old_path, new_path);
+    }
     let Some(suite_name) = p.raw("--suite") else {
-        return fail("bench needs --suite quick|dense|sparse (or --check-json FILE)");
+        return fail("bench needs --suite quick|dense|sparse (or --check-json / --compare)");
     };
     let Some(cases) = lazymc_bench::perf::suite(suite_name) else {
         return fail(&format!(
@@ -175,6 +186,12 @@ pub fn bench(argv: &[String]) -> i32 {
         .expect("suite() accepted it");
     let reps = match p.value::<usize>("--reps") {
         Ok(r) => r.unwrap_or(3).max(1),
+        Err(e) => return fail(&e),
+    };
+    // 0 = ambient pool; anything else is clamped by the unified cap
+    // inside run_suite and recorded as the report's effective threads.
+    let threads = match p.value::<usize>("--threads") {
+        Ok(t) => t.unwrap_or(0),
         Err(e) => return fail(&e),
     };
     if let Some(dir) = p.raw("--write-graphs") {
@@ -197,17 +214,18 @@ pub fn bench(argv: &[String]) -> i32 {
         "{:<18} {:>7} {:>9} {:>6} {:>11} {:>11} {:>10} {:>12}",
         "case", "n", "m", "omega", "wall-ms", "mc-nodes", "vc-nodes", "allocs"
     );
-    let result = lazymc_bench::perf::run_suite(suite_name, &cases, reps, |c| {
+    let result = lazymc_bench::perf::run_suite(suite_name, &cases, reps, threads, |c| {
         println!(
             "{:<18} {:>7} {:>9} {:>6} {:>11.3} {:>11} {:>10} {:>12}",
             c.name, c.n, c.m, c.omega, c.wall_ms_median, c.mc_nodes, c.vc_nodes, c.alloc_count
         );
     });
     println!(
-        "total {:.3} ms over {} cases ({} reps, alloc tracking {})",
+        "total {:.3} ms over {} cases ({} reps, {} thread(s), alloc tracking {})",
         result.total_wall_ms(),
         result.cases.len(),
         reps,
+        result.threads,
         if result.alloc_tracked { "on" } else { "off" },
     );
     if let Some(out) = p.raw("--out") {
@@ -282,6 +300,16 @@ fn bench_check_json(path: &str) -> i32 {
                         problems.push(format!("cases[{i}].{field} must be an integer"));
                     }
                 }
+                // Additive parallelism fields: type-checked when present,
+                // absence accepted (pre-parallelism reports stay valid).
+                for field in lazymc_bench::perf::CASE_OPT_INT_FIELDS {
+                    if let Some(x) = c.get(field) {
+                        if x.as_u64().is_none() {
+                            problems
+                                .push(format!("cases[{i}].{field} must be an integer if present"));
+                        }
+                    }
+                }
             }
         }
         _ => problems.push("cases must be a non-empty array".into()),
@@ -294,6 +322,117 @@ fn bench_check_json(path: &str) -> i32 {
             eprintln!("error: {p}");
         }
         1
+    }
+}
+
+/// Tolerated median wall-time growth before `--compare` fails the run.
+const COMPARE_REGRESSION_TOLERANCE: f64 = 1.10;
+
+/// The comparison of two bench reports: the rendered table plus the
+/// regression verdict (median of per-case `new/old` wall ratios).
+struct BenchComparison {
+    table: String,
+    median_ratio: f64,
+    regressed: bool,
+}
+
+/// Compares two parsed `lazymc-bench/v1` reports case-by-case (matched by
+/// name, in the old report's order). Speedup is `old/new` median wall
+/// time; the regression gate is the *median* of `new/old` ratios, so one
+/// noisy case cannot fail (or excuse) a run.
+fn compare_reports(
+    old: &lazymc_service::Json,
+    new: &lazymc_service::Json,
+) -> Result<BenchComparison, String> {
+    use lazymc_service::Json;
+    type CaseRow = (String, f64, u64);
+    let rows = |v: &Json, which: &str| -> Result<Vec<CaseRow>, String> {
+        let Some(Json::Arr(cases)) = v.get("cases") else {
+            return Err(format!("{which} report has no cases array"));
+        };
+        cases
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let name = c
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{which} cases[{i}] has no name"))?;
+                let wall = c
+                    .get("wall_ms_median")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("{which} cases[{i}] has no wall_ms_median"))?;
+                let nodes = c.get("mc_nodes").and_then(Json::as_u64).unwrap_or(0)
+                    + c.get("vc_nodes").and_then(Json::as_u64).unwrap_or(0);
+                Ok((name.to_string(), wall, nodes))
+            })
+            .collect()
+    };
+    let old_rows = rows(old, "old")?;
+    let new_rows = rows(new, "new")?;
+    let mut table = format!(
+        "{:<18} {:>11} {:>11} {:>8} {:>12} {:>12} {:>8}\n",
+        "case", "old-ms", "new-ms", "speedup", "old-nodes", "new-nodes", "nodes-x"
+    );
+    let mut ratios = Vec::new();
+    let (mut old_total, mut new_total) = (0.0f64, 0.0f64);
+    for (name, old_wall, old_nodes) in &old_rows {
+        let Some((_, new_wall, new_nodes)) = new_rows.iter().find(|(n, _, _)| n == name) else {
+            continue; // suites diverged; compare the intersection
+        };
+        let speedup = old_wall / new_wall.max(1e-9);
+        let node_ratio = *old_nodes as f64 / (*new_nodes).max(1) as f64;
+        let _ = writeln!(
+            table,
+            "{name:<18} {old_wall:>11.3} {new_wall:>11.3} {speedup:>7.2}x {old_nodes:>12} {new_nodes:>12} {node_ratio:>7.2}x",
+        );
+        ratios.push(new_wall / old_wall.max(1e-9));
+        old_total += old_wall;
+        new_total += *new_wall;
+    }
+    if ratios.is_empty() {
+        return Err("the two reports share no case names".into());
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median_ratio = ratios[ratios.len() / 2];
+    let _ = writeln!(
+        table,
+        "total {old_total:.3} ms -> {new_total:.3} ms ({:.2}x); median per-case ratio {median_ratio:.3}",
+        old_total / new_total.max(1e-9),
+    );
+    Ok(BenchComparison {
+        table,
+        median_ratio,
+        regressed: median_ratio > COMPARE_REGRESSION_TOLERANCE,
+    })
+}
+
+/// `lazymc bench --compare OLD.json NEW.json`
+fn bench_compare(old_path: &str, new_path: &str) -> i32 {
+    use lazymc_service::Json;
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    match compare_reports(&old, &new) {
+        Ok(cmp) => {
+            print!("{}", cmp.table);
+            if cmp.regressed {
+                eprintln!(
+                    "error: median wall-time regression {:.1}% exceeds the {:.0}% tolerance",
+                    (cmp.median_ratio - 1.0) * 100.0,
+                    (COMPARE_REGRESSION_TOLERANCE - 1.0) * 100.0,
+                );
+                1
+            } else {
+                0
+            }
+        }
+        Err(e) => fail(&e),
     }
 }
 
@@ -624,4 +763,54 @@ pub fn gen(argv: &[String]) -> i32 {
         g.num_edges()
     );
     0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazymc_service::Json;
+
+    fn report(cases: &[(&str, f64, u64)]) -> Json {
+        let body: Vec<String> = cases
+            .iter()
+            .map(|(name, wall, nodes)| {
+                format!(
+                    "{{\"name\":\"{name}\",\"wall_ms_median\":{wall},\"mc_nodes\":{nodes},\"vc_nodes\":0}}"
+                )
+            })
+            .collect();
+        Json::parse(&format!("{{\"cases\":[{}]}}", body.join(","))).unwrap()
+    }
+
+    #[test]
+    fn compare_flags_median_regression_only() {
+        let old = report(&[("a", 100.0, 10), ("b", 100.0, 10), ("c", 100.0, 10)]);
+        // One case 3× slower but the median is flat: not a regression.
+        let noisy = report(&[("a", 300.0, 10), ("b", 100.0, 10), ("c", 100.0, 10)]);
+        let cmp = compare_reports(&old, &noisy).unwrap();
+        assert!(!cmp.regressed, "median gate must ignore one outlier");
+        // Every case 20% slower: regression.
+        let slow = report(&[("a", 120.0, 10), ("b", 120.0, 10), ("c", 120.0, 10)]);
+        let cmp = compare_reports(&old, &slow).unwrap();
+        assert!(cmp.regressed);
+        assert!((cmp.median_ratio - 1.2).abs() < 1e-9);
+        // Uniform speedup: fine, and the table carries the ratio.
+        let fast = report(&[("a", 50.0, 5), ("b", 50.0, 5), ("c", 50.0, 5)]);
+        let cmp = compare_reports(&old, &fast).unwrap();
+        assert!(!cmp.regressed);
+        assert!(cmp.table.contains("2.00x"));
+    }
+
+    #[test]
+    fn compare_matches_cases_by_name() {
+        let old = report(&[("a", 100.0, 10), ("gone", 50.0, 5)]);
+        let new = report(&[("added", 70.0, 7), ("a", 100.0, 10)]);
+        let cmp = compare_reports(&old, &new).unwrap();
+        assert!(!cmp.regressed);
+        assert!(cmp.table.contains('a'));
+        assert!(!cmp.table.contains("gone"));
+        // Disjoint reports are an error, not a silent pass.
+        let other = report(&[("z", 1.0, 1)]);
+        assert!(compare_reports(&old, &other).is_err());
+    }
 }

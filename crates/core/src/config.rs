@@ -86,6 +86,27 @@ impl Default for Config {
 }
 
 impl Config {
+    /// The one hard ceiling for every thread request in the system —
+    /// client-supplied `threads` in the query daemon, `--threads` on the
+    /// CLI and bench harness, and the daemon's own worker pools all clamp
+    /// against this single definition (they used to disagree). Beyond
+    /// ~2× the machine's parallelism there is no speedup, only a
+    /// thread-spawn DoS; the floor of 8 keeps small machines accepting
+    /// modest oversubscription (useful for tests and latency hiding).
+    pub fn thread_cap() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .saturating_mul(2)
+            .max(8)
+    }
+
+    /// Clamps a requested thread count to [`Config::thread_cap`]
+    /// (`0` — "use the ambient pool" — passes through unchanged).
+    pub fn clamp_threads(threads: usize) -> usize {
+        threads.min(Self::thread_cap())
+    }
+
     /// A configuration with every work-avoidance feature disabled — the
     /// "naive eager" end of the ablation spectrum.
     pub fn no_work_avoidance() -> Self {
@@ -171,6 +192,23 @@ mod tests {
             .with_threads(4);
         assert_eq!(c.threads, 4);
         assert_eq!(c.density_threshold, 0.1);
+    }
+
+    #[test]
+    fn thread_cap_is_the_single_clamp() {
+        let cap = Config::thread_cap();
+        // At least the floor, at least 2× the machine.
+        assert!(cap >= 8);
+        let machine = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert!(cap >= machine * 2);
+        // Clamping: identity below the cap, the cap above it, 0 unchanged.
+        assert_eq!(Config::clamp_threads(0), 0);
+        assert_eq!(Config::clamp_threads(1), 1);
+        assert_eq!(Config::clamp_threads(cap), cap);
+        assert_eq!(Config::clamp_threads(cap + 1), cap);
+        assert_eq!(Config::clamp_threads(usize::MAX), cap);
     }
 
     #[test]

@@ -25,7 +25,10 @@ use lazymc_intersect::{intersect_size_gt_bool, intersect_size_gt_val, intersect_
 use lazymc_lazygraph::LazyGraph;
 use lazymc_solver::bitset::{BitMatrix, Bitset};
 use lazymc_solver::scratch::{Pool, SolverScratch};
-use lazymc_solver::{max_clique_dense_scratch, max_clique_via_vc_scratch, McStats, VcStats};
+use lazymc_solver::{
+    max_clique_dense_par, max_clique_dense_scratch, max_clique_via_vc_par,
+    max_clique_via_vc_scratch, McStats, VcStats,
+};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -117,6 +120,53 @@ impl Deadline {
     }
 }
 
+/// Shared context of one systematic sweep, handed to every neighbourhood
+/// search: the configuration, the global incumbent, the counters, the
+/// deadline — plus the *intra-solve* thread budget chosen per phase by
+/// the work-splitting rule.
+pub struct SearchCtx<'a> {
+    pub cfg: &'a Config,
+    pub inc: &'a Incumbent,
+    pub counters: &'a Counters,
+    pub deadline: &'a Deadline,
+    /// Threads the detailed subgraph search of this call may use. `1`
+    /// runs the deterministic sequential kernels (today's exact code
+    /// path); above that, the dense MC and k-VC solvers split their top
+    /// branch levels into subtree tasks sharing one incumbent.
+    pub solver_threads: usize,
+}
+
+/// Runs `f` over `items`, split into at most `workers` contiguous chunks
+/// executed in parallel. The second argument handed to `f` is the
+/// intra-solve thread budget: when a phase has fewer pending vertices
+/// than workers, vertex-level parallelism cannot keep the crew busy, so
+/// the spare threads are pushed *inside* each subgraph solve
+/// (subtree-level splitting); otherwise solves stay sequential inside
+/// and the vertices themselves fan out. This is the "split only when
+/// fewer pending vertices than idle workers" rule.
+fn sweep_parallel(items: Vec<VertexId>, workers: usize, f: impl Fn(VertexId, usize) + Sync) {
+    let pending = items.len();
+    if pending == 0 {
+        return;
+    }
+    let inner = if pending < workers {
+        (workers / pending).max(1)
+    } else {
+        1
+    };
+    if workers <= 1 || pending == 1 {
+        for v in items {
+            f(v, inner);
+        }
+        return;
+    }
+    // `for_each` distributes the items itself (the vendored shim chunks
+    // into at most `workers` contiguous runs; real rayon would add work
+    // stealing on top). The inner budget is uniform across the phase, so
+    // it rides along by value.
+    items.into_par_iter().for_each(|v| f(v, inner));
+}
+
 /// Runs the systematic search (paper Algorithm 7).
 pub fn systematic_search(
     lg: &LazyGraph<'_>,
@@ -128,6 +178,7 @@ pub fn systematic_search(
     deadline: &Deadline,
 ) {
     let deg = degeneracy as usize;
+    let workers = rayon::current_num_threads().max(1);
     // Phase 1: one probe per degeneracy level, from the incumbent level up.
     // Probed vertices are remembered so the main sweep does not search the
     // same right-neighbourhood twice.
@@ -140,11 +191,25 @@ pub fn systematic_search(
     };
     if cfg.low_core_probes {
         let floor = inc.size().min(deg);
-        (floor..=deg).into_par_iter().for_each(|k| {
-            let (start, end) = levels[k];
-            if start < end && !deadline.should_skip() {
-                probed[start as usize].store(true, Ordering::Relaxed);
-                neighbor_search(lg, start, cfg, inc, counters, deadline);
+        let probes: Vec<VertexId> = (floor..=deg)
+            .filter_map(|k| {
+                let (start, end) = levels[k];
+                (start < end).then(|| {
+                    probed[start as usize].store(true, Ordering::Relaxed);
+                    start
+                })
+            })
+            .collect();
+        sweep_parallel(probes, workers, |v, inner| {
+            if !deadline.should_skip() {
+                let ctx = SearchCtx {
+                    cfg,
+                    inc,
+                    counters,
+                    deadline,
+                    solver_threads: inner,
+                };
+                neighbor_search(lg, v, &ctx);
             }
         });
     }
@@ -155,14 +220,21 @@ pub fn systematic_search(
             break;
         }
         let (start, end) = levels[k];
-        (start..end).into_par_iter().for_each(|v| {
-            if !probed.is_empty() && probed[v as usize].load(Ordering::Relaxed) {
-                return; // already searched during the probe phase
-            }
+        let vs: Vec<VertexId> = (start..end)
+            .filter(|&v| probed.is_empty() || !probed[v as usize].load(Ordering::Relaxed))
+            .collect();
+        sweep_parallel(vs, workers, |v, inner| {
             // Re-check against the *current* incumbent: it may have grown
             // since the level test.
             if (lg.coreness(v) as usize) >= inc.size() && !deadline.should_skip() {
-                neighbor_search(lg, v, cfg, inc, counters, deadline);
+                let ctx = SearchCtx {
+                    cfg,
+                    inc,
+                    counters,
+                    deadline,
+                    solver_threads: inner,
+                };
+                neighbor_search(lg, v, &ctx);
             }
         });
     }
@@ -170,26 +242,23 @@ pub fn systematic_search(
 
 /// Searches the right-neighbourhood of relabelled vertex `v`
 /// (paper Algorithm 8).
-pub fn neighbor_search(
-    lg: &LazyGraph<'_>,
-    v: VertexId,
-    cfg: &Config,
-    inc: &Incumbent,
-    counters: &Counters,
-    deadline: &Deadline,
-) {
-    NEIGHBOR_SCRATCH.with(|scr| neighbor_search_scratch(lg, v, cfg, inc, counters, deadline, scr));
+pub fn neighbor_search(lg: &LazyGraph<'_>, v: VertexId, ctx: &SearchCtx<'_>) {
+    NEIGHBOR_SCRATCH.with(|scr| neighbor_search_scratch(lg, v, ctx, scr));
 }
 
 fn neighbor_search_scratch(
     lg: &LazyGraph<'_>,
     v: VertexId,
-    cfg: &Config,
-    inc: &Incumbent,
-    counters: &Counters,
-    deadline: &Deadline,
+    ctx: &SearchCtx<'_>,
     scr: &mut NeighborScratch,
 ) {
+    let SearchCtx {
+        cfg,
+        inc,
+        counters,
+        deadline,
+        solver_threads,
+    } = *ctx;
     let t0 = Instant::now();
     let cstar = inc.size();
     counters.add(&counters.retained_coreness, 1);
@@ -298,6 +367,10 @@ fn neighbor_search_scratch(
     // A clique K ⊆ N together with v gives |K|+1, so beat the incumbent iff
     // |K| > cstar − 1.
     let lb = cstar.saturating_sub(1);
+    // Intra-solve thread budget: 1 runs the deterministic sequential
+    // kernels; above that, the engines split their top branch levels into
+    // subtree tasks against a shared incumbent.
+    let threads = solver_threads.max(1);
     let t1 = Instant::now();
     let clique = &mut scr.solver.clique;
     let found = if density > cfg.density_threshold {
@@ -307,13 +380,18 @@ fn neighbor_search_scratch(
         // reduction removed vertices.
         let r = if scr.within.len() < nn {
             compact_matrix_into(adj, &scr.within, &mut scr.small, &mut scr.map);
-            let found = max_clique_via_vc_scratch(
-                &scr.small,
-                lb,
-                Some(&mut st),
-                &mut scr.solver.vc,
-                clique,
-            );
+            let found = if threads > 1 {
+                max_clique_via_vc_par(
+                    &scr.small,
+                    lb,
+                    threads,
+                    Some(&mut st),
+                    &mut scr.solver.vc,
+                    clique,
+                )
+            } else {
+                max_clique_via_vc_scratch(&scr.small, lb, Some(&mut st), &mut scr.solver.vc, clique)
+            };
             if found {
                 // translate compacted indices back to positions in n3
                 for i in clique.iter_mut() {
@@ -321,25 +399,37 @@ fn neighbor_search_scratch(
                 }
             }
             found
+        } else if threads > 1 {
+            max_clique_via_vc_par(adj, lb, threads, Some(&mut st), &mut scr.solver.vc, clique)
         } else {
             max_clique_via_vc_scratch(adj, lb, Some(&mut st), &mut scr.solver.vc, clique)
         };
         counters.add(&counters.vc_nodes, st.nodes);
         counters.add(&counters.vc_reductions, st.reductions);
+        counters.add(&counters.split_tasks, st.split_tasks);
+        counters.add(&counters.steals, st.steals);
+        counters.add(&counters.incumbent_broadcasts, st.incumbent_broadcasts);
         counters.add(&counters.kvc_ns, t1.elapsed().as_nanos() as u64);
         r
     } else {
         counters.add(&counters.searched_mc, 1);
         let mut st = McStats::default();
-        let r = max_clique_dense_scratch(
-            adj,
-            &scr.within,
-            lb,
-            Some(&mut st),
-            &mut scr.solver.mc,
-            clique,
-        );
+        let r = if threads > 1 {
+            max_clique_dense_par(adj, &scr.within, lb, threads, Some(&mut st), clique)
+        } else {
+            max_clique_dense_scratch(
+                adj,
+                &scr.within,
+                lb,
+                Some(&mut st),
+                &mut scr.solver.mc,
+                clique,
+            )
+        };
         counters.add(&counters.mc_nodes, st.nodes);
+        counters.add(&counters.split_tasks, st.split_tasks);
+        counters.add(&counters.steals, st.steals);
+        counters.add(&counters.incumbent_broadcasts, st.incumbent_broadcasts);
         counters.add(&counters.mc_ns, t1.elapsed().as_nanos() as u64);
         r
     };
@@ -660,6 +750,77 @@ mod tests {
             sizes.push(inc.size());
         }
         assert_eq!(sizes[0], sizes[1], "algorithmic choice must not change ω");
+    }
+
+    #[test]
+    fn intra_solve_parallelism_splits_and_agrees() {
+        // Dense G(n,p): filtered neighbourhoods are large enough to split.
+        // Searching every right-neighbourhood with an intra-solve budget of
+        // 4 threads must (a) reach ω — every clique has a least vertex in
+        // the order, whose right-neighbourhood holds the rest — and
+        // (b) actually exercise the work-splitting driver.
+        let g = gen::gnp(100, 0.6, 42);
+        let expected = crate::solve(&g).size();
+        let kc = kcore_sequential(&g);
+        let ord = coreness_degree_order(&g, &kc.coreness);
+        let inc = Incumbent::new();
+        let (u, v) = g.edges().next().unwrap();
+        inc.offer(&[u, v]);
+        let f = fixture(&g, &ord, &kc.coreness, kc.degeneracy, &inc);
+        let counters = Counters::default();
+        let cfg = Config::default();
+        let deadline = Deadline::none();
+        for v in 0..g.num_vertices() as u32 {
+            let ctx = SearchCtx {
+                cfg: &cfg,
+                inc: &inc,
+                counters: &counters,
+                deadline: &deadline,
+                solver_threads: 4,
+            };
+            neighbor_search(&f.lg, v, &ctx);
+        }
+        assert_eq!(inc.size(), expected, "parallel search must not change ω");
+        assert!(g.is_clique(&inc.clique()));
+        let snap = crate::metrics::snapshot_counters(&counters);
+        assert!(
+            snap.split_tasks > 0,
+            "dense neighbourhoods at 4 threads must generate subtree tasks"
+        );
+    }
+
+    #[test]
+    fn solver_threads_one_is_sequential_kernel() {
+        // The same sweep at solver_threads = 1 must produce identical node
+        // counts across runs (the deterministic sequential kernels).
+        let g = gen::gnp(80, 0.55, 7);
+        let kc = kcore_sequential(&g);
+        let ord = coreness_degree_order(&g, &kc.coreness);
+        let mut node_counts = Vec::new();
+        for _ in 0..2 {
+            let inc = Incumbent::new();
+            let (u, v) = g.edges().next().unwrap();
+            inc.offer(&[u, v]);
+            let f = fixture(&g, &ord, &kc.coreness, kc.degeneracy, &inc);
+            let counters = Counters::default();
+            let cfg = Config::default();
+            let deadline = Deadline::none();
+            for v in 0..g.num_vertices() as u32 {
+                let ctx = SearchCtx {
+                    cfg: &cfg,
+                    inc: &inc,
+                    counters: &counters,
+                    deadline: &deadline,
+                    solver_threads: 1,
+                };
+                neighbor_search(&f.lg, v, &ctx);
+            }
+            let snap = crate::metrics::snapshot_counters(&counters);
+            assert_eq!(snap.split_tasks, 0, "threads=1 must never split");
+            assert_eq!(snap.steals, 0);
+            node_counts.push((snap.mc_nodes, snap.vc_nodes));
+        }
+        assert_eq!(node_counts[0], node_counts[1]);
     }
 
     #[test]

@@ -477,13 +477,11 @@ impl SolveRequest {
         let mut cfg = Config::default();
         if let Some(t) = self.threads {
             // Cap client-requested thread counts: beyond ~2× the machine
-            // there is no speedup, only a thread-spawn DoS (and a panic
-            // once the rayon shim is swapped for the real pool builder).
-            let cap = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                * 2;
-            cfg.threads = t.min(cap);
+            // there is no speedup, only a thread-spawn DoS. The cap is the
+            // system-wide one in core (`Config::thread_cap`), shared with
+            // the CLI, the bench harness, and the daemon's worker pools;
+            // the server additionally clamps against its solver pool.
+            cfg.threads = Config::clamp_threads(t);
         }
         if let Some(k) = self.top_k {
             cfg.top_k = k;
@@ -566,10 +564,8 @@ mod tests {
     fn requested_thread_counts_are_capped() {
         let v = Json::parse(r#"{"graph":"g","threads":4000000000}"#).unwrap();
         let cfg = SolveRequest::from_json(&v).unwrap().config();
-        let machine = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        assert!(cfg.threads <= machine * 2);
+        // The cap is the single system-wide one defined in core.
+        assert_eq!(cfg.threads, Config::thread_cap());
         // Small explicit values survive untouched (0 = ambient pool).
         let v = Json::parse(r#"{"graph":"g","threads":1}"#).unwrap();
         assert_eq!(SolveRequest::from_json(&v).unwrap().config().threads, 1);

@@ -80,6 +80,10 @@ impl Default for ServiceConfig {
 
 impl ServiceConfig {
     fn effective_workers(&self) -> usize {
+        // HTTP handlers spend their life blocked on socket I/O, where
+        // pools well past the CPU count are legitimate — an explicit
+        // `--workers` is honored verbatim (the compute-oriented
+        // Config::thread_cap clamp applies to *solver* threads only).
         if self.workers > 0 {
             self.workers
         } else {
@@ -88,6 +92,32 @@ impl ServiceConfig {
                 .unwrap_or(2)
                 .clamp(2, 8)
         }
+    }
+
+    fn effective_solver_workers(&self) -> usize {
+        if self.solver_workers > 0 {
+            // Solver workers are compute threads: the system-wide clamp
+            // (Config::thread_cap) applies, same as every other solver
+            // thread request — the pool-size and per-job clamps used to
+            // disagree.
+            lazymc_core::Config::clamp_threads(self.solver_workers).max(1)
+        } else {
+            self.effective_workers()
+                .min(lazymc_core::Config::thread_cap())
+        }
+    }
+
+    /// Largest intra-solve thread budget one job may use: with the whole
+    /// solver pool busy, per-job threads multiply across workers, so each
+    /// job gets an equal share of the system-wide cap.
+    ///
+    /// This is a deliberately *static* share (cap ÷ pool capacity, not ÷
+    /// jobs actually in flight): a lone job on an idle daemon runs below
+    /// the machine's full parallelism, in exchange for a worst-case
+    /// thread count that is predictable and bounded regardless of load.
+    /// Load-aware shares belong with the async rewrite (see ROADMAP).
+    pub fn max_job_threads(&self) -> usize {
+        (lazymc_core::Config::thread_cap() / self.effective_solver_workers().max(1)).max(1)
     }
 }
 
@@ -221,11 +251,7 @@ pub fn serve(cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
     let state = Arc::new(ServiceState::new(&cfg)?);
     let shutdown = Arc::new(AtomicBool::new(false));
     let workers = cfg.effective_workers();
-    let solver_workers = if cfg.solver_workers > 0 {
-        cfg.solver_workers
-    } else {
-        workers
-    };
+    let solver_workers = cfg.effective_solver_workers();
     let mut threads = Vec::new();
 
     // Solver pool.
@@ -659,6 +685,18 @@ fn solve(state: &ServiceState, cfg: &ServiceConfig, body: &str) -> Response {
         return Response::error(404, format!("unknown graph {:?}", request.graph));
     };
     let mut config = request.config();
+    // Route the per-job thread budget into the solver, clamped against
+    // the worker pool: intra-solve threads multiply across concurrent
+    // solver workers, so each job gets an equal share of the system-wide
+    // cap. Unspecified (0 = "ambient pool") must not bypass the clamp —
+    // ambient is the whole machine, which a full solver pool would
+    // multiply — so defaulted jobs get the same per-job share.
+    // (`threads` is excluded from the canonical cache key — the thread
+    // count changes cost, never the answer.)
+    config.threads = match config.threads {
+        0 => cfg.max_job_threads(),
+        t => t.min(cfg.max_job_threads()),
+    };
     // Server-side budget cap: clamp requested budgets, default unbudgeted
     // requests. Applied *before* the canonical key is computed so the
     // result cache keys on the budget that actually ran.
@@ -1016,6 +1054,21 @@ fn metrics(state: &ServiceState) -> Response {
         "lazymc_core_vc_reductions_total",
         "Vertices removed or forced by the k-VC kernelization rules",
         totals.vc_reductions,
+    );
+    counter(
+        "lazymc_core_split_tasks_total",
+        "Subtree tasks generated by intra-solve work splitting",
+        totals.split_tasks,
+    );
+    counter(
+        "lazymc_core_steals_total",
+        "Split tasks executed by a worker other than their generator",
+        totals.steals,
+    );
+    counter(
+        "lazymc_core_incumbent_broadcasts_total",
+        "Incumbent/early-stop broadcasts between parallel solve workers",
+        totals.incumbent_broadcasts,
     );
     counter(
         "lazymc_core_filter_micros_total",

@@ -32,18 +32,44 @@
 pub mod bitset;
 pub mod coloring;
 pub mod mc;
+pub mod par;
 pub mod scratch;
 pub mod vc;
 
 pub use bitset::{BitMatrix, Bitset};
 pub use coloring::{color_order, color_order_scratch, greedy_color_count, ColorScratch};
 pub use mc::{
-    max_clique_dense, max_clique_dense_scratch, max_clique_dense_within, max_clique_exact,
-    reduce_candidates, McScratch, McStats,
+    max_clique_dense, max_clique_dense_par, max_clique_dense_scratch, max_clique_dense_subtree,
+    max_clique_dense_within, max_clique_exact, reduce_candidates, McScratch, McStats,
 };
+pub use par::{SearchAbort, SharedBest};
 pub use scratch::Pool;
 pub use vc::{
-    max_clique_via_vc, max_clique_via_vc_scratch, min_vertex_cover, vertex_cover_decision,
+    max_clique_via_vc, max_clique_via_vc_par, max_clique_via_vc_scratch, min_vertex_cover,
+    vertex_cover_decision, vertex_cover_decision_abortable, vertex_cover_decision_par,
     vertex_cover_decision_scratch, vertex_cover_decision_within, VcScratch, VcSolveScratch,
     VcStats,
 };
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use crate::bitset::BitMatrix;
+
+    /// Deterministic pseudo-random graph (xorshift64*), densities in
+    /// permille — the shared fixture generator of the in-crate tests.
+    pub(crate) fn pseudo_graph(n: usize, p_permille: u64, seed: u64) -> BitMatrix {
+        let mut m = BitMatrix::new(n);
+        let mut state = seed | 1;
+        for u in 0..n {
+            for v in u + 1..n {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state.wrapping_mul(0x2545_F491_4F6C_DD1D) % 1000 < p_permille {
+                    m.add_edge(u, v);
+                }
+            }
+        }
+        m
+    }
+}

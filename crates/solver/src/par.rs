@@ -1,0 +1,196 @@
+//! Intra-solve work-splitting substrate: the shared incumbent and the
+//! cooperative abort flag the parallel subgraph drivers coordinate on.
+//!
+//! The paper's work-avoidance thesis extends across threads: a bound that
+//! is published the instant any worker improves it prunes *every* worker's
+//! subtree. Two primitives carry that idea into the dense engines:
+//!
+//! * [`SharedBest`] — the incumbent of one parallel MC solve. The size
+//!   lives in an `AtomicUsize` read with `Relaxed` loads on every node
+//!   expansion (the same discipline as the solver-global
+//!   `lazymc_core::Incumbent`); the witness clique sits behind a mutex
+//!   touched only on improvements. Every successful publication is
+//!   counted, surfaced as the `incumbent_broadcasts` statistic.
+//! * [`SearchAbort`] — the k-VC analogue. A decision search has no
+//!   incumbent to tighten; instead the first worker to find a cover
+//!   triggers the flag and every other worker's subtree terminates at its
+//!   next node.
+//!
+//! Both are deliberately tiny: the split drivers in `mc`/`vc` own the task
+//! queues (a claim-by-index atomic over a pooled task arena — tasks are
+//! generated once per solve, so a lock-free deque would be ceremony), and
+//! the sequential kernels stay byte-identical via zero-sized link types
+//! that monomorphize the sharing away (`threads = 1` *is* today's code).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The shared incumbent of one parallel MC solve: best size (atomic, read
+/// per node by every worker) plus the witness clique (mutex, written only
+/// on improvements).
+pub struct SharedBest {
+    size: AtomicUsize,
+    clique: Mutex<Vec<u32>>,
+    broadcasts: AtomicU64,
+}
+
+impl SharedBest {
+    /// An incumbent floored at `lb`: only cliques strictly larger are
+    /// accepted (the caller's incumbent already covers `lb`).
+    pub fn with_floor(lb: usize) -> Self {
+        SharedBest {
+            size: AtomicUsize::new(lb),
+            clique: Mutex::new(Vec::new()),
+            broadcasts: AtomicU64::new(0),
+        }
+    }
+
+    /// Current best size (floor included). `Relaxed`: staleness only costs
+    /// a little extra search, never correctness.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size.load(Ordering::Relaxed)
+    }
+
+    /// Pre-sizes the witness buffer so that publications of cliques up to
+    /// `cap` vertices never allocate — the split drivers call this with
+    /// the candidate-set size, keeping the whole worker steady state
+    /// allocation-free.
+    pub fn reserve(&self, cap: usize) {
+        let mut guard = self.clique.lock().unwrap();
+        let len = guard.len();
+        guard.reserve(cap.saturating_sub(len));
+    }
+
+    /// Offers a candidate; returns whether it became the new incumbent.
+    /// CAS-up first, so losing threads never take the lock.
+    pub fn offer(&self, candidate: &[u32]) -> bool {
+        let mut cur = self.size.load(Ordering::Relaxed);
+        loop {
+            if candidate.len() <= cur {
+                return false;
+            }
+            match self.size.compare_exchange_weak(
+                cur,
+                candidate.len(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let mut guard = self.clique.lock().unwrap();
+                    // A larger offer may have raced past between the CAS
+                    // and the lock; never shrink the witness.
+                    if candidate.len() > guard.len() {
+                        guard.clear();
+                        guard.extend_from_slice(candidate);
+                    }
+                    self.broadcasts.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// How many improvements were published to the other workers.
+    pub fn broadcasts(&self) -> u64 {
+        self.broadcasts.load(Ordering::Relaxed)
+    }
+
+    /// Copies the witness into `out` (cleared first); returns whether the
+    /// incumbent ever rose above its floor.
+    pub fn clique_into(&self, out: &mut Vec<u32>) -> bool {
+        out.clear();
+        let guard = self.clique.lock().unwrap();
+        if guard.is_empty() {
+            return false;
+        }
+        out.extend_from_slice(&guard);
+        true
+    }
+}
+
+/// Cooperative early-stop flag for parallel k-VC decision searches: the
+/// first worker to find a cover triggers it; everyone else's subtree
+/// terminates at the next node expansion.
+#[derive(Default)]
+pub struct SearchAbort(AtomicBool);
+
+impl SearchAbort {
+    /// An untriggered flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Signals every cooperating worker to stop.
+    #[inline]
+    pub fn trigger(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the search was stopped. A `false` decision result obtained
+    /// while this is `true` is *not* authoritative — another worker
+    /// already succeeded.
+    #[inline]
+    pub fn triggered(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_best_is_monotone_and_floored() {
+        let b = SharedBest::with_floor(2);
+        assert_eq!(b.size(), 2);
+        assert!(!b.offer(&[1, 2])); // not strictly better than the floor
+        assert!(b.offer(&[1, 2, 3]));
+        assert_eq!(b.size(), 3);
+        assert!(!b.offer(&[7, 8, 9]));
+        assert_eq!(b.broadcasts(), 1);
+        let mut out = vec![99];
+        assert!(b.clique_into(&mut out));
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unimproved_incumbent_reports_nothing() {
+        let b = SharedBest::with_floor(5);
+        let mut out = vec![1];
+        assert!(!b.clique_into(&mut out));
+        assert!(out.is_empty());
+        assert_eq!(b.broadcasts(), 0);
+    }
+
+    #[test]
+    fn concurrent_offers_keep_maximum() {
+        let b = SharedBest::with_floor(0);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let b = &b;
+                s.spawn(move || {
+                    for n in 1..100usize {
+                        let cand: Vec<u32> = (0..(n + t) as u32).collect();
+                        b.offer(&cand);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.size(), 102);
+        let mut out = Vec::new();
+        assert!(b.clique_into(&mut out));
+        assert_eq!(out.len(), 102);
+    }
+
+    #[test]
+    fn abort_flag_latches() {
+        let a = SearchAbort::new();
+        assert!(!a.triggered());
+        a.trigger();
+        assert!(a.triggered());
+        a.trigger();
+        assert!(a.triggered());
+    }
+}

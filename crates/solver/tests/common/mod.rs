@@ -1,0 +1,21 @@
+//! Shared fixtures for the solver integration tests.
+
+use lazymc_solver::BitMatrix;
+
+/// Deterministic pseudo-random graph (xorshift64*, no external RNG):
+/// `n` vertices, edge probability `p_permille`/1000.
+pub fn pseudo_graph(n: usize, p_permille: u64, seed: u64) -> BitMatrix {
+    let mut m = BitMatrix::new(n);
+    let mut state = seed | 1;
+    for u in 0..n {
+        for v in u + 1..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state.wrapping_mul(0x2545_F491_4F6C_DD1D) % 1000 < p_permille {
+                m.add_edge(u, v);
+            }
+        }
+    }
+    m
+}

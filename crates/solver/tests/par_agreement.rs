@@ -1,0 +1,107 @@
+//! The central property of intra-solve parallelism: the thread count
+//! changes *cost*, never the *answer*. Parallel (threads ∈ {2, 4, 8}) and
+//! sequential solves must agree on ω (and produce genuine witnesses)
+//! across random G(n, p) densities, for both dense engines and for the
+//! raw k-VC decision problem.
+//!
+//! Set `LAZYMC_TEST_THREADS=<n>` to pin the parallel thread count (CI runs
+//! the suite once with 4 to exercise the parallel path under the standard
+//! matrix); unset, every test sweeps 2, 4 and 8.
+
+use lazymc_solver::{
+    max_clique_dense_par, max_clique_exact, max_clique_via_vc_par, min_vertex_cover,
+    vc::is_vertex_cover, vertex_cover_decision_par, Bitset, VcSolveScratch,
+};
+use proptest::prelude::*;
+
+mod common;
+use common::pseudo_graph;
+
+/// Thread counts to exercise: the `LAZYMC_TEST_THREADS` override, or the
+/// standard {2, 4, 8} sweep.
+fn test_threads() -> Vec<usize> {
+    match std::env::var("LAZYMC_TEST_THREADS") {
+        Ok(v) => vec![v
+            .parse()
+            .expect("LAZYMC_TEST_THREADS must be a positive integer")],
+        Err(_) => vec![2, 4, 8],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_mc_agrees_with_sequential(
+        n in 4usize..80,
+        p in 0u64..1000,
+        seed in 0u64..10_000,
+    ) {
+        let m = pseudo_graph(n, p, seed);
+        let omega = max_clique_exact(&m).len();
+        for threads in test_threads() {
+            let mut out = Vec::new();
+            let found =
+                max_clique_dense_par(&m, &Bitset::full(n), 0, threads, None, &mut out);
+            prop_assert!(found, "n={n} p={p} threads={threads}");
+            prop_assert_eq!(out.len(), omega, "n={} p={} threads={}", n, p, seed);
+            prop_assert!(m.is_clique(&out), "witness must be a clique");
+            // The lower bound suppresses exactly at ω.
+            prop_assert!(
+                !max_clique_dense_par(&m, &Bitset::full(n), omega, threads, None, &mut out)
+            );
+            prop_assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_clique_via_vc_agrees_with_sequential(
+        n in 4usize..60,
+        p in 400u64..1000,
+        seed in 0u64..10_000,
+    ) {
+        let m = pseudo_graph(n, p, seed);
+        let omega = max_clique_exact(&m).len();
+        for threads in test_threads() {
+            let mut scratch = VcSolveScratch::new();
+            let mut out = Vec::new();
+            prop_assert!(
+                max_clique_via_vc_par(&m, 0, threads, None, &mut scratch, &mut out),
+                "n={n} p={p} threads={threads}"
+            );
+            prop_assert_eq!(out.len(), omega, "n={} p={} seed={}", n, p, seed);
+            prop_assert!(m.is_clique(&out));
+            prop_assert!(
+                !max_clique_via_vc_par(&m, omega, threads, None, &mut scratch, &mut out)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_vc_decision_agrees_with_sequential(
+        n in 4usize..60,
+        p in 0u64..500,
+        seed in 0u64..10_000,
+    ) {
+        let m = pseudo_graph(n, p, seed);
+        let alive = Bitset::full(n);
+        let mvc = min_vertex_cover(&m, None).len();
+        for threads in test_threads() {
+            let mut out = Vec::new();
+            // At the optimum: success with a genuine cover.
+            prop_assert!(
+                vertex_cover_decision_par(&m, &alive, mvc, threads, None, &mut out),
+                "n={n} p={p} threads={threads} k={mvc}"
+            );
+            prop_assert!(out.len() <= mvc);
+            prop_assert!(is_vertex_cover(&m, &alive, &out));
+            // One below: a unanimous, authoritative no.
+            if mvc > 0 {
+                prop_assert!(
+                    !vertex_cover_decision_par(&m, &alive, mvc - 1, threads, None, &mut out)
+                );
+                prop_assert!(out.is_empty());
+            }
+        }
+    }
+}

@@ -10,11 +10,15 @@
 //! each other's tallies.
 
 use lazymc_solver::{
-    max_clique_dense_scratch, max_clique_via_vc_scratch, reduce_candidates, BitMatrix, Bitset,
-    ColorScratch, McScratch, VcSolveScratch,
+    max_clique_dense_scratch, max_clique_dense_subtree, max_clique_via_vc_scratch,
+    min_vertex_cover, reduce_candidates, vertex_cover_decision_abortable, Bitset, ColorScratch,
+    McScratch, SearchAbort, SharedBest, VcScratch, VcSolveScratch,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
+
+mod common;
+use common::pseudo_graph as dense_graph;
 
 thread_local! {
     static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
@@ -47,25 +51,6 @@ static ALLOC: ThreadCountingAlloc = ThreadCountingAlloc;
 
 fn thread_allocs() -> u64 {
     THREAD_ALLOCS.with(|c| c.get())
-}
-
-/// A fixed dense pseudo-random graph (LCG, no external RNG): n vertices,
-/// edge probability ~p.
-fn dense_graph(n: usize, p_permille: u64, seed: u64) -> BitMatrix {
-    let mut m = BitMatrix::new(n);
-    let mut state = seed | 1;
-    for u in 0..n {
-        for v in u + 1..n {
-            // xorshift64*
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            if state.wrapping_mul(0x2545_F491_4F6C_DD1D) % 1000 < p_permille {
-                m.add_edge(u, v);
-            }
-        }
-    }
-    m
 }
 
 #[test]
@@ -144,6 +129,112 @@ fn clique_via_vc_pipeline_is_allocation_free_after_warmup() {
     assert_eq!(
         allocs, 0,
         "clique-via-VC pipeline allocated {allocs} times after warm-up"
+    );
+}
+
+#[test]
+fn parallel_mc_worker_is_allocation_free_after_warmup() {
+    // The body of a parallel MC worker is `max_clique_dense_subtree`: a
+    // branch-prefix task run against a shared incumbent. After one warm-up
+    // run, a worker's steady state — node expansions, bound refreshes from
+    // the shared atomic, *and* incumbent publications (the witness buffer
+    // is pre-reserved, as the split driver does) — must not touch the
+    // heap.
+    let adj = dense_graph(120, 550, 42);
+    let cand = Bitset::full(adj.len());
+    let mut scratch = McScratch::new();
+
+    // Warm-up: grows the arena and establishes ω in a first incumbent.
+    let warm = SharedBest::with_floor(0);
+    warm.reserve(adj.len());
+    max_clique_dense_subtree(&adj, &cand, &[], &warm, None, &mut scratch);
+    let omega = warm.size();
+    assert!(omega >= 3, "graph must be non-trivial, got omega {omega}");
+
+    // Steady state 1: a fresh shared incumbent (pre-reserved) makes the
+    // worker re-find and re-publish every improvement — still zero allocs.
+    let shared = SharedBest::with_floor(0);
+    shared.reserve(adj.len());
+    let before = thread_allocs();
+    max_clique_dense_subtree(&adj, &cand, &[], &shared, None, &mut scratch);
+    let allocs = thread_allocs() - before;
+    assert_eq!(shared.size(), omega);
+    assert!(
+        shared.broadcasts() > 0,
+        "improvements must have been published"
+    );
+    assert_eq!(
+        allocs, 0,
+        "parallel MC worker allocated {allocs} times after warm-up"
+    );
+
+    // Steady state 2: a saturated incumbent (everything prunes) — the
+    // prune-heavy regime a worker spends most of its life in.
+    let before = thread_allocs();
+    max_clique_dense_subtree(&adj, &cand, &[], &shared, None, &mut scratch);
+    let allocs = thread_allocs() - before;
+    assert_eq!(
+        allocs, 0,
+        "pruned MC worker allocated {allocs} times after warm-up"
+    );
+}
+
+#[test]
+fn parallel_vc_worker_is_allocation_free_after_warmup() {
+    // The body of a parallel k-VC decision worker is
+    // `vertex_cover_decision_abortable`; with a warm arena, polling the
+    // abort flag and the full kernelize/branch/path-cycle machinery must
+    // not allocate.
+    let adj = dense_graph(90, 250, 17);
+    let alive = Bitset::full(adj.len());
+    let mvc = min_vertex_cover(&adj, None).len();
+    let abort = SearchAbort::new();
+    let mut scratch = VcScratch::new();
+    let mut cover = Vec::new();
+
+    // Warm-up at the optimum (success path) and one below (failure path).
+    assert!(vertex_cover_decision_abortable(
+        &adj,
+        &alive,
+        mvc,
+        &abort,
+        None,
+        &mut scratch,
+        &mut cover
+    ));
+    assert!(!vertex_cover_decision_abortable(
+        &adj,
+        &alive,
+        mvc - 1,
+        &abort,
+        None,
+        &mut scratch,
+        &mut cover
+    ));
+
+    let before = thread_allocs();
+    assert!(vertex_cover_decision_abortable(
+        &adj,
+        &alive,
+        mvc,
+        &abort,
+        None,
+        &mut scratch,
+        &mut cover
+    ));
+    assert!(!vertex_cover_decision_abortable(
+        &adj,
+        &alive,
+        mvc - 1,
+        &abort,
+        None,
+        &mut scratch,
+        &mut cover
+    ));
+    let allocs = thread_allocs() - before;
+    assert_eq!(
+        allocs, 0,
+        "parallel k-VC worker allocated {allocs} times after warm-up"
     );
 }
 

@@ -431,3 +431,42 @@ fn error_surface_and_introspection() {
 
     handle.stop();
 }
+
+#[test]
+fn per_job_threads_route_into_the_solver() {
+    let handle = start_service(ServiceConfig::default());
+    let addr = handle.addr();
+    let mut client = Client::connect(addr);
+
+    // Dense G(n,p): neighbourhoods are large enough that an intra-solve
+    // thread budget actually reaches the work-splitting drivers.
+    let g = gen::gnp(100, 0.6, 42);
+    let expected = LazyMc::new(Config::default()).solve(&g).size();
+    upload_edge_list(&mut client, "dense", &g);
+
+    // A parallel job must agree with the sequential answer (the thread
+    // count changes cost, never the result) and is clamped server-side
+    // against the solver pool rather than rejected.
+    let (status, response) =
+        client.post_json("/solve", r#"{"graph":"dense","threads":8,"no_cache":true}"#);
+    assert_eq!(status, 200, "parallel solve failed: {response:?}");
+    assert_eq!(u64_field(&response, "omega") as usize, expected);
+    assert!(bool_field(&response, "exact"));
+
+    // A sequential job on the same graph agrees too.
+    let (_, seq) = client.post_json("/solve", r#"{"graph":"dense","threads":1,"no_cache":true}"#);
+    assert_eq!(u64_field(&seq, "omega") as usize, expected);
+
+    // The intra-solve parallelism counters are exported (metric() panics
+    // on a missing series; values depend on the machine's parallelism).
+    let (_, _, text) = client.request("GET", "/metrics", None);
+    for name in [
+        "lazymc_core_split_tasks_total",
+        "lazymc_core_steals_total",
+        "lazymc_core_incumbent_broadcasts_total",
+    ] {
+        let _ = metric(&text, name);
+    }
+
+    handle.stop();
+}
