@@ -20,10 +20,15 @@ const VALUED: &[&str] = &[
     "--top-k",
     "--filter-rounds",
     "--workers",
+    "--solver-workers",
+    "--io-threads",
+    "--conn-limit",
     "--max-graphs",
     "--queue-cap",
     "--data-dir",
     "--max-budget-ms",
+    "--job-ttl-ms",
+    "--result-cache-bytes",
     "--suite",
     "--out",
     "--reps",

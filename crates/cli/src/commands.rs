@@ -15,8 +15,10 @@ USAGE:
   lazymc solve <file> [--threads N] [--budget SECS] [--phi F] [--top-k K]
                [--filter-rounds R] [--no-early-exit] [--no-second-exit]
                [--prepopulate none|must|all] [--reduction] [--quiet]
-  lazymc bench --suite quick|dense|sparse [--out FILE] [--reps N]
+  lazymc bench --suite quick|dense|sparse|service [--out FILE] [--reps N]
                [--threads N] [--write-graphs DIR]
+               (service: requests/sec + healthz-under-load latency against
+               an in-process daemon)
   lazymc bench --check-json FILE               (validate a bench report)
   lazymc bench --compare OLD.json NEW.json     (speedup table; exits 1 on
                >10% median wall-time regression)
@@ -24,8 +26,10 @@ USAGE:
   lazymc mce <file> [--histogram]
   lazymc compare <file> [--skip ALG[,ALG...]]   (algs: pmc, domega-ls, domega-bs, brb)
   lazymc gen <instance> <out-file> [--test]     (see `lazymc gen list`)
-  lazymc serve [<addr>] [--workers N] [--max-graphs M] [--queue-cap Q]
-               [--data-dir DIR] [--max-budget-ms MS] [--check]
+  lazymc serve [<addr>] [--io-threads I] [--workers N] [--solver-workers S]
+               [--conn-limit C] [--max-graphs M] [--queue-cap Q]
+               [--data-dir DIR] [--max-budget-ms MS] [--job-ttl-ms MS]
+               [--result-cache-bytes B] [--check]
                (default addr 127.0.0.1:7171)
   lazymc snapshot <graph-file> <out.lmcs>
   lazymc restore <file.lmcs> [<out-graph-file>]
@@ -36,10 +40,15 @@ anything else is read as a whitespace edge list.
 
 The serve daemon keeps uploaded graphs resident (fingerprinted, coreness
 precomputed, LRU-bounded by --max-graphs) and answers clique queries over
-HTTP/1.1: POST /graphs, POST /solve, GET /graphs, GET /stats/<name>,
-GET /healthz, GET /metrics, DELETE /graphs/<name>. Repeated identical
-queries are served from a result cache; a full job queue (--queue-cap)
-answers 429. --check binds, prints the address, and exits immediately.
+HTTP/1.1 on an epoll reactor (--io-threads event loops, --conn-limit open
+sockets): POST /graphs, POST /solve (add ?async=1 for 202 + job id),
+POST /solve-batch, GET /graphs, GET /stats[/name], GET /jobs/<id>,
+DELETE /jobs/<id>, DELETE /graphs/<name>, GET /healthz, GET /metrics.
+Introspection answers on the reactor in microseconds even with every
+solver busy. Repeated identical queries are served from a byte-bounded
+result cache (--result-cache-bytes); completed async jobs stay pollable
+for --job-ttl-ms; a full job queue (--queue-cap) answers 429. --check
+binds, prints the address, and exits immediately.
 
 With --data-dir, every upload is also written as a checksummed .lmcs
 snapshot (CSR + coreness, atomic rename); after a restart graphs reload
@@ -172,11 +181,22 @@ pub fn bench(argv: &[String]) -> i32 {
         return bench_compare(old_path, new_path);
     }
     let Some(suite_name) = p.raw("--suite") else {
-        return fail("bench needs --suite quick|dense|sparse (or --check-json / --compare)");
+        return fail(
+            "bench needs --suite quick|dense|sparse|service (or --check-json / --compare)",
+        );
     };
+    let reps_arg = match p.value::<usize>("--reps") {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    if suite_name == "service" {
+        // HTTP-level suite: drives an in-process daemon over live
+        // sockets instead of calling the solver directly.
+        return bench_service(reps_arg.unwrap_or(3).max(1), p.raw("--out"));
+    }
     let Some(cases) = lazymc_bench::perf::suite(suite_name) else {
         return fail(&format!(
-            "unknown suite {suite_name:?} (use quick, dense or sparse)"
+            "unknown suite {suite_name:?} (use quick, dense, sparse or service)"
         ));
     };
     // The &'static suite name is needed by the report struct.
@@ -238,6 +258,256 @@ pub fn bench(argv: &[String]) -> i32 {
     0
 }
 
+/// Minimal blocking HTTP/1.1 client for the service bench (keep-alive,
+/// single connection, Nagle off so request fragments cannot add phantom
+/// delayed-ACK latency to the measurements).
+struct BenchClient {
+    stream: std::net::TcpStream,
+    reader: std::io::BufReader<std::net::TcpStream>,
+}
+
+impl BenchClient {
+    fn connect(addr: std::net::SocketAddr) -> std::io::Result<BenchClient> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = std::io::BufReader::new(stream.try_clone()?);
+        Ok(BenchClient { stream, reader })
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        use std::io::{BufRead, Read, Write};
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(raw.as_bytes())?;
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::other(format!("bad status line {status_line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line)?;
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.trim_end().split_once(':') {
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse().unwrap_or(0);
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    }
+}
+
+/// `lazymc bench --suite service`: three HTTP-level cases against an
+/// in-process daemon — cached-solve throughput, `/healthz` latency under
+/// a saturated solver pool, and batch amortization — reported in the
+/// `lazymc-bench/v1` schema with additive `requests_per_sec` /
+/// `healthz_p50_ms` / `healthz_p99_ms` fields.
+fn bench_service(reps: usize, out: Option<&str>) -> i32 {
+    use lazymc_bench::perf::{CaseResult, ServiceCaseStats, SuiteResult};
+    use lazymc_graph::gen;
+
+    let percentile = |sorted: &[f64], p: f64| -> f64 {
+        sorted[((sorted.len() as f64 * p) as usize).min(sorted.len() - 1)]
+    };
+    let run = || -> std::io::Result<Vec<CaseResult>> {
+        let handle = lazymc_service::serve(lazymc_service::ServiceConfig {
+            addr: "127.0.0.1:0".into(),
+            solver_workers: 2,
+            workers: 4,
+            ..lazymc_service::ServiceConfig::default()
+        })?;
+        let addr = handle.addr();
+        let mut c = BenchClient::connect(addr)?;
+
+        // Shared fixture: a planted instance with a real clique.
+        let g = gen::planted_clique(300, 0.03, 11, 7);
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        let mut text = Vec::new();
+        io::write_edge_list(&g, &mut text).map_err(std::io::Error::other)?;
+        let upload = lazymc_service::Json::obj(vec![
+            ("name", lazymc_service::Json::str("bench")),
+            ("format", lazymc_service::Json::str("edgelist")),
+            (
+                "content",
+                lazymc_service::Json::str(String::from_utf8_lossy(&text).into_owned()),
+            ),
+        ])
+        .encode();
+        let (status, _) = c.request("POST", "/graphs", &upload)?;
+        assert_eq!(status, 201, "bench upload failed");
+        let (status, warm) = c.request("POST", "/solve", r#"{"graph":"bench","threads":1}"#)?;
+        assert_eq!(status, 200, "warm-up solve failed");
+        let omega = lazymc_service::Json::parse(&warm)
+            .ok()
+            .and_then(|v| v.get("omega").and_then(lazymc_service::Json::as_u64))
+            .unwrap_or(0) as usize;
+        let mut cases = Vec::new();
+        let case = |name: &'static str,
+                    omega: usize,
+                    wall_ms: f64,
+                    requests: usize,
+                    p50: f64,
+                    p99: f64| CaseResult {
+            name,
+            n,
+            m,
+            omega,
+            reps: 1,
+            wall_ms_median: wall_ms,
+            wall_ms_min: wall_ms,
+            mc_nodes: 0,
+            vc_nodes: 0,
+            searched_mc: 0,
+            searched_kvc: 0,
+            reduced_vertices: 0,
+            vc_reductions: 0,
+            split_tasks: 0,
+            steals: 0,
+            incumbent_broadcasts: 0,
+            alloc_count: 0,
+            alloc_bytes: 0,
+            peak_bytes: 0,
+            service: Some(ServiceCaseStats {
+                requests_per_sec: requests as f64 / (wall_ms / 1e3).max(1e-9),
+                healthz_p50_ms: p50,
+                healthz_p99_ms: p99,
+            }),
+        };
+
+        // Case 1: cached-solve throughput over one keep-alive connection.
+        const SOLVES: usize = 500;
+        let t = Instant::now();
+        for _ in 0..SOLVES {
+            let (status, _) = c.request("POST", "/solve", r#"{"graph":"bench","threads":1}"#)?;
+            assert_eq!(status, 200);
+        }
+        let wall = t.elapsed().as_secs_f64() * 1e3;
+        cases.push(case("solve-cached-rps", omega, wall, SOLVES, 0.0, 0.0));
+
+        // Case 2: /healthz latency while both solver workers are pinned.
+        let hard = gen::gnp(300, 0.5, 7);
+        let mut text = Vec::new();
+        io::write_edge_list(&hard, &mut text).map_err(std::io::Error::other)?;
+        let upload = lazymc_service::Json::obj(vec![
+            ("name", lazymc_service::Json::str("hard")),
+            ("format", lazymc_service::Json::str("edgelist")),
+            (
+                "content",
+                lazymc_service::Json::str(String::from_utf8_lossy(&text).into_owned()),
+            ),
+        ])
+        .encode();
+        let (status, _) = c.request("POST", "/graphs", &upload)?;
+        assert_eq!(status, 201);
+        let mut job_ids = Vec::new();
+        for _ in 0..4 {
+            let (status, body) = c.request(
+                "POST",
+                "/solve?async=1",
+                r#"{"graph":"hard","no_cache":true}"#,
+            )?;
+            assert_eq!(status, 202, "saturation submit failed: {body}");
+            let id = lazymc_service::Json::parse(&body)
+                .ok()
+                .and_then(|v| v.get("job_id").and_then(lazymc_service::Json::as_u64))
+                .unwrap_or(0);
+            job_ids.push(id);
+        }
+        const PROBES: usize = 300;
+        let mut lat = Vec::with_capacity(PROBES);
+        let t = Instant::now();
+        for _ in 0..PROBES {
+            let p = Instant::now();
+            let (status, _) = c.request("GET", "/healthz", "")?;
+            lat.push(p.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(status, 200);
+        }
+        let wall = t.elapsed().as_secs_f64() * 1e3;
+        lat.sort_by(|a, b| a.total_cmp(b));
+        cases.push(case(
+            "healthz-under-load",
+            omega,
+            wall,
+            PROBES,
+            percentile(&lat, 0.50),
+            percentile(&lat, 0.99),
+        ));
+        for id in job_ids {
+            let _ = c.request("DELETE", &format!("/jobs/{id}"), "");
+        }
+
+        // Case 3: batch amortization — 64 cached solves in one request.
+        const SLOTS: usize = 64;
+        let slots = vec![r#"{"graph":"bench","threads":1}"#; SLOTS].join(",");
+        let t = Instant::now();
+        let (status, body) = c.request("POST", "/solve-batch", &format!("[{slots}]"))?;
+        let wall = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(status, 200, "batch failed: {body}");
+        cases.push(case("batch-64-cached", omega, wall, SLOTS, 0.0, 0.0));
+
+        handle.stop();
+        Ok(cases)
+    };
+
+    // Median across repetitions, per case by name.
+    let mut runs = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        match run() {
+            Ok(cases) => runs.push(cases),
+            Err(e) => return fail(&format!("service bench failed: {e}")),
+        }
+    }
+    let mut cases: Vec<lazymc_bench::perf::CaseResult> = Vec::new();
+    for i in 0..runs[0].len() {
+        let mut walls: Vec<f64> = runs.iter().map(|r| r[i].wall_ms_median).collect();
+        walls.sort_by(|a, b| a.total_cmp(b));
+        let median_idx = runs
+            .iter()
+            .position(|r| r[i].wall_ms_median == walls[walls.len() / 2])
+            .unwrap_or(0);
+        let mut chosen = runs[median_idx][i].clone();
+        chosen.reps = reps;
+        chosen.wall_ms_min = walls[0];
+        cases.push(chosen);
+    }
+    let result = SuiteResult {
+        suite: "service",
+        threads: 2,
+        reps,
+        alloc_tracked: lazymc_bench::alloc::tracking_enabled(),
+        cases,
+    };
+    println!(
+        "{:<20} {:>11} {:>12} {:>12} {:>12}",
+        "case", "wall-ms", "req/s", "hz-p50-ms", "hz-p99-ms"
+    );
+    for c in &result.cases {
+        let s = c.service.expect("service cases carry stats");
+        println!(
+            "{:<20} {:>11.3} {:>12.1} {:>12.3} {:>12.3}",
+            c.name, c.wall_ms_median, s.requests_per_sec, s.healthz_p50_ms, s.healthz_p99_ms
+        );
+    }
+    if let Some(out) = out {
+        let json = lazymc_bench::perf::to_json(&result);
+        if let Err(e) = std::fs::write(out, &json) {
+            return fail(&format!("cannot write {out}: {e}"));
+        }
+        println!("report written to {out}");
+    }
+    0
+}
+
 /// Validates a bench report against the `lazymc-bench/v1` schema.
 fn bench_check_json(path: &str) -> i32 {
     use lazymc_service::Json;
@@ -260,11 +530,10 @@ fn bench_check_json(path: &str) -> i32 {
         "schema must be \"lazymc-bench/v1\"",
     );
     expect(
-        matches!(
-            v.get("suite").and_then(Json::as_str),
-            Some("quick") | Some("dense") | Some("sparse")
-        ),
-        "suite must be quick|dense|sparse",
+        v.get("suite")
+            .and_then(Json::as_str)
+            .is_some_and(|s| lazymc_bench::perf::SUITES.contains(&s)),
+        "suite must be quick|dense|sparse|service",
     );
     expect(
         v.get("threads")
@@ -307,6 +576,16 @@ fn bench_check_json(path: &str) -> i32 {
                         if x.as_u64().is_none() {
                             problems
                                 .push(format!("cases[{i}].{field} must be an integer if present"));
+                        }
+                    }
+                }
+                // Additive service fields (requests/sec, healthz latency):
+                // likewise optional, numeric when present.
+                for field in lazymc_bench::perf::CASE_OPT_FLOAT_FIELDS {
+                    if let Some(x) = c.get(field) {
+                        if x.as_f64().is_none() {
+                            problems
+                                .push(format!("cases[{i}].{field} must be a number if present"));
                         }
                     }
                 }
@@ -587,11 +866,24 @@ pub fn serve(argv: &[String]) -> i32 {
         };
     }
     set!(workers, "--workers");
+    set!(solver_workers, "--solver-workers");
+    set!(io_threads, "--io-threads");
+    set!(conn_limit, "--conn-limit");
     set!(max_graphs, "--max-graphs");
     set!(queue_capacity, "--queue-cap");
     cfg.data_dir = p.raw("--data-dir").map(str::to_string);
     match p.value::<u64>("--max-budget-ms") {
         Ok(Some(ms)) => cfg.max_budget_ms = Some(ms),
+        Ok(None) => {}
+        Err(e) => return fail(&e),
+    }
+    match p.value::<u64>("--job-ttl-ms") {
+        Ok(Some(ms)) => cfg.job_ttl = Duration::from_millis(ms),
+        Ok(None) => {}
+        Err(e) => return fail(&e),
+    }
+    match p.value::<u64>("--result-cache-bytes") {
+        Ok(Some(bytes)) => cfg.result_cache_bytes = bytes as usize,
         Ok(None) => {}
         Err(e) => return fail(&e),
     }
@@ -603,9 +895,11 @@ pub fn serve(argv: &[String]) -> i32 {
     };
     let addr = handle.addr();
     println!("lazymc-service listening on http://{addr}");
-    println!("  POST /graphs    upload a graph   (name, format, content)");
-    println!("  POST /solve     query a clique   (graph, budget_ms, priority, ...)");
-    println!("  GET  /stats/<name> | /graphs | /healthz | /metrics");
+    println!("  POST /graphs       upload a graph   (name, format, content)");
+    println!("  POST /solve        query a clique   (graph, budget_ms, priority, ...)");
+    println!("  POST /solve?async=1  202 + job id; poll GET /jobs/<id>, DELETE cancels");
+    println!("  POST /solve-batch  array of solve bodies, grouped by graph");
+    println!("  GET  /stats[/name] | /graphs | /jobs/<id> | /healthz | /metrics");
     if let Some(dir) = data_dir {
         let snapshots = handle.state().registry.store().map_or(0, |s| s.len());
         println!("  durable: {snapshots} snapshot(s) indexed in {dir}");

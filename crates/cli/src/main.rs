@@ -193,6 +193,30 @@ mod tests {
     }
 
     #[test]
+    fn serve_accepts_reactor_and_job_flags() {
+        // Every valued serve flag must be registered in args::VALUED;
+        // an unregistered one dies with "flag needs a value".
+        assert_eq!(
+            run(&[
+                "serve".into(),
+                "127.0.0.1:0".into(),
+                "--io-threads".into(),
+                "2".into(),
+                "--conn-limit".into(),
+                "64".into(),
+                "--solver-workers".into(),
+                "1".into(),
+                "--job-ttl-ms".into(),
+                "5000".into(),
+                "--result-cache-bytes".into(),
+                "65536".into(),
+                "--check".into(),
+            ]),
+            0
+        );
+    }
+
+    #[test]
     fn serve_rejects_bad_inputs() {
         assert_ne!(
             run(&["serve".into(), "not-an-address".into(), "--check".into()]),

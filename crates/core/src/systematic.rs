@@ -79,6 +79,10 @@ static NEIGHBOR_SCRATCH: Pool<NeighborScratch> =
 pub struct Deadline {
     expires: Option<Instant>,
     truncated: AtomicBool,
+    /// Externally requested abort (job cancellation over HTTP): behaves
+    /// exactly like an expired budget — no new search starts, the result
+    /// reports itself truncated — so the solver needs no second code path.
+    cancelled: AtomicBool,
 }
 
 impl Deadline {
@@ -87,6 +91,7 @@ impl Deadline {
         Deadline {
             expires: budget.map(|b| Instant::now() + b),
             truncated: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
         }
     }
 
@@ -95,8 +100,23 @@ impl Deadline {
         Self::starting_now(None)
     }
 
+    /// Expires the deadline immediately, whatever its budget. Safe to call
+    /// from any thread while a solve is running against it: the solve
+    /// finishes its current neighbourhood search, then truncates.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`Deadline::cancel`] was called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
     #[inline]
     fn expired(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
         match self.expires {
             Some(t) => Instant::now() >= t,
             None => false,

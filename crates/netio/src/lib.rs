@@ -1,0 +1,528 @@
+//! lazymc-netio — dependency-free event-loop primitives for the daemon.
+//!
+//! The service's reactor needs exactly three things from the OS, and this
+//! crate provides them with no crates.io dependencies (raw `extern "C"`
+//! declarations against the libc `std` already links):
+//!
+//! * [`Poller`] — an epoll instance: register nonblocking fds with a
+//!   caller-chosen `u64` token and level- or edge-triggered [`Interest`],
+//!   then [`Poller::wait`] for readiness events.
+//! * [`Wakeup`] — an `eventfd` that other threads (solver workers, the
+//!   shutdown path) write to in order to pop the reactor out of
+//!   `epoll_wait`; the reactor drains it and consults its completion
+//!   queues.
+//! * Socket helpers — [`set_nonblocking`] plus the [`sockopt`] module
+//!   (`SO_SNDBUF`/`SO_RCVBUF`), the latter mostly so tests can force
+//!   partial reads and writes with tiny kernel buffers.
+//!
+//! Linux-only by design: epoll *is* the portability boundary, and the
+//! deployment target (and CI) is Linux. Nothing here spawns threads or
+//! owns sockets — ownership stays with the caller, the poller works with
+//! raw fds.
+
+#[cfg(not(target_os = "linux"))]
+compile_error!("lazymc-netio is Linux-only (epoll); port Poller to kqueue/IOCP to build here");
+
+mod sys;
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// What readiness to watch an fd for, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+    /// Edge-triggered (`EPOLLET`): one event per readiness *transition*;
+    /// the caller must drain until `WouldBlock`. Level-triggered (the
+    /// default) re-reports readiness every `wait` until consumed.
+    pub edge: bool,
+}
+
+impl Interest {
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+        edge: false,
+    };
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+        edge: false,
+    };
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+        edge: false,
+    };
+
+    pub fn edge(mut self) -> Interest {
+        self.edge = true;
+        self
+    }
+
+    fn bits(self) -> u32 {
+        let mut bits = 0;
+        if self.readable {
+            // RDHUP only alongside read interest: a half-closed peer is
+            // interesting exactly while we still consume its bytes —
+            // subscribing to it unconditionally would level-trigger
+            // forever on connections that are done reading.
+            bits |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        if self.edge {
+            bits |= sys::EPOLLET;
+        }
+        bits
+    }
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// Peer closed its write side or the whole connection
+    /// (EPOLLHUP/EPOLLRDHUP) — drain pending bytes, then close.
+    pub hangup: bool,
+    /// The connection is fully closed or reset (EPOLLHUP proper — the
+    /// kernel reports this regardless of interest, so callers must drop
+    /// the fd rather than keep polling it).
+    pub closed: bool,
+    /// Error condition on the fd (EPOLLERR).
+    pub error: bool,
+}
+
+/// Reusable event buffer for [`Poller::wait`].
+pub struct Events {
+    buf: Vec<sys::epoll_event>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per wait (≥ 1).
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![sys::epoll_event { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|e| {
+            // Copy out of the (possibly packed) struct before touching
+            // the fields — references into packed fields are UB.
+            let bits = e.events;
+            let token = e.data;
+            Event {
+                token,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                hangup: bits & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+                closed: bits & sys::EPOLLHUP != 0,
+                error: bits & sys::EPOLLERR != 0,
+            }
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// An epoll instance. Registered fds stay owned by the caller; dropping
+/// the poller closes only the epoll fd itself.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+// The epoll fd is just an fd; all operations on it are kernel-side
+// thread-safe (epoll_ctl vs epoll_wait included).
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: Option<Interest>, token: u64) -> io::Result<()> {
+        let mut ev = sys::epoll_event {
+            events: interest.map_or(0, Interest::bits),
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Starts watching `fd` (which should already be nonblocking) for
+    /// `interest`, tagging its events with `token`.
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, Some(interest), token)
+    }
+
+    /// Changes the interest set (and/or token) of a registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, Some(interest), token)
+    }
+
+    /// Stops watching `fd`. Closing an fd deregisters it implicitly, but
+    /// only once every duplicate of the description is closed — explicit
+    /// deregistration keeps that honest.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, None, 0)
+    }
+
+    /// Blocks until at least one registered fd is ready, `timeout`
+    /// expires (`None` = forever), or a signal lands (reported as zero
+    /// events, not an error). Returns the number of events filled.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            // Round *up* so a 100µs timeout cannot spin at timeout 0.
+            Some(t) => {
+                t.as_millis().min(i32::MAX as u128) as i32
+                    + if t.subsec_millis() as u128 * 1_000_000 != t.subsec_nanos() as u128 {
+                        1
+                    } else {
+                        0
+                    }
+            }
+            None => -1,
+        };
+        let n = unsafe {
+            sys::epoll_wait(
+                self.epfd,
+                events.buf.as_mut_ptr(),
+                events.buf.len() as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                events.len = 0;
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        events.len = n as usize;
+        Ok(events.len)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.epfd) };
+    }
+}
+
+/// An `eventfd`-backed doorbell: any thread calls [`Wakeup::notify`] to
+/// make the poller's next (or current) [`Poller::wait`] return with this
+/// fd readable; the reactor then [`Wakeup::drain`]s it and checks its
+/// queues. Notifications coalesce (n notifies ≥ 1 wakeups), which is
+/// exactly the semantics a completion queue wants.
+pub struct Wakeup {
+    fd: RawFd,
+}
+
+unsafe impl Send for Wakeup {}
+unsafe impl Sync for Wakeup {}
+
+impl Wakeup {
+    pub fn new() -> io::Result<Wakeup> {
+        let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Wakeup { fd })
+    }
+
+    /// The fd to register with the poller (read interest).
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Rings the doorbell. Never blocks: if the counter is already at its
+    /// max (impossible in practice), the pending wakeup it implies is
+    /// sufficient anyway.
+    pub fn notify(&self) {
+        let one: u64 = 1;
+        unsafe {
+            sys::write(self.fd, (&one as *const u64).cast(), 8);
+        }
+    }
+
+    /// Clears pending notifications. Returns whether any were pending.
+    pub fn drain(&self) -> bool {
+        let mut count: u64 = 0;
+        let n = unsafe { sys::read(self.fd, (&mut count as *mut u64).cast(), 8) };
+        n == 8 && count > 0
+    }
+}
+
+impl Drop for Wakeup {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+/// Switches an fd in or out of nonblocking mode.
+pub fn set_nonblocking(fd: RawFd, nonblocking: bool) -> io::Result<()> {
+    let flags = unsafe { sys::fcntl(fd, sys::F_GETFL, 0) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let flags = if nonblocking {
+        flags | sys::O_NONBLOCK
+    } else {
+        flags & !sys::O_NONBLOCK
+    };
+    if unsafe { sys::fcntl(fd, sys::F_SETFL, flags) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Kernel socket-buffer knobs. The daemon uses these for tuning; the
+/// partial-I/O tests use them to make the kernel buffers tiny enough that
+/// a response provably cannot be written in one syscall.
+pub mod sockopt {
+    use super::sys;
+    use std::io;
+    use std::os::fd::RawFd;
+
+    fn set(fd: RawFd, opt: i32, bytes: usize) -> io::Result<()> {
+        let v = bytes as i32;
+        let rc = unsafe {
+            sys::setsockopt(
+                fd,
+                sys::SOL_SOCKET,
+                opt,
+                (&v as *const i32).cast(),
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn get(fd: RawFd, opt: i32) -> io::Result<usize> {
+        let mut v: i32 = 0;
+        let mut len = std::mem::size_of::<i32>() as u32;
+        let rc = unsafe {
+            sys::getsockopt(
+                fd,
+                sys::SOL_SOCKET,
+                opt,
+                (&mut v as *mut i32).cast(),
+                &mut len,
+            )
+        };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(v.max(0) as usize)
+    }
+
+    /// Requests a receive-buffer size (the kernel doubles and clamps it).
+    pub fn set_recv_buf(fd: RawFd, bytes: usize) -> io::Result<()> {
+        set(fd, sys::SO_RCVBUF, bytes)
+    }
+
+    /// Requests a send-buffer size (the kernel doubles and clamps it).
+    pub fn set_send_buf(fd: RawFd, bytes: usize) -> io::Result<()> {
+        set(fd, sys::SO_SNDBUF, bytes)
+    }
+
+    pub fn recv_buf(fd: RawFd) -> io::Result<usize> {
+        get(fd, sys::SO_RCVBUF)
+    }
+
+    pub fn send_buf(fd: RawFd) -> io::Result<usize> {
+        get(fd, sys::SO_SNDBUF)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    const LISTENER: u64 = 1;
+    const CLIENT: u64 = 2;
+    const DOORBELL: u64 = 3;
+
+    #[test]
+    fn listener_accept_and_readability() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller
+            .register(listener.as_raw_fd(), LISTENER, Interest::READ)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing pending: a short wait times out with zero events.
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+
+        // A connect makes the listener readable.
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev: Vec<Event> = events.iter().collect();
+        assert!(ev.iter().any(|e| e.token == LISTENER && e.readable));
+
+        // Accept, register the server side, and see client bytes arrive.
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        poller
+            .register(server.as_raw_fd(), CLIENT, Interest::READ_WRITE)
+            .unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut saw_read = false;
+        for _ in 0..50 {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.token == CLIENT && e.readable) {
+                saw_read = true;
+                break;
+            }
+        }
+        assert!(saw_read, "client bytes must surface as readability");
+        let mut buf = [0u8; 4];
+        (&server).read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+
+        // Hangup is reported once the client goes away.
+        drop(client);
+        let mut saw_hup = false;
+        for _ in 0..50 {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.token == CLIENT && e.hangup) {
+                saw_hup = true;
+                break;
+            }
+        }
+        assert!(saw_hup, "peer close must surface as hangup");
+        poller.deregister(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn wakeup_crosses_threads_and_coalesces() {
+        let poller = Poller::new().unwrap();
+        let wakeup = std::sync::Arc::new(Wakeup::new().unwrap());
+        poller
+            .register(wakeup.fd(), DOORBELL, Interest::READ)
+            .unwrap();
+        let mut events = Events::with_capacity(4);
+
+        let w = wakeup.clone();
+        let t = std::thread::spawn(move || {
+            for _ in 0..100 {
+                w.notify();
+            }
+        });
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(n >= 1);
+        assert!(events.iter().any(|e| e.token == DOORBELL && e.readable));
+        t.join().unwrap();
+        assert!(wakeup.drain(), "notifications were pending");
+        assert!(!wakeup.drain(), "drain clears the counter");
+        // After draining, the doorbell is quiet again.
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn edge_triggered_fires_once_per_transition() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller
+            .register(server.as_raw_fd(), CLIENT, Interest::READ.edge())
+            .unwrap();
+        let mut events = Events::with_capacity(4);
+
+        client.write_all(b"x").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        // Without consuming the byte, a level-triggered poll would fire
+        // again; edge-triggered stays silent until new bytes arrive.
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap(),
+            0,
+            "edge-triggered must not re-report unconsumed readiness"
+        );
+        client.write_all(b"y").unwrap();
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap(),
+            1,
+            "a new byte is a new edge"
+        );
+    }
+
+    #[test]
+    fn nonblocking_and_sockopt_helpers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        set_nonblocking(server.as_raw_fd(), true).unwrap();
+        let mut buf = [0u8; 8];
+        let err = (&server).read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        set_nonblocking(server.as_raw_fd(), false).unwrap();
+
+        // The kernel clamps/doubles, so assert the shrink direction, not
+        // an exact value.
+        let fd = client.as_raw_fd();
+        sockopt::set_recv_buf(fd, 2048).unwrap();
+        sockopt::set_send_buf(fd, 2048).unwrap();
+        assert!(sockopt::recv_buf(fd).unwrap() < 1 << 20);
+        assert!(sockopt::send_buf(fd).unwrap() < 1 << 20);
+    }
+}

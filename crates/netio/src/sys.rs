@@ -1,0 +1,80 @@
+//! Raw Linux syscall surface for the reactor, declared `extern "C"`
+//! against the libc that `std` already links — the workspace vendors no
+//! third-party crates, so there is no `libc` crate to lean on. Only the
+//! handful of calls the poller needs are declared, with their constants
+//! taken from the kernel UAPI headers.
+
+#![allow(non_camel_case_types)]
+
+use std::os::raw::{c_int, c_uint, c_void};
+
+// epoll_ctl ops.
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+// epoll event bits.
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLET: u32 = 1 << 31;
+
+// epoll_create1 / eventfd flags (CLOEXEC = O_CLOEXEC, NONBLOCK = O_NONBLOCK).
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+pub const EFD_NONBLOCK: c_int = 0o4000;
+
+// fcntl.
+pub const F_GETFL: c_int = 3;
+pub const F_SETFL: c_int = 4;
+pub const O_NONBLOCK: c_int = 0o4000;
+
+// setsockopt.
+pub const SOL_SOCKET: c_int = 1;
+pub const SO_SNDBUF: c_int = 7;
+pub const SO_RCVBUF: c_int = 8;
+
+/// The kernel's `struct epoll_event`. On x86-64 the ABI packs it (glibc's
+/// `__EPOLL_PACKED`); elsewhere natural alignment applies — getting this
+/// wrong corrupts the `data` field of every event after the first.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    pub events: u32,
+    /// We always carry a caller token here (the `u64` arm of the kernel's
+    /// `epoll_data_t` union).
+    pub data: u64,
+}
+
+extern "C" {
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    pub fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: u32,
+    ) -> c_int;
+    pub fn getsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *mut c_void,
+        optlen: *mut u32,
+    ) -> c_int;
+}

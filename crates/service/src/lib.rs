@@ -23,10 +23,18 @@
 //! * [`protocol`] — request/response types over a minimal hand-rolled
 //!   JSON (no serde; the workspace allows no third-party dependencies
 //!   beyond its vendored shims).
-//! * [`server`] — `std::net::TcpListener` accept loop, HTTP/1.1 with
-//!   keep-alive, worker thread pools, and a Prometheus `/metrics`
-//!   endpoint exposing `lazymc_core::metrics` counters plus cache
-//!   hit/miss rates.
+//! * [`jobs`] — the asynchronous job lifecycle: every solve is a job
+//!   with an id, a cancellable ticket + deadline, and a sink; completed
+//!   `?async=1` results are retained in a byte-bounded, TTL-evicting
+//!   store for `GET /jobs/<id>` polling.
+//! * [`conn`] / [`reactor`] — the event-driven I/O path: epoll reactor
+//!   threads (via `lazymc-netio`) own every socket, parse requests
+//!   incrementally, and buffer partial writes; introspection endpoints
+//!   answer *on* the reactor, so `/healthz` stays microseconds even with
+//!   every solver busy.
+//! * [`server`] — configuration, routing, the request-worker and solver
+//!   pools, and the Prometheus `/metrics` endpoint exposing
+//!   `lazymc_core::metrics` counters plus cache and reactor telemetry.
 //!
 //! # Quick start
 //!
@@ -55,12 +63,17 @@
 //! handle.stop();
 //! ```
 
+pub mod conn;
+pub mod jobs;
 pub mod persist;
 pub mod protocol;
 pub mod queue;
+pub mod reactor;
 pub mod registry;
 pub mod server;
 
+pub use conn::{Request, Response};
+pub use jobs::{JobState, JobStore};
 pub use persist::SnapshotStore;
 pub use protocol::{Json, LoadRequest, SolveRequest};
 pub use queue::{JobQueue, JobTicket, QueueFull};

@@ -112,8 +112,31 @@ impl<T> JobQueue<T> {
         }
     }
 
+    /// Pre-reserves a ticket for a job that will be pushed with
+    /// [`JobQueue::push_ticketed`]. Reserving first lets the caller
+    /// register the job id elsewhere (e.g. the job store) *before* any
+    /// worker can possibly pop the job — no completion/registration race.
+    pub fn ticket(&self) -> JobTicket {
+        JobTicket {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            cancelled: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
     /// Admits a job, or reports backpressure. Never blocks.
     pub fn push(&self, priority: u8, payload: T) -> Result<JobTicket, QueueFull> {
+        let ticket = self.ticket();
+        self.push_ticketed(priority, &ticket, payload)?;
+        Ok(ticket)
+    }
+
+    /// Admits a job under a pre-reserved ticket. Never blocks.
+    pub fn push_ticketed(
+        &self,
+        priority: u8,
+        ticket: &JobTicket,
+        payload: T,
+    ) -> Result<(), QueueFull> {
         let mut state = self.state.lock().unwrap();
         if state.heap.len() >= self.capacity {
             self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -121,10 +144,6 @@ impl<T> JobQueue<T> {
                 capacity: self.capacity,
             });
         }
-        let ticket = JobTicket {
-            id: self.next_id.fetch_add(1, Ordering::Relaxed),
-            cancelled: Arc::new(AtomicBool::new(false)),
-        };
         state.heap.push(Queued {
             priority,
             seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
@@ -135,7 +154,7 @@ impl<T> JobQueue<T> {
         self.submitted.fetch_add(1, Ordering::Relaxed);
         drop(state);
         self.available.notify_one();
-        Ok(ticket)
+        Ok(())
     }
 
     /// Blocks for the next runnable job; `None` once the queue is closed

@@ -19,7 +19,7 @@ use lazymc_order::{kcore_sequential, KCore};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A resident graph with everything precomputed at load time.
 pub struct GraphEntry {
@@ -322,62 +322,148 @@ pub struct CachedSolve {
 /// hit would then return another graph's clique. With the name included,
 /// a collision requires replacing that very graph, which already hands
 /// the uploader control of its answers.
+///
+/// Eviction is accounted in **bytes**, not entries: a thousand 3-vertex
+/// cliques and a thousand 10k-vertex witnesses are not the same memory,
+/// and long-lived daemons care about the latter. Entries additionally
+/// expire after `ttl` (when set) so a years-resident deployment does not
+/// pin every answer it ever produced.
 pub struct ResultCache {
-    #[allow(clippy::type_complexity)]
-    map: Mutex<HashMap<(String, u64, String), (u64, CachedSolve)>>,
-    capacity: usize,
+    inner: Mutex<CacheInner>,
+    max_bytes: usize,
+    ttl: Option<Duration>,
     clock: AtomicU64,
     pub hits: AtomicU64,
     pub misses: AtomicU64,
+    pub ttl_evictions: AtomicU64,
+    pub size_evictions: AtomicU64,
+}
+
+struct CacheInner {
+    #[allow(clippy::type_complexity)]
+    map: HashMap<(String, u64, String), CacheSlot>,
+    bytes: usize,
+}
+
+struct CacheSlot {
+    used: u64,
+    stored: Instant,
+    bytes: usize,
+    result: CachedSolve,
+}
+
+/// Approximate heap footprint of one cache entry: both key strings, the
+/// clique witness, and fixed bookkeeping overhead.
+fn entry_bytes(name: &str, canonical: &str, result: &CachedSolve) -> usize {
+    name.len() + canonical.len() + result.clique.len() * 4 + 96
 }
 
 impl ResultCache {
-    pub fn new(capacity: usize) -> ResultCache {
+    /// A cache bounded at `max_bytes` of accounted entry footprint, with
+    /// entries expiring `ttl` after insertion (`None` = never).
+    pub fn new(max_bytes: usize, ttl: Option<Duration>) -> ResultCache {
         ResultCache {
-            map: Mutex::new(HashMap::new()),
-            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                bytes: 0,
+            }),
+            max_bytes: max_bytes.max(1),
+            ttl,
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            ttl_evictions: AtomicU64::new(0),
+            size_evictions: AtomicU64::new(0),
         }
     }
 
     pub fn get(&self, name: &str, fingerprint: u64, canonical: &str) -> Option<CachedSolve> {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut map = self.map.lock().unwrap();
-        match map.get_mut(&(name.to_string(), fingerprint, canonical.to_string())) {
-            Some((used, hit)) => {
-                *used = stamp;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(hit.clone())
+        let mut inner = self.inner.lock().unwrap();
+        let key = (name.to_string(), fingerprint, canonical.to_string());
+        if let Some(slot) = inner.map.get_mut(&key) {
+            if let Some(ttl) = self.ttl {
+                if slot.stored.elapsed() > ttl {
+                    let bytes = slot.bytes;
+                    inner.map.remove(&key);
+                    inner.bytes -= bytes;
+                    self.ttl_evictions.fetch_add(1, Ordering::Relaxed);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
             }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+            slot.used = stamp;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(slot.result.clone());
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     pub fn put(&self, name: &str, fingerprint: u64, canonical: String, result: CachedSolve) {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut map = self.map.lock().unwrap();
-        map.insert((name.to_string(), fingerprint, canonical), (stamp, result));
-        while map.len() > self.capacity {
-            let victim = map
+        let bytes = entry_bytes(name, &canonical, &result);
+        // An entry larger than the whole cache would evict everything and
+        // still not fit; don't admit it.
+        if bytes > self.max_bytes {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let old = inner.map.insert(
+            (name.to_string(), fingerprint, canonical),
+            CacheSlot {
+                used: stamp,
+                stored: Instant::now(),
+                bytes,
+                result,
+            },
+        );
+        inner.bytes += bytes;
+        if let Some(old) = old {
+            inner.bytes -= old.bytes;
+        }
+        // Expired entries go first, then LRU, until the byte budget holds.
+        if inner.bytes > self.max_bytes {
+            if let Some(ttl) = self.ttl {
+                let expired: Vec<_> = inner
+                    .map
+                    .iter()
+                    .filter(|(_, s)| s.stored.elapsed() > ttl)
+                    .map(|(k, _)| k.clone())
+                    .collect();
+                for k in expired {
+                    if let Some(s) = inner.map.remove(&k) {
+                        inner.bytes -= s.bytes;
+                        self.ttl_evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        while inner.bytes > self.max_bytes {
+            let victim = inner
+                .map
                 .iter()
-                .min_by_key(|(_, (used, _))| *used)
+                .min_by_key(|(_, s)| s.used)
                 .map(|(k, _)| k.clone());
             match victim {
                 Some(k) => {
-                    map.remove(&k);
+                    if let Some(s) = inner.map.remove(&k) {
+                        inner.bytes -= s.bytes;
+                        self.size_evictions.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 None => break,
             }
         }
     }
 
+    /// Accounted bytes currently cached.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().unwrap().bytes
+    }
+
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.inner.lock().unwrap().map.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -607,15 +693,18 @@ mod tests {
     }
 
     #[test]
-    fn result_cache_hits_and_evicts() {
-        let cache = ResultCache::new(2);
+    fn result_cache_hits_and_evicts_by_bytes() {
+        // Budget fits exactly two of these entries (each ~113 bytes).
         let r = CachedSolve {
             omega: 4,
             clique: vec![1, 2, 3, 4],
             solve_ms: 12,
         };
+        let per_entry = super::entry_bytes("g", "k1", &r);
+        let cache = ResultCache::new(2 * per_entry + per_entry / 2, None);
         assert!(cache.get("g", 7, "k1").is_none());
         cache.put("g", 7, "k1".into(), r.clone());
+        assert_eq!(cache.bytes(), per_entry);
         let hit = cache.get("g", 7, "k1").unwrap();
         assert_eq!(hit.omega, 4);
         assert_eq!(hit.clique, vec![1, 2, 3, 4]);
@@ -625,12 +714,50 @@ mod tests {
         assert!(cache.get("other", 7, "k1").is_none());
         cache.put("g", 8, "k1".into(), r.clone());
         cache.get("g", 7, "k1"); // freshen (g, 7, k1)
-        cache.put("g", 9, "k1".into(), r);
-        assert_eq!(cache.len(), 2);
+        cache.put("g", 9, "k1".into(), r.clone());
+        assert_eq!(cache.len(), 2, "third entry must evict over the budget");
         assert!(
             cache.get("g", 7, "k1").is_some(),
             "freshened entry survives"
         );
         assert!(cache.get("g", 8, "k1").is_none(), "stalest entry evicted");
+        assert_eq!(cache.size_evictions.load(Ordering::Relaxed), 1);
+        assert!(cache.bytes() <= 2 * per_entry + per_entry / 2);
+
+        // A big witness displaces several small entries' worth of budget.
+        let big = CachedSolve {
+            omega: 64,
+            clique: (0..2000).collect(),
+            solve_ms: 1,
+        };
+        cache.put("g", 10, "k1".into(), big.clone());
+        assert!(
+            cache.get("g", 10, "k1").is_none(),
+            "an entry larger than the whole cache is not admitted"
+        );
+        let roomy = ResultCache::new(64 << 10, None);
+        roomy.put("g", 10, "k1".into(), big);
+        assert!(roomy.bytes() > 2000 * 4, "bytes track the witness size");
+    }
+
+    #[test]
+    fn result_cache_ttl_expires_entries() {
+        let r = CachedSolve {
+            omega: 3,
+            clique: vec![1, 2, 3],
+            solve_ms: 5,
+        };
+        let cache = ResultCache::new(1 << 20, Some(Duration::from_millis(40)));
+        cache.put("g", 1, "k".into(), r.clone());
+        assert!(cache.get("g", 1, "k").is_some(), "fresh entry hits");
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(cache.get("g", 1, "k").is_none(), "expired entry misses");
+        assert_eq!(cache.ttl_evictions.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.bytes(), 0, "expiry returns the bytes");
+        // Without a TTL nothing expires.
+        let forever = ResultCache::new(1 << 20, None);
+        forever.put("g", 1, "k".into(), r);
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(forever.get("g", 1, "k").is_some());
     }
 }

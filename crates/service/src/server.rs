@@ -1,88 +1,134 @@
-//! The daemon: accept loop, HTTP/1.1 parsing, routing, worker pools.
+//! The daemon: configuration, shared state, routing, and the worker
+//! pools behind the event-driven I/O path.
 //!
-//! Two pools share one [`ServiceState`]:
+//! Three kinds of threads share one [`ServiceState`]:
 //!
-//! * **HTTP workers** own connections (keep-alive) and do request parsing,
-//!   routing, and cache lookups — everything cheap.
+//! * **Reactor threads** (`--io-threads`, see [`crate::reactor`]) own
+//!   every socket: nonblocking accept, incremental request parsing,
+//!   buffered writes. Cheap introspection endpoints (`/healthz`,
+//!   `/stats`, `/metrics`, `/graphs`, `/jobs/<id>`) are answered *on* the
+//!   reactor in microseconds, which is why a saturated solver pool can no
+//!   longer make a health probe queue.
+//! * **Request workers** (`--workers`) run handlers that parse bodies or
+//!   may touch disk (uploads, solve submission with its lazy registry
+//!   reload, batch fan-out). They never wait for a solve.
 //! * **Solver workers** pop [`SolveJob`]s from the bounded priority queue
-//!   and run the actual search, replying through a per-job channel.
+//!   and run the search. Results flow back through the
+//!   [`JobStore`](crate::jobs::JobStore): to the waiting connection (sync),
+//!   into the store (`?async=1`), or into a batch slot.
 //!
 //! A solve request therefore costs: parse → registry lookup → result-cache
-//! probe → (miss) enqueue with a [`Deadline`] that started ticking at
+//! probe → (miss) enqueue with a [`Deadline`] that starts ticking at
 //! enqueue → solver pops, runs `solve_prepared` against the shared CSR +
-//! coreness → reply. A full queue never blocks the HTTP worker: the client
+//! coreness → completion. A full queue never blocks anything: the client
 //! gets `429` with `Retry-After` and decides for itself.
 //!
-//! Endpoints: `POST /graphs`, `POST /solve`, `GET /graphs`,
-//! `GET /stats/<name>`, `DELETE /graphs/<name>`, `GET /healthz`,
+//! Endpoints: `POST /graphs`, `POST /solve[?async=1]`, `POST /solve-batch`,
+//! `GET /graphs`, `GET /stats`, `GET /stats/<name>`, `GET /jobs/<id>`,
+//! `DELETE /jobs/<id>`, `DELETE /graphs/<name>`, `GET /healthz`,
 //! `GET /metrics` (Prometheus text format).
 
+use crate::conn::{Request, Response};
+use crate::jobs::{BatchAggregator, CancelOutcome, JobMeta, JobSink, JobStore, SolveReply};
 use crate::protocol::{Json, LoadRequest, SolveRequest};
 use crate::queue::JobQueue;
+use crate::reactor::{self, ReactorShared, Responder};
 use crate::registry::{CachedSolve, GraphEntry, Registry, ResultCache};
 use lazymc_core::{Deadline, LazyMc, MetricsSnapshot};
 use lazymc_graph::{io as graph_io, suite, CsrGraph};
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Most requests accepted in one `POST /solve-batch` body.
+const MAX_BATCH: usize = 256;
 
 /// Tunables of one daemon instance.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Listen address, e.g. `127.0.0.1:7171` (port 0 picks a free port).
     pub addr: String,
-    /// Size of the HTTP worker pool (connection handlers). 0 means the
-    /// machine's available parallelism, capped at 8.
+    /// Reactor (I/O) threads. 0 means 1 — a single epoll loop drives
+    /// thousands of connections; add threads only past that.
+    pub io_threads: usize,
+    /// Size of the request worker pool (body parsing, uploads, solve
+    /// submission). 0 means the machine's available parallelism, capped
+    /// at 8.
     pub workers: usize,
     /// Size of the solver pool. 0 means "same as `workers`". Fewer solver
-    /// threads than HTTP workers turns the job queue into a real
+    /// threads than request workers turns the job queue into a real
     /// backpressure point (useful under heavy load and in tests).
     pub solver_workers: usize,
+    /// Most simultaneously open connections; beyond it, accepts are
+    /// answered `503` and closed. 0 means 1024.
+    pub conn_limit: usize,
     /// Resident-graph capacity of the registry (LRU beyond that).
     pub max_graphs: usize,
     /// Pending-job capacity; beyond it, `POST /solve` gets 429.
     pub queue_capacity: usize,
-    /// Result-cache capacity in entries.
-    pub result_cache_capacity: usize,
+    /// Result-cache budget in accounted entry bytes (keys + witnesses).
+    pub result_cache_bytes: usize,
+    /// Result-cache entry lifetime (`None` = no expiry).
+    pub result_cache_ttl: Option<Duration>,
+    /// How long a completed async job's result stays pollable.
+    pub job_ttl: Duration,
+    /// Byte budget for retained async-job results (oldest evicted first).
+    pub job_store_bytes: usize,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
-    /// Keep-alive read timeout per connection.
+    /// Aggregate budget for request bytes buffered in userspace across
+    /// ALL connections. Beyond it, connections already holding a
+    /// buffer's worth stop reading until the budget frees (they either
+    /// resume or hit the 408 progress timeout) — so many concurrent
+    /// slow large-body uploads are bounded by this, not by
+    /// `conn_limit × max_body_bytes`.
+    pub max_buffered_bytes: usize,
+    /// Progress timeout per connection: a request that stalls mid-receive
+    /// longer than this gets `408`; an idle keep-alive connection is
+    /// closed silently.
     pub read_timeout: Duration,
     /// Directory for durable graph snapshots (`.lmcs`). `None` keeps the
     /// registry memory-only (uploads die with the process).
     pub data_dir: Option<String>,
     /// Server-side budget cap, milliseconds. Requested budgets are clamped
     /// to it and *unbudgeted* requests default to it, so a single client
-    /// can no longer pin every solver (and with it every HTTP worker) with
-    /// open-ended solves — the ROADMAP's stopgap until the async rewrite.
-    /// `None` preserves the old behaviour (no cap, no default).
+    /// cannot pin a solver with an open-ended solve. `None` preserves the
+    /// old behaviour (no cap, no default).
     pub max_budget_ms: Option<u64>,
+    /// `SO_SNDBUF` request for accepted sockets (`None` = kernel default).
+    /// Mostly a test hook: tiny buffers force the partial-write path.
+    pub so_sndbuf: Option<usize>,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             addr: "127.0.0.1:7171".into(),
+            io_threads: 0,
             workers: 0,
             solver_workers: 0,
+            conn_limit: 0,
             max_graphs: 8,
             queue_capacity: 64,
-            result_cache_capacity: 256,
+            result_cache_bytes: 8 << 20,
+            result_cache_ttl: Some(Duration::from_secs(3600)),
+            job_ttl: Duration::from_secs(600),
+            job_store_bytes: 16 << 20,
             max_body_bytes: 64 << 20,
+            max_buffered_bytes: 256 << 20,
             read_timeout: Duration::from_secs(30),
             data_dir: None,
             max_budget_ms: None,
+            so_sndbuf: None,
         }
     }
 }
 
 impl ServiceConfig {
-    fn effective_workers(&self) -> usize {
-        // HTTP handlers spend their life blocked on socket I/O, where
-        // pools well past the CPU count are legitimate — an explicit
-        // `--workers` is honored verbatim (the compute-oriented
+    pub(crate) fn effective_workers(&self) -> usize {
+        // Request workers parse bodies and touch disk, not CPUs-for-hours;
+        // an explicit `--workers` is honored verbatim (the compute-oriented
         // Config::thread_cap clamp applies to *solver* threads only).
         if self.workers > 0 {
             self.workers
@@ -94,7 +140,7 @@ impl ServiceConfig {
         }
     }
 
-    fn effective_solver_workers(&self) -> usize {
+    pub(crate) fn effective_solver_workers(&self) -> usize {
         if self.solver_workers > 0 {
             // Solver workers are compute threads: the system-wide clamp
             // (Config::thread_cap) applies, same as every other solver
@@ -107,6 +153,18 @@ impl ServiceConfig {
         }
     }
 
+    pub(crate) fn effective_io_threads(&self) -> usize {
+        self.io_threads.clamp(1, 16).max(1)
+    }
+
+    pub(crate) fn effective_conn_limit(&self) -> usize {
+        if self.conn_limit > 0 {
+            self.conn_limit
+        } else {
+            1024
+        }
+    }
+
     /// Largest intra-solve thread budget one job may use: with the whole
     /// solver pool busy, per-job threads multiply across workers, so each
     /// job gets an equal share of the system-wide cap.
@@ -115,32 +173,24 @@ impl ServiceConfig {
     /// jobs actually in flight): a lone job on an idle daemon runs below
     /// the machine's full parallelism, in exchange for a worst-case
     /// thread count that is predictable and bounded regardless of load.
-    /// Load-aware shares belong with the async rewrite (see ROADMAP).
     pub fn max_job_threads(&self) -> usize {
         (lazymc_core::Config::thread_cap() / self.effective_solver_workers().max(1)).max(1)
     }
 }
 
-/// One queued solve.
-struct SolveJob {
+/// One queued solve. Formatting facts (graph name, clamp flag) live in
+/// the job's [`JobStore`] record; the payload carries only what the
+/// solver needs.
+pub(crate) struct SolveJob {
     entry: Arc<GraphEntry>,
     config: lazymc_core::Config,
     /// Started ticking at enqueue: queue wait spends the budget too.
-    deadline: Deadline,
+    /// Shared with the job record so `DELETE /jobs/<id>` can expire it
+    /// mid-solve.
+    deadline: Arc<Deadline>,
     /// `Some(canonical_key)` when the result may be cached afterwards.
     cache_key: Option<String>,
     enqueued: Instant,
-    reply: mpsc::Sender<SolveReply>,
-}
-
-struct SolveReply {
-    omega: usize,
-    clique: Vec<u32>,
-    exact: bool,
-    /// The solver panicked on this input; the fields above are meaningless.
-    failed: bool,
-    wait_ms: u64,
-    solve_ms: u64,
 }
 
 /// Counters the daemon exports beyond the solver's own.
@@ -151,17 +201,31 @@ pub struct ServiceMetrics {
     pub solver_panics_total: AtomicU64,
     pub requests_total: AtomicU64,
     pub bad_requests_total: AtomicU64,
+    // Reactor gauges/counters (`lazymc_http_*` in /metrics).
+    pub open_connections: AtomicU64,
+    pub conns_accepted_total: AtomicU64,
+    pub conns_rejected_total: AtomicU64,
+    pub read_stalls_total: AtomicU64,
+    pub write_stalls_total: AtomicU64,
+    pub request_timeouts_total: AtomicU64,
+    /// Request bytes currently buffered in userspace across all
+    /// connections (gauge; bounded by `max_buffered_bytes`).
+    pub buffered_bytes: AtomicU64,
+    // Batch accounting.
+    pub batches_total: AtomicU64,
+    pub batch_jobs_total: AtomicU64,
 }
 
 /// Everything the worker pools share.
 pub struct ServiceState {
     pub registry: Registry,
     pub results: ResultCache,
-    queue: JobQueue<SolveJob>,
+    pub(crate) queue: JobQueue<SolveJob>,
+    pub jobs: JobStore,
     pub metrics: ServiceMetrics,
     core_totals: Mutex<MetricsSnapshot>,
     started: Instant,
-    conns: ConnTracker,
+    pub(crate) next_conn_token: AtomicU64,
 }
 
 impl ServiceState {
@@ -172,41 +236,14 @@ impl ServiceState {
         };
         Ok(ServiceState {
             registry: Registry::with_store(cfg.max_graphs, store),
-            results: ResultCache::new(cfg.result_cache_capacity),
+            results: ResultCache::new(cfg.result_cache_bytes, cfg.result_cache_ttl),
             queue: JobQueue::new(cfg.queue_capacity),
+            jobs: JobStore::new(cfg.job_ttl, cfg.job_store_bytes),
             metrics: ServiceMetrics::default(),
             core_totals: Mutex::new(MetricsSnapshot::default()),
             started: Instant::now(),
-            conns: ConnTracker::default(),
+            next_conn_token: AtomicU64::new(reactor::FIRST_CONN_TOKEN),
         })
-    }
-}
-
-/// Live-connection registry, so shutdown can sever keep-alive connections
-/// that would otherwise pin HTTP workers until their read timeout.
-#[derive(Default)]
-struct ConnTracker {
-    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
-    next: AtomicU64,
-}
-
-impl ConnTracker {
-    fn register(&self, stream: &TcpStream) -> u64 {
-        let id = self.next.fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone() {
-            self.conns.lock().unwrap().insert(id, clone);
-        }
-        id
-    }
-
-    fn unregister(&self, id: u64) {
-        self.conns.lock().unwrap().remove(&id);
-    }
-
-    fn shutdown_all(&self) {
-        for stream in self.conns.lock().unwrap().values() {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-        }
     }
 }
 
@@ -216,6 +253,7 @@ pub struct ServiceHandle {
     addr: SocketAddr,
     state: Arc<ServiceState>,
     shutdown: Arc<AtomicBool>,
+    reactors: Vec<Arc<ReactorShared>>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -235,13 +273,28 @@ impl ServiceHandle {
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.state.queue.close();
-        self.state.conns.shutdown_all();
-        // Unblock the acceptor with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        for r in &self.reactors {
+            r.notify();
+        }
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
+}
+
+/// A parsed request plus the responder owed its answer, in flight to the
+/// request worker pool.
+pub(crate) struct ReqWork {
+    pub request: Request,
+    pub responder: Responder,
+}
+
+/// How the reactor's router settled a request.
+pub(crate) enum Dispatched {
+    /// Answer now, on the reactor thread.
+    Ready(Response),
+    /// Someone else (request worker, solver) owns the responder.
+    Pending,
 }
 
 /// Binds `cfg.addr` and spawns the daemon's threads. Returns immediately.
@@ -250,12 +303,10 @@ pub fn serve(cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
     let addr = listener.local_addr()?;
     let state = Arc::new(ServiceState::new(&cfg)?);
     let shutdown = Arc::new(AtomicBool::new(false));
-    let workers = cfg.effective_workers();
-    let solver_workers = cfg.effective_solver_workers();
     let mut threads = Vec::new();
 
     // Solver pool.
-    for i in 0..solver_workers {
+    for i in 0..cfg.effective_solver_workers() {
         let state = state.clone();
         threads.push(
             std::thread::Builder::new()
@@ -264,52 +315,67 @@ pub fn serve(cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
         );
     }
 
-    // Connection hand-off channel and HTTP pool.
-    let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
-    let conn_rx = Arc::new(Mutex::new(conn_rx));
-    for i in 0..workers {
+    // Request worker pool. The channel's senders live in the reactors;
+    // when the reactors exit at shutdown, the channel closes and the
+    // workers drain out.
+    let (work_tx, work_rx) = mpsc::channel::<ReqWork>();
+    let work_rx = Arc::new(Mutex::new(work_rx));
+    for i in 0..cfg.effective_workers() {
         let state = state.clone();
-        let conn_rx = conn_rx.clone();
         let cfg = cfg.clone();
+        let work_rx = work_rx.clone();
         threads.push(
             std::thread::Builder::new()
-                .name(format!("lazymc-http-{i}"))
+                .name(format!("lazymc-req-{i}"))
                 .spawn(move || loop {
-                    let next = { conn_rx.lock().unwrap().recv() };
+                    let next = { work_rx.lock().unwrap().recv() };
                     match next {
-                        Ok(stream) => handle_connection(&state, &cfg, stream),
+                        Ok(work) => {
+                            // A panicking handler must not shrink the pool;
+                            // the dropped Responder answers its connection
+                            // with a 500 (see ResponderInner::drop).
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                handle_heavy(&state, &cfg, work)
+                            }));
+                        }
                         Err(_) => break,
                     }
                 })?,
         );
     }
 
-    // Acceptor.
-    {
-        let shutdown = shutdown.clone();
+    // Reactors. Reactor 0 owns the listener and hands accepted
+    // connections round-robin across the set.
+    let io_threads = cfg.effective_io_threads();
+    let mut reactors = Vec::with_capacity(io_threads);
+    for _ in 0..io_threads {
+        reactors.push(Arc::new(ReactorShared::new()?));
+    }
+    let mut listener = Some(listener);
+    for (idx, shared) in reactors.iter().enumerate() {
+        let args = reactor::ReactorArgs {
+            idx,
+            state: state.clone(),
+            cfg: cfg.clone(),
+            listener: listener.take().filter(|_| idx == 0),
+            shared: shared.clone(),
+            peers: reactors.clone(),
+            shutdown: shutdown.clone(),
+            work_tx: work_tx.clone(),
+        };
         threads.push(
             std::thread::Builder::new()
-                .name("lazymc-accept".into())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if shutdown.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        if let Ok(stream) = stream {
-                            // Channel send only fails after shutdown.
-                            if conn_tx.send(stream).is_err() {
-                                break;
-                            }
-                        }
-                    }
-                })?,
+                .name(format!("lazymc-io-{idx}"))
+                .spawn(move || reactor::run_reactor(args))?,
         );
     }
+    drop(work_tx);
 
     Ok(ServiceHandle {
         addr,
         state,
         shutdown,
+        reactors,
         threads,
     })
 }
@@ -318,8 +384,12 @@ fn solver_loop(state: &ServiceState) {
     while let Some((ticket, job)) = state.queue.pop() {
         let wait_ms = job.enqueued.elapsed().as_millis() as u64;
         if ticket.is_cancelled() {
+            // Cancelled while queued: the job store already answered the
+            // sink when the cancellation landed.
             continue;
         }
+        state.jobs.mark_running(ticket.id);
+        state.jobs.jobs_inflight.fetch_add(1, Ordering::Relaxed);
         let t = Instant::now();
         // A panicking solve must not take the worker thread (and with it,
         // eventually, the whole solver pool) down: catch, count, report.
@@ -331,6 +401,7 @@ fn solver_loop(state: &ServiceState) {
             )
         }));
         let solve_ms = t.elapsed().as_millis() as u64;
+        state.jobs.jobs_inflight.fetch_sub(1, Ordering::Relaxed);
         let result = match outcome {
             Ok(result) => result,
             Err(_) => {
@@ -338,18 +409,14 @@ fn solver_loop(state: &ServiceState) {
                     .metrics
                     .solver_panics_total
                     .fetch_add(1, Ordering::Relaxed);
-                let _ = job.reply.send(SolveReply {
-                    omega: 0,
-                    clique: Vec::new(),
-                    exact: false,
-                    failed: true,
-                    wait_ms,
-                    solve_ms,
-                });
+                state
+                    .jobs
+                    .complete(ticket.id, Err(()), ticket.is_cancelled());
                 continue;
             }
         };
 
+        let cancelled = ticket.is_cancelled();
         state.metrics.solves_total.fetch_add(1, Ordering::Relaxed);
         if !result.is_exact() {
             state
@@ -365,7 +432,9 @@ fn solver_loop(state: &ServiceState) {
 
         let mut clique = result.vertices().to_vec();
         clique.sort_unstable();
-        if result.is_exact() {
+        // Only exact, uncancelled results are cacheable (a cancel racing
+        // completion could otherwise pin a half-meant answer).
+        if result.is_exact() && !cancelled {
             if let Some(canonical) = &job.cache_key {
                 state.results.put(
                     &job.entry.name,
@@ -379,250 +448,110 @@ fn solver_loop(state: &ServiceState) {
                 );
             }
         }
-        // The client may have hung up; a dead channel is not an error.
-        let _ = job.reply.send(SolveReply {
-            omega: clique.len(),
-            clique,
-            exact: result.is_exact(),
-            failed: false,
-            wait_ms,
-            solve_ms,
-        });
+        state.jobs.complete(
+            ticket.id,
+            Ok(SolveReply {
+                omega: clique.len(),
+                clique,
+                exact: result.is_exact(),
+                cached: false,
+                wait_ms,
+                solve_ms,
+            }),
+            cancelled,
+        );
     }
 }
 
 // ---------------------------------------------------------------------------
-// HTTP layer
+// Routing
 // ---------------------------------------------------------------------------
 
-struct Response {
-    status: u16,
-    content_type: &'static str,
-    body: String,
-    retry_after: Option<u64>,
-}
-
-impl Response {
-    fn json(status: u16, value: Json) -> Response {
-        Response {
-            status,
-            content_type: "application/json",
-            body: value.encode(),
-            retry_after: None,
+/// The reactor-side router: answers cheap endpoints inline (microseconds,
+/// no locks beyond short-held counters/maps) and forwards anything that
+/// parses bodies or may touch disk to the request worker pool.
+pub(crate) fn dispatch(
+    state: &Arc<ServiceState>,
+    cfg: &ServiceConfig,
+    req: Request,
+    responder: Responder,
+    work_tx: &mpsc::Sender<ReqWork>,
+) -> Dispatched {
+    // Scoped so the path borrow ends before `req` moves to the workers.
+    let inline: Option<Response> = {
+        let path = req.route_path();
+        match (req.method.as_str(), path) {
+            ("GET", "/healthz") => Some(healthz(state, cfg)),
+            ("GET", "/metrics") => Some(metrics(state)),
+            ("GET", "/stats") => Some(global_stats(state, cfg)),
+            ("GET", "/graphs") => Some(list_graphs(state)),
+            ("GET", p) if p.starts_with("/jobs/") => Some(job_status(state, p)),
+            ("DELETE", p) if p.starts_with("/jobs/") => Some(job_cancel(state, p)),
+            // Heavier or per-graph routes run off-reactor; unknown GET and
+            // DELETE paths fall through to the worker too and 404 there
+            // (keeps this match small and the reactor code path short).
+            ("POST", "/graphs" | "/solve" | "/solve-batch") | ("GET", _) | ("DELETE", _) => None,
+            (method, path) => Some(Response::error(
+                405,
+                format!("{method} {path} not supported"),
+            )),
         }
-    }
-
-    fn error(status: u16, message: impl Into<String>) -> Response {
-        Response::json(
-            status,
-            Json::obj(vec![("error", Json::str(message.into()))]),
-        )
-    }
-}
-
-fn status_text(code: u16) -> &'static str {
-    match code {
-        200 => "OK",
-        201 => "Created",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        413 => "Payload Too Large",
-        429 => "Too Many Requests",
-        501 => "Not Implemented",
-        _ => "Internal Server Error",
-    }
-}
-
-fn handle_connection(state: &ServiceState, cfg: &ServiceConfig, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
-    let _ = stream.set_nodelay(true);
-    let conn_id = state.conns.register(&stream);
-    // Sever-on-drop so a panicking handler still unregisters.
-    struct Unregister<'a>(&'a ConnTracker, u64);
-    impl Drop for Unregister<'_> {
-        fn drop(&mut self) {
-            self.0.unregister(self.1);
-        }
-    }
-    let _unregister = Unregister(&state.conns, conn_id);
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let mut stream = stream;
-    loop {
-        let (request, keep_alive) = match read_request(&mut reader, cfg.max_body_bytes) {
-            Ok(Some(r)) => r,
-            Ok(None) => return, // clean EOF between requests
-            Err(status) => {
-                state
-                    .metrics
-                    .bad_requests_total
-                    .fetch_add(1, Ordering::Relaxed);
-                let message = match status {
-                    501 => "Transfer-Encoding is not supported; send a Content-Length body",
-                    _ => "malformed request",
-                };
-                let resp = Response::error(status, message);
-                let _ = write_response(&mut stream, &resp, false);
-                return;
-            }
-        };
-        state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-        let response = route(state, cfg, &request);
-        if response.status >= 400 {
-            state
-                .metrics
-                .bad_requests_total
-                .fetch_add(1, Ordering::Relaxed);
-        }
-        if write_response(&mut stream, &response, keep_alive).is_err() || !keep_alive {
-            return;
-        }
-    }
-}
-
-struct Request {
-    method: String,
-    path: String,
-    body: String,
-}
-
-/// Longest accepted request line or header line. `max_body_bytes` guards
-/// the body; without this, an endless no-newline byte stream would grow a
-/// `read_line` buffer without bound.
-const MAX_HEADER_LINE: usize = 16 * 1024;
-/// Most header lines accepted per request.
-const MAX_HEADERS: usize = 100;
-
-/// Reads one `\n`-terminated line of at most `cap` bytes. `Ok(None)` on
-/// EOF before any byte; `Err(status)` on an oversized line.
-fn read_line_capped(reader: &mut BufReader<TcpStream>, cap: usize) -> Result<Option<String>, u16> {
-    let mut line = String::new();
-    match reader.by_ref().take(cap as u64 + 1).read_line(&mut line) {
-        Ok(0) => return Ok(None),
-        Ok(_) => {}
-        Err(_) => return Ok(None), // timeout or reset
-    }
-    if line.len() > cap {
-        return Err(400);
-    }
-    Ok(Some(line))
-}
-
-/// Reads one request. `Ok(None)` on EOF before a request line;
-/// `Err(status)` on malformed/oversized input.
-fn read_request(
-    reader: &mut BufReader<TcpStream>,
-    max_body: usize,
-) -> Result<Option<(Request, bool)>, u16> {
-    let line = match read_line_capped(reader, MAX_HEADER_LINE)? {
-        Some(line) => line,
-        None => return Ok(None),
     };
-    let mut parts = line.split_whitespace();
-    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => {
-            (m.to_string(), p.to_string(), v.to_string())
+    match inline {
+        Some(response) => {
+            // The reactor delivers this directly; settle the responder's
+            // debt so its drop backstop stays quiet.
+            responder.dismiss();
+            Dispatched::Ready(response)
         }
-        _ => return Err(400),
-    };
-    let mut content_length: Option<usize> = None;
-    let mut keep_alive = version == "HTTP/1.1";
-    for n_headers in 0.. {
-        if n_headers >= MAX_HEADERS {
-            return Err(400);
-        }
-        let header = match read_line_capped(reader, MAX_HEADER_LINE)? {
-            Some(header) => header,
-            None => return Err(400), // EOF mid-headers
-        };
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = header.split_once(':') {
-            let value = value.trim();
-            match name.to_ascii_lowercase().as_str() {
-                "content-length" => {
-                    // Request-smuggling hygiene: two Content-Length headers
-                    // (even agreeing ones) mean some other party in the
-                    // chain may frame this request differently — reject
-                    // rather than pick one. A comma-joined list inside one
-                    // header fails the integer parse below for the same
-                    // reason.
-                    if content_length.is_some() {
-                        return Err(400);
-                    }
-                    content_length = Some(value.parse().map_err(|_| 400u16)?);
-                }
-                "transfer-encoding" => {
-                    // We never decode chunked bodies. Answering 501 (and
-                    // closing the connection) beats misreading the chunked
-                    // stream as a fixed-length body.
-                    return Err(501);
-                }
-                "connection" => {
-                    keep_alive = !value.eq_ignore_ascii_case("close");
-                }
-                _ => {}
+        None => match work_tx.send(ReqWork {
+            request: req,
+            responder,
+        }) {
+            Ok(()) => Dispatched::Pending,
+            Err(returned) => {
+                returned.0.responder.dismiss();
+                Dispatched::Ready(Response::error(503, "shutting down"))
             }
-        }
+        },
     }
-    let content_length = content_length.unwrap_or(0);
-    if content_length > max_body {
-        return Err(413);
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|_| 400u16)?;
-    let body = String::from_utf8(body).map_err(|_| 400u16)?;
-    Ok(Some((Request { method, path, body }, keep_alive)))
 }
 
-fn write_response(stream: &mut TcpStream, r: &Response, keep_alive: bool) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
-        r.status,
-        status_text(r.status),
-        r.content_type,
-        r.body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    if let Some(secs) = r.retry_after {
-        head.push_str(&format!("Retry-After: {secs}\r\n"));
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(r.body.as_bytes())?;
-    stream.flush()
-}
-
-fn route(state: &ServiceState, cfg: &ServiceConfig, req: &Request) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/graphs") => load_graph(state, &req.body),
-        ("POST", "/solve") => solve(state, cfg, &req.body),
-        ("GET", "/graphs") => list_graphs(state),
-        ("GET", "/healthz") => healthz(state, cfg),
-        ("GET", "/metrics") => metrics(state),
-        ("GET", path) => match path.strip_prefix("/stats/") {
-            Some(name) => stats(state, cfg, name),
-            None => Response::error(404, format!("no route {path}")),
+/// Request-worker-side router for the forwarded routes.
+pub(crate) fn handle_heavy(state: &Arc<ServiceState>, cfg: &ServiceConfig, work: ReqWork) {
+    let ReqWork { request, responder } = work;
+    let path = request.route_path().to_string();
+    match (request.method.as_str(), path.as_str()) {
+        ("POST", "/graphs") => responder.respond(load_graph(state, &request.body)),
+        ("POST", "/solve") => solve_endpoint(state, cfg, &request, responder),
+        ("POST", "/solve-batch") => solve_batch(state, cfg, &request.body, responder),
+        ("GET", p) => match p.strip_prefix("/stats/") {
+            Some(name) => responder.respond(graph_stats(state, cfg, name)),
+            None => responder.respond(Response::error(404, format!("no route {p}"))),
         },
-        ("DELETE", path) => match path.strip_prefix("/graphs/") {
-            Some(name) if state.registry.remove(name) => {
-                Response::json(200, Json::obj(vec![("removed", Json::str(name))]))
+        ("DELETE", p) => match p.strip_prefix("/graphs/") {
+            Some(name) if state.registry.remove(name) => responder.respond(Response::json(
+                200,
+                Json::obj(vec![("removed", Json::str(name))]),
+            )),
+            Some(name) => {
+                responder.respond(Response::error(404, format!("unknown graph {name:?}")))
             }
-            Some(name) => Response::error(404, format!("unknown graph {name:?}")),
-            None => Response::error(404, format!("no route {path}")),
+            None => responder.respond(Response::error(404, format!("no route {p}"))),
         },
-        (method, path) => Response::error(405, format!("{method} {path} not supported")),
+        (method, p) => {
+            responder.respond(Response::error(405, format!("{method} {p} not supported")))
+        }
     }
 }
 
 fn fingerprint_hex(fp: u64) -> String {
     format!("{fp:016x}")
 }
+
+// ---------------------------------------------------------------------------
+// Graph management endpoints
+// ---------------------------------------------------------------------------
 
 fn load_graph(state: &ServiceState, body: &str) -> Response {
     let parsed = match Json::parse(body).and_then(|v| LoadRequest::from_json(&v)) {
@@ -676,21 +605,36 @@ fn load_graph(state: &ServiceState, body: &str) -> Response {
     )
 }
 
-fn solve(state: &ServiceState, cfg: &ServiceConfig, body: &str) -> Response {
-    let request = match Json::parse(body).and_then(|v| SolveRequest::from_json(&v)) {
-        Ok(r) => r,
-        Err(e) => return Response::error(400, e),
-    };
-    let Some(entry) = state.registry.get(&request.graph) else {
-        return Response::error(404, format!("unknown graph {:?}", request.graph));
-    };
+// ---------------------------------------------------------------------------
+// Solve submission (single, async, batch)
+// ---------------------------------------------------------------------------
+
+/// How one solve request settled at submission time.
+enum Submitted {
+    /// Served from the result cache; the formatted result object.
+    CacheHit(Json),
+    /// Admitted to the queue under this job id.
+    Enqueued(u64),
+    /// Queue full.
+    Full { capacity: usize },
+}
+
+/// Admits one solve against a resolved registry entry: clamp threads and
+/// budget, probe the result cache, register the job record, push. Shared
+/// by `POST /solve` and every batch slot, so all paths behave (and
+/// cache-key) identically.
+fn submit_solve(
+    state: &ServiceState,
+    cfg: &ServiceConfig,
+    request: &SolveRequest,
+    entry: &Arc<GraphEntry>,
+    sink: JobSink,
+) -> Submitted {
     let mut config = request.config();
     // Route the per-job thread budget into the solver, clamped against
     // the worker pool: intra-solve threads multiply across concurrent
     // solver workers, so each job gets an equal share of the system-wide
-    // cap. Unspecified (0 = "ambient pool") must not bypass the clamp —
-    // ambient is the whole machine, which a full solver pool would
-    // multiply — so defaulted jobs get the same per-job share.
+    // cap. Unspecified (0 = "ambient pool") must not bypass the clamp.
     // (`threads` is excluded from the canonical cache key — the thread
     // count changes cost, never the answer.)
     config.threads = match config.threads {
@@ -722,73 +666,255 @@ fn solve(state: &ServiceState, cfg: &ServiceConfig, body: &str) -> Response {
             .results
             .get(&entry.name, entry.fingerprint, &canonical)
         {
-            return Response::json(
-                200,
-                Json::obj(vec![
-                    ("graph", Json::str(&*entry.name)),
-                    ("omega", Json::num(hit.omega as f64)),
-                    (
-                        "clique",
-                        Json::Arr(hit.clique.iter().map(|&v| Json::num(v as f64)).collect()),
-                    ),
-                    ("exact", Json::Bool(true)),
-                    ("truncated", Json::Bool(false)),
-                    ("cached", Json::Bool(true)),
-                    ("budget_clamped", Json::Bool(budget_clamped)),
-                    ("solve_ms", Json::num(hit.solve_ms as f64)),
-                ]),
-            );
+            let reply = SolveReply {
+                omega: hit.omega,
+                clique: hit.clique,
+                exact: true,
+                cached: true,
+                wait_ms: 0,
+                solve_ms: hit.solve_ms,
+            };
+            return Submitted::CacheHit(JobStore::result_json(
+                &entry.name,
+                None,
+                &reply,
+                budget_clamped,
+                false,
+            ));
         }
     }
 
-    let deadline = Deadline::starting_now(config.time_budget);
-    let (reply_tx, reply_rx) = mpsc::channel();
+    let deadline = Arc::new(Deadline::starting_now(config.time_budget));
+    let ticket = state.queue.ticket();
+    let id = ticket.id;
+    // Record first, push second: the job must be findable (for GET/DELETE
+    // and for the worker's completion) before any worker can pop it.
+    state.jobs.insert_queued(
+        ticket.clone(),
+        deadline.clone(),
+        sink,
+        JobMeta {
+            graph: entry.name.clone(),
+            budget_clamped,
+        },
+    );
     let job = SolveJob {
         entry: entry.clone(),
         config,
         deadline,
         cache_key: (!request.no_cache).then(|| canonical.clone()),
         enqueued: Instant::now(),
-        reply: reply_tx,
     };
-    let ticket = match state.queue.push(request.priority, job) {
-        Ok(t) => t,
+    match state.queue.push_ticketed(request.priority, &ticket, job) {
+        Ok(()) => Submitted::Enqueued(id),
         Err(full) => {
-            let mut r = Response::error(
-                429,
-                format!("{} pending jobs; try again shortly", full.capacity),
-            );
-            r.retry_after = Some(1);
-            return r;
+            state.jobs.forget(id);
+            Submitted::Full {
+                capacity: full.capacity,
+            }
         }
-    };
-    match reply_rx.recv() {
-        Ok(reply) if reply.failed => {
-            Response::error(500, "solver panicked on this input; see /metrics")
-        }
-        Ok(reply) => Response::json(
-            200,
-            Json::obj(vec![
-                ("graph", Json::str(&*entry.name)),
-                ("job_id", Json::num(ticket.id as f64)),
-                ("omega", Json::num(reply.omega as f64)),
-                (
-                    "clique",
-                    Json::Arr(reply.clique.iter().map(|&v| Json::num(v as f64)).collect()),
-                ),
-                ("exact", Json::Bool(reply.exact)),
-                ("truncated", Json::Bool(!reply.exact)),
-                ("cached", Json::Bool(false)),
-                ("budget_clamped", Json::Bool(budget_clamped)),
-                ("wait_ms", Json::num(reply.wait_ms as f64)),
-                ("solve_ms", Json::num(reply.solve_ms as f64)),
-            ]),
-        ),
-        Err(_) => Response::error(500, "solver worker unavailable"),
     }
 }
 
-fn stats(state: &ServiceState, cfg: &ServiceConfig, name: &str) -> Response {
+fn queue_full_response(capacity: usize) -> Response {
+    let mut r = Response::error(429, format!("{capacity} pending jobs; try again shortly"));
+    r.retry_after = Some(1);
+    r
+}
+
+/// `POST /solve` (sync) and `POST /solve?async=1` (202 + job id).
+fn solve_endpoint(state: &ServiceState, cfg: &ServiceConfig, req: &Request, responder: Responder) {
+    let parsed = Json::parse(&req.body).and_then(|v| {
+        let r = SolveRequest::from_json(&v)?;
+        let is_async =
+            req.query_flag("async") || v.get("async").and_then(Json::as_bool).unwrap_or(false);
+        Ok((r, is_async))
+    });
+    let (request, is_async) = match parsed {
+        Ok(p) => p,
+        Err(e) => return responder.respond(Response::error(400, e)),
+    };
+    let Some(entry) = state.registry.get(&request.graph) else {
+        return responder.respond(Response::error(
+            404,
+            format!("unknown graph {:?}", request.graph),
+        ));
+    };
+    let sink = if is_async {
+        JobSink::Async
+    } else {
+        JobSink::Sync(responder.clone())
+    };
+    match submit_solve(state, cfg, &request, &entry, sink) {
+        Submitted::CacheHit(result) => responder.respond(Response::json(200, result)),
+        Submitted::Enqueued(id) if is_async => {
+            // Counted here — after the push succeeded — so 429-rejected
+            // submissions never inflate the async metric.
+            state.jobs.async_submitted.fetch_add(1, Ordering::Relaxed);
+            responder.respond(Response::json(
+                202,
+                Json::obj(vec![
+                    ("job_id", Json::num(id as f64)),
+                    ("status", Json::str("queued")),
+                    ("poll", Json::str(format!("/jobs/{id}"))),
+                ]),
+            ))
+        }
+        Submitted::Enqueued(_) => {} // sync: the job's sink owns the responder
+        Submitted::Full { capacity } => responder.respond(queue_full_response(capacity)),
+    }
+}
+
+/// One batch slot's error object (mirrors the HTTP error body plus the
+/// status it would have carried standalone).
+fn batch_error(status: u16, message: impl Into<String>) -> Json {
+    Json::obj(vec![
+        ("error", Json::str(message.into())),
+        ("status", Json::num(status as f64)),
+    ])
+}
+
+/// `POST /solve-batch`: `{"requests":[...]}` (or a bare array) of solve
+/// bodies, answered as one `{"results":[...]}` array in request order.
+///
+/// Items are *grouped by graph* before admission: each distinct graph is
+/// resolved against the registry exactly once (so a batch against an
+/// evicted graph triggers at most one snapshot reload), and its items are
+/// pushed back-to-back so the FIFO tie-break keeps same-graph solves
+/// adjacent in the queue — consecutive pops run against a warm entry.
+fn solve_batch(state: &ServiceState, cfg: &ServiceConfig, body: &str, responder: Responder) {
+    let value = match Json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return responder.respond(Response::error(400, e)),
+    };
+    let items = match value.get("requests") {
+        Some(Json::Arr(items)) => items.as_slice(),
+        Some(_) => return responder.respond(Response::error(400, "\"requests\" must be an array")),
+        None => match &value {
+            Json::Arr(items) => items.as_slice(),
+            _ => {
+                return responder.respond(Response::error(
+                    400,
+                    "batch body must be an array or {\"requests\": [...]}",
+                ))
+            }
+        },
+    };
+    if items.is_empty() {
+        return responder.respond(Response::error(400, "empty batch"));
+    }
+    if items.len() > MAX_BATCH {
+        return responder.respond(Response::error(
+            400,
+            format!(
+                "batch of {} exceeds the {MAX_BATCH}-request limit",
+                items.len()
+            ),
+        ));
+    }
+    state.metrics.batches_total.fetch_add(1, Ordering::Relaxed);
+    state
+        .metrics
+        .batch_jobs_total
+        .fetch_add(items.len() as u64, Ordering::Relaxed);
+
+    // Parse every slot up front; per-slot failures become per-slot errors.
+    let parsed: Vec<Result<SolveRequest, String>> =
+        items.iter().map(SolveRequest::from_json).collect();
+
+    // Resolve each distinct graph once, in first-appearance order. This
+    // is the co-location step: one registry lookup (and at most one lazy
+    // snapshot reload) per graph, however many slots share it.
+    let mut graph_order: Vec<String> = Vec::new();
+    let mut entries: std::collections::HashMap<String, Option<Arc<GraphEntry>>> =
+        std::collections::HashMap::new();
+    for request in parsed.iter().flatten() {
+        if !entries.contains_key(&request.graph) {
+            graph_order.push(request.graph.clone());
+            entries.insert(request.graph.clone(), state.registry.get(&request.graph));
+        }
+    }
+
+    let agg = BatchAggregator::new(responder, parsed.len());
+    // Invalid slots settle immediately...
+    for (slot, item) in parsed.iter().enumerate() {
+        if let Err(e) = item {
+            agg.fill(slot, batch_error(400, e.clone()));
+        }
+    }
+    // ...then each graph's slots are admitted back-to-back.
+    for name in &graph_order {
+        let entry = &entries[name];
+        for (slot, request) in parsed.iter().enumerate() {
+            let Ok(request) = request else { continue };
+            if &request.graph != name {
+                continue;
+            }
+            let Some(entry) = entry else {
+                agg.fill(slot, batch_error(404, format!("unknown graph {name:?}")));
+                continue;
+            };
+            let sink = JobSink::Batch {
+                agg: agg.clone(),
+                slot,
+            };
+            match submit_solve(state, cfg, request, entry, sink) {
+                Submitted::CacheHit(result) => agg.fill(slot, result),
+                Submitted::Enqueued(_) => {}
+                Submitted::Full { capacity } => agg.fill(
+                    slot,
+                    batch_error(429, format!("{capacity} pending jobs; slot shed")),
+                ),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job endpoints
+// ---------------------------------------------------------------------------
+
+fn job_id_from(path: &str) -> Option<u64> {
+    path.strip_prefix("/jobs/")?.parse().ok()
+}
+
+fn job_status(state: &ServiceState, path: &str) -> Response {
+    let Some(id) = job_id_from(path) else {
+        return Response::error(404, format!("no route {path}"));
+    };
+    match state.jobs.view(id) {
+        Some(view) => Response::json(200, view),
+        None => Response::error(404, format!("no such job {id} (unknown or expired)")),
+    }
+}
+
+fn job_cancel(state: &ServiceState, path: &str) -> Response {
+    let Some(id) = job_id_from(path) else {
+        return Response::error(404, format!("no route {path}"));
+    };
+    match state.jobs.cancel(id) {
+        CancelOutcome::NotFound => {
+            Response::error(404, format!("no such job {id} (unknown or expired)"))
+        }
+        CancelOutcome::AlreadyDone(state) => {
+            Response::error(409, format!("job {id} already {}", state.as_str()))
+        }
+        CancelOutcome::Cancelled { was } => Response::json(
+            200,
+            Json::obj(vec![
+                ("job_id", Json::num(id as f64)),
+                ("cancelled", Json::Bool(true)),
+                ("was", Json::str(was.as_str())),
+            ]),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection endpoints
+// ---------------------------------------------------------------------------
+
+fn graph_stats(state: &ServiceState, cfg: &ServiceConfig, name: &str) -> Response {
     let Some(entry) = state.registry.get(name) else {
         return Response::error(404, format!("unknown graph {name:?}"));
     };
@@ -875,34 +1001,139 @@ fn list_graphs(state: &ServiceState) -> Response {
     )
 }
 
+/// The service-level gauge set reported identically (same names, same
+/// values) by `/healthz`, `/stats`, and — as `lazymc_*` series — by
+/// `/metrics`.
+fn gauges(state: &ServiceState) -> Vec<(&'static str, Json)> {
+    let m = &state.metrics;
+    let (jobs_stored, job_store_bytes) = state.jobs.stats();
+    vec![
+        ("queue_depth", Json::num(state.queue.depth() as f64)),
+        (
+            "jobs_inflight",
+            Json::num(state.jobs.jobs_inflight.load(Ordering::Relaxed) as f64),
+        ),
+        ("jobs_stored", Json::num(jobs_stored as f64)),
+        ("job_store_bytes", Json::num(job_store_bytes as f64)),
+        (
+            "open_connections",
+            Json::num(m.open_connections.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "read_stalls",
+            Json::num(m.read_stalls_total.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "write_stalls",
+            Json::num(m.write_stalls_total.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "buffered_bytes",
+            Json::num(m.buffered_bytes.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "result_cache_bytes",
+            Json::num(state.results.bytes() as f64),
+        ),
+        (
+            "result_cache_entries",
+            Json::num(state.results.len() as f64),
+        ),
+    ]
+}
+
 fn healthz(state: &ServiceState, cfg: &ServiceConfig) -> Response {
+    let mut fields = vec![
+        ("status", Json::str("ok")),
+        (
+            "max_budget_ms",
+            match cfg.max_budget_ms {
+                Some(ms) => Json::num(ms as f64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "uptime_ms",
+            Json::num(state.started.elapsed().as_millis() as f64),
+        ),
+        ("graphs", Json::num(state.registry.len() as f64)),
+        ("durable", Json::Bool(state.registry.store().is_some())),
+        (
+            "snapshots",
+            Json::num(state.registry.store().map_or(0, |s| s.len()) as f64),
+        ),
+        (
+            "snapshot_disk_bytes",
+            Json::num(state.registry.store().map_or(0, |s| s.total_bytes()) as f64),
+        ),
+    ];
+    fields.extend(gauges(state));
     Response::json(
         200,
-        Json::obj(vec![
-            ("status", Json::str("ok")),
-            (
-                "max_budget_ms",
-                match cfg.max_budget_ms {
-                    Some(ms) => Json::num(ms as f64),
-                    None => Json::Null,
-                },
-            ),
-            (
-                "uptime_ms",
-                Json::num(state.started.elapsed().as_millis() as f64),
-            ),
-            ("graphs", Json::num(state.registry.len() as f64)),
-            ("queue_depth", Json::num(state.queue.depth() as f64)),
-            ("durable", Json::Bool(state.registry.store().is_some())),
-            (
-                "snapshots",
-                Json::num(state.registry.store().map_or(0, |s| s.len()) as f64),
-            ),
-            (
-                "snapshot_disk_bytes",
-                Json::num(state.registry.store().map_or(0, |s| s.total_bytes()) as f64),
-            ),
-        ]),
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        ),
+    )
+}
+
+/// `GET /stats` — server-wide counters and configuration (the per-graph
+/// variant lives at `/stats/<name>`).
+fn global_stats(state: &ServiceState, cfg: &ServiceConfig) -> Response {
+    let mut fields = vec![
+        (
+            "uptime_ms",
+            Json::num(state.started.elapsed().as_millis() as f64),
+        ),
+        ("graphs", Json::num(state.registry.len() as f64)),
+        (
+            "on_disk",
+            Json::num(state.registry.store().map_or(0, |s| s.len()) as f64),
+        ),
+        ("queue_capacity", Json::num(cfg.queue_capacity as f64)),
+        ("io_threads", Json::num(cfg.effective_io_threads() as f64)),
+        ("workers", Json::num(cfg.effective_workers() as f64)),
+        (
+            "solver_workers",
+            Json::num(cfg.effective_solver_workers() as f64),
+        ),
+        ("conn_limit", Json::num(cfg.effective_conn_limit() as f64)),
+        ("job_ttl_ms", Json::num(cfg.job_ttl.as_millis() as f64)),
+        (
+            "max_budget_ms",
+            match cfg.max_budget_ms {
+                Some(ms) => Json::num(ms as f64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "requests_total",
+            Json::num(state.metrics.requests_total.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "solves_total",
+            Json::num(state.metrics.solves_total.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "result_cache_hits",
+            Json::num(state.results.hits.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "result_cache_misses",
+            Json::num(state.results.misses.load(Ordering::Relaxed) as f64),
+        ),
+    ];
+    fields.extend(gauges(state));
+    Response::json(
+        200,
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        ),
     )
 }
 
@@ -926,6 +1157,31 @@ fn metrics(state: &ServiceState) -> Response {
         m.bad_requests_total.load(Ordering::Relaxed),
     );
     counter(
+        "lazymc_http_conns_accepted_total",
+        "TCP connections accepted by the reactor",
+        m.conns_accepted_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_http_conns_rejected_total",
+        "Connections refused with 503 at the connection limit",
+        m.conns_rejected_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_http_read_stalls_total",
+        "Reads that returned WouldBlock mid-request (partial receive)",
+        m.read_stalls_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_http_write_stalls_total",
+        "Writes that left response bytes buffered (partial send)",
+        m.write_stalls_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_http_request_timeouts_total",
+        "Requests answered 408 after stalling past the read timeout",
+        m.request_timeouts_total.load(Ordering::Relaxed),
+    );
+    counter(
         "lazymc_solves_total",
         "Solve jobs executed (cache hits excluded)",
         m.solves_total.load(Ordering::Relaxed),
@@ -941,6 +1197,31 @@ fn metrics(state: &ServiceState) -> Response {
         m.solver_panics_total.load(Ordering::Relaxed),
     );
     counter(
+        "lazymc_jobs_async_total",
+        "Solve jobs submitted with ?async=1",
+        state.jobs.async_submitted.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_jobs_cancelled_http_total",
+        "Jobs cancelled via DELETE /jobs/<id>",
+        state.jobs.cancelled_http.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_jobs_expired_total",
+        "Completed async jobs evicted by TTL",
+        state.jobs.expired.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_batches_total",
+        "POST /solve-batch requests accepted",
+        m.batches_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_batch_jobs_total",
+        "Individual solve slots carried by batches",
+        m.batch_jobs_total.load(Ordering::Relaxed),
+    );
+    counter(
         "lazymc_result_cache_hits_total",
         "Solve requests answered from the result cache",
         state.results.hits.load(Ordering::Relaxed),
@@ -949,6 +1230,16 @@ fn metrics(state: &ServiceState) -> Response {
         "lazymc_result_cache_misses_total",
         "Solve requests that missed the result cache",
         state.results.misses.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_result_cache_ttl_evictions_total",
+        "Result-cache entries dropped by TTL expiry",
+        state.results.ttl_evictions.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_result_cache_size_evictions_total",
+        "Result-cache entries dropped by the byte budget",
+        state.results.size_evictions.load(Ordering::Relaxed),
     );
     counter(
         "lazymc_graph_lookup_hits_total",
@@ -1085,26 +1376,66 @@ fn metrics(state: &ServiceState) -> Response {
         "Thread-time in the k-VC subgraph solver, microseconds",
         totals.kvc_time.as_micros() as u64,
     );
-    out.push_str(&format!(
-        "# HELP lazymc_queue_depth Pending solve jobs\n# TYPE lazymc_queue_depth gauge\nlazymc_queue_depth {}\n",
-        state.queue.depth()
-    ));
-    out.push_str(&format!(
-        "# HELP lazymc_graphs_resident Graphs currently resident\n# TYPE lazymc_graphs_resident gauge\nlazymc_graphs_resident {}\n",
-        state.registry.len()
-    ));
-    out.push_str(&format!(
-        "# HELP lazymc_snapshots_on_disk Snapshot files indexed in the data dir\n# TYPE lazymc_snapshots_on_disk gauge\nlazymc_snapshots_on_disk {}\n",
-        store.map_or(0, |s| s.len())
-    ));
-    out.push_str(&format!(
-        "# HELP lazymc_snapshot_disk_bytes Total bytes of indexed snapshots\n# TYPE lazymc_snapshot_disk_bytes gauge\nlazymc_snapshot_disk_bytes {}\n",
-        store.map_or(0, |s| s.total_bytes())
-    ));
-    Response {
-        status: 200,
-        content_type: "text/plain; version=0.0.4",
-        body: out,
-        retry_after: None,
-    }
+    let mut gauge = |name: &str, help: &str, value: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+        ));
+    };
+    gauge(
+        "lazymc_queue_depth",
+        "Pending solve jobs",
+        state.queue.depth() as u64,
+    );
+    gauge(
+        "lazymc_jobs_inflight",
+        "Solve jobs currently executing in solver workers",
+        state.jobs.jobs_inflight.load(Ordering::Relaxed),
+    );
+    let (jobs_stored, job_store_bytes) = state.jobs.stats();
+    gauge(
+        "lazymc_jobs_stored",
+        "Job records tracked (queued, running, retained results)",
+        jobs_stored as u64,
+    );
+    gauge(
+        "lazymc_job_store_bytes",
+        "Accounted bytes of retained async-job results",
+        job_store_bytes as u64,
+    );
+    gauge(
+        "lazymc_http_open_connections",
+        "Connections currently registered with the reactors",
+        m.open_connections.load(Ordering::Relaxed),
+    );
+    gauge(
+        "lazymc_http_buffered_bytes",
+        "Request bytes buffered in userspace across all connections",
+        m.buffered_bytes.load(Ordering::Relaxed),
+    );
+    gauge(
+        "lazymc_result_cache_bytes",
+        "Accounted bytes held by the result cache",
+        state.results.bytes() as u64,
+    );
+    gauge(
+        "lazymc_result_cache_entries",
+        "Entries held by the result cache",
+        state.results.len() as u64,
+    );
+    gauge(
+        "lazymc_graphs_resident",
+        "Graphs currently resident",
+        state.registry.len() as u64,
+    );
+    gauge(
+        "lazymc_snapshots_on_disk",
+        "Snapshot files indexed in the data dir",
+        store.map_or(0, |s| s.len()) as u64,
+    );
+    gauge(
+        "lazymc_snapshot_disk_bytes",
+        "Total bytes of indexed snapshots",
+        store.map_or(0, |s| s.total_bytes()),
+    );
+    Response::text(200, "text/plain; version=0.0.4", out)
 }

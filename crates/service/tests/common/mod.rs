@@ -1,0 +1,136 @@
+//! Shared live-socket test client: one blocking keep-alive HTTP/1.1
+//! client for every service integration suite, so framing fixes land in
+//! one place. Nagle is disabled at connect — a test client's own write
+//! fragmentation plus delayed ACKs would otherwise add ~40 ms phantom
+//! latency to anything it measures.
+
+#![allow(dead_code)] // each test binary uses its own subset of helpers
+
+use lazymc_service::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+pub struct Client {
+    pub stream: TcpStream,
+    pub reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { stream, reader }
+    }
+
+    /// Writes raw bytes, then reads one response.
+    pub fn raw(&mut self, request: &str) -> (u16, Vec<(String, String)>, String) {
+        self.stream.write_all(request.as_bytes()).expect("write");
+        self.stream.flush().unwrap();
+        self.read_response()
+    }
+
+    /// Reads one response: (status, lower-cased headers, body).
+    pub fn read_response(&mut self) -> (u16, Vec<(String, String)>, String) {
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line).expect("status");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"))
+            .parse()
+            .expect("numeric status");
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header");
+            let line = line.trim_end().to_string();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                let (k, v) = (k.trim().to_ascii_lowercase(), v.trim().to_string());
+                if k == "content-length" {
+                    content_length = v.parse().expect("content-length");
+                }
+                headers.push((k, v));
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        (status, headers, String::from_utf8(body).expect("utf8"))
+    }
+
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> (u16, Vec<(String, String)>, String) {
+        let body = body.unwrap_or("");
+        self.raw(&format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ))
+    }
+
+    pub fn post_json(&mut self, path: &str, body: &str) -> (u16, Json) {
+        let (status, _, body) = self.request("POST", path, Some(body));
+        (status, Json::parse(&body).expect("json body"))
+    }
+
+    pub fn get_json(&mut self, path: &str) -> (u16, Json) {
+        let (status, _, body) = self.request("GET", path, None);
+        (status, Json::parse(&body).expect("json body"))
+    }
+
+    pub fn delete_json(&mut self, path: &str) -> (u16, Json) {
+        let (status, _, body) = self.request("DELETE", path, None);
+        (status, Json::parse(&body).expect("json body"))
+    }
+
+    /// Scrapes one series out of the Prometheus text format.
+    pub fn metric(&mut self, name: &str) -> u64 {
+        let (status, _, text) = self.request("GET", "/metrics", None);
+        assert_eq!(status, 200);
+        text.lines()
+            .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} not found"))
+    }
+}
+
+/// Uploads `g` as an edge list under `name`, asserting the 201.
+pub fn upload(client: &mut Client, name: &str, g: &lazymc_graph::CsrGraph) -> Json {
+    let mut text = Vec::new();
+    lazymc_graph::io::write_edge_list(g, &mut text).unwrap();
+    let body = Json::obj(vec![
+        ("name", Json::str(name)),
+        ("format", Json::str("edgelist")),
+        ("content", Json::str(String::from_utf8(text).unwrap())),
+    ])
+    .encode();
+    let (status, response) = client.post_json("/graphs", &body);
+    assert_eq!(status, 201, "upload failed: {response:?}");
+    response
+}
+
+pub fn u64_field(v: &Json, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing numeric {key:?} in {v:?}"))
+}
+
+pub fn str_field<'a>(v: &'a Json, key: &str) -> &'a str {
+    v.get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("missing string {key:?} in {v:?}"))
+}
+
+pub fn bool_field(v: &Json, key: &str) -> bool {
+    v.get(key)
+        .and_then(Json::as_bool)
+        .unwrap_or_else(|| panic!("missing bool {key:?} in {v:?}"))
+}

@@ -1,0 +1,449 @@
+//! Live-socket tests of the reactor's partial-I/O behaviour: requests
+//! dribbled a byte at a time, slow-loris stalls answered with 408,
+//! responses larger than the kernel buffers forcing the partial-write
+//! path, pipelining, the connection limit, the aggregate buffering
+//! budget, and gauge consistency across `/healthz`, `/stats`, and
+//! `/metrics`.
+
+mod common;
+
+use common::{upload, Client};
+use lazymc_graph::gen;
+use lazymc_service::{serve, Json, ServiceConfig, ServiceHandle};
+use std::io::{ErrorKind, Read, Write};
+use std::time::{Duration, Instant};
+
+fn start(cfg: ServiceConfig) -> ServiceHandle {
+    serve(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        ..cfg
+    })
+    .expect("bind service")
+}
+
+/// A request dribbled one byte at a time parses exactly like a one-shot
+/// write, and the mid-request stalls are counted.
+#[test]
+fn byte_dribbled_request_is_served() {
+    let handle = start(ServiceConfig::default());
+    let mut c = Client::connect(handle.addr());
+    let raw = "GET /healthz HTTP/1.1\r\nHost: drip\r\nContent-Length: 0\r\n\r\n";
+    for byte in raw.as_bytes() {
+        c.stream.write_all(std::slice::from_ref(byte)).unwrap();
+        c.stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let (status, _, body) = c.read_response();
+    assert_eq!(status, 200, "dribbled request must parse: {body}");
+    assert!(body.contains("\"status\":\"ok\""));
+    // The same connection still works for a normal request afterwards.
+    let (status, _, _) = c.request("GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert!(
+        c.metric("lazymc_http_read_stalls_total") >= 1,
+        "a byte-dripped request must have stalled mid-parse"
+    );
+    handle.stop();
+}
+
+/// A request whose body stalls forever gets `408 Request Timeout`; an
+/// *idle* keep-alive connection is closed silently instead.
+#[test]
+fn slow_loris_gets_408_but_idle_close_is_silent() {
+    let handle = start(ServiceConfig {
+        read_timeout: Duration::from_millis(250),
+        ..ServiceConfig::default()
+    });
+
+    // Stall mid-body: head promises 10 bytes, 3 arrive.
+    let mut loris = Client::connect(handle.addr());
+    loris
+        .stream
+        .write_all(b"POST /solve HTTP/1.1\r\nHost: t\r\nContent-Length: 10\r\n\r\n{\"g")
+        .unwrap();
+    loris.stream.flush().unwrap();
+    let t = Instant::now();
+    let (status, _, body) = loris.read_response();
+    assert_eq!(status, 408, "stalled body must time out: {body}");
+    assert!(
+        t.elapsed() >= Duration::from_millis(200),
+        "408 must come from the timeout sweep, not immediately"
+    );
+    // The server closes after the 408.
+    let mut rest = Vec::new();
+    loris.reader.read_to_end(&mut rest).expect("clean close");
+    assert!(rest.is_empty());
+
+    // Idle keep-alive connection: closed with no response bytes at all.
+    let mut idle = Client::connect(handle.addr());
+    let (status, _, _) = idle.request("GET", "/healthz", None);
+    assert_eq!(status, 200);
+    let mut rest = Vec::new();
+    idle.reader.read_to_end(&mut rest).expect("clean close");
+    assert!(
+        rest.is_empty(),
+        "idle close must not write a 408: {:?}",
+        String::from_utf8_lossy(&rest)
+    );
+
+    let mut c = Client::connect(handle.addr());
+    assert!(c.metric("lazymc_http_request_timeouts_total") >= 1);
+    handle.stop();
+}
+
+/// A response much larger than the kernel send buffer must be delivered
+/// correctly through the buffered partial-write path.
+#[test]
+fn large_response_survives_tiny_send_buffer() {
+    let handle = start(ServiceConfig {
+        // Ask for the smallest send buffer the kernel will grant, so the
+        // response provably cannot leave in one write.
+        so_sndbuf: Some(2048),
+        ..ServiceConfig::default()
+    });
+    let mut c = Client::connect(handle.addr());
+    // Shrink our receive window too (the kernel clamps to its floor) —
+    // combined with the tiny server sndbuf, a multi-hundred-KB response
+    // must stall repeatedly.
+    use std::os::fd::AsRawFd;
+    lazymc_netio::sockopt::set_recv_buf(c.stream.as_raw_fd(), 2048).unwrap();
+
+    upload(&mut c, "k", &gen::complete(500));
+    // Warm the result cache with one real solve so every batch slot below
+    // is a cache hit: the point of this test is transport (a huge response
+    // through tiny buffers), not 200 redundant solves — and cache hits
+    // keep the batch clear of queue-capacity shedding.
+    let (status, _, warm) = c.request("POST", "/solve", Some(r#"{"graph":"k","threads":1}"#));
+    assert_eq!(status, 200, "warm-up solve failed: {warm}");
+    // 200 batch slots × a 500-vertex witness each ≈ hundreds of KB.
+    let slots: Vec<String> = (0..200)
+        .map(|_| r#"{"graph":"k","threads":1}"#.to_string())
+        .collect();
+    let batch = format!("[{}]", slots.join(","));
+    let (status, _, body) = c.request("POST", "/solve-batch", Some(&batch));
+    assert_eq!(status, 200);
+    assert!(
+        body.len() > 200 * 1024,
+        "response should dwarf the buffers ({} bytes)",
+        body.len()
+    );
+    let parsed = Json::parse(&body).expect("intact JSON after partial writes");
+    let results = match parsed.get("results") {
+        Some(Json::Arr(items)) => items.clone(),
+        other => panic!("bad results {other:?}"),
+    };
+    assert_eq!(results.len(), 200);
+    for r in &results {
+        assert_eq!(r.get("omega").and_then(Json::as_u64), Some(500));
+    }
+    let mut probe = Client::connect(handle.addr());
+    assert!(
+        probe.metric("lazymc_http_write_stalls_total") >= 1,
+        "a response this large must have stalled at least once"
+    );
+    handle.stop();
+}
+
+/// Two requests written back-to-back in one burst are answered in order
+/// on the same connection.
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let handle = start(ServiceConfig::default());
+    let mut c = Client::connect(handle.addr());
+    c.stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\nGET /stats HTTP/1.1\r\nHost: t\r\n\r\n",
+        )
+        .unwrap();
+    c.stream.flush().unwrap();
+    let (status, _, body) = c.read_response();
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"status\":\"ok\""),
+        "first answer is healthz"
+    );
+    let (status, _, body) = c.read_response();
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"queue_capacity\""),
+        "second answer is /stats: {body}"
+    );
+    handle.stop();
+}
+
+/// Accepts beyond `--conn-limit` are refused with 503 and closed; the
+/// refusal is counted.
+#[test]
+fn conn_limit_sheds_with_503() {
+    let handle = start(ServiceConfig {
+        conn_limit: 3,
+        ..ServiceConfig::default()
+    });
+    let addr = handle.addr();
+    // Fill the limit with live keep-alive connections (a request each,
+    // so registration is observable, not racy).
+    let mut held: Vec<Client> = (0..3)
+        .map(|_| {
+            let mut c = Client::connect(addr);
+            let (status, _, _) = c.request("GET", "/healthz", None);
+            assert_eq!(status, 200);
+            c
+        })
+        .collect();
+    // One more gets 503 + close.
+    let mut extra = Client::connect(addr);
+    let (status, _, body) = extra.read_response();
+    assert_eq!(status, 503, "over-limit connect must be shed: {body}");
+    let mut rest = Vec::new();
+    extra.reader.read_to_end(&mut rest).expect("closed");
+
+    assert!(held[0].metric("lazymc_http_conns_rejected_total") >= 1);
+    assert_eq!(held[0].metric("lazymc_http_open_connections"), 3);
+    // Freeing one slot readmits new connections.
+    drop(held.pop());
+    let t = Instant::now();
+    loop {
+        let mut again = Client::connect(addr);
+        again
+            .stream
+            .set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        match again.request("GET", "/healthz", None) {
+            (200, _, _) => break,
+            (503, _, _) if t.elapsed() < Duration::from_secs(5) => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            (other, _, body) => panic!("unexpected {other}: {body}"),
+        }
+    }
+    handle.stop();
+}
+
+/// The satellite contract: `queue_depth`, `jobs_inflight`, and the
+/// reactor gauges appear with the same names in `/healthz` and `/stats`,
+/// and as `lazymc_*` series in `/metrics` — consistently.
+#[test]
+fn gauges_agree_across_healthz_stats_and_metrics() {
+    let handle = start(ServiceConfig::default());
+    let mut c = Client::connect(handle.addr());
+    upload(&mut c, "g", &gen::complete(6));
+    let (_, _, solved) = c.request("POST", "/solve", Some(r#"{"graph":"g"}"#));
+    assert!(solved.contains("\"omega\":6"));
+
+    let (status, _, health_body) = c.request("GET", "/healthz", None);
+    assert_eq!(status, 200);
+    let health = Json::parse(&health_body).unwrap();
+    let (status, _, stats_body) = c.request("GET", "/stats", None);
+    assert_eq!(status, 200);
+    let stats = Json::parse(&stats_body).unwrap();
+
+    // Every gauge appears under the same name in both JSON endpoints.
+    for key in [
+        "queue_depth",
+        "jobs_inflight",
+        "open_connections",
+        "read_stalls",
+        "write_stalls",
+        "buffered_bytes",
+        "result_cache_bytes",
+        "jobs_stored",
+        "job_store_bytes",
+    ] {
+        let h = health
+            .get(key)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("/healthz missing {key}: {health_body}"));
+        let s = stats
+            .get(key)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("/stats missing {key}: {stats_body}"));
+        // Values must agree for gauges that cannot move between the two
+        // probes; the stall counters may tick (the test client's own
+        // writes arrive in fragments), so presence suffices for them.
+        if !key.ends_with("_stalls") {
+            assert_eq!(h, s, "{key} must agree between /healthz and /stats");
+        }
+    }
+    // This connection is the only one open, and it sees itself.
+    assert_eq!(
+        health.get("open_connections").and_then(Json::as_u64),
+        Some(1)
+    );
+    // The exact result cache holds the solve above.
+    assert!(
+        stats
+            .get("result_cache_bytes")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+
+    // The same facts as Prometheus series.
+    assert_eq!(c.metric("lazymc_queue_depth"), 0);
+    assert_eq!(c.metric("lazymc_jobs_inflight"), 0);
+    assert_eq!(c.metric("lazymc_http_open_connections"), 1);
+    assert!(c.metric("lazymc_result_cache_bytes") > 0);
+    for name in [
+        "lazymc_http_read_stalls_total",
+        "lazymc_http_write_stalls_total",
+        "lazymc_http_request_timeouts_total",
+        "lazymc_http_conns_accepted_total",
+        "lazymc_http_conns_rejected_total",
+        "lazymc_jobs_async_total",
+        "lazymc_jobs_cancelled_http_total",
+        "lazymc_jobs_expired_total",
+        "lazymc_batches_total",
+        "lazymc_batch_jobs_total",
+        "lazymc_result_cache_ttl_evictions_total",
+        "lazymc_result_cache_size_evictions_total",
+        "lazymc_job_store_bytes",
+        "lazymc_jobs_stored",
+        "lazymc_result_cache_entries",
+    ] {
+        let _ = c.metric(name); // panics if the series is missing
+    }
+    handle.stop();
+}
+
+/// EOF mid-request (client gives up) must not leak the connection or
+/// produce a response; EOF between requests is a clean close.
+#[test]
+fn eof_mid_request_closes_quietly() {
+    let handle = start(ServiceConfig::default());
+    {
+        let mut c = Client::connect(handle.addr());
+        c.stream
+            .write_all(b"POST /solve HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"par")
+            .unwrap();
+        c.stream.flush().unwrap();
+        // Close the write half; the request can never complete.
+        c.stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut rest = Vec::new();
+        c.reader.read_to_end(&mut rest).expect("server closes");
+        assert!(rest.is_empty(), "no response for an abandoned request");
+    }
+    // The daemon is unaffected.
+    let mut c = Client::connect(handle.addr());
+    let (status, _, _) = c.request("GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(c.metric("lazymc_http_open_connections"), 1);
+    handle.stop();
+}
+
+/// Interleaved partial writes from many dribbling clients at once — the
+/// per-connection parsers must not bleed into each other.
+#[test]
+fn concurrent_dribblers_stay_isolated() {
+    let handle = start(ServiceConfig::default());
+    let addr = handle.addr();
+    let mut c = Client::connect(addr);
+    upload(&mut c, "t", &gen::complete(5));
+    let threads: Vec<_> = (0..6)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                let body = format!(r#"{{"graph":"t","priority":{}}}"#, i % 10);
+                let raw = format!(
+                    "POST /solve HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+                    body.len(),
+                    body
+                );
+                // Write in 3-byte chunks with pauses: many concurrently
+                // half-parsed requests resident in the reactor.
+                for chunk in raw.as_bytes().chunks(3) {
+                    c.stream.write_all(chunk).unwrap();
+                    c.stream.flush().unwrap();
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                let (status, _, body) = c.read_response();
+                assert_eq!(status, 200, "dribbled solve failed: {body}");
+                assert!(body.contains("\"omega\":5"), "wrong answer: {body}");
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("dribbler");
+    }
+    handle.stop();
+}
+
+/// Half-close after a complete request: the response must still be
+/// written even though the client can no longer send.
+#[test]
+fn half_close_after_request_still_gets_response() {
+    let handle = start(ServiceConfig::default());
+    let mut c = Client::connect(handle.addr());
+    c.stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    c.stream.flush().unwrap();
+    c.stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let (status, _, body) = c.read_response();
+    assert_eq!(status, 200, "half-closed client still gets its answer");
+    assert!(body.contains("\"status\":\"ok\""));
+    let mut rest = Vec::new();
+    // read_to_end returning Ok proves the server closed cleanly.
+    match c.reader.read_to_end(&mut rest) {
+        Ok(_) => {}
+        Err(e) if e.kind() == ErrorKind::ConnectionReset => {}
+        Err(e) => panic!("unclean close: {e}"),
+    }
+    handle.stop();
+}
+
+/// A large upload passes through the buffering accounting and the gauge
+/// returns to zero once the body is consumed — no connection pins its
+/// high-water mark for life.
+#[test]
+fn buffered_bytes_gauge_drains_after_large_upload() {
+    let handle = start(ServiceConfig::default());
+    let mut c = Client::connect(handle.addr());
+    // ~1 MB edge-list body.
+    let g = gen::gnp(2000, 0.06, 3);
+    upload(&mut c, "big", &g);
+    let (status, _, _) = c.request("GET", "/stats/big", None);
+    assert_eq!(status, 200);
+    assert_eq!(
+        c.metric("lazymc_http_buffered_bytes"),
+        0,
+        "consumed bodies must leave the gauge"
+    );
+    handle.stop();
+}
+
+/// When the aggregate buffering budget is exhausted, a connection
+/// streaming a body larger than the budget stops being read and is shed
+/// by the progress timeout — bounded memory instead of
+/// `conn_limit × max_body_bytes`.
+#[test]
+fn buffer_budget_parks_oversized_backlog_until_timeout() {
+    let handle = start(ServiceConfig {
+        max_buffered_bytes: 64 * 1024,
+        read_timeout: Duration::from_millis(300),
+        ..ServiceConfig::default()
+    });
+    let c = Client::connect(handle.addr());
+    let body = "x".repeat(512 * 1024);
+    let head = format!(
+        "POST /graphs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    // The server parks the connection once the budget fills, so our own
+    // write_all blocks on full kernel buffers — stream from a helper
+    // thread and read the verdict on the main one.
+    let mut writer_stream = c.stream.try_clone().unwrap();
+    let writer = std::thread::spawn(move || {
+        let _ = writer_stream.write_all(head.as_bytes());
+        let _ = writer_stream.write_all(body.as_bytes());
+    });
+    let mut c = c;
+    let (status, _, _) = c.read_response();
+    assert_eq!(status, 408, "a body the budget cannot hold must be shed");
+    writer.join().unwrap();
+    // The daemon is healthy and the gauge returns once the victim closes.
+    let mut probe = Client::connect(handle.addr());
+    let (status, _, _) = probe.request("GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert!(probe.metric("lazymc_http_buffered_bytes") <= 64 * 1024);
+    handle.stop();
+}
