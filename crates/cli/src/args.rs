@@ -29,6 +29,7 @@ const VALUED: &[&str] = &[
     "--max-budget-ms",
     "--job-ttl-ms",
     "--result-cache-bytes",
+    "--slow-query-ms",
     "--suite",
     "--out",
     "--reps",

@@ -29,7 +29,8 @@ USAGE:
   lazymc serve [<addr>] [--io-threads I] [--workers N] [--solver-workers S]
                [--conn-limit C] [--max-graphs M] [--queue-cap Q]
                [--data-dir DIR] [--max-budget-ms MS] [--job-ttl-ms MS]
-               [--result-cache-bytes B] [--check]
+               [--result-cache-bytes B] [--log-json] [--slow-query-ms MS]
+               [--check]
                (default addr 127.0.0.1:7171)
   lazymc snapshot <graph-file> <out.lmcs>
   lazymc restore <file.lmcs> [<out-graph-file>]
@@ -43,9 +44,18 @@ precomputed, LRU-bounded by --max-graphs) and answers clique queries over
 HTTP/1.1 on an epoll reactor (--io-threads event loops, --conn-limit open
 sockets): POST /graphs, POST /solve (add ?async=1 for 202 + job id),
 POST /solve-batch, GET /graphs, GET /stats[/name], GET /jobs/<id>,
-DELETE /jobs/<id>, DELETE /graphs/<name>, GET /healthz, GET /metrics.
-Introspection answers on the reactor in microseconds even with every
-solver busy. Repeated identical queries are served from a byte-bounded
+DELETE /jobs/<id>, DELETE /graphs/<name>, GET /healthz, GET /metrics,
+GET /debug/slow. Introspection answers on the reactor in microseconds
+even with every solver busy.
+
+Every request carries a trace id (a valid inbound X-Request-Id is
+honoured, otherwise one is minted) echoed in the response and threaded
+through the solve. --log-json emits one JSON log line per request and
+per solve to stdout; /metrics exports per-route, queue-wait, solve-wall
+and per-phase latency histograms; GET /jobs/<id> on a running job
+reports live progress (phase, nodes expanded, incumbent size); solves
+slower than --slow-query-ms (default 500) land in GET /debug/slow with
+a span-tree timing breakdown. Repeated identical queries are served from a byte-bounded
 result cache (--result-cache-bytes); completed async jobs stay pollable
 for --job-ttl-ms; a full job queue (--queue-cap) answers 429. --check
 binds, prints the address, and exits immediately.
@@ -365,6 +375,9 @@ fn bench_service(reps: usize, out: Option<&str>) -> i32 {
             reps: 1,
             wall_ms_median: wall_ms,
             wall_ms_min: wall_ms,
+            wall_p50_ms: wall_ms,
+            wall_p90_ms: wall_ms,
+            wall_p99_ms: wall_ms,
             mc_nodes: 0,
             vc_nodes: 0,
             searched_mc: 0,
@@ -478,6 +491,11 @@ fn bench_service(reps: usize, out: Option<&str>) -> i32 {
         let mut chosen = runs[median_idx][i].clone();
         chosen.reps = reps;
         chosen.wall_ms_min = walls[0];
+        // Percentiles across repetitions (nearest rank over sorted walls).
+        let pct = |q: f64| walls[((q * walls.len() as f64).ceil() as usize).max(1) - 1];
+        chosen.wall_p50_ms = pct(0.50);
+        chosen.wall_p90_ms = pct(0.90);
+        chosen.wall_p99_ms = pct(0.99);
         cases.push(chosen);
     }
     let result = SuiteResult {
@@ -887,22 +905,38 @@ pub fn serve(argv: &[String]) -> i32 {
         Ok(None) => {}
         Err(e) => return fail(&e),
     }
+    cfg.log_json = p.has("--log-json");
+    match p.value::<u64>("--slow-query-ms") {
+        Ok(Some(ms)) => cfg.slow_query_ms = ms,
+        Ok(None) => {}
+        Err(e) => return fail(&e),
+    }
 
     let data_dir = cfg.data_dir.clone();
+    // With --log-json, stdout is reserved for structured log lines (one
+    // JSON object per line, machine-parseable); the human banner moves to
+    // stderr so `lazymc serve --log-json > log.jsonl` stays clean.
+    let log_json = cfg.log_json;
+    macro_rules! banner {
+        ($($t:tt)*) => {
+            if log_json { eprintln!($($t)*) } else { println!($($t)*) }
+        };
+    }
     let handle = match lazymc_service::serve(cfg) {
         Ok(h) => h,
         Err(e) => return fail(&format!("cannot start daemon: {e}")),
     };
     let addr = handle.addr();
-    println!("lazymc-service listening on http://{addr}");
-    println!("  POST /graphs       upload a graph   (name, format, content)");
-    println!("  POST /solve        query a clique   (graph, budget_ms, priority, ...)");
-    println!("  POST /solve?async=1  202 + job id; poll GET /jobs/<id>, DELETE cancels");
-    println!("  POST /solve-batch  array of solve bodies, grouped by graph");
-    println!("  GET  /stats[/name] | /graphs | /jobs/<id> | /healthz | /metrics");
+    banner!("lazymc-service listening on http://{addr}");
+    banner!("  POST /graphs       upload a graph   (name, format, content)");
+    banner!("  POST /solve        query a clique   (graph, budget_ms, priority, ...)");
+    banner!("  POST /solve?async=1  202 + job id; poll GET /jobs/<id>, DELETE cancels");
+    banner!("  POST /solve-batch  array of solve bodies, grouped by graph");
+    banner!("  GET  /stats[/name] | /graphs | /jobs/<id> | /healthz | /metrics");
+    banner!("  GET  /debug/slow   slowest solves with span trees (--slow-query-ms)");
     if let Some(dir) = data_dir {
         let snapshots = handle.state().registry.store().map_or(0, |s| s.len());
-        println!("  durable: {snapshots} snapshot(s) indexed in {dir}");
+        banner!("  durable: {snapshots} snapshot(s) indexed in {dir}");
     }
     if p.has("--check") {
         handle.stop();

@@ -25,6 +25,18 @@ impl Incumbent {
         }
     }
 
+    /// An empty incumbent publishing its size through an externally
+    /// owned cell (live-progress observers keep reading the cell while
+    /// the solve runs). The cell is reset to zero — a fresh solve must
+    /// not inherit a previous run's floor.
+    pub fn with_size_cell(cell: Arc<AtomicUsize>) -> Self {
+        cell.store(0, Ordering::Relaxed);
+        Incumbent {
+            size: cell,
+            clique: Mutex::new(Vec::new()),
+        }
+    }
+
     /// The shared size cell (handed to the lazy graph for filtering).
     pub fn size_cell(&self) -> Arc<AtomicUsize> {
         self.size.clone()

@@ -29,12 +29,14 @@ pub mod config;
 pub mod heuristic;
 pub mod incumbent;
 pub mod metrics;
+pub mod progress;
 pub mod systematic;
 pub mod zone;
 
 pub use config::{Config, OrderKind, PrePopulate};
 pub use incumbent::Incumbent;
 pub use metrics::{MetricsSnapshot, PhaseTimes};
+pub use progress::{Phase, SolveProgress};
 pub use zone::{zone_analysis, ZoneStats};
 
 use lazymc_graph::{CsrGraph, VertexId};
@@ -116,22 +118,64 @@ impl LazyMc {
         kcore: Option<&KCore>,
         deadline: &Deadline,
     ) -> SolveResult {
-        if self.config.threads > 0 {
+        self.solve_prepared_observed(g, kcore, deadline, None)
+    }
+
+    /// [`LazyMc::solve_prepared`] with live introspection: the solve
+    /// publishes its current phase, work counters and incumbent size
+    /// into `progress` as it runs, so an observer thread can report on
+    /// a solve that has not finished. Passing `None` costs nothing.
+    pub fn solve_prepared_observed(
+        &self,
+        g: &CsrGraph,
+        kcore: Option<&KCore>,
+        deadline: &Deadline,
+        progress: Option<&SolveProgress>,
+    ) -> SolveResult {
+        let result = if self.config.threads > 0 {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(self.config.threads)
                 .build()
                 .expect("failed to build rayon pool");
-            pool.install(|| self.solve_inner(g, kcore, deadline))
+            pool.install(|| self.solve_inner(g, kcore, deadline, progress))
         } else {
-            self.solve_inner(g, kcore, deadline)
+            self.solve_inner(g, kcore, deadline, progress)
+        };
+        if let Some(p) = progress {
+            p.set_phase(Phase::Done);
         }
+        result
     }
 
-    fn solve_inner(&self, g: &CsrGraph, pre: Option<&KCore>, deadline: &Deadline) -> SolveResult {
+    fn solve_inner(
+        &self,
+        g: &CsrGraph,
+        pre: Option<&KCore>,
+        deadline: &Deadline,
+        progress: Option<&SolveProgress>,
+    ) -> SolveResult {
         let cfg = &self.config;
         let mut phases = PhaseTimes::default();
-        let inc = Incumbent::new();
-        let counters = metrics::Counters::default();
+        // Observed solves share the incumbent-size cell and the work
+        // counters with their progress cell; the search itself is
+        // identical either way (same relaxed atomics, same layout).
+        let (inc, counters_owned);
+        let counters: &metrics::Counters = match progress {
+            Some(p) => {
+                inc = Incumbent::with_size_cell(p.incumbent_cell());
+                &p.counters
+            }
+            None => {
+                inc = Incumbent::new();
+                counters_owned = metrics::Counters::default();
+                &counters_owned
+            }
+        };
+        let mark = |ph: Phase| {
+            if let Some(p) = progress {
+                p.set_phase(ph);
+            }
+        };
 
         if g.num_vertices() == 0 {
             return SolveResult {
@@ -142,6 +186,7 @@ impl LazyMc {
         }
 
         // 1. Degree-based heuristic search (Alg. 1 line 3).
+        mark(Phase::DegreeHeuristic);
         let t = Instant::now();
         heuristic::degree_heuristic(g, cfg, &inc);
         phases.degree_heuristic = t.elapsed();
@@ -154,6 +199,7 @@ impl LazyMc {
         //    replaces the whole phase; the floor optimization only avoids
         //    work while *computing* coreness, so exact values are always a
         //    valid substitute.
+        mark(Phase::Kcore);
         let t = Instant::now();
         let kc_owned;
         let kc: &KCore = match pre {
@@ -174,6 +220,7 @@ impl LazyMc {
         // 3. Vertex order (line 5): (coreness, degree) counting sort, or
         //    the peeling order itself (paper §IV-F: sequential solvers get
         //    it for free, and it bounds right-neighbourhoods by coreness).
+        mark(Phase::Reorder);
         let t = Instant::now();
         let order = match cfg.order {
             config::OrderKind::CorenessDegree => coreness_degree_order(g, &kc.coreness),
@@ -183,23 +230,26 @@ impl LazyMc {
         phases.reorder = t.elapsed();
 
         // 4. Lazy graph + pre-population of the must subgraph (line 6).
+        mark(Phase::Prepopulate);
         let t = Instant::now();
         let lg = LazyGraph::new(g, &order, &kc.coreness, inc.size_cell());
         lg.prepopulate(cfg.prepopulate, omega_degree);
         phases.prepopulate = t.elapsed();
 
         // 5. Coreness-based heuristic search (line 7).
+        mark(Phase::CorenessHeuristic);
         let t = Instant::now();
         heuristic::coreness_heuristic(&lg, &levels, cfg, &inc);
         phases.coreness_heuristic = t.elapsed();
         let omega_coreness = inc.size();
 
         // 6. Systematic search (line 8).
+        mark(Phase::Systematic);
         let t = Instant::now();
-        systematic::systematic_search(&lg, &levels, kc.degeneracy, cfg, &inc, &counters, deadline);
+        systematic::systematic_search(&lg, &levels, kc.degeneracy, cfg, &inc, counters, deadline);
         phases.systematic = t.elapsed();
 
-        let mut snapshot = metrics::snapshot_counters(&counters);
+        let mut snapshot = metrics::snapshot_counters(counters);
         snapshot.phases = phases;
         snapshot.omega_degree_heuristic = omega_degree;
         snapshot.omega_coreness_heuristic = omega_coreness;
@@ -413,6 +463,21 @@ mod tests {
         let r = LazyMc::default().solve_prepared(&g, Some(&kc), &deadline);
         assert!(!r.is_exact());
         assert!(g.is_clique(r.vertices()));
+    }
+
+    #[test]
+    fn observed_solve_publishes_progress_and_matches_plain() {
+        let g = gen::planted_clique(200, 0.04, 10, 3);
+        let progress = SolveProgress::new();
+        let deadline = Deadline::none();
+        let r = LazyMc::default().solve_prepared_observed(&g, None, &deadline, Some(&progress));
+        assert_eq!(r.size(), 10);
+        assert_eq!(progress.phase(), Phase::Done);
+        // The incumbent cell and the counters are the solve's own.
+        assert_eq!(progress.incumbent_size(), r.size());
+        let live = progress.counters_snapshot();
+        assert_eq!(live.mc_nodes, r.metrics.mc_nodes);
+        assert_eq!(live.retained_coreness, r.metrics.retained_coreness);
     }
 
     #[test]

@@ -26,8 +26,8 @@ use lazymc_lazygraph::LazyGraph;
 use lazymc_solver::bitset::{BitMatrix, Bitset};
 use lazymc_solver::scratch::{Pool, SolverScratch};
 use lazymc_solver::{
-    max_clique_dense_par, max_clique_dense_scratch, max_clique_via_vc_par,
-    max_clique_via_vc_scratch, McStats, VcStats,
+    max_clique_dense_par_live, max_clique_dense_scratch_live, max_clique_via_vc_par_live,
+    max_clique_via_vc_scratch_live, LiveNodes, McStats, VcStats,
 };
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -396,21 +396,33 @@ fn neighbor_search_scratch(
     let found = if density > cfg.density_threshold {
         counters.add(&counters.searched_kvc, 1);
         let mut st = VcStats::default();
+        // Live observers see vc_nodes move mid-search; the kernel records
+        // flushed batches in `st.sampled` so the residual add below keeps
+        // the final total exact.
+        let live = LiveNodes::new(&counters.vc_nodes);
         // The k-VC engine works on whole matrices; compact when the
         // reduction removed vertices.
         let r = if scr.within.len() < nn {
             compact_matrix_into(adj, &scr.within, &mut scr.small, &mut scr.map);
             let found = if threads > 1 {
-                max_clique_via_vc_par(
+                max_clique_via_vc_par_live(
                     &scr.small,
                     lb,
                     threads,
                     Some(&mut st),
                     &mut scr.solver.vc,
                     clique,
+                    live,
                 )
             } else {
-                max_clique_via_vc_scratch(&scr.small, lb, Some(&mut st), &mut scr.solver.vc, clique)
+                max_clique_via_vc_scratch_live(
+                    &scr.small,
+                    lb,
+                    Some(&mut st),
+                    &mut scr.solver.vc,
+                    clique,
+                    live,
+                )
             };
             if found {
                 // translate compacted indices back to positions in n3
@@ -420,11 +432,19 @@ fn neighbor_search_scratch(
             }
             found
         } else if threads > 1 {
-            max_clique_via_vc_par(adj, lb, threads, Some(&mut st), &mut scr.solver.vc, clique)
+            max_clique_via_vc_par_live(
+                adj,
+                lb,
+                threads,
+                Some(&mut st),
+                &mut scr.solver.vc,
+                clique,
+                live,
+            )
         } else {
-            max_clique_via_vc_scratch(adj, lb, Some(&mut st), &mut scr.solver.vc, clique)
+            max_clique_via_vc_scratch_live(adj, lb, Some(&mut st), &mut scr.solver.vc, clique, live)
         };
-        counters.add(&counters.vc_nodes, st.nodes);
+        counters.add(&counters.vc_nodes, st.nodes - st.sampled);
         counters.add(&counters.vc_reductions, st.reductions);
         counters.add(&counters.split_tasks, st.split_tasks);
         counters.add(&counters.steals, st.steals);
@@ -434,19 +454,21 @@ fn neighbor_search_scratch(
     } else {
         counters.add(&counters.searched_mc, 1);
         let mut st = McStats::default();
+        let live = LiveNodes::new(&counters.mc_nodes);
         let r = if threads > 1 {
-            max_clique_dense_par(adj, &scr.within, lb, threads, Some(&mut st), clique)
+            max_clique_dense_par_live(adj, &scr.within, lb, threads, Some(&mut st), clique, live)
         } else {
-            max_clique_dense_scratch(
+            max_clique_dense_scratch_live(
                 adj,
                 &scr.within,
                 lb,
                 Some(&mut st),
                 &mut scr.solver.mc,
                 clique,
+                live,
             )
         };
-        counters.add(&counters.mc_nodes, st.nodes);
+        counters.add(&counters.mc_nodes, st.nodes - st.sampled);
         counters.add(&counters.split_tasks, st.split_tasks);
         counters.add(&counters.steals, st.steals);
         counters.add(&counters.incumbent_broadcasts, st.incumbent_broadcasts);

@@ -1,0 +1,272 @@
+//! Lock-free log₂-bucketed latency histograms.
+//!
+//! Bucket `i` counts observations `v` (in microseconds) with
+//! `v <= 2^i µs`; the last bucket is the `+Inf` overflow. 31 finite
+//! buckets span 1 µs to 2^30 µs (~18 minutes) — wider than any request
+//! the daemon will ever serve — at a fixed 2× relative error, which is
+//! plenty for p50/p90/p99 and costs one `fetch_add` per observation.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets, including the final `+Inf` overflow bucket.
+pub const BUCKETS: usize = 32;
+
+/// A mergeable, lock-free latency histogram (microsecond domain).
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
+}
+
+/// Bucket index for a value in microseconds: the smallest `i` with
+/// `v <= 2^i`, clamped into the overflow bucket.
+#[inline]
+fn bucket_index(v_us: u64) -> usize {
+    let bits = u64::BITS - v_us.saturating_sub(1).leading_zeros();
+    (bits as usize).min(BUCKETS - 1)
+}
+
+/// Upper bound of finite bucket `i`, in microseconds.
+#[inline]
+fn bucket_bound_us(i: usize) -> u64 {
+    1u64 << i
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation of `v_us` microseconds.
+    #[inline]
+    pub fn observe_micros(&self, v_us: u64) {
+        self.buckets[bucket_index(v_us)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(v_us, Ordering::Relaxed);
+    }
+
+    /// Records one observation of a `Duration`.
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        self.observe_micros(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// A consistent-enough snapshot (relaxed loads; buckets may trail the
+    /// sum by in-flight observations, which is fine for monitoring).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) observation counts.
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all observed values, microseconds.
+    pub sum_us: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            sum_us: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Element-wise sum with another snapshot (e.g. folding per-phase
+    /// histograms into an all-phases total).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.sum_us += other.sum_us;
+    }
+
+    /// Quantile estimate in microseconds: the upper bound of the bucket
+    /// where the cumulative count first reaches `q * count`. Within a
+    /// factor of 2 of the true quantile; `None` when empty. `q` is
+    /// clamped to `[0, 1]`.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_bound_us(i.min(BUCKETS - 2)));
+            }
+        }
+        Some(bucket_bound_us(BUCKETS - 2))
+    }
+
+    /// Appends this snapshot as a Prometheus histogram family body:
+    /// cumulative `_bucket{le="..."}` series (seconds domain, trailing
+    /// `+Inf`), `_sum` (seconds) and `_count`. `extra_labels` (e.g.
+    /// `route="/solve"`) are spliced into every series; the caller owns
+    /// the `# HELP`/`# TYPE` header so one family can carry many label
+    /// sets.
+    pub fn render_prometheus(&self, out: &mut String, name: &str, extra_labels: &str) {
+        let sep = if extra_labels.is_empty() { "" } else { "," };
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if i == BUCKETS - 1 {
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{{extra_labels}{sep}le=\"+Inf\"}} {cumulative}"
+                );
+            } else {
+                let le = bucket_bound_us(i) as f64 / 1e6;
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{{extra_labels}{sep}le=\"{le}\"}} {cumulative}"
+                );
+            }
+        }
+        let labels = if extra_labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{extra_labels}}}")
+        };
+        let _ = writeln!(out, "{name}_sum{labels} {}", self.sum_us as f64 / 1e6);
+        let _ = writeln!(out, "{name}_count{labels} {cumulative}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_smallest_covering_power() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn observations_land_under_their_bound() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 7, 1000, 1_000_000, u64::MAX] {
+            h.observe_micros(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 6);
+        // Every finite observation sits in a bucket whose bound covers it.
+        for (i, &c) in s.buckets.iter().enumerate().take(BUCKETS - 1) {
+            if c > 0 {
+                assert!(bucket_bound_us(i) >= 1);
+            }
+        }
+        assert_eq!(s.buckets[BUCKETS - 1], 1, "u64::MAX overflows");
+    }
+
+    #[test]
+    fn merge_sums_counts_and_sums() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.observe_micros(10);
+        b.observe_micros(10);
+        b.observe_micros(100_000);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum_us, 100_020);
+    }
+
+    #[test]
+    fn quantiles_bound_the_data() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe_micros(1_000); // ~1ms
+        }
+        for _ in 0..10 {
+            h.observe_micros(1_000_000); // ~1s
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile_us(0.50).unwrap();
+        let p99 = s.quantile_us(0.99).unwrap();
+        assert!((1_000..4_000).contains(&p50), "p50 ~1ms, got {p50}");
+        assert!((1_000_000..4_000_000).contains(&p99), "p99 ~1s, got {p99}");
+        assert_eq!(HistogramSnapshot::default().quantile_us(0.5), None);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_complete() {
+        let h = Histogram::new();
+        h.observe_micros(3);
+        h.observe_micros(1_000);
+        let mut out = String::new();
+        h.snapshot().render_prometheus(&mut out, "x_seconds", "");
+        let buckets: Vec<&str> = out.lines().filter(|l| l.contains("_bucket")).collect();
+        assert_eq!(buckets.len(), BUCKETS);
+        assert!(buckets.last().unwrap().contains("le=\"+Inf\"} 2"));
+        // Cumulative counts are monotone non-decreasing.
+        let counts: Vec<u64> = buckets
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        assert!(out.contains("x_seconds_sum 0.001003"));
+        assert!(out.contains("x_seconds_count 2"));
+    }
+
+    #[test]
+    fn prometheus_rendering_splices_labels() {
+        let h = Histogram::new();
+        h.observe_micros(5);
+        let mut out = String::new();
+        h.snapshot()
+            .render_prometheus(&mut out, "x_seconds", "route=\"/solve\"");
+        assert!(out.contains("x_seconds_bucket{route=\"/solve\",le=\"+Inf\"} 1"));
+        assert!(out.contains("x_seconds_sum{route=\"/solve\"}"));
+        assert!(out.contains("x_seconds_count{route=\"/solve\"} 1"));
+    }
+
+    #[test]
+    fn concurrent_observations_are_not_lost() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.observe_micros(t * 1000 + i % 7);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count(), 40_000);
+    }
+}

@@ -1,0 +1,87 @@
+//! Where structured log lines go.
+//!
+//! The daemon emits one JSON object per line; the sink decides the
+//! destination. Production uses [`LogSink::Stdout`] (line-buffered,
+//! one `write` per line so concurrent emitters never interleave
+//! mid-line); tests use [`LogSink::Capture`] and assert on the lines.
+
+use parking_lot::Mutex;
+use std::io::Write as _;
+use std::sync::Arc;
+
+/// Destination for structured log lines.
+#[derive(Clone, Default)]
+pub enum LogSink {
+    /// Drop every line (logging disabled).
+    #[default]
+    Null,
+    /// One `write(2)` per line to stdout.
+    Stdout,
+    /// Append to a shared in-memory buffer (tests).
+    Capture(Arc<Mutex<Vec<String>>>),
+}
+
+impl std::fmt::Debug for LogSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LogSink::Null => "LogSink::Null",
+            LogSink::Stdout => "LogSink::Stdout",
+            LogSink::Capture(_) => "LogSink::Capture",
+        })
+    }
+}
+
+impl LogSink {
+    /// A capture sink plus the buffer it appends to.
+    pub fn capture() -> (LogSink, Arc<Mutex<Vec<String>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        (LogSink::Capture(Arc::clone(&buf)), buf)
+    }
+
+    /// Whether emitting has any effect — callers skip building the line
+    /// entirely when it does not.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, LogSink::Null)
+    }
+
+    /// Emits one line (no trailing newline in `line`).
+    pub fn emit(&self, line: &str) {
+        match self {
+            LogSink::Null => {}
+            LogSink::Stdout => {
+                let mut out = std::io::stdout().lock();
+                let _ = writeln!(out, "{line}");
+            }
+            LogSink::Capture(buf) => buf.lock().push(line.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_collects_lines_in_order() {
+        let (sink, buf) = LogSink::capture();
+        assert!(sink.enabled());
+        sink.emit("one");
+        sink.emit("two");
+        assert_eq!(*buf.lock(), vec!["one".to_string(), "two".to_string()]);
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let sink = LogSink::Null;
+        assert!(!sink.enabled());
+        sink.emit("dropped"); // must not panic
+    }
+
+    #[test]
+    fn clone_shares_the_capture_buffer() {
+        let (sink, buf) = LogSink::capture();
+        let clone = sink.clone();
+        clone.emit("via clone");
+        assert_eq!(buf.lock().len(), 1);
+    }
+}

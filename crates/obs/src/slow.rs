@@ -1,0 +1,120 @@
+//! The slow-query log: a bounded keep-the-worst record of completed
+//! operations.
+//!
+//! Admission is two-staged: an operation must clear the configured
+//! threshold, and once the log is full it must also beat the current
+//! minimum. The lock is taken only for operations that already cleared
+//! the threshold, so a fast-path solve (the overwhelming majority)
+//! costs one branch.
+
+use parking_lot::Mutex;
+
+/// Bounded top-N-by-key log. Keys are microseconds in the daemon's use,
+/// but any `u64` ordering works.
+pub struct SlowLog<T> {
+    /// Minimum key admitted; `record` is a no-op below it.
+    threshold: u64,
+    cap: usize,
+    /// Sorted descending by key.
+    entries: Mutex<Vec<(u64, T)>>,
+}
+
+impl<T: Clone> SlowLog<T> {
+    /// A log keeping the `cap` largest entries at or above `threshold`.
+    /// `cap == 0` disables the log entirely.
+    pub fn new(threshold: u64, cap: usize) -> SlowLog<T> {
+        SlowLog {
+            threshold,
+            cap,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The admission threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Offers an entry; keeps it only if it is among the worst seen.
+    pub fn record(&self, key: u64, item: T) {
+        if self.cap == 0 || key < self.threshold {
+            return;
+        }
+        let mut entries = self.entries.lock();
+        if entries.len() == self.cap {
+            // Full: must beat the mildest entry (the tail of the
+            // descending sort) to displace it.
+            if key <= entries.last().map_or(0, |(k, _)| *k) {
+                return;
+            }
+            entries.pop();
+        }
+        let at = entries.partition_point(|(k, _)| *k >= key);
+        entries.insert(at, (key, item));
+    }
+
+    /// Current entries, worst first.
+    pub fn snapshot(&self) -> Vec<(u64, T)> {
+        self.entries.lock().clone()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_gates_admission() {
+        let log = SlowLog::new(100, 4);
+        log.record(99, "fast");
+        log.record(100, "at-threshold");
+        log.record(500, "slow");
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0], (500, "slow"));
+        assert_eq!(snap[1], (100, "at-threshold"));
+    }
+
+    #[test]
+    fn full_log_keeps_the_worst() {
+        let log = SlowLog::new(0, 3);
+        for (k, v) in [(10, "a"), (30, "b"), (20, "c")] {
+            log.record(k, v);
+        }
+        // 5 loses to everything; 40 displaces the mildest (10).
+        log.record(5, "loser");
+        log.record(40, "winner");
+        let keys: Vec<u64> = log.snapshot().iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![40, 30, 20]);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let log = SlowLog::new(0, 0);
+        log.record(1_000_000, "anything");
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+    }
+
+    #[test]
+    fn ties_do_not_displace() {
+        let log = SlowLog::new(0, 2);
+        log.record(10, "first");
+        log.record(10, "second");
+        log.record(10, "third"); // full, ties with the minimum: dropped
+        assert_eq!(log.len(), 2);
+        let snap = log.snapshot();
+        assert_eq!(snap[0].1, "first");
+        assert_eq!(snap[1].1, "second");
+    }
+}

@@ -1,0 +1,117 @@
+//! Request trace ids.
+//!
+//! Ids must be unique enough to correlate log lines, cheap to mint on
+//! the reactor thread, and safe to echo back into an HTTP header. No
+//! RNG: a per-process seed (wall clock + pid, mixed through
+//! SplitMix64) plus a monotone counter gives `seed-counter` ids like
+//! `a3f91c2e5b7d0486-0000002a` that never collide within a process and
+//! practically never across daemon restarts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Longest inbound `X-Request-Id` the daemon will honour; anything
+/// longer (or containing unsafe bytes) gets a generated id instead.
+pub const MAX_TRACE_ID_LEN: usize = 64;
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static SEED: OnceLock<u64> = OnceLock::new();
+
+/// SplitMix64 finalizer — enough mixing to keep restart seeds distinct.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn seed() -> u64 {
+    *SEED.get_or_init(|| {
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        mix(now ^ (std::process::id() as u64).rotate_left(32))
+    })
+}
+
+/// Mints a fresh trace id: `"{seed:016x}-{counter:08x}"`.
+pub fn generate() -> String {
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    format!("{:016x}-{n:08x}", seed())
+}
+
+/// Whether an inbound `X-Request-Id` value is safe to adopt and echo:
+/// non-empty, bounded, and made of header-safe characters (alphanumeric
+/// plus `-`, `_`, `.`). Everything else is rejected so a client cannot
+/// smuggle header-splitting bytes or unbounded data into responses and
+/// log lines.
+pub fn valid(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= MAX_TRACE_ID_LEN
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+}
+
+/// Adopts a valid inbound id or mints a fresh one.
+pub fn adopt_or_generate(inbound: Option<&str>) -> String {
+    match inbound {
+        Some(id) if valid(id) => id.to_string(),
+        _ => generate(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_ids_are_unique_and_valid() {
+        let a = generate();
+        let b = generate();
+        assert_ne!(a, b);
+        assert!(valid(&a), "{a}");
+        assert!(valid(&b), "{b}");
+        assert_eq!(a.len(), 16 + 1 + 8);
+    }
+
+    #[test]
+    fn validation_rejects_unsafe_ids() {
+        assert!(valid("abc-123_x.y"));
+        assert!(!valid(""));
+        assert!(!valid("has space"));
+        assert!(!valid("newline\r\ninjection"));
+        assert!(!valid("null\0byte"));
+        assert!(!valid(&"x".repeat(MAX_TRACE_ID_LEN + 1)));
+        assert!(valid(&"x".repeat(MAX_TRACE_ID_LEN)));
+    }
+
+    #[test]
+    fn adoption_prefers_valid_inbound() {
+        assert_eq!(adopt_or_generate(Some("client-id-7")), "client-id-7");
+        let minted = adopt_or_generate(Some("bad id"));
+        assert_ne!(minted, "bad id");
+        assert!(valid(&minted));
+        assert!(valid(&adopt_or_generate(None)));
+    }
+
+    #[test]
+    fn concurrent_generation_never_collides() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let local: Vec<String> = (0..1000).map(|_| generate()).collect();
+                    let mut seen = seen.lock().unwrap();
+                    for id in local {
+                        assert!(seen.insert(id));
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.into_inner().unwrap().len(), 4000);
+    }
+}

@@ -38,6 +38,12 @@ pub struct Request {
     pub path: String,
     pub body: String,
     pub keep_alive: bool,
+    /// Trace id for this request. The parser captures a raw inbound
+    /// `X-Request-Id` here; the reactor replaces it with the *resolved*
+    /// id (validated inbound value, or a freshly minted one) before the
+    /// request is routed, so every handler downstream sees the id the
+    /// response will echo.
+    pub trace: Option<String>,
 }
 
 impl Request {
@@ -65,6 +71,9 @@ pub struct Response {
     pub content_type: &'static str,
     pub body: String,
     pub retry_after: Option<u64>,
+    /// Trace id echoed as an `X-Request-Id` response header (set by the
+    /// reactor at delivery; handlers never fill it themselves).
+    pub request_id: Option<String>,
 }
 
 impl Response {
@@ -74,6 +83,7 @@ impl Response {
             content_type: "application/json",
             body: value.encode(),
             retry_after: None,
+            request_id: None,
         }
     }
 
@@ -90,6 +100,7 @@ impl Response {
             content_type,
             body,
             retry_after: None,
+            request_id: None,
         }
     }
 
@@ -112,6 +123,9 @@ impl Response {
         );
         if let Some(secs) = self.retry_after {
             let _ = write!(head, "Retry-After: {secs}\r\n");
+        }
+        if let Some(id) = &self.request_id {
+            let _ = write!(head, "X-Request-Id: {id}\r\n");
         }
         head.push_str("\r\n");
         out.extend_from_slice(head.as_bytes());
@@ -157,6 +171,7 @@ enum ParseState {
         keep_alive: bool,
         content_length: Option<usize>,
         n_headers: usize,
+        trace: Option<String>,
     },
     /// Head complete; accumulating `content_length` body bytes.
     Body {
@@ -164,6 +179,7 @@ enum ParseState {
         path: String,
         keep_alive: bool,
         content_length: usize,
+        trace: Option<String>,
     },
 }
 
@@ -210,6 +226,7 @@ impl Parser {
                         keep_alive: version == "HTTP/1.1",
                         content_length: None,
                         n_headers: 0,
+                        trace: None,
                     };
                 }
                 ParseState::Headers {
@@ -218,6 +235,7 @@ impl Parser {
                     mut keep_alive,
                     mut content_length,
                     mut n_headers,
+                    mut trace,
                 } => {
                     let line = match take_line(buf, MAX_HEADER_LINE) {
                         LineStep::Line(l) => l,
@@ -228,6 +246,7 @@ impl Parser {
                                 keep_alive,
                                 content_length,
                                 n_headers,
+                                trace,
                             };
                             return ParseStep::NeedMore;
                         }
@@ -245,6 +264,7 @@ impl Parser {
                             path,
                             keep_alive,
                             content_length,
+                            trace,
                         };
                         continue;
                     }
@@ -280,6 +300,12 @@ impl Parser {
                             "connection" => {
                                 keep_alive = !value.eq_ignore_ascii_case("close");
                             }
+                            "x-request-id" => {
+                                // Raw capture; validation (length, safe
+                                // charset) happens when the reactor
+                                // resolves the request's trace id.
+                                trace = Some(value.to_string());
+                            }
                             _ => {}
                         }
                     }
@@ -289,6 +315,7 @@ impl Parser {
                         keep_alive,
                         content_length,
                         n_headers,
+                        trace,
                     };
                 }
                 ParseState::Body {
@@ -296,6 +323,7 @@ impl Parser {
                     path,
                     keep_alive,
                     content_length,
+                    trace,
                 } => {
                     if buf.len() < content_length {
                         self.state = ParseState::Body {
@@ -303,6 +331,7 @@ impl Parser {
                             path,
                             keep_alive,
                             content_length,
+                            trace,
                         };
                         return ParseStep::NeedMore;
                     }
@@ -316,6 +345,7 @@ impl Parser {
                         path,
                         body,
                         keep_alive,
+                        trace,
                     });
                 }
             }
@@ -378,6 +408,18 @@ pub(crate) enum ReadOutcome {
     Stalled,
 }
 
+/// Per-request observation facts: stamped by the reactor when a parsed
+/// request is dispatched, consumed when its response is delivered (HTTP
+/// latency histogram + request log line + `X-Request-Id` echo).
+pub(crate) struct ReqObs {
+    pub trace: String,
+    /// Index into [`crate::obs::ROUTES`].
+    pub route: usize,
+    pub method: String,
+    pub path: String,
+    pub received: Instant,
+}
+
 pub(crate) struct Conn {
     pub stream: TcpStream,
     pub state: ConnState,
@@ -400,6 +442,8 @@ pub(crate) struct Conn {
     pub accounted: usize,
     /// Peer sent EOF; finish writing, then close.
     saw_eof: bool,
+    /// Observation facts of the request currently being answered.
+    pub(crate) req_obs: Option<ReqObs>,
 }
 
 impl Conn {
@@ -418,6 +462,7 @@ impl Conn {
             registered: (true, false),
             accounted: 0,
             saw_eof: false,
+            req_obs: None,
         }
     }
 

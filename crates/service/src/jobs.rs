@@ -21,8 +21,8 @@ use crate::conn::Response;
 use crate::protocol::Json;
 use crate::queue::JobTicket;
 use crate::reactor::Responder;
-use lazymc_core::Deadline;
-use std::collections::{HashMap, VecDeque};
+use lazymc_core::{Deadline, PhaseTimes, SolveProgress};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -41,6 +41,14 @@ pub(crate) enum JobSink {
 pub(crate) struct JobMeta {
     pub graph: String,
     pub budget_clamped: bool,
+    /// Trace id of the request that submitted the job (flows into the
+    /// solve's log line and slow-query entry).
+    pub trace: String,
+    /// Request-body parse time, the first span of the job's trace.
+    pub parse_us: u64,
+    /// Effective solve budget after server-side clamping, for the live
+    /// progress view's elapsed-vs-budget readout.
+    pub budget_ms: Option<u64>,
 }
 
 /// Lifecycle states surfaced by `GET /jobs/<id>`.
@@ -73,6 +81,20 @@ pub(crate) struct SolveReply {
     pub cached: bool,
     pub wait_ms: u64,
     pub solve_ms: u64,
+    /// Per-phase wall times of the executed solve (zeroed for cache
+    /// hits, which never ran).
+    pub phases: PhaseTimes,
+}
+
+/// Submission facts handed to [`JobStore::complete`]'s observer so the
+/// solver worker can emit the job's solve observation (trace line,
+/// histograms, slow-query entry) without re-locking the store.
+pub(crate) struct CompletedMeta {
+    pub trace: String,
+    pub graph: String,
+    pub parse_us: u64,
+    /// Result-JSON encoding time, measured inside `complete`.
+    pub serialize_us: u64,
 }
 
 struct JobRecord {
@@ -82,6 +104,10 @@ struct JobRecord {
     sink: Option<JobSink>,
     meta: JobMeta,
     created: Instant,
+    /// Live solve progress, installed when a solver worker picks the
+    /// job up; `GET /jobs/<id>` reads it while the job runs.
+    progress: Option<Arc<SolveProgress>>,
+    running_since: Option<Instant>,
     completed: Option<Instant>,
     /// Encoded result object, retained for async jobs only.
     result: Option<String>,
@@ -102,6 +128,29 @@ struct Inner {
     done_order: VecDeque<u64>,
     /// Accounted bytes of retained completed jobs.
     result_bytes: usize,
+    /// Tombstones of evicted job ids, so a 404 can distinguish a job
+    /// that existed and expired from one that never did.
+    expired_ids: HashSet<u64>,
+    /// FIFO of `expired_ids` for bounded eviction.
+    expired_order: VecDeque<u64>,
+}
+
+/// Most tombstones retained; beyond it the oldest forget their history
+/// (their 404s degrade to "unknown").
+const MAX_TOMBSTONES: usize = 4096;
+
+impl Inner {
+    /// Records that `id` existed but was evicted (TTL or byte budget).
+    fn entomb(&mut self, id: u64) {
+        if self.expired_ids.insert(id) {
+            self.expired_order.push_back(id);
+            while self.expired_order.len() > MAX_TOMBSTONES {
+                if let Some(old) = self.expired_order.pop_front() {
+                    self.expired_ids.remove(&old);
+                }
+            }
+        }
+    }
 }
 
 /// Outcome of a `DELETE /jobs/<id>`.
@@ -130,6 +179,8 @@ impl JobStore {
                 jobs: HashMap::new(),
                 done_order: VecDeque::new(),
                 result_bytes: 0,
+                expired_ids: HashSet::new(),
+                expired_order: VecDeque::new(),
             }),
             ttl,
             max_bytes: max_bytes.max(1),
@@ -160,6 +211,8 @@ impl JobStore {
             sink: Some(sink),
             meta,
             created: Instant::now(),
+            progress: None,
+            running_since: None,
             completed: None,
             result: None,
             retain,
@@ -185,11 +238,14 @@ impl JobStore {
         }
     }
 
-    /// A solver worker picked the job up.
-    pub(crate) fn mark_running(&self, id: u64) {
+    /// A solver worker picked the job up; `progress` is the live cell
+    /// the solve publishes into and `GET /jobs/<id>` reads from.
+    pub(crate) fn mark_running(&self, id: u64, progress: Arc<SolveProgress>) {
         if let Some(r) = self.inner.lock().unwrap().jobs.get_mut(&id) {
             if r.state == JobState::Queued {
                 r.state = JobState::Running;
+                r.progress = Some(progress);
+                r.running_since = Some(Instant::now());
             }
         }
     }
@@ -224,13 +280,33 @@ impl JobStore {
             ("budget_clamped", Json::Bool(budget_clamped)),
             ("wait_ms", Json::num(reply.wait_ms as f64)),
             ("solve_ms", Json::num(reply.solve_ms as f64)),
+            (
+                "phase_ms",
+                Json::Obj(
+                    crate::obs::PHASES
+                        .iter()
+                        .zip(crate::obs::phase_micros(&reply.phases))
+                        .map(|(name, us)| (name.to_string(), Json::num(us as f64 / 1e3)))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
     /// Delivers a finished job to its sink and transitions the record.
     /// `cancelled` reports a mid-solve cancellation observed by the
-    /// worker; `reply: Err(())` reports a solver panic.
-    pub(crate) fn complete(&self, id: u64, reply: Result<SolveReply, ()>, cancelled: bool) {
+    /// worker; `reply: Err(())` reports a solver panic. `observe` runs
+    /// with the job's submission facts *before* the sink fires, so a
+    /// client that already holds its answer can never catch the metrics
+    /// unrecorded; it is skipped when a racing cancel already finalized
+    /// the record (that path observed nothing worth logging twice).
+    pub(crate) fn complete(
+        &self,
+        id: u64,
+        reply: Result<SolveReply, ()>,
+        cancelled: bool,
+        observe: impl FnOnce(CompletedMeta),
+    ) {
         let mut inner = self.inner.lock().unwrap();
         let Some(record) = inner.jobs.get_mut(&id) else {
             return; // cancelled-while-queued: sink already answered
@@ -269,9 +345,18 @@ impl JobStore {
         };
         record.state = state;
         record.completed = Some(Instant::now());
+        record.progress = None; // the solve is over; stop serving live reads
+        let t_ser = Instant::now();
+        let encoded = result_json.encode();
+        let meta = CompletedMeta {
+            trace: record.meta.trace.clone(),
+            graph: record.meta.graph.clone(),
+            parse_us: record.meta.parse_us,
+            serialize_us: t_ser.elapsed().as_micros() as u64,
+        };
         let sink = record.sink.take();
         if record.retain {
-            record.result = Some(result_json.encode());
+            record.result = Some(encoded);
             let bytes = record.bytes();
             inner.result_bytes += bytes;
             inner.done_order.push_back(id);
@@ -280,6 +365,9 @@ impl JobStore {
         }
         self.evict_locked(&mut inner);
         drop(inner);
+        // Observation first, delivery second: by the time any client can
+        // see this result, its histograms/log line are already recorded.
+        observe(meta);
         match sink {
             Some(JobSink::Sync(responder)) => {
                 responder.respond(Response::json(status, result_json))
@@ -356,6 +444,7 @@ impl JobStore {
             if let Some(r) = inner.jobs.remove(&id) {
                 inner.result_bytes = inner.result_bytes.saturating_sub(r.bytes());
             }
+            inner.entomb(id);
             self.expired.fetch_add(1, Ordering::Relaxed);
             return None;
         }
@@ -369,6 +458,35 @@ impl JobStore {
                 Json::num(record.created.elapsed().as_millis() as f64),
             ),
         ];
+        if record.completed.is_none() {
+            if let Some(p) = &record.progress {
+                // Live view of a running solve: every field is a relaxed
+                // load the search performs anyway.
+                let snap = p.counters_snapshot();
+                let mut prog = vec![
+                    ("phase", Json::str(p.phase().name())),
+                    ("nodes_expanded", Json::num(p.nodes_expanded() as f64)),
+                    ("incumbent_size", Json::num(p.incumbent_size() as f64)),
+                    (
+                        "retained_coreness",
+                        Json::num(snap.retained_coreness as f64),
+                    ),
+                    ("retained_f1", Json::num(snap.retained_f1 as f64)),
+                    ("retained_f2", Json::num(snap.retained_f2 as f64)),
+                    ("retained_f3", Json::num(snap.retained_f3 as f64)),
+                    ("searched_mc", Json::num(snap.searched_mc as f64)),
+                    ("searched_kvc", Json::num(snap.searched_kvc as f64)),
+                ];
+                if let Some(since) = record.running_since {
+                    prog.push(("elapsed_ms", Json::num(since.elapsed().as_millis() as f64)));
+                }
+                match record.meta.budget_ms {
+                    Some(b) => prog.push(("budget_ms", Json::num(b as f64))),
+                    None => prog.push(("budget_ms", Json::Null)),
+                }
+                fields.push(("progress", Json::obj(prog)));
+            }
+        }
         match &record.result {
             Some(encoded) => fields.push(("result", Json::parse(encoded).unwrap_or(Json::Null))),
             None => fields.push(("result", Json::Null)),
@@ -389,6 +507,7 @@ impl JobStore {
                 inner.done_order.pop_front();
                 if let Some(r) = inner.jobs.remove(&front) {
                     inner.result_bytes = inner.result_bytes.saturating_sub(r.bytes());
+                    inner.entomb(front);
                     self.expired.fetch_add(1, Ordering::Relaxed);
                 }
             } else {
@@ -402,7 +521,19 @@ impl JobStore {
             };
             if let Some(r) = inner.jobs.remove(&victim) {
                 inner.result_bytes = inner.result_bytes.saturating_sub(r.bytes());
+                inner.entomb(victim);
             }
+        }
+    }
+
+    /// Why a job id is absent: `"expired"` if a record with this id was
+    /// evicted (TTL or byte budget), `"unknown"` if no such job ever
+    /// existed (or its tombstone aged out of the bounded history).
+    pub(crate) fn missing_reason(&self, id: u64) -> &'static str {
+        if self.inner.lock().unwrap().expired_ids.contains(&id) {
+            "expired"
+        } else {
+            "unknown"
         }
     }
 

@@ -32,6 +32,10 @@
 //!   incrementally, and buffer partial writes; introspection endpoints
 //!   answer *on* the reactor, so `/healthz` stays microseconds even with
 //!   every solver busy.
+//! * [`obs`] — per-daemon observability built on `lazymc-obs`: route- and
+//!   phase-labelled latency histograms, request tracing (`X-Request-Id`
+//!   in → spans → structured JSON log lines out), and the slow-query log
+//!   behind `GET /debug/slow`.
 //! * [`server`] — configuration, routing, the request-worker and solver
 //!   pools, and the Prometheus `/metrics` endpoint exposing
 //!   `lazymc_core::metrics` counters plus cache and reactor telemetry.
@@ -65,6 +69,7 @@
 
 pub mod conn;
 pub mod jobs;
+pub mod obs;
 pub mod persist;
 pub mod protocol;
 pub mod queue;
@@ -74,6 +79,8 @@ pub mod server;
 
 pub use conn::{Request, Response};
 pub use jobs::{JobState, JobStore};
+pub use lazymc_obs::LogSink;
+pub use obs::ServiceObs;
 pub use persist::SnapshotStore;
 pub use protocol::{Json, LoadRequest, SolveRequest};
 pub use queue::{JobQueue, JobTicket, QueueFull};

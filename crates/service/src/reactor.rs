@@ -12,7 +12,7 @@
 //! is the *only* way other threads interact with the loop, so no socket
 //! is ever touched by two threads.
 
-use crate::conn::{Conn, ConnState, ReadOutcome, Response};
+use crate::conn::{Conn, ConnState, ReadOutcome, ReqObs, Response};
 use crate::server::{dispatch, Dispatched, ReqWork, ServiceConfig, ServiceState};
 use lazymc_netio::{Events, Interest, Poller, Wakeup};
 use std::net::{TcpListener, TcpStream};
@@ -431,13 +431,25 @@ impl Reactor {
     fn apply_outcome(&mut self, token: u64, outcome: ReadOutcome) -> Pump {
         let m = &self.args.state.metrics;
         match outcome {
-            ReadOutcome::Request(req) => {
+            ReadOutcome::Request(mut req) => {
                 m.requests_total.fetch_add(1, Ordering::Relaxed);
                 let conn = self.conns.get_mut(&token).expect("caller checked");
                 conn.serial += 1;
                 conn.keep_alive = req.keep_alive;
                 let serial = conn.serial;
                 conn.state = ConnState::Awaiting { serial };
+                // Resolve the request's trace id (validated inbound
+                // `X-Request-Id`, or freshly minted) and stamp the
+                // observation facts consumed when the response delivers.
+                let trace = lazymc_obs::trace::adopt_or_generate(req.trace.as_deref());
+                conn.req_obs = Some(ReqObs {
+                    trace: trace.clone(),
+                    route: crate::obs::route_class(&req.path),
+                    method: req.method.clone(),
+                    path: req.route_path().to_string(),
+                    received: Instant::now(),
+                });
+                req.trace = Some(trace);
                 let responder = Responder::new(self.args.shared.clone(), token, serial);
                 match dispatch(
                     &self.args.state,
@@ -486,7 +498,7 @@ impl Reactor {
 
     /// Queues a response on a connection and flushes what the socket
     /// accepts now.
-    fn deliver(&mut self, token: u64, serial: u64, response: Response) {
+    fn deliver(&mut self, token: u64, serial: u64, mut response: Response) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
@@ -497,6 +509,20 @@ impl Reactor {
         if !conn.is_awaiting(serial) {
             return;
         }
+        // Settle the request's observation debt: latency histogram,
+        // structured log line, and the `X-Request-Id` echo.
+        if let Some(ro) = conn.req_obs.take() {
+            response.request_id = Some(ro.trace.clone());
+            self.args.state.obs.observe_http(
+                ro.route,
+                &ro.trace,
+                &ro.method,
+                &ro.path,
+                response.status,
+                ro.received.elapsed(),
+            );
+        }
+        let conn = self.conns.get_mut(&token).expect("checked above");
         if response.status >= 400 {
             self.args
                 .state

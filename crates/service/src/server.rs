@@ -30,12 +30,14 @@
 
 use crate::conn::{Request, Response};
 use crate::jobs::{BatchAggregator, CancelOutcome, JobMeta, JobSink, JobStore, SolveReply};
+use crate::obs::{phase_micros, ServiceObs, SolveObservation};
 use crate::protocol::{Json, LoadRequest, SolveRequest};
 use crate::queue::JobQueue;
 use crate::reactor::{self, ReactorShared, Responder};
 use crate::registry::{CachedSolve, GraphEntry, Registry, ResultCache};
-use lazymc_core::{Deadline, LazyMc, MetricsSnapshot};
+use lazymc_core::{Deadline, LazyMc, MetricsSnapshot, PhaseTimes, SolveProgress};
 use lazymc_graph::{io as graph_io, suite, CsrGraph};
+use lazymc_obs::LogSink;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -99,6 +101,17 @@ pub struct ServiceConfig {
     /// `SO_SNDBUF` request for accepted sockets (`None` = kernel default).
     /// Mostly a test hook: tiny buffers force the partial-write path.
     pub so_sndbuf: Option<usize>,
+    /// Emit one structured JSON log line per request and per solve to
+    /// stdout (`--log-json`). Superseded by `log_sink` when set.
+    pub log_json: bool,
+    /// Completed solves whose total (parse + wait + solve + serialize)
+    /// reaches this many milliseconds enter the `GET /debug/slow` log.
+    pub slow_query_ms: u64,
+    /// How many slow solves `GET /debug/slow` retains (keep-the-worst).
+    pub slow_log_len: usize,
+    /// Explicit log destination; overrides `log_json`. Tests use
+    /// `LogSink::capture()` to assert on emitted lines.
+    pub log_sink: Option<LogSink>,
 }
 
 impl Default for ServiceConfig {
@@ -121,6 +134,10 @@ impl Default for ServiceConfig {
             data_dir: None,
             max_budget_ms: None,
             so_sndbuf: None,
+            log_json: false,
+            slow_query_ms: 500,
+            slow_log_len: 32,
+            log_sink: None,
         }
     }
 }
@@ -223,6 +240,8 @@ pub struct ServiceState {
     pub(crate) queue: JobQueue<SolveJob>,
     pub jobs: JobStore,
     pub metrics: ServiceMetrics,
+    /// Histograms, tracing sink and the slow-query log (see [`crate::obs`]).
+    pub obs: ServiceObs,
     core_totals: Mutex<MetricsSnapshot>,
     started: Instant,
     pub(crate) next_conn_token: AtomicU64,
@@ -240,6 +259,15 @@ impl ServiceState {
             queue: JobQueue::new(cfg.queue_capacity),
             jobs: JobStore::new(cfg.job_ttl, cfg.job_store_bytes),
             metrics: ServiceMetrics::default(),
+            obs: ServiceObs::new(
+                cfg.log_sink.clone().unwrap_or(if cfg.log_json {
+                    LogSink::Stdout
+                } else {
+                    LogSink::Null
+                }),
+                cfg.slow_query_ms,
+                cfg.slow_log_len.max(1),
+            ),
             core_totals: Mutex::new(MetricsSnapshot::default()),
             started: Instant::now(),
             next_conn_token: AtomicU64::new(reactor::FIRST_CONN_TOKEN),
@@ -380,27 +408,66 @@ pub fn serve(cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
     })
 }
 
+/// Finishes a job's trace: histograms, slow-log admission and the
+/// structured log line are recorded inside `complete()`, *before* the
+/// result reaches its sink — a client holding its answer can never
+/// catch the metrics unrecorded.
+fn complete_observed(
+    state: &ServiceState,
+    id: u64,
+    reply: Result<SolveReply, ()>,
+    cancelled: bool,
+    wait_us: u64,
+    solve_us: u64,
+    phases_us: [u64; 6],
+) {
+    let failed = reply.is_err();
+    state.jobs.complete(id, reply, cancelled, |meta| {
+        state.obs.observe_solve(&SolveObservation {
+            job_id: id,
+            graph: meta.graph,
+            trace: meta.trace,
+            parse_us: meta.parse_us,
+            wait_us,
+            solve_us,
+            serialize_us: meta.serialize_us,
+            phases_us,
+            cancelled,
+            failed,
+        });
+    });
+}
+
 fn solver_loop(state: &ServiceState) {
     while let Some((ticket, job)) = state.queue.pop() {
-        let wait_ms = job.enqueued.elapsed().as_millis() as u64;
+        let waited = job.enqueued.elapsed();
+        let wait_ms = waited.as_millis() as u64;
+        let wait_us = waited.as_micros() as u64;
         if ticket.is_cancelled() {
             // Cancelled while queued: the job store already answered the
             // sink when the cancellation landed.
             continue;
         }
-        state.jobs.mark_running(ticket.id);
+        // The live-progress cell: the solve publishes into it (phase
+        // marks, relaxed counters, incumbent size) and `GET /jobs/<id>`
+        // reads it while the job runs.
+        let progress = Arc::new(SolveProgress::new());
+        state.jobs.mark_running(ticket.id, Arc::clone(&progress));
         state.jobs.jobs_inflight.fetch_add(1, Ordering::Relaxed);
         let t = Instant::now();
         // A panicking solve must not take the worker thread (and with it,
         // eventually, the whole solver pool) down: catch, count, report.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            LazyMc::new(job.config.clone()).solve_prepared(
+            LazyMc::new(job.config.clone()).solve_prepared_observed(
                 &job.entry.graph,
                 Some(&job.entry.kcore),
                 &job.deadline,
+                Some(&progress),
             )
         }));
-        let solve_ms = t.elapsed().as_millis() as u64;
+        let solved = t.elapsed();
+        let solve_ms = solved.as_millis() as u64;
+        let solve_us = solved.as_micros() as u64;
         state.jobs.jobs_inflight.fetch_sub(1, Ordering::Relaxed);
         let result = match outcome {
             Ok(result) => result,
@@ -409,9 +476,15 @@ fn solver_loop(state: &ServiceState) {
                     .metrics
                     .solver_panics_total
                     .fetch_add(1, Ordering::Relaxed);
-                state
-                    .jobs
-                    .complete(ticket.id, Err(()), ticket.is_cancelled());
+                complete_observed(
+                    state,
+                    ticket.id,
+                    Err(()),
+                    ticket.is_cancelled(),
+                    wait_us,
+                    solve_us,
+                    [0; 6],
+                );
                 continue;
             }
         };
@@ -448,7 +521,9 @@ fn solver_loop(state: &ServiceState) {
                 );
             }
         }
-        state.jobs.complete(
+        let phases_us = phase_micros(&result.metrics.phases);
+        complete_observed(
+            state,
             ticket.id,
             Ok(SolveReply {
                 omega: clique.len(),
@@ -457,8 +532,12 @@ fn solver_loop(state: &ServiceState) {
                 cached: false,
                 wait_ms,
                 solve_ms,
+                phases: result.metrics.phases,
             }),
             cancelled,
+            wait_us,
+            solve_us,
+            phases_us,
         );
     }
 }
@@ -485,6 +564,7 @@ pub(crate) fn dispatch(
             ("GET", "/metrics") => Some(metrics(state)),
             ("GET", "/stats") => Some(global_stats(state, cfg)),
             ("GET", "/graphs") => Some(list_graphs(state)),
+            ("GET", "/debug/slow") => Some(Response::json(200, state.obs.slow_json())),
             ("GET", p) if p.starts_with("/jobs/") => Some(job_status(state, p)),
             ("DELETE", p) if p.starts_with("/jobs/") => Some(job_cancel(state, p)),
             // Heavier or per-graph routes run off-reactor; unknown GET and
@@ -524,7 +604,7 @@ pub(crate) fn handle_heavy(state: &Arc<ServiceState>, cfg: &ServiceConfig, work:
     match (request.method.as_str(), path.as_str()) {
         ("POST", "/graphs") => responder.respond(load_graph(state, &request.body)),
         ("POST", "/solve") => solve_endpoint(state, cfg, &request, responder),
-        ("POST", "/solve-batch") => solve_batch(state, cfg, &request.body, responder),
+        ("POST", "/solve-batch") => solve_batch(state, cfg, &request, responder),
         ("GET", p) => match p.strip_prefix("/stats/") {
             Some(name) => responder.respond(graph_stats(state, cfg, name)),
             None => responder.respond(Response::error(404, format!("no route {p}"))),
@@ -629,6 +709,8 @@ fn submit_solve(
     request: &SolveRequest,
     entry: &Arc<GraphEntry>,
     sink: JobSink,
+    trace: &str,
+    parse_us: u64,
 ) -> Submitted {
     let mut config = request.config();
     // Route the per-job thread budget into the solver, clamped against
@@ -673,6 +755,7 @@ fn submit_solve(
                 cached: true,
                 wait_ms: 0,
                 solve_ms: hit.solve_ms,
+                phases: PhaseTimes::default(),
             };
             return Submitted::CacheHit(JobStore::result_json(
                 &entry.name,
@@ -696,6 +779,9 @@ fn submit_solve(
         JobMeta {
             graph: entry.name.clone(),
             budget_clamped,
+            trace: trace.to_string(),
+            parse_us,
+            budget_ms: config.time_budget.map(|b| b.as_millis() as u64),
         },
     );
     let job = SolveJob {
@@ -724,12 +810,14 @@ fn queue_full_response(capacity: usize) -> Response {
 
 /// `POST /solve` (sync) and `POST /solve?async=1` (202 + job id).
 fn solve_endpoint(state: &ServiceState, cfg: &ServiceConfig, req: &Request, responder: Responder) {
+    let t_parse = Instant::now();
     let parsed = Json::parse(&req.body).and_then(|v| {
         let r = SolveRequest::from_json(&v)?;
         let is_async =
             req.query_flag("async") || v.get("async").and_then(Json::as_bool).unwrap_or(false);
         Ok((r, is_async))
     });
+    let parse_us = t_parse.elapsed().as_micros() as u64;
     let (request, is_async) = match parsed {
         Ok(p) => p,
         Err(e) => return responder.respond(Response::error(400, e)),
@@ -745,7 +833,8 @@ fn solve_endpoint(state: &ServiceState, cfg: &ServiceConfig, req: &Request, resp
     } else {
         JobSink::Sync(responder.clone())
     };
-    match submit_solve(state, cfg, &request, &entry, sink) {
+    let trace = req.trace.as_deref().unwrap_or("");
+    match submit_solve(state, cfg, &request, &entry, sink, trace, parse_us) {
         Submitted::CacheHit(result) => responder.respond(Response::json(200, result)),
         Submitted::Enqueued(id) if is_async => {
             // Counted here — after the push succeeded — so 429-rejected
@@ -782,7 +871,9 @@ fn batch_error(status: u16, message: impl Into<String>) -> Json {
 /// evicted graph triggers at most one snapshot reload), and its items are
 /// pushed back-to-back so the FIFO tie-break keeps same-graph solves
 /// adjacent in the queue — consecutive pops run against a warm entry.
-fn solve_batch(state: &ServiceState, cfg: &ServiceConfig, body: &str, responder: Responder) {
+fn solve_batch(state: &ServiceState, cfg: &ServiceConfig, req: &Request, responder: Responder) {
+    let body = &req.body;
+    let t_parse = Instant::now();
     let value = match Json::parse(body) {
         Ok(v) => v,
         Err(e) => return responder.respond(Response::error(400, e)),
@@ -821,6 +912,12 @@ fn solve_batch(state: &ServiceState, cfg: &ServiceConfig, body: &str, responder:
     // Parse every slot up front; per-slot failures become per-slot errors.
     let parsed: Vec<Result<SolveRequest, String>> =
         items.iter().map(SolveRequest::from_json).collect();
+    // Every slot shares the batch's trace id; the batch-wide parse cost
+    // is attributed to the first slot (charging it to each slot would
+    // multi-count it across the histograms).
+    let trace = req.trace.clone().unwrap_or_default();
+    let parse_us = t_parse.elapsed().as_micros() as u64;
+    let mut parse_attributed = false;
 
     // Resolve each distinct graph once, in first-appearance order. This
     // is the co-location step: one registry lookup (and at most one lazy
@@ -858,7 +955,9 @@ fn solve_batch(state: &ServiceState, cfg: &ServiceConfig, body: &str, responder:
                 agg: agg.clone(),
                 slot,
             };
-            match submit_solve(state, cfg, request, entry, sink) {
+            let slot_parse_us = if parse_attributed { 0 } else { parse_us };
+            parse_attributed = true;
+            match submit_solve(state, cfg, request, entry, sink, &trace, slot_parse_us) {
                 Submitted::CacheHit(result) => agg.fill(slot, result),
                 Submitted::Enqueued(_) => {}
                 Submitted::Full { capacity } => agg.fill(
@@ -884,7 +983,10 @@ fn job_status(state: &ServiceState, path: &str) -> Response {
     };
     match state.jobs.view(id) {
         Some(view) => Response::json(200, view),
-        None => Response::error(404, format!("no such job {id} (unknown or expired)")),
+        None => Response::error(
+            404,
+            format!("no such job {id} ({})", state.jobs.missing_reason(id)),
+        ),
     }
 }
 
@@ -893,9 +995,10 @@ fn job_cancel(state: &ServiceState, path: &str) -> Response {
         return Response::error(404, format!("no route {path}"));
     };
     match state.jobs.cancel(id) {
-        CancelOutcome::NotFound => {
-            Response::error(404, format!("no such job {id} (unknown or expired)"))
-        }
+        CancelOutcome::NotFound => Response::error(
+            404,
+            format!("no such job {id} ({})", state.jobs.missing_reason(id)),
+        ),
         CancelOutcome::AlreadyDone(state) => {
             Response::error(409, format!("job {id} already {}", state.as_str()))
         }
@@ -1125,6 +1228,17 @@ fn global_stats(state: &ServiceState, cfg: &ServiceConfig) -> Response {
             Json::num(state.results.misses.load(Ordering::Relaxed) as f64),
         ),
     ];
+    // Queue wait as a first-class stat: the histogram the solver loop
+    // feeds, summarized as quantiles (log2 buckets: within 2x).
+    let qw = state.obs.queue_wait.snapshot();
+    let q = |q: f64| match qw.quantile_us(q) {
+        Some(us) => Json::num(us as f64 / 1e3),
+        None => Json::Null,
+    };
+    fields.push(("queue_wait_count", Json::num(qw.count() as f64)));
+    fields.push(("queue_wait_p50_ms", q(0.50)));
+    fields.push(("queue_wait_p90_ms", q(0.90)));
+    fields.push(("queue_wait_p99_ms", q(0.99)));
     fields.extend(gauges(state));
     Response::json(
         200,
@@ -1437,5 +1551,21 @@ fn metrics(state: &ServiceState) -> Response {
         "Total bytes of indexed snapshots",
         store.map_or(0, |s| s.total_bytes()),
     );
+    gauge(
+        "lazymc_uptime_seconds",
+        "Seconds since the daemon started",
+        state.started.elapsed().as_secs(),
+    );
+    // Build identity as the conventional constant-1 info gauge.
+    out.push_str("# HELP lazymc_build_info Build identity of the running daemon\n");
+    out.push_str("# TYPE lazymc_build_info gauge\n");
+    out.push_str(&format!(
+        "lazymc_build_info{{version=\"{}\",git_sha=\"{}\"}} 1\n",
+        env!("CARGO_PKG_VERSION"),
+        option_env!("LAZYMC_GIT_SHA").unwrap_or("unknown"),
+    ));
+    // Latency histograms (HTTP per route, queue wait, solve wall,
+    // per-phase solve): proper Prometheus histogram families.
+    state.obs.render_prometheus(&mut out);
     Response::text(200, "text/plain; version=0.0.4", out)
 }

@@ -31,6 +31,7 @@
 
 pub mod bitset;
 pub mod coloring;
+pub mod live;
 pub mod mc;
 pub mod par;
 pub mod scratch;
@@ -38,14 +39,17 @@ pub mod vc;
 
 pub use bitset::{BitMatrix, Bitset};
 pub use coloring::{color_order, color_order_scratch, greedy_color_count, ColorScratch};
+pub use live::LiveNodes;
 pub use mc::{
-    max_clique_dense, max_clique_dense_par, max_clique_dense_scratch, max_clique_dense_subtree,
-    max_clique_dense_within, max_clique_exact, reduce_candidates, McScratch, McStats,
+    max_clique_dense, max_clique_dense_par, max_clique_dense_par_live, max_clique_dense_scratch,
+    max_clique_dense_scratch_live, max_clique_dense_subtree, max_clique_dense_within,
+    max_clique_exact, reduce_candidates, McScratch, McStats,
 };
 pub use par::{SearchAbort, SharedBest};
 pub use scratch::Pool;
 pub use vc::{
-    max_clique_via_vc, max_clique_via_vc_par, max_clique_via_vc_scratch, min_vertex_cover,
+    max_clique_via_vc, max_clique_via_vc_par, max_clique_via_vc_par_live,
+    max_clique_via_vc_scratch, max_clique_via_vc_scratch_live, min_vertex_cover,
     vertex_cover_decision, vertex_cover_decision_abortable, vertex_cover_decision_par,
     vertex_cover_decision_scratch, vertex_cover_decision_within, VcScratch, VcSolveScratch,
     VcStats,
