@@ -107,6 +107,19 @@ impl Config {
         threads.min(Self::thread_cap())
     }
 
+    /// The intra-solve width of a job running on the machine-wide
+    /// scheduler, given the pool's worker count: the configured thread
+    /// count (clamped as ever), or — for `threads = 0`, "use whatever is
+    /// there" — the pool capacity itself. This replaces the old static
+    /// per-job thread share: capacity is a property of the *pool*, asked
+    /// at solve time, not a number frozen into the config.
+    pub fn sched_width(&self, pool_workers: usize) -> usize {
+        match self.threads {
+            0 => pool_workers.max(1),
+            t => Self::clamp_threads(t).max(1),
+        }
+    }
+
     /// A configuration with every work-avoidance feature disabled — the
     /// "naive eager" end of the ablation spectrum.
     pub fn no_work_avoidance() -> Self {
@@ -209,6 +222,19 @@ mod tests {
         assert_eq!(Config::clamp_threads(cap), cap);
         assert_eq!(Config::clamp_threads(cap + 1), cap);
         assert_eq!(Config::clamp_threads(usize::MAX), cap);
+    }
+
+    #[test]
+    fn sched_width_queries_capacity_only_when_unpinned() {
+        // threads = 0 means "whatever the pool has"; a pinned count wins
+        // (clamped), and the result is always at least 1.
+        let ambient = Config::default();
+        assert_eq!(ambient.sched_width(6), 6);
+        assert_eq!(ambient.sched_width(0), 1);
+        let pinned = Config::default().with_threads(3);
+        assert_eq!(pinned.sched_width(16), 3);
+        let huge = Config::default().with_threads(usize::MAX);
+        assert_eq!(huge.sched_width(4), Config::thread_cap());
     }
 
     #[test]

@@ -43,8 +43,9 @@ use lazymc_graph::{CsrGraph, VertexId};
 use lazymc_lazygraph::LazyGraph;
 use lazymc_order::relabel::level_ranges;
 use lazymc_order::{coreness_degree_order, kcore_sequential, kcore_with_floor, KCore, VertexOrder};
+pub use lazymc_sched::{Pool as SchedPool, SchedHandle, SchedMetrics, TaskMeta};
 use std::time::Instant;
-pub use systematic::Deadline;
+pub use systematic::{Deadline, JobSched};
 
 /// Result of a [`LazyMc::solve`] run.
 #[derive(Debug, Clone)]
@@ -137,10 +138,39 @@ impl LazyMc {
                 .num_threads(self.config.threads)
                 .build()
                 .expect("failed to build rayon pool");
-            pool.install(|| self.solve_inner(g, kcore, deadline, progress))
+            pool.install(|| self.solve_inner(g, kcore, deadline, progress, None))
         } else {
-            self.solve_inner(g, kcore, deadline, progress)
+            self.solve_inner(g, kcore, deadline, progress, None)
         };
+        if let Some(p) = progress {
+            p.set_phase(Phase::Done);
+        }
+        result
+    }
+
+    /// [`LazyMc::solve_prepared_observed`] running on the machine-wide
+    /// scheduler instead of a job-scoped thread team: the systematic
+    /// sweep and every intra-solve subtree split become stealable tasks
+    /// stamped with `meta` (job id, deadline, priority) on the pool
+    /// behind `handle`. No thread pool is built — the caller's thread
+    /// drives the solve and recruits pool workers through scopes, so a
+    /// `threads = 1` config touches the scheduler not at all and stays
+    /// bit-identical to the sequential kernels.
+    pub fn solve_prepared_on(
+        &self,
+        g: &CsrGraph,
+        kcore: Option<&KCore>,
+        deadline: &Deadline,
+        progress: Option<&SolveProgress>,
+        handle: &SchedHandle,
+        meta: TaskMeta,
+    ) -> SolveResult {
+        let sched = JobSched {
+            handle: handle.clone(),
+            meta,
+            width: self.config.sched_width(handle.workers()),
+        };
+        let result = self.solve_inner(g, kcore, deadline, progress, Some(&sched));
         if let Some(p) = progress {
             p.set_phase(Phase::Done);
         }
@@ -153,6 +183,7 @@ impl LazyMc {
         pre: Option<&KCore>,
         deadline: &Deadline,
         progress: Option<&SolveProgress>,
+        sched: Option<&JobSched>,
     ) -> SolveResult {
         let cfg = &self.config;
         let mut phases = PhaseTimes::default();
@@ -246,7 +277,16 @@ impl LazyMc {
         // 6. Systematic search (line 8).
         mark(Phase::Systematic);
         let t = Instant::now();
-        systematic::systematic_search(&lg, &levels, kc.degeneracy, cfg, &inc, counters, deadline);
+        systematic::systematic_search_on(
+            &lg,
+            &levels,
+            kc.degeneracy,
+            cfg,
+            &inc,
+            counters,
+            deadline,
+            sched,
+        );
         phases.systematic = t.elapsed();
 
         let mut snapshot = metrics::snapshot_counters(counters);
@@ -478,6 +518,77 @@ mod tests {
         let live = progress.counters_snapshot();
         assert_eq!(live.mc_nodes, r.metrics.mc_nodes);
         assert_eq!(live.retained_coreness, r.metrics.retained_coreness);
+    }
+
+    #[test]
+    fn sched_solve_matches_plain_solve() {
+        let g = gen::dense_overlap(150, 20, 8, 16, 0.1, 12);
+        let expected = LazyMc::new(Config::sequential()).solve(&g).size();
+        let pool = SchedPool::new(3);
+        for t in [2, 4] {
+            let deadline = Deadline::none();
+            let r = LazyMc::new(Config::default().with_threads(t)).solve_prepared_on(
+                &g,
+                None,
+                &deadline,
+                None,
+                &pool.handle(),
+                TaskMeta::adhoc(),
+            );
+            assert_eq!(r.size(), expected, "sched width {t}");
+            assert!(r.is_exact());
+            assert!(g.is_clique(r.vertices()));
+        }
+    }
+
+    #[test]
+    fn sched_solve_at_width_one_is_bit_identical_to_sequential() {
+        // threads = 1 on the pool must not merely agree on ω — it must run
+        // the very same deterministic kernels: identical node counts.
+        let g = gen::gnp(90, 0.5, 13);
+        let seq = LazyMc::new(Config::sequential()).solve(&g);
+        let pool = SchedPool::new(2);
+        let deadline = Deadline::none();
+        let r = LazyMc::new(Config::sequential()).solve_prepared_on(
+            &g,
+            None,
+            &deadline,
+            None,
+            &pool.handle(),
+            TaskMeta::adhoc(),
+        );
+        assert_eq!(r.size(), seq.size());
+        assert_eq!(r.metrics.mc_nodes, seq.metrics.mc_nodes);
+        assert_eq!(r.metrics.vc_nodes, seq.metrics.vc_nodes);
+        assert_eq!(r.metrics.split_tasks, 0);
+        assert_eq!(r.metrics.steals, 0);
+    }
+
+    #[test]
+    fn sched_solve_observed_aggregates_stolen_subtree_nodes() {
+        // GET /jobs/<id> live progress must count nodes from *every*
+        // worker executing the job's stolen subtrees: the progress cell's
+        // counters are the solve's own, so the final live total equals the
+        // result's total even though pool workers did part of the work.
+        let g = gen::gnp(100, 0.6, 21);
+        let pool = SchedPool::new(3);
+        let progress = SolveProgress::new();
+        let deadline = Deadline::none();
+        let r = LazyMc::new(Config::default().with_threads(4)).solve_prepared_on(
+            &g,
+            None,
+            &deadline,
+            Some(&progress),
+            &pool.handle(),
+            TaskMeta::adhoc(),
+        );
+        assert!(r.metrics.split_tasks > 0, "must exercise stolen subtrees");
+        assert_eq!(
+            progress.nodes_expanded(),
+            r.metrics.mc_nodes + r.metrics.vc_nodes,
+            "live progress must aggregate node counts across all workers"
+        );
+        assert_eq!(progress.incumbent_size(), r.size());
     }
 
     #[test]

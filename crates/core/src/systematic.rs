@@ -23,11 +23,13 @@ use lazymc_graph::VertexId;
 use lazymc_hopscotch::HopscotchSet;
 use lazymc_intersect::{intersect_size_gt_bool, intersect_size_gt_val, intersect_size_plain};
 use lazymc_lazygraph::LazyGraph;
+use lazymc_sched::{SchedHandle, TaskMeta};
 use lazymc_solver::bitset::{BitMatrix, Bitset};
 use lazymc_solver::scratch::{Pool, SolverScratch};
 use lazymc_solver::{
-    max_clique_dense_par_live, max_clique_dense_scratch_live, max_clique_via_vc_par_live,
-    max_clique_via_vc_scratch_live, LiveNodes, McStats, VcStats,
+    max_clique_dense_par_live, max_clique_dense_sched_live, max_clique_dense_scratch_live,
+    max_clique_via_vc_par_live, max_clique_via_vc_sched_live, max_clique_via_vc_scratch_live,
+    LiveNodes, McStats, VcStats,
 };
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -138,6 +140,30 @@ impl Deadline {
     pub fn truncated(&self) -> bool {
         self.truncated.load(Ordering::Relaxed)
     }
+
+    /// The absolute expiry instant, if the deadline has a budget at all.
+    /// The service queue orders jobs by this (deadline-earliest wins a
+    /// priority tie), so the number the scheduler races against and the
+    /// number admission sorts by are one and the same.
+    pub fn expires_at(&self) -> Option<Instant> {
+        self.expires
+    }
+}
+
+/// Binding of one solve to the machine-wide scheduler: the pool handle,
+/// the identity/urgency metadata every subtree task of the job carries
+/// (so stolen subtrees keep their job's deadline and priority wherever
+/// they run), and the job's nominal width — the helper count one scope
+/// may recruit, from [`Config::sched_width`], not a reserved share:
+/// actual parallelism is whatever the pool has spare at claim time.
+#[derive(Clone)]
+pub struct JobSched {
+    /// Handle onto the machine-wide work-stealing pool.
+    pub handle: SchedHandle,
+    /// Identity + urgency stamped on every task this solve submits.
+    pub meta: TaskMeta,
+    /// Nominal intra-solve width (≥ 1); `1` never submits tasks at all.
+    pub width: usize,
 }
 
 /// Shared context of one systematic sweep, handed to every neighbourhood
@@ -154,6 +180,10 @@ pub struct SearchCtx<'a> {
     /// path); above that, the dense MC and k-VC solvers split their top
     /// branch levels into subtree tasks sharing one incumbent.
     pub solver_threads: usize,
+    /// When set, subtree tasks go to the machine-wide scheduler instead
+    /// of a job-scoped thread team, and the sweep itself becomes a
+    /// stealable scope on the same pool.
+    pub sched: Option<&'a JobSched>,
 }
 
 /// Runs `f` over `items`, split into at most `workers` contiguous chunks
@@ -164,7 +194,12 @@ pub struct SearchCtx<'a> {
 /// (subtree-level splitting); otherwise solves stay sequential inside
 /// and the vertices themselves fan out. This is the "split only when
 /// fewer pending vertices than idle workers" rule.
-fn sweep_parallel(items: Vec<VertexId>, workers: usize, f: impl Fn(VertexId, usize) + Sync) {
+fn sweep_parallel(
+    items: Vec<VertexId>,
+    workers: usize,
+    sched: Option<&JobSched>,
+    f: impl Fn(VertexId, usize) + Sync,
+) {
     let pending = items.len();
     if pending == 0 {
         return;
@@ -178,6 +213,15 @@ fn sweep_parallel(items: Vec<VertexId>, workers: usize, f: impl Fn(VertexId, usi
         for v in items {
             f(v, inner);
         }
+        return;
+    }
+    if let Some(js) = sched {
+        // The level's vertices become claimable units of one scope on the
+        // machine-wide pool: idle workers of *any* job steal them, and the
+        // scope owner claims alongside, so a level never waits on pool
+        // capacity — `threads = 1` capacity degenerates to the loop above.
+        js.handle
+            .scope(js.meta, workers - 1, pending, &|_sc, i| f(items[i], inner));
         return;
     }
     // `for_each` distributes the items itself (the vendored shim chunks
@@ -197,8 +241,31 @@ pub fn systematic_search(
     counters: &Counters,
     deadline: &Deadline,
 ) {
+    systematic_search_on(lg, levels, degeneracy, cfg, inc, counters, deadline, None)
+}
+
+/// [`systematic_search`] bound to the machine-wide scheduler: both the
+/// level sweeps and the intra-solve subtree splits run as stealable
+/// tasks carrying the job's deadline and priority. `None` keeps the
+/// job-scoped rayon path.
+#[allow(clippy::too_many_arguments)]
+pub fn systematic_search_on(
+    lg: &LazyGraph<'_>,
+    levels: &[(u32, u32)],
+    degeneracy: u32,
+    cfg: &Config,
+    inc: &Incumbent,
+    counters: &Counters,
+    deadline: &Deadline,
+    sched: Option<&JobSched>,
+) {
     let deg = degeneracy as usize;
-    let workers = rayon::current_num_threads().max(1);
+    // Capacity is a property of the pool the job runs on, queried here —
+    // not a static per-job share.
+    let workers = match sched {
+        Some(js) => js.width.max(1),
+        None => rayon::current_num_threads().max(1),
+    };
     // Phase 1: one probe per degeneracy level, from the incumbent level up.
     // Probed vertices are remembered so the main sweep does not search the
     // same right-neighbourhood twice.
@@ -220,7 +287,7 @@ pub fn systematic_search(
                 })
             })
             .collect();
-        sweep_parallel(probes, workers, |v, inner| {
+        sweep_parallel(probes, workers, sched, |v, inner| {
             if !deadline.should_skip() {
                 let ctx = SearchCtx {
                     cfg,
@@ -228,6 +295,7 @@ pub fn systematic_search(
                     counters,
                     deadline,
                     solver_threads: inner,
+                    sched,
                 };
                 neighbor_search(lg, v, &ctx);
             }
@@ -243,7 +311,7 @@ pub fn systematic_search(
         let vs: Vec<VertexId> = (start..end)
             .filter(|&v| probed.is_empty() || !probed[v as usize].load(Ordering::Relaxed))
             .collect();
-        sweep_parallel(vs, workers, |v, inner| {
+        sweep_parallel(vs, workers, sched, |v, inner| {
             // Re-check against the *current* incumbent: it may have grown
             // since the level test.
             if (lg.coreness(v) as usize) >= inc.size() && !deadline.should_skip() {
@@ -253,6 +321,7 @@ pub fn systematic_search(
                     counters,
                     deadline,
                     solver_threads: inner,
+                    sched,
                 };
                 neighbor_search(lg, v, &ctx);
             }
@@ -278,6 +347,7 @@ fn neighbor_search_scratch(
         counters,
         deadline,
         solver_threads,
+        sched,
     } = *ctx;
     let t0 = Instant::now();
     let cstar = inc.size();
@@ -391,6 +461,11 @@ fn neighbor_search_scratch(
     // kernels; above that, the engines split their top branch levels into
     // subtree tasks against a shared incumbent.
     let threads = solver_threads.max(1);
+    // Scheduler-run solves poll this once per claimed subtree task, so a
+    // deadline trip or cancellation drains every stolen subtree of the
+    // job wherever it is executing.
+    let stop = || deadline.should_skip();
+    let stop: Option<lazymc_solver::StopFn<'_>> = Some(&stop);
     let t1 = Instant::now();
     let clique = &mut scr.solver.clique;
     let found = if density > cfg.density_threshold {
@@ -404,8 +479,20 @@ fn neighbor_search_scratch(
         // reduction removed vertices.
         let r = if scr.within.len() < nn {
             compact_matrix_into(adj, &scr.within, &mut scr.small, &mut scr.map);
-            let found = if threads > 1 {
-                max_clique_via_vc_par_live(
+            let found = match sched {
+                Some(js) if threads > 1 => max_clique_via_vc_sched_live(
+                    &scr.small,
+                    lb,
+                    &js.handle,
+                    js.meta,
+                    threads,
+                    stop,
+                    Some(&mut st),
+                    &mut scr.solver.vc,
+                    clique,
+                    live,
+                ),
+                _ if threads > 1 => max_clique_via_vc_par_live(
                     &scr.small,
                     lb,
                     threads,
@@ -413,16 +500,15 @@ fn neighbor_search_scratch(
                     &mut scr.solver.vc,
                     clique,
                     live,
-                )
-            } else {
-                max_clique_via_vc_scratch_live(
+                ),
+                _ => max_clique_via_vc_scratch_live(
                     &scr.small,
                     lb,
                     Some(&mut st),
                     &mut scr.solver.vc,
                     clique,
                     live,
-                )
+                ),
             };
             if found {
                 // translate compacted indices back to positions in n3
@@ -431,18 +517,38 @@ fn neighbor_search_scratch(
                 }
             }
             found
-        } else if threads > 1 {
-            max_clique_via_vc_par_live(
-                adj,
-                lb,
-                threads,
-                Some(&mut st),
-                &mut scr.solver.vc,
-                clique,
-                live,
-            )
         } else {
-            max_clique_via_vc_scratch_live(adj, lb, Some(&mut st), &mut scr.solver.vc, clique, live)
+            match sched {
+                Some(js) if threads > 1 => max_clique_via_vc_sched_live(
+                    adj,
+                    lb,
+                    &js.handle,
+                    js.meta,
+                    threads,
+                    stop,
+                    Some(&mut st),
+                    &mut scr.solver.vc,
+                    clique,
+                    live,
+                ),
+                _ if threads > 1 => max_clique_via_vc_par_live(
+                    adj,
+                    lb,
+                    threads,
+                    Some(&mut st),
+                    &mut scr.solver.vc,
+                    clique,
+                    live,
+                ),
+                _ => max_clique_via_vc_scratch_live(
+                    adj,
+                    lb,
+                    Some(&mut st),
+                    &mut scr.solver.vc,
+                    clique,
+                    live,
+                ),
+            }
         };
         counters.add(&counters.vc_nodes, st.nodes - st.sampled);
         counters.add(&counters.vc_reductions, st.reductions);
@@ -455,10 +561,29 @@ fn neighbor_search_scratch(
         counters.add(&counters.searched_mc, 1);
         let mut st = McStats::default();
         let live = LiveNodes::new(&counters.mc_nodes);
-        let r = if threads > 1 {
-            max_clique_dense_par_live(adj, &scr.within, lb, threads, Some(&mut st), clique, live)
-        } else {
-            max_clique_dense_scratch_live(
+        let r = match sched {
+            Some(js) if threads > 1 => max_clique_dense_sched_live(
+                adj,
+                &scr.within,
+                lb,
+                &js.handle,
+                js.meta,
+                threads,
+                stop,
+                Some(&mut st),
+                clique,
+                live,
+            ),
+            _ if threads > 1 => max_clique_dense_par_live(
+                adj,
+                &scr.within,
+                lb,
+                threads,
+                Some(&mut st),
+                clique,
+                live,
+            ),
+            _ => max_clique_dense_scratch_live(
                 adj,
                 &scr.within,
                 lb,
@@ -466,7 +591,7 @@ fn neighbor_search_scratch(
                 &mut scr.solver.mc,
                 clique,
                 live,
-            )
+            ),
         };
         counters.add(&counters.mc_nodes, st.nodes - st.sampled);
         counters.add(&counters.split_tasks, st.split_tasks);
@@ -819,6 +944,7 @@ mod tests {
                 counters: &counters,
                 deadline: &deadline,
                 solver_threads: 4,
+                sched: None,
             };
             neighbor_search(&f.lg, v, &ctx);
         }
@@ -829,6 +955,81 @@ mod tests {
             snap.split_tasks > 0,
             "dense neighbourhoods at 4 threads must generate subtree tasks"
         );
+    }
+
+    #[test]
+    fn sched_driven_sweep_splits_and_agrees() {
+        // The same dense instance, but with the sweep and the subtree
+        // splits running as stealable tasks on a shared pool instead of a
+        // job-scoped rayon team: ω must match, and the subtree drivers
+        // must actually engage (split tasks recorded).
+        let g = gen::gnp(100, 0.6, 42);
+        let expected = crate::solve(&g).size();
+        let pool = lazymc_sched::Pool::new(3);
+        let js = JobSched {
+            handle: pool.handle(),
+            meta: lazymc_sched::TaskMeta::adhoc(),
+            width: 4,
+        };
+        let kc = kcore_sequential(&g);
+        let ord = coreness_degree_order(&g, &kc.coreness);
+        let inc = Incumbent::new();
+        let (u, v) = g.edges().next().unwrap();
+        inc.offer(&[u, v]);
+        let f = fixture(&g, &ord, &kc.coreness, kc.degeneracy, &inc);
+        let counters = Counters::default();
+        let cfg = Config::default();
+        let deadline = Deadline::none();
+        for v in 0..g.num_vertices() as u32 {
+            let ctx = SearchCtx {
+                cfg: &cfg,
+                inc: &inc,
+                counters: &counters,
+                deadline: &deadline,
+                solver_threads: 4,
+                sched: Some(&js),
+            };
+            neighbor_search(&f.lg, v, &ctx);
+        }
+        assert_eq!(inc.size(), expected, "scheduler must not change ω");
+        assert!(g.is_clique(&inc.clique()));
+        let snap = crate::metrics::snapshot_counters(&counters);
+        assert!(
+            snap.split_tasks > 0,
+            "dense neighbourhoods on the pool must generate subtree tasks"
+        );
+    }
+
+    #[test]
+    fn sched_full_sweep_matches_plain() {
+        // systematic_search_on with a pool binding: whole levels fan out
+        // as scope units; ω matches the rayon path.
+        let g = gen::dense_overlap(120, 15, 8, 14, 0.15, 9);
+        let expected = solve_systematic(&g);
+        let pool = lazymc_sched::Pool::new(2);
+        let js = JobSched {
+            handle: pool.handle(),
+            meta: lazymc_sched::TaskMeta::adhoc(),
+            width: 3,
+        };
+        let kc = kcore_sequential(&g);
+        let ord = coreness_degree_order(&g, &kc.coreness);
+        let inc = Incumbent::new();
+        inc.offer(&[0]);
+        let f = fixture(&g, &ord, &kc.coreness, kc.degeneracy, &inc);
+        let counters = Counters::default();
+        systematic_search_on(
+            &f.lg,
+            &f.levels,
+            f.degeneracy,
+            &Config::default(),
+            &inc,
+            &counters,
+            &Deadline::none(),
+            Some(&js),
+        );
+        assert_eq!(inc.size(), expected);
+        assert!(g.is_clique(&inc.clique()));
     }
 
     #[test]
@@ -854,6 +1055,7 @@ mod tests {
                     counters: &counters,
                     deadline: &deadline,
                     solver_threads: 1,
+                    sched: None,
                 };
                 neighbor_search(&f.lg, v, &ctx);
             }

@@ -1,0 +1,998 @@
+//! One machine-wide work-stealing pool shared by every running solve.
+//!
+//! Before this crate the daemon's parallelism was siloed: N solver workers
+//! each owned one job, and intra-solve subtree splitting could only use
+//! that job's private thread share. Here every unit of work — a root solve
+//! job popped from the service queue, or one subtree of a running solve's
+//! branch-and-bound tree — lands in the *same* scheduler, so a lone hard
+//! query soaks every idle core and a burst of easy queries is never
+//! starved behind it.
+//!
+//! Shape (the classic work-stealing trio, dependency-free):
+//!
+//! * **per-worker LIFO deques** — a scope's subtree tickets go to the
+//!   deque of the worker that created the scope; the owner keeps working
+//!   depth-first while idle workers steal *half* the deque from the front
+//!   (oldest, outermost, biggest subtrees first).
+//! * **a global injector** — a priority heap ordered by [`TaskKey`]
+//!   (priority desc, deadline-earliest, then FIFO). Tickets published from
+//!   non-worker threads and preempted tickets land here.
+//! * **park/unpark via eventfd** — an idle worker parks on its own
+//!   [`lazymc_netio::Wakeup`] doorbell through epoll; pushes poke exactly
+//!   as many parked workers as there is new work.
+//!
+//! Work is *claimed*, not moved: a scope is a shared counter over `units`
+//! bodies, and a ticket is an invitation for one worker to join the claim
+//! loop. That keeps the hot path allocation-free for the solver kernels
+//! (claims are a CAS; task payloads stay in the owner's pooled arenas) and
+//! makes cancellation trivial — a tripped solve drains at claim speed, and
+//! stale tickets of a finished scope are discarded on pop without ever
+//! touching the (long gone) scope body.
+//!
+//! Between claims a helper re-checks the pool for strictly more urgent
+//! work (an earlier-deadline job or scope). If it finds any, it re-posts
+//! its ticket to the injector and returns to the main loop, so a burst of
+//! short-deadline queries preempts a long solve at subtree granularity —
+//! the scheduler-level form of the paper's work-avoidance discipline.
+
+use lazymc_netio::{Events, Interest, Poller, Wakeup};
+use std::cell::Cell;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Identity and urgency of one job's work, carried by every task the job
+/// submits (root solve and stolen subtrees alike).
+#[derive(Clone, Copy, Debug)]
+pub struct TaskMeta {
+    /// Stable id of the owning job (service job id, or 0 for ad-hoc work).
+    pub job_id: u64,
+    /// Absolute deadline, if the job has a budget. Earlier drains first.
+    pub deadline: Option<Instant>,
+    /// Larger is more urgent; compared before deadlines.
+    pub priority: u8,
+}
+
+impl TaskMeta {
+    /// Metadata for work with no job identity, no deadline, and default
+    /// priority — CLI solves and tests.
+    pub fn adhoc() -> TaskMeta {
+        TaskMeta {
+            job_id: 0,
+            deadline: None,
+            priority: 0,
+        }
+    }
+}
+
+/// Total drain order of the scheduler: priority (desc), then
+/// deadline-earliest (a budgeted task beats an unbudgeted one at equal
+/// priority), then submission order. `Ord` is "urgency": the maximum of a
+/// heap of keys is the task to run next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskKey {
+    pub priority: u8,
+    pub deadline: Option<Instant>,
+    pub seq: u64,
+}
+
+impl TaskKey {
+    pub fn new(priority: u8, deadline: Option<Instant>, seq: u64) -> TaskKey {
+        TaskKey {
+            priority,
+            deadline,
+            seq,
+        }
+    }
+}
+
+impl Ord for TaskKey {
+    fn cmp(&self, other: &TaskKey) -> CmpOrdering {
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| match (self.deadline, other.deadline) {
+                // Earlier deadline = more urgent; having a deadline at all
+                // beats not having one.
+                (Some(a), Some(b)) => b.cmp(&a),
+                (Some(_), None) => CmpOrdering::Greater,
+                (None, Some(_)) => CmpOrdering::Less,
+                (None, None) => CmpOrdering::Equal,
+            })
+            // Smaller seq (older) = more urgent. Seqs from different
+            // domains (pool scopes vs the service queue) only break ties
+            // between otherwise equal keys; any consistent order is fine.
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for TaskKey {
+    fn partial_cmp(&self, other: &TaskKey) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A root task handed to the pool by the [`JobSource`]: one whole solve.
+pub struct Job {
+    pub key: TaskKey,
+    pub run: Box<dyn FnOnce() + Send>,
+}
+
+/// Where root jobs come from. The service implements this over its
+/// bounded priority queue; the pool compares [`JobSource::peek`] against
+/// the injector's top so root jobs and stolen subtrees drain in one
+/// deadline-earliest order.
+pub trait JobSource: Send + Sync {
+    /// Urgency of the next job, if any (must be cheap; called per idle
+    /// scan).
+    fn peek(&self) -> Option<TaskKey>;
+    /// Takes the next job. May return `None` on a race with another
+    /// worker.
+    fn take(&self) -> Option<Job>;
+}
+
+// ---------------------------------------------------------------------------
+// Scope: a claimable batch of work units
+// ---------------------------------------------------------------------------
+
+/// Type of a scope body behind the erased pointer in [`ScopeCore`].
+type BodyFn = dyn Fn(&Scope<'_>, usize) + Sync;
+
+/// Shared state of one scope: `limit` units of work, claimed by CAS on
+/// `next`, completion detected as `done == limit`.
+///
+/// The body pointer's lifetime is erased. Safety argument, load-bearing:
+/// [`SchedHandle::scope`] does not return until `done == limit`. A unit
+/// counts into `done` only after its body invocation returned, and `limit`
+/// only grows from *running* bodies (via [`Scope::publish`]), so
+/// `done == limit` implies no body is running and no claim can ever
+/// succeed again (`next >= limit`, and `limit` is final). A stale ticket
+/// popped later observes `next >= limit` and is discarded without
+/// dereferencing `body`.
+struct ScopeCore {
+    key: TaskKey,
+    next: AtomicUsize,
+    limit: AtomicUsize,
+    done: AtomicUsize,
+    /// Maximum helpers that should join (ticket top-up bound).
+    helpers: usize,
+    /// Tickets currently sitting in deques/injector (approximate).
+    tickets: AtomicUsize,
+    panicked: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+    body: *const BodyFn,
+}
+
+// SAFETY: all fields are Sync except `body`, which is a shared `&(dyn Fn +
+// Sync)` with its lifetime erased; the completion protocol documented on
+// the struct guarantees it is only dereferenced while the owning
+// `scope()` frame is alive.
+unsafe impl Send for ScopeCore {}
+unsafe impl Sync for ScopeCore {}
+
+impl ScopeCore {
+    /// Claims the next unclaimed unit, if any.
+    fn claim(&self) -> Option<usize> {
+        let mut cur = self.next.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.limit.load(Ordering::Acquire) {
+                return None;
+            }
+            match self
+                .next
+                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => return Some(cur),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Units published but not yet claimed.
+    fn unclaimed(&self) -> usize {
+        self.limit
+            .load(Ordering::Acquire)
+            .saturating_sub(self.next.load(Ordering::Relaxed))
+    }
+
+    fn complete(&self) -> bool {
+        self.done.load(Ordering::Acquire) >= self.limit.load(Ordering::Acquire)
+    }
+}
+
+/// Handle a scope body receives: lets a running unit query the pool for
+/// idle capacity and grow its own scope (re-split) in response.
+pub struct Scope<'a> {
+    core: &'a Arc<ScopeCore>,
+    pool: &'a Arc<PoolInner>,
+    is_helper: bool,
+}
+
+impl Scope<'_> {
+    /// Whether this unit runs on a worker other than the scope's creator —
+    /// i.e. the subtree actually migrated ("a steal", in solver stats).
+    pub fn is_helper(&self) -> bool {
+        self.is_helper
+    }
+
+    /// Workers not currently executing work: the pool's spare capacity
+    /// right now. Bodies use this to decide whether re-splitting is worth
+    /// the task-generation cost.
+    pub fn idle_workers(&self) -> usize {
+        self.pool.idle_workers()
+    }
+
+    /// Grows the scope by `extra` units (the body will be invoked with the
+    /// new indices) and tops up helper tickets. Only meaningful from a
+    /// running body — this is the re-split hook.
+    pub fn publish(&self, extra: usize) {
+        if extra == 0 {
+            return;
+        }
+        self.core.limit.fetch_add(extra, Ordering::AcqRel);
+        // The owner may already be parked in its wait loop; new units are
+        // claimable work for it.
+        {
+            let _g = self.core.lock.lock().unwrap();
+            self.core.cv.notify_all();
+        }
+        self.pool.top_up_tickets(self.core);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool
+// ---------------------------------------------------------------------------
+
+/// Worker-side state: the LIFO deque, the parking doorbell, and the busy
+/// accounting behind `lazymc_sched_thread_efficiency`.
+struct WorkerSlot {
+    deque: Mutex<VecDeque<Arc<ScopeCore>>>,
+    wakeup: Wakeup,
+    parked: AtomicBool,
+    /// Nanoseconds spent executing task bodies (waits excluded).
+    busy_ns: AtomicU64,
+    /// Nanoseconds spent waiting *inside* a task (scope owner waits);
+    /// subtracted from wall time by the run wrappers. Only the owning
+    /// thread writes this.
+    task_idle_ns: AtomicU64,
+}
+
+/// Injector entry; ordered by scope urgency.
+struct Injected(Arc<ScopeCore>);
+
+impl PartialEq for Injected {
+    fn eq(&self, other: &Injected) -> bool {
+        self.0.key == other.0.key
+    }
+}
+impl Eq for Injected {}
+impl PartialOrd for Injected {
+    fn partial_cmp(&self, other: &Injected) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Injected {
+    fn cmp(&self, other: &Injected) -> CmpOrdering {
+        self.0.key.cmp(&other.0.key)
+    }
+}
+
+struct PoolInner {
+    slots: Vec<WorkerSlot>,
+    injector: Mutex<BinaryHeap<Injected>>,
+    source: Mutex<Option<Arc<dyn JobSource>>>,
+    seq: AtomicU64,
+    /// Workers currently executing a job or scope unit.
+    running: AtomicUsize,
+    shutdown: AtomicBool,
+    steals: AtomicU64,
+    parks: AtomicU64,
+    unit_runs: AtomicU64,
+    job_runs: AtomicU64,
+    preemptions: AtomicU64,
+}
+
+thread_local! {
+    /// (pool identity, worker index) of the current thread, when it is a
+    /// pool worker. Lets `scope()` distinguish "push tickets to my own
+    /// deque" from "inject" and routes wait-time accounting to the right
+    /// slot.
+    static CTX: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+impl PoolInner {
+    fn ident(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    /// Worker index of the current thread on *this* pool, if any.
+    fn my_worker(self: &Arc<Self>) -> Option<usize> {
+        CTX.with(|c| match c.get() {
+            Some((pool, idx)) if pool == self.ident() => Some(idx),
+            _ => None,
+        })
+    }
+
+    fn idle_workers(&self) -> usize {
+        self.slots
+            .len()
+            .saturating_sub(self.running.load(Ordering::Relaxed))
+    }
+
+    /// Wakes up to `n` parked workers.
+    fn wake_workers(&self, n: usize) {
+        let mut woken = 0;
+        for slot in &self.slots {
+            if woken >= n {
+                break;
+            }
+            if slot.parked.swap(false, Ordering::SeqCst) {
+                slot.wakeup.notify();
+                woken += 1;
+            }
+        }
+    }
+
+    /// Publishes `n` tickets for `core`: to the current worker's own deque
+    /// when called from a pool worker (owner keeps locality; thieves
+    /// steal), otherwise to the injector.
+    fn push_tickets(self: &Arc<Self>, core: &Arc<ScopeCore>, n: usize) {
+        if n == 0 {
+            return;
+        }
+        core.tickets.fetch_add(n, Ordering::Relaxed);
+        match self.my_worker() {
+            Some(idx) => {
+                let mut dq = self.slots[idx].deque.lock().unwrap();
+                for _ in 0..n {
+                    dq.push_back(core.clone());
+                }
+            }
+            None => {
+                let mut inj = self.injector.lock().unwrap();
+                for _ in 0..n {
+                    inj.push(Injected(core.clone()));
+                }
+            }
+        }
+        self.wake_workers(n);
+    }
+
+    /// Tops tickets up to `min(helpers, unclaimed units)` after a publish.
+    fn top_up_tickets(self: &Arc<Self>, core: &Arc<ScopeCore>) {
+        let want = core.helpers.min(core.unclaimed());
+        let have = core.tickets.load(Ordering::Relaxed);
+        if want > have {
+            self.push_tickets(core, want - have);
+        }
+    }
+
+    /// Whether the pool holds work strictly more urgent than `key`
+    /// (injector top or next root job). Drives helper preemption.
+    fn more_urgent_than(&self, key: &TaskKey) -> bool {
+        {
+            let inj = self.injector.lock().unwrap();
+            if let Some(top) = inj.peek() {
+                if top.0.key > *key {
+                    return true;
+                }
+            }
+        }
+        if self.shutdown.load(Ordering::Relaxed) {
+            return false;
+        }
+        let src = self.source.lock().unwrap().clone();
+        if let Some(src) = src {
+            if let Some(sk) = src.peek() {
+                return sk > *key;
+            }
+        }
+        false
+    }
+
+    /// Anything runnable anywhere? (Park-side recheck.)
+    fn has_work(&self) -> bool {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return true; // wake to observe shutdown
+        }
+        if self
+            .slots
+            .iter()
+            .any(|s| !s.deque.lock().unwrap().is_empty())
+        {
+            return true;
+        }
+        if !self.injector.lock().unwrap().is_empty() {
+            return true;
+        }
+        let src = self.source.lock().unwrap().clone();
+        src.is_some_and(|s| s.peek().is_some())
+    }
+}
+
+/// What a global scan picked: a subtree ticket or a whole root job.
+enum Picked {
+    Ticket(Arc<ScopeCore>),
+    Job(Job),
+}
+
+/// Cloneable handle to the pool: scope submission, capacity queries,
+/// source wiring, metrics. This is what `crates/core` threads through a
+/// solve in place of the old static `solver_threads` share.
+#[derive(Clone)]
+pub struct SchedHandle {
+    inner: Arc<PoolInner>,
+}
+
+impl SchedHandle {
+    /// Number of pool workers.
+    pub fn workers(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Workers not currently executing work — the capacity query behind
+    /// split decisions.
+    pub fn idle_workers(&self) -> usize {
+        self.inner.idle_workers()
+    }
+
+    /// Wires the root-job source (service queue). Call once at startup.
+    pub fn set_source(&self, source: Arc<dyn JobSource>) {
+        *self.inner.source.lock().unwrap() = Some(source);
+    }
+
+    /// Pokes a parked worker after the source gained a job.
+    pub fn notify_source(&self) {
+        self.inner.wake_workers(1);
+    }
+
+    /// Runs `units` invocations of `body` (indices `0..units`, plus any
+    /// grown via [`Scope::publish`]) across the calling thread and up to
+    /// `max_helpers` pool workers; returns when all are complete. The
+    /// caller always participates — completion never depends on pool
+    /// capacity — and drives its own scope without preemption, while
+    /// helpers between claims yield to strictly more urgent pool work.
+    ///
+    /// `meta` orders this scope's tickets against every other job in the
+    /// machine. Bodies run concurrently and must be `Sync`; a panicking
+    /// body poisons the scope (remaining units are skipped) and the panic
+    /// resurfaces here after all in-flight units finish.
+    pub fn scope(
+        &self,
+        meta: TaskMeta,
+        max_helpers: usize,
+        units: usize,
+        body: &(dyn Fn(&Scope<'_>, usize) + Sync),
+    ) {
+        if units == 0 {
+            return;
+        }
+        let inner = &self.inner;
+        let key = TaskKey::new(
+            meta.priority,
+            meta.deadline,
+            inner.seq.fetch_add(1, Ordering::Relaxed),
+        );
+        // A worker calling scope() occupies its own slot; only the other
+        // workers can help.
+        let avail = match inner.my_worker() {
+            Some(_) => inner.slots.len().saturating_sub(1),
+            None => inner.slots.len(),
+        };
+        let helpers = max_helpers.min(avail).min(units.saturating_sub(1));
+        // SAFETY: lifetime erasure justified by the completion protocol on
+        // `ScopeCore` — this frame outlives every dereference.
+        let body_static: &'static BodyFn = unsafe { std::mem::transmute(body) };
+        let core = Arc::new(ScopeCore {
+            key,
+            next: AtomicUsize::new(0),
+            limit: AtomicUsize::new(units),
+            done: AtomicUsize::new(0),
+            helpers,
+            tickets: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            body: body_static as *const BodyFn,
+        });
+        if helpers > 0 {
+            inner.push_tickets(&core, helpers);
+        }
+        let scope = Scope {
+            core: &core,
+            pool: inner,
+            is_helper: false,
+        };
+        loop {
+            while let Some(i) = run_claimed(inner, &core, &scope) {
+                let _ = i;
+            }
+            let mut g = core.lock.lock().unwrap();
+            if core.complete() {
+                break;
+            }
+            // Claimable units may appear (publish) or everything may
+            // finish while we slept; the timeout is belt-and-braces.
+            let t0 = Instant::now();
+            let (g2, _) = core.cv.wait_timeout(g, Duration::from_millis(50)).unwrap();
+            g = g2;
+            drop(g);
+            let waited = t0.elapsed().as_nanos() as u64;
+            if let Some(idx) = inner.my_worker() {
+                inner.slots[idx]
+                    .task_idle_ns
+                    .fetch_add(waited, Ordering::Relaxed);
+            }
+        }
+        if core.panicked.load(Ordering::Relaxed) {
+            panic!("sched scope body panicked");
+        }
+    }
+
+    /// Pool-wide counters and per-worker busy time, for `/metrics`.
+    pub fn metrics(&self) -> SchedMetrics {
+        let inner = &self.inner;
+        SchedMetrics {
+            workers: inner
+                .slots
+                .iter()
+                .map(|s| WorkerMetrics {
+                    busy_ns: s.busy_ns.load(Ordering::Relaxed),
+                })
+                .collect(),
+            steals: inner.steals.load(Ordering::Relaxed),
+            parks: inner.parks.load(Ordering::Relaxed),
+            unit_runs: inner.unit_runs.load(Ordering::Relaxed),
+            job_runs: inner.job_runs.load(Ordering::Relaxed),
+            preemptions: inner.preemptions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of scheduler counters (monotonic since pool start).
+pub struct SchedMetrics {
+    pub workers: Vec<WorkerMetrics>,
+    /// Tickets taken from another worker's deque.
+    pub steals: u64,
+    /// Times a worker parked on its doorbell.
+    pub parks: u64,
+    /// Scope units executed.
+    pub unit_runs: u64,
+    /// Root jobs executed.
+    pub job_runs: u64,
+    /// Times a helper re-posted its ticket for more urgent work.
+    pub preemptions: u64,
+}
+
+pub struct WorkerMetrics {
+    pub busy_ns: u64,
+}
+
+/// The pool itself: owns the worker threads. Dropping (or calling
+/// [`Pool::shutdown`]) stops the workers after in-flight work completes.
+pub struct Pool {
+    inner: Arc<PoolInner>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `workers` (≥ 1) pool threads named `lazymc-sched-<i>`.
+    pub fn new(workers: usize) -> Pool {
+        let workers = workers.max(1);
+        let slots = (0..workers)
+            .map(|_| WorkerSlot {
+                deque: Mutex::new(VecDeque::new()),
+                wakeup: Wakeup::new().expect("eventfd"),
+                parked: AtomicBool::new(false),
+                busy_ns: AtomicU64::new(0),
+                task_idle_ns: AtomicU64::new(0),
+            })
+            .collect();
+        let inner = Arc::new(PoolInner {
+            slots,
+            injector: Mutex::new(BinaryHeap::new()),
+            source: Mutex::new(None),
+            seq: AtomicU64::new(0),
+            running: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            unit_runs: AtomicU64::new(0),
+            job_runs: AtomicU64::new(0),
+            preemptions: AtomicU64::new(0),
+        });
+        let threads = (0..workers)
+            .map(|idx| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("lazymc-sched-{idx}"))
+                    .spawn(move || worker_main(inner, idx))
+                    .expect("spawn sched worker")
+            })
+            .collect();
+        Pool { inner, threads }
+    }
+
+    pub fn handle(&self) -> SchedHandle {
+        SchedHandle {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Stops accepting root jobs, drains queued tickets, and joins the
+    /// workers. Scopes whose owners are still running complete regardless
+    /// (owners self-drive).
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for slot in &self.inner.slots {
+            slot.parked.store(false, Ordering::SeqCst);
+            slot.wakeup.notify();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker loop
+// ---------------------------------------------------------------------------
+
+/// Claims and runs one unit of `core`, with busy accounting and panic
+/// capture. Returns the index run, or `None` when nothing was claimable.
+fn run_claimed(inner: &Arc<PoolInner>, core: &Arc<ScopeCore>, scope: &Scope<'_>) -> Option<usize> {
+    let i = core.claim()?;
+    inner.unit_runs.fetch_add(1, Ordering::Relaxed);
+    if !core.panicked.load(Ordering::Relaxed) {
+        // SAFETY: a successful claim (i < limit) means the owner's
+        // `scope()` frame — and therefore the body — is still alive; see
+        // `ScopeCore`.
+        let body = unsafe { &*core.body };
+        if catch_unwind(AssertUnwindSafe(|| body(scope, i))).is_err() {
+            core.panicked.store(true, Ordering::Relaxed);
+        }
+    }
+    let prev = core.done.fetch_add(1, Ordering::AcqRel);
+    if prev + 1 >= core.limit.load(Ordering::Acquire) {
+        let _g = core.lock.lock().unwrap();
+        core.cv.notify_all();
+    }
+    Some(i)
+}
+
+/// Runs a popped ticket as a helper: joins `core`'s claim loop until it
+/// drains, yielding back to the main loop if strictly more urgent work
+/// appears in the pool.
+fn run_ticket(inner: &Arc<PoolInner>, idx: usize, core: Arc<ScopeCore>) {
+    core.tickets.fetch_sub(1, Ordering::Relaxed);
+    inner.running.fetch_add(1, Ordering::Relaxed);
+    let slot = &inner.slots[idx];
+    let t0 = Instant::now();
+    let idle0 = slot.task_idle_ns.load(Ordering::Relaxed);
+    let scope = Scope {
+        core: &core,
+        pool: inner,
+        is_helper: true,
+    };
+    loop {
+        if core.unclaimed() == 0 {
+            break;
+        }
+        if inner.more_urgent_than(&core.key) {
+            // Re-post the invitation so someone returns to this scope
+            // after the urgent work, and go handle the urgent work.
+            inner.preemptions.fetch_add(1, Ordering::Relaxed);
+            core.tickets.fetch_add(1, Ordering::Relaxed);
+            inner.injector.lock().unwrap().push(Injected(core.clone()));
+            break;
+        }
+        if run_claimed(inner, &core, &scope).is_none() {
+            break;
+        }
+    }
+    inner.running.fetch_sub(1, Ordering::Relaxed);
+    let idle = slot.task_idle_ns.load(Ordering::Relaxed) - idle0;
+    let busy = (t0.elapsed().as_nanos() as u64).saturating_sub(idle);
+    slot.busy_ns.fetch_add(busy, Ordering::Relaxed);
+}
+
+/// Runs a root job popped from the source.
+fn run_job(inner: &Arc<PoolInner>, idx: usize, job: Job) {
+    inner.job_runs.fetch_add(1, Ordering::Relaxed);
+    inner.running.fetch_add(1, Ordering::Relaxed);
+    let slot = &inner.slots[idx];
+    let t0 = Instant::now();
+    let idle0 = slot.task_idle_ns.load(Ordering::Relaxed);
+    // Job bodies (service solves) catch their own panics; this is the
+    // backstop that keeps a worker alive either way.
+    let _ = catch_unwind(AssertUnwindSafe(job.run));
+    inner.running.fetch_sub(1, Ordering::Relaxed);
+    let idle = slot.task_idle_ns.load(Ordering::Relaxed) - idle0;
+    let busy = (t0.elapsed().as_nanos() as u64).saturating_sub(idle);
+    slot.busy_ns.fetch_add(busy, Ordering::Relaxed);
+}
+
+/// One global scan: the more urgent of injector top vs next root job.
+/// Root jobs are only ever started here (the worker main loop), never
+/// from inside a scope, so a solve cannot nest inside another solve.
+fn pick_global(inner: &Arc<PoolInner>) -> Option<Picked> {
+    let shutdown = inner.shutdown.load(Ordering::Relaxed);
+    let mut inj = inner.injector.lock().unwrap();
+    let ikey = inj.peek().map(|t| t.0.key);
+    let src = if shutdown {
+        None
+    } else {
+        inner.source.lock().unwrap().clone()
+    };
+    let skey = src.as_ref().and_then(|s| s.peek());
+    match (ikey, skey) {
+        (None, None) => None,
+        (Some(_), None) => inj.pop().map(|t| Picked::Ticket(t.0)),
+        (None, Some(_)) => {
+            drop(inj);
+            src.and_then(|s| s.take()).map(Picked::Job)
+        }
+        (Some(ik), Some(sk)) => {
+            if ik >= sk {
+                inj.pop().map(|t| Picked::Ticket(t.0))
+            } else {
+                drop(inj);
+                src.and_then(|s| s.take()).map(Picked::Job)
+            }
+        }
+    }
+}
+
+/// Steals half of some other worker's deque (from the front: oldest,
+/// outermost tickets), keeping the first for immediate execution.
+fn steal_half(inner: &Arc<PoolInner>, idx: usize) -> Option<Arc<ScopeCore>> {
+    let n = inner.slots.len();
+    for off in 1..n {
+        let victim = (idx + off) % n;
+        let mut grabbed = {
+            let mut dq = inner.slots[victim].deque.lock().unwrap();
+            if dq.is_empty() {
+                continue;
+            }
+            let take = dq.len().div_ceil(2);
+            dq.drain(..take).collect::<Vec<_>>()
+        };
+        inner
+            .steals
+            .fetch_add(grabbed.len() as u64, Ordering::Relaxed);
+        let first = grabbed.remove(0);
+        if !grabbed.is_empty() {
+            let mut dq = inner.slots[idx].deque.lock().unwrap();
+            dq.extend(grabbed);
+        }
+        return Some(first);
+    }
+    None
+}
+
+fn worker_main(inner: Arc<PoolInner>, idx: usize) {
+    CTX.with(|c| c.set(Some((Arc::as_ptr(&inner) as usize, idx))));
+    let poller = Poller::new().expect("epoll");
+    poller
+        .register(inner.slots[idx].wakeup.fd(), 0, Interest::READ)
+        .expect("register doorbell");
+    let mut events = Events::with_capacity(4);
+    loop {
+        // 1. Own deque, LIFO (newest ticket: deepest, cache-hot).
+        let mine = inner.slots[idx].deque.lock().unwrap().pop_back();
+        if let Some(core) = mine {
+            run_ticket(&inner, idx, core);
+            continue;
+        }
+        // 2. Global order: injector vs root-job source, deadline-earliest.
+        match pick_global(&inner) {
+            Some(Picked::Ticket(core)) => {
+                run_ticket(&inner, idx, core);
+                continue;
+            }
+            Some(Picked::Job(job)) => {
+                run_job(&inner, idx, job);
+                continue;
+            }
+            None => {}
+        }
+        // 3. Steal half a victim's deque.
+        if let Some(core) = steal_half(&inner, idx) {
+            run_ticket(&inner, idx, core);
+            continue;
+        }
+        // 4. Nothing anywhere: exit on shutdown, else park on the
+        // doorbell.
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let slot = &inner.slots[idx];
+        slot.parked.store(true, Ordering::SeqCst);
+        if inner.has_work() {
+            slot.parked.store(false, Ordering::SeqCst);
+            continue;
+        }
+        inner.parks.fetch_add(1, Ordering::Relaxed);
+        // Level-triggered epoll on the eventfd: a notify between the
+        // recheck above and this wait is still seen immediately. The
+        // timeout is a liveness backstop only.
+        let _ = poller.wait(&mut events, Some(Duration::from_millis(50)));
+        slot.wakeup.drain();
+        slot.parked.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn key(priority: u8, deadline_ms: Option<u64>, seq: u64) -> TaskKey {
+        let base = Instant::now();
+        TaskKey::new(
+            priority,
+            deadline_ms.map(|ms| base + Duration::from_millis(ms)),
+            seq,
+        )
+    }
+
+    #[test]
+    fn key_order_priority_then_deadline_then_fifo() {
+        let urgent = key(1, None, 5);
+        let normal = key(0, None, 1);
+        assert!(urgent > normal);
+        let soon = key(0, Some(10), 9);
+        let late = key(0, Some(10_000), 2);
+        assert!(soon > late);
+        let budgeted = key(0, Some(10_000), 9);
+        let unbudgeted = key(0, None, 1);
+        assert!(budgeted > unbudgeted);
+        let older = key(0, None, 1);
+        let newer = key(0, None, 2);
+        assert!(older > newer);
+    }
+
+    #[test]
+    fn scope_runs_every_unit_exactly_once() {
+        let pool = Pool::new(3);
+        let h = pool.handle();
+        let hits: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        h.scope(TaskMeta::adhoc(), 2, hits.len(), &|_s, i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn scope_publish_grows_the_scope() {
+        let pool = Pool::new(2);
+        let h = pool.handle();
+        let hits = AtomicU32::new(0);
+        let grown = AtomicBool::new(false);
+        h.scope(TaskMeta::adhoc(), 1, 4, &|s, _i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            if !grown.swap(true, Ordering::Relaxed) {
+                s.publish(3);
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn scope_completes_with_zero_helpers() {
+        let pool = Pool::new(1);
+        let h = pool.handle();
+        let hits = AtomicU32::new(0);
+        h.scope(TaskMeta::adhoc(), 0, 10, &|_s, _i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_scopes_complete() {
+        let pool = Pool::new(4);
+        let h = pool.handle();
+        let hits = AtomicU32::new(0);
+        let h2 = h.clone();
+        h.scope(TaskMeta::adhoc(), 3, 4, &|_s, _i| {
+            h2.scope(TaskMeta::adhoc(), 3, 8, &|_s2, _j| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn jobs_drain_from_source_in_urgency_order() {
+        type QueuedRun = (TaskKey, Box<dyn FnOnce() + Send>);
+        struct VecSource {
+            jobs: Mutex<Vec<QueuedRun>>,
+        }
+        impl JobSource for VecSource {
+            fn peek(&self) -> Option<TaskKey> {
+                let g = self.jobs.lock().unwrap();
+                g.iter().map(|(k, _)| *k).max()
+            }
+            fn take(&self) -> Option<Job> {
+                let mut g = self.jobs.lock().unwrap();
+                let best = g
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, (k, _))| *k)
+                    .map(|(i, _)| i)?;
+                let (key, run) = g.remove(best);
+                Some(Job { key, run })
+            }
+        }
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mk = |tag: u32, order: &Arc<Mutex<Vec<u32>>>| {
+            let order = order.clone();
+            Box::new(move || {
+                order.lock().unwrap().push(tag);
+            }) as Box<dyn FnOnce() + Send>
+        };
+        // One worker so execution order is observable.
+        let pool = Pool::new(1);
+        let h = pool.handle();
+        let src = Arc::new(VecSource {
+            jobs: Mutex::new(vec![
+                (key(0, Some(10_000), 1), mk(1, &order)),
+                (key(0, Some(10), 2), mk(2, &order)),
+                (key(1, None, 3), mk(3, &order)),
+            ]),
+        });
+        h.set_source(src);
+        h.notify_source();
+        let t0 = Instant::now();
+        while order.lock().unwrap().len() < 3 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(*order.lock().unwrap(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn scope_panic_propagates_after_completion() {
+        let pool = Pool::new(2);
+        let h = pool.handle();
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            h.scope(TaskMeta::adhoc(), 1, 8, &|_s, i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // Pool still works afterwards.
+        let hits = AtomicU32::new(0);
+        h.scope(TaskMeta::adhoc(), 1, 4, &|_s, _i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn busy_metrics_accumulate() {
+        let pool = Pool::new(2);
+        let h = pool.handle();
+        h.scope(TaskMeta::adhoc(), 1, 16, &|_s, _i| {
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        let m = h.metrics();
+        assert_eq!(m.unit_runs, 16);
+        let total: u64 = m.workers.iter().map(|w| w.busy_ns).sum();
+        // Helpers ran at least some of the 32 ms of work.
+        assert!(m.workers.len() == 2);
+        assert!(total > 0);
+    }
+}

@@ -17,9 +17,11 @@
 //!   missing from memory is lazily reloaded — CSR *and* coreness — on its
 //!   first use after a restart or eviction. Corrupt files are quarantined
 //!   with a warning, never crash the daemon.
-//! * [`queue`] — bounded priority job queue with cancellation; a full
-//!   queue surfaces as HTTP 429 backpressure, and each job's budget is a
-//!   `Deadline` that starts ticking at enqueue.
+//! * [`queue`] — bounded deadline-aware priority job queue with
+//!   cancellation, ordered exactly like the scheduler (priority desc,
+//!   deadline-earliest, FIFO); a full queue surfaces as HTTP 429
+//!   backpressure, and each job's budget is a `Deadline` that starts
+//!   ticking at enqueue.
 //! * [`protocol`] — request/response types over a minimal hand-rolled
 //!   JSON (no serde; the workspace allows no third-party dependencies
 //!   beyond its vendored shims).
@@ -36,9 +38,12 @@
 //!   phase-labelled latency histograms, request tracing (`X-Request-Id`
 //!   in → spans → structured JSON log lines out), and the slow-query log
 //!   behind `GET /debug/slow`.
-//! * [`server`] — configuration, routing, the request-worker and solver
-//!   pools, and the Prometheus `/metrics` endpoint exposing
-//!   `lazymc_core::metrics` counters plus cache and reactor telemetry.
+//! * [`server`] — configuration, routing, the request-worker pool, the
+//!   machine-wide `lazymc-sched` work-stealing pool all solves execute
+//!   on (root jobs *and* stolen subtrees; `--solver-workers` sizes it —
+//!   see `docs/scheduler.md`), and the Prometheus `/metrics` endpoint
+//!   exposing `lazymc_core::metrics` counters plus cache, reactor and
+//!   scheduler telemetry.
 //!
 //! # Quick start
 //!

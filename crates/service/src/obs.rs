@@ -14,7 +14,8 @@
 use crate::protocol::Json;
 use lazymc_core::PhaseTimes;
 use lazymc_obs::{Histogram, HistogramSnapshot, LogSink, SlowLog};
-use std::time::Duration;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Route classes carried as the `route` label of
 /// `lazymc_http_request_seconds`. A fixed, low-cardinality set — labels
@@ -141,11 +142,67 @@ impl SolveObservation {
     }
 }
 
+/// Turns the scheduler's cumulative per-worker busy-nanosecond counters
+/// into a per-scrape-window **thread efficiency** gauge: the fraction of
+/// wall time each worker spent executing task bodies since the previous
+/// `/metrics` scrape (clamped to [0, 1]). The first scrape's window runs
+/// from daemon start, so a single hard solve on an idle pool reports
+/// near-1.0 on every worker it recruited.
+pub struct SchedWindow {
+    last: Mutex<WindowState>,
+}
+
+struct WindowState {
+    at: Instant,
+    busy_ns: Vec<u64>,
+}
+
+impl SchedWindow {
+    pub fn new() -> SchedWindow {
+        SchedWindow {
+            last: Mutex::new(WindowState {
+                at: Instant::now(),
+                busy_ns: Vec::new(),
+            }),
+        }
+    }
+
+    /// Per-worker busy fraction over the window since the previous call,
+    /// and advances the window. `busy_ns` is the scheduler's cumulative
+    /// snapshot (one entry per worker).
+    pub fn efficiency(&self, busy_ns: &[u64]) -> Vec<f64> {
+        let now = Instant::now();
+        let mut last = self.last.lock().unwrap();
+        let elapsed_ns = now.duration_since(last.at).as_nanos() as u64;
+        let out = busy_ns
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                let prev = last.busy_ns.get(i).copied().unwrap_or(0);
+                if elapsed_ns == 0 {
+                    0.0
+                } else {
+                    (b.saturating_sub(prev) as f64 / elapsed_ns as f64).clamp(0.0, 1.0)
+                }
+            })
+            .collect();
+        last.at = now;
+        last.busy_ns = busy_ns.to_vec();
+        out
+    }
+}
+
+impl Default for SchedWindow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// The daemon's observability state, shared by every layer.
 pub struct ServiceObs {
     /// HTTP request latency per route class ([`ROUTES`] order).
     http: [Histogram; ROUTES.len()],
-    /// Enqueue → solver-pop wait.
+    /// Enqueue → scheduler-take wait.
     pub queue_wait: Histogram,
     /// Solver wall time.
     pub solve_wall: Histogram,
@@ -153,6 +210,8 @@ pub struct ServiceObs {
     phases: [Histogram; PHASES.len()],
     /// The N slowest completed solves above the threshold.
     pub slow: SlowLog<SolveObservation>,
+    /// Scrape window for `lazymc_sched_thread_efficiency`.
+    pub sched_window: SchedWindow,
     sink: LogSink,
 }
 
@@ -164,6 +223,7 @@ impl ServiceObs {
             solve_wall: Histogram::new(),
             phases: Default::default(),
             slow: SlowLog::new(slow_query_ms.saturating_mul(1000), slow_log_len),
+            sched_window: SchedWindow::new(),
             sink,
         }
     }

@@ -1,20 +1,25 @@
-//! Bounded priority job queue feeding the solver worker pool.
+//! Bounded priority job queue feeding the machine-wide scheduler.
 //!
 //! * **Bounded** — `push` never blocks; a full queue is reported to the
 //!   caller, which the HTTP layer turns into `429 Too Many Requests`
 //!   (backpressure instead of unbounded memory growth).
-//! * **Priority** — higher `priority` pops first; within a priority, FIFO
-//!   by admission sequence.
+//! * **Priority** — higher `priority` pops first; within a priority,
+//!   deadline-earliest (a job with a deadline beats one without), and only
+//!   then FIFO by admission sequence. The tie-break matters on a shared
+//!   pool: two jobs of equal priority should drain in the order they must
+//!   *finish*, not the order they happened to arrive.
 //! * **Cancellation** — [`JobTicket::cancel`] (or [`JobQueue::cancel`] by
 //!   id) marks a job; cancelled jobs still in the queue are discarded at
 //!   pop time, and jobs already running can poll their ticket.
-//! * Per-job time budgets are *not* this module's concern: the server
-//!   creates a [`lazymc_core::Deadline`] at push time and carries it in
-//!   the payload, so queue wait counts against the budget.
+//! * Per-job time budgets are *not* this module's concern beyond ordering:
+//!   the server creates a [`lazymc_core::Deadline`] at push time, carries
+//!   it in the payload, and hands its expiry instant here so queue wait
+//!   counts against the budget *and* steers the drain order.
 
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Push rejected: the queue is at capacity.
 #[derive(Debug, PartialEq, Eq)]
@@ -51,10 +56,24 @@ impl JobTicket {
 
 struct Queued<T> {
     priority: u8,
+    deadline: Option<Instant>,
     seq: u64,
     id: u64,
     cancelled: Arc<AtomicBool>,
     payload: T,
+}
+
+/// Max-heap urgency of a deadline slot: an earlier deadline outranks a
+/// later one, and any deadline outranks "no deadline" — an unbudgeted job
+/// can always wait a little longer.
+fn deadline_urgency(a: Option<Instant>, b: Option<Instant>) -> std::cmp::Ordering {
+    use std::cmp::Ordering::*;
+    match (a, b) {
+        (Some(x), Some(y)) => y.cmp(&x), // earlier instant = greater urgency
+        (Some(_), None) => Greater,
+        (None, Some(_)) => Less,
+        (None, None) => Equal,
+    }
 }
 
 impl<T> PartialEq for Queued<T> {
@@ -70,11 +89,25 @@ impl<T> PartialOrd for Queued<T> {
 }
 impl<T> Ord for Queued<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Max-heap: higher priority first, then *lower* sequence (FIFO).
+        // Max-heap: higher priority first, then deadline-earliest, then
+        // *lower* sequence (FIFO). The same urgency order the scheduler
+        // uses for in-flight tasks — one definition of "more urgent" from
+        // admission to subtree drain.
         self.priority
             .cmp(&other.priority)
+            .then(deadline_urgency(self.deadline, other.deadline))
             .then(other.seq.cmp(&self.seq))
     }
+}
+
+/// A job handed out by [`JobQueue::try_pop`], with the ordering key it
+/// held in the queue so the caller can reuse it as a scheduler task key.
+pub struct Popped<T> {
+    pub ticket: JobTicket,
+    pub priority: u8,
+    pub deadline: Option<Instant>,
+    pub seq: u64,
+    pub payload: T,
 }
 
 struct State<T> {
@@ -123,17 +156,21 @@ impl<T> JobQueue<T> {
         }
     }
 
-    /// Admits a job, or reports backpressure. Never blocks.
+    /// Admits a job with no deadline, or reports backpressure. Never
+    /// blocks.
     pub fn push(&self, priority: u8, payload: T) -> Result<JobTicket, QueueFull> {
         let ticket = self.ticket();
-        self.push_ticketed(priority, &ticket, payload)?;
+        self.push_ticketed(priority, None, &ticket, payload)?;
         Ok(ticket)
     }
 
-    /// Admits a job under a pre-reserved ticket. Never blocks.
+    /// Admits a job under a pre-reserved ticket. `deadline` is the
+    /// wall-clock instant the job's budget expires (if any); equal
+    /// priorities drain deadline-earliest. Never blocks.
     pub fn push_ticketed(
         &self,
         priority: u8,
+        deadline: Option<Instant>,
         ticket: &JobTicket,
         payload: T,
     ) -> Result<(), QueueFull> {
@@ -146,6 +183,7 @@ impl<T> JobQueue<T> {
         }
         state.heap.push(Queued {
             priority,
+            deadline,
             seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
             id: ticket.id,
             cancelled: ticket.cancelled.clone(),
@@ -182,6 +220,50 @@ impl<T> JobQueue<T> {
         }
     }
 
+    /// The ordering key `(priority, deadline, seq)` of the most urgent
+    /// *uncancelled* pending job, without removing it. This is what a
+    /// pull-based scheduler source reports as its head-of-queue urgency.
+    pub fn peek_key(&self) -> Option<(u8, Option<Instant>, u64)> {
+        let mut state = self.state.lock().unwrap();
+        // Reap cancelled heads so the reported key is a job that would
+        // actually run; anything deeper stays until it surfaces.
+        while let Some(head) = state.heap.peek() {
+            if head.cancelled.load(Ordering::Relaxed) {
+                state.heap.pop();
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            return Some((head.priority, head.deadline, head.seq));
+        }
+        None
+    }
+
+    /// Non-blocking pop: the most urgent runnable job, or `None` if the
+    /// queue is momentarily empty. Cancelled jobs are discarded here, not
+    /// returned. Unlike [`JobQueue::pop`] this never waits — the
+    /// scheduler's workers poll through their own doorbell, not a
+    /// queue-side condvar.
+    pub fn try_pop(&self) -> Option<Popped<T>> {
+        let mut state = self.state.lock().unwrap();
+        while let Some(job) = state.heap.pop() {
+            if job.cancelled.load(Ordering::Relaxed) {
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            return Some(Popped {
+                ticket: JobTicket {
+                    id: job.id,
+                    cancelled: job.cancelled,
+                },
+                priority: job.priority,
+                deadline: job.deadline,
+                seq: job.seq,
+                payload: job.payload,
+            });
+        }
+        None
+    }
+
     /// Cancels a *pending* job by id. Returns whether a pending job was
     /// found (a job already handed to a worker reports `false`; such jobs
     /// are cancelled through their [`JobTicket`] instead).
@@ -199,6 +281,19 @@ impl<T> JobQueue<T> {
     /// Jobs currently pending (cancelled-but-unreaped jobs included).
     pub fn depth(&self) -> usize {
         self.state.lock().unwrap().heap.len()
+    }
+
+    /// Pending depth broken out by priority level, ascending by priority.
+    /// Feeds the per-priority queue-depth gauge on `/metrics`.
+    pub fn depth_by_priority(&self) -> Vec<(u8, usize)> {
+        let state = self.state.lock().unwrap();
+        let mut counts = std::collections::BTreeMap::new();
+        for job in state.heap.iter() {
+            if !job.cancelled.load(Ordering::Relaxed) {
+                *counts.entry(job.priority).or_insert(0usize) += 1;
+            }
+        }
+        counts.into_iter().collect()
     }
 
     /// Closes the queue: poppers drain what is left, then see `None`.
@@ -270,6 +365,64 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(50));
         q.close();
         assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn equal_priority_drains_deadline_earliest() {
+        use std::time::Duration;
+        let q = JobQueue::new(10);
+        let now = Instant::now();
+        // Submitted first but with the *latest* deadline; a later arrival
+        // with a tighter budget must overtake it. No deadline sorts last.
+        let t_late = q.ticket();
+        q.push_ticketed(3, Some(now + Duration::from_secs(60)), &t_late, "late")
+            .unwrap();
+        let t_none = q.ticket();
+        q.push_ticketed(3, None, &t_none, "none").unwrap();
+        let t_soon = q.ticket();
+        q.push_ticketed(3, Some(now + Duration::from_secs(1)), &t_soon, "soon")
+            .unwrap();
+        // Higher priority still beats any deadline.
+        let t_hi = q.ticket();
+        q.push_ticketed(7, None, &t_hi, "hi").unwrap();
+        let order: Vec<&str> = (0..4).map(|_| q.try_pop().unwrap().payload).collect();
+        assert_eq!(order, vec!["hi", "soon", "late", "none"]);
+    }
+
+    #[test]
+    fn peek_key_matches_next_pop_and_reaps_cancelled_heads() {
+        use std::time::Duration;
+        let q = JobQueue::new(10);
+        assert!(q.peek_key().is_none());
+        let soon = Instant::now() + Duration::from_millis(5);
+        let t_head = q.ticket();
+        q.push_ticketed(5, Some(soon), &t_head, "head").unwrap();
+        let t_tail = q.ticket();
+        q.push_ticketed(5, None, &t_tail, "tail").unwrap();
+        let (p, d, _) = q.peek_key().unwrap();
+        assert_eq!((p, d), (5, Some(soon)));
+        // Cancelling the head makes peek fall through to the next job —
+        // and reap the cancelled one so depth reflects runnable work.
+        t_head.cancel();
+        let (p, d, _) = q.peek_key().unwrap();
+        assert_eq!((p, d), (5, None));
+        assert_eq!(q.depth(), 1);
+        let got = q.try_pop().unwrap();
+        assert_eq!(got.payload, "tail");
+        assert_eq!(got.ticket.id, t_tail.id);
+        assert!(q.try_pop().is_none());
+    }
+
+    #[test]
+    fn depth_by_priority_counts_runnable_jobs() {
+        let q = JobQueue::new(10);
+        q.push(1, "a").unwrap();
+        q.push(1, "b").unwrap();
+        let t = q.push(4, "c").unwrap();
+        q.push(9, "d").unwrap();
+        assert_eq!(q.depth_by_priority(), vec![(1, 2), (4, 1), (9, 1)]);
+        t.cancel();
+        assert_eq!(q.depth_by_priority(), vec![(1, 2), (9, 1)]);
     }
 
     #[test]

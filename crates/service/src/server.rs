@@ -12,16 +12,21 @@
 //! * **Request workers** (`--workers`) run handlers that parse bodies or
 //!   may touch disk (uploads, solve submission with its lazy registry
 //!   reload, batch fan-out). They never wait for a solve.
-//! * **Solver workers** pop [`SolveJob`]s from the bounded priority queue
-//!   and run the search. Results flow back through the
-//!   [`JobStore`](crate::jobs::JobStore): to the waiting connection (sync),
-//!   into the store (`?async=1`), or into a batch slot.
+//! * **Scheduler workers** (`--solver-workers` sizes the pool) belong to
+//!   one machine-wide [`lazymc_sched::Pool`]. The bounded priority queue
+//!   is plugged in as the pool's [`JobSource`]: an idle worker pulls the
+//!   most urgent [`SolveJob`] (priority desc, deadline-earliest, FIFO) and
+//!   runs the whole solve as a root task; the solve's own subtree scopes
+//!   land in the *same* pool, so idle workers steal into a running solve
+//!   instead of sitting behind a per-job thread team. Results flow back
+//!   through the [`JobStore`](crate::jobs::JobStore): to the waiting
+//!   connection (sync), into the store (`?async=1`), or into a batch slot.
 //!
 //! A solve request therefore costs: parse → registry lookup → result-cache
 //! probe → (miss) enqueue with a [`Deadline`] that starts ticking at
-//! enqueue → solver pops, runs `solve_prepared` against the shared CSR +
-//! coreness → completion. A full queue never blocks anything: the client
-//! gets `429` with `Retry-After` and decides for itself.
+//! enqueue → a pool worker takes it, runs `solve_prepared_on` against the
+//! shared CSR + coreness → completion. A full queue never blocks anything:
+//! the client gets `429` with `Retry-After` and decides for itself.
 //!
 //! Endpoints: `POST /graphs`, `POST /solve[?async=1]`, `POST /solve-batch`,
 //! `GET /graphs`, `GET /stats`, `GET /stats/<name>`, `GET /jobs/<id>`,
@@ -32,15 +37,16 @@ use crate::conn::{Request, Response};
 use crate::jobs::{BatchAggregator, CancelOutcome, JobMeta, JobSink, JobStore, SolveReply};
 use crate::obs::{phase_micros, ServiceObs, SolveObservation};
 use crate::protocol::{Json, LoadRequest, SolveRequest};
-use crate::queue::JobQueue;
+use crate::queue::{JobQueue, Popped};
 use crate::reactor::{self, ReactorShared, Responder};
 use crate::registry::{CachedSolve, GraphEntry, Registry, ResultCache};
 use lazymc_core::{Deadline, LazyMc, MetricsSnapshot, PhaseTimes, SolveProgress};
 use lazymc_graph::{io as graph_io, suite, CsrGraph};
 use lazymc_obs::LogSink;
+use lazymc_sched::{Job as SchedJob, JobSource, Pool as SchedPool, TaskKey, TaskMeta};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
 
 /// Most requests accepted in one `POST /solve-batch` body.
@@ -182,16 +188,16 @@ impl ServiceConfig {
         }
     }
 
-    /// Largest intra-solve thread budget one job may use: with the whole
-    /// solver pool busy, per-job threads multiply across workers, so each
-    /// job gets an equal share of the system-wide cap.
-    ///
-    /// This is a deliberately *static* share (cap ÷ pool capacity, not ÷
-    /// jobs actually in flight): a lone job on an idle daemon runs below
-    /// the machine's full parallelism, in exchange for a worst-case
-    /// thread count that is predictable and bounded regardless of load.
+    /// Largest intra-solve thread *width* one job may request: the
+    /// scheduler pool's capacity. With one machine-wide pool, per-job
+    /// widths no longer multiply across solver workers — a width is how
+    /// many pool workers a job's scopes may recruit at once, and the pool
+    /// itself bounds the total thread count — so the old static share
+    /// (cap ÷ pool size) is gone. A lone job on an idle daemon now runs
+    /// at the machine's full parallelism; under load, urgency decides who
+    /// gets the workers.
     pub fn max_job_threads(&self) -> usize {
-        (lazymc_core::Config::thread_cap() / self.effective_solver_workers().max(1)).max(1)
+        self.effective_solver_workers().max(1)
     }
 }
 
@@ -242,6 +248,12 @@ pub struct ServiceState {
     pub metrics: ServiceMetrics,
     /// Histograms, tracing sink and the slow-query log (see [`crate::obs`]).
     pub obs: ServiceObs,
+    /// Handle into the machine-wide scheduler pool: job admission
+    /// (`notify_source`), capacity queries, and `/metrics` snapshots.
+    pub sched: lazymc_core::SchedHandle,
+    /// The pool itself, held so shutdown can join its workers. `None`
+    /// after [`ServiceHandle::stop`] takes it.
+    sched_pool: Mutex<Option<SchedPool>>,
     core_totals: Mutex<MetricsSnapshot>,
     started: Instant,
     pub(crate) next_conn_token: AtomicU64,
@@ -253,6 +265,8 @@ impl ServiceState {
             Some(dir) => Some(Arc::new(crate::persist::SnapshotStore::open(dir)?)),
             None => None,
         };
+        let pool = SchedPool::new(cfg.effective_solver_workers());
+        let sched = pool.handle();
         Ok(ServiceState {
             registry: Registry::with_store(cfg.max_graphs, store),
             results: ResultCache::new(cfg.result_cache_bytes, cfg.result_cache_ttl),
@@ -268,9 +282,37 @@ impl ServiceState {
                 cfg.slow_query_ms,
                 cfg.slow_log_len.max(1),
             ),
+            sched,
+            sched_pool: Mutex::new(Some(pool)),
             core_totals: Mutex::new(MetricsSnapshot::default()),
             started: Instant::now(),
             next_conn_token: AtomicU64::new(reactor::FIRST_CONN_TOKEN),
+        })
+    }
+}
+
+/// The scheduler's view of the service job queue: `peek` reports the
+/// head's urgency key, `take` pops the job and wraps the whole solve as a
+/// root task. A `Weak` back-reference keeps the source from pinning the
+/// state alive after shutdown (the pool outlives nothing it feeds).
+struct JobFeed {
+    state: Weak<ServiceState>,
+}
+
+impl JobSource for JobFeed {
+    fn peek(&self) -> Option<TaskKey> {
+        let state = self.state.upgrade()?;
+        let (priority, deadline, seq) = state.queue.peek_key()?;
+        Some(TaskKey::new(priority, deadline, seq))
+    }
+
+    fn take(&self) -> Option<SchedJob> {
+        let state = self.state.upgrade()?;
+        let popped = state.queue.try_pop()?;
+        let key = TaskKey::new(popped.priority, popped.deadline, popped.seq);
+        Some(SchedJob {
+            key,
+            run: Box::new(move || run_solve_job(&state, popped)),
         })
     }
 }
@@ -297,7 +339,7 @@ impl ServiceHandle {
     }
 
     /// Stops accepting, severs open connections, drains the queue, joins
-    /// every worker.
+    /// every worker — including the scheduler pool's.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.state.queue.close();
@@ -306,6 +348,21 @@ impl ServiceHandle {
         }
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        // Drain semantics: jobs admitted before stop still run. Reactors
+        // are gone, so nothing new arrives; wait (bounded) for the pool to
+        // empty the queue and finish in-flight solves, then join it.
+        // `Pool::shutdown` itself waits for whatever is mid-run.
+        let drain_start = Instant::now();
+        while (self.state.queue.depth() > 0
+            || self.state.jobs.jobs_inflight.load(Ordering::Relaxed) > 0)
+            && drain_start.elapsed() < Duration::from_secs(10)
+        {
+            self.state.sched.notify_source();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if let Some(mut pool) = self.state.sched_pool.lock().unwrap().take() {
+            pool.shutdown();
         }
     }
 }
@@ -333,15 +390,12 @@ pub fn serve(cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
     let shutdown = Arc::new(AtomicBool::new(false));
     let mut threads = Vec::new();
 
-    // Solver pool.
-    for i in 0..cfg.effective_solver_workers() {
-        let state = state.clone();
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("lazymc-solver-{i}"))
-                .spawn(move || solver_loop(&state))?,
-        );
-    }
+    // No dedicated solver threads: the machine-wide scheduler pool (built
+    // inside ServiceState::new) pulls jobs straight from the queue. The
+    // source is registered here because it needs a Weak to the Arc.
+    state.sched.set_source(Arc::new(JobFeed {
+        state: Arc::downgrade(&state),
+    }));
 
     // Request worker pool. The channel's senders live in the reactors;
     // when the reactors exit at shutdown, the channel closes and the
@@ -438,108 +492,126 @@ fn complete_observed(
     });
 }
 
-fn solver_loop(state: &ServiceState) {
-    while let Some((ticket, job)) = state.queue.pop() {
-        let waited = job.enqueued.elapsed();
-        let wait_ms = waited.as_millis() as u64;
-        let wait_us = waited.as_micros() as u64;
-        if ticket.is_cancelled() {
-            // Cancelled while queued: the job store already answered the
-            // sink when the cancellation landed.
-            continue;
-        }
-        // The live-progress cell: the solve publishes into it (phase
-        // marks, relaxed counters, incumbent size) and `GET /jobs/<id>`
-        // reads it while the job runs.
-        let progress = Arc::new(SolveProgress::new());
-        state.jobs.mark_running(ticket.id, Arc::clone(&progress));
-        state.jobs.jobs_inflight.fetch_add(1, Ordering::Relaxed);
-        let t = Instant::now();
-        // A panicking solve must not take the worker thread (and with it,
-        // eventually, the whole solver pool) down: catch, count, report.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            LazyMc::new(job.config.clone()).solve_prepared_observed(
-                &job.entry.graph,
-                Some(&job.entry.kcore),
-                &job.deadline,
-                Some(&progress),
-            )
-        }));
-        let solved = t.elapsed();
-        let solve_ms = solved.as_millis() as u64;
-        let solve_us = solved.as_micros() as u64;
-        state.jobs.jobs_inflight.fetch_sub(1, Ordering::Relaxed);
-        let result = match outcome {
-            Ok(result) => result,
-            Err(_) => {
-                state
-                    .metrics
-                    .solver_panics_total
-                    .fetch_add(1, Ordering::Relaxed);
-                complete_observed(
-                    state,
-                    ticket.id,
-                    Err(()),
-                    ticket.is_cancelled(),
-                    wait_us,
-                    solve_us,
-                    [0; 6],
-                );
-                continue;
-            }
-        };
-
-        let cancelled = ticket.is_cancelled();
-        state.metrics.solves_total.fetch_add(1, Ordering::Relaxed);
-        if !result.is_exact() {
+/// Runs one popped [`SolveJob`] to completion on a scheduler worker. This
+/// is the body of a root task: the solve's own subtree scopes re-enter the
+/// same pool (tagged with this job's id/deadline/priority), so any idle
+/// worker — including ones that finish *other* jobs mid-solve — steals
+/// into it. Node counts from every stolen subtree land in the one shared
+/// `SolveProgress` cell, which is what `GET /jobs/<id>` aggregates.
+fn run_solve_job(state: &ServiceState, popped: Popped<SolveJob>) {
+    let Popped {
+        ticket,
+        priority,
+        deadline: queue_deadline,
+        payload: job,
+        ..
+    } = popped;
+    let waited = job.enqueued.elapsed();
+    let wait_ms = waited.as_millis() as u64;
+    let wait_us = waited.as_micros() as u64;
+    if ticket.is_cancelled() {
+        // Cancelled while queued: the job store already answered the
+        // sink when the cancellation landed.
+        return;
+    }
+    // The live-progress cell: the solve publishes into it (phase
+    // marks, relaxed counters, incumbent size) and `GET /jobs/<id>`
+    // reads it while the job runs.
+    let progress = Arc::new(SolveProgress::new());
+    state.jobs.mark_running(ticket.id, Arc::clone(&progress));
+    state.jobs.jobs_inflight.fetch_add(1, Ordering::Relaxed);
+    let meta = TaskMeta {
+        job_id: ticket.id,
+        deadline: queue_deadline,
+        priority,
+    };
+    let t = Instant::now();
+    // A panicking solve must not take the worker thread (and with it,
+    // eventually, the whole scheduler pool) down: catch, count, report.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        LazyMc::new(job.config.clone()).solve_prepared_on(
+            &job.entry.graph,
+            Some(&job.entry.kcore),
+            &job.deadline,
+            Some(&progress),
+            &state.sched,
+            meta,
+        )
+    }));
+    let solved = t.elapsed();
+    let solve_ms = solved.as_millis() as u64;
+    let solve_us = solved.as_micros() as u64;
+    state.jobs.jobs_inflight.fetch_sub(1, Ordering::Relaxed);
+    let result = match outcome {
+        Ok(result) => result,
+        Err(_) => {
             state
                 .metrics
-                .solves_truncated_total
+                .solver_panics_total
                 .fetch_add(1, Ordering::Relaxed);
+            complete_observed(
+                state,
+                ticket.id,
+                Err(()),
+                ticket.is_cancelled(),
+                wait_us,
+                solve_us,
+                [0; 6],
+            );
+            return;
         }
-        state
-            .core_totals
-            .lock()
-            .unwrap()
-            .accumulate(&result.metrics);
+    };
 
-        let mut clique = result.vertices().to_vec();
-        clique.sort_unstable();
-        // Only exact, uncancelled results are cacheable (a cancel racing
-        // completion could otherwise pin a half-meant answer).
-        if result.is_exact() && !cancelled {
-            if let Some(canonical) = &job.cache_key {
-                state.results.put(
-                    &job.entry.name,
-                    job.entry.fingerprint,
-                    canonical.clone(),
-                    CachedSolve {
-                        omega: clique.len(),
-                        clique: clique.clone(),
-                        solve_ms,
-                    },
-                );
-            }
-        }
-        let phases_us = phase_micros(&result.metrics.phases);
-        complete_observed(
-            state,
-            ticket.id,
-            Ok(SolveReply {
-                omega: clique.len(),
-                clique,
-                exact: result.is_exact(),
-                cached: false,
-                wait_ms,
-                solve_ms,
-                phases: result.metrics.phases,
-            }),
-            cancelled,
-            wait_us,
-            solve_us,
-            phases_us,
-        );
+    let cancelled = ticket.is_cancelled();
+    state.metrics.solves_total.fetch_add(1, Ordering::Relaxed);
+    if !result.is_exact() {
+        state
+            .metrics
+            .solves_truncated_total
+            .fetch_add(1, Ordering::Relaxed);
     }
+    state
+        .core_totals
+        .lock()
+        .unwrap()
+        .accumulate(&result.metrics);
+
+    let mut clique = result.vertices().to_vec();
+    clique.sort_unstable();
+    // Only exact, uncancelled results are cacheable (a cancel racing
+    // completion could otherwise pin a half-meant answer).
+    if result.is_exact() && !cancelled {
+        if let Some(canonical) = &job.cache_key {
+            state.results.put(
+                &job.entry.name,
+                job.entry.fingerprint,
+                canonical.clone(),
+                CachedSolve {
+                    omega: clique.len(),
+                    clique: clique.clone(),
+                    solve_ms,
+                },
+            );
+        }
+    }
+    let phases_us = phase_micros(&result.metrics.phases);
+    complete_observed(
+        state,
+        ticket.id,
+        Ok(SolveReply {
+            omega: clique.len(),
+            clique,
+            exact: result.is_exact(),
+            cached: false,
+            wait_ms,
+            solve_ms,
+            phases: result.metrics.phases,
+        }),
+        cancelled,
+        wait_us,
+        solve_us,
+        phases_us,
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -713,12 +785,12 @@ fn submit_solve(
     parse_us: u64,
 ) -> Submitted {
     let mut config = request.config();
-    // Route the per-job thread budget into the solver, clamped against
-    // the worker pool: intra-solve threads multiply across concurrent
-    // solver workers, so each job gets an equal share of the system-wide
-    // cap. Unspecified (0 = "ambient pool") must not bypass the clamp.
-    // (`threads` is excluded from the canonical cache key — the thread
-    // count changes cost, never the answer.)
+    // Route the per-job width into the solver, clamped to the scheduler
+    // pool's capacity: a width is how many pool workers the job's scopes
+    // may recruit at once, so asking for more than the pool has is
+    // meaningless. Unspecified (0 = "whatever is idle") must not bypass
+    // the clamp either. (`threads` is excluded from the canonical cache
+    // key — the width changes cost, never the answer.)
     config.threads = match config.threads {
         0 => cfg.max_job_threads(),
         t => t.min(cfg.max_job_threads()),
@@ -784,6 +856,7 @@ fn submit_solve(
             budget_ms: config.time_budget.map(|b| b.as_millis() as u64),
         },
     );
+    let expires = deadline.expires_at();
     let job = SolveJob {
         entry: entry.clone(),
         config,
@@ -791,8 +864,16 @@ fn submit_solve(
         cache_key: (!request.no_cache).then(|| canonical.clone()),
         enqueued: Instant::now(),
     };
-    match state.queue.push_ticketed(request.priority, &ticket, job) {
-        Ok(()) => Submitted::Enqueued(id),
+    match state
+        .queue
+        .push_ticketed(request.priority, expires, &ticket, job)
+    {
+        Ok(()) => {
+            // Ring the pool's doorbell: a parked scheduler worker re-scans
+            // its sources and finds this job.
+            state.sched.notify_source();
+            Submitted::Enqueued(id)
+        }
         Err(full) => {
             state.jobs.forget(id);
             Submitted::Full {
@@ -1490,6 +1571,35 @@ fn metrics(state: &ServiceState) -> Response {
         "Thread-time in the k-VC subgraph solver, microseconds",
         totals.kvc_time.as_micros() as u64,
     );
+    // Machine-wide scheduler pool: the counters behind the "one stealable
+    // pool for all solves" design. Steals and preemptions say how work
+    // moved; parks say how often workers ran dry.
+    let sched_metrics = state.sched.metrics();
+    counter(
+        "lazymc_sched_steals_total",
+        "Scope tickets taken from another scheduler worker's deque",
+        sched_metrics.steals,
+    );
+    counter(
+        "lazymc_sched_parks_total",
+        "Times a scheduler worker parked on its doorbell",
+        sched_metrics.parks,
+    );
+    counter(
+        "lazymc_sched_preemptions_total",
+        "Times a helper re-queued its ticket for more urgent work",
+        sched_metrics.preemptions,
+    );
+    counter(
+        "lazymc_sched_unit_runs_total",
+        "Scope work units executed by the scheduler",
+        sched_metrics.unit_runs,
+    );
+    counter(
+        "lazymc_sched_job_runs_total",
+        "Root solve jobs executed by the scheduler",
+        sched_metrics.job_runs,
+    );
     let mut gauge = |name: &str, help: &str, value: u64| {
         out.push_str(&format!(
             "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
@@ -1556,6 +1666,43 @@ fn metrics(state: &ServiceState) -> Response {
         "Seconds since the daemon started",
         state.started.elapsed().as_secs(),
     );
+    gauge(
+        "lazymc_sched_workers",
+        "Worker threads in the machine-wide scheduler pool",
+        sched_metrics.workers.len() as u64,
+    );
+    // Per-worker scheduler series (labeled, so hand-rendered): cumulative
+    // busy seconds and the per-scrape-window thread-efficiency gauge.
+    let busy_ns: Vec<u64> = sched_metrics.workers.iter().map(|w| w.busy_ns).collect();
+    let efficiency = state.obs.sched_window.efficiency(&busy_ns);
+    out.push_str(
+        "# HELP lazymc_sched_busy_seconds_total Seconds each scheduler worker spent executing task bodies\n\
+         # TYPE lazymc_sched_busy_seconds_total counter\n",
+    );
+    for (i, b) in busy_ns.iter().enumerate() {
+        out.push_str(&format!(
+            "lazymc_sched_busy_seconds_total{{worker=\"{i}\"}} {:.6}\n",
+            *b as f64 / 1e9
+        ));
+    }
+    out.push_str(
+        "# HELP lazymc_sched_thread_efficiency Busy fraction of each scheduler worker over the last scrape window\n\
+         # TYPE lazymc_sched_thread_efficiency gauge\n",
+    );
+    for (i, e) in efficiency.iter().enumerate() {
+        out.push_str(&format!(
+            "lazymc_sched_thread_efficiency{{worker=\"{i}\"}} {e:.6}\n"
+        ));
+    }
+    out.push_str(
+        "# HELP lazymc_queue_depth_by_priority Pending solve jobs per priority level\n\
+         # TYPE lazymc_queue_depth_by_priority gauge\n",
+    );
+    for (p, n) in state.queue.depth_by_priority() {
+        out.push_str(&format!(
+            "lazymc_queue_depth_by_priority{{priority=\"{p}\"}} {n}\n"
+        ));
+    }
     // Build identity as the conventional constant-1 info gauge.
     out.push_str("# HELP lazymc_build_info Build identity of the running daemon\n");
     out.push_str("# TYPE lazymc_build_info gauge\n");

@@ -1,0 +1,182 @@
+//! Live-socket tests of the machine-wide scheduler pool behind the
+//! service: every solve runs as a root task on one stealable pool, so
+//!
+//! * `GET /jobs/<id>` live progress must aggregate node counts from
+//!   *every* worker executing the job's stolen subtrees (the counts land
+//!   in one shared `SolveProgress` cell, whichever thread expands them);
+//! * `/metrics` must expose the scheduler series, including the
+//!   per-worker `lazymc_sched_thread_efficiency` gauge;
+//! * a long-running low-priority solve must not starve easy high-priority
+//!   solves — they overtake its subtree tasks in the shared drain order.
+
+mod common;
+
+use common::{bool_field, str_field, u64_field, upload, Client};
+use lazymc_core::{Config, LazyMc};
+use lazymc_graph::gen;
+use lazymc_service::{serve, Json, ServiceConfig, ServiceHandle};
+use std::time::{Duration, Instant};
+
+fn start(cfg: ServiceConfig) -> ServiceHandle {
+    serve(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        ..cfg
+    })
+    .expect("bind service")
+}
+
+/// Polls `GET /jobs/<id>` until `done(status)`, failing after `timeout`.
+fn poll_job(client: &mut Client, id: u64, timeout: Duration, done: impl Fn(&str) -> bool) -> Json {
+    let t = Instant::now();
+    loop {
+        let (status, view) = client.get_json(&format!("/jobs/{id}"));
+        assert_eq!(status, 200, "job {id} vanished while polling: {view:?}");
+        if done(str_field(&view, "status")) {
+            return view;
+        }
+        assert!(
+            t.elapsed() < timeout,
+            "job {id} stuck in {:?} after {timeout:?}",
+            str_field(&view, "status")
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn live_progress_aggregates_stolen_subtrees_and_metrics_expose_sched_series() {
+    let handle = start(ServiceConfig {
+        solver_workers: 4,
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let mut c = Client::connect(handle.addr());
+    let g = gen::gnp(300, 0.5, 7); // seconds-scale in debug builds
+    let expected = LazyMc::new(Config::sequential()).solve(&g).size();
+    upload(&mut c, "dense", &g);
+
+    let (status, accepted) = c.post_json(
+        "/solve?async=1",
+        r#"{"graph":"dense","threads":4,"no_cache":true}"#,
+    );
+    assert_eq!(status, 202, "async submit: {accepted:?}");
+    let id = u64_field(&accepted, "job_id");
+
+    // While the job runs, its progress view must show node counts growing
+    // — sums over *all* workers expanding its stolen subtrees, not just
+    // the thread that popped the job.
+    let mut live_samples: Vec<u64> = Vec::new();
+    let t = Instant::now();
+    loop {
+        let (status, view) = c.get_json(&format!("/jobs/{id}"));
+        assert_eq!(status, 200);
+        match str_field(&view, "status") {
+            "running" => {
+                if let Some(p) = view.get("progress") {
+                    live_samples.push(u64_field(p, "nodes_expanded"));
+                }
+            }
+            "done" => break,
+            other => assert_eq!(other, "queued", "unexpected status {other:?}"),
+        }
+        assert!(
+            t.elapsed() < Duration::from_secs(120),
+            "solve never finished"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        live_samples.iter().any(|&n| n > 0),
+        "never observed live node counts while running: {live_samples:?}"
+    );
+    assert!(
+        live_samples.windows(2).all(|w| w[0] <= w[1]),
+        "aggregated node counts went backwards: {live_samples:?}"
+    );
+
+    let view = poll_job(&mut c, id, Duration::from_secs(5), |s| s == "done");
+    let result = view.get("result").expect("retained result");
+    assert_eq!(u64_field(result, "omega") as usize, expected);
+    assert!(bool_field(result, "exact"));
+
+    // The whole solve ran on the scheduler: a root job executed, the
+    // width-4 solve split subtree tasks into the pool, and /metrics
+    // carries the scheduler family — including the per-worker
+    // thread-efficiency gauge the dashboards key on.
+    assert!(c.metric("lazymc_sched_job_runs_total") >= 1);
+    assert!(c.metric("lazymc_core_split_tasks_total") > 0);
+    assert_eq!(c.metric("lazymc_sched_workers"), 4);
+    let (status, _, text) = c.request("GET", "/metrics", None);
+    assert_eq!(status, 200);
+    for series in [
+        "lazymc_sched_thread_efficiency{worker=\"0\"}",
+        "lazymc_sched_thread_efficiency{worker=\"3\"}",
+        "lazymc_sched_busy_seconds_total{worker=\"0\"}",
+        "# TYPE lazymc_sched_steals_total counter",
+        "# TYPE lazymc_sched_parks_total counter",
+        "# TYPE lazymc_sched_preemptions_total counter",
+        "# TYPE lazymc_sched_unit_runs_total counter",
+        "# TYPE lazymc_queue_depth_by_priority gauge",
+    ] {
+        assert!(text.contains(series), "missing {series} in /metrics");
+    }
+    handle.stop();
+}
+
+#[test]
+fn high_priority_easy_solves_overtake_a_long_low_priority_job() {
+    // Starvation smoke: one long, low-priority solve saturates the pool
+    // with subtree tasks; 50 easy high-priority solves submitted while it
+    // runs must each drain promptly — their root tasks outrank the long
+    // job's tickets, so a worker picks them up at its next claim
+    // boundary. The p99 bound is generous (debug build, oversubscribed
+    // single-core CI hosts) — the failure mode it guards against is the
+    // old per-job-pool behaviour where easy jobs waited for the long
+    // solve to *finish*, i.e. tens of seconds.
+    let handle = start(ServiceConfig {
+        solver_workers: 4,
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let mut c = Client::connect(handle.addr());
+    let long = gen::gnp(350, 0.5, 11);
+    upload(&mut c, "long", &long);
+    let easy = gen::planted_clique(60, 0.05, 5, 3);
+    let expected_easy = LazyMc::new(Config::sequential()).solve(&easy).size();
+    upload(&mut c, "easy", &easy);
+
+    // Low-priority long job, budget-capped so the test always terminates.
+    let (status, accepted) = c.post_json(
+        "/solve?async=1",
+        r#"{"graph":"long","priority":0,"threads":4,"budget_ms":30000,"no_cache":true}"#,
+    );
+    assert_eq!(status, 202, "long submit: {accepted:?}");
+    let long_id = u64_field(&accepted, "job_id");
+    poll_job(&mut c, long_id, Duration::from_secs(30), |s| s == "running");
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    for _ in 0..50 {
+        let t = Instant::now();
+        let (status, reply) = c.post_json(
+            "/solve",
+            r#"{"graph":"easy","priority":9,"threads":1,"no_cache":true}"#,
+        );
+        latencies.push(t.elapsed());
+        assert_eq!(status, 200, "easy solve failed: {reply:?}");
+        assert_eq!(u64_field(&reply, "omega") as usize, expected_easy);
+    }
+    latencies.sort();
+    let p99 = latencies[((latencies.len() - 1) as f64 * 0.99) as usize];
+    assert!(
+        p99 < Duration::from_secs(2),
+        "easy-solve p99 {p99:?} starved behind the long job (latencies: {latencies:?})"
+    );
+
+    // End the long job promptly rather than riding out its budget.
+    let (status, _) = c.delete_json(&format!("/jobs/{long_id}"));
+    assert!(status == 200 || status == 409, "cancel long job: {status}");
+    poll_job(&mut c, long_id, Duration::from_secs(60), |s| {
+        s == "done" || s == "cancelled" || s == "failed"
+    });
+    handle.stop();
+}

@@ -41,18 +41,20 @@ pub use bitset::{BitMatrix, Bitset};
 pub use coloring::{color_order, color_order_scratch, greedy_color_count, ColorScratch};
 pub use live::LiveNodes;
 pub use mc::{
-    max_clique_dense, max_clique_dense_par, max_clique_dense_par_live, max_clique_dense_scratch,
-    max_clique_dense_scratch_live, max_clique_dense_subtree, max_clique_dense_within,
-    max_clique_exact, reduce_candidates, McScratch, McStats,
+    max_clique_dense, max_clique_dense_par, max_clique_dense_par_live, max_clique_dense_sched,
+    max_clique_dense_sched_live, max_clique_dense_scratch, max_clique_dense_scratch_live,
+    max_clique_dense_subtree, max_clique_dense_within, max_clique_exact, reduce_candidates,
+    McScratch, McStats,
 };
-pub use par::{SearchAbort, SharedBest};
+pub use par::{SearchAbort, SharedBest, StopFn};
 pub use scratch::Pool;
 pub use vc::{
     max_clique_via_vc, max_clique_via_vc_par, max_clique_via_vc_par_live,
-    max_clique_via_vc_scratch, max_clique_via_vc_scratch_live, min_vertex_cover,
-    vertex_cover_decision, vertex_cover_decision_abortable, vertex_cover_decision_par,
-    vertex_cover_decision_scratch, vertex_cover_decision_within, VcScratch, VcSolveScratch,
-    VcStats,
+    max_clique_via_vc_sched_live, max_clique_via_vc_scratch, max_clique_via_vc_scratch_live,
+    min_vertex_cover, vertex_cover_decision, vertex_cover_decision_abortable,
+    vertex_cover_decision_par, vertex_cover_decision_sched, vertex_cover_decision_sched_live,
+    vertex_cover_decision_scratch, vertex_cover_decision_within, VcSchedDecision, VcScratch,
+    VcSolveScratch, VcStats,
 };
 
 #[cfg(test)]

@@ -25,6 +25,12 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Cooperative stop hook of a scheduler-run solve: polled once per
+/// claimed subtree task, `true` means "halt the whole solve" (deadline
+/// trip or cancellation). Kept as a plain closure so the solver never
+/// learns the driver's deadline type.
+pub type StopFn<'a> = &'a (dyn Fn() -> bool + Sync);
+
 /// The shared incumbent of one parallel MC solve: best size (atomic, read
 /// per node by every worker) plus the witness clique (mutex, written only
 /// on improvements).
@@ -32,6 +38,7 @@ pub struct SharedBest {
     size: AtomicUsize,
     clique: Mutex<Vec<u32>>,
     broadcasts: AtomicU64,
+    halt: AtomicBool,
 }
 
 impl SharedBest {
@@ -42,7 +49,23 @@ impl SharedBest {
             size: AtomicUsize::new(lb),
             clique: Mutex::new(Vec::new()),
             broadcasts: AtomicU64::new(0),
+            halt: AtomicBool::new(false),
         }
+    }
+
+    /// Tells every worker sharing this incumbent to stop searching: a
+    /// cancelled or deadline-tripped solve drains mid-subtree instead of
+    /// finishing its current task. The incumbent found so far remains
+    /// valid (it only ever holds real cliques).
+    #[inline]
+    pub fn halt(&self) {
+        self.halt.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the solve was told to stop.
+    #[inline]
+    pub fn halted(&self) -> bool {
+        self.halt.load(Ordering::Relaxed)
     }
 
     /// Current best size (floor included). `Relaxed`: staleness only costs

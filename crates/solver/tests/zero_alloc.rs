@@ -239,6 +239,94 @@ fn parallel_vc_worker_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn sched_task_body_is_allocation_free_after_warmup() {
+    // A scheduler unit body runs a subtree through the same thread-local
+    // worker arenas (`MC_WORKER` / `VC_WORKER`) that the width-1 driver
+    // path uses — so driving the sched entry points at width 1 on this
+    // thread exercises exactly the steady-state body: pooled task
+    // buffers, arena take/put-back, shared-incumbent reads. After one
+    // warm-up, none of it may touch the heap.
+    use lazymc_sched::TaskMeta;
+    use lazymc_solver::{max_clique_dense_sched, vertex_cover_decision_sched};
+
+    let pool = lazymc_sched::Pool::new(2);
+    let handle = pool.handle();
+    let adj = dense_graph(120, 550, 42);
+    let within = Bitset::full(adj.len());
+    let mut out = Vec::new();
+
+    // Warm-up grows the thread-local worker arena.
+    assert!(max_clique_dense_sched(
+        &adj,
+        &within,
+        0,
+        &handle,
+        TaskMeta::adhoc(),
+        1,
+        None,
+        None,
+        &mut out,
+    ));
+    let omega = out.len();
+
+    let before = thread_allocs();
+    assert!(max_clique_dense_sched(
+        &adj,
+        &within,
+        0,
+        &handle,
+        TaskMeta::adhoc(),
+        1,
+        None,
+        None,
+        &mut out,
+    ));
+    let allocs = thread_allocs() - before;
+    assert_eq!(out.len(), omega);
+    assert_eq!(
+        allocs, 0,
+        "sched MC task body allocated {allocs} times after warm-up"
+    );
+
+    // Same for the k-VC decision body.
+    let sparse = dense_graph(90, 250, 17);
+    let alive = Bitset::full(sparse.len());
+    let mvc = min_vertex_cover(&sparse, None).len();
+    let mut cover = Vec::new();
+    let d = vertex_cover_decision_sched(
+        &sparse,
+        &alive,
+        mvc,
+        &handle,
+        TaskMeta::adhoc(),
+        1,
+        None,
+        None,
+        &mut cover,
+    );
+    assert!(d.found);
+
+    let before = thread_allocs();
+    let d = vertex_cover_decision_sched(
+        &sparse,
+        &alive,
+        mvc,
+        &handle,
+        TaskMeta::adhoc(),
+        1,
+        None,
+        None,
+        &mut cover,
+    );
+    let allocs = thread_allocs() - before;
+    assert!(d.found);
+    assert_eq!(
+        allocs, 0,
+        "sched k-VC task body allocated {allocs} times after warm-up"
+    );
+}
+
+#[test]
 fn reduce_candidates_is_allocation_free() {
     let adj = dense_graph(110, 300, 17);
     let mut within = Bitset::full(adj.len());
