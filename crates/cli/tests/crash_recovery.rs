@@ -1,0 +1,254 @@
+//! The crash-recovery acceptance harness: a real `lazymc serve` child
+//! process is SIGKILLed mid-queue — jobs admitted (202 answered), most of
+//! them never popped — and a second daemon booted over the same
+//! `--data-dir` must replay every admitted-but-incomplete job from the
+//! journal: same ids, pollable to a terminal state, zero jobs lost.
+//!
+//! This is deliberately a child-process test, not an in-process one: only
+//! SIGKILL proves the journal's fsync-before-202 ordering. An in-process
+//! "drop the handle" shutdown drains the queue and would pass even with
+//! no journal at all.
+
+use lazymc_service::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Kills the child on drop so a failing assertion never leaks a daemon.
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `lazymc serve 127.0.0.1:0 --data-dir <dir> ...` and parses the
+/// bound address out of the startup banner.
+fn spawn_daemon(data_dir: &Path, extra: &[&str]) -> Daemon {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_lazymc"));
+    cmd.arg("serve")
+        .arg("127.0.0.1:0")
+        .arg("--data-dir")
+        .arg(data_dir)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn lazymc serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("daemon exited before printing its address")
+            .expect("read banner line");
+        if let Some(rest) = line.split("http://").nth(1) {
+            break rest.trim().parse().expect("bound address");
+        }
+    };
+    // Keep draining the banner so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    Daemon { child, addr }
+}
+
+/// Minimal keep-alive HTTP client (mirrors the service test client; CLI
+/// tests cannot share that module across crates).
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).expect("nodelay");
+                    let reader = BufReader::new(stream.try_clone().expect("clone"));
+                    return Client { stream, reader };
+                }
+                Err(e) => {
+                    assert!(Instant::now() < deadline, "daemon never accepted: {e}");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, Json) {
+        write!(
+            self.stream,
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write request");
+        self.stream.flush().expect("flush");
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line).expect("status");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"))
+            .parse()
+            .expect("numeric status");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse().expect("content-length");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        let body = String::from_utf8(body).expect("utf8");
+        (status, Json::parse(&body).expect("json body"))
+    }
+
+    fn metric(&mut self, name: &str) -> u64 {
+        write!(
+            self.stream,
+            "GET /metrics HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\n\r\n"
+        )
+        .expect("write request");
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line).expect("status");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse().expect("content-length");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        String::from_utf8(body)
+            .expect("utf8")
+            .lines()
+            .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} not found"))
+    }
+}
+
+fn u64_field(v: &Json, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing number {key:?} in {v:?}")) as u64
+}
+
+fn str_field<'a>(v: &'a Json, key: &'a str) -> &'a str {
+    v.get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("missing string {key:?} in {v:?}"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lazymc_crash_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sigkill_mid_queue_loses_no_admitted_jobs() {
+    let dir = tmp_dir("sigkill");
+
+    // Daemon #1: one solver worker so submissions pile up queued behind
+    // the first running job — the crash happens genuinely mid-queue.
+    let first = spawn_daemon(&dir, &["--solver-workers", "1", "--workers", "1"]);
+    let mut c = Client::connect(first.addr);
+
+    // A dense graph whose budgeted solve takes far longer than the gap
+    // between the last 202 and the SIGKILL, so nothing completes (and
+    // writes its journal completion record) before the crash.
+    let g = lazymc_graph::gen::gnp(240, 0.5, 7);
+    let mut edges = Vec::new();
+    lazymc_graph::io::write_edge_list(&g, &mut edges).expect("serialize graph");
+    let upload = Json::obj(vec![
+        ("name", Json::str("dense")),
+        ("format", Json::str("edgelist")),
+        (
+            "content",
+            Json::str(String::from_utf8(edges).expect("utf8")),
+        ),
+    ])
+    .encode();
+    let (status, info) = c.request("POST", "/graphs", &upload);
+    assert_eq!(status, 201, "upload failed: {info:?}");
+
+    let body = r#"{"graph":"dense","no_cache":true,"budget_ms":3000,"threads":1}"#;
+    let ids: Vec<u64> = (0..5)
+        .map(|_| {
+            let (status, accepted) = c.request("POST", "/solve?async=1", body);
+            assert_eq!(status, 202, "admission failed: {accepted:?}");
+            u64_field(&accepted, "job_id")
+        })
+        .collect();
+
+    // SIGKILL, not shutdown: no drain, no flush, no goodbye. Only what
+    // the journal fsynced before each 202 survives.
+    drop(first);
+
+    // Daemon #2 over the same data dir replays every admitted job.
+    let second = spawn_daemon(&dir, &["--solver-workers", "1", "--workers", "1"]);
+    let mut c = Client::connect(second.addr);
+    assert_eq!(
+        c.metric("lazymc_jobs_replayed_total"),
+        ids.len() as u64,
+        "every admitted job must be recovered"
+    );
+    let (status, health) = c.request("GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(str_field(&health, "journal"), "enabled");
+
+    // Same ids as before the crash, each pollable to a terminal state:
+    // zero admitted jobs lost.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for &id in &ids {
+        loop {
+            let (status, view) = c.request("GET", &format!("/jobs/{id}"), "");
+            assert_eq!(status, 200, "recovered job {id} lost: {view:?}");
+            match str_field(&view, "status") {
+                "done" => {
+                    let result = view.get("result").expect("done jobs retain results");
+                    assert!(u64_field(result, "omega") >= 1);
+                    break;
+                }
+                "failed" | "cancelled" => break,
+                _ => {}
+            }
+            assert!(
+                Instant::now() < deadline,
+                "recovered job {id} never reached a terminal state"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    // With every replayed job completed, the journal owes nothing.
+    let (_, health) = c.request("GET", "/healthz", "");
+    assert_eq!(u64_field(&health, "journal_pending"), 0);
+    drop(second);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -175,6 +175,7 @@ impl Poller {
     /// Starts watching `fd` (which should already be nonblocking) for
     /// `interest`, tagging its events with `token`.
     pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        lazymc_chaos::io_point!("netio.register");
         self.ctl(sys::EPOLL_CTL_ADD, fd, Some(interest), token)
     }
 
@@ -194,6 +195,10 @@ impl Poller {
     /// expires (`None` = forever), or a signal lands (reported as zero
     /// events, not an error). Returns the number of events filled.
     pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        // Fault point for reactor/scheduler latency and error-path tests:
+        // `delay:<ms>` stalls the event loop, `eio` exercises callers'
+        // wait-error handling.
+        lazymc_chaos::io_point!("netio.wait");
         let timeout_ms: i32 = match timeout {
             // Round *up* so a 100µs timeout cannot spin at timeout 0.
             Some(t) => {

@@ -41,8 +41,17 @@ use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Locks ignoring poison. A panic inside a worker (a chaos injection, a
+/// solver bug) must not cascade into every other worker that touches the
+/// same deque or scope lock: the pool's mutexes guard simple containers
+/// that stay consistent across an unwind, so the poison flag carries no
+/// information we act on.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Identity and urgency of one job's work, carried by every task the job
 /// submits (root solve and stolen subtrees alike).
@@ -236,7 +245,7 @@ impl Scope<'_> {
         // The owner may already be parked in its wait loop; new units are
         // claimable work for it.
         {
-            let _g = self.core.lock.lock().unwrap();
+            let _g = plock(&self.core.lock);
             self.core.cv.notify_all();
         }
         self.pool.top_up_tickets(self.core);
@@ -294,6 +303,11 @@ struct PoolInner {
     unit_runs: AtomicU64,
     job_runs: AtomicU64,
     preemptions: AtomicU64,
+    /// Panics caught inside workers (scope units, root jobs, or the worker
+    /// loop itself). Exported as `lazymc_sched_worker_panics_total`.
+    worker_panics: AtomicU64,
+    /// Times a worker thread's main loop panicked and was respawned.
+    worker_respawns: AtomicU64,
 }
 
 thread_local! {
@@ -347,13 +361,13 @@ impl PoolInner {
         core.tickets.fetch_add(n, Ordering::Relaxed);
         match self.my_worker() {
             Some(idx) => {
-                let mut dq = self.slots[idx].deque.lock().unwrap();
+                let mut dq = plock(&self.slots[idx].deque);
                 for _ in 0..n {
                     dq.push_back(core.clone());
                 }
             }
             None => {
-                let mut inj = self.injector.lock().unwrap();
+                let mut inj = plock(&self.injector);
                 for _ in 0..n {
                     inj.push(Injected(core.clone()));
                 }
@@ -375,7 +389,7 @@ impl PoolInner {
     /// (injector top or next root job). Drives helper preemption.
     fn more_urgent_than(&self, key: &TaskKey) -> bool {
         {
-            let inj = self.injector.lock().unwrap();
+            let inj = plock(&self.injector);
             if let Some(top) = inj.peek() {
                 if top.0.key > *key {
                     return true;
@@ -385,7 +399,7 @@ impl PoolInner {
         if self.shutdown.load(Ordering::Relaxed) {
             return false;
         }
-        let src = self.source.lock().unwrap().clone();
+        let src = plock(&self.source).clone();
         if let Some(src) = src {
             if let Some(sk) = src.peek() {
                 return sk > *key;
@@ -399,17 +413,13 @@ impl PoolInner {
         if self.shutdown.load(Ordering::Relaxed) {
             return true; // wake to observe shutdown
         }
-        if self
-            .slots
-            .iter()
-            .any(|s| !s.deque.lock().unwrap().is_empty())
-        {
+        if self.slots.iter().any(|s| !plock(&s.deque).is_empty()) {
             return true;
         }
-        if !self.injector.lock().unwrap().is_empty() {
+        if !plock(&self.injector).is_empty() {
             return true;
         }
-        let src = self.source.lock().unwrap().clone();
+        let src = plock(&self.source).clone();
         src.is_some_and(|s| s.peek().is_some())
     }
 }
@@ -442,7 +452,7 @@ impl SchedHandle {
 
     /// Wires the root-job source (service queue). Call once at startup.
     pub fn set_source(&self, source: Arc<dyn JobSource>) {
-        *self.inner.source.lock().unwrap() = Some(source);
+        *plock(&self.inner.source) = Some(source);
     }
 
     /// Pokes a parked worker after the source gained a job.
@@ -511,14 +521,17 @@ impl SchedHandle {
             while let Some(i) = run_claimed(inner, &core, &scope) {
                 let _ = i;
             }
-            let mut g = core.lock.lock().unwrap();
+            let mut g = plock(&core.lock);
             if core.complete() {
                 break;
             }
             // Claimable units may appear (publish) or everything may
             // finish while we slept; the timeout is belt-and-braces.
             let t0 = Instant::now();
-            let (g2, _) = core.cv.wait_timeout(g, Duration::from_millis(50)).unwrap();
+            let (g2, _) = core
+                .cv
+                .wait_timeout(g, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
             g = g2;
             drop(g);
             let waited = t0.elapsed().as_nanos() as u64;
@@ -549,6 +562,8 @@ impl SchedHandle {
             unit_runs: inner.unit_runs.load(Ordering::Relaxed),
             job_runs: inner.job_runs.load(Ordering::Relaxed),
             preemptions: inner.preemptions.load(Ordering::Relaxed),
+            worker_panics: inner.worker_panics.load(Ordering::Relaxed),
+            worker_respawns: inner.worker_respawns.load(Ordering::Relaxed),
         }
     }
 }
@@ -566,6 +581,10 @@ pub struct SchedMetrics {
     pub job_runs: u64,
     /// Times a helper re-posted its ticket for more urgent work.
     pub preemptions: u64,
+    /// Panics caught inside workers (scope units, root jobs, worker loop).
+    pub worker_panics: u64,
+    /// Worker threads respawned after their main loop panicked.
+    pub worker_respawns: u64,
 }
 
 pub struct WorkerMetrics {
@@ -604,6 +623,8 @@ impl Pool {
             unit_runs: AtomicU64::new(0),
             job_runs: AtomicU64::new(0),
             preemptions: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
         });
         let threads = (0..workers)
             .map(|idx| {
@@ -648,6 +669,24 @@ impl Drop for Pool {
 // Worker loop
 // ---------------------------------------------------------------------------
 
+/// Marks a worker as running for the duration of a task, restoring the
+/// count even if the task unwinds (a leaked `running` would undercount
+/// idle capacity forever).
+struct RunningGuard<'a>(&'a PoolInner);
+
+impl<'a> RunningGuard<'a> {
+    fn enter(inner: &'a PoolInner) -> RunningGuard<'a> {
+        inner.running.fetch_add(1, Ordering::Relaxed);
+        RunningGuard(inner)
+    }
+}
+
+impl Drop for RunningGuard<'_> {
+    fn drop(&mut self) {
+        self.0.running.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Claims and runs one unit of `core`, with busy accounting and panic
 /// capture. Returns the index run, or `None` when nothing was claimable.
 fn run_claimed(inner: &Arc<PoolInner>, core: &Arc<ScopeCore>, scope: &Scope<'_>) -> Option<usize> {
@@ -658,13 +697,18 @@ fn run_claimed(inner: &Arc<PoolInner>, core: &Arc<ScopeCore>, scope: &Scope<'_>)
         // `scope()` frame — and therefore the body — is still alive; see
         // `ScopeCore`.
         let body = unsafe { &*core.body };
-        if catch_unwind(AssertUnwindSafe(|| body(scope, i))).is_err() {
+        let unit = AssertUnwindSafe(|| {
+            lazymc_chaos::point!("sched.unit");
+            body(scope, i)
+        });
+        if catch_unwind(unit).is_err() {
             core.panicked.store(true, Ordering::Relaxed);
+            inner.worker_panics.fetch_add(1, Ordering::Relaxed);
         }
     }
     let prev = core.done.fetch_add(1, Ordering::AcqRel);
     if prev + 1 >= core.limit.load(Ordering::Acquire) {
-        let _g = core.lock.lock().unwrap();
+        let _g = plock(&core.lock);
         core.cv.notify_all();
     }
     Some(i)
@@ -675,7 +719,7 @@ fn run_claimed(inner: &Arc<PoolInner>, core: &Arc<ScopeCore>, scope: &Scope<'_>)
 /// appears in the pool.
 fn run_ticket(inner: &Arc<PoolInner>, idx: usize, core: Arc<ScopeCore>) {
     core.tickets.fetch_sub(1, Ordering::Relaxed);
-    inner.running.fetch_add(1, Ordering::Relaxed);
+    let _running = RunningGuard::enter(inner);
     let slot = &inner.slots[idx];
     let t0 = Instant::now();
     let idle0 = slot.task_idle_ns.load(Ordering::Relaxed);
@@ -693,14 +737,13 @@ fn run_ticket(inner: &Arc<PoolInner>, idx: usize, core: Arc<ScopeCore>) {
             // after the urgent work, and go handle the urgent work.
             inner.preemptions.fetch_add(1, Ordering::Relaxed);
             core.tickets.fetch_add(1, Ordering::Relaxed);
-            inner.injector.lock().unwrap().push(Injected(core.clone()));
+            plock(&inner.injector).push(Injected(core.clone()));
             break;
         }
         if run_claimed(inner, &core, &scope).is_none() {
             break;
         }
     }
-    inner.running.fetch_sub(1, Ordering::Relaxed);
     let idle = slot.task_idle_ns.load(Ordering::Relaxed) - idle0;
     let busy = (t0.elapsed().as_nanos() as u64).saturating_sub(idle);
     slot.busy_ns.fetch_add(busy, Ordering::Relaxed);
@@ -709,14 +752,15 @@ fn run_ticket(inner: &Arc<PoolInner>, idx: usize, core: Arc<ScopeCore>) {
 /// Runs a root job popped from the source.
 fn run_job(inner: &Arc<PoolInner>, idx: usize, job: Job) {
     inner.job_runs.fetch_add(1, Ordering::Relaxed);
-    inner.running.fetch_add(1, Ordering::Relaxed);
+    let _running = RunningGuard::enter(inner);
     let slot = &inner.slots[idx];
     let t0 = Instant::now();
     let idle0 = slot.task_idle_ns.load(Ordering::Relaxed);
     // Job bodies (service solves) catch their own panics; this is the
     // backstop that keeps a worker alive either way.
-    let _ = catch_unwind(AssertUnwindSafe(job.run));
-    inner.running.fetch_sub(1, Ordering::Relaxed);
+    if catch_unwind(AssertUnwindSafe(job.run)).is_err() {
+        inner.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
     let idle = slot.task_idle_ns.load(Ordering::Relaxed) - idle0;
     let busy = (t0.elapsed().as_nanos() as u64).saturating_sub(idle);
     slot.busy_ns.fetch_add(busy, Ordering::Relaxed);
@@ -727,12 +771,12 @@ fn run_job(inner: &Arc<PoolInner>, idx: usize, job: Job) {
 /// from inside a scope, so a solve cannot nest inside another solve.
 fn pick_global(inner: &Arc<PoolInner>) -> Option<Picked> {
     let shutdown = inner.shutdown.load(Ordering::Relaxed);
-    let mut inj = inner.injector.lock().unwrap();
+    let mut inj = plock(&inner.injector);
     let ikey = inj.peek().map(|t| t.0.key);
     let src = if shutdown {
         None
     } else {
-        inner.source.lock().unwrap().clone()
+        plock(&inner.source).clone()
     };
     let skey = src.as_ref().and_then(|s| s.peek());
     match (ikey, skey) {
@@ -760,7 +804,7 @@ fn steal_half(inner: &Arc<PoolInner>, idx: usize) -> Option<Arc<ScopeCore>> {
     for off in 1..n {
         let victim = (idx + off) % n;
         let mut grabbed = {
-            let mut dq = inner.slots[victim].deque.lock().unwrap();
+            let mut dq = plock(&inner.slots[victim].deque);
             if dq.is_empty() {
                 continue;
             }
@@ -772,7 +816,7 @@ fn steal_half(inner: &Arc<PoolInner>, idx: usize) -> Option<Arc<ScopeCore>> {
             .fetch_add(grabbed.len() as u64, Ordering::Relaxed);
         let first = grabbed.remove(0);
         if !grabbed.is_empty() {
-            let mut dq = inner.slots[idx].deque.lock().unwrap();
+            let mut dq = plock(&inner.slots[idx].deque);
             dq.extend(grabbed);
         }
         return Some(first);
@@ -780,35 +824,59 @@ fn steal_half(inner: &Arc<PoolInner>, idx: usize) -> Option<Arc<ScopeCore>> {
     None
 }
 
+/// Worker thread entry: supervises [`worker_loop`]. A panic that escapes
+/// the per-task catch_unwind (or a chaos injection at `sched.worker`)
+/// kills one loop iteration set, not the thread — the supervisor counts
+/// it and re-enters the loop, so the pool never silently loses capacity.
 fn worker_main(inner: Arc<PoolInner>, idx: usize) {
     CTX.with(|c| c.set(Some((Arc::as_ptr(&inner) as usize, idx))));
-    let poller = Poller::new().expect("epoll");
-    poller
-        .register(inner.slots[idx].wakeup.fd(), 0, Interest::READ)
-        .expect("register doorbell");
+    loop {
+        if catch_unwind(AssertUnwindSafe(|| worker_loop(&inner, idx))).is_ok() {
+            // Clean return: shutdown observed.
+            break;
+        }
+        inner.worker_panics.fetch_add(1, Ordering::Relaxed);
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        inner.worker_respawns.fetch_add(1, Ordering::Relaxed);
+        eprintln!("warning: lazymc-sched-{idx} worker loop panicked; respawning");
+        // Pace pathological crash loops (e.g. chaos `sched.worker=panic`).
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn worker_loop(inner: &Arc<PoolInner>, idx: usize) {
+    // A respawned worker rebuilds its poller; if epoll itself is failing,
+    // fall back to sleep-parking rather than dying.
+    let poller = Poller::new().ok();
+    if let Some(p) = &poller {
+        let _ = p.register(inner.slots[idx].wakeup.fd(), 0, Interest::READ);
+    }
     let mut events = Events::with_capacity(4);
     loop {
+        lazymc_chaos::point!("sched.worker");
         // 1. Own deque, LIFO (newest ticket: deepest, cache-hot).
-        let mine = inner.slots[idx].deque.lock().unwrap().pop_back();
+        let mine = plock(&inner.slots[idx].deque).pop_back();
         if let Some(core) = mine {
-            run_ticket(&inner, idx, core);
+            run_ticket(inner, idx, core);
             continue;
         }
         // 2. Global order: injector vs root-job source, deadline-earliest.
-        match pick_global(&inner) {
+        match pick_global(inner) {
             Some(Picked::Ticket(core)) => {
-                run_ticket(&inner, idx, core);
+                run_ticket(inner, idx, core);
                 continue;
             }
             Some(Picked::Job(job)) => {
-                run_job(&inner, idx, job);
+                run_job(inner, idx, job);
                 continue;
             }
             None => {}
         }
         // 3. Steal half a victim's deque.
-        if let Some(core) = steal_half(&inner, idx) {
-            run_ticket(&inner, idx, core);
+        if let Some(core) = steal_half(inner, idx) {
+            run_ticket(inner, idx, core);
             continue;
         }
         // 4. Nothing anywhere: exit on shutdown, else park on the
@@ -826,7 +894,12 @@ fn worker_main(inner: Arc<PoolInner>, idx: usize) {
         // Level-triggered epoll on the eventfd: a notify between the
         // recheck above and this wait is still seen immediately. The
         // timeout is a liveness backstop only.
-        let _ = poller.wait(&mut events, Some(Duration::from_millis(50)));
+        match &poller {
+            Some(p) => {
+                let _ = p.wait(&mut events, Some(Duration::from_millis(50)));
+            }
+            None => std::thread::sleep(Duration::from_millis(5)),
+        }
         slot.wakeup.drain();
         slot.parked.store(false, Ordering::SeqCst);
     }
@@ -974,6 +1047,32 @@ mod tests {
         }));
         assert!(r.is_err());
         // Pool still works afterwards.
+        let hits = AtomicU32::new(0);
+        h.scope(TaskMeta::adhoc(), 1, 4, &|_s, _i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn worker_panics_are_counted_and_pool_survives() {
+        let pool = Pool::new(2);
+        let h = pool.handle();
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            h.scope(TaskMeta::adhoc(), 1, 8, &|_s, i| {
+                if i == 2 {
+                    panic!("unit boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        let m = h.metrics();
+        assert!(
+            m.worker_panics >= 1,
+            "panic not counted: {}",
+            m.worker_panics
+        );
+        // The pool keeps scheduling work afterwards.
         let hits = AtomicU32::new(0);
         h.scope(TaskMeta::adhoc(), 1, 4, &|_s, _i| {
             hits.fetch_add(1, Ordering::Relaxed);

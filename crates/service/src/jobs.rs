@@ -18,11 +18,12 @@
 //! always goes through [`JobStore::complete`] — reports it cancelled.
 
 use crate::conn::Response;
+use crate::plock;
 use crate::protocol::Json;
 use crate::queue::JobTicket;
 use crate::reactor::Responder;
 use lazymc_core::{Deadline, PhaseTimes, SolveProgress};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -122,17 +123,30 @@ impl JobRecord {
     }
 }
 
+/// Terminal fate of a job whose full record is gone. Two flavors:
+///
+/// * `evicted: false` — the record was delivered to a one-shot sink
+///   (sync, batch) and dropped. `GET`/`DELETE /jobs/<id>` answer with the
+///   terminal state instead of 404: a *failed* job (solver panic, poisoned
+///   scope) stays discoverable after its 500 went out.
+/// * `evicted: true` — the retained record aged out (TTL) or was pushed
+///   out of the byte budget; surfaces as the historical `"expired"` 404.
+#[derive(Clone, Copy)]
+struct Tombstone {
+    state: JobState,
+    evicted: bool,
+}
+
 struct Inner {
     jobs: HashMap<u64, JobRecord>,
     /// Retained jobs in completion order (TTL/byte eviction order).
     done_order: VecDeque<u64>,
     /// Accounted bytes of retained completed jobs.
     result_bytes: usize,
-    /// Tombstones of evicted job ids, so a 404 can distinguish a job
-    /// that existed and expired from one that never did.
-    expired_ids: HashSet<u64>,
-    /// FIFO of `expired_ids` for bounded eviction.
-    expired_order: VecDeque<u64>,
+    /// Terminal states of departed records, keyed by job id.
+    tombstones: HashMap<u64, Tombstone>,
+    /// FIFO of `tombstones` for bounded eviction.
+    tombstone_order: VecDeque<u64>,
 }
 
 /// Most tombstones retained; beyond it the oldest forget their history
@@ -140,13 +154,17 @@ struct Inner {
 const MAX_TOMBSTONES: usize = 4096;
 
 impl Inner {
-    /// Records that `id` existed but was evicted (TTL or byte budget).
-    fn entomb(&mut self, id: u64) {
-        if self.expired_ids.insert(id) {
-            self.expired_order.push_back(id);
-            while self.expired_order.len() > MAX_TOMBSTONES {
-                if let Some(old) = self.expired_order.pop_front() {
-                    self.expired_ids.remove(&old);
+    /// Records the terminal `state` of a departed record under `id`.
+    fn entomb(&mut self, id: u64, state: JobState, evicted: bool) {
+        if self
+            .tombstones
+            .insert(id, Tombstone { state, evicted })
+            .is_none()
+        {
+            self.tombstone_order.push_back(id);
+            while self.tombstone_order.len() > MAX_TOMBSTONES {
+                if let Some(old) = self.tombstone_order.pop_front() {
+                    self.tombstones.remove(&old);
                 }
             }
         }
@@ -179,8 +197,8 @@ impl JobStore {
                 jobs: HashMap::new(),
                 done_order: VecDeque::new(),
                 result_bytes: 0,
-                expired_ids: HashSet::new(),
-                expired_order: VecDeque::new(),
+                tombstones: HashMap::new(),
+                tombstone_order: VecDeque::new(),
             }),
             ttl,
             max_bytes: max_bytes.max(1),
@@ -218,8 +236,50 @@ impl JobStore {
             retain,
         };
         let id = record.ticket.id;
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = plock(&self.inner);
         inner.jobs.insert(id, record);
+    }
+
+    /// Installs an already-terminal retained record. Boot replay uses
+    /// this when a journaled job can no longer run (its graph's snapshot
+    /// is gone, or the service has no solver for it anymore):
+    /// `GET /jobs/<id>` then reports the terminal state and result like
+    /// any completed async job, instead of pretending the job never
+    /// existed.
+    pub(crate) fn insert_terminal(
+        &self,
+        ticket: JobTicket,
+        graph: String,
+        state: JobState,
+        result: Json,
+    ) {
+        let id = ticket.id;
+        let now = Instant::now();
+        let record = JobRecord {
+            state,
+            ticket,
+            deadline: Arc::new(Deadline::starting_now(None)),
+            sink: None,
+            meta: JobMeta {
+                graph,
+                budget_clamped: false,
+                trace: String::new(),
+                parse_us: 0,
+                budget_ms: None,
+            },
+            created: now,
+            progress: None,
+            running_since: None,
+            completed: Some(now),
+            result: Some(result.encode()),
+            retain: true,
+        };
+        let bytes = record.bytes();
+        let mut inner = plock(&self.inner);
+        inner.jobs.insert(id, record);
+        inner.result_bytes += bytes;
+        inner.done_order.push_back(id);
+        self.evict_locked(&mut inner);
     }
 
     /// Rolls back [`JobStore::insert_queued`] after a failed queue push.
@@ -232,7 +292,7 @@ impl JobStore {
     /// response is harmless either way (sync responders are first-wins,
     /// batch slots are first-fill-wins).
     pub(crate) fn forget(&self, id: u64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = plock(&self.inner);
         if inner.jobs.get(&id).is_some_and(|r| r.completed.is_none()) {
             inner.jobs.remove(&id);
         }
@@ -241,7 +301,7 @@ impl JobStore {
     /// A solver worker picked the job up; `progress` is the live cell
     /// the solve publishes into and `GET /jobs/<id>` reads from.
     pub(crate) fn mark_running(&self, id: u64, progress: Arc<SolveProgress>) {
-        if let Some(r) = self.inner.lock().unwrap().jobs.get_mut(&id) {
+        if let Some(r) = plock(&self.inner).jobs.get_mut(&id) {
             if r.state == JobState::Queued {
                 r.state = JobState::Running;
                 r.progress = Some(progress);
@@ -307,7 +367,7 @@ impl JobStore {
         cancelled: bool,
         observe: impl FnOnce(CompletedMeta),
     ) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = plock(&self.inner);
         let Some(record) = inner.jobs.get_mut(&id) else {
             return; // cancelled-while-queued: sink already answered
         };
@@ -362,6 +422,7 @@ impl JobStore {
             inner.done_order.push_back(id);
         } else {
             inner.jobs.remove(&id);
+            inner.entomb(id, state, false);
         }
         self.evict_locked(&mut inner);
         drop(inner);
@@ -379,9 +440,15 @@ impl JobStore {
 
     /// `DELETE /jobs/<id>`.
     pub(crate) fn cancel(&self, id: u64) -> CancelOutcome {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = plock(&self.inner);
         let Some(record) = inner.jobs.get_mut(&id) else {
-            return CancelOutcome::NotFound;
+            // A delivered-and-dropped job still answers with its terminal
+            // state (a failed sync job must not 404); evicted records keep
+            // the historical "expired" 404.
+            return match inner.tombstones.get(&id) {
+                Some(t) if !t.evicted => CancelOutcome::AlreadyDone(t.state),
+                _ => CancelOutcome::NotFound,
+            };
         };
         match record.state {
             JobState::Queued => {
@@ -397,6 +464,7 @@ impl JobStore {
                     inner.done_order.push_back(id);
                 } else {
                     inner.jobs.remove(&id);
+                    inner.entomb(id, JobState::Cancelled, false);
                 }
                 drop(inner);
                 self.cancelled_http.fetch_add(1, Ordering::Relaxed);
@@ -435,7 +503,7 @@ impl JobStore {
     /// `GET /jobs/<id>`: state + retained result. Applies TTL lazily —
     /// an expired record is removed and reported absent.
     pub(crate) fn view(&self, id: u64) -> Option<Json> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = plock(&self.inner);
         let expired = inner
             .jobs
             .get(&id)
@@ -443,12 +511,26 @@ impl JobStore {
         if expired {
             if let Some(r) = inner.jobs.remove(&id) {
                 inner.result_bytes = inner.result_bytes.saturating_sub(r.bytes());
+                inner.entomb(id, r.state, true);
             }
-            inner.entomb(id);
             self.expired.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let record = inner.jobs.get(&id)?;
+        let Some(record) = inner.jobs.get(&id) else {
+            // Delivered-and-dropped (sync/batch) jobs keep answering with
+            // their terminal state — no retained result, but the fate
+            // (notably `failed`) is preserved. Evicted records stay 404.
+            let tomb = *inner.tombstones.get(&id)?;
+            if tomb.evicted {
+                return None;
+            }
+            return Some(Json::obj(vec![
+                ("job_id", Json::num(id as f64)),
+                ("status", Json::str(tomb.state.as_str())),
+                ("retained", Json::Bool(false)),
+                ("result", Json::Null),
+            ]));
+        };
         let mut fields = vec![
             ("job_id", Json::num(id as f64)),
             ("status", Json::str(record.state.as_str())),
@@ -507,7 +589,7 @@ impl JobStore {
                 inner.done_order.pop_front();
                 if let Some(r) = inner.jobs.remove(&front) {
                     inner.result_bytes = inner.result_bytes.saturating_sub(r.bytes());
-                    inner.entomb(front);
+                    inner.entomb(front, r.state, true);
                     self.expired.fetch_add(1, Ordering::Relaxed);
                 }
             } else {
@@ -521,7 +603,7 @@ impl JobStore {
             };
             if let Some(r) = inner.jobs.remove(&victim) {
                 inner.result_bytes = inner.result_bytes.saturating_sub(r.bytes());
-                inner.entomb(victim);
+                inner.entomb(victim, r.state, true);
             }
         }
     }
@@ -530,16 +612,15 @@ impl JobStore {
     /// evicted (TTL or byte budget), `"unknown"` if no such job ever
     /// existed (or its tombstone aged out of the bounded history).
     pub(crate) fn missing_reason(&self, id: u64) -> &'static str {
-        if self.inner.lock().unwrap().expired_ids.contains(&id) {
-            "expired"
-        } else {
-            "unknown"
+        match plock(&self.inner).tombstones.get(&id) {
+            Some(t) if t.evicted => "expired",
+            _ => "unknown",
         }
     }
 
     /// (total records, retained-result bytes) for introspection.
     pub fn stats(&self) -> (usize, usize) {
-        let inner = self.inner.lock().unwrap();
+        let inner = plock(&self.inner);
         (inner.jobs.len(), inner.result_bytes)
     }
 }
@@ -569,14 +650,14 @@ impl BatchAggregator {
     /// taken) is a no-op — never a panic in a worker thread.
     pub(crate) fn fill(&self, slot: usize, result: Json) {
         {
-            let mut slots = self.slots.lock().unwrap();
+            let mut slots = plock(&self.slots);
             if slot >= slots.len() || slots[slot].is_some() {
                 return;
             }
             slots[slot] = Some(result);
         }
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let slots = std::mem::take(&mut *self.slots.lock().unwrap());
+            let slots = std::mem::take(&mut *plock(&self.slots));
             let results: Vec<Json> = slots.into_iter().map(|s| s.unwrap_or(Json::Null)).collect();
             let count = results.len();
             self.responder.respond(Response::json(

@@ -1,0 +1,531 @@
+//! Crash-safe job journal: an append-only, checksummed WAL under
+//! `--data-dir` that makes admitted jobs survive `kill -9`.
+//!
+//! Every accepted solve writes an *admit* record (the job id plus the
+//! request body re-encoded via [`crate::SolveRequest::to_json`]) and the
+//! record is fsynced **before** the client hears `202`/sees a result — an
+//! acknowledged admission is durable. Terminal transitions (done, failed,
+//! cancelled) append a *complete* record without fsync: completes are
+//! idempotent bookkeeping, and losing a tail of them merely re-runs a
+//! finished job after a crash, which replay makes harmless.
+//!
+//! On boot, [`Journal::open`] scans every segment, tolerating a torn tail
+//! the same way the `.lmcs` loader quarantines corrupt snapshots: a record
+//! that fails its length or FNV-1a check ends that segment's replay with a
+//! warning instead of an error. Jobs admitted but never completed are
+//! returned for re-enqueue (under their original ids), and the surviving
+//! state is compacted into a fresh segment so the journal never grows
+//! across restarts.
+//!
+//! ## Format
+//!
+//! A segment (`journal/seg-<n>.wal`) is the 8-byte magic `LMCJWAL1`
+//! followed by records:
+//!
+//! ```text
+//! u32le payload_len | u64le fnv1a(payload) | payload
+//! payload = kind u8 (1 = admit, 2 = complete) | u64le job_id | body…
+//! ```
+//!
+//! `body` is the admit's request JSON (empty for completes). When the
+//! active segment passes its size limit, the pending set is carried
+//! forward into a new segment and the old one is deleted — completion
+//! records never accumulate beyond one segment's worth.
+//!
+//! An append failure (disk full, chaos `journal.append`) permanently
+//! disables the journal for this process — the daemon keeps serving from
+//! memory, [`crate::Health`] reports `degraded`, and the operator restarts
+//! once the volume is fixed.
+
+use crate::plock;
+use lazymc_graph::snapshot::fnv1a;
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const MAGIC: &[u8; 8] = b"LMCJWAL1";
+const KIND_ADMIT: u8 = 1;
+const KIND_COMPLETE: u8 = 2;
+/// Rotation threshold for the active segment.
+const SEGMENT_BYTES: u64 = 1 << 20;
+/// Reject absurd record lengths during replay (a corrupt length field
+/// must not allocate gigabytes).
+const MAX_PAYLOAD: u32 = 16 << 20;
+
+/// A job recovered from the journal at boot: admitted, never completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayedJob {
+    pub id: u64,
+    /// The admit body — a `SolveRequest` as JSON.
+    pub body: String,
+}
+
+struct Active {
+    file: Option<File>,
+    seg: u64,
+    bytes: u64,
+    /// Admitted-but-not-completed jobs, mirrored in memory so rotation can
+    /// carry them into the next segment.
+    pending: BTreeMap<u64, String>,
+}
+
+/// The write-ahead job journal. One per daemon (when `--data-dir` is set).
+pub struct Journal {
+    dir: PathBuf,
+    segment_bytes: u64,
+    inner: Mutex<Active>,
+    enabled: AtomicBool,
+    pub appends: AtomicU64,
+    pub append_errors: AtomicU64,
+    pub rotations: AtomicU64,
+    /// Jobs returned for re-enqueue by [`Journal::open`].
+    pub replayed: AtomicU64,
+}
+
+fn encode_record(kind: u8, id: u64, body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(9 + body.len());
+    payload.push(kind);
+    payload.extend_from_slice(&id.to_le_bytes());
+    payload.extend_from_slice(body);
+    let mut rec = Vec::with_capacity(12 + payload.len());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    rec.extend_from_slice(&payload);
+    rec
+}
+
+fn seg_path(dir: &Path, seg: u64) -> PathBuf {
+    dir.join(format!("seg-{seg}.wal"))
+}
+
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Applies one segment's records to `pending`. Returns `Err` with a
+/// description of the first malformed record; everything before it has
+/// already been applied (truncation tolerance).
+fn replay_segment(bytes: &[u8], pending: &mut BTreeMap<u64, String>) -> Result<(), String> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err("bad segment magic".into());
+    }
+    let mut pos = MAGIC.len();
+    while pos < bytes.len() {
+        let Some(header) = bytes.get(pos..pos + 12) else {
+            return Err(format!("torn record header at byte {pos}"));
+        };
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let sum = u64::from_le_bytes([
+            header[4], header[5], header[6], header[7], header[8], header[9], header[10],
+            header[11],
+        ]);
+        if !(9..=MAX_PAYLOAD).contains(&len) {
+            return Err(format!("implausible record length {len} at byte {pos}"));
+        }
+        let Some(payload) = bytes.get(pos + 12..pos + 12 + len as usize) else {
+            return Err(format!("torn record payload at byte {pos}"));
+        };
+        if fnv1a(payload) != sum {
+            return Err(format!("checksum mismatch at byte {pos}"));
+        }
+        let kind = payload[0];
+        let id = u64::from_le_bytes([
+            payload[1], payload[2], payload[3], payload[4], payload[5], payload[6], payload[7],
+            payload[8],
+        ]);
+        match kind {
+            KIND_ADMIT => match std::str::from_utf8(&payload[9..]) {
+                Ok(body) => {
+                    pending.insert(id, body.to_string());
+                }
+                Err(_) => return Err(format!("admit body for job {id} is not UTF-8")),
+            },
+            KIND_COMPLETE => {
+                // Idempotent: completing an unknown or already-completed
+                // job is a no-op, which is what makes unsynced completes
+                // and replay re-runs safe.
+                pending.remove(&id);
+            }
+            other => return Err(format!("unknown record kind {other} at byte {pos}")),
+        }
+        pos += 12 + len as usize;
+    }
+    Ok(())
+}
+
+impl Journal {
+    /// Opens (or creates) the journal under `data_dir/journal`, replays
+    /// every segment, compacts surviving state into a fresh segment, and
+    /// returns the jobs that need re-enqueueing.
+    pub fn open(data_dir: &Path) -> io::Result<(Journal, Vec<ReplayedJob>)> {
+        Journal::open_with(data_dir, SEGMENT_BYTES)
+    }
+
+    /// [`Journal::open`] with an explicit rotation threshold (tests).
+    pub fn open_with(
+        data_dir: &Path,
+        segment_bytes: u64,
+    ) -> io::Result<(Journal, Vec<ReplayedJob>)> {
+        let dir = data_dir.join("journal");
+        fs::create_dir_all(&dir)?;
+
+        // Collect segments in numeric order.
+        let mut segs: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(n) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".wal"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                segs.push(n);
+            }
+        }
+        segs.sort_unstable();
+
+        let mut pending = BTreeMap::new();
+        for &seg in &segs {
+            let path = seg_path(&dir, seg);
+            let mut bytes = Vec::new();
+            match File::open(&path).and_then(|mut f| f.read_to_end(&mut bytes)) {
+                Ok(_) => {
+                    if let Err(why) = replay_segment(&bytes, &mut pending) {
+                        eprintln!(
+                            "warning: job journal {}: {} — replaying the records before it",
+                            path.display(),
+                            why
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!(
+                        "warning: job journal {}: unreadable ({}) — skipping segment",
+                        path.display(),
+                        e
+                    );
+                }
+            }
+        }
+
+        let replayed: Vec<ReplayedJob> = pending
+            .iter()
+            .map(|(id, body)| ReplayedJob {
+                id: *id,
+                body: body.clone(),
+            })
+            .collect();
+
+        let journal = Journal {
+            dir: dir.clone(),
+            segment_bytes: segment_bytes.max(4096),
+            inner: Mutex::new(Active {
+                file: None,
+                seg: segs.last().map_or(1, |last| last + 1),
+                bytes: 0,
+                pending,
+            }),
+            enabled: AtomicBool::new(true),
+            appends: AtomicU64::new(0),
+            append_errors: AtomicU64::new(0),
+            rotations: AtomicU64::new(0),
+            replayed: AtomicU64::new(replayed.len() as u64),
+        };
+
+        // Compact: write surviving admits into the fresh segment, then
+        // drop the old segments. If this fails the journal starts
+        // disabled (the old segments stay for the next boot) — the caller
+        // reports degraded health.
+        {
+            let mut active = plock(&journal.inner);
+            match journal.start_segment(&mut active) {
+                Ok(()) => {
+                    for &seg in &segs {
+                        let _ = fs::remove_file(seg_path(&dir, seg));
+                    }
+                    let _ = sync_dir(&dir);
+                }
+                Err(e) => {
+                    eprintln!("warning: job journal compaction failed ({e}); journaling disabled");
+                    journal.enabled.store(false, Ordering::Relaxed);
+                }
+            }
+        }
+
+        Ok((journal, replayed))
+    }
+
+    /// Whether appends are still being accepted (false after an append
+    /// error flipped the daemon to memory-only persistence).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Creates `active.seg` on disk and writes the magic plus an admit
+    /// record per pending job. On success the file becomes the append
+    /// target.
+    fn start_segment(&self, active: &mut Active) -> io::Result<()> {
+        let path = seg_path(&self.dir, active.seg);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut buf = Vec::with_capacity(MAGIC.len());
+        buf.extend_from_slice(MAGIC);
+        for (id, body) in &active.pending {
+            buf.extend_from_slice(&encode_record(KIND_ADMIT, *id, body.as_bytes()));
+        }
+        file.write_all(&buf)?;
+        file.sync_data()?;
+        sync_dir(&self.dir)?;
+        active.bytes = buf.len() as u64;
+        active.file = Some(file);
+        Ok(())
+    }
+
+    /// Appends one record, rotating first if the active segment is full.
+    /// `durable` forces an fsync before returning.
+    fn append(&self, kind: u8, id: u64, body: &str, durable: bool) -> io::Result<()> {
+        if !self.is_enabled() {
+            return Ok(());
+        }
+        let mut active = plock(&self.inner);
+        let result = (|| -> io::Result<()> {
+            lazymc_chaos::io_point!("journal.append");
+            if active.file.is_none() || active.bytes >= self.segment_bytes {
+                if active.file.is_some() {
+                    let old = active.seg;
+                    active.seg += 1;
+                    self.start_segment(&mut active)?;
+                    let _ = fs::remove_file(seg_path(&self.dir, old));
+                    self.rotations.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.start_segment(&mut active)?;
+                }
+            }
+            let rec = encode_record(kind, id, body.as_bytes());
+            let file = active
+                .file
+                .as_mut()
+                .ok_or_else(|| io::Error::other("journal segment not open"))?;
+            file.write_all(&rec)?;
+            if durable {
+                file.sync_data()?;
+            }
+            active.bytes += rec.len() as u64;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                match kind {
+                    KIND_ADMIT => {
+                        active.pending.insert(id, body.to_string());
+                    }
+                    _ => {
+                        active.pending.remove(&id);
+                    }
+                }
+                self.appends.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.append_errors.fetch_add(1, Ordering::Relaxed);
+                self.enabled.store(false, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Durably records an admission. Must succeed (and fsync) before the
+    /// admission is acknowledged to the client; an `Err` means the journal
+    /// just disabled itself and the caller should degrade health — the job
+    /// itself still runs.
+    pub fn admit(&self, id: u64, body: &str) -> io::Result<()> {
+        self.append(KIND_ADMIT, id, body, true)
+    }
+
+    /// Records a terminal transition (done / failed / cancelled). Not
+    /// fsynced: a lost complete record only means a finished job re-runs
+    /// after a crash.
+    pub fn complete(&self, id: u64) -> io::Result<()> {
+        self.append(KIND_COMPLETE, id, "", false)
+    }
+
+    /// Admitted-but-not-completed jobs currently tracked (gauge).
+    pub fn pending_len(&self) -> usize {
+        plock(&self.inner).pending.len()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "lazymc-journal-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn seg_files(dir: &Path) -> Vec<String> {
+        let mut names: Vec<String> = fs::read_dir(dir.join("journal"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn admitted_jobs_replay_and_completed_jobs_do_not() {
+        let dir = tempdir("replay");
+        {
+            let (j, replayed) = Journal::open(&dir).unwrap();
+            assert!(replayed.is_empty());
+            j.admit(1, r#"{"graph":"a"}"#).unwrap();
+            j.admit(2, r#"{"graph":"b"}"#).unwrap();
+            j.admit(3, r#"{"graph":"c"}"#).unwrap();
+            j.complete(2).unwrap();
+            // Crash: drop without completing 1 and 3.
+        }
+        let (_j, replayed) = Journal::open(&dir).unwrap();
+        assert_eq!(
+            replayed,
+            vec![
+                ReplayedJob {
+                    id: 1,
+                    body: r#"{"graph":"a"}"#.into()
+                },
+                ReplayedJob {
+                    id: 3,
+                    body: r#"{"graph":"c"}"#.into()
+                },
+            ]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_completes_are_idempotent() {
+        let dir = tempdir("idem");
+        {
+            let (j, _) = Journal::open(&dir).unwrap();
+            j.admit(7, "{}").unwrap();
+            j.complete(7).unwrap();
+            j.complete(7).unwrap();
+            j.complete(999).unwrap();
+        }
+        let (_j, replayed) = Journal::open(&dir).unwrap();
+        assert!(replayed.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_keeps_earlier_records() {
+        let dir = tempdir("torn");
+        let seg;
+        {
+            let (j, _) = Journal::open(&dir).unwrap();
+            j.admit(1, r#"{"graph":"keep"}"#).unwrap();
+            j.admit(2, r#"{"graph":"torn"}"#).unwrap();
+            seg = plock(&j.inner).seg;
+        }
+        // Simulate a crash mid-write: cut the last record in half.
+        let path = seg_path(&dir.join("journal"), seg);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (_j, replayed) = Journal::open(&dir).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].id, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_that_segment_only() {
+        let dir = tempdir("crc");
+        let seg;
+        {
+            let (j, _) = Journal::open(&dir).unwrap();
+            j.admit(1, r#"{"graph":"ok"}"#).unwrap();
+            j.admit(2, r#"{"graph":"flip"}"#).unwrap();
+            seg = plock(&j.inner).seg;
+        }
+        let path = seg_path(&dir.join("journal"), seg);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a byte inside the *second* record's payload.
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let (_j, replayed) = Journal::open(&dir).unwrap();
+        assert_eq!(replayed.len(), 1, "record before the corruption survives");
+        assert_eq!(replayed[0].id, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_carries_pending_and_prunes_old_segments() {
+        let dir = tempdir("rotate");
+        let (j, _) = Journal::open_with(&dir, 4096).unwrap();
+        // Never-completed job must survive arbitrarily many rotations.
+        j.admit(1, r#"{"graph":"sticky"}"#).unwrap();
+        let filler = "x".repeat(512);
+        for id in 2..40u64 {
+            j.admit(id, &format!(r#"{{"graph":"{filler}"}}"#)).unwrap();
+            j.complete(id).unwrap();
+        }
+        assert!(j.rotations.load(Ordering::Relaxed) >= 1);
+        assert_eq!(seg_files(&dir).len(), 1, "rotation must prune old segments");
+        assert_eq!(j.pending_len(), 1);
+        drop(j);
+        let (_j, replayed) = Journal::open(&dir).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].id, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_on_open_leaves_one_fresh_segment() {
+        let dir = tempdir("compact");
+        {
+            let (j, _) = Journal::open(&dir).unwrap();
+            j.admit(5, "{}").unwrap();
+        }
+        {
+            let (_j, _) = Journal::open(&dir).unwrap();
+        }
+        let names = seg_files(&dir);
+        assert_eq!(names.len(), 1, "old segments compacted away: {names:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_error_disables_journal_but_not_the_caller() {
+        let dir = tempdir("disable");
+        let (j, _) = Journal::open(&dir).unwrap();
+        j.admit(1, "{}").unwrap();
+        // Nuke the directory out from under the journal, then force a
+        // rotation so the next append must create a file and fails.
+        fs::remove_dir_all(dir.join("journal")).unwrap();
+        plock(&j.inner).bytes = u64::MAX;
+        assert!(j.admit(2, "{}").is_err());
+        assert!(!j.is_enabled());
+        // Subsequent appends are silently skipped, not errors.
+        assert!(j.admit(3, "{}").is_ok());
+        assert!(j.complete(1).is_ok());
+        assert_eq!(j.append_errors.load(Ordering::Relaxed), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

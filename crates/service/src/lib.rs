@@ -72,8 +72,16 @@
 //! handle.stop();
 //! ```
 
+// The request path must never die of an avoidable panic: a poisoned lock,
+// a "can't happen" unwrap. Fault-injection (crates/chaos) now exercises
+// those paths, and this deny holds the line. Sites with a real invariant
+// argument carry a targeted allow.
+#![deny(clippy::unwrap_used)]
+
 pub mod conn;
+pub mod health;
 pub mod jobs;
+pub mod journal;
 pub mod obs;
 pub mod persist;
 pub mod protocol;
@@ -83,7 +91,9 @@ pub mod registry;
 pub mod server;
 
 pub use conn::{Request, Response};
+pub use health::Health;
 pub use jobs::{JobState, JobStore};
+pub use journal::{Journal, ReplayedJob};
 pub use lazymc_obs::LogSink;
 pub use obs::ServiceObs;
 pub use persist::SnapshotStore;
@@ -91,3 +101,12 @@ pub use protocol::{Json, LoadRequest, SolveRequest};
 pub use queue::{JobQueue, JobTicket, QueueFull};
 pub use registry::{CachedSolve, GraphEntry, Registry, ResultCache};
 pub use server::{serve, ServiceConfig, ServiceHandle, ServiceMetrics, ServiceState};
+
+/// Locks ignoring poison. Every mutex in this crate guards state that
+/// stays consistent across an unwind (counters, maps, heaps mutated in
+/// single statements), so a panic on another thread — real or
+/// chaos-injected — must not cascade into every thread that touches the
+/// same lock.
+pub(crate) fn plock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -11,6 +11,7 @@
 //! `X-Request-Id`) which flows HTTP → queue → job → solve, so one grep
 //! over the log reconstructs a request's whole path through the daemon.
 
+use crate::plock;
 use crate::protocol::Json;
 use lazymc_core::PhaseTimes;
 use lazymc_obs::{Histogram, HistogramSnapshot, LogSink, SlowLog};
@@ -172,7 +173,7 @@ impl SchedWindow {
     /// snapshot (one entry per worker).
     pub fn efficiency(&self, busy_ns: &[u64]) -> Vec<f64> {
         let now = Instant::now();
-        let mut last = self.last.lock().unwrap();
+        let mut last = plock(&self.last);
         let elapsed_ns = now.duration_since(last.at).as_nanos() as u64;
         let out = busy_ns
             .iter()
@@ -380,6 +381,7 @@ fn unix_ms() -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -15,6 +15,7 @@
 //!   renamed to `<file>.corrupt` with a warning on stderr and dropped from
 //!   the index; the daemon keeps serving.
 
+use crate::plock;
 use lazymc_graph::snapshot::{write_file_atomic, Snapshot};
 use lazymc_graph::CsrGraph;
 use lazymc_order::{embed_kcore, extract_kcore, KCore};
@@ -159,18 +160,18 @@ impl SnapshotStore {
                 Err(e) => self.quarantine(&path, &e),
             }
         }
-        *self.index.lock().unwrap() = index;
+        *plock(&self.index) = index;
         Ok(())
     }
 
     /// Whether a (non-quarantined) snapshot of `name` is indexed on disk.
     pub fn contains(&self, name: &str) -> bool {
-        self.index.lock().unwrap().contains_key(name)
+        plock(&self.index).contains_key(name)
     }
 
     /// Number of indexed snapshots.
     pub fn len(&self) -> usize {
-        self.index.lock().unwrap().len()
+        plock(&self.index).len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -179,17 +180,17 @@ impl SnapshotStore {
 
     /// Disk footprint of one snapshot, if indexed.
     pub fn bytes_of(&self, name: &str) -> Option<u64> {
-        self.index.lock().unwrap().get(name).map(|e| e.bytes)
+        plock(&self.index).get(name).map(|e| e.bytes)
     }
 
     /// Total disk footprint of all indexed snapshots.
     pub fn total_bytes(&self) -> u64 {
-        self.index.lock().unwrap().values().map(|e| e.bytes).sum()
+        plock(&self.index).values().map(|e| e.bytes).sum()
     }
 
     /// Indexed names, unordered.
     pub fn names(&self) -> Vec<String> {
-        self.index.lock().unwrap().keys().cloned().collect()
+        plock(&self.index).keys().cloned().collect()
     }
 
     /// Durably writes a snapshot of `graph` + `kcore` under `name`.
@@ -205,9 +206,10 @@ impl SnapshotStore {
         let mut snap = Snapshot::from_graph(graph);
         embed_kcore(&mut snap, kcore);
         let bytes = snap.encode();
+        lazymc_chaos::io_point!("persist.write");
         write_file_atomic(&self.path_of(name), &bytes)?;
         let len = bytes.len() as u64;
-        self.index.lock().unwrap().insert(
+        plock(&self.index).insert(
             name.to_string(),
             IndexEntry {
                 fingerprint: snap.fingerprint,
@@ -231,7 +233,7 @@ impl SnapshotStore {
             Ok(b) => b,
             Err(e) => {
                 self.quarantine(&path, &format!("unreadable: {e}"));
-                self.index.lock().unwrap().remove(name);
+                plock(&self.index).remove(name);
                 return None;
             }
         };
@@ -244,7 +246,7 @@ impl SnapshotStore {
             }
             Err(e) => {
                 self.quarantine(&path, &e);
-                self.index.lock().unwrap().remove(name);
+                plock(&self.index).remove(name);
                 None
             }
         }
@@ -254,7 +256,7 @@ impl SnapshotStore {
     /// in-memory CSR of any in-flight solve is untouched — `Arc`s keep the
     /// data alive regardless of what happens to the file.
     pub fn remove(&self, name: &str) -> bool {
-        let had = self.index.lock().unwrap().remove(name).is_some();
+        let had = plock(&self.index).remove(name).is_some();
         if had {
             let _ = std::fs::remove_file(self.path_of(name));
         }
@@ -263,7 +265,7 @@ impl SnapshotStore {
 
     /// The indexed fingerprint of `name`'s snapshot, if any.
     pub fn fingerprint_of(&self, name: &str) -> Option<u64> {
-        self.index.lock().unwrap().get(name).map(|e| e.fingerprint)
+        plock(&self.index).get(name).map(|e| e.fingerprint)
     }
 }
 
@@ -284,6 +286,7 @@ fn read_prefix(path: &Path, cap: usize) -> std::io::Result<Vec<u8>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use lazymc_graph::gen;

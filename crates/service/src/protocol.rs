@@ -235,7 +235,8 @@ impl<'a> Parser<'a> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The scanned range is ASCII digits/signs/exponents only.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|e| format!("bad number {text:?}: {e}"))
@@ -472,6 +473,41 @@ impl SolveRequest {
         })
     }
 
+    /// Serializes back to the body shape [`SolveRequest::from_json`]
+    /// accepts. The job journal stores admitted requests in this form so a
+    /// crash-recovery replay re-parses them through the exact same
+    /// validation and clamping as the original submission.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("graph".into(), Json::Str(self.graph.clone())),
+            ("priority".into(), Json::Num(f64::from(self.priority))),
+        ];
+        // Every field `from_json` accepted is exactly representable as f64
+        // (as_u64 enforces < 2^53), so this round-trips losslessly.
+        if let Some(x) = self.budget_ms {
+            pairs.push(("budget_ms".into(), Json::Num(x as f64)));
+        }
+        if let Some(x) = self.threads {
+            pairs.push(("threads".into(), Json::Num(x as f64)));
+        }
+        if let Some(x) = self.top_k {
+            pairs.push(("top_k".into(), Json::Num(x as f64)));
+        }
+        if let Some(x) = self.phi {
+            pairs.push(("phi".into(), Json::Num(x)));
+        }
+        if let Some(x) = self.filter_rounds {
+            pairs.push(("filter_rounds".into(), Json::Num(x as f64)));
+        }
+        if let Some(o) = &self.order {
+            pairs.push(("order".into(), Json::Str(o.clone())));
+        }
+        if self.no_cache {
+            pairs.push(("no_cache".into(), Json::Bool(true)));
+        }
+        Json::Obj(pairs)
+    }
+
     /// The solver configuration this request asks for.
     pub fn config(&self) -> Config {
         let mut cfg = Config::default();
@@ -501,6 +537,7 @@ impl SolveRequest {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -658,6 +695,20 @@ mod tests {
         assert_eq!(cfg.density_threshold, 0.3);
         assert_eq!(cfg.order, OrderKind::Peeling);
         assert_eq!(cfg.time_budget, Some(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn solve_request_json_round_trips() {
+        for text in [
+            r#"{"graph":"g1","priority":7,"budget_ms":250,"threads":2,"phi":0.3,"order":"peel","no_cache":true}"#,
+            r#"{"graph":"g2"}"#,
+            r#"{"graph":"g3","top_k":5,"filter_rounds":3}"#,
+        ] {
+            let v = Json::parse(text).unwrap();
+            let r = SolveRequest::from_json(&v).unwrap();
+            let r2 = SolveRequest::from_json(&r.to_json()).unwrap();
+            assert_eq!(format!("{r:?}"), format!("{r2:?}"), "round trip of {text}");
+        }
     }
 
     #[test]

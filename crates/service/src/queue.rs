@@ -16,9 +16,10 @@
 //!   it in the payload, and hands its expiry instant here so queue wait
 //!   counts against the budget *and* steers the drain order.
 
+use crate::plock;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Push rejected: the queue is at capacity.
@@ -156,6 +157,18 @@ impl<T> JobQueue<T> {
         }
     }
 
+    /// A ticket with a caller-chosen id, for journal replay: a recovered
+    /// job keeps the id it was admitted under, so clients polling
+    /// `GET /jobs/<id>` across a crash still find it. Bumps the id
+    /// allocator past `id` so fresh tickets never collide with replays.
+    pub fn ticket_for(&self, id: u64) -> JobTicket {
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+        JobTicket {
+            id,
+            cancelled: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
     /// Admits a job with no deadline, or reports backpressure. Never
     /// blocks.
     pub fn push(&self, priority: u8, payload: T) -> Result<JobTicket, QueueFull> {
@@ -174,7 +187,8 @@ impl<T> JobQueue<T> {
         ticket: &JobTicket,
         payload: T,
     ) -> Result<(), QueueFull> {
-        let mut state = self.state.lock().unwrap();
+        lazymc_chaos::point!("queue.push");
+        let mut state = plock(&self.state);
         if state.heap.len() >= self.capacity {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(QueueFull {
@@ -198,7 +212,7 @@ impl<T> JobQueue<T> {
     /// Blocks for the next runnable job; `None` once the queue is closed
     /// and drained. Cancelled jobs are discarded here, not returned.
     pub fn pop(&self) -> Option<(JobTicket, T)> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = plock(&self.state);
         loop {
             while let Some(job) = state.heap.pop() {
                 if job.cancelled.load(Ordering::Relaxed) {
@@ -216,7 +230,10 @@ impl<T> JobQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.available.wait(state).unwrap();
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -224,7 +241,7 @@ impl<T> JobQueue<T> {
     /// *uncancelled* pending job, without removing it. This is what a
     /// pull-based scheduler source reports as its head-of-queue urgency.
     pub fn peek_key(&self) -> Option<(u8, Option<Instant>, u64)> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = plock(&self.state);
         // Reap cancelled heads so the reported key is a job that would
         // actually run; anything deeper stays until it surfaces.
         while let Some(head) = state.heap.peek() {
@@ -244,7 +261,8 @@ impl<T> JobQueue<T> {
     /// scheduler's workers poll through their own doorbell, not a
     /// queue-side condvar.
     pub fn try_pop(&self) -> Option<Popped<T>> {
-        let mut state = self.state.lock().unwrap();
+        lazymc_chaos::point!("queue.pop");
+        let mut state = plock(&self.state);
         while let Some(job) = state.heap.pop() {
             if job.cancelled.load(Ordering::Relaxed) {
                 self.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -268,7 +286,7 @@ impl<T> JobQueue<T> {
     /// found (a job already handed to a worker reports `false`; such jobs
     /// are cancelled through their [`JobTicket`] instead).
     pub fn cancel(&self, id: u64) -> bool {
-        let state = self.state.lock().unwrap();
+        let state = plock(&self.state);
         for job in state.heap.iter() {
             if job.id == id {
                 job.cancelled.store(true, Ordering::Relaxed);
@@ -280,13 +298,13 @@ impl<T> JobQueue<T> {
 
     /// Jobs currently pending (cancelled-but-unreaped jobs included).
     pub fn depth(&self) -> usize {
-        self.state.lock().unwrap().heap.len()
+        plock(&self.state).heap.len()
     }
 
     /// Pending depth broken out by priority level, ascending by priority.
     /// Feeds the per-priority queue-depth gauge on `/metrics`.
     pub fn depth_by_priority(&self) -> Vec<(u8, usize)> {
-        let state = self.state.lock().unwrap();
+        let state = plock(&self.state);
         let mut counts = std::collections::BTreeMap::new();
         for job in state.heap.iter() {
             if !job.cancelled.load(Ordering::Relaxed) {
@@ -298,12 +316,13 @@ impl<T> JobQueue<T> {
 
     /// Closes the queue: poppers drain what is left, then see `None`.
     pub fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        plock(&self.state).closed = true;
         self.available.notify_all();
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use std::sync::Arc;

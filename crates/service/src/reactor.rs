@@ -13,6 +13,7 @@
 //! is ever touched by two threads.
 
 use crate::conn::{Conn, ConnState, ReadOutcome, ReqObs, Response};
+use crate::plock;
 use crate::server::{dispatch, Dispatched, ReqWork, ServiceConfig, ServiceState};
 use lazymc_netio::{Events, Interest, Poller, Wakeup};
 use std::net::{TcpListener, TcpStream};
@@ -56,7 +57,7 @@ impl ReactorShared {
     }
 
     fn inject(&self, stream: TcpStream) {
-        self.injected.lock().unwrap().push(stream);
+        plock(&self.injected).push(stream);
         self.wakeup.notify();
     }
 }
@@ -81,7 +82,7 @@ struct ResponderInner {
 
 impl ResponderInner {
     fn send(&self, response: Response) {
-        self.shared.completions.lock().unwrap().push(Completion {
+        plock(&self.shared.completions).push(Completion {
             conn: self.conn,
             serial: self.serial,
             response,
@@ -259,8 +260,10 @@ impl Reactor {
                         // not a crash; then the stream drops.
                         let _ = stream.set_nonblocking(true);
                         let mut buf = Vec::new();
-                        Response::error(503, "connection limit reached; retry shortly")
-                            .serialize_into(&mut buf);
+                        let mut busy =
+                            Response::error(503, "connection limit reached; retry shortly");
+                        busy.retry_after = Some(1);
+                        busy.serialize_into(&mut buf);
                         use std::io::Write as _;
                         let mut s = stream;
                         let _ = s.write(&buf);
@@ -314,8 +317,7 @@ impl Reactor {
     }
 
     fn drain_injected(&mut self) {
-        let injected: Vec<TcpStream> =
-            std::mem::take(&mut *self.args.shared.injected.lock().unwrap());
+        let injected: Vec<TcpStream> = std::mem::take(&mut *plock(&self.args.shared.injected));
         for stream in injected {
             self.adopt(stream);
         }
@@ -433,7 +435,9 @@ impl Reactor {
         match outcome {
             ReadOutcome::Request(mut req) => {
                 m.requests_total.fetch_add(1, Ordering::Relaxed);
-                let conn = self.conns.get_mut(&token).expect("caller checked");
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return Pump::Done;
+                };
                 conn.serial += 1;
                 conn.keep_alive = req.keep_alive;
                 let serial = conn.serial;
@@ -472,7 +476,9 @@ impl Reactor {
                     413 => "request body too large",
                     _ => "malformed request",
                 };
-                let conn = self.conns.get_mut(&token).expect("caller checked");
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return Pump::Done;
+                };
                 conn.close_after_write = true;
                 conn.queue_response(&Response::error(status, message), false);
                 self.flush(token);
@@ -480,7 +486,9 @@ impl Reactor {
             }
             ReadOutcome::Eof => {
                 // Finish writing whatever is queued, then close.
-                let conn = self.conns.get_mut(&token).expect("caller checked");
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return Pump::Done;
+                };
                 if conn.wants_write() || matches!(conn.state, ConnState::Awaiting { .. }) {
                     conn.close_after_write = true;
                 } else {
@@ -522,7 +530,9 @@ impl Reactor {
                 ro.received.elapsed(),
             );
         }
-        let conn = self.conns.get_mut(&token).expect("checked above");
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
         if response.status >= 400 {
             self.args
                 .state
@@ -563,7 +573,7 @@ impl Reactor {
 
     fn drain_completions(&mut self) {
         let completions: Vec<Completion> =
-            std::mem::take(&mut *self.args.shared.completions.lock().unwrap());
+            std::mem::take(&mut *plock(&self.args.shared.completions));
         for c in completions {
             let Some(conn) = self.conns.get(&c.conn) else {
                 continue;

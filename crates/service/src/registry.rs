@@ -13,12 +13,14 @@
 //! Only exact results are cached — a truncated answer depends on budget
 //! and machine load, not just the query.
 
+use crate::health::Health;
 use crate::persist::SnapshotStore;
+use crate::plock;
 use lazymc_graph::CsrGraph;
 use lazymc_order::{kcore_sequential, KCore};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// A resident graph with everything precomputed at load time.
@@ -58,6 +60,8 @@ pub struct Registry {
     loading: Mutex<HashSet<String>>,
     loading_done: Condvar,
     store: Option<Arc<SnapshotStore>>,
+    /// Degraded-health sink for snapshot write failures (see [`Health`]).
+    health: Option<Arc<Health>>,
     capacity: usize,
     clock: AtomicU64,
     pub hits: AtomicU64,
@@ -77,11 +81,23 @@ impl Registry {
 
     /// A registry persisting every upload into `store` (when given).
     pub fn with_store(capacity: usize, store: Option<Arc<SnapshotStore>>) -> Registry {
+        Registry::with_store_health(capacity, store, None)
+    }
+
+    /// Like [`Registry::with_store`], but snapshot write failures also
+    /// flip `health` into the degraded state (and the next successful
+    /// write clears it) instead of only logging.
+    pub fn with_store_health(
+        capacity: usize,
+        store: Option<Arc<SnapshotStore>>,
+        health: Option<Arc<Health>>,
+    ) -> Registry {
         Registry {
             graphs: Mutex::new(HashMap::new()),
             loading: Mutex::new(HashSet::new()),
             loading_done: Condvar::new(),
             store,
+            health,
             capacity: capacity.max(1),
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -116,12 +132,27 @@ impl Registry {
         // snapshot could otherwise install stale data over this upload).
         self.acquire_name_slot(name);
         if let Some(store) = &self.store {
-            if let Err(e) = store.save(name, &graph, &kcore) {
-                store.write_errors.fetch_add(1, Ordering::Relaxed);
-                eprintln!(
-                    "lazymc-service: snapshot write for {name:?} failed ({e}); \
-                     graph is resident but not durable"
-                );
+            match store.save(name, &graph, &kcore) {
+                Ok(_) => {
+                    // Disk works again: the snapshot subsystem is healthy,
+                    // even if earlier uploads remain memory-only.
+                    if let Some(health) = &self.health {
+                        health.clear("snapshot");
+                    }
+                }
+                Err(e) => {
+                    store.write_errors.fetch_add(1, Ordering::Relaxed);
+                    if let Some(health) = &self.health {
+                        health.degrade(
+                            "snapshot",
+                            format!("snapshot write for {name:?} failed: {e}"),
+                        );
+                    }
+                    eprintln!(
+                        "lazymc-service: snapshot write for {name:?} failed ({e}); \
+                         graph is resident but not durable"
+                    );
+                }
             }
         }
         let entry = self.install(
@@ -158,7 +189,7 @@ impl Registry {
             queries: AtomicU64::new(0),
             last_used: AtomicU64::new(self.tick()),
         });
-        let mut map = self.graphs.lock().unwrap();
+        let mut map = plock(&self.graphs);
         map.insert(name.to_string(), entry.clone());
         while map.len() > self.capacity {
             // Evict the stalest entry that is not the one just inserted.
@@ -182,7 +213,7 @@ impl Registry {
 
     /// Resident-map probe, bumping LRU stamp and query count on a hit.
     fn lookup_resident(&self, name: &str) -> Option<Arc<GraphEntry>> {
-        let map = self.graphs.lock().unwrap();
+        let map = plock(&self.graphs);
         map.get(name).map(|e| {
             e.last_used.store(self.tick(), Ordering::Relaxed);
             e.queries.fetch_add(1, Ordering::Relaxed);
@@ -209,16 +240,19 @@ impl Registry {
         }
         // Win or wait for the per-name slot (shared with insert/remove).
         {
-            let mut loading = self.loading.lock().unwrap();
+            let mut loading = plock(&self.loading);
             while loading.contains(name) {
-                loading = self.loading_done.wait(loading).unwrap();
+                loading = self
+                    .loading_done
+                    .wait(loading)
+                    .unwrap_or_else(PoisonError::into_inner);
                 // The prior holder finished; its entry (if any) is resident.
                 drop(loading);
                 if let Some(e) = self.lookup_resident(name) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return Some(e);
                 }
-                loading = self.loading.lock().unwrap();
+                loading = plock(&self.loading);
             }
             loading.insert(name.to_string());
         }
@@ -262,15 +296,18 @@ impl Registry {
     /// would resurrect the deleted graph) and a re-upload cannot be
     /// overwritten by a loader that read the previous snapshot.
     fn acquire_name_slot(&self, name: &str) {
-        let mut loading = self.loading.lock().unwrap();
+        let mut loading = plock(&self.loading);
         while loading.contains(name) {
-            loading = self.loading_done.wait(loading).unwrap();
+            loading = self
+                .loading_done
+                .wait(loading)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         loading.insert(name.to_string());
     }
 
     fn release_name_slot(&self, name: &str) {
-        self.loading.lock().unwrap().remove(name);
+        plock(&self.loading).remove(name);
         self.loading_done.notify_all();
     }
 
@@ -280,14 +317,14 @@ impl Registry {
     /// keep their `Arc`'d arrays; only the name and the file go away.
     pub fn remove(&self, name: &str) -> bool {
         self.acquire_name_slot(name);
-        let in_memory = self.graphs.lock().unwrap().remove(name).is_some();
+        let in_memory = plock(&self.graphs).remove(name).is_some();
         let on_disk = self.store.as_ref().is_some_and(|store| store.remove(name));
         self.release_name_slot(name);
         in_memory || on_disk
     }
 
     pub fn len(&self) -> usize {
-        self.graphs.lock().unwrap().len()
+        plock(&self.graphs).len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -296,7 +333,7 @@ impl Registry {
 
     /// Snapshot of resident entries, stalest first.
     pub fn entries(&self) -> Vec<Arc<GraphEntry>> {
-        let map = self.graphs.lock().unwrap();
+        let map = plock(&self.graphs);
         let mut v: Vec<Arc<GraphEntry>> = map.values().cloned().collect();
         v.sort_by_key(|e| e.last_used.load(Ordering::Relaxed));
         v
@@ -379,7 +416,7 @@ impl ResultCache {
 
     pub fn get(&self, name: &str, fingerprint: u64, canonical: &str) -> Option<CachedSolve> {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = plock(&self.inner);
         let key = (name.to_string(), fingerprint, canonical.to_string());
         if let Some(slot) = inner.map.get_mut(&key) {
             if let Some(ttl) = self.ttl {
@@ -408,7 +445,7 @@ impl ResultCache {
         if bytes > self.max_bytes {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = plock(&self.inner);
         let old = inner.map.insert(
             (name.to_string(), fingerprint, canonical),
             CacheSlot {
@@ -459,11 +496,11 @@ impl ResultCache {
 
     /// Accounted bytes currently cached.
     pub fn bytes(&self) -> usize {
-        self.inner.lock().unwrap().bytes
+        plock(&self.inner).bytes
     }
 
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        plock(&self.inner).map.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -472,6 +509,7 @@ impl ResultCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use lazymc_graph::gen;
@@ -689,6 +727,32 @@ mod tests {
         assert!(store.contains("d1"));
         assert!(reg2.remove("d1"), "disk-only graph is still deletable");
         assert!(!store.contains("d1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_write_failure_degrades_health_and_success_clears_it() {
+        let (dir, store) = tmp_store("health");
+        let health = Arc::new(Health::new());
+        let reg = Registry::with_store_health(4, Some(store.clone()), Some(health.clone()));
+        reg.insert("ok", gen::complete(4));
+        assert!(!health.is_degraded());
+        // Break the store out from under the registry: replace the data
+        // directory with a plain file so the atomic temp write fails.
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::write(&dir, b"not a dir").unwrap();
+        reg.insert("broken", gen::complete(5));
+        assert!(health.is_degraded());
+        assert!(health.reasons().iter().any(|(c, _)| *c == "snapshot"));
+        assert_eq!(store.write_errors.load(Ordering::Relaxed), 1);
+        // Graceful degradation: the graph is resident and queryable even
+        // though it never reached disk.
+        assert!(reg.get("broken").is_some());
+        // Fix the disk; the next successful write clears the reason.
+        std::fs::remove_file(&dir).unwrap();
+        std::fs::create_dir_all(&dir).unwrap();
+        reg.insert("fixed", gen::complete(4));
+        assert!(!health.is_degraded());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -34,10 +34,15 @@
 //! `GET /metrics` (Prometheus text format).
 
 use crate::conn::{Request, Response};
-use crate::jobs::{BatchAggregator, CancelOutcome, JobMeta, JobSink, JobStore, SolveReply};
+use crate::health::Health;
+use crate::jobs::{
+    BatchAggregator, CancelOutcome, JobMeta, JobSink, JobState, JobStore, SolveReply,
+};
+use crate::journal::{Journal, ReplayedJob};
 use crate::obs::{phase_micros, ServiceObs, SolveObservation};
+use crate::plock;
 use crate::protocol::{Json, LoadRequest, SolveRequest};
-use crate::queue::{JobQueue, Popped};
+use crate::queue::{JobQueue, JobTicket, Popped};
 use crate::reactor::{self, ReactorShared, Responder};
 use crate::registry::{CachedSolve, GraphEntry, Registry, ResultCache};
 use lazymc_core::{Deadline, LazyMc, MetricsSnapshot, PhaseTimes, SolveProgress};
@@ -255,20 +260,38 @@ pub struct ServiceState {
     /// after [`ServiceHandle::stop`] takes it.
     sched_pool: Mutex<Option<SchedPool>>,
     core_totals: Mutex<MetricsSnapshot>,
+    /// Degraded-health registry: non-fatal component failures (snapshot
+    /// writes, journal appends) surface here instead of as 500s.
+    pub health: Arc<Health>,
+    /// Crash-safe job journal (when `--data-dir` is set): admits are
+    /// fsynced before a job becomes poppable, completions erase them, and
+    /// boot replays whatever is left (see [`crate::journal`]).
+    pub journal: Option<Journal>,
     started: Instant,
     pub(crate) next_conn_token: AtomicU64,
 }
 
 impl ServiceState {
-    fn new(cfg: &ServiceConfig) -> std::io::Result<ServiceState> {
+    /// Builds the shared state; the second return is the journal's list
+    /// of jobs admitted before a crash but never completed, which
+    /// [`serve`] re-enqueues once the scheduler source is registered.
+    fn new(cfg: &ServiceConfig) -> std::io::Result<(ServiceState, Vec<ReplayedJob>)> {
+        let health = Arc::new(Health::new());
         let store = match &cfg.data_dir {
             Some(dir) => Some(Arc::new(crate::persist::SnapshotStore::open(dir)?)),
             None => None,
         };
+        let (journal, replayed) = match &cfg.data_dir {
+            Some(dir) => {
+                let (journal, replayed) = Journal::open(std::path::Path::new(dir))?;
+                (Some(journal), replayed)
+            }
+            None => (None, Vec::new()),
+        };
         let pool = SchedPool::new(cfg.effective_solver_workers());
         let sched = pool.handle();
-        Ok(ServiceState {
-            registry: Registry::with_store(cfg.max_graphs, store),
+        let state = ServiceState {
+            registry: Registry::with_store_health(cfg.max_graphs, store, Some(health.clone())),
             results: ResultCache::new(cfg.result_cache_bytes, cfg.result_cache_ttl),
             queue: JobQueue::new(cfg.queue_capacity),
             jobs: JobStore::new(cfg.job_ttl, cfg.job_store_bytes),
@@ -285,9 +308,24 @@ impl ServiceState {
             sched,
             sched_pool: Mutex::new(Some(pool)),
             core_totals: Mutex::new(MetricsSnapshot::default()),
+            health,
+            journal,
             started: Instant::now(),
             next_conn_token: AtomicU64::new(reactor::FIRST_CONN_TOKEN),
-        })
+        };
+        Ok((state, replayed))
+    }
+}
+
+/// Appends a job-completion record; an append failure disables the
+/// journal (memory-only from here) and flips the degraded health state.
+fn journal_complete(state: &ServiceState, id: u64) {
+    if let Some(journal) = &state.journal {
+        if let Err(e) = journal.complete(id) {
+            state
+                .health
+                .degrade("journal", format!("journal append failed: {e}"));
+        }
     }
 }
 
@@ -361,7 +399,7 @@ impl ServiceHandle {
             self.state.sched.notify_source();
             std::thread::sleep(Duration::from_millis(2));
         }
-        if let Some(mut pool) = self.state.sched_pool.lock().unwrap().take() {
+        if let Some(mut pool) = plock(&self.state.sched_pool).take() {
             pool.shutdown();
         }
     }
@@ -386,9 +424,22 @@ pub(crate) enum Dispatched {
 pub fn serve(cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
-    let state = Arc::new(ServiceState::new(&cfg)?);
+    let (state, replayed) = ServiceState::new(&cfg)?;
+    let state = Arc::new(state);
     let shutdown = Arc::new(AtomicBool::new(false));
     let mut threads = Vec::new();
+
+    // Fault injection from the environment (debug builds or the `armed`
+    // feature; a no-op constant in plain release builds). Armed here so
+    // the real binary honors LAZYMC_CHAOS without CLI plumbing.
+    match lazymc_chaos::arm_from_env() {
+        Some(Ok(n)) => eprintln!(
+            "lazymc-service: chaos armed from ${}: {n} point(s)",
+            lazymc_chaos::ENV_VAR
+        ),
+        Some(Err(e)) => eprintln!("lazymc-service: ignoring ${}: {e}", lazymc_chaos::ENV_VAR),
+        None => {}
+    }
 
     // No dedicated solver threads: the machine-wide scheduler pool (built
     // inside ServiceState::new) pulls jobs straight from the queue. The
@@ -396,6 +447,10 @@ pub fn serve(cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
     state.sched.set_source(Arc::new(JobFeed {
         state: Arc::downgrade(&state),
     }));
+
+    // Crash recovery: re-enqueue journaled jobs before the reactors start
+    // accepting, so recovered work is ahead of new traffic in the queue.
+    replay_journal(&state, &cfg, replayed);
 
     // Request worker pool. The channel's senders live in the reactors;
     // when the reactors exit at shutdown, the channel closes and the
@@ -410,7 +465,7 @@ pub fn serve(cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
             std::thread::Builder::new()
                 .name(format!("lazymc-req-{i}"))
                 .spawn(move || loop {
-                    let next = { work_rx.lock().unwrap().recv() };
+                    let next = { plock(&work_rx).recv() };
                     match next {
                         Ok(work) => {
                             // A panicking handler must not shrink the pool;
@@ -462,6 +517,90 @@ pub fn serve(cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
     })
 }
 
+/// Re-runs jobs the journal recorded as admitted but never completed: a
+/// crash (SIGKILL, OOM, power loss) between a job's 202/enqueue and its
+/// completion must not silently lose it. Replayed jobs keep their
+/// original ids and are retained like `?async=1` submissions, so a
+/// client can re-poll the id it was given before the crash. Jobs that
+/// can no longer run — graph gone, body unparsable, queue full at
+/// recovery — become terminal `failed` records instead of vanishing.
+fn replay_journal(state: &Arc<ServiceState>, cfg: &ServiceConfig, replayed: Vec<ReplayedJob>) {
+    if replayed.is_empty() {
+        return;
+    }
+    let total = replayed.len();
+    let mut requeued = 0usize;
+    for job in replayed {
+        let id = job.id;
+        // Reserve the original id so new submissions allocate past it.
+        let ticket = state.queue.ticket_for(id);
+        let fail = |reason: String| {
+            Json::obj(vec![
+                ("error", Json::str(reason)),
+                ("replayed", Json::Bool(true)),
+            ])
+        };
+        let request = match Json::parse(&job.body).and_then(|v| SolveRequest::from_json(&v)) {
+            Ok(r) => r,
+            Err(e) => {
+                state.jobs.insert_terminal(
+                    ticket,
+                    String::new(),
+                    JobState::Failed,
+                    fail(format!("journal replay: bad admit body: {e}")),
+                );
+                journal_complete(state, id);
+                continue;
+            }
+        };
+        let Some(entry) = state.registry.get(&request.graph) else {
+            state.jobs.insert_terminal(
+                ticket,
+                request.graph.clone(),
+                JobState::Failed,
+                fail(format!(
+                    "journal replay: graph {:?} is no longer loadable",
+                    request.graph
+                )),
+            );
+            journal_complete(state, id);
+            continue;
+        };
+        match submit_solve(
+            state,
+            cfg,
+            &request,
+            &entry,
+            JobSink::Async,
+            "replay",
+            0,
+            Some(&ticket),
+        ) {
+            Submitted::CacheHit(result) => {
+                // An identical solve completed (and was cached) before the
+                // crash: record the cached answer as this job's result.
+                state
+                    .jobs
+                    .insert_terminal(ticket, request.graph.clone(), JobState::Done, result);
+                journal_complete(state, id);
+            }
+            Submitted::Enqueued(_) => requeued += 1,
+            Submitted::Full { capacity } => {
+                state.jobs.insert_terminal(
+                    ticket,
+                    request.graph.clone(),
+                    JobState::Failed,
+                    fail(format!(
+                        "journal replay: queue full ({capacity}) at recovery"
+                    )),
+                );
+                journal_complete(state, id);
+            }
+        }
+    }
+    eprintln!("lazymc-service: journal replay: {requeued}/{total} interrupted job(s) re-enqueued");
+}
+
 /// Finishes a job's trace: histograms, slow-log admission and the
 /// structured log line are recorded inside `complete()`, *before* the
 /// result reaches its sink — a client holding its answer can never
@@ -490,6 +629,9 @@ fn complete_observed(
             failed,
         });
     });
+    // Terminal — including `failed`: a job that panicked must not be
+    // re-run forever by every subsequent boot's replay.
+    journal_complete(state, id);
 }
 
 /// Runs one popped [`SolveJob`] to completion on a scheduler worker. This
@@ -529,6 +671,7 @@ fn run_solve_job(state: &ServiceState, popped: Popped<SolveJob>) {
     // A panicking solve must not take the worker thread (and with it,
     // eventually, the whole scheduler pool) down: catch, count, report.
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        lazymc_chaos::point!("solve.run");
         LazyMc::new(job.config.clone()).solve_prepared_on(
             &job.entry.graph,
             Some(&job.entry.kcore),
@@ -570,11 +713,7 @@ fn run_solve_job(state: &ServiceState, popped: Popped<SolveJob>) {
             .solves_truncated_total
             .fetch_add(1, Ordering::Relaxed);
     }
-    state
-        .core_totals
-        .lock()
-        .unwrap()
-        .accumulate(&result.metrics);
+    plock(&state.core_totals).accumulate(&result.metrics);
 
     let mut clique = result.vertices().to_vec();
     clique.sort_unstable();
@@ -637,6 +776,8 @@ pub(crate) fn dispatch(
             ("GET", "/stats") => Some(global_stats(state, cfg)),
             ("GET", "/graphs") => Some(list_graphs(state)),
             ("GET", "/debug/slow") => Some(Response::json(200, state.obs.slow_json())),
+            ("GET", "/debug/chaos") => Some(chaos_status()),
+            ("POST", "/debug/chaos") => Some(chaos_control(&req.body)),
             ("GET", p) if p.starts_with("/jobs/") => Some(job_status(state, p)),
             ("DELETE", p) if p.starts_with("/jobs/") => Some(job_cancel(state, p)),
             // Heavier or per-graph routes run off-reactor; unknown GET and
@@ -775,6 +916,10 @@ enum Submitted {
 /// budget, probe the result cache, register the job record, push. Shared
 /// by `POST /solve` and every batch slot, so all paths behave (and
 /// cache-key) identically.
+/// `replay` carries the pre-allocated ticket of a journal-replayed job:
+/// the job keeps its pre-crash id and — being already in the journal —
+/// is not re-admitted.
+#[allow(clippy::too_many_arguments)]
 fn submit_solve(
     state: &ServiceState,
     cfg: &ServiceConfig,
@@ -783,6 +928,7 @@ fn submit_solve(
     sink: JobSink,
     trace: &str,
     parse_us: u64,
+    replay: Option<&JobTicket>,
 ) -> Submitted {
     let mut config = request.config();
     // Route the per-job width into the solver, clamped to the scheduler
@@ -840,7 +986,10 @@ fn submit_solve(
     }
 
     let deadline = Arc::new(Deadline::starting_now(config.time_budget));
-    let ticket = state.queue.ticket();
+    let ticket = match replay {
+        Some(t) => t.clone(),
+        None => state.queue.ticket(),
+    };
     let id = ticket.id;
     // Record first, push second: the job must be findable (for GET/DELETE
     // and for the worker's completion) before any worker can pop it.
@@ -856,6 +1005,19 @@ fn submit_solve(
             budget_ms: config.time_budget.map(|b| b.as_millis() as u64),
         },
     );
+    // Durability point: the admit record is fsynced BEFORE the job
+    // becomes poppable (and before any acknowledgement can reach the
+    // client), so a crash at any later moment replays the job. An append
+    // failure degrades to memory-only admission — the job still runs.
+    if replay.is_none() {
+        if let Some(journal) = &state.journal {
+            if let Err(e) = journal.admit(id, &request.to_json().encode()) {
+                state
+                    .health
+                    .degrade("journal", format!("journal append failed: {e}"));
+            }
+        }
+    }
     let expires = deadline.expires_at();
     let job = SolveJob {
         entry: entry.clone(),
@@ -876,6 +1038,11 @@ fn submit_solve(
         }
         Err(full) => {
             state.jobs.forget(id);
+            if replay.is_none() {
+                // Neutralize the admit record: a 429'd job must not be
+                // resurrected by the next boot's replay.
+                journal_complete(state, id);
+            }
             Submitted::Full {
                 capacity: full.capacity,
             }
@@ -915,7 +1082,7 @@ fn solve_endpoint(state: &ServiceState, cfg: &ServiceConfig, req: &Request, resp
         JobSink::Sync(responder.clone())
     };
     let trace = req.trace.as_deref().unwrap_or("");
-    match submit_solve(state, cfg, &request, &entry, sink, trace, parse_us) {
+    match submit_solve(state, cfg, &request, &entry, sink, trace, parse_us, None) {
         Submitted::CacheHit(result) => responder.respond(Response::json(200, result)),
         Submitted::Enqueued(id) if is_async => {
             // Counted here — after the push succeeded — so 429-rejected
@@ -1038,7 +1205,16 @@ fn solve_batch(state: &ServiceState, cfg: &ServiceConfig, req: &Request, respond
             };
             let slot_parse_us = if parse_attributed { 0 } else { parse_us };
             parse_attributed = true;
-            match submit_solve(state, cfg, request, entry, sink, &trace, slot_parse_us) {
+            match submit_solve(
+                state,
+                cfg,
+                request,
+                entry,
+                sink,
+                &trace,
+                slot_parse_us,
+                None,
+            ) {
                 Submitted::CacheHit(result) => agg.fill(slot, result),
                 Submitted::Enqueued(_) => {}
                 Submitted::Full { capacity } => agg.fill(
@@ -1083,14 +1259,22 @@ fn job_cancel(state: &ServiceState, path: &str) -> Response {
         CancelOutcome::AlreadyDone(state) => {
             Response::error(409, format!("job {id} already {}", state.as_str()))
         }
-        CancelOutcome::Cancelled { was } => Response::json(
-            200,
-            Json::obj(vec![
-                ("job_id", Json::num(id as f64)),
-                ("cancelled", Json::Bool(true)),
-                ("was", Json::str(was.as_str())),
-            ]),
-        ),
+        CancelOutcome::Cancelled { was } => {
+            if was == JobState::Queued {
+                // A queued cancel answers the sink directly and the worker
+                // skips the popped carcass, so the completion that erases
+                // the journal's admit record is written here.
+                journal_complete(state, id);
+            }
+            Response::json(
+                200,
+                Json::obj(vec![
+                    ("job_id", Json::num(id as f64)),
+                    ("cancelled", Json::Bool(true)),
+                    ("was", Json::str(was.as_str())),
+                ]),
+            )
+        }
     }
 }
 
@@ -1226,9 +1410,123 @@ fn gauges(state: &ServiceState) -> Vec<(&'static str, Json)> {
     ]
 }
 
+/// `GET /debug/chaos`: whether fault injection is compiled in, the
+/// active spec, and per-point hit/injection counters.
+fn chaos_status() -> Response {
+    let points: Vec<Json> = lazymc_chaos::point_stats()
+        .into_iter()
+        .map(|p| {
+            Json::obj(vec![
+                ("point", Json::str(p.point)),
+                ("fault", Json::str(p.fault)),
+                ("trigger", Json::str(p.trigger)),
+                ("hits", Json::num(p.hits as f64)),
+                ("injected", Json::num(p.injected as f64)),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        Json::obj(vec![
+            ("compiled_in", Json::Bool(lazymc_chaos::COMPILED_IN)),
+            (
+                "spec",
+                match lazymc_chaos::active_spec() {
+                    Some(s) => Json::str(s),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "injections_total",
+                Json::num(lazymc_chaos::injections_total() as f64),
+            ),
+            ("points", Json::Arr(points)),
+        ]),
+    )
+}
+
+/// `POST /debug/chaos`: `{"spec": "point=fault[@trigger],..."}` arms,
+/// `{"disarm": true}` (or an empty spec) disarms. 501 when the harness is
+/// compiled out (plain release build without the `armed` feature).
+fn chaos_control(body: &str) -> Response {
+    if !lazymc_chaos::COMPILED_IN {
+        return Response::error(
+            501,
+            "fault injection is compiled out of this build (release without the chaos `armed` feature)",
+        );
+    }
+    let parsed = match Json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, e),
+    };
+    if parsed
+        .get("disarm")
+        .and_then(Json::as_bool)
+        .unwrap_or(false)
+    {
+        lazymc_chaos::disarm();
+        return Response::json(200, Json::obj(vec![("armed", Json::Bool(false))]));
+    }
+    let Some(spec) = parsed.get("spec").and_then(Json::as_str) else {
+        return Response::error(
+            400,
+            "body must be {\"spec\": \"point=fault[@trigger],...\"} or {\"disarm\": true}",
+        );
+    };
+    if spec.trim().is_empty() {
+        lazymc_chaos::disarm();
+        return Response::json(200, Json::obj(vec![("armed", Json::Bool(false))]));
+    }
+    match lazymc_chaos::arm(spec) {
+        Ok(n) => Response::json(
+            200,
+            Json::obj(vec![
+                ("armed", Json::Bool(true)),
+                ("points", Json::num(n as f64)),
+            ]),
+        ),
+        Err(e) => Response::error(400, format!("bad chaos spec: {e}")),
+    }
+}
+
 fn healthz(state: &ServiceState, cfg: &ServiceConfig) -> Response {
+    let degraded = state.health.is_degraded();
     let mut fields = vec![
+        // Liveness ("status") is deliberately separate from component
+        // health ("state"): a degraded daemon still answers requests.
         ("status", Json::str("ok")),
+        ("state", Json::str(if degraded { "degraded" } else { "ok" })),
+        (
+            "degraded_reasons",
+            Json::Arr(
+                state
+                    .health
+                    .reasons()
+                    .into_iter()
+                    .map(|(component, reason)| {
+                        Json::obj(vec![
+                            ("component", Json::str(component)),
+                            ("reason", Json::str(reason)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "journal",
+            match &state.journal {
+                Some(j) => Json::str(if j.is_enabled() {
+                    "enabled"
+                } else {
+                    "disabled"
+                }),
+                None => Json::Null,
+            },
+        ),
+        (
+            "journal_pending",
+            Json::num(state.journal.as_ref().map_or(0, |j| j.pending_len()) as f64),
+        ),
         (
             "max_budget_ms",
             match cfg.max_budget_ms {
@@ -1334,7 +1632,7 @@ fn global_stats(state: &ServiceState, cfg: &ServiceConfig) -> Response {
 
 fn metrics(state: &ServiceState) -> Response {
     let m = &state.metrics;
-    let totals = state.core_totals.lock().unwrap().clone();
+    let totals = plock(&state.core_totals).clone();
     let mut out = String::new();
     let mut counter = |name: &str, help: &str, value: u64| {
         out.push_str(&format!(
@@ -1600,6 +1898,49 @@ fn metrics(state: &ServiceState) -> Response {
         "Root solve jobs executed by the scheduler",
         sched_metrics.job_runs,
     );
+    // Robustness: supervision, fault injection, the job journal and the
+    // degraded-health state (see docs/robustness.md).
+    counter(
+        "lazymc_sched_worker_panics_total",
+        "Panics caught inside scheduler workers (task units, jobs, or the worker loop)",
+        sched_metrics.worker_panics,
+    );
+    counter(
+        "lazymc_sched_worker_respawns_total",
+        "Scheduler worker loops restarted by their supervisor after a panic",
+        sched_metrics.worker_respawns,
+    );
+    counter(
+        "lazymc_chaos_injections_total",
+        "Faults injected by the chaos harness (0 unless armed)",
+        lazymc_chaos::injections_total(),
+    );
+    let jrnl = state.journal.as_ref();
+    counter(
+        "lazymc_journal_appends_total",
+        "Records appended to the job journal",
+        jrnl.map_or(0, |j| j.appends.load(Ordering::Relaxed)),
+    );
+    counter(
+        "lazymc_journal_append_errors_total",
+        "Journal appends that failed (journal disabled, service degraded)",
+        jrnl.map_or(0, |j| j.append_errors.load(Ordering::Relaxed)),
+    );
+    counter(
+        "lazymc_journal_rotations_total",
+        "Journal segment rotations",
+        jrnl.map_or(0, |j| j.rotations.load(Ordering::Relaxed)),
+    );
+    counter(
+        "lazymc_jobs_replayed_total",
+        "Jobs recovered from the journal at boot",
+        jrnl.map_or(0, |j| j.replayed.load(Ordering::Relaxed)),
+    );
+    counter(
+        "lazymc_degraded_events_total",
+        "Times a component entered the degraded state",
+        state.health.degraded_events.load(Ordering::Relaxed),
+    );
     let mut gauge = |name: &str, help: &str, value: u64| {
         out.push_str(&format!(
             "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
@@ -1665,6 +2006,16 @@ fn metrics(state: &ServiceState) -> Response {
         "lazymc_uptime_seconds",
         "Seconds since the daemon started",
         state.started.elapsed().as_secs(),
+    );
+    gauge(
+        "lazymc_degraded",
+        "1 when any component is degraded (reasons in /healthz)",
+        u64::from(state.health.is_degraded()),
+    );
+    gauge(
+        "lazymc_journal_pending",
+        "Admitted-but-not-completed jobs tracked by the journal",
+        jrnl.map_or(0, |j| j.pending_len()) as u64,
     );
     gauge(
         "lazymc_sched_workers",
