@@ -99,6 +99,16 @@ impl AllocSnapshot {
     }
 }
 
+/// Bytes currently live (allocated and not yet freed). This is the gauge
+/// the daemon's memory watermarks compare against `--max-memory-bytes`;
+/// it reads as zero in processes that never installed the allocator
+/// (check [`tracking_enabled`] before trusting it).
+pub fn live_bytes() -> u64 {
+    ALLOCATED
+        .load(Ordering::Relaxed)
+        .saturating_sub(FREED.load(Ordering::Relaxed))
+}
+
 /// Resets the live-byte high-water mark to the *current* live bytes, so
 /// the next [`snapshot`] window reports the peak reached within it rather
 /// than the process-lifetime maximum. Racy against concurrent allocation

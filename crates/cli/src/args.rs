@@ -30,6 +30,10 @@ const VALUED: &[&str] = &[
     "--job-ttl-ms",
     "--result-cache-bytes",
     "--slow-query-ms",
+    "--queue-delay-target-ms",
+    "--max-memory-bytes",
+    "--drain-timeout-ms",
+    "--scrub-interval-ms",
     "--suite",
     "--out",
     "--reps",
@@ -93,6 +97,7 @@ impl Parsed {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

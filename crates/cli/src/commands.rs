@@ -30,6 +30,8 @@ USAGE:
                [--conn-limit C] [--max-graphs M] [--queue-cap Q]
                [--data-dir DIR] [--max-budget-ms MS] [--job-ttl-ms MS]
                [--result-cache-bytes B] [--log-json] [--slow-query-ms MS]
+               [--queue-delay-target-ms MS] [--max-memory-bytes B]
+               [--drain-timeout-ms MS] [--scrub-interval-ms MS]
                [--check]
                (default addr 127.0.0.1:7171)
   lazymc snapshot <graph-file> <out.lmcs>
@@ -57,8 +59,24 @@ reports live progress (phase, nodes expanded, incumbent size); solves
 slower than --slow-query-ms (default 500) land in GET /debug/slow with
 a span-tree timing breakdown. Repeated identical queries are served from a byte-bounded
 result cache (--result-cache-bytes); completed async jobs stay pollable
-for --job-ttl-ms; a full job queue (--queue-cap) answers 429. --check
-binds, prints the address, and exits immediately.
+for --job-ttl-ms; a full job queue (--queue-cap) answers 429 with a
+Retry-After derived from the observed drain rate. --check binds, prints
+the address, and exits immediately.
+
+Overload and lifecycle: with --queue-delay-target-ms, sustained queue
+waits above the target shed lowest-priority admissions with 503 +
+Retry-After (CoDel-style; bursts are not overload). --max-memory-bytes
+arms soft/hard live-heap watermarks: above 80% uploads are refused and
+/healthz degrades, at 100% the cheapest running solve is cancelled.
+Queued jobs whose budget expires before a solver frees up are reaped
+dead-on-arrival instead of run. SIGTERM/SIGINT drain gracefully: GET
+/readyz flips to 503 (liveness /healthz stays 200), the listener
+closes, in-flight and journaled work settles (bounded by
+--drain-timeout-ms, default 10000), then the process exits 0 — jobs
+that miss the window replay from the journal on the next boot. With a
+--data-dir, a background scrubber re-verifies snapshot checksums and
+journal CRCs every --scrub-interval-ms (default 60000; 0 disables),
+quarantining bit rot before it can ever be served.
 
 With --data-dir, every upload is also written as a checksummed .lmcs
 snapshot (CSR + coreness, atomic rename); after a restart graphs reload
@@ -911,6 +929,31 @@ pub fn serve(argv: &[String]) -> i32 {
         Ok(None) => {}
         Err(e) => return fail(&e),
     }
+    match p.value::<u64>("--queue-delay-target-ms") {
+        Ok(Some(ms)) => cfg.queue_delay_target_ms = Some(ms),
+        Ok(None) => {}
+        Err(e) => return fail(&e),
+    }
+    match p.value::<u64>("--max-memory-bytes") {
+        Ok(Some(bytes)) => cfg.max_memory_bytes = Some(bytes),
+        Ok(None) => {}
+        Err(e) => return fail(&e),
+    }
+    match p.value::<u64>("--drain-timeout-ms") {
+        Ok(Some(ms)) => cfg.drain_timeout = Duration::from_millis(ms),
+        Ok(None) => {}
+        Err(e) => return fail(&e),
+    }
+    // 0 disables the scrubber; anything else overrides the 60s default.
+    match p.value::<u64>("--scrub-interval-ms") {
+        Ok(Some(0)) => cfg.scrub_interval = None,
+        Ok(Some(ms)) => cfg.scrub_interval = Some(Duration::from_millis(ms)),
+        Ok(None) => {}
+        Err(e) => return fail(&e),
+    }
+    // The real daemon turns SIGTERM/SIGINT into a graceful drain
+    // (--check exits on its own and must not block signals).
+    cfg.handle_signals = !p.has("--check");
 
     let data_dir = cfg.data_dir.clone();
     // With --log-json, stdout is reserved for structured log lines (one
@@ -932,7 +975,7 @@ pub fn serve(argv: &[String]) -> i32 {
     banner!("  POST /solve        query a clique   (graph, budget_ms, priority, ...)");
     banner!("  POST /solve?async=1  202 + job id; poll GET /jobs/<id>, DELETE cancels");
     banner!("  POST /solve-batch  array of solve bodies, grouped by graph");
-    banner!("  GET  /stats[/name] | /graphs | /jobs/<id> | /healthz | /metrics");
+    banner!("  GET  /stats[/name] | /graphs | /jobs/<id> | /healthz | /readyz | /metrics");
     banner!("  GET  /debug/slow   slowest solves with span trees (--slow-query-ms)");
     if let Some(dir) = data_dir {
         let snapshots = handle.state().registry.store().map_or(0, |s| s.len());
@@ -942,9 +985,14 @@ pub fn serve(argv: &[String]) -> i32 {
         handle.stop();
         return 0;
     }
-    loop {
-        std::thread::sleep(Duration::from_secs(3600));
-    }
+    // Block until SIGTERM/SIGINT starts a drain, let admitted work settle
+    // (bounded by --drain-timeout-ms), then shut down and exit 0 — queued
+    // jobs that missed the window are still journaled and replay on the
+    // next boot, so nothing admitted is ever lost.
+    handle.wait();
+    banner!("lazymc-service drained; exiting");
+    handle.stop();
+    0
 }
 
 /// `lazymc snapshot` — precompute a durable `.lmcs` snapshot (CSR +
@@ -1094,6 +1142,7 @@ pub fn gen(argv: &[String]) -> i32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use lazymc_service::Json;

@@ -18,6 +18,8 @@
 //! Input files may be whitespace edge lists, DIMACS `.clq`/`.col`, or
 //! MatrixMarket `.mtx` (chosen by extension).
 
+#![deny(clippy::unwrap_used)]
+
 mod args;
 mod commands;
 
@@ -56,6 +58,7 @@ fn run(argv: &[String]) -> i32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

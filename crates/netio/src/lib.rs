@@ -20,6 +20,10 @@
 //! owns sockets — ownership stays with the caller, the poller works with
 //! raw fds.
 
+// The reactor's syscall layer must not die of an avoidable panic; the
+// same bar the service crate holds (see lazymc-service's lib.rs).
+#![deny(clippy::unwrap_used)]
+
 #[cfg(not(target_os = "linux"))]
 compile_error!("lazymc-netio is Linux-only (epoll); port Poller to kqueue/IOCP to build here");
 
@@ -288,6 +292,80 @@ impl Drop for Wakeup {
     }
 }
 
+/// A `signalfd`-backed signal receiver for the drain lifecycle.
+///
+/// [`SignalFd::new`] blocks the requested signals on the *calling thread*
+/// (threads spawned afterwards inherit the mask) and opens a nonblocking
+/// `signalfd` that becomes readable when one of them is delivered — so a
+/// reactor can watch SIGTERM with the same epoll loop that watches
+/// sockets, instead of an async-signal-unsafe handler. Call it early,
+/// before spawning any thread that must not steal the signal.
+pub struct SignalFd {
+    fd: RawFd,
+}
+
+unsafe impl Send for SignalFd {}
+unsafe impl Sync for SignalFd {}
+
+impl SignalFd {
+    /// Blocks `signals` for this thread (and all threads spawned after)
+    /// and returns a nonblocking fd that reports their delivery.
+    pub fn new(signals: &[i32]) -> io::Result<SignalFd> {
+        let mut mask = sys::sigset_t { bits: [0; 16] };
+        unsafe {
+            sys::sigemptyset(&mut mask);
+            for &sig in signals {
+                sys::sigaddset(&mut mask, sig);
+            }
+            if sys::pthread_sigmask(sys::SIG_BLOCK, &mask, std::ptr::null_mut()) != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let fd = sys::signalfd(-1, &mask, sys::SFD_CLOEXEC | sys::SFD_NONBLOCK);
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(SignalFd { fd })
+        }
+    }
+
+    /// SIGTERM + SIGINT: the two "please stop" signals an operator or
+    /// init system sends.
+    pub fn for_shutdown() -> io::Result<SignalFd> {
+        SignalFd::new(&[sys::SIGTERM, sys::SIGINT])
+    }
+
+    /// The fd to register with the poller (read interest).
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Consumes pending signals; `true` if at least one was delivered.
+    pub fn drain(&self) -> bool {
+        let mut any = false;
+        loop {
+            let mut info = sys::signalfd_siginfo { bytes: [0; 128] };
+            let n = unsafe {
+                sys::read(
+                    self.fd,
+                    (&mut info as *mut sys::signalfd_siginfo).cast(),
+                    std::mem::size_of::<sys::signalfd_siginfo>(),
+                )
+            };
+            if n == std::mem::size_of::<sys::signalfd_siginfo>() as isize {
+                any = true;
+            } else {
+                return any;
+            }
+        }
+    }
+}
+
+impl Drop for SignalFd {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.fd) };
+    }
+}
+
 /// Switches an fd in or out of nonblocking mode.
 pub fn set_nonblocking(fd: RawFd, nonblocking: bool) -> io::Result<()> {
     let flags = unsafe { sys::fcntl(fd, sys::F_GETFL, 0) };
@@ -368,6 +446,7 @@ pub mod sockopt {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use std::io::{Read, Write};
@@ -529,5 +608,32 @@ mod tests {
         sockopt::set_send_buf(fd, 2048).unwrap();
         assert!(sockopt::recv_buf(fd).unwrap() < 1 << 20);
         assert!(sockopt::send_buf(fd).unwrap() < 1 << 20);
+    }
+
+    #[test]
+    fn signalfd_observes_a_raised_signal() {
+        extern "C" {
+            fn raise(sig: i32) -> i32;
+        }
+        const SIGTERM_TOKEN: u64 = 9;
+        // SIGTERM is blocked for this thread only, so raise() (which
+        // targets the calling thread) must surface on the fd instead of
+        // killing the test runner.
+        let sig = SignalFd::for_shutdown().unwrap();
+        let poller = Poller::new().unwrap();
+        poller
+            .register(sig.fd(), SIGTERM_TOKEN, Interest::READ)
+            .unwrap();
+        let mut events = Events::with_capacity(4);
+        assert!(!sig.drain(), "no signal pending yet");
+        unsafe { raise(15) };
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token == SIGTERM_TOKEN && e.readable));
+        assert!(sig.drain(), "the raised SIGTERM must be consumable");
+        assert!(!sig.drain(), "drain clears the queue");
     }
 }

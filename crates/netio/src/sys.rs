@@ -31,6 +31,32 @@ pub const F_GETFL: c_int = 3;
 pub const F_SETFL: c_int = 4;
 pub const O_NONBLOCK: c_int = 0o4000;
 
+// signalfd flags (same O_CLOEXEC/O_NONBLOCK encoding as eventfd).
+pub const SFD_CLOEXEC: c_int = 0o2000000;
+pub const SFD_NONBLOCK: c_int = 0o4000;
+// sigprocmask/pthread_sigmask `how`.
+pub const SIG_BLOCK: c_int = 0;
+// Signal numbers the daemon cares about.
+pub const SIGINT: c_int = 2;
+pub const SIGTERM: c_int = 15;
+
+/// glibc's `sigset_t`: 1024 bits regardless of how many signals the
+/// kernel actually defines. Zeroed = empty set; `sigaddset` fills it.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigset_t {
+    pub bits: [u64; 16],
+}
+
+/// The kernel's `struct signalfd_siginfo` is 128 bytes; the reactor only
+/// drains it (which signal arrived is implied by the mask), so an opaque
+/// byte blob is enough.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct signalfd_siginfo {
+    pub bytes: [u8; 128],
+}
+
 // setsockopt.
 pub const SOL_SOCKET: c_int = 1;
 pub const SO_SNDBUF: c_int = 7;
@@ -77,4 +103,8 @@ extern "C" {
         optval: *mut c_void,
         optlen: *mut u32,
     ) -> c_int;
+    pub fn sigemptyset(set: *mut sigset_t) -> c_int;
+    pub fn sigaddset(set: *mut sigset_t, signum: c_int) -> c_int;
+    pub fn pthread_sigmask(how: c_int, set: *const sigset_t, oldset: *mut sigset_t) -> c_int;
+    pub fn signalfd(fd: c_int, mask: *const sigset_t, flags: c_int) -> c_int;
 }

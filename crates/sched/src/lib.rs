@@ -35,6 +35,8 @@
 //! short-deadline queries preempts a long solve at subtree granularity —
 //! the scheduler-level form of the paper's work-avoidance discipline.
 
+#![deny(clippy::unwrap_used)]
+
 use lazymc_netio::{Events, Interest, Poller, Wakeup};
 use std::cell::Cell;
 use std::cmp::Ordering as CmpOrdering;
@@ -906,6 +908,7 @@ fn worker_loop(inner: &Arc<PoolInner>, idx: usize) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU32;

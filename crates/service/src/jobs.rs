@@ -50,6 +50,9 @@ pub(crate) struct JobMeta {
     /// Effective solve budget after server-side clamping, for the live
     /// progress view's elapsed-vs-budget readout.
     pub budget_ms: Option<u64>,
+    /// Queue priority the job was admitted at; the hard memory watermark
+    /// uses it to pick the cheapest running solve to cancel.
+    pub priority: u8,
 }
 
 /// Lifecycle states surfaced by `GET /jobs/<id>`.
@@ -266,6 +269,7 @@ impl JobStore {
                 trace: String::new(),
                 parse_us: 0,
                 budget_ms: None,
+                priority: 0,
             },
             created: now,
             progress: None,
@@ -355,7 +359,8 @@ impl JobStore {
 
     /// Delivers a finished job to its sink and transitions the record.
     /// `cancelled` reports a mid-solve cancellation observed by the
-    /// worker; `reply: Err(())` reports a solver panic. `observe` runs
+    /// worker; `reply: Err(reason)` reports a job that produced no result
+    /// (solver panic, dead-on-arrival reap). `observe` runs
     /// with the job's submission facts *before* the sink fires, so a
     /// client that already holds its answer can never catch the metrics
     /// unrecorded; it is skipped when a racing cancel already finalized
@@ -363,7 +368,7 @@ impl JobStore {
     pub(crate) fn complete(
         &self,
         id: u64,
-        reply: Result<SolveReply, ()>,
+        reply: Result<SolveReply, String>,
         cancelled: bool,
         observe: impl FnOnce(CompletedMeta),
     ) {
@@ -394,12 +399,9 @@ impl JobStore {
                 );
                 (state, json, 200)
             }
-            Err(()) => (
+            Err(reason) => (
                 JobState::Failed,
-                Json::obj(vec![(
-                    "error",
-                    Json::str("solver panicked on this input; see /metrics"),
-                )]),
+                Json::obj(vec![("error", Json::str(reason.clone()))]),
                 500,
             ),
         };
@@ -498,6 +500,30 @@ impl JobStore {
             }
             state => CancelOutcome::AlreadyDone(state),
         }
+    }
+
+    /// Trips the abort machinery of the lowest-priority *running* job —
+    /// the hard memory watermark's victim. Among equal priorities the
+    /// most recently started loses (least work discarded). The solve
+    /// observes its tripped deadline at the next poll and completes as
+    /// cancelled through the normal [`JobStore::complete`] path; this
+    /// only selects and trips. Returns the victim's id and priority.
+    pub(crate) fn cancel_lowest_priority_running(&self) -> Option<(u64, u8)> {
+        let inner = plock(&self.inner);
+        let (&id, record) = inner
+            .jobs
+            .iter()
+            .filter(|(_, r)| r.state == JobState::Running)
+            .min_by_key(|(_, r)| {
+                (
+                    r.meta.priority,
+                    // Reverse the start time: later start = smaller key.
+                    std::cmp::Reverse(r.running_since.unwrap_or(r.created)),
+                )
+            })?;
+        record.ticket.cancel();
+        record.deadline.cancel();
+        Some((id, record.meta.priority))
     }
 
     /// `GET /jobs/<id>`: state + retained result. Applies TTL lazily —

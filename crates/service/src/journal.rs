@@ -32,10 +32,13 @@
 //! forward into a new segment and the old one is deleted — completion
 //! records never accumulate beyond one segment's worth.
 //!
-//! An append failure (disk full, chaos `journal.append`) permanently
-//! disables the journal for this process — the daemon keeps serving from
-//! memory, [`crate::Health`] reports `degraded`, and the operator restarts
-//! once the volume is fixed.
+//! An append failure (disk full, chaos `journal.append`) disables the
+//! journal — the daemon keeps serving from memory and [`crate::Health`]
+//! reports `degraded`. It is no longer disabled *forever*: the
+//! housekeeping thread calls [`Journal::try_reenable`] on an exponential
+//! backoff, which probes the volume by writing a fresh compacted segment;
+//! the first success re-enables journaling (and the caller clears the
+//! degraded reason) without a restart.
 
 use crate::plock;
 use lazymc_graph::snapshot::fnv1a;
@@ -45,6 +48,7 @@ use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 const MAGIC: &[u8; 8] = b"LMCJWAL1";
 const KIND_ADMIT: u8 = 1;
@@ -54,6 +58,10 @@ const SEGMENT_BYTES: u64 = 1 << 20;
 /// Reject absurd record lengths during replay (a corrupt length field
 /// must not allocate gigabytes).
 const MAX_PAYLOAD: u32 = 16 << 20;
+/// Self-heal probing: first re-probe this long after the disabling
+/// failure, doubling per failed probe up to the cap.
+const REPROBE_INITIAL: Duration = Duration::from_secs(1);
+const REPROBE_CAP: Duration = Duration::from_secs(60);
 
 /// A job recovered from the journal at boot: admitted, never completed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,9 +86,15 @@ pub struct Journal {
     segment_bytes: u64,
     inner: Mutex<Active>,
     enabled: AtomicBool,
+    /// When the journal disabled itself, for backoff-gated re-probing.
+    disabled_at: Mutex<Option<Instant>>,
+    /// Current re-probe backoff (doubles per failed probe).
+    probe_backoff: Mutex<Duration>,
     pub appends: AtomicU64,
     pub append_errors: AtomicU64,
     pub rotations: AtomicU64,
+    /// Successful self-heals ([`Journal::try_reenable`] re-enables).
+    pub reenabled: AtomicU64,
     /// Jobs returned for re-enqueue by [`Journal::open`].
     pub replayed: AtomicU64,
 }
@@ -105,13 +119,15 @@ fn sync_dir(dir: &Path) -> io::Result<()> {
     File::open(dir)?.sync_all()
 }
 
-/// Applies one segment's records to `pending`. Returns `Err` with a
-/// description of the first malformed record; everything before it has
-/// already been applied (truncation tolerance).
-fn replay_segment(bytes: &[u8], pending: &mut BTreeMap<u64, String>) -> Result<(), String> {
+/// Applies one segment's records to `pending`. Returns the number of
+/// valid records applied, or `Err` with a description of the first
+/// malformed record; everything before it has already been applied
+/// (truncation tolerance).
+fn replay_segment(bytes: &[u8], pending: &mut BTreeMap<u64, String>) -> Result<u64, String> {
     if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
         return Err("bad segment magic".into());
     }
+    let mut records = 0u64;
     let mut pos = MAGIC.len();
     while pos < bytes.len() {
         let Some(header) = bytes.get(pos..pos + 12) else {
@@ -151,9 +167,10 @@ fn replay_segment(bytes: &[u8], pending: &mut BTreeMap<u64, String>) -> Result<(
             }
             other => return Err(format!("unknown record kind {other} at byte {pos}")),
         }
+        records += 1;
         pos += 12 + len as usize;
     }
-    Ok(())
+    Ok(records)
 }
 
 impl Journal {
@@ -230,9 +247,12 @@ impl Journal {
                 pending,
             }),
             enabled: AtomicBool::new(true),
+            disabled_at: Mutex::new(None),
+            probe_backoff: Mutex::new(REPROBE_INITIAL),
             appends: AtomicU64::new(0),
             append_errors: AtomicU64::new(0),
             rotations: AtomicU64::new(0),
+            reenabled: AtomicU64::new(0),
             replayed: AtomicU64::new(replayed.len() as u64),
         };
 
@@ -252,6 +272,7 @@ impl Journal {
                 Err(e) => {
                     eprintln!("warning: job journal compaction failed ({e}); journaling disabled");
                     journal.enabled.store(false, Ordering::Relaxed);
+                    *plock(&journal.disabled_at) = Some(Instant::now());
                 }
             }
         }
@@ -336,6 +357,12 @@ impl Journal {
             Err(e) => {
                 self.append_errors.fetch_add(1, Ordering::Relaxed);
                 self.enabled.store(false, Ordering::Relaxed);
+                // The torn write may have left a half record at the tail
+                // of the active segment; drop the handle so a successful
+                // re-probe starts a *fresh* segment (replay tolerates the
+                // torn tail regardless).
+                active.file = None;
+                *plock(&self.disabled_at) = Some(Instant::now());
                 Err(e)
             }
         }
@@ -359,6 +386,71 @@ impl Journal {
     /// Admitted-but-not-completed jobs currently tracked (gauge).
     pub fn pending_len(&self) -> usize {
         plock(&self.inner).pending.len()
+    }
+
+    /// Self-heal probe: if the journal is disabled and the current
+    /// backoff has elapsed, try to write a fresh compacted segment (all
+    /// still-pending admits). Success re-enables appends and returns
+    /// `true` — the caller clears the degraded health reason. Failure
+    /// doubles the backoff (capped) and returns `false`. Cheap to call
+    /// every housekeeping tick: while healthy or before the backoff it
+    /// is a couple of atomic/lock reads.
+    pub fn try_reenable(&self) -> bool {
+        if self.is_enabled() {
+            return false;
+        }
+        {
+            let disabled_at = plock(&self.disabled_at);
+            let Some(at) = *disabled_at else { return false };
+            if at.elapsed() < *plock(&self.probe_backoff) {
+                return false;
+            }
+        }
+        let mut active = plock(&self.inner);
+        let probe = (|| -> io::Result<()> {
+            lazymc_chaos::io_point!("journal.reprobe");
+            fs::create_dir_all(&self.dir)?;
+            let old = active.seg;
+            active.seg += 1;
+            self.start_segment(&mut active)?;
+            let _ = fs::remove_file(seg_path(&self.dir, old));
+            Ok(())
+        })();
+        match probe {
+            Ok(()) => {
+                self.enabled.store(true, Ordering::Relaxed);
+                *plock(&self.disabled_at) = None;
+                *plock(&self.probe_backoff) = REPROBE_INITIAL;
+                self.reenabled.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(e) => {
+                eprintln!("lazymc-service: journal re-probe failed ({e}); backing off");
+                *plock(&self.disabled_at) = Some(Instant::now());
+                let mut backoff = plock(&self.probe_backoff);
+                *backoff = (*backoff * 2).min(REPROBE_CAP);
+                false
+            }
+        }
+    }
+
+    /// Integrity scrub: re-reads the active segment from disk and
+    /// re-verifies every frame's length and FNV-1a checksum (under the
+    /// append lock, so no torn concurrent write can false-positive).
+    /// Returns the number of verified frames, or what is wrong.
+    pub fn scrub(&self) -> Result<u64, String> {
+        lazymc_chaos::raise_io("scrub.journal").map_err(|e| e.to_string())?;
+        let active = plock(&self.inner);
+        if !self.is_enabled() || active.file.is_none() {
+            return Ok(0);
+        }
+        let path = seg_path(&self.dir, active.seg);
+        let mut bytes = Vec::new();
+        File::open(&path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| format!("active segment unreadable: {e}"))?;
+        let mut scratch = BTreeMap::new();
+        replay_segment(&bytes, &mut scratch)
     }
 }
 
@@ -526,6 +618,62 @@ mod tests {
         assert!(j.admit(3, "{}").is_ok());
         assert!(j.complete(1).is_ok());
         assert_eq!(j.append_errors.load(Ordering::Relaxed), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn self_heal_reenables_after_the_volume_returns() {
+        let dir = tempdir("heal");
+        let (j, _) = Journal::open(&dir).unwrap();
+        j.admit(1, r#"{"graph":"sticky"}"#).unwrap();
+        // Volume vanishes: the next append fails and disables journaling.
+        fs::remove_dir_all(dir.join("journal")).unwrap();
+        plock(&j.inner).bytes = u64::MAX;
+        assert!(j.admit(2, "{}").is_err());
+        assert!(!j.is_enabled());
+        // Backoff not yet elapsed: probe declines without touching disk.
+        assert!(!j.try_reenable());
+        assert!(!j.is_enabled());
+        // Volume still broken when the backoff elapses (a *file* squats
+        // on the journal directory path): the probe fails cleanly.
+        fs::write(dir.join("journal"), b"squatter").unwrap();
+        *plock(&j.probe_backoff) = Duration::ZERO;
+        assert!(!j.try_reenable());
+        assert!(!j.is_enabled());
+        // Volume back: the next due probe writes a fresh compacted
+        // segment and re-enables, with the pending admit preserved.
+        fs::remove_file(dir.join("journal")).unwrap();
+        *plock(&j.probe_backoff) = Duration::ZERO;
+        assert!(j.try_reenable());
+        assert!(j.is_enabled());
+        assert_eq!(j.reenabled.load(Ordering::Relaxed), 1);
+        assert_eq!(j.pending_len(), 1);
+        assert!(j.admit(3, "{}").is_ok());
+        drop(j);
+        let (_j, replayed) = Journal::open(&dir).unwrap();
+        let ids: Vec<u64> = replayed.iter().map(|r| r.id).collect();
+        assert!(ids.contains(&1), "pending admit survives the heal: {ids:?}");
+        assert!(ids.contains(&3));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_verifies_frames_and_reports_corruption() {
+        let dir = tempdir("scrub");
+        let (j, _) = Journal::open(&dir).unwrap();
+        j.admit(1, r#"{"graph":"a"}"#).unwrap();
+        j.admit(2, r#"{"graph":"b"}"#).unwrap();
+        j.complete(1).unwrap();
+        assert_eq!(j.scrub().unwrap(), 3, "three frames verify clean");
+        // Bit-rot inside the active segment: scrub must notice.
+        let seg = plock(&j.inner).seg;
+        let path = seg_path(&dir.join("journal"), seg);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = MAGIC.len() + 14; // inside the first record's payload
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let err = j.scrub().unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }
 }

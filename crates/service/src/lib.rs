@@ -34,6 +34,10 @@
 //!   incrementally, and buffer partial writes; introspection endpoints
 //!   answer *on* the reactor, so `/healthz` stays microseconds even with
 //!   every solver busy.
+//! * [`overload`] — overload control: the drain-rate estimator behind
+//!   every `Retry-After`, the CoDel-style admission shedder driven by
+//!   observed queue wait, and soft/hard memory watermarks over the
+//!   counting allocator's live-byte gauge.
 //! * [`obs`] — per-daemon observability built on `lazymc-obs`: route- and
 //!   phase-labelled latency histograms, request tracing (`X-Request-Id`
 //!   in → spans → structured JSON log lines out), and the slow-query log
@@ -83,6 +87,7 @@ pub mod health;
 pub mod jobs;
 pub mod journal;
 pub mod obs;
+pub mod overload;
 pub mod persist;
 pub mod protocol;
 pub mod queue;
@@ -96,6 +101,7 @@ pub use jobs::{JobState, JobStore};
 pub use journal::{Journal, ReplayedJob};
 pub use lazymc_obs::LogSink;
 pub use obs::ServiceObs;
+pub use overload::{DrainRate, MemLevel, MemWatermarks, Shedder};
 pub use persist::SnapshotStore;
 pub use protocol::{Json, LoadRequest, SolveRequest};
 pub use queue::{JobQueue, JobTicket, QueueFull};

@@ -38,7 +38,9 @@ pub const ROUTES: [&str; 9] = [
 pub fn route_class(path: &str) -> usize {
     let path = path.split('?').next().unwrap_or(path);
     match path {
-        "/healthz" => 0,
+        // The readiness probe shares the health route class: same
+        // cardinality budget, same latency expectations.
+        "/healthz" | "/readyz" => 0,
         "/metrics" => 1,
         "/solve" => 5,
         "/solve-batch" => 6,
@@ -389,6 +391,7 @@ mod tests {
     fn route_classes_are_total_and_bounded() {
         for path in [
             "/healthz",
+            "/readyz",
             "/metrics",
             "/stats",
             "/stats/g",

@@ -252,6 +252,36 @@ impl SnapshotStore {
         }
     }
 
+    /// Integrity re-verification for the background scrubber: fully
+    /// decodes the on-disk snapshot of `name` — checksum, structure,
+    /// fingerprint, coreness — and discards the result. Bit-rot
+    /// quarantines the file exactly like a failed [`SnapshotStore::load`]
+    /// would, so a corrupt snapshot is pulled from the index *before*
+    /// any request tries to serve it. Returns `false` iff the file was
+    /// quarantined (a name removed meanwhile verifies vacuously).
+    pub fn verify(&self, name: &str) -> bool {
+        if safe_name(name).is_none() || !self.contains(name) {
+            return true;
+        }
+        let path = self.path_of(name);
+        let checked = std::fs::read(&path)
+            .map_err(|e| format!("unreadable: {e}"))
+            .and_then(|bytes| {
+                let snap = Snapshot::decode(&bytes)?;
+                snap.graph()?;
+                extract_kcore(&snap)?;
+                Ok(())
+            });
+        match checked {
+            Ok(()) => true,
+            Err(e) => {
+                self.quarantine(&path, &format!("scrub: {e}"));
+                plock(&self.index).remove(name);
+                false
+            }
+        }
+    }
+
     /// Unlinks the snapshot of `name`; `true` if one was indexed. The
     /// in-memory CSR of any in-flight solve is untouched — `Arc`s keep the
     /// data alive regardless of what happens to the file.
@@ -396,6 +426,32 @@ mod tests {
         // Quarantined files are not re-indexed on the next boot.
         let store = SnapshotStore::open(&dir).unwrap();
         assert!(store.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_verify_quarantines_bit_rot() {
+        let dir = tmp_dir("scrubv");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let g = gen::planted_clique(60, 0.05, 5, 3);
+        let kc = kcore_sequential(&g);
+        store.save("ok", &g, &kc).unwrap();
+        store.save("rot", &g, &kc).unwrap();
+        assert!(store.verify("ok"));
+        assert!(store.verify("missing"), "absent names verify vacuously");
+        // Flip one payload byte: header stays valid, checksum does not.
+        let path = dir.join("rot.lmcs");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() - 9;
+        bytes[at] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(!store.verify("rot"), "a single flipped byte must be caught");
+        assert!(!store.contains("rot"));
+        assert!(dir.join("rot.lmcs.corrupt").exists());
+        assert_eq!(store.quarantined.load(Ordering::Relaxed), 1);
+        // Clean snapshots still verify and load.
+        assert!(store.verify("ok"));
+        assert!(store.load("ok").is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -24,8 +24,15 @@ use std::time::{Duration, Instant};
 
 const WAKEUP_TOKEN: u64 = 0;
 const LISTENER_TOKEN: u64 = 1;
-/// First token handed to a connection (0/1 are reserved above).
-pub(crate) const FIRST_CONN_TOKEN: u64 = 2;
+/// Reactor 0's signalfd (SIGTERM/SIGINT → graceful drain).
+const SIGNAL_TOKEN: u64 = 2;
+/// First token handed to a connection (0–2 are reserved above).
+pub(crate) const FIRST_CONN_TOKEN: u64 = 3;
+
+/// How long an idle keep-alive connection survives once a drain begins:
+/// long enough for a final probe (`/readyz`) or an in-flight response,
+/// short enough that drains are not held open by parked clients.
+const DRAIN_IDLE_GRACE: Duration = Duration::from_millis(500);
 
 /// A response produced off the reactor thread, addressed to one
 /// connection's one in-flight request.
@@ -146,6 +153,9 @@ pub(crate) struct ReactorArgs {
     pub cfg: ServiceConfig,
     /// `Some` only for reactor 0, which owns accepting.
     pub listener: Option<TcpListener>,
+    /// `Some` only for reactor 0 when the daemon handles signals:
+    /// SIGTERM/SIGINT arrive as readability here and start a drain.
+    pub signal: Option<lazymc_netio::SignalFd>,
     pub shared: Arc<ReactorShared>,
     /// Every reactor's mailbox (self included), for accept handoff.
     pub peers: Vec<Arc<ReactorShared>>,
@@ -180,6 +190,14 @@ pub(crate) fn run_reactor(args: ReactorArgs) {
             .is_err()
         {
             return;
+        }
+    }
+    if let Some(signal) = &r.args.signal {
+        if r.poller
+            .register(signal.fd(), SIGNAL_TOKEN, Interest::READ)
+            .is_err()
+        {
+            eprintln!("lazymc-service: failed to watch signalfd; SIGTERM will kill, not drain");
         }
     }
     r.run();
@@ -224,8 +242,24 @@ impl Reactor {
                         self.args.shared.wakeup.drain();
                     }
                     LISTENER_TOKEN => self.accept_ready(),
+                    SIGNAL_TOKEN => {
+                        if self.args.signal.as_ref().is_some_and(|s| s.drain()) {
+                            // SIGTERM/SIGINT: start the graceful drain and
+                            // wake the peers so they act on it too.
+                            self.args.state.begin_drain();
+                            for peer in &self.args.peers {
+                                peer.notify();
+                            }
+                        }
+                    }
                     token => self.conn_ready(token, readable, writable, fatal),
                 }
+            }
+            // Drain mode (SIGTERM, or begin_drain from any thread): stop
+            // accepting — readiness probes already see 503 — and let
+            // everything in flight settle.
+            if self.args.state.is_draining() {
+                self.enter_drain();
             }
             // Mailbox work can arrive with or without a doorbell event
             // (the notify may land while we are already awake).
@@ -235,6 +269,20 @@ impl Reactor {
                 self.sweep_timeouts();
                 self.last_sweep = Instant::now();
             }
+        }
+    }
+
+    /// Acts on drain mode; idempotent, called every loop iteration while
+    /// draining. Reactor 0 closes the listener (new TCP connections are
+    /// refused by the OS from that moment; `/readyz` flipped to 503 the
+    /// instant the flag was set, strictly before this). Open connections
+    /// are left to finish: their next response carries
+    /// `Connection: close` (see [`Reactor::deliver`]) and idle ones are
+    /// reaped by the sweep after a short grace.
+    fn enter_drain(&mut self) {
+        if let Some(listener) = self.args.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+            eprintln!("lazymc-service: drain: listener closed");
         }
     }
 
@@ -262,7 +310,12 @@ impl Reactor {
                         let mut buf = Vec::new();
                         let mut busy =
                             Response::error(503, "connection limit reached; retry shortly");
-                        busy.retry_after = Some(1);
+                        busy.retry_after = Some(
+                            self.args
+                                .state
+                                .drain_rate
+                                .retry_after(self.args.state.queue.depth()),
+                        );
                         busy.serialize_into(&mut buf);
                         use std::io::Write as _;
                         let mut s = stream;
@@ -540,7 +593,10 @@ impl Reactor {
                 .bad_requests_total
                 .fetch_add(1, Ordering::Relaxed);
         }
-        let keep_alive = conn.keep_alive;
+        // Draining: every response announces `Connection: close` and the
+        // connection closes once it drains — clients are steered to
+        // another instance while this one finishes.
+        let keep_alive = conn.keep_alive && !self.args.state.is_draining();
         conn.queue_response(&response, keep_alive);
         self.flush(token);
     }
@@ -616,11 +672,19 @@ impl Reactor {
 
     fn sweep_timeouts(&mut self) {
         let timeout = self.args.cfg.read_timeout;
+        let draining = self.args.state.is_draining();
         let now = Instant::now();
         let stale: Vec<(u64, bool)> = self
             .conns
             .iter()
-            .filter(|(_, c)| now.duration_since(c.last_activity) > timeout)
+            .filter(|(_, c)| {
+                let idle_for = now.duration_since(c.last_activity);
+                // During a drain, idle keep-alive connections get a short
+                // grace instead of the full read timeout — a drain must
+                // not be held open by parked clients. Mid-request
+                // connections keep the normal clock.
+                idle_for > timeout || (draining && !c.mid_request() && idle_for > DRAIN_IDLE_GRACE)
+            })
             // Requests awaiting a solver response are exempt: their clock
             // is the job budget, not the socket timeout.
             .filter(|(_, c)| !matches!(c.state, ConnState::Awaiting { .. }))

@@ -31,7 +31,8 @@
 //! Endpoints: `POST /graphs`, `POST /solve[?async=1]`, `POST /solve-batch`,
 //! `GET /graphs`, `GET /stats`, `GET /stats/<name>`, `GET /jobs/<id>`,
 //! `DELETE /jobs/<id>`, `DELETE /graphs/<name>`, `GET /healthz`,
-//! `GET /metrics` (Prometheus text format).
+//! `GET /readyz` (readiness; 503 while draining), `GET /metrics`
+//! (Prometheus text format).
 
 use crate::conn::{Request, Response};
 use crate::health::Health;
@@ -40,6 +41,7 @@ use crate::jobs::{
 };
 use crate::journal::{Journal, ReplayedJob};
 use crate::obs::{phase_micros, ServiceObs, SolveObservation};
+use crate::overload::{DrainRate, MemLevel, MemWatermarks, Shedder};
 use crate::plock;
 use crate::protocol::{Json, LoadRequest, SolveRequest};
 use crate::queue::{JobQueue, JobTicket, Popped};
@@ -123,6 +125,34 @@ pub struct ServiceConfig {
     /// Explicit log destination; overrides `log_json`. Tests use
     /// `LogSink::capture()` to assert on emitted lines.
     pub log_sink: Option<LogSink>,
+    /// Queue-delay target for the CoDel-style shedding controller,
+    /// milliseconds. While observed queue waits stay above it for a full
+    /// controller interval, lowest-priority admissions are refused with
+    /// `503 + Retry-After` (derived from the observed drain rate) instead
+    /// of letting every queued job's latency grow without bound. `None`
+    /// disables shedding.
+    pub queue_delay_target_ms: Option<u64>,
+    /// Live-heap budget for the memory watermark controller, bytes.
+    /// Above 80 % (soft): uploads are rejected 503 and `/healthz`
+    /// degrades. At 100 % (hard): the lowest-priority running solve is
+    /// cancelled through the abort machinery. Only effective in binaries
+    /// that install the counting allocator (the `lazymc` CLI does);
+    /// elsewhere it is reported as untracked and never enforced.
+    pub max_memory_bytes: Option<u64>,
+    /// How long [`ServiceHandle::wait`] lets a drain run before giving
+    /// up on in-flight work. Queued jobs that miss the window stay in the
+    /// journal and replay on the next boot — timeout never loses them.
+    pub drain_timeout: Duration,
+    /// Background integrity-scrubber cadence: every interval, snapshot
+    /// checksums are re-verified end-to-end (bit rot is quarantined) and
+    /// journal frame CRCs are re-walked. `None` disables; without a
+    /// `--data-dir` there is nothing to scrub either way.
+    pub scrub_interval: Option<Duration>,
+    /// Handle SIGTERM/SIGINT via a signalfd on reactor 0, turning them
+    /// into a graceful drain instead of process death. The `lazymc serve`
+    /// binary sets this; embedded/test daemons default to leaving process
+    /// signal disposition alone.
+    pub handle_signals: bool,
 }
 
 impl Default for ServiceConfig {
@@ -149,6 +179,11 @@ impl Default for ServiceConfig {
             slow_query_ms: 500,
             slow_log_len: 32,
             log_sink: None,
+            queue_delay_target_ms: None,
+            max_memory_bytes: None,
+            drain_timeout: Duration::from_secs(10),
+            scrub_interval: Some(Duration::from_secs(60)),
+            handle_signals: false,
         }
     }
 }
@@ -242,6 +277,12 @@ pub struct ServiceMetrics {
     // Batch accounting.
     pub batches_total: AtomicU64,
     pub batch_jobs_total: AtomicU64,
+    /// Queued jobs reaped at pop because their budget had fully expired
+    /// while they waited (dead on arrival; never handed to the solver).
+    pub jobs_doa_total: AtomicU64,
+    // Background integrity scrubber.
+    pub scrub_passes_total: AtomicU64,
+    pub scrub_corruptions_total: AtomicU64,
 }
 
 /// Everything the worker pools share.
@@ -267,6 +308,18 @@ pub struct ServiceState {
     /// fsynced before a job becomes poppable, completions erase them, and
     /// boot replays whatever is left (see [`crate::journal`]).
     pub journal: Option<Journal>,
+    /// Completion-rate estimator; every `Retry-After` the daemon emits
+    /// (queue full, shed, connection limit) is derived from it.
+    pub drain_rate: DrainRate,
+    /// CoDel-style admission shedder on observed queue wait.
+    pub shedder: Shedder,
+    /// Soft/hard live-heap watermarks (`--max-memory-bytes`).
+    pub mem: MemWatermarks,
+    /// Set once a drain begins (SIGTERM via signalfd, or
+    /// [`ServiceHandle::begin_drain`]): the listener closes, `/readyz`
+    /// flips to 503, keep-alive responses carry `Connection: close`, and
+    /// in-flight work runs to completion.
+    draining: AtomicBool,
     started: Instant,
     pub(crate) next_conn_token: AtomicU64,
 }
@@ -310,10 +363,29 @@ impl ServiceState {
             core_totals: Mutex::new(MetricsSnapshot::default()),
             health,
             journal,
+            drain_rate: DrainRate::new(),
+            shedder: Shedder::new(cfg.queue_delay_target_ms.map(Duration::from_millis)),
+            mem: MemWatermarks::new(cfg.max_memory_bytes),
+            draining: AtomicBool::new(false),
             started: Instant::now(),
             next_conn_token: AtomicU64::new(reactor::FIRST_CONN_TOKEN),
         };
         Ok((state, replayed))
+    }
+
+    /// Flips the daemon into drain mode. Idempotent; callable from any
+    /// thread (reactor 0 calls it when the signalfd fires).
+    pub fn begin_drain(&self) {
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            lazymc_chaos::point!("drain.begin");
+            eprintln!(
+                "lazymc-service: drain started (listener closing; in-flight and journaled work will settle)"
+            );
+        }
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
     }
 }
 
@@ -363,6 +435,7 @@ pub struct ServiceHandle {
     shutdown: Arc<AtomicBool>,
     reactors: Vec<Arc<ReactorShared>>,
     threads: Vec<std::thread::JoinHandle<()>>,
+    drain_timeout: Duration,
 }
 
 impl ServiceHandle {
@@ -374,6 +447,38 @@ impl ServiceHandle {
     /// Shared state, exposed for tests and embedders.
     pub fn state(&self) -> &ServiceState {
         &self.state
+    }
+
+    /// Starts a graceful drain programmatically — exactly what SIGTERM
+    /// does when `handle_signals` is set: `/readyz` flips to 503, the
+    /// listener closes, keep-alive connections get `Connection: close`,
+    /// and admitted work keeps running. Follow with [`ServiceHandle::wait`]
+    /// then [`ServiceHandle::stop`].
+    pub fn begin_drain(&self) {
+        self.state.begin_drain();
+        for r in &self.reactors {
+            r.notify();
+        }
+    }
+
+    /// Blocks until the daemon should exit: first until a drain begins
+    /// (SIGTERM or [`ServiceHandle::begin_drain`]) or `stop` was called
+    /// from another handle, then until every admitted job has settled or
+    /// `drain_timeout` elapses. Jobs that miss the window are still in
+    /// the journal — the next boot replays them, so a timed-out drain
+    /// degrades to a crash-consistent exit, never a lossy one.
+    pub fn wait(&self) {
+        while !self.state.is_draining() && !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let drain_start = Instant::now();
+        while (self.state.queue.depth() > 0
+            || self.state.jobs.jobs_inflight.load(Ordering::Relaxed) > 0)
+            && drain_start.elapsed() < self.drain_timeout
+        {
+            self.state.sched.notify_source();
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 
     /// Stops accepting, severs open connections, drains the queue, joins
@@ -424,6 +529,27 @@ pub(crate) enum Dispatched {
 pub fn serve(cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
+
+    // SIGTERM/SIGINT → graceful drain: the signals must be blocked
+    // BEFORE any thread exists (the scheduler pool inside
+    // ServiceState::new, the workers, the housekeeper) — every thread
+    // inherits this mask, and one unmasked thread is enough for a
+    // delivered SIGTERM to kill the whole process instead of surfacing
+    // as readability on the signalfd owned by reactor 0.
+    let mut signal = if cfg.handle_signals {
+        match lazymc_netio::SignalFd::for_shutdown() {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!(
+                    "lazymc-service: signalfd unavailable ({e}); SIGTERM will kill instead of drain"
+                );
+                None
+            }
+        }
+    } else {
+        None
+    };
+
     let (state, replayed) = ServiceState::new(&cfg)?;
     let state = Arc::new(state);
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -481,6 +607,21 @@ pub fn serve(cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
         );
     }
 
+    // Housekeeping: memory-watermark enforcement, journal self-heal
+    // re-probes and the background integrity scrubber share one
+    // low-duty-cycle thread (all three are periodic and none may block
+    // the request path).
+    {
+        let state = state.clone();
+        let shutdown = shutdown.clone();
+        let scrub_interval = cfg.scrub_interval;
+        threads.push(
+            std::thread::Builder::new()
+                .name("lazymc-keeper".into())
+                .spawn(move || housekeeper(&state, &shutdown, scrub_interval))?,
+        );
+    }
+
     // Reactors. Reactor 0 owns the listener and hands accepted
     // connections round-robin across the set.
     let io_threads = cfg.effective_io_threads();
@@ -495,6 +636,7 @@ pub fn serve(cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
             state: state.clone(),
             cfg: cfg.clone(),
             listener: listener.take().filter(|_| idx == 0),
+            signal: if idx == 0 { signal.take() } else { None },
             shared: shared.clone(),
             peers: reactors.clone(),
             shutdown: shutdown.clone(),
@@ -514,7 +656,120 @@ pub fn serve(cfg: ServiceConfig) -> std::io::Result<ServiceHandle> {
         shutdown,
         reactors,
         threads,
+        drain_timeout: cfg.drain_timeout,
     })
+}
+
+/// The housekeeping loop: every ~100 ms, enforce the memory watermarks
+/// and re-probe a disabled journal; every `scrub_interval`, run one
+/// integrity pass over snapshots and the journal. A chaos-injected panic
+/// in one tick must not end housekeeping for the process lifetime.
+fn housekeeper(state: &Arc<ServiceState>, shutdown: &AtomicBool, scrub_interval: Option<Duration>) {
+    let mut next_scrub = scrub_interval.map(|i| Instant::now() + i);
+    while !shutdown.load(Ordering::SeqCst) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            enforce_memory(state);
+            if let Some(journal) = &state.journal {
+                if journal.try_reenable() {
+                    state.health.clear("journal");
+                    eprintln!("lazymc-service: journal re-enabled after a successful re-probe");
+                }
+            }
+            if let Some(at) = next_scrub {
+                if Instant::now() >= at {
+                    scrub_pass(state);
+                    next_scrub = scrub_interval.map(|i| Instant::now() + i);
+                }
+            }
+        }));
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// One memory-watermark tick. Soft: flag `/healthz` degraded (uploads are
+/// rejected at their endpoint). Hard: additionally cancel the
+/// lowest-priority running solve through the normal abort machinery — it
+/// finishes its current neighbourhood, reports truncated, and frees its
+/// working set.
+fn enforce_memory(state: &ServiceState) {
+    if !state.mem.enforced() {
+        return;
+    }
+    lazymc_chaos::point!("mem.watermark");
+    let live = state.mem.live_bytes();
+    match state.mem.classify(live) {
+        MemLevel::Ok => state.health.clear("memory"),
+        MemLevel::Soft => state.health.degrade(
+            "memory",
+            format!(
+                "live heap {live} bytes over soft watermark {} (max {})",
+                state.mem.soft_bytes().unwrap_or(0),
+                state.mem.hard_bytes().unwrap_or(0),
+            ),
+        ),
+        MemLevel::Hard => {
+            state.health.degrade(
+                "memory",
+                format!(
+                    "live heap {live} bytes at hard watermark {}; cancelling cheapest running solve",
+                    state.mem.hard_bytes().unwrap_or(0),
+                ),
+            );
+            if let Some((id, priority)) = state.jobs.cancel_lowest_priority_running() {
+                state.mem.hard_cancels.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "lazymc-service: hard memory watermark: cancelled running job {id} (priority {priority})"
+                );
+            }
+        }
+    }
+}
+
+/// One background integrity pass: re-verify every indexed snapshot
+/// end-to-end (decode, graph reconstruction, k-core extraction — bit rot
+/// quarantines the file so it can never be lazily served) and re-walk the
+/// journal's frame CRCs. A clean pass clears the `scrub` degradation.
+fn scrub_pass(state: &ServiceState) {
+    state
+        .metrics
+        .scrub_passes_total
+        .fetch_add(1, Ordering::Relaxed);
+    // Fault point for the pass itself (a scrubber that cannot read the
+    // volume), kept outside SnapshotStore::verify so an injected error
+    // can never quarantine a healthy file.
+    if let Err(e) = lazymc_chaos::raise_io("scrub.snapshot") {
+        state
+            .health
+            .degrade("scrub", format!("scrub pass aborted: {e}"));
+        return;
+    }
+    let mut findings: Vec<String> = Vec::new();
+    if let Some(store) = state.registry.store() {
+        for name in store.names() {
+            if !store.verify(&name) {
+                findings.push(format!(
+                    "snapshot {name:?} failed verification (quarantined)"
+                ));
+            }
+        }
+    }
+    if let Some(journal) = &state.journal {
+        if let Err(e) = journal.scrub() {
+            findings.push(format!("journal scrub: {e}"));
+        }
+    }
+    if findings.is_empty() {
+        state.health.clear("scrub");
+    } else {
+        state
+            .metrics
+            .scrub_corruptions_total
+            .fetch_add(findings.len() as u64, Ordering::Relaxed);
+        for f in &findings {
+            eprintln!("lazymc-service: scrub: {f}");
+        }
+        state.health.degrade("scrub", findings.join("; "));
+    }
 }
 
 /// Re-runs jobs the journal recorded as admitted but never completed: a
@@ -585,6 +840,9 @@ fn replay_journal(state: &Arc<ServiceState>, cfg: &ServiceConfig, replayed: Vec<
                 journal_complete(state, id);
             }
             Submitted::Enqueued(_) => requeued += 1,
+            Submitted::Shed { .. } | Submitted::Draining => {
+                unreachable!("replayed jobs bypass the admission gates")
+            }
             Submitted::Full { capacity } => {
                 state.jobs.insert_terminal(
                     ticket,
@@ -608,13 +866,16 @@ fn replay_journal(state: &Arc<ServiceState>, cfg: &ServiceConfig, replayed: Vec<
 fn complete_observed(
     state: &ServiceState,
     id: u64,
-    reply: Result<SolveReply, ()>,
+    reply: Result<SolveReply, String>,
     cancelled: bool,
     wait_us: u64,
     solve_us: u64,
     phases_us: [u64; 6],
 ) {
     let failed = reply.is_err();
+    // Every completion — solved, failed, cancelled, reaped — frees a
+    // queue slot, which is what the Retry-After estimator measures.
+    state.drain_rate.observe_completion();
     state.jobs.complete(id, reply, cancelled, |meta| {
         state.obs.observe_solve(&SolveObservation {
             job_id: id,
@@ -653,7 +914,40 @@ fn run_solve_job(state: &ServiceState, popped: Popped<SolveJob>) {
     let wait_us = waited.as_micros() as u64;
     if ticket.is_cancelled() {
         // Cancelled while queued: the job store already answered the
-        // sink when the cancellation landed.
+        // sink when the cancellation landed. Reaping the carcass still
+        // freed a slot, which the drain-rate estimator cares about.
+        state.drain_rate.observe_completion();
+        return;
+    }
+    // Feed the shedding controller the wait this job actually endured;
+    // one wait at/below target ends shedding, waits above it for a full
+    // interval start it.
+    state.shedder.observe_wait(waited);
+    // Dead on arrival: a budget that was still live at admission fully
+    // expired while the job sat in the queue. Running it would charge a
+    // solver worker for a zero-work truncated answer — reap it instead
+    // (work-avoidance applies to the queue too). Jobs without a budget
+    // never expire here, and a deadline already expired *at* admission
+    // (`budget_ms: 0`, or a cap of 0) is an explicit request for the
+    // best-effort greedy answer, not queue-induced staleness — it runs.
+    if job
+        .deadline
+        .expires_at()
+        .is_some_and(|t| t > job.enqueued && Instant::now() >= t)
+        && !job.deadline.is_cancelled()
+    {
+        state.metrics.jobs_doa_total.fetch_add(1, Ordering::Relaxed);
+        complete_observed(
+            state,
+            ticket.id,
+            Err(format!(
+                "deadline expired in queue (waited {wait_ms} ms); job reaped before solving"
+            )),
+            false,
+            wait_us,
+            0,
+            [0; 6],
+        );
         return;
     }
     // The live-progress cell: the solve publishes into it (phase
@@ -695,7 +989,7 @@ fn run_solve_job(state: &ServiceState, popped: Popped<SolveJob>) {
             complete_observed(
                 state,
                 ticket.id,
-                Err(()),
+                Err("solver panicked on this input; see /metrics".to_string()),
                 ticket.is_cancelled(),
                 wait_us,
                 solve_us,
@@ -772,6 +1066,7 @@ pub(crate) fn dispatch(
         let path = req.route_path();
         match (req.method.as_str(), path) {
             ("GET", "/healthz") => Some(healthz(state, cfg)),
+            ("GET", "/readyz") => Some(readyz(state)),
             ("GET", "/metrics") => Some(metrics(state)),
             ("GET", "/stats") => Some(global_stats(state, cfg)),
             ("GET", "/graphs") => Some(list_graphs(state)),
@@ -847,6 +1142,29 @@ fn fingerprint_hex(fp: u64) -> String {
 // ---------------------------------------------------------------------------
 
 fn load_graph(state: &ServiceState, body: &str) -> Response {
+    if state.is_draining() {
+        return draining_response();
+    }
+    // Memory soft watermark: a graph upload (CSR + coreness + snapshot
+    // buffer) is exactly the large allocation the watermark exists to
+    // refuse. Solves against already-resident graphs keep running.
+    let live = state.mem.live_bytes();
+    if state.mem.enforced() && state.mem.classify(live) != MemLevel::Ok {
+        state.mem.soft_rejects.fetch_add(1, Ordering::Relaxed);
+        state.health.degrade(
+            "memory",
+            format!(
+                "live heap {live} bytes over soft watermark {}; rejecting uploads",
+                state.mem.soft_bytes().unwrap_or(0)
+            ),
+        );
+        let mut r = Response::error(
+            503,
+            format!("memory watermark: {live} live bytes over the soft limit; upload refused"),
+        );
+        r.retry_after = Some(state.drain_rate.retry_after(state.queue.depth()));
+        return r;
+    }
     let parsed = match Json::parse(body).and_then(|v| LoadRequest::from_json(&v)) {
         Ok(r) => r,
         Err(e) => return Response::error(400, e),
@@ -910,6 +1228,13 @@ enum Submitted {
     Enqueued(u64),
     /// Queue full.
     Full { capacity: usize },
+    /// Refused by the overload controller: a standing queue past the
+    /// delay target, and this admission would not overtake anything
+    /// already waiting.
+    Shed { retry_after: u64 },
+    /// Refused because the daemon is draining (SIGTERM received): it is
+    /// finishing admitted work, not taking more.
+    Draining,
 }
 
 /// Admits one solve against a resolved registry entry: clamp threads and
@@ -985,7 +1310,37 @@ fn submit_solve(
         }
     }
 
+    // Lifecycle and overload gates, after the cache probe (a cache hit
+    // costs nothing and is never refused) and before any record exists.
+    // Replayed jobs are exempt from both: they were durably admitted
+    // before the restart and the journal owes them an outcome.
+    if replay.is_none() {
+        if state.is_draining() {
+            return Submitted::Draining;
+        }
+        let best_queued = state.queue.peek_key().map(|(p, _, _)| p);
+        if best_queued.is_none() {
+            // Queue momentarily empty: no standing queue is possible, and
+            // the controller must notice even if no pop happens for a
+            // while.
+            state.shedder.observe_idle();
+        }
+        if state.shedder.should_shed(request.priority, best_queued) {
+            lazymc_chaos::point!("overload.shed");
+            state.shedder.count_shed();
+            return Submitted::Shed {
+                retry_after: state.drain_rate.retry_after(state.queue.depth()),
+            };
+        }
+    }
+
     let deadline = Arc::new(Deadline::starting_now(config.time_budget));
+    // Stamped here, NOT at push: the journal fsync below can take
+    // milliseconds, and the DOA reaper distinguishes "budget live at
+    // admission" from "expired by construction" by comparing the
+    // deadline against this instant — a stamp taken after the fsync
+    // would misclassify small live budgets as already-expired ones.
+    let enqueued = Instant::now();
     let ticket = match replay {
         Some(t) => t.clone(),
         None => state.queue.ticket(),
@@ -1003,6 +1358,7 @@ fn submit_solve(
             trace: trace.to_string(),
             parse_us,
             budget_ms: config.time_budget.map(|b| b.as_millis() as u64),
+            priority: request.priority,
         },
     );
     // Durability point: the admit record is fsynced BEFORE the job
@@ -1024,7 +1380,7 @@ fn submit_solve(
         config,
         deadline,
         cache_key: (!request.no_cache).then(|| canonical.clone()),
-        enqueued: Instant::now(),
+        enqueued,
     };
     match state
         .queue
@@ -1050,10 +1406,27 @@ fn submit_solve(
     }
 }
 
-fn queue_full_response(capacity: usize) -> Response {
+fn queue_full_response(state: &ServiceState, capacity: usize) -> Response {
     let mut r = Response::error(429, format!("{capacity} pending jobs; try again shortly"));
-    r.retry_after = Some(1);
+    // Tell the client when a slot will plausibly exist, from the observed
+    // drain rate — not a static guess.
+    r.retry_after = Some(state.drain_rate.retry_after(state.queue.depth()));
     r
+}
+
+/// 503 for an admission refused by the overload controller.
+fn shed_response(retry_after: u64) -> Response {
+    let mut r = Response::error(
+        503,
+        "overloaded: queue wait above target; lowest-priority admissions are shed",
+    );
+    r.retry_after = Some(retry_after);
+    r
+}
+
+/// 503 for work refused because the daemon is draining.
+fn draining_response() -> Response {
+    Response::error(503, "draining: finishing admitted work, not accepting more")
 }
 
 /// `POST /solve` (sync) and `POST /solve?async=1` (202 + job id).
@@ -1098,7 +1471,9 @@ fn solve_endpoint(state: &ServiceState, cfg: &ServiceConfig, req: &Request, resp
             ))
         }
         Submitted::Enqueued(_) => {} // sync: the job's sink owns the responder
-        Submitted::Full { capacity } => responder.respond(queue_full_response(capacity)),
+        Submitted::Full { capacity } => responder.respond(queue_full_response(state, capacity)),
+        Submitted::Shed { retry_after } => responder.respond(shed_response(retry_after)),
+        Submitted::Draining => responder.respond(draining_response()),
     }
 }
 
@@ -1221,6 +1596,14 @@ fn solve_batch(state: &ServiceState, cfg: &ServiceConfig, req: &Request, respond
                     slot,
                     batch_error(429, format!("{capacity} pending jobs; slot shed")),
                 ),
+                Submitted::Shed { retry_after } => agg.fill(
+                    slot,
+                    batch_error(
+                        503,
+                        format!("overloaded; slot shed, retry in ~{retry_after}s"),
+                    ),
+                ),
+                Submitted::Draining => agg.fill(slot, batch_error(503, "draining; slot refused")),
             }
         }
     }
@@ -1489,6 +1872,17 @@ fn chaos_control(body: &str) -> Response {
     }
 }
 
+/// `GET /readyz` — readiness, deliberately distinct from `/healthz`
+/// liveness: a draining daemon is perfectly healthy (it is finishing
+/// admitted work) but must receive no new traffic, so load balancers
+/// watch this endpoint and see the 503 *before* the listener closes.
+fn readyz(state: &ServiceState) -> Response {
+    if state.is_draining() {
+        return Response::error(503, "draining");
+    }
+    Response::json(200, Json::obj(vec![("ready", Json::Bool(true))]))
+}
+
 fn healthz(state: &ServiceState, cfg: &ServiceConfig) -> Response {
     let degraded = state.health.is_degraded();
     let mut fields = vec![
@@ -1526,6 +1920,39 @@ fn healthz(state: &ServiceState, cfg: &ServiceConfig) -> Response {
         (
             "journal_pending",
             Json::num(state.journal.as_ref().map_or(0, |j| j.pending_len()) as f64),
+        ),
+        // Lifecycle: liveness stays 200 through a drain (/readyz is the
+        // endpoint that flips), but operators can see the phase here.
+        ("draining", Json::Bool(state.is_draining())),
+        ("shedding", Json::Bool(state.shedder.is_shedding())),
+        (
+            "memory",
+            Json::obj(vec![
+                ("tracked", Json::Bool(state.mem.tracked())),
+                ("enforced", Json::Bool(state.mem.enforced())),
+                ("live_bytes", Json::num(state.mem.live_bytes() as f64)),
+                (
+                    "level",
+                    Json::str(match state.mem.level() {
+                        MemLevel::Ok => "ok",
+                        MemLevel::Soft => "soft",
+                        MemLevel::Hard => "hard",
+                    }),
+                ),
+            ]),
+        ),
+        (
+            "scrub_passes",
+            Json::num(state.metrics.scrub_passes_total.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "scrub_corruptions",
+            Json::num(
+                state
+                    .metrics
+                    .scrub_corruptions_total
+                    .load(Ordering::Relaxed) as f64,
+            ),
         ),
         (
             "max_budget_ms",
@@ -1941,6 +2368,47 @@ fn metrics(state: &ServiceState) -> Response {
         "Times a component entered the degraded state",
         state.health.degraded_events.load(Ordering::Relaxed),
     );
+    // Overload control, lifecycle and the integrity scrubber.
+    counter(
+        "lazymc_overload_shed_total",
+        "Admissions refused 503 by the queue-delay shedding controller",
+        state.shedder.shed_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_jobs_doa_total",
+        "Queued jobs reaped dead-on-arrival (budget expired before the solve started)",
+        m.jobs_doa_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_mem_soft_rejects_total",
+        "Uploads rejected 503 at the soft memory watermark",
+        state.mem.soft_rejects.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_mem_hard_cancels_total",
+        "Running solves cancelled at the hard memory watermark",
+        state.mem.hard_cancels.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_journal_reenabled_total",
+        "Times the journal self-heal re-probe brought a disabled journal back",
+        jrnl.map_or(0, |j| j.reenabled.load(Ordering::Relaxed)),
+    );
+    counter(
+        "lazymc_scrub_passes_total",
+        "Background integrity-scrub passes completed",
+        m.scrub_passes_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_scrub_corruptions_total",
+        "Corruptions found by the scrubber (snapshots quarantined, journal CRC failures)",
+        m.scrub_corruptions_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "lazymc_drain_completions_observed_total",
+        "Job completions observed by the Retry-After drain-rate estimator",
+        state.drain_rate.observed_total.load(Ordering::Relaxed),
+    );
     let mut gauge = |name: &str, help: &str, value: u64| {
         out.push_str(&format!(
             "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
@@ -2018,6 +2486,41 @@ fn metrics(state: &ServiceState) -> Response {
         jrnl.map_or(0, |j| j.pending_len()) as u64,
     );
     gauge(
+        "lazymc_draining",
+        "1 while the daemon is draining (listener closed, /readyz answers 503)",
+        u64::from(state.is_draining()),
+    );
+    gauge(
+        "lazymc_overload_shedding",
+        "1 while the queue-delay controller is shedding lowest-priority admissions",
+        u64::from(state.shedder.is_shedding()),
+    );
+    gauge(
+        "lazymc_retry_after_seconds",
+        "Retry-After the daemon would attach to a backpressure response right now",
+        state.drain_rate.retry_after(state.queue.depth()),
+    );
+    gauge(
+        "lazymc_mem_live_bytes",
+        "Live heap bytes per the counting allocator (0 when untracked)",
+        state.mem.live_bytes(),
+    );
+    gauge(
+        "lazymc_mem_soft_limit_bytes",
+        "Soft memory watermark (80% of --max-memory-bytes; 0 when unset)",
+        state.mem.soft_bytes().unwrap_or(0),
+    );
+    gauge(
+        "lazymc_mem_hard_limit_bytes",
+        "Hard memory watermark (--max-memory-bytes; 0 when unset)",
+        state.mem.hard_bytes().unwrap_or(0),
+    );
+    gauge(
+        "lazymc_mem_tracked",
+        "1 when this process routes allocations through the counting allocator",
+        u64::from(state.mem.tracked()),
+    );
+    gauge(
         "lazymc_sched_workers",
         "Worker threads in the machine-wide scheduler pool",
         sched_metrics.workers.len() as u64,
@@ -2045,6 +2548,12 @@ fn metrics(state: &ServiceState) -> Response {
             "lazymc_sched_thread_efficiency{{worker=\"{i}\"}} {e:.6}\n"
         ));
     }
+    out.push_str(&format!(
+        "# HELP lazymc_drain_rate_per_sec Observed job completions per second (10s window)\n\
+         # TYPE lazymc_drain_rate_per_sec gauge\n\
+         lazymc_drain_rate_per_sec {:.3}\n",
+        state.drain_rate.per_sec()
+    ));
     out.push_str(
         "# HELP lazymc_queue_depth_by_priority Pending solve jobs per priority level\n\
          # TYPE lazymc_queue_depth_by_priority gauge\n",

@@ -1,0 +1,254 @@
+//! Overload-control and lifecycle integration tests, live sockets against
+//! an in-process daemon: dead-on-arrival reaping, CoDel-style shedding
+//! with drain-rate Retry-After, the `/readyz` drain flip, and the
+//! background snapshot scrubber quarantining injected bit-rot.
+
+mod common;
+
+use common::{bool_field, str_field, upload, Client};
+use lazymc_graph::gen;
+use lazymc_service::{serve, Json, ServiceConfig, ServiceHandle};
+use std::time::{Duration, Instant};
+
+fn start(cfg: ServiceConfig) -> ServiceHandle {
+    serve(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        ..cfg
+    })
+    .expect("bind service")
+}
+
+/// Submits an async solve, returning (status, body json).
+fn submit_async(client: &mut Client, body: &str) -> (u16, Json) {
+    let (status, _, text) = client.request("POST", "/solve?async=1", Some(body));
+    (status, Json::parse(&text).expect("json body"))
+}
+
+/// A job whose deadline expires while it waits in the queue must be
+/// reaped at pop time — failed with a reaping error, never solved.
+#[test]
+fn dead_on_arrival_jobs_are_reaped_not_solved() {
+    let handle = start(ServiceConfig {
+        solver_workers: 1,
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let mut c = Client::connect(handle.addr());
+    upload(&mut c, "dense", &gen::gnp(300, 0.5, 7));
+
+    // Pin the lone solver for ~700 ms.
+    let (status, pin) = submit_async(
+        &mut c,
+        r#"{"graph":"dense","budget_ms":700,"no_cache":true}"#,
+    );
+    assert_eq!(status, 202, "pin submit: {pin:?}");
+
+    // Queue a job that can only expire behind it: 40 ms budget, measured
+    // from enqueue, against 700 ms of guaranteed queue wait.
+    let (status, doa) = submit_async(
+        &mut c,
+        r#"{"graph":"dense","budget_ms":40,"no_cache":true}"#,
+    );
+    assert_eq!(status, 202, "doa submit: {doa:?}");
+    let doa_id = doa.get("job_id").and_then(Json::as_u64).expect("job_id");
+
+    let t = Instant::now();
+    loop {
+        let (_, job) = c.get_json(&format!("/jobs/{doa_id}"));
+        let state = str_field(&job, "status").to_string();
+        if state == "failed" {
+            let err = job
+                .get("result")
+                .and_then(|r| r.get("error"))
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("failed job must carry an error: {job:?}"))
+                .to_string();
+            assert!(
+                err.contains("reaped") && err.contains("deadline"),
+                "DOA failure must say it was reaped, got {err:?}"
+            );
+            break;
+        }
+        assert_ne!(state, "done", "expired job must never produce a result");
+        assert!(
+            t.elapsed() < Duration::from_secs(15),
+            "DOA job never reaped (state {state:?})"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(c.metric("lazymc_jobs_doa_total") >= 1);
+    handle.stop();
+}
+
+/// Sustained queue wait above the target flips the shedder; further
+/// same-priority admissions get 503 with a drain-rate `Retry-After`.
+#[test]
+fn overload_sheds_with_retry_after() {
+    let handle = start(ServiceConfig {
+        solver_workers: 1,
+        workers: 2,
+        queue_capacity: 256,
+        queue_delay_target_ms: Some(1),
+        ..ServiceConfig::default()
+    });
+    let mut c = Client::connect(handle.addr());
+    upload(&mut c, "dense", &gen::gnp(300, 0.5, 7));
+
+    // One ~300 ms job to build queue wait, then a train of ~40 ms jobs
+    // so pops (each observing >1 ms wait) span the 100 ms CoDel interval.
+    let (status, _) = submit_async(
+        &mut c,
+        r#"{"graph":"dense","budget_ms":300,"no_cache":true}"#,
+    );
+    assert_eq!(status, 202);
+    for _ in 0..8 {
+        let (status, _) = submit_async(
+            &mut c,
+            r#"{"graph":"dense","budget_ms":40,"no_cache":true}"#,
+        );
+        assert_eq!(status, 202);
+    }
+
+    // Keep offering work; once the controller flips, a submit is shed.
+    let t = Instant::now();
+    let shed = loop {
+        let (status, headers, body) = c.request(
+            "POST",
+            "/solve?async=1",
+            Some(r#"{"graph":"dense","budget_ms":40,"no_cache":true}"#),
+        );
+        if status == 503 {
+            break (headers, body);
+        }
+        assert_eq!(status, 202, "unexpected response under load: {body}");
+        assert!(
+            t.elapsed() < Duration::from_secs(20),
+            "controller never shed despite sustained over-target waits"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let (headers, body) = shed;
+    assert!(body.contains("overloaded"), "shed body: {body}");
+    let retry_after: u64 = headers
+        .iter()
+        .find(|(k, _)| k == "retry-after")
+        .map(|(_, v)| v.parse().expect("numeric Retry-After"))
+        .expect("shed response must carry Retry-After");
+    assert!((1..=60).contains(&retry_after), "retry_after {retry_after}");
+    assert!(c.metric("lazymc_overload_shed_total") >= 1);
+
+    // The advice must come from the observed drain rate, not a constant:
+    // with jobs completing, the estimator reports a nonzero rate.
+    let (_, _, text) = c.request("GET", "/metrics", None);
+    let rate: f64 = text
+        .lines()
+        .find(|l| l.starts_with("lazymc_drain_rate_per_sec "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .expect("drain rate gauge");
+    assert!(rate > 0.0, "drain rate should be observed, got {rate}");
+    handle.stop();
+}
+
+/// `begin_drain` flips `/readyz` to 503 while `/healthz` stays 200, and
+/// in-flight keep-alive connections are told `Connection: close`.
+#[test]
+fn drain_flips_readyz_but_not_healthz() {
+    let handle = start(ServiceConfig {
+        solver_workers: 1,
+        ..ServiceConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Pre-open both probe connections: the listener closes at drain.
+    let mut ready_probe = Client::connect(addr);
+    let mut health_probe = Client::connect(addr);
+    let (status, _, _) = ready_probe.request("GET", "/readyz", None);
+    assert_eq!(status, 200, "daemon must be ready before drain");
+
+    handle.begin_drain();
+    // Probe within the drain idle grace (500 ms) so the sweeper has not
+    // reaped these idle connections yet.
+    let (status, headers, _) = ready_probe.request("GET", "/readyz", None);
+    assert_eq!(status, 503, "/readyz must refuse while draining");
+    assert!(
+        headers
+            .iter()
+            .any(|(k, v)| k == "connection" && v.eq_ignore_ascii_case("close")),
+        "drain responses must advertise Connection: close, got {headers:?}"
+    );
+    let (status, _, body) = health_probe.request("GET", "/healthz", None);
+    assert_eq!(status, 200, "/healthz stays live through a drain");
+    let v = Json::parse(&body).expect("healthz json");
+    assert!(bool_field(&v, "draining"), "healthz must report the phase");
+
+    // Nothing was admitted, so the drain completes immediately.
+    handle.wait();
+    handle.stop();
+}
+
+/// Submissions racing a drain are refused with an explicit 503, not
+/// silently queued into a daemon that is about to exit.
+#[test]
+fn drain_refuses_new_work() {
+    let handle = start(ServiceConfig::default());
+    let mut c = Client::connect(handle.addr());
+    upload(&mut c, "g", &gen::gnp(40, 0.3, 3));
+
+    handle.begin_drain();
+    let (status, _, body) = c.request("POST", "/solve", Some(r#"{"graph":"g","no_cache":true}"#));
+    assert_eq!(status, 503, "draining daemon must refuse new solves");
+    assert!(body.contains("draining"), "body: {body}");
+    handle.wait();
+    handle.stop();
+}
+
+/// The background scrubber detects a flipped byte in a durable snapshot,
+/// quarantines the file, and degrades `/healthz`.
+#[test]
+fn scrubber_quarantines_flipped_snapshot_byte() {
+    let dir = std::env::temp_dir().join(format!("lazymc_scrub_it_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    let handle = start(ServiceConfig {
+        data_dir: Some(dir.to_str().expect("utf8 dir").to_string()),
+        scrub_interval: Some(Duration::from_millis(200)),
+        ..ServiceConfig::default()
+    });
+    let mut c = Client::connect(handle.addr());
+    upload(&mut c, "rotme", &gen::gnp(60, 0.3, 5));
+
+    // Flip one byte in the middle of the snapshot payload.
+    let snap = dir.join("rotme.lmcs");
+    assert!(snap.is_file(), "upload must write a durable snapshot");
+    let mut bytes = std::fs::read(&snap).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&snap, &bytes).expect("re-write snapshot");
+
+    let t = Instant::now();
+    while c.metric("lazymc_snapshots_quarantined_total") == 0 {
+        assert!(
+            t.elapsed() < Duration::from_secs(15),
+            "scrubber never quarantined the corrupted snapshot"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(c.metric("lazymc_scrub_corruptions_total") >= 1);
+    assert!(c.metric("lazymc_scrub_passes_total") >= 1);
+    assert!(
+        !snap.exists() && dir.join("rotme.lmcs.corrupt").is_file(),
+        "corrupted snapshot must be moved aside, not left in place"
+    );
+    let (status, _, body) = c.request("GET", "/healthz", None);
+    assert_eq!(status, 200);
+    let v = Json::parse(&body).expect("healthz json");
+    assert_eq!(str_field(&v, "state"), "degraded");
+    assert!(
+        body.contains("rotme"),
+        "degradation reason should name the snapshot: {body}"
+    );
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
