@@ -34,6 +34,9 @@ const VALUED: &[&str] = &[
     "--max-memory-bytes",
     "--drain-timeout-ms",
     "--scrub-interval-ms",
+    "--mmap-threshold-bytes",
+    "--dir",
+    "--timeout-ms",
     "--suite",
     "--out",
     "--reps",

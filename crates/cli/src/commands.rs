@@ -15,10 +15,14 @@ USAGE:
   lazymc solve <file> [--threads N] [--budget SECS] [--phi F] [--top-k K]
                [--filter-rounds R] [--no-early-exit] [--no-second-exit]
                [--prepopulate none|must|all] [--reduction] [--quiet]
-  lazymc bench --suite quick|dense|sparse|service [--out FILE] [--reps N]
-               [--threads N] [--write-graphs DIR]
+  lazymc bench --suite quick|dense|sparse|service|sparse-massive
+               [--out FILE] [--reps N] [--threads N] [--write-graphs DIR]
+               [--dir DIR]
                (service: requests/sec + healthz-under-load latency against
-               an in-process daemon)
+               an in-process daemon; sparse-massive: 10M+-edge power-law
+               graphs solved through zero-copy mmap snapshots plus a
+               100-snapshot cold-boot — fetched corpora in --dir join in,
+               otherwise the suite is synthetic-only)
   lazymc bench --check-json FILE               (validate a bench report)
   lazymc bench --compare OLD.json NEW.json     (speedup table; exits 1 on
                >10% median wall-time regression)
@@ -26,13 +30,16 @@ USAGE:
   lazymc mce <file> [--histogram]
   lazymc compare <file> [--skip ALG[,ALG...]]   (algs: pmc, domega-ls, domega-bs, brb)
   lazymc gen <instance> <out-file> [--test]     (see `lazymc gen list`)
+  lazymc fetch [<name>...] [--dir DIR] [--list] [--timeout-ms MS]
+               (download real sparse corpora for the sparse-massive
+               bench; exits 8 with a hint when the network is down)
   lazymc serve [<addr>] [--io-threads I] [--workers N] [--solver-workers S]
                [--conn-limit C] [--max-graphs M] [--queue-cap Q]
                [--data-dir DIR] [--max-budget-ms MS] [--job-ttl-ms MS]
                [--result-cache-bytes B] [--log-json] [--slow-query-ms MS]
                [--queue-delay-target-ms MS] [--max-memory-bytes B]
                [--drain-timeout-ms MS] [--scrub-interval-ms MS]
-               [--check]
+               [--mmap-threshold-bytes B] [--check]
                (default addr 127.0.0.1:7171)
   lazymc snapshot <graph-file> <out.lmcs>
   lazymc restore <file.lmcs> [<out-graph-file>]
@@ -80,7 +87,12 @@ quarantining bit rot before it can ever be served.
 
 With --data-dir, every upload is also written as a checksummed .lmcs
 snapshot (CSR + coreness, atomic rename); after a restart graphs reload
-lazily on first use — no re-upload, no k-core recomputation. `snapshot`
+lazily on first use — no re-upload, no k-core recomputation. Snapshots
+at least --mmap-threshold-bytes large (default 4 MiB; 0 maps everything)
+skip the heap decode entirely: the file is mmap'd after checksum
+validation and the solver reads CSR arrays and coreness straight out of
+the page cache, so a reload costs microseconds regardless of graph size
+and mapped graphs do not count against --max-graphs. `snapshot`
 precomputes such a file offline from any graph file; `restore` verifies
 one and prints (or re-exports) its contents. Drop .lmcs files into the
 data dir before boot to pre-seed a daemon.
@@ -210,7 +222,7 @@ pub fn bench(argv: &[String]) -> i32 {
     }
     let Some(suite_name) = p.raw("--suite") else {
         return fail(
-            "bench needs --suite quick|dense|sparse|service (or --check-json / --compare)",
+            "bench needs --suite quick|dense|sparse|service|sparse-massive (or --check-json / --compare)",
         );
     };
     let reps_arg = match p.value::<usize>("--reps") {
@@ -222,9 +234,24 @@ pub fn bench(argv: &[String]) -> i32 {
         // sockets instead of calling the solver directly.
         return bench_service(reps_arg.unwrap_or(3).max(1), p.raw("--out"));
     }
+    if suite_name == "sparse-massive" {
+        // Zero-copy régime: 10M+-edge graphs solved through mmap'd
+        // snapshots, plus a cold-boot case over a live daemon. Built on
+        // demand (an eager case list would cost minutes of generation).
+        let threads = match p.value::<usize>("--threads") {
+            Ok(t) => t.unwrap_or(0),
+            Err(e) => return fail(&e),
+        };
+        return bench_sparse_massive(
+            reps_arg.unwrap_or(1).max(1),
+            p.raw("--out"),
+            threads,
+            p.raw("--dir").unwrap_or("datasets"),
+        );
+    }
     let Some(cases) = lazymc_bench::perf::suite(suite_name) else {
         return fail(&format!(
-            "unknown suite {suite_name:?} (use quick, dense, sparse or service)"
+            "unknown suite {suite_name:?} (use quick, dense, sparse, service or sparse-massive)"
         ));
     };
     // The &'static suite name is needed by the report struct.
@@ -516,11 +543,14 @@ fn bench_service(reps: usize, out: Option<&str>) -> i32 {
         chosen.wall_p99_ms = pct(0.99);
         cases.push(chosen);
     }
+    let (host_cores, host_mem_bytes) = lazymc_bench::perf::host_facts();
     let result = SuiteResult {
         suite: "service",
         threads: 2,
         reps,
         alloc_tracked: lazymc_bench::alloc::tracking_enabled(),
+        host_cores,
+        host_mem_bytes,
         cases,
     };
     println!(
@@ -542,6 +572,501 @@ fn bench_service(reps: usize, out: Option<&str>) -> i32 {
         println!("report written to {out}");
     }
     0
+}
+
+/// `lazymc bench --suite sparse-massive`: the zero-copy mmap régime.
+/// Each solve case snapshots a 10M+-edge synthetic power-law graph to
+/// disk once, then times map→solve through [`MappedSnapshot`] — the heap
+/// decode never happens; coreness is read straight out of the mapping.
+/// A final case cold-boots an in-process daemon over 100 pre-seeded
+/// snapshots with `--mmap-threshold-bytes 0` and proves through
+/// `/metrics` that not one of them was decoded or re-peeled. Corpora
+/// fetched by `lazymc fetch` into `--dir` join the suite; when none are
+/// present the suite runs synthetic-only (with a note).
+fn bench_sparse_massive(reps: usize, out: Option<&str>, threads: usize, datasets_dir: &str) -> i32 {
+    use lazymc_bench::perf::{CaseResult, ServiceCaseStats, SuiteResult};
+    use lazymc_core::Deadline;
+    use lazymc_graph::{gen, MappedSnapshot};
+    use lazymc_order::KCoreView;
+
+    let tmp = std::env::temp_dir().join(format!("lazymc-bench-mmap-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&tmp) {
+        return fail(&format!("cannot create {}: {e}", tmp.display()));
+    }
+    let threads = Config::clamp_threads(threads);
+    let mut config = Config::default();
+    if threads > 0 {
+        config.threads = threads;
+    }
+
+    // Real corpora first (when fetched), then the synthetic backbone.
+    let mut inputs: Vec<(&'static str, CsrGraph)> = Vec::new();
+    let mut fetched = 0usize;
+    for d in FETCH_CATALOG {
+        let path = format!("{datasets_dir}/{}", d.file);
+        if std::path::Path::new(&path).exists() {
+            match load(&path) {
+                Ok(g) => {
+                    inputs.push((d.name, g));
+                    fetched += 1;
+                }
+                Err(e) => eprintln!("note: skipping fetched corpus {path}: {e}"),
+            }
+        }
+    }
+    if fetched == 0 {
+        println!(
+            "note: no fetched corpora in {datasets_dir}/ — running synthetic-only \
+             (run `lazymc fetch` to add real SNAP/DIMACS inputs)"
+        );
+    }
+    inputs.push(("ba-650k-16-mmap", gen::barabasi_albert(650_000, 16, 29)));
+
+    println!(
+        "{:<22} {:>8} {:>10} {:>6} {:>10} {:>11}",
+        "case", "n", "m", "omega", "map-us", "wall-ms"
+    );
+    let mut cases: Vec<CaseResult> = Vec::new();
+    for (name, g) in &inputs {
+        // Snapshot once; every repetition then starts from the file, the
+        // way a daemon reload would.
+        let kc = kcore_sequential(g);
+        let mut snap = lazymc_graph::snapshot::Snapshot::from_graph(g);
+        lazymc_order::embed_kcore(&mut snap, &kc);
+        let bytes = snap.encode();
+        let path = tmp.join(format!("{name}.lmcs"));
+        if let Err(e) = lazymc_graph::snapshot::write_file_atomic(&path, &bytes) {
+            return fail(&format!("cannot write {}: {e}", path.display()));
+        }
+        drop(bytes);
+        drop(snap);
+        drop(kc);
+        let mut walls = Vec::with_capacity(reps);
+        let mut map_us = 0.0;
+        let mut last = None;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let m = match MappedSnapshot::map(&path) {
+                Ok(m) => m,
+                Err(e) => return fail(&format!("cannot map {}: {e}", path.display())),
+            };
+            map_us = t.elapsed().as_secs_f64() * 1e6;
+            m.advise_willneed();
+            let view = KCoreView {
+                coreness: m.coreness().expect("bench snapshots embed coreness"),
+                degeneracy: m.degeneracy(),
+                peel_order: m.peel_order(),
+            };
+            let deadline = Deadline::starting_now(None);
+            let r = LazyMc::new(config.clone()).solve_prepared(&m, Some(view), &deadline);
+            walls.push(t.elapsed().as_secs_f64() * 1e3);
+            last = Some(r);
+        }
+        let r = last.expect("reps >= 1");
+        walls.sort_by(|a, b| a.total_cmp(b));
+        let pct = |q: f64| walls[((q * walls.len() as f64).ceil() as usize).max(1) - 1];
+        let case = CaseResult {
+            name,
+            n: g.num_vertices(),
+            m: g.num_edges(),
+            omega: r.size(),
+            reps,
+            wall_ms_median: walls[walls.len() / 2],
+            wall_ms_min: walls[0],
+            wall_p50_ms: pct(0.50),
+            wall_p90_ms: pct(0.90),
+            wall_p99_ms: pct(0.99),
+            mc_nodes: r.metrics.mc_nodes,
+            vc_nodes: r.metrics.vc_nodes,
+            searched_mc: r.metrics.searched_mc,
+            searched_kvc: r.metrics.searched_kvc,
+            reduced_vertices: r.metrics.reduced_vertices,
+            vc_reductions: r.metrics.vc_reductions,
+            split_tasks: r.metrics.split_tasks,
+            steals: r.metrics.steals,
+            incumbent_broadcasts: r.metrics.incumbent_broadcasts,
+            alloc_count: 0,
+            alloc_bytes: 0,
+            peak_bytes: 0,
+            service: None,
+        };
+        println!(
+            "{:<22} {:>8} {:>10} {:>6} {:>10.1} {:>11.3}",
+            case.name, case.n, case.m, case.omega, map_us, case.wall_ms_median
+        );
+        cases.push(case);
+    }
+
+    // Cold boot: 100 snapshots pre-seeded into a data dir; a fresh
+    // daemon must answer /stats on every one without a single heap
+    // decode or re-peel — proven through its own /metrics, not assumed.
+    const BOOT_SNAPSHOTS: usize = 100;
+    let coldboot = || -> std::io::Result<(f64, usize, usize)> {
+        let data_dir = tmp.join("coldboot");
+        std::fs::create_dir_all(&data_dir)?;
+        let (mut total_n, mut total_m) = (0usize, 0usize);
+        for i in 0..BOOT_SNAPSHOTS {
+            let g = gen::gnp(400, 0.05, i as u64);
+            total_n += g.num_vertices();
+            total_m += g.num_edges();
+            let kc = kcore_sequential(&g);
+            let mut snap = lazymc_graph::snapshot::Snapshot::from_graph(&g);
+            lazymc_order::embed_kcore(&mut snap, &kc);
+            lazymc_graph::snapshot::write_file_atomic(
+                &data_dir.join(format!("boot-{i:03}.lmcs")),
+                &snap.encode(),
+            )?;
+        }
+        let t = Instant::now();
+        let handle = lazymc_service::serve(lazymc_service::ServiceConfig {
+            addr: "127.0.0.1:0".into(),
+            data_dir: Some(data_dir.to_string_lossy().into_owned()),
+            mmap_threshold_bytes: 0,
+            scrub_interval: None,
+            ..lazymc_service::ServiceConfig::default()
+        })?;
+        let mut c = BenchClient::connect(handle.addr())?;
+        for i in 0..BOOT_SNAPSHOTS {
+            let (status, body) = c.request("GET", &format!("/stats/boot-{i:03}"), "")?;
+            assert_eq!(status, 200, "cold stats failed: {body}");
+        }
+        let wall = t.elapsed().as_secs_f64() * 1e3;
+        let (status, metrics) = c.request("GET", "/metrics", "")?;
+        assert_eq!(status, 200);
+        let counter = |name: &str| -> f64 {
+            metrics
+                .lines()
+                .find(|l| !l.starts_with('#') && l.starts_with(name))
+                .and_then(|l| l.split_whitespace().last())
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(-1.0)
+        };
+        assert_eq!(
+            counter("lazymc_core_computes_total"),
+            0.0,
+            "cold boot re-peeled a k-core; the zero-copy path regressed"
+        );
+        assert!(
+            counter("lazymc_snapshot_mmap_total") >= BOOT_SNAPSHOTS as f64,
+            "cold boot decoded snapshots instead of mapping them"
+        );
+        handle.stop();
+        Ok((wall, total_n, total_m))
+    };
+    let mut walls = Vec::with_capacity(reps);
+    let (mut total_n, mut total_m) = (0usize, 0usize);
+    for _ in 0..reps {
+        match coldboot() {
+            Ok((wall, n, m)) => {
+                walls.push(wall);
+                total_n = n;
+                total_m = m;
+            }
+            Err(e) => return fail(&format!("cold-boot case failed: {e}")),
+        }
+    }
+    walls.sort_by(|a, b| a.total_cmp(b));
+    let pct = |q: f64| walls[((q * walls.len() as f64).ceil() as usize).max(1) - 1];
+    let median = walls[walls.len() / 2];
+    let case = CaseResult {
+        name: "coldboot-100-snapshots",
+        n: total_n,
+        m: total_m,
+        omega: 0,
+        reps,
+        wall_ms_median: median,
+        wall_ms_min: walls[0],
+        wall_p50_ms: pct(0.50),
+        wall_p90_ms: pct(0.90),
+        wall_p99_ms: pct(0.99),
+        mc_nodes: 0,
+        vc_nodes: 0,
+        searched_mc: 0,
+        searched_kvc: 0,
+        reduced_vertices: 0,
+        vc_reductions: 0,
+        split_tasks: 0,
+        steals: 0,
+        incumbent_broadcasts: 0,
+        alloc_count: 0,
+        alloc_bytes: 0,
+        peak_bytes: 0,
+        service: Some(ServiceCaseStats {
+            requests_per_sec: BOOT_SNAPSHOTS as f64 / (median / 1e3).max(1e-9),
+            healthz_p50_ms: 0.0,
+            healthz_p99_ms: 0.0,
+        }),
+    };
+    println!(
+        "{:<22} {:>8} {:>10} {:>6} {:>10} {:>11.3}",
+        case.name, case.n, case.m, "-", "-", case.wall_ms_median
+    );
+    cases.push(case);
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let (host_cores, host_mem_bytes) = lazymc_bench::perf::host_facts();
+    let result = SuiteResult {
+        suite: "sparse-massive",
+        threads: if threads > 0 {
+            threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        },
+        reps,
+        alloc_tracked: lazymc_bench::alloc::tracking_enabled(),
+        host_cores,
+        host_mem_bytes,
+        cases,
+    };
+    println!(
+        "total {:.3} ms over {} cases ({} reps)",
+        result.total_wall_ms(),
+        result.cases.len(),
+        reps
+    );
+    if let Some(out) = out {
+        let json = lazymc_bench::perf::to_json(&result);
+        if let Err(e) = std::fs::write(out, &json) {
+            return fail(&format!("cannot write {out}: {e}"));
+        }
+        println!("report written to {out}");
+    }
+    0
+}
+
+/// One fetchable real-world corpus: a plain (uncompressed) text mirror
+/// the dependency-free HTTP client can pull, named after the instance
+/// the sparse-massive bench will pick it up as.
+struct FetchSource {
+    name: &'static str,
+    /// File name under `--dir`; the extension picks the parser.
+    file: &'static str,
+    url: &'static str,
+}
+
+/// Corpora `lazymc fetch` knows how to retrieve. DIMACS ascii mirrors
+/// are preferred over SNAP archives because the latter only ship
+/// gzip-compressed and the workspace bakes in no decompressor.
+const FETCH_CATALOG: &[FetchSource] = &[
+    FetchSource {
+        name: "brock800-4",
+        file: "brock800-4.clq",
+        url: "http://iridia.ulb.ac.be/~fmascia/files/DIMACS/brock800_4.clq",
+    },
+    FetchSource {
+        name: "p-hat1500-1",
+        file: "p-hat1500-1.clq",
+        url: "http://iridia.ulb.ac.be/~fmascia/files/DIMACS/p_hat1500-1.clq",
+    },
+    FetchSource {
+        name: "c2000-5",
+        file: "c2000-5.clq",
+        url: "http://iridia.ulb.ac.be/~fmascia/files/DIMACS/C2000.5.clq",
+    },
+];
+
+/// Exit code for "nothing fetched because the network is unreachable":
+/// distinct from argument errors (1) so scripts can tell *skipped*
+/// (fall back to synthetic benches) from *broken*.
+const FETCH_OFFLINE_EXIT: i32 = 8;
+
+/// A fetch failure, split by whether retrying later could help.
+enum FetchError {
+    /// DNS, connect or socket-level failure — typically offline.
+    Network(String),
+    /// The mirror answered but unusably (bad status, https redirect).
+    Other(String),
+}
+
+/// Minimal HTTP/1.0 GET (`Connection: close`, so the body is simply
+/// everything after the headers — no chunked decoding needed). Follows
+/// up to `redirects` same-scheme redirects; a redirect to https is
+/// reported as unusable since the fetcher is TLS-free by design.
+fn http_get(url: &str, timeout: Duration, redirects: usize) -> Result<Vec<u8>, FetchError> {
+    use std::io::{Read, Write};
+    use std::net::{TcpStream, ToSocketAddrs};
+    let rest = url.strip_prefix("http://").ok_or_else(|| {
+        FetchError::Other(format!(
+            "{url}: only plain http is supported (no TLS in the workspace); download manually"
+        ))
+    })?;
+    let (hostport, path) = match rest.split_once('/') {
+        Some((h, p)) => (h, format!("/{p}")),
+        None => (rest, "/".to_string()),
+    };
+    let (host, port) = match hostport.split_once(':') {
+        Some((h, p)) => (
+            h,
+            p.parse::<u16>()
+                .map_err(|_| FetchError::Other(format!("{url}: bad port")))?,
+        ),
+        None => (hostport, 80),
+    };
+    let addr = (host, port)
+        .to_socket_addrs()
+        .map_err(|e| FetchError::Network(format!("cannot resolve {host}: {e}")))?
+        .next()
+        .ok_or_else(|| FetchError::Network(format!("cannot resolve {host}: no address")))?;
+    let stream = TcpStream::connect_timeout(&addr, timeout)
+        .map_err(|e| FetchError::Network(format!("cannot connect to {host}:{port}: {e}")))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| FetchError::Network(e.to_string()))?;
+    let mut stream = stream;
+    stream
+        .write_all(
+            format!(
+                "GET {path} HTTP/1.0\r\nHost: {host}\r\nUser-Agent: lazymc-fetch\r\nConnection: close\r\n\r\n"
+            )
+            .as_bytes(),
+        )
+        .map_err(|e| FetchError::Network(format!("send to {host} failed: {e}")))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| FetchError::Network(format!("read from {host} failed: {e}")))?;
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| FetchError::Other(format!("{host}: malformed HTTP response")))?;
+    let head = String::from_utf8_lossy(&raw[..header_end]).into_owned();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| FetchError::Other(format!("{host}: bad status line")))?;
+    match status {
+        200 => Ok(raw[header_end + 4..].to_vec()),
+        301 | 302 | 307 | 308 if redirects > 0 => {
+            let location = head
+                .lines()
+                .find_map(|l| {
+                    let (k, v) = l.split_once(':')?;
+                    k.trim()
+                        .eq_ignore_ascii_case("location")
+                        .then(|| v.trim().to_string())
+                })
+                .ok_or_else(|| FetchError::Other(format!("{host}: redirect without Location")))?;
+            http_get(&location, timeout, redirects - 1)
+        }
+        _ => Err(FetchError::Other(format!("{url}: HTTP {status}"))),
+    }
+}
+
+/// `lazymc fetch` — download the cataloged real-world corpora into
+/// `--dir` (default `datasets/`) for `bench --suite sparse-massive`.
+/// Each file's FNV-1a checksum is printed and recorded next to it
+/// (`<file>.fnv`); a re-download that disagrees with the recorded sum
+/// is rejected instead of silently replacing the corpus. Being offline
+/// is a *skip*, not a failure of the pipeline: the bench falls back to
+/// synthetic graphs — but the command exits 8 (not 0, not 1) so
+/// scripts can tell skipped from fetched from broken.
+pub fn fetch(argv: &[String]) -> i32 {
+    let p = match Parsed::parse(argv) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    if p.has("--list") {
+        for d in FETCH_CATALOG {
+            println!("{:<14} {:<22} {}", d.name, d.file, d.url);
+        }
+        return 0;
+    }
+    let dir = p.raw("--dir").unwrap_or("datasets");
+    let timeout = match p.value::<u64>("--timeout-ms") {
+        Ok(ms) => Duration::from_millis(ms.unwrap_or(10_000).max(1)),
+        Err(e) => return fail(&e),
+    };
+    let mut wanted: Vec<&FetchSource> = Vec::new();
+    let mut i = 0;
+    while let Some(name) = p.positional(i) {
+        match FETCH_CATALOG.iter().find(|d| d.name == name) {
+            Some(d) => wanted.push(d),
+            None => {
+                return fail(&format!(
+                    "unknown corpus {name:?} (see `lazymc fetch --list`)"
+                ))
+            }
+        }
+        i += 1;
+    }
+    if wanted.is_empty() {
+        wanted = FETCH_CATALOG.iter().collect();
+    }
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        return fail(&format!("cannot create {dir}: {e}"));
+    }
+    let (mut fetched, mut network_down) = (0usize, false);
+    for d in wanted {
+        let dest = format!("{dir}/{}", d.file);
+        if std::path::Path::new(&dest).exists() {
+            println!("{:<14} already present ({dest})", d.name);
+            fetched += 1;
+            continue;
+        }
+        match http_get(d.url, timeout, 2) {
+            Ok(body) => {
+                let sum = fnv1a(&body);
+                let fnv_path = format!("{dest}.fnv");
+                if let Ok(recorded) = std::fs::read_to_string(&fnv_path) {
+                    if recorded.trim() != format!("{sum:016x}") {
+                        eprintln!(
+                            "error: {}: checksum {sum:016x} disagrees with recorded {}; \
+                             refusing to replace the corpus",
+                            d.name,
+                            recorded.trim()
+                        );
+                        continue;
+                    }
+                }
+                if let Err(e) = std::fs::write(&dest, &body) {
+                    return fail(&format!("cannot write {dest}: {e}"));
+                }
+                if let Err(e) = std::fs::write(&fnv_path, format!("{sum:016x}\n")) {
+                    return fail(&format!("cannot write {fnv_path}: {e}"));
+                }
+                println!(
+                    "{:<14} {} bytes, fnv1a {sum:016x} -> {dest}",
+                    d.name,
+                    body.len()
+                );
+                fetched += 1;
+            }
+            Err(FetchError::Network(e)) => {
+                eprintln!("{:<14} skipped: {e}", d.name);
+                network_down = true;
+            }
+            Err(FetchError::Other(e)) => {
+                eprintln!("{:<14} skipped: {e}", d.name);
+            }
+        }
+    }
+    if network_down {
+        eprintln!(
+            "fetch: network unreachable — nothing lost: `bench --suite sparse-massive` \
+             falls back to synthetic graphs.\n       Re-run `lazymc fetch` when online, or \
+             drop files into {dir}/ by hand (`lazymc fetch --list` shows names and URLs)."
+        );
+        return FETCH_OFFLINE_EXIT;
+    }
+    if fetched == 0 {
+        return fail("no corpus could be fetched (mirrors unusable; see messages above)");
+    }
+    0
+}
+
+/// FNV-1a over a byte slice — the same checksum family the snapshot
+/// format uses, so recorded sums are comparable across tooling.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Validates a bench report against the `lazymc-bench/v1` schema.
@@ -569,8 +1094,18 @@ fn bench_check_json(path: &str) -> i32 {
         v.get("suite")
             .and_then(Json::as_str)
             .is_some_and(|s| lazymc_bench::perf::SUITES.contains(&s)),
-        "suite must be quick|dense|sparse|service",
+        "suite must be quick|dense|sparse|service|sparse-massive",
     );
+    // Additive host facts: integers when present, absence accepted so
+    // reports recorded before host stamping stay valid.
+    for field in lazymc_bench::perf::TOP_OPT_INT_FIELDS {
+        if let Some(x) = v.get(field) {
+            expect(
+                x.as_u64().is_some(),
+                &format!("{field} must be an integer if present"),
+            );
+        }
+    }
     expect(
         v.get("threads")
             .and_then(Json::as_u64)
@@ -941,6 +1476,12 @@ pub fn serve(argv: &[String]) -> i32 {
     }
     match p.value::<u64>("--drain-timeout-ms") {
         Ok(Some(ms)) => cfg.drain_timeout = Duration::from_millis(ms),
+        Ok(None) => {}
+        Err(e) => return fail(&e),
+    }
+    // 0 maps every snapshot, u64::MAX decodes everything onto the heap.
+    match p.value::<u64>("--mmap-threshold-bytes") {
+        Ok(Some(bytes)) => cfg.mmap_threshold_bytes = bytes,
         Ok(None) => {}
         Err(e) => return fail(&e),
     }

@@ -8,8 +8,9 @@
 //! lazymc mce <file> [--histogram]
 //! lazymc compare <file> [--skip ALG[,ALG…]]
 //! lazymc gen <instance> <out-file> [--test]
+//! lazymc fetch [<name>…] [--dir DIR] [--list]
 //! lazymc serve [<addr>] [--workers N] [--max-graphs M] [--queue-cap Q]
-//!              [--data-dir DIR]
+//!              [--data-dir DIR] [--mmap-threshold-bytes B]
 //! lazymc snapshot <graph-file> <out.lmcs>
 //! lazymc restore <file.lmcs> [<out-graph-file>]
 //! lazymc help
@@ -43,6 +44,7 @@ fn run(argv: &[String]) -> i32 {
         Some("mce") => commands::mce(&argv[1..]),
         Some("compare") => commands::compare(&argv[1..]),
         Some("gen") => commands::gen(&argv[1..]),
+        Some("fetch") => commands::fetch(&argv[1..]),
         Some("serve") => commands::serve(&argv[1..]),
         Some("snapshot") => commands::snapshot(&argv[1..]),
         Some("restore") => commands::restore(&argv[1..]),
@@ -213,6 +215,8 @@ mod tests {
                 "5000".into(),
                 "--result-cache-bytes".into(),
                 "65536".into(),
+                "--mmap-threshold-bytes".into(),
+                "0".into(),
                 "--check".into(),
             ]),
             0
@@ -300,6 +304,61 @@ mod tests {
             0
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_check_json_accepts_host_fields() {
+        let dir = std::env::temp_dir().join(format!("lazymc_bench_host_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Host-stamped report: additive fields type-checked when present.
+        let stamped = dir.join("stamped.json");
+        std::fs::write(
+            &stamped,
+            r#"{"schema":"lazymc-bench/v1","suite":"sparse-massive","threads":1,"reps":1,
+                "alloc_tracked":false,"host_cores":1,"host_mem_bytes":135160107008,
+                "cases":[{"name":"x","n":1,"m":0,"omega":1,
+                "reps":1,"wall_ms_median":0.1,"wall_ms_min":0.1,"mc_nodes":0,
+                "vc_nodes":0,"searched_mc":0,"searched_kvc":0,"reduced_vertices":0,
+                "vc_reductions":0,"alloc_count":0,"alloc_bytes":0,"peak_bytes":0}],
+                "total_wall_ms":0.1}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            run(&[
+                "bench".into(),
+                "--check-json".into(),
+                stamped.to_str().unwrap().into()
+            ]),
+            0
+        );
+        // Wrongly-typed host facts are rejected, not ignored.
+        let bad = dir.join("bad_host.json");
+        std::fs::write(
+            &bad,
+            r#"{"schema":"lazymc-bench/v1","suite":"quick","threads":1,"reps":1,
+                "alloc_tracked":false,"host_cores":"one",
+                "cases":[{"name":"x","n":1,"m":0,"omega":1,
+                "reps":1,"wall_ms_median":0.1,"wall_ms_min":0.1,"mc_nodes":0,
+                "vc_nodes":0,"searched_mc":0,"searched_kvc":0,"reduced_vertices":0,
+                "vc_reductions":0,"alloc_count":0,"alloc_bytes":0,"peak_bytes":0}],
+                "total_wall_ms":0.1}"#,
+        )
+        .unwrap();
+        assert_ne!(
+            run(&[
+                "bench".into(),
+                "--check-json".into(),
+                bad.to_str().unwrap().into()
+            ]),
+            0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fetch_lists_and_rejects_unknown_corpus() {
+        assert_eq!(run(&["fetch".into(), "--list".into()]), 0);
+        assert_ne!(run(&["fetch".into(), "no-such-corpus".into()]), 0);
     }
 
     #[test]

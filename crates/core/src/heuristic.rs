@@ -10,7 +10,7 @@
 
 use crate::config::Config;
 use crate::incumbent::Incumbent;
-use lazymc_graph::{CsrGraph, VertexId};
+use lazymc_graph::{GraphAccess, VertexId};
 use lazymc_intersect::{
     intersect_gt, intersect_plain, intersect_size_gt_val, intersect_size_plain, intersect_sorted,
     SortedSlice,
@@ -38,7 +38,7 @@ static HEUR_SCRATCH: Pool<HeurScratch> = Pool::new();
 /// greedily grows a clique by absorbing the candidate of maximum degree
 /// *within the candidate set*, found with `intersect-size-gt-val` whose
 /// threshold ratchets to the running maximum.
-pub fn degree_heuristic(g: &CsrGraph, cfg: &Config, inc: &Incumbent) {
+pub fn degree_heuristic(g: &dyn GraphAccess, cfg: &Config, inc: &Incumbent) {
     let n = g.num_vertices();
     if n == 0 || cfg.top_k == 0 {
         return;
@@ -77,7 +77,11 @@ pub fn degree_heuristic(g: &CsrGraph, cfg: &Config, inc: &Incumbent) {
 
 /// `arg max_{w ∈ cand} |cand ∩ N(w)|`, with the early-exit kernel ratcheting
 /// on the best value seen so far (ties: first seen).
-fn select_max_degree_candidate(g: &CsrGraph, cand: &[VertexId], early_exit: bool) -> VertexId {
+fn select_max_degree_candidate(
+    g: &dyn GraphAccess,
+    cand: &[VertexId],
+    early_exit: bool,
+) -> VertexId {
     let mut best_w = cand[0];
     let mut best_d = 0usize;
     for &w in cand {
@@ -155,7 +159,7 @@ pub fn coreness_heuristic(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lazymc_graph::gen;
+    use lazymc_graph::{gen, CsrGraph};
     use lazymc_order::{coreness_degree_order, kcore_sequential, relabel::level_ranges};
 
     fn run_degree(g: &CsrGraph) -> usize {

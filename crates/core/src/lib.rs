@@ -39,10 +39,12 @@ pub use metrics::{MetricsSnapshot, PhaseTimes};
 pub use progress::{Phase, SolveProgress};
 pub use zone::{zone_analysis, ZoneStats};
 
-use lazymc_graph::{CsrGraph, VertexId};
+use lazymc_graph::{GraphAccess, VertexId};
 use lazymc_lazygraph::LazyGraph;
 use lazymc_order::relabel::level_ranges;
-use lazymc_order::{coreness_degree_order, kcore_sequential, kcore_with_floor, KCore, VertexOrder};
+use lazymc_order::{
+    coreness_degree_order, kcore_sequential, kcore_with_floor, KCoreView, VertexOrder,
+};
 pub use lazymc_sched::{Pool as SchedPool, SchedHandle, SchedMetrics, TaskMeta};
 use std::time::Instant;
 pub use systematic::{Deadline, JobSched};
@@ -98,7 +100,7 @@ impl LazyMc {
 
     /// Finds a maximum clique of `g`. The returned witness is in original
     /// vertex ids; its size is deterministic, its identity need not be.
-    pub fn solve(&self, g: &CsrGraph) -> SolveResult {
+    pub fn solve(&self, g: &dyn GraphAccess) -> SolveResult {
         let deadline = Deadline::starting_now(self.config.time_budget);
         self.solve_prepared(g, None, &deadline)
     }
@@ -115,8 +117,8 @@ impl LazyMc {
     /// the configured order requires one.
     pub fn solve_prepared(
         &self,
-        g: &CsrGraph,
-        kcore: Option<&KCore>,
+        g: &dyn GraphAccess,
+        kcore: Option<KCoreView<'_>>,
         deadline: &Deadline,
     ) -> SolveResult {
         self.solve_prepared_observed(g, kcore, deadline, None)
@@ -128,8 +130,8 @@ impl LazyMc {
     /// a solve that has not finished. Passing `None` costs nothing.
     pub fn solve_prepared_observed(
         &self,
-        g: &CsrGraph,
-        kcore: Option<&KCore>,
+        g: &dyn GraphAccess,
+        kcore: Option<KCoreView<'_>>,
         deadline: &Deadline,
         progress: Option<&SolveProgress>,
     ) -> SolveResult {
@@ -158,8 +160,8 @@ impl LazyMc {
     /// bit-identical to the sequential kernels.
     pub fn solve_prepared_on(
         &self,
-        g: &CsrGraph,
-        kcore: Option<&KCore>,
+        g: &dyn GraphAccess,
+        kcore: Option<KCoreView<'_>>,
         deadline: &Deadline,
         progress: Option<&SolveProgress>,
         handle: &SchedHandle,
@@ -179,8 +181,8 @@ impl LazyMc {
 
     fn solve_inner(
         &self,
-        g: &CsrGraph,
-        pre: Option<&KCore>,
+        g: &dyn GraphAccess,
+        pre: Option<KCoreView<'_>>,
         deadline: &Deadline,
         progress: Option<&SolveProgress>,
         sched: Option<&JobSched>,
@@ -233,7 +235,7 @@ impl LazyMc {
         mark(Phase::Kcore);
         let t = Instant::now();
         let kc_owned;
-        let kc: &KCore = match pre {
+        let kc: KCoreView<'_> = match pre {
             Some(kc) if cfg.order != config::OrderKind::Peeling || !kc.peel_order.is_empty() => kc,
             _ => {
                 kc_owned = match cfg.order {
@@ -243,7 +245,7 @@ impl LazyMc {
                     }
                     config::OrderKind::CorenessDegree => kcore_sequential(g),
                 };
-                &kc_owned
+                kc_owned.view()
             }
         };
         phases.kcore = t.elapsed();
@@ -254,16 +256,16 @@ impl LazyMc {
         mark(Phase::Reorder);
         let t = Instant::now();
         let order = match cfg.order {
-            config::OrderKind::CorenessDegree => coreness_degree_order(g, &kc.coreness),
-            config::OrderKind::Peeling => VertexOrder::from_listing(kc.peel_order.clone()),
+            config::OrderKind::CorenessDegree => coreness_degree_order(g, kc.coreness),
+            config::OrderKind::Peeling => VertexOrder::from_listing(kc.peel_order.to_vec()),
         };
-        let levels = level_ranges(&order, &kc.coreness, kc.degeneracy);
+        let levels = level_ranges(&order, kc.coreness, kc.degeneracy);
         phases.reorder = t.elapsed();
 
         // 4. Lazy graph + pre-population of the must subgraph (line 6).
         mark(Phase::Prepopulate);
         let t = Instant::now();
-        let lg = LazyGraph::new(g, &order, &kc.coreness, inc.size_cell());
+        let lg = LazyGraph::new(g, &order, kc.coreness, inc.size_cell());
         lg.prepopulate(cfg.prepopulate, omega_degree);
         phases.prepopulate = t.elapsed();
 
@@ -309,14 +311,14 @@ impl LazyMc {
 }
 
 /// Convenience: solve with the default configuration.
-pub fn solve(g: &CsrGraph) -> SolveResult {
+pub fn solve(g: &dyn GraphAccess) -> SolveResult {
     LazyMc::default().solve(g)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lazymc_graph::gen;
+    use lazymc_graph::{gen, CsrGraph};
 
     #[test]
     fn solves_known_graphs() {
@@ -483,7 +485,7 @@ mod tests {
         ] {
             let solver = LazyMc::new(cfg.clone());
             let deadline = Deadline::none();
-            let r = solver.solve_prepared(&g, Some(&kc), &deadline);
+            let r = solver.solve_prepared(&g, Some(kc.view()), &deadline);
             assert_eq!(r.size(), expected.size(), "config {cfg:?}");
             assert!(r.is_exact());
             assert!(g.is_clique(r.vertices()));
@@ -500,7 +502,7 @@ mod tests {
         // a queue past its budget): the result is a sound lower bound
         // flagged inexact.
         let deadline = Deadline::starting_now(Some(std::time::Duration::ZERO));
-        let r = LazyMc::default().solve_prepared(&g, Some(&kc), &deadline);
+        let r = LazyMc::default().solve_prepared(&g, Some(kc.view()), &deadline);
         assert!(!r.is_exact());
         assert!(g.is_clique(r.vertices()));
     }

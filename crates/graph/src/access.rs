@@ -1,0 +1,203 @@
+//! One read-only access surface over every graph representation.
+//!
+//! The solver pipeline (k-core peeling, degree heuristics, lazy
+//! neighbourhood extraction) only ever needs three primitives from a
+//! graph: vertex count, edge count, and a sorted neighbour slice. This
+//! trait captures exactly those, so the same kernels run unchanged over
+//! a heap [`CsrGraph`] and a zero-copy [`MappedSnapshot`] whose CSR
+//! arrays live in a page-cache-backed `mmap`.
+//!
+//! The trait is deliberately dyn-safe: pipeline entry points take
+//! `&dyn GraphAccess` and rely on implicit unsize coercion from
+//! `&CsrGraph` / `&GraphStore`, so call sites needed no churn and there
+//! is no monomorphization bloat. The virtual call shows up once per
+//! vertex in the peeling loops and once per memoized neighbourhood
+//! build in `LazyGraph` — amortized to noise against the work behind it.
+//!
+//! [`MappedSnapshot`]: crate::mmap::MappedSnapshot
+
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// Read-only view of an undirected graph with sorted adjacency lists.
+///
+/// `Sync` is a supertrait because every consumer shares the graph across
+/// rayon worker threads (parallel peeling, heuristic scans, prepopulate).
+pub trait GraphAccess: Sync {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of undirected edges.
+    fn num_edges(&self) -> usize;
+
+    /// Sorted, deduplicated neighbours of `v`.
+    fn neighbors(&self, v: VertexId) -> &[VertexId];
+
+    /// Degree of vertex `v`.
+    fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Degrees of all vertices, in vertex order (as `u32`, matching
+    /// [`CsrGraph::degrees`] — a degree always fits a `VertexId`).
+    fn degrees(&self) -> Vec<u32> {
+        (0..self.num_vertices())
+            .map(|v| self.degree(v as VertexId) as u32)
+            .collect()
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    fn max_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.degree(v as VertexId))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Edge density m / (n choose 2).
+    fn density(&self) -> f64 {
+        let n = self.num_vertices();
+        if n < 2 {
+            return 0.0;
+        }
+        let possible = n as f64 * (n as f64 - 1.0) / 2.0;
+        self.num_edges() as f64 / possible
+    }
+
+    /// Whether edge {u, v} exists (binary search in the sorted list).
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Whether `verts` (distinct vertices) form a clique.
+    fn is_clique(&self, verts: &[VertexId]) -> bool {
+        for (i, &u) in verts.iter().enumerate() {
+            for &v in &verts[i + 1..] {
+                if !self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Extracts the subgraph induced by `verts` into a fresh heap CSR.
+    ///
+    /// Returns the subgraph (vertices relabelled `0..verts.len()` in the
+    /// order given) plus the mapping from new id back to original id.
+    /// Panics on duplicate or out-of-range vertices, matching
+    /// [`CsrGraph::induced_subgraph`].
+    fn induced_subgraph(&self, verts: &[VertexId]) -> (CsrGraph, Vec<VertexId>) {
+        let n = self.num_vertices();
+        let mut new_id = vec![crate::NO_VERTEX; n];
+        for (i, &v) in verts.iter().enumerate() {
+            assert!((v as usize) < n, "induced_subgraph: vertex out of range");
+            assert!(
+                new_id[v as usize] == crate::NO_VERTEX,
+                "induced_subgraph: duplicate vertex"
+            );
+            new_id[v as usize] = i as VertexId;
+        }
+        let mut offsets = Vec::with_capacity(verts.len() + 1);
+        offsets.push(0usize);
+        let mut targets = Vec::new();
+        for &v in verts {
+            for &w in self.neighbors(v) {
+                let nw = new_id[w as usize];
+                if nw != crate::NO_VERTEX {
+                    targets.push(nw);
+                }
+            }
+            // Neighbour lists are sorted by original id; relabelling may
+            // break that order, so re-sort this row.
+            let row_start = *offsets.last().unwrap_or(&0);
+            targets[row_start..].sort_unstable();
+            offsets.push(targets.len());
+        }
+        (CsrGraph::from_parts(offsets, targets), verts.to_vec())
+    }
+}
+
+impl GraphAccess for CsrGraph {
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        CsrGraph::num_edges(self)
+    }
+
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        CsrGraph::neighbors(self, v)
+    }
+
+    // Delegate to the tuned inherent implementations rather than the
+    // generic defaults where CsrGraph has something better.
+    fn degree(&self, v: VertexId) -> usize {
+        CsrGraph::degree(self, v)
+    }
+
+    fn degrees(&self) -> Vec<u32> {
+        CsrGraph::degrees(self)
+    }
+
+    fn max_degree(&self) -> usize {
+        CsrGraph::max_degree(self)
+    }
+
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        CsrGraph::has_edge(self, u, v)
+    }
+
+    fn is_clique(&self, verts: &[VertexId]) -> bool {
+        CsrGraph::is_clique(self, verts)
+    }
+
+    fn induced_subgraph(&self, verts: &[VertexId]) -> (CsrGraph, Vec<VertexId>) {
+        CsrGraph::induced_subgraph(self, verts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn dyn_access_matches_inherent_csr() {
+        let g = gen::gnp(200, 0.05, 7);
+        let d: &dyn GraphAccess = &g;
+        assert_eq!(d.num_vertices(), g.num_vertices());
+        assert_eq!(d.num_edges(), g.num_edges());
+        assert_eq!(d.degrees(), g.degrees());
+        assert_eq!(d.max_degree(), g.max_degree());
+        assert!((d.density() - g.density()).abs() < 1e-12);
+        for v in 0..g.num_vertices() as VertexId {
+            assert_eq!(d.neighbors(v), g.neighbors(v));
+            assert_eq!(d.degree(v), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn default_induced_subgraph_matches_csr() {
+        let g = gen::gnp(120, 0.1, 3);
+        let verts: Vec<VertexId> = (0..60).map(|i| i * 2).collect();
+        let (a, map_a) = CsrGraph::induced_subgraph(&g, &verts);
+        // Force the *default* trait implementation through a shim type.
+        struct Shim<'a>(&'a CsrGraph);
+        impl GraphAccess for Shim<'_> {
+            fn num_vertices(&self) -> usize {
+                self.0.num_vertices()
+            }
+            fn num_edges(&self) -> usize {
+                self.0.num_edges()
+            }
+            fn neighbors(&self, v: VertexId) -> &[VertexId] {
+                self.0.neighbors(v)
+            }
+        }
+        let (b, map_b) = GraphAccess::induced_subgraph(&Shim(&g), &verts);
+        assert_eq!(map_a, map_b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -13,24 +13,32 @@
 //! * [`suite`] — the named benchmark suite used by every experiment binary;
 //! * [`snapshot`] — the `.lmcs` durable snapshot container: versioned,
 //!   checksummed, mmap-friendly serialization of CSR arrays plus
-//!   caller-defined sections (coreness lives in `lazymc-order`).
+//!   caller-defined sections (coreness lives in `lazymc-order`);
+//! * [`mmap`] — the zero-copy loader: [`MappedSnapshot`] validates a
+//!   snapshot file in place and borrows the CSR slices straight out of
+//!   a read-only mapping, behind the [`GraphStore`] `Heap | Mapped`
+//!   enum and the [`GraphAccess`] trait every kernel consumes.
 //!
 //! All vertex identifiers are [`VertexId`] (`u32`), matching the 4-byte ids
 //! the paper assumes (16 per cache line, which motivates the hopscotch hash
 //! neighbourhood size of 16).
 
+pub mod access;
 pub mod builder;
 pub mod components;
 pub mod csr;
 pub mod gen;
 pub mod io;
+pub mod mmap;
 pub mod snapshot;
 pub mod stats;
 pub mod suite;
 
+pub use access::GraphAccess;
 pub use builder::GraphBuilder;
 pub use components::{connected_components, largest_component, triangle_count, DisjointSet};
 pub use csr::CsrGraph;
+pub use mmap::{GraphStore, MappedSnapshot};
 pub use stats::GraphStats;
 
 /// Vertex identifier. The paper stores vertices as 4-byte integers.

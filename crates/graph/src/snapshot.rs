@@ -383,7 +383,7 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 
 /// Continues an FNV-1a hash over another span (for hashing a file in
 /// pieces, e.g. skipping the checksum field without copying the buffer).
-fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);

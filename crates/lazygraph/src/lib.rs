@@ -42,7 +42,7 @@
 //! assert_eq!(lg.built_counts(), (0, 1));
 //! ```
 
-use lazymc_graph::{CsrGraph, VertexId};
+use lazymc_graph::{GraphAccess, VertexId};
 use lazymc_hopscotch::HopscotchSet;
 use lazymc_order::VertexOrder;
 use parking_lot::Mutex;
@@ -129,7 +129,7 @@ impl<T> Slot<T> {
 /// The lazy filtered hashed relabelled graph. All vertex ids in its API are
 /// *relabelled* ids; use [`LazyGraph::order`] to map back.
 pub struct LazyGraph<'g> {
-    g: &'g CsrGraph,
+    g: &'g dyn GraphAccess,
     order: &'g VertexOrder,
     /// Coreness indexed by relabelled id (non-decreasing by construction).
     coreness: Vec<u32>,
@@ -152,7 +152,7 @@ impl<'g> LazyGraph<'g> {
     /// Creates the lazy graph over `g`, relabelled by `order`, with
     /// `coreness` given in *original* ids, filtering against `incumbent`.
     pub fn new(
-        g: &'g CsrGraph,
+        g: &'g dyn GraphAccess,
         order: &'g VertexOrder,
         coreness_orig: &[u32],
         incumbent: Arc<AtomicUsize>,
@@ -189,7 +189,7 @@ impl<'g> LazyGraph<'g> {
     }
 
     /// The underlying original-id graph.
-    pub fn original_graph(&self) -> &CsrGraph {
+    pub fn original_graph(&self) -> &dyn GraphAccess {
         self.g
     }
 
@@ -370,7 +370,7 @@ impl<'g> LazyGraph<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lazymc_graph::gen;
+    use lazymc_graph::{gen, CsrGraph};
     use lazymc_order::{coreness_degree_order, kcore_sequential};
 
     fn setup(g: &CsrGraph, incumbent: usize) -> (VertexOrder, Vec<u32>, Arc<AtomicUsize>) {

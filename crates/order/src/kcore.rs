@@ -6,7 +6,7 @@
 //! LazyMC leans on coreness for the vertex order, for all three advance
 //! filters, and for the must/may zone analysis.
 
-use lazymc_graph::{CsrGraph, VertexId};
+use lazymc_graph::{GraphAccess, VertexId};
 use rayon::prelude::*;
 
 /// Result of a k-core decomposition.
@@ -31,6 +31,40 @@ impl KCore {
             self.degeneracy as usize + 1
         }
     }
+
+    /// Borrowed view of this decomposition.
+    pub fn view(&self) -> KCoreView<'_> {
+        KCoreView {
+            coreness: &self.coreness,
+            degeneracy: self.degeneracy,
+            peel_order: &self.peel_order,
+        }
+    }
+}
+
+/// Borrowed k-core decomposition — the shape the solver pipeline
+/// actually consumes. Owning [`KCore`]s view into their `Vec`s;
+/// zero-copy mapped snapshots view straight into the file mapping, so a
+/// precomputed decomposition never has to be copied to be used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KCoreView<'a> {
+    /// Exact coreness per vertex.
+    pub coreness: &'a [u32],
+    /// Maximum coreness — the graph's degeneracy.
+    pub degeneracy: u32,
+    /// Sequential peel order; empty when the decomposition has none.
+    pub peel_order: &'a [VertexId],
+}
+
+impl KCoreView<'_> {
+    /// Upper bound on the maximum clique size: degeneracy + 1.
+    pub fn omega_upper_bound(&self) -> usize {
+        if self.coreness.is_empty() {
+            0
+        } else {
+            self.degeneracy as usize + 1
+        }
+    }
 }
 
 /// Sequential Matula–Beck bucket peeling: O(n + m).
@@ -39,7 +73,7 @@ impl KCore {
 /// (monotonically clamped) is the vertex's coreness, and the removal order
 /// is the *peeling order* whose right-neighbourhoods are bounded by
 /// coreness.
-pub fn kcore_sequential(g: &CsrGraph) -> KCore {
+pub fn kcore_sequential(g: &dyn GraphAccess) -> KCore {
     let n = g.num_vertices();
     if n == 0 {
         return KCore {
@@ -111,7 +145,7 @@ pub fn kcore_sequential(g: &CsrGraph) -> KCore {
 /// For k = 0, 1, 2, … repeatedly strip (in parallel rounds) every remaining
 /// vertex with residual degree ≤ k, assigning it coreness k. Produces the
 /// exact coreness but, as the paper notes, no unique peeling order.
-pub fn kcore_parallel(g: &CsrGraph) -> KCore {
+pub fn kcore_parallel(g: &dyn GraphAccess) -> KCore {
     use std::sync::atomic::{AtomicI64, Ordering};
 
     let n = g.num_vertices();
@@ -203,7 +237,7 @@ pub fn kcore_parallel(g: &CsrGraph) -> KCore {
 /// Guarantees, for every vertex `v` with true coreness `c*(v)`:
 /// * `coreness[v] >= floor` ⟺ `c*(v) >= floor`;
 /// * if `c*(v) >= floor` then `coreness[v] == c*(v)`.
-pub fn kcore_with_floor(g: &CsrGraph, floor: u32) -> KCore {
+pub fn kcore_with_floor(g: &dyn GraphAccess, floor: u32) -> KCore {
     let n = g.num_vertices();
     if floor == 0 {
         return kcore_sequential(g);
@@ -262,7 +296,7 @@ pub fn kcore_with_floor(g: &CsrGraph, floor: u32) -> KCore {
 
 /// Naive reference implementation straight from the definition (repeatedly
 /// delete all vertices of degree < k). O(n·m); used by tests only.
-pub fn kcore_naive(g: &CsrGraph) -> Vec<u32> {
+pub fn kcore_naive(g: &dyn GraphAccess) -> Vec<u32> {
     let n = g.num_vertices();
     let mut coreness = vec![0u32; n];
     let mut k = 1u32;
@@ -310,7 +344,7 @@ pub fn kcore_naive(g: &CsrGraph) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lazymc_graph::gen;
+    use lazymc_graph::{gen, CsrGraph};
 
     #[test]
     fn complete_graph_coreness() {

@@ -40,7 +40,7 @@ pub mod relabel;
 pub mod snapshot;
 pub mod sort;
 
-pub use kcore::{kcore_parallel, kcore_sequential, kcore_with_floor, KCore};
+pub use kcore::{kcore_parallel, kcore_sequential, kcore_with_floor, KCore, KCoreView};
 pub use relabel::{coreness_degree_order, VertexOrder};
 pub use snapshot::{embed_kcore, extract_kcore};
 pub use sort::par_counting_sort_by_key;

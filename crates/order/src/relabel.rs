@@ -12,7 +12,7 @@
 //!   (used by the coreness-based heuristic, paper Alg. 6).
 
 use crate::sort::par_counting_sort_by_key;
-use lazymc_graph::{CsrGraph, VertexId};
+use lazymc_graph::{GraphAccess, VertexId};
 
 /// A bijection between original and relabelled vertex ids.
 #[derive(Debug, Clone)]
@@ -82,7 +82,7 @@ impl VertexOrder {
 ///
 /// `coreness` may come from [`crate::kcore_with_floor`]; capped values only
 /// affect the ordering among vertices the search will never visit.
-pub fn coreness_degree_order(g: &CsrGraph, coreness: &[u32]) -> VertexOrder {
+pub fn coreness_degree_order(g: &dyn GraphAccess, coreness: &[u32]) -> VertexOrder {
     let n = g.num_vertices();
     assert_eq!(coreness.len(), n);
     if n == 0 {

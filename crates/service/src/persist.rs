@@ -17,7 +17,7 @@
 
 use crate::plock;
 use lazymc_graph::snapshot::{write_file_atomic, Snapshot};
-use lazymc_graph::CsrGraph;
+use lazymc_graph::{CsrGraph, MappedSnapshot};
 use lazymc_order::{embed_kcore, extract_kcore, KCore};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -42,6 +42,8 @@ pub struct SnapshotStore {
     index: Mutex<HashMap<String, IndexEntry>>,
     /// Snapshots fully decoded on demand after boot.
     pub lazy_loads: AtomicU64,
+    /// Snapshots mapped zero-copy (no heap decode) on demand after boot.
+    pub mmap_loads: AtomicU64,
     /// Snapshots written (uploads and replacements).
     pub writes: AtomicU64,
     /// Snapshot writes that failed (the graph stays memory-only).
@@ -73,6 +75,7 @@ impl SnapshotStore {
             dir,
             index: Mutex::new(HashMap::new()),
             lazy_loads: AtomicU64::new(0),
+            mmap_loads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             write_errors: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
@@ -243,6 +246,41 @@ impl SnapshotStore {
             Ok(loaded) => {
                 self.lazy_loads.fetch_add(1, Ordering::Relaxed);
                 Some(loaded)
+            }
+            Err(e) => {
+                self.quarantine(&path, &e);
+                plock(&self.index).remove(name);
+                None
+            }
+        }
+    }
+
+    /// Maps the snapshot of `name` zero-copy: the CSR arrays and embedded
+    /// k-core sections are validated in place (checksum, structure,
+    /// fingerprint — the same ladder [`SnapshotStore::load`] runs) and then
+    /// borrowed straight out of the read-only mapping. No heap decode
+    /// happens; the page cache backs every byte. Failure policy is
+    /// identical to `load`: the file is quarantined and de-indexed, so a
+    /// mapping can only ever expose exactly what was saved. A snapshot
+    /// without an embedded decomposition is rejected too — callers rely on
+    /// the mapped coreness/peel-order the same way heap loads rely on
+    /// [`extract_kcore`].
+    pub fn load_mapped(&self, name: &str) -> Option<MappedSnapshot> {
+        if safe_name(name).is_none() || !self.contains(name) {
+            return None;
+        }
+        let path = self.path_of(name);
+        let mapped = MappedSnapshot::map(&path).and_then(|m| {
+            if m.coreness().is_none() {
+                Err("snapshot has no coreness section".to_string())
+            } else {
+                Ok(m)
+            }
+        });
+        match mapped {
+            Ok(m) => {
+                self.mmap_loads.fetch_add(1, Ordering::Relaxed);
+                Some(m)
             }
             Err(e) => {
                 self.quarantine(&path, &e);

@@ -16,26 +16,42 @@
 use crate::health::Health;
 use crate::persist::SnapshotStore;
 use crate::plock;
-use lazymc_graph::CsrGraph;
-use lazymc_order::{kcore_sequential, KCore};
+use lazymc_graph::{CsrGraph, GraphStore};
+use lazymc_order::{kcore_sequential, KCoreView};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Default `--mmap-threshold-bytes`: snapshots at least this large load
+/// zero-copy through [`lazymc_graph::MappedSnapshot`]; smaller ones decode
+/// onto the heap, where pointer-free arrays beat page-cache indirection.
+pub const DEFAULT_MMAP_THRESHOLD: u64 = 4 << 20;
+
+/// Where a resident entry's k-core decomposition lives.
+enum KCoreSource {
+    /// Computed (upload) or decoded (heap reload) onto the heap.
+    Owned(Arc<lazymc_order::KCore>),
+    /// Embedded in the mapped snapshot; views borrow from the mapping.
+    Embedded,
+}
 
 /// A resident graph with everything precomputed at load time.
 pub struct GraphEntry {
     pub name: String,
-    pub graph: Arc<CsrGraph>,
+    /// Heap CSR for uploads/small graphs, zero-copy mapping for large ones.
+    pub graph: Arc<GraphStore>,
     /// Exact decomposition (with peel order) shared by every query.
-    pub kcore: Arc<KCore>,
+    kcore: KCoreSource,
     pub fingerprint: u64,
     pub loaded_at: Instant,
     /// Milliseconds spent parsing + fingerprinting + decomposing at load
-    /// (or decoding the snapshot, for lazy reloads).
+    /// (or decoding/mapping the snapshot, for lazy reloads).
     pub prep_ms: u64,
     /// Whether this entry came from a disk snapshot rather than an upload.
     pub lazy_loaded: bool,
+    /// First-solve madvise latch (mapped entries only).
+    madvised: AtomicBool,
     queries: AtomicU64,
     last_used: AtomicU64,
 }
@@ -43,6 +59,53 @@ pub struct GraphEntry {
 impl GraphEntry {
     pub fn queries(&self) -> u64 {
         self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Borrowed view of the decomposition, regardless of where it lives.
+    /// Mapped entries hand out slices straight into the file mapping.
+    pub fn kcore_view(&self) -> KCoreView<'_> {
+        match &self.kcore {
+            KCoreSource::Owned(kc) => kc.view(),
+            KCoreSource::Embedded => {
+                let m = self
+                    .graph
+                    .as_mapped()
+                    .expect("embedded kcore implies a mapped store");
+                KCoreView {
+                    coreness: m
+                        .coreness()
+                        .expect("mapped entries are validated to carry coreness"),
+                    degeneracy: m.degeneracy(),
+                    peel_order: m.peel_order(),
+                }
+            }
+        }
+    }
+
+    pub fn degeneracy(&self) -> u32 {
+        self.kcore_view().degeneracy
+    }
+
+    pub fn omega_upper_bound(&self) -> usize {
+        self.kcore_view().omega_upper_bound()
+    }
+
+    /// Whether this entry serves straight from a page-cache-backed mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.graph.is_mapped()
+    }
+
+    /// On the first solve touching a mapped entry, hint the kernel:
+    /// prefetch the whole file now (`WILLNEED`), then disable readahead
+    /// (`RANDOM`) for the branch-and-bound neighbourhood probes. No-op
+    /// for heap entries and on every later call.
+    pub fn advise_first_solve(&self) {
+        if let Some(m) = self.graph.as_mapped() {
+            if !self.madvised.swap(true, Ordering::Relaxed) {
+                m.advise_willneed();
+                m.advise_random();
+            }
+        }
     }
 }
 
@@ -63,6 +126,8 @@ pub struct Registry {
     /// Degraded-health sink for snapshot write failures (see [`Health`]).
     health: Option<Arc<Health>>,
     capacity: usize,
+    /// Snapshot size (bytes) at or above which loads go zero-copy.
+    mmap_threshold: AtomicU64,
     clock: AtomicU64,
     pub hits: AtomicU64,
     pub misses: AtomicU64,
@@ -99,6 +164,7 @@ impl Registry {
             store,
             health,
             capacity: capacity.max(1),
+            mmap_threshold: AtomicU64::new(DEFAULT_MMAP_THRESHOLD),
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -110,6 +176,16 @@ impl Registry {
     /// The backing snapshot store, if any.
     pub fn store(&self) -> Option<&Arc<SnapshotStore>> {
         self.store.as_ref()
+    }
+
+    /// Sets the zero-copy threshold: snapshots of at least `bytes` load
+    /// via `mmap` instead of a heap decode. `0` maps everything.
+    pub fn set_mmap_threshold(&self, bytes: u64) {
+        self.mmap_threshold.store(bytes, Ordering::Relaxed);
+    }
+
+    pub fn mmap_threshold(&self) -> u64 {
+        self.mmap_threshold.load(Ordering::Relaxed)
     }
 
     fn tick(&self) -> u64 {
@@ -131,9 +207,11 @@ impl Registry {
         // with a lazy reload of the same name (a loader that read the old
         // snapshot could otherwise install stale data over this upload).
         self.acquire_name_slot(name);
+        let mut saved_len = None;
         if let Some(store) = &self.store {
             match store.save(name, &graph, &kcore) {
-                Ok(_) => {
+                Ok(len) => {
+                    saved_len = Some(len);
                     // Disk works again: the snapshot subsystem is healthy,
                     // even if earlier uploads remain memory-only.
                     if let Some(health) = &self.health {
@@ -155,14 +233,32 @@ impl Registry {
                 }
             }
         }
-        let entry = self.install(
-            name,
-            graph,
-            kcore,
-            fingerprint,
-            t.elapsed().as_millis() as u64,
-            false,
-        );
+        // Large snapshots become the resident representation themselves:
+        // drop the heap CSR and owned decomposition, re-map the file just
+        // written, and let the page cache own the bytes.
+        let mapped = saved_len
+            .filter(|&len| len >= self.mmap_threshold.load(Ordering::Relaxed))
+            .and(self.store.as_ref())
+            .and_then(|store| store.load_mapped(name));
+        let prep_ms = t.elapsed().as_millis() as u64;
+        let entry = match mapped {
+            Some(m) => self.install(
+                name,
+                GraphStore::Mapped(m),
+                KCoreSource::Embedded,
+                fingerprint,
+                prep_ms,
+                false,
+            ),
+            None => self.install(
+                name,
+                GraphStore::Heap(graph),
+                KCoreSource::Owned(Arc::new(kcore)),
+                fingerprint,
+                prep_ms,
+                false,
+            ),
+        };
         self.release_name_slot(name);
         entry
     }
@@ -172,8 +268,8 @@ impl Registry {
     fn install(
         &self,
         name: &str,
-        graph: CsrGraph,
-        kcore: KCore,
+        graph: GraphStore,
+        kcore: KCoreSource,
         fingerprint: u64,
         prep_ms: u64,
         lazy_loaded: bool,
@@ -181,23 +277,32 @@ impl Registry {
         let entry = Arc::new(GraphEntry {
             name: name.to_string(),
             graph: Arc::new(graph),
-            kcore: Arc::new(kcore),
+            kcore,
             fingerprint,
             loaded_at: Instant::now(),
             prep_ms,
             lazy_loaded,
+            madvised: AtomicBool::new(false),
             queries: AtomicU64::new(0),
             last_used: AtomicU64::new(self.tick()),
         });
         let mut map = plock(&self.graphs);
         map.insert(name.to_string(), entry.clone());
-        while map.len() > self.capacity {
-            // Evict the stalest entry that is not the one just inserted.
-            // In-flight solves keep their `Arc<GraphEntry>` alive; with a
-            // store, the victim's snapshot remains on disk for lazy reload.
+        // Mapped entries cost ~nothing resident (the page cache owns their
+        // bytes and reclaims them under pressure), so capacity — and the
+        // eviction it drives — counts heap entries only.
+        loop {
+            let heap_resident = map.values().filter(|e| !e.graph.is_mapped()).count();
+            if heap_resident <= self.capacity {
+                break;
+            }
+            // Evict the stalest heap entry that is not the one just
+            // inserted. In-flight solves keep their `Arc<GraphEntry>`
+            // alive; with a store, the victim's snapshot remains on disk
+            // for lazy reload.
             let victim = map
                 .iter()
-                .filter(|(k, _)| k.as_str() != name)
+                .filter(|(k, e)| k.as_str() != name && !e.graph.is_mapped())
                 .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
                 .map(|(k, _)| k.clone());
             match victim {
@@ -265,7 +370,32 @@ impl Registry {
             return Some(e);
         }
         let t = Instant::now();
-        let loaded = self.store.as_ref().and_then(|store| store.load(name));
+        // Large snapshots re-enter as zero-copy mappings — O(µs), no heap
+        // decode, no k-core extraction copies. Small ones decode as before.
+        let use_mmap = self
+            .store
+            .as_ref()
+            .and_then(|store| store.bytes_of(name))
+            .is_some_and(|bytes| bytes >= self.mmap_threshold.load(Ordering::Relaxed));
+        let loaded = if use_mmap {
+            self.store
+                .as_ref()
+                .and_then(|store| store.load_mapped(name))
+                .map(|m| {
+                    let fingerprint = m.fingerprint();
+                    (GraphStore::Mapped(m), KCoreSource::Embedded, fingerprint)
+                })
+        } else {
+            self.store.as_ref().and_then(|store| store.load(name)).map(
+                |(graph, kcore, fingerprint)| {
+                    (
+                        GraphStore::Heap(graph),
+                        KCoreSource::Owned(Arc::new(kcore)),
+                        fingerprint,
+                    )
+                },
+            )
+        };
         let result = match loaded {
             Some((graph, kcore, fingerprint)) => {
                 let entry = self.install(
@@ -321,6 +451,20 @@ impl Registry {
         let on_disk = self.store.as_ref().is_some_and(|store| store.remove(name));
         self.release_name_slot(name);
         in_memory || on_disk
+    }
+
+    /// Drops the resident entry for `name` iff it is a zero-copy mapping.
+    /// Used when the backing snapshot is quarantined: the mapping's pages
+    /// belong to the rotted file, so it must not serve another solve. Heap
+    /// entries own their (decode-validated) arrays and stay resident.
+    pub fn drop_mapped(&self, name: &str) -> bool {
+        let mut map = plock(&self.graphs);
+        if map.get(name).is_some_and(|e| e.graph.is_mapped()) {
+            map.remove(name);
+            true
+        } else {
+            false
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -512,7 +656,7 @@ impl ResultCache {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
-    use lazymc_graph::gen;
+    use lazymc_graph::{gen, GraphAccess};
 
     #[test]
     fn insert_precomputes_and_get_bumps_counters() {
@@ -521,8 +665,11 @@ mod tests {
         let fp = g.fingerprint();
         let e = reg.insert("g1", g);
         assert_eq!(e.fingerprint, fp);
-        assert!(e.kcore.degeneracy >= 7);
-        assert!(!e.kcore.peel_order.is_empty(), "exact peel order expected");
+        assert!(e.degeneracy() >= 7);
+        assert!(
+            !e.kcore_view().peel_order.is_empty(),
+            "exact peel order expected"
+        );
 
         assert!(reg.get("nope").is_none());
         let e2 = reg.get("g1").unwrap();
@@ -573,11 +720,10 @@ mod tests {
         let (dir, store) = tmp_store("restart");
         let g = gen::planted_clique(100, 0.05, 8, 3);
         let fp = g.fingerprint();
-        let kcore_snapshot;
+        let kcore_expected = kcore_sequential(&g);
         {
             let reg = Registry::with_store(4, Some(store.clone()));
-            let e = reg.insert("g1", g.clone());
-            kcore_snapshot = e.kcore.clone();
+            reg.insert("g1", g.clone());
             assert_eq!(reg.core_computes.load(Ordering::Relaxed), 1);
             assert_eq!(store.writes.load(Ordering::Relaxed), 1);
         }
@@ -588,10 +734,11 @@ mod tests {
         let e = reg2.get("g1").expect("lazy reload");
         assert!(e.lazy_loaded);
         assert_eq!(e.fingerprint, fp);
-        assert_eq!(e.graph.as_ref(), &g);
+        assert_eq!(e.graph.fingerprint(), g.fingerprint());
+        assert_eq!(e.graph.num_vertices(), g.num_vertices());
         assert_eq!(
-            e.kcore.as_ref(),
-            kcore_snapshot.as_ref(),
+            e.kcore_view(),
+            kcore_expected.view(),
             "identical decomposition"
         );
         assert_eq!(reg2.core_computes.load(Ordering::Relaxed), 0, "no re-core");
@@ -623,8 +770,8 @@ mod tests {
             .size();
         let deadline = lazymc_core::Deadline::starting_now(None);
         let r = lazymc_core::LazyMc::new(lazymc_core::Config::default()).solve_prepared(
-            &held.graph,
-            Some(&held.kcore),
+            held.graph.as_ref(),
+            Some(held.kcore_view()),
             &deadline,
         );
         assert!(r.is_exact());
@@ -634,12 +781,69 @@ mod tests {
         let reloaded = reg.get("a").expect("reload after eviction");
         assert!(reloaded.lazy_loaded);
         assert_eq!(reloaded.fingerprint, held.fingerprint);
-        assert_eq!(reloaded.graph.as_ref(), held.graph.as_ref());
+        assert_eq!(reloaded.graph.fingerprint(), held.graph.fingerprint());
         assert_eq!(
             reg.core_computes.load(Ordering::Relaxed),
             3,
             "3 inserts, 0 reloads"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mmap_reload_skips_decode_and_matches_heap() {
+        let (dir, store) = tmp_store("mmapreload");
+        let g = gen::planted_clique(120, 0.05, 8, 11);
+        {
+            let reg = Registry::with_store(4, Some(store.clone()));
+            reg.insert("big", g.clone());
+        }
+        let store2 = Arc::new(SnapshotStore::open(&dir).unwrap());
+        let reg = Registry::with_store(4, Some(store2.clone()));
+        reg.set_mmap_threshold(0); // force the zero-copy path
+        let e = reg.get("big").expect("mapped reload");
+        assert!(e.is_mapped());
+        assert_eq!(store2.mmap_loads.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            store2.lazy_loads.load(Ordering::Relaxed),
+            0,
+            "mapped reload must not decode onto the heap"
+        );
+        assert_eq!(reg.core_computes.load(Ordering::Relaxed), 0, "no re-core");
+        assert_eq!(e.graph.fingerprint(), g.fingerprint());
+        assert_eq!(e.kcore_view(), kcore_sequential(&g).view());
+        // Solving through the mapping agrees with the heap solve.
+        let deadline = lazymc_core::Deadline::starting_now(None);
+        e.advise_first_solve();
+        let r = lazymc_core::LazyMc::new(lazymc_core::Config::default()).solve_prepared(
+            e.graph.as_ref(),
+            Some(e.kcore_view()),
+            &deadline,
+        );
+        let expected = lazymc_core::LazyMc::new(lazymc_core::Config::default()).solve(&g);
+        assert!(r.is_exact());
+        assert_eq!(r.size(), expected.size());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mapped_entries_do_not_count_toward_eviction_capacity() {
+        let (dir, store) = tmp_store("mmapevict");
+        let reg = Registry::with_store(2, Some(store.clone()));
+        reg.set_mmap_threshold(0); // every insert installs as a mapping
+        reg.insert("a", gen::complete(5));
+        reg.insert("b", gen::complete(6));
+        reg.insert("c", gen::complete(7));
+        reg.insert("d", gen::complete(8));
+        assert_eq!(reg.len(), 4, "mapped entries are resident-cost-free");
+        assert_eq!(reg.evictions.load(Ordering::Relaxed), 0);
+        for (name, n) in [("a", 5), ("b", 6), ("c", 7), ("d", 8)] {
+            let e = reg.get(name).unwrap();
+            assert!(e.is_mapped());
+            assert_eq!(e.graph.num_vertices(), n);
+            assert_eq!(e.graph.heap_bytes(), 0);
+            assert!(e.graph.mapped_bytes() > 0);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

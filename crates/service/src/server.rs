@@ -48,7 +48,7 @@ use crate::queue::{JobQueue, JobTicket, Popped};
 use crate::reactor::{self, ReactorShared, Responder};
 use crate::registry::{CachedSolve, GraphEntry, Registry, ResultCache};
 use lazymc_core::{Deadline, LazyMc, MetricsSnapshot, PhaseTimes, SolveProgress};
-use lazymc_graph::{io as graph_io, suite, CsrGraph};
+use lazymc_graph::{io as graph_io, suite, CsrGraph, GraphAccess};
 use lazymc_obs::LogSink;
 use lazymc_sched::{Job as SchedJob, JobSource, Pool as SchedPool, TaskKey, TaskMeta};
 use std::net::{SocketAddr, TcpListener};
@@ -106,6 +106,10 @@ pub struct ServiceConfig {
     /// Directory for durable graph snapshots (`.lmcs`). `None` keeps the
     /// registry memory-only (uploads die with the process).
     pub data_dir: Option<String>,
+    /// Snapshot size (bytes) at or above which graphs are served zero-copy
+    /// from an `mmap` of the snapshot file instead of a heap decode. `0`
+    /// maps everything; `u64::MAX` effectively disables mapping.
+    pub mmap_threshold_bytes: u64,
     /// Server-side budget cap, milliseconds. Requested budgets are clamped
     /// to it and *unbudgeted* requests default to it, so a single client
     /// cannot pin a solver with an open-ended solve. `None` preserves the
@@ -173,6 +177,7 @@ impl Default for ServiceConfig {
             max_buffered_bytes: 256 << 20,
             read_timeout: Duration::from_secs(30),
             data_dir: None,
+            mmap_threshold_bytes: crate::registry::DEFAULT_MMAP_THRESHOLD,
             max_budget_ms: None,
             so_sndbuf: None,
             log_json: false,
@@ -343,8 +348,10 @@ impl ServiceState {
         };
         let pool = SchedPool::new(cfg.effective_solver_workers());
         let sched = pool.handle();
+        let registry = Registry::with_store_health(cfg.max_graphs, store, Some(health.clone()));
+        registry.set_mmap_threshold(cfg.mmap_threshold_bytes);
         let state = ServiceState {
-            registry: Registry::with_store_health(cfg.max_graphs, store, Some(health.clone())),
+            registry,
             results: ResultCache::new(cfg.result_cache_bytes, cfg.result_cache_ttl),
             queue: JobQueue::new(cfg.queue_capacity),
             jobs: JobStore::new(cfg.job_ttl, cfg.job_store_bytes),
@@ -747,8 +754,18 @@ fn scrub_pass(state: &ServiceState) {
     if let Some(store) = state.registry.store() {
         for name in store.names() {
             if !store.verify(&name) {
+                // A mapped entry serves pages of the file just quarantined;
+                // drop it so no later solve reads rotted bytes. Heap entries
+                // were fully validated at decode and own their arrays — they
+                // stay resident.
+                let dropped = state.registry.drop_mapped(&name);
                 findings.push(format!(
-                    "snapshot {name:?} failed verification (quarantined)"
+                    "snapshot {name:?} failed verification (quarantined{})",
+                    if dropped {
+                        "; resident mapping dropped"
+                    } else {
+                        ""
+                    }
                 ));
             }
         }
@@ -964,11 +981,15 @@ fn run_solve_job(state: &ServiceState, popped: Popped<SolveJob>) {
     let t = Instant::now();
     // A panicking solve must not take the worker thread (and with it,
     // eventually, the whole scheduler pool) down: catch, count, report.
+    // First solve against a mapped graph: prefetch the file, then turn
+    // readahead off for the random neighbourhood probes (no-op for heap
+    // entries and on later solves).
+    job.entry.advise_first_solve();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         lazymc_chaos::point!("solve.run");
         LazyMc::new(job.config.clone()).solve_prepared_on(
-            &job.entry.graph,
-            Some(&job.entry.kcore),
+            job.entry.graph.as_ref(),
+            Some(job.entry.kcore_view()),
             &job.deadline,
             Some(&progress),
             &state.sched,
@@ -1206,11 +1227,12 @@ fn load_graph(state: &ServiceState, body: &str) -> Response {
             ("fingerprint", Json::str(fingerprint_hex(entry.fingerprint))),
             ("vertices", Json::num(entry.graph.num_vertices() as f64)),
             ("edges", Json::num(entry.graph.num_edges() as f64)),
-            ("degeneracy", Json::num(entry.kcore.degeneracy as f64)),
+            ("degeneracy", Json::num(entry.degeneracy() as f64)),
             (
                 "omega_upper_bound",
-                Json::num(entry.kcore.omega_upper_bound() as f64),
+                Json::num(entry.omega_upper_bound() as f64),
             ),
+            ("mapped", Json::Bool(entry.is_mapped())),
             ("prep_ms", Json::num(entry.prep_ms as f64)),
         ]),
     )
@@ -1679,11 +1701,13 @@ fn graph_stats(state: &ServiceState, cfg: &ServiceConfig, name: &str) -> Respons
             ("edges", Json::num(g.num_edges() as f64)),
             ("max_degree", Json::num(g.max_degree() as f64)),
             ("density", Json::num(g.density())),
-            ("degeneracy", Json::num(entry.kcore.degeneracy as f64)),
+            ("degeneracy", Json::num(entry.degeneracy() as f64)),
             (
                 "omega_upper_bound",
-                Json::num(entry.kcore.omega_upper_bound() as f64),
+                Json::num(entry.omega_upper_bound() as f64),
             ),
+            ("mapped", Json::Bool(entry.is_mapped())),
+            ("mapped_bytes", Json::num(entry.graph.mapped_bytes() as f64)),
             ("queries", Json::num(entry.queries() as f64)),
             (
                 "resident_ms",
@@ -1723,6 +1747,7 @@ fn list_graphs(state: &ServiceState) -> Response {
                 ("fingerprint", Json::str(fingerprint_hex(e.fingerprint))),
                 ("vertices", Json::num(e.graph.num_vertices() as f64)),
                 ("edges", Json::num(e.graph.num_edges() as f64)),
+                ("mapped", Json::Bool(e.is_mapped())),
                 ("queries", Json::num(e.queries() as f64)),
             ])
         })
@@ -1758,7 +1783,25 @@ fn list_graphs(state: &ServiceState) -> Response {
 fn gauges(state: &ServiceState) -> Vec<(&'static str, Json)> {
     let m = &state.metrics;
     let (jobs_stored, job_store_bytes) = state.jobs.stats();
+    // Residency is two different currencies now: heap bytes are memory the
+    // daemon actually owns (what eviction frees); mapped bytes are page
+    // cache the kernel reclaims on its own.
+    let (graphs_mapped, mapped_bytes, snapshot_heap_bytes) =
+        state
+            .registry
+            .entries()
+            .iter()
+            .fold((0u64, 0u64, 0u64), |(n, mb, hb), e| {
+                (
+                    n + u64::from(e.is_mapped()),
+                    mb + e.graph.mapped_bytes(),
+                    hb + e.graph.heap_bytes(),
+                )
+            });
     vec![
+        ("graphs_mapped", Json::num(graphs_mapped as f64)),
+        ("mapped_bytes", Json::num(mapped_bytes as f64)),
+        ("snapshot_heap_bytes", Json::num(snapshot_heap_bytes as f64)),
         ("queue_depth", Json::num(state.queue.depth() as f64)),
         (
             "jobs_inflight",
@@ -2201,6 +2244,11 @@ fn metrics(state: &ServiceState) -> Response {
         store.map_or(0, |s| s.lazy_loads.load(Ordering::Relaxed)),
     );
     counter(
+        "lazymc_snapshot_mmap_total",
+        "Graphs mapped zero-copy from disk snapshots (no heap decode)",
+        store.map_or(0, |s| s.mmap_loads.load(Ordering::Relaxed)),
+    );
+    counter(
         "lazymc_snapshot_writes_total",
         "Snapshots durably written (uploads and replacements)",
         store.map_or(0, |s| s.writes.load(Ordering::Relaxed)),
@@ -2459,6 +2507,23 @@ fn metrics(state: &ServiceState) -> Response {
         "lazymc_graphs_resident",
         "Graphs currently resident",
         state.registry.len() as u64,
+    );
+    let (graphs_mapped, mapped_bytes) = state
+        .registry
+        .entries()
+        .iter()
+        .fold((0u64, 0u64), |(n, b), e| {
+            (n + u64::from(e.is_mapped()), b + e.graph.mapped_bytes())
+        });
+    gauge(
+        "lazymc_graphs_mapped",
+        "Resident graphs served zero-copy from a snapshot mapping",
+        graphs_mapped,
+    );
+    gauge(
+        "lazymc_mapped_bytes",
+        "Bytes of snapshot files currently mapped (page-cache-backed, not daemon heap)",
+        mapped_bytes,
     );
     gauge(
         "lazymc_snapshots_on_disk",

@@ -36,15 +36,31 @@ fn dead_on_arrival_jobs_are_reaped_not_solved() {
     let mut c = Client::connect(handle.addr());
     upload(&mut c, "dense", &gen::gnp(300, 0.5, 7));
 
-    // Pin the lone solver for ~700 ms.
+    // Pin the lone solver for ~700 ms, and wait until the pin is
+    // actually running: the pool pops deadline-earliest, so a
+    // shorter-deadline job submitted while the pin still sits in the
+    // queue would overtake it and solve instead of expiring.
     let (status, pin) = submit_async(
         &mut c,
         r#"{"graph":"dense","budget_ms":700,"no_cache":true}"#,
     );
     assert_eq!(status, 202, "pin submit: {pin:?}");
+    let pin_id = pin.get("job_id").and_then(Json::as_u64).expect("job_id");
+    let t = Instant::now();
+    loop {
+        let (_, job) = c.get_json(&format!("/jobs/{pin_id}"));
+        if str_field(&job, "status") != "queued" {
+            break;
+        }
+        assert!(
+            t.elapsed() < Duration::from_secs(10),
+            "pin job never started"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
 
     // Queue a job that can only expire behind it: 40 ms budget, measured
-    // from enqueue, against 700 ms of guaranteed queue wait.
+    // from enqueue, against the remainder of the pin's ~700 ms run.
     let (status, doa) = submit_async(
         &mut c,
         r#"{"graph":"dense","budget_ms":40,"no_cache":true}"#,
